@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the CPA detector: the naive O(N·P) reference
+//! against the folded O(N + P·W) implementation, at several scales up to
+//! the paper's (N = 300,000, P = 4,095).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use clockmark_cpa::{spread_spectrum, spread_spectrum_naive};
+use clockmark_seq::{Lfsr, SequenceGenerator};
+
+fn make_input(width: u32, cycles: usize) -> (Vec<bool>, Vec<f64>) {
+    let mut lfsr = Lfsr::maximal(width).expect("valid width");
+    let period = (1usize << width) - 1;
+    let pattern: Vec<bool> = (0..period).map(|_| lfsr.next_bit()).collect();
+    // Deterministic pseudo-noise (no RNG in the hot loop).
+    let y: Vec<f64> = (0..cycles)
+        .map(|i| {
+            let wm = if pattern[(i + 17) % period] { 1.0 } else { 0.0 };
+            wm + ((i * 2654435761) % 1000) as f64 * 0.01
+        })
+        .collect();
+    (pattern, y)
+}
+
+fn bench_cpa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rotational_cpa");
+
+    for (width, cycles) in [(8u32, 30_000usize), (10, 60_000)] {
+        let (pattern, y) = make_input(width, cycles);
+        group.throughput(Throughput::Elements(cycles as u64));
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("P{}_N{}", (1 << width) - 1, cycles)),
+            &(&pattern, &y),
+            |b, (p, y)| {
+                b.iter(|| spread_spectrum_naive(black_box(p), black_box(y)).expect("valid"))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("folded", format!("P{}_N{}", (1 << width) - 1, cycles)),
+            &(&pattern, &y),
+            |b, (p, y)| b.iter(|| spread_spectrum(black_box(p), black_box(y)).expect("valid")),
+        );
+    }
+
+    // Paper scale, folded only (the naive path takes seconds per run).
+    let (pattern, y) = make_input(12, 300_000);
+    group.throughput(Throughput::Elements(300_000));
+    group.sample_size(20);
+    group.bench_function("folded/P4095_N300000_paper_scale", |b| {
+        b.iter(|| spread_spectrum(black_box(&pattern), black_box(&y)).expect("valid"))
+    });
+
+    // Streaming ingest: the per-cycle cost of the online detector.
+    let (pattern, y) = make_input(10, 100_000);
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("streaming_ingest/P1023_N100000", |b| {
+        b.iter(|| {
+            let mut d = clockmark_cpa::StreamingCpa::new(black_box(&pattern)).expect("valid");
+            d.extend_from_slice(black_box(&y));
+            black_box(d.spectrum().expect("complete period"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpa);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmark of the full experiment pipeline (embed → simulate
+//! → background → digitise → rotational CPA) at a reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use clockmark::{ClockModulationWatermark, Experiment, LoadCircuitWatermark, WgcConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    const CYCLES: usize = 8_000;
+    group.throughput(Throughput::Elements(CYCLES as u64));
+
+    group.bench_function("clock_modulation/8k_cycles", |b| {
+        let arch = ClockModulationWatermark {
+            wgc: WgcConfig::MaxLengthLfsr { width: 8, seed: 1 },
+            ..ClockModulationWatermark::paper()
+        };
+        let experiment = Experiment::quick(CYCLES, 1);
+        b.iter(|| black_box(experiment.run(&arch).expect("runs")))
+    });
+
+    group.bench_function("load_circuit/8k_cycles", |b| {
+        let arch = LoadCircuitWatermark {
+            load_registers: 576,
+            regs_per_gate: 32,
+            clock_gated: true,
+            wgc: WgcConfig::MaxLengthLfsr { width: 8, seed: 1 },
+        };
+        let experiment = Experiment::quick(CYCLES, 1);
+        b.iter(|| black_box(experiment.run(&arch).expect("runs")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

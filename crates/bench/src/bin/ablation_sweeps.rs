@@ -1,0 +1,204 @@
+//! Beyond-paper ablations of the design choices the paper fixes: trace
+//! length, LFSR width, measurement noise, ADC resolution and block size.
+//! Each sweep reports the detection margin (peak z-score) so the knees are
+//! visible.
+//!
+//! ```sh
+//! cargo run --release -p clockmark-bench --bin ablation_sweeps
+//! cargo run --release -p clockmark-bench --bin ablation_sweeps -- --quick
+//! ```
+
+use clockmark::{ClockModulationWatermark, Experiment, WgcConfig};
+use clockmark_bench::has_flag;
+
+fn arch(width: u32) -> ClockModulationWatermark {
+    ClockModulationWatermark {
+        wgc: WgcConfig::MaxLengthLfsr { width, seed: 1 },
+        ..ClockModulationWatermark::paper()
+    }
+}
+
+fn main() -> Result<(), clockmark::ClockmarkError> {
+    let quick = has_flag("--quick");
+    let base_cycles = if quick { 10_000 } else { 30_000 };
+
+    println!("== sweep 1: trace length (the √N detection law) ==");
+    println!(
+        "{:>10} {:>10} {:>8} {:>8} {:>9}",
+        "cycles", "peak rho", "z", "ratio", "detected"
+    );
+    let lengths = if quick {
+        vec![4_000, 16_000]
+    } else {
+        vec![4_000, 8_000, 16_000, 32_000, 64_000]
+    };
+    for cycles in lengths {
+        let outcome = Experiment::quick(cycles, 1).run(&arch(8))?;
+        println!(
+            "{cycles:>10} {:>10.4} {:>8.1} {:>8.2} {:>9}",
+            outcome.detection.peak_rho,
+            outcome.detection.zscore,
+            outcome.detection.ratio,
+            outcome.detection.detected
+        );
+    }
+
+    println!("\n== sweep 2: LFSR width (rotations to search vs floor statistics) ==");
+    println!(
+        "{:>8} {:>8} {:>10} {:>8} {:>9}",
+        "width", "period", "peak rho", "z", "detected"
+    );
+    for width in [6u32, 8, 10, 12] {
+        let outcome = Experiment::quick(base_cycles, 2).run(&arch(width))?;
+        println!(
+            "{width:>8} {:>8} {:>10.4} {:>8.1} {:>9}",
+            (1u64 << width) - 1,
+            outcome.detection.peak_rho,
+            outcome.detection.zscore,
+            outcome.detection.detected
+        );
+    }
+
+    println!("\n== sweep 3: probe noise (the calibration knob) ==");
+    println!(
+        "{:>14} {:>10} {:>8} {:>9}",
+        "noise (mV rms)", "peak rho", "z", "detected"
+    );
+    for noise_mv in [5.0f64, 15.0, 30.0, 72.0, 150.0] {
+        let mut experiment = Experiment::quick(base_cycles, 3);
+        experiment.acquisition.scope = experiment
+            .acquisition
+            .scope
+            .with_vertical_noise(noise_mv * 1e-3);
+        let outcome = experiment.run(&arch(8))?;
+        println!(
+            "{noise_mv:>14.0} {:>10.4} {:>8.1} {:>9}",
+            outcome.detection.peak_rho, outcome.detection.zscore, outcome.detection.detected
+        );
+    }
+
+    println!("\n== sweep 4: ADC resolution ==");
+    println!(
+        "{:>8} {:>10} {:>8} {:>9}",
+        "bits", "peak rho", "z", "detected"
+    );
+    for bits in [4u32, 6, 8, 10, 12] {
+        let mut experiment = Experiment::quick(base_cycles, 4);
+        experiment.acquisition.scope = experiment.acquisition.scope.with_adc_bits(bits);
+        let outcome = experiment.run(&arch(8))?;
+        println!(
+            "{bits:>8} {:>10.4} {:>8.1} {:>9}",
+            outcome.detection.peak_rho, outcome.detection.zscore, outcome.detection.detected
+        );
+    }
+
+    println!("\n== sweep 5: modulated block size (Section V scaling) ==");
+    println!(
+        "{:>10} {:>12} {:>10} {:>8} {:>9}",
+        "registers", "amplitude", "peak rho", "z", "detected"
+    );
+    for words in [2u32, 8, 16, 32, 64] {
+        let a = ClockModulationWatermark { words, ..arch(8) };
+        let model = clockmark_power::PowerModel::new(
+            clockmark_power::EnergyLibrary::tsmc65ll(),
+            clockmark_power::Frequency::from_megahertz(10.0),
+        );
+        let amplitude = clockmark::WatermarkArchitecture::signal_amplitude(&a, &model);
+        let outcome = Experiment::quick(base_cycles, 5).run(&a)?;
+        println!(
+            "{:>10} {:>12} {:>10.4} {:>8.1} {:>9}",
+            words * 32,
+            amplitude.to_string(),
+            outcome.detection.peak_rho,
+            outcome.detection.zscore,
+            outcome.detection.detected
+        );
+    }
+
+    println!("\n== sweep 6: clock frequency (amplitude x f, oversampling / f) ==");
+    println!(
+        "{:>10} {:>14} {:>12} {:>10} {:>8} {:>9}",
+        "f_clk", "samples/cycle", "amplitude", "peak rho", "z", "detected"
+    );
+    for mhz in [2.5f64, 5.0, 10.0, 20.0, 50.0] {
+        let f = clockmark_power::Frequency::from_megahertz(mhz);
+        let mut experiment = Experiment::quick(base_cycles, 6);
+        experiment.f_clk = f;
+        experiment.acquisition = clockmark::measure::Acquisition::paper_chain(f);
+        experiment.acquisition.scope = experiment.acquisition.scope.with_vertical_noise(15e-3);
+        let model = clockmark_power::PowerModel::new(clockmark_power::EnergyLibrary::tsmc65ll(), f);
+        let amplitude = clockmark::WatermarkArchitecture::signal_amplitude(&arch(8), &model);
+        let outcome = experiment.run(&arch(8))?;
+        println!(
+            "{:>7} MHz {:>14} {:>12} {:>10.4} {:>8.1} {:>9}",
+            mhz,
+            experiment.acquisition.samples_per_cycle(),
+            amplitude.to_string(),
+            outcome.detection.peak_rho,
+            outcome.detection.zscore,
+            outcome.detection.detected
+        );
+    }
+    println!(
+        "\nhigher f_clk raises the watermark amplitude linearly (energy per cycle is \
+         fixed) while shrinking the per-cycle averaging window — the two effects \
+         partially cancel, with a net gain at higher clocks"
+    );
+
+    println!("\n== sweep 7: power-delivery-network smoothing ==");
+    println!(
+        "{:>10} {:>14} {:>10} {:>8} {:>9}",
+        "tau (ns)", "attenuation", "peak rho", "z", "detected"
+    );
+    for tau_ns in [0.0f64, 10.0, 25.0, 50.0, 150.0] {
+        let mut experiment = Experiment::quick(base_cycles, 7);
+        experiment.acquisition.pdn = clockmark::measure::PdnModel {
+            time_constant_s: tau_ns * 1e-9,
+        };
+        let predicted = experiment
+            .acquisition
+            .pdn
+            .square_wave_attenuation(experiment.f_clk);
+        let outcome = experiment.run(&arch(8))?;
+        println!(
+            "{tau_ns:>10.0} {:>14.3} {:>10.4} {:>8.1} {:>9}",
+            predicted,
+            outcome.detection.peak_rho,
+            outcome.detection.zscore,
+            outcome.detection.detected
+        );
+    }
+    println!(
+        "\nboard decoupling low-pass filters the watermark square wave; detection survives \
+         mild smoothing (tau well below the clock period) and degrades once the RC constant \
+         approaches it — relevant when choosing the shunt's location on a real board"
+    );
+
+    println!("\n== sweep 8: supply voltage (DVFS) ==");
+    println!(
+        "{:>10} {:>12} {:>10} {:>8} {:>9}",
+        "V_dd", "amplitude", "peak rho", "z", "detected"
+    );
+    for volts in [0.8f64, 1.0, 1.2, 1.4] {
+        let mut experiment = Experiment::quick(base_cycles, 8);
+        experiment.library = clockmark_power::EnergyLibrary::tsmc65ll().at_supply(volts);
+        let model = clockmark_power::PowerModel::new(experiment.library, experiment.f_clk);
+        let amplitude = clockmark::WatermarkArchitecture::signal_amplitude(&arch(8), &model);
+        let outcome = experiment.run(&arch(8))?;
+        println!(
+            "{volts:>9.1}V {:>12} {:>10.4} {:>8.1} {:>9}",
+            amplitude.to_string(),
+            outcome.detection.peak_rho,
+            outcome.detection.zscore,
+            outcome.detection.detected
+        );
+    }
+    println!(
+        "\nthe watermark amplitude follows CV² scaling, so low-voltage operating points \
+         weaken detection quadratically — the vendor should measure at the chip's \
+         nominal corner"
+    );
+
+    println!("\ncrossover summary: detection needs roughly z ≥ 5; the sweeps show where each knob crosses it");
+    Ok(())
+}

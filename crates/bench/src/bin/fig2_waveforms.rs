@@ -1,0 +1,136 @@
+//! Fig. 2: functional simulation of the state-of-the-art (load circuit)
+//! and proposed (clock modulation) watermark architectures.
+//!
+//! The paper's waveform shows `CLK`, `WMARK`, the load circuit's shift
+//! enable and the proposed architecture's gated `CLK_WMARK`, and notes
+//! that "the clock modulation technique produces higher switching
+//! activity": the gated clock toggles the clock buffers twice per cycle,
+//! worth 1.476 µW per register against 1.126 µW for data switching.
+//!
+//! ```sh
+//! cargo run --release -p clockmark-bench --bin fig2_waveforms
+//! cargo run --release -p clockmark-bench --bin fig2_waveforms -- --vcd fig2.vcd
+//! ```
+
+use clockmark::{ClockModulationWatermark, LoadCircuitWatermark, WatermarkArchitecture, WgcConfig};
+use clockmark_bench::wave;
+use clockmark_netlist::Netlist;
+use clockmark_power::{EnergyLibrary, Frequency, PowerModel};
+use clockmark_sim::{CycleSim, SignalDriver, VcdProbe};
+
+const CYCLES: usize = 24;
+
+fn main() -> Result<(), clockmark::ClockmarkError> {
+    // A WGC with a short, readable sequence for the waveform.
+    let wgc = WgcConfig::CircularShift {
+        pattern: vec![true, true, false, true, false, false],
+    };
+
+    // Proposed: one 8-register clock-gated word.
+    let clock_mod = ClockModulationWatermark {
+        words: 1,
+        regs_per_word: 8,
+        switching_registers: 0,
+        wgc: wgc.clone(),
+    };
+    // State of the art: 8 load registers shifting 1010… when enabled.
+    let load = LoadCircuitWatermark {
+        load_registers: 8,
+        regs_per_gate: 8,
+        clock_gated: true,
+        wgc: wgc.clone(),
+    };
+
+    let mut wmark_bits = Vec::new();
+    let mut cm_clocks = Vec::new();
+    let mut cm_toggles = Vec::new();
+    let mut lc_toggles = Vec::new();
+
+    // Proposed architecture trace (optionally dumped as VCD).
+    let vcd_path = {
+        let mut args = std::env::args();
+        let mut path = None;
+        while let Some(a) = args.next() {
+            if a == "--vcd" {
+                path = args.next();
+            }
+        }
+        path
+    };
+    {
+        let mut netlist = Netlist::new();
+        let clk = netlist.add_clock_root("clk");
+        let wm = clock_mod.embed(&mut netlist, clk.into())?;
+        let mut sim = CycleSim::new(&netlist)?;
+        sim.drive(wm.enable, SignalDriver::Constant(true))?;
+
+        let mut probe = vcd_path.as_ref().map(|_| {
+            let mut probe = VcdProbe::new("fig2: proposed clock-modulation watermark");
+            probe.watch_signal(wm.wmark, "WMARK");
+            probe.watch_clock(wm.icg_cells[0], "CLK_WMARK");
+            probe.watch_register(wm.body_cells[0], "body_q0");
+            probe.watch_register(wm.wgc_cells[0], "wgc_q0");
+            probe
+        });
+
+        for _ in 0..CYCLES {
+            let act = sim.step()[wm.group.index()];
+            if let Some(probe) = probe.as_mut() {
+                probe.sample(&sim);
+            }
+            wmark_bits.push(sim.signal_value(wm.wmark));
+            // Subtract the WGC ring's own clocks (6 registers).
+            cm_clocks.push(act.reg_clock_events - 6);
+            cm_toggles.push(act.reg_data_toggles.saturating_sub(6));
+        }
+
+        if let (Some(path), Some(probe)) = (&vcd_path, probe) {
+            let mut out = Vec::new();
+            probe.write(&mut out).expect("writing to a Vec cannot fail");
+            std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("wrote {path}\n");
+        }
+    }
+    // Baseline architecture trace.
+    {
+        let mut netlist = Netlist::new();
+        let clk = netlist.add_clock_root("clk");
+        let wm = load.embed(&mut netlist, clk.into())?;
+        let mut sim = CycleSim::new(&netlist)?;
+        sim.drive(wm.enable, SignalDriver::Constant(true))?;
+        for _ in 0..CYCLES {
+            let act = sim.step()[wm.group.index()];
+            lc_toggles.push(act.reg_data_toggles.saturating_sub(6));
+        }
+    }
+
+    println!("Fig. 2 — functional simulation, {CYCLES} cycles, 8-register body\n");
+    let row = |label: &str, bits: &dyn Fn(usize) -> bool| {
+        let glyphs: String = (0..CYCLES).map(|c| wave(bits(c))).collect();
+        println!("{label:<26} {glyphs}");
+    };
+    row("CLK (free-running)", &|_| true);
+    row("WMARK", &|c| wmark_bits[c]);
+    row("shift_en (baseline)", &|c| wmark_bits[c]);
+    row("CLK_WMARK (proposed)", &|c| cm_clocks[c] > 0);
+
+    println!("\nper-cycle switching events in the 8-register body:");
+    let counts = |label: &str, values: &[u32]| {
+        let rendered: String = values.iter().map(|v| format!("{v:>3}")).collect();
+        println!("{label:<26}{rendered}");
+    };
+    counts("baseline data toggles", &lc_toggles);
+    counts("proposed clocked regs", &cm_clocks);
+
+    let model = PowerModel::new(EnergyLibrary::tsmc65ll(), Frequency::from_megahertz(10.0));
+    println!(
+        "\nper-register signal power: proposed (clock buffers) {} vs baseline (data) {} — \
+         the clock path is {:.2}x stronger, as Section II argues",
+        model.library().reg_clock_power(model.clock_frequency()),
+        model.library().reg_data_power(model.clock_frequency()),
+        model.library().reg_clock_power(model.clock_frequency())
+            / model.library().reg_data_power(model.clock_frequency()),
+    );
+    let _ = cm_toggles;
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Section VI: improved robustness against removal attacks.
+//!
+//! Executes the structural removal attack against three embeddings and,
+//! for the reused-IP deployment, shows the full story: the watermark
+//! detects end-to-end before the attack, and removing it de-clocks the
+//! host block.
+//!
+//! ```sh
+//! cargo run --release -p clockmark-bench --bin robustness
+//! ```
+
+use clockmark::{
+    removal_attack, AttackVerdict, ClockModulationWatermark, Experiment, FunctionalBlock,
+    LoadCircuitWatermark, WatermarkArchitecture, WgcConfig,
+};
+use clockmark_netlist::{DataSource, GroupId, Netlist, RegisterConfig};
+use clockmark_sim::SignalDriver;
+
+fn wgc() -> WgcConfig {
+    WgcConfig::MaxLengthLfsr { width: 8, seed: 1 }
+}
+
+fn add_system_logic(netlist: &mut Netlist, clk: clockmark_netlist::ClockRootId, n: u32) {
+    for _ in 0..n {
+        netlist
+            .add_register(
+                GroupId::TOP,
+                RegisterConfig::new(clk.into()).data(DataSource::Toggle),
+            )
+            .expect("system register");
+    }
+}
+
+fn main() -> Result<(), clockmark::ClockmarkError> {
+    println!("Section VI — removal-attack analysis\n");
+
+    // 1. Baseline load circuit.
+    let mut netlist = Netlist::new();
+    let clk = netlist.add_clock_root("clk");
+    add_system_logic(&mut netlist, clk, 500);
+    let baseline = LoadCircuitWatermark {
+        wgc: wgc(),
+        ..LoadCircuitWatermark::paper_equivalent()
+    };
+    let wm = baseline.embed(&mut netlist, clk.into())?;
+    let report = removal_attack(&netlist, &wm)?;
+    println!("1. {} (588 registers):\n   {report}", baseline.name());
+    assert_eq!(report.verdict, AttackVerdict::CleanRemoval);
+
+    // 2. Proposed, redundant-block deployment (as fabricated).
+    let mut netlist = Netlist::new();
+    let clk = netlist.add_clock_root("clk");
+    add_system_logic(&mut netlist, clk, 500);
+    let proposed = ClockModulationWatermark {
+        wgc: wgc(),
+        ..ClockModulationWatermark::paper()
+    };
+    let wm = proposed.embed(&mut netlist, clk.into())?;
+    let report = removal_attack(&netlist, &wm)?;
+    println!("\n2. {} — redundant block:\n   {report}", proposed.name());
+    assert_eq!(report.verdict, AttackVerdict::CleanRemoval);
+
+    // 3. Proposed, reused-IP deployment (production).
+    let mut netlist = Netlist::new();
+    let clk = netlist.add_clock_root("clk");
+    add_system_logic(&mut netlist, clk, 500);
+    let block = FunctionalBlock::synthesize(&mut netlist, "ip", clk.into(), 32, 32)?;
+    let wm = proposed.embed_reusing(&mut netlist, clk.into(), &block)?;
+
+    // Before the attack: the watermark detects end-to-end through the
+    // block's own clock tree.
+    let drivers: Vec<_> = block
+        .enables
+        .iter()
+        .map(|&e| (e, SignalDriver::Constant(true)))
+        .collect();
+    let outcome = Experiment::quick(15_000, 9).run_embedded_with(&netlist, &wm, drivers)?;
+    println!(
+        "\n3. {} — reusing the ip block's clock gates:",
+        proposed.name()
+    );
+    println!("   pre-attack detection: {}", outcome.detection);
+    assert!(outcome.detection.detected);
+
+    let report = removal_attack(&netlist, &wm)?;
+    println!("   removal attack: {report}");
+    assert_eq!(report.verdict, AttackVerdict::FunctionalDamage);
+
+    // After the attack (watermark excised ≅ WGC gone, enables broken):
+    // emulate the detector's view of a chip without the watermark.
+    let post = Experiment::quick(15_000, 10)
+        .disabled()
+        .run_embedded(&netlist, &wm)?;
+    println!("   post-attack detection: {}", post.detection);
+    assert!(!post.detection.detected);
+
+    let baseline_regs = baseline.dedicated_registers() + baseline.wgc_registers();
+    println!(
+        "\nconclusion: the baseline watermark is a stand-alone {baseline_regs}-register \
+         circuit an attacker deletes for free; the proposed deployment adds {} registers \
+         and cannot be removed without de-clocking {} functional registers ({:.0} % of \
+         the system) — the paper's Section VI claim, made executable",
+        wm.wgc_cells.len(),
+        report.affected_registers,
+        report.impact_fraction() * 100.0
+    );
+    Ok(())
+}

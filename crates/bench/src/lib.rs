@@ -1,0 +1,99 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of
+//! Kufel et al. (DATE 2014); see `EXPERIMENTS.md` at the repository root
+//! for the index and the recorded paper-vs-measured comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use clockmark_cpa::SpreadSpectrum;
+
+/// Renders a spread spectrum as a coarse ASCII table: the maximum |ρ| in
+/// each of `bins` rotation bins, with a bar proportional to the value.
+///
+/// This is the textual stand-in for the paper's Fig. 5 panels: a single
+/// bin dominating the rest is "a single significant correlation
+/// coefficient can be resolved".
+pub fn render_spectrum(spectrum: &SpreadSpectrum, bins: usize) -> String {
+    let period = spectrum.period();
+    let bins = bins.min(period).max(1);
+    let (peak_rotation, peak_value) = spectrum.peak();
+    let scale = peak_value.abs().max(1e-12);
+
+    let mut out = String::new();
+    for b in 0..bins {
+        let start = b * period / bins;
+        let end = ((b + 1) * period / bins).max(start + 1);
+        let max_abs = spectrum.rho()[start..end]
+            .iter()
+            .fold(0.0f64, |acc, v| acc.max(v.abs()));
+        let bar_len = ((max_abs / scale) * 50.0).round() as usize;
+        let marker = if (start..end).contains(&peak_rotation) {
+            "  <-- peak"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "{start:>5}..{end:<5} |{:<50}| {max_abs:.5}{marker}\n",
+            "#".repeat(bar_len.min(50))
+        ));
+    }
+    out
+}
+
+/// Formats a `true`/`false` bit as the waveform glyphs used by the Fig. 2
+/// listing.
+pub fn wave(bit: bool) -> char {
+    if bit {
+        '▔'
+    } else {
+        '▁'
+    }
+}
+
+/// Returns true when the process arguments contain `flag`.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Reads `--reps N` style numeric arguments, with a default.
+pub fn arg_value(name: &str, default: usize) -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockmark_cpa::spread_spectrum;
+
+    #[test]
+    fn render_marks_the_peak_bin() {
+        let pattern = [true, false, false, true, false, true, false];
+        let y: Vec<f64> = (0..700)
+            .map(|i| if pattern[(i + 3) % 7] { 1.0 } else { 0.0 } + (i % 11) as f64 * 0.01)
+            .collect();
+        let s = spread_spectrum(&pattern, &y).expect("valid");
+        let rendered = render_spectrum(&s, 7);
+        assert!(rendered.contains("<-- peak"));
+        assert_eq!(rendered.lines().count(), 7);
+    }
+
+    #[test]
+    fn wave_glyphs() {
+        assert_ne!(wave(true), wave(false));
+    }
+
+    #[test]
+    fn arg_value_falls_back_to_default() {
+        assert_eq!(arg_value("--definitely-not-passed", 42), 42);
+    }
+}

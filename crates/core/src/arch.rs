@@ -1,0 +1,816 @@
+use crate::{ClockmarkError, WgcConfig};
+use clockmark_netlist::{
+    CellId, ClockInput, DataSource, GroupId, Netlist, RegisterConfig, SignalExpr, SignalId,
+};
+use clockmark_power::{Power, PowerModel};
+
+/// A watermark circuit embedded into a netlist, with everything the
+/// detection pipeline and the attack analysis need to know about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbeddedWatermark {
+    /// The accounting group holding the watermark cells.
+    pub group: GroupId,
+    /// The effective `WMARK` control signal (already gated by
+    /// [`enable`](EmbeddedWatermark::enable)).
+    pub wmark: SignalId,
+    /// External on/off control, driven by the experiment (`disabling the
+    /// watermark circuit` in the paper's control experiments).
+    pub enable: SignalId,
+    /// WGC state registers.
+    pub wgc_cells: Vec<CellId>,
+    /// Dedicated body registers (load circuit or redundant gated block;
+    /// empty when an existing IP block is reused).
+    pub body_cells: Vec<CellId>,
+    /// Clock-gating cells inserted by the watermark.
+    pub icg_cells: Vec<CellId>,
+    /// One period of the expected `WMARK` sequence (the CPA model vector).
+    pub pattern: Vec<bool>,
+}
+
+impl EmbeddedWatermark {
+    /// Every cell belonging to the watermark circuit.
+    pub fn all_cells(&self) -> Vec<CellId> {
+        let mut cells = self.wgc_cells.clone();
+        cells.extend(&self.body_cells);
+        cells.extend(&self.icg_cells);
+        cells
+    }
+
+    /// The watermark sequence period.
+    pub fn period(&self) -> usize {
+        self.pattern.len()
+    }
+}
+
+/// A power-watermark architecture that can be embedded into a netlist.
+///
+/// Two implementations reproduce the paper's comparison: the
+/// state-of-the-art [`LoadCircuitWatermark`] (Fig. 1a) and the proposed
+/// [`ClockModulationWatermark`] (Fig. 1b / Fig. 4a).
+pub trait WatermarkArchitecture {
+    /// Inserts the watermark circuit, clocked from `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration or netlist errors.
+    fn embed(
+        &self,
+        netlist: &mut Netlist,
+        clock: ClockInput,
+    ) -> Result<EmbeddedWatermark, ClockmarkError>;
+
+    /// Registers added exclusively for the watermark, excluding the WGC.
+    fn dedicated_registers(&self) -> u32;
+
+    /// Registers in the watermark generation circuit.
+    fn wgc_registers(&self) -> u32;
+
+    /// Short human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// The watermark's power amplitude while `WMARK = 1` (the step the
+    /// CPA detector correlates against).
+    fn signal_amplitude(&self, model: &PowerModel) -> Power;
+}
+
+/// The state-of-the-art power watermark of Fig. 1(a): a WGC plus a
+/// dedicated **load circuit** of shift registers holding a `1010…` pattern
+/// whose shifting (enabled by `WMARK`) burns dynamic power.
+///
+/// With [`clock_gated`](LoadCircuitWatermark::clock_gated) `= true`
+/// (default, what synthesis infers for enable registers), a gated load
+/// register contributes clock *and* data power to the watermark signal:
+/// 1.476 + 1.126 = 2.602 µW — the per-register cost that Table II divides
+/// target powers by. With `false` the registers free-run and only data
+/// switching (1.126 µW) is signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadCircuitWatermark {
+    /// Number of load shift registers.
+    pub load_registers: u32,
+    /// Registers per inserted clock gate (when gated).
+    pub regs_per_gate: u32,
+    /// Whether synthesis maps the shift enable onto clock gates.
+    pub clock_gated: bool,
+    /// The sequence generator configuration.
+    pub wgc: WgcConfig,
+}
+
+impl LoadCircuitWatermark {
+    /// A load circuit matching the paper's comparison point: 576 registers
+    /// (the count Table II says matches the proposed circuit's power),
+    /// clock-gated, 12-bit LFSR.
+    pub fn paper_equivalent() -> Self {
+        LoadCircuitWatermark {
+            load_registers: 576,
+            regs_per_gate: 32,
+            clock_gated: true,
+            wgc: WgcConfig::paper(),
+        }
+    }
+}
+
+impl WatermarkArchitecture for LoadCircuitWatermark {
+    fn embed(
+        &self,
+        netlist: &mut Netlist,
+        clock: ClockInput,
+    ) -> Result<EmbeddedWatermark, ClockmarkError> {
+        if self.load_registers == 0 {
+            return Err(ClockmarkError::EmptyWatermarkBody);
+        }
+        let group = netlist.add_group("watermark");
+        let wgc = self.wgc.build_structural(netlist, group, clock)?;
+        let enable = netlist.add_signal("wm_enable", SignalExpr::External)?;
+        let wmark = netlist.add_signal("wmark", SignalExpr::And(wgc.output, enable))?;
+
+        let mut body_cells = Vec::with_capacity(self.load_registers as usize);
+        let mut icg_cells = Vec::new();
+
+        let n = self.load_registers;
+        let per_gate = self.regs_per_gate.max(1);
+        let mut reg_clock: ClockInput = clock;
+        for i in 0..n {
+            if self.clock_gated && i % per_gate == 0 {
+                let icg = netlist.add_icg(group, clock, wmark)?;
+                icg_cells.push(icg);
+                reg_clock = icg.into();
+            }
+            // 1010… initial pattern maximises shifting activity.
+            let config = RegisterConfig::new(if self.clock_gated { reg_clock } else { clock })
+                .init(i % 2 == 0);
+            let config = if self.clock_gated {
+                config
+            } else {
+                config.sync_enable(wmark)
+            };
+            body_cells.push(netlist.add_register(group, config)?);
+        }
+        // Circular shift chain: each register takes its predecessor's
+        // value; the head wraps from the tail so the 1010… pattern rotates
+        // forever.
+        for i in 0..n as usize {
+            let from = body_cells[(i + n as usize - 1) % n as usize];
+            netlist.set_register_data(body_cells[i], DataSource::ShiftFrom(from))?;
+        }
+
+        Ok(EmbeddedWatermark {
+            group,
+            wmark,
+            enable,
+            wgc_cells: wgc.cells,
+            body_cells,
+            icg_cells,
+            pattern: self.wgc.expected_pattern()?,
+        })
+    }
+
+    fn dedicated_registers(&self) -> u32 {
+        self.load_registers
+    }
+
+    fn wgc_registers(&self) -> u32 {
+        self.wgc.register_count()
+    }
+
+    fn name(&self) -> &'static str {
+        "load-circuit watermark (state of the art)"
+    }
+
+    fn signal_amplitude(&self, model: &PowerModel) -> Power {
+        let f = model.clock_frequency();
+        let data = model.library().reg_data_power(f) * self.load_registers as f64;
+        if self.clock_gated {
+            data + model.library().reg_clock_power(f) * self.load_registers as f64
+        } else {
+            data
+        }
+    }
+}
+
+/// The proposed clock-modulation watermark (Fig. 1b / Fig. 4a): `WMARK`
+/// gates the clock of a block of sequential logic through per-word ICGs.
+/// When `WMARK = 1` the whole block's clock tree switches; when `WMARK = 0`
+/// the clock stops and the block consumes nothing.
+///
+/// [`embed`](WatermarkArchitecture::embed) builds the test chips' redundant
+/// block (32 words × 32 registers); [`embed_reusing`] instead modulates an
+/// existing functional block's clock gates, the zero-dedicated-area usage
+/// the paper proposes for production.
+///
+/// [`embed_reusing`]: ClockModulationWatermark::embed_reusing
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockModulationWatermark {
+    /// Clock-gated words in the redundant block.
+    pub words: u32,
+    /// Registers per word.
+    pub regs_per_word: u32,
+    /// How many registers also toggle data each gated cycle (Table I
+    /// sweeps 0, 256, 512, 1,024; the clock-buffers-only configuration is
+    /// the headline).
+    pub switching_registers: u32,
+    /// The sequence generator configuration.
+    pub wgc: WgcConfig,
+}
+
+impl ClockModulationWatermark {
+    /// The test-chip configuration: 1,024 registers in 32 clock-gated
+    /// words, clock-buffer power only, 12-bit maximal LFSR.
+    pub fn paper() -> Self {
+        ClockModulationWatermark {
+            words: 32,
+            regs_per_word: 32,
+            switching_registers: 0,
+            wgc: WgcConfig::paper(),
+        }
+    }
+
+    /// Total registers in the gated block.
+    pub fn body_registers(&self) -> u32 {
+        self.words * self.regs_per_word
+    }
+
+    /// Like [`embed`](WatermarkArchitecture::embed) but distributing the
+    /// gated clock through a synthesized balanced buffer tree (one leaf per
+    /// word, bounded `fanout`) instead of ideal point-to-point wiring.
+    ///
+    /// With the default energy library the tree is free (its power is
+    /// lumped into the per-register clock constant, as the paper's averaged
+    /// measurement does); give the library an explicit
+    /// [`tree_buffer`](clockmark_power::EnergyLibrary::tree_buffer) energy
+    /// to split it out — the tree-overhead ablation.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration or netlist errors (e.g. a fanout below two).
+    pub fn embed_with_tree(
+        &self,
+        netlist: &mut Netlist,
+        clock: ClockInput,
+        fanout: usize,
+    ) -> Result<EmbeddedWatermark, ClockmarkError> {
+        let total = self.body_registers();
+        if total == 0 {
+            return Err(ClockmarkError::EmptyWatermarkBody);
+        }
+        if self.switching_registers > total {
+            return Err(ClockmarkError::TooManySwitchingRegisters {
+                requested: self.switching_registers,
+                available: total,
+            });
+        }
+        let group = netlist.add_group("watermark");
+        let wgc = self.wgc.build_structural(netlist, group, clock)?;
+        let enable = netlist.add_signal("wm_enable", SignalExpr::External)?;
+        let wmark = netlist.add_signal("wmark", SignalExpr::And(wgc.output, enable))?;
+        let clk_ctrl = netlist.add_signal("clk_ctrl", SignalExpr::Const(true))?;
+        let gate_en = netlist.add_signal("gate_en", SignalExpr::And(clk_ctrl, wmark))?;
+
+        // One master ICG ahead of the tree: the whole tree stops toggling
+        // while WMARK is low, exactly like a gated subtree in silicon.
+        let master = netlist.add_icg(group, clock, gate_en)?;
+        let tree = clockmark_netlist::ClockTree::synthesize(
+            netlist,
+            group,
+            master.into(),
+            self.words as usize,
+            fanout,
+        )?;
+
+        let mut body_cells = Vec::with_capacity(total as usize);
+        let mut switching_left = self.switching_registers;
+        for (w, &leaf) in tree.leaves().iter().enumerate() {
+            let _ = w;
+            for _ in 0..self.regs_per_word {
+                let data = if switching_left > 0 {
+                    switching_left -= 1;
+                    DataSource::Toggle
+                } else {
+                    DataSource::Hold
+                };
+                body_cells.push(
+                    netlist.add_register(group, RegisterConfig::new(leaf.into()).data(data))?,
+                );
+            }
+        }
+
+        Ok(EmbeddedWatermark {
+            group,
+            wmark,
+            enable,
+            wgc_cells: wgc.cells,
+            body_cells,
+            icg_cells: vec![master],
+            pattern: self.wgc.expected_pattern()?,
+        })
+    }
+
+    /// Modulates an existing functional block instead of building a
+    /// redundant one: every clock gate of `block` gets its enable replaced
+    /// by `original AND WMARK`. No dedicated body registers are added — the
+    /// zero-area-overhead deployment of Section V.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration or netlist errors.
+    pub fn embed_reusing(
+        &self,
+        netlist: &mut Netlist,
+        clock: ClockInput,
+        block: &FunctionalBlock,
+    ) -> Result<EmbeddedWatermark, ClockmarkError> {
+        let group = netlist.add_group("watermark");
+        let wgc = self.wgc.build_structural(netlist, group, clock)?;
+        let enable = netlist.add_signal("wm_enable", SignalExpr::External)?;
+        let wmark = netlist.add_signal("wmark", SignalExpr::And(wgc.output, enable))?;
+
+        for (i, &icg) in block.icgs.iter().enumerate() {
+            let original = block.enables[i];
+            let combined =
+                netlist.add_signal(&format!("wm_gate{i}"), SignalExpr::And(original, wmark))?;
+            netlist.set_icg_enable(icg, combined)?;
+        }
+
+        Ok(EmbeddedWatermark {
+            group,
+            wmark,
+            enable,
+            wgc_cells: wgc.cells,
+            body_cells: Vec::new(),
+            icg_cells: Vec::new(),
+            pattern: self.wgc.expected_pattern()?,
+        })
+    }
+}
+
+impl WatermarkArchitecture for ClockModulationWatermark {
+    fn embed(
+        &self,
+        netlist: &mut Netlist,
+        clock: ClockInput,
+    ) -> Result<EmbeddedWatermark, ClockmarkError> {
+        let total = self.body_registers();
+        if total == 0 {
+            return Err(ClockmarkError::EmptyWatermarkBody);
+        }
+        if self.switching_registers > total {
+            return Err(ClockmarkError::TooManySwitchingRegisters {
+                requested: self.switching_registers,
+                available: total,
+            });
+        }
+        let group = netlist.add_group("watermark");
+        let wgc = self.wgc.build_structural(netlist, group, clock)?;
+        let enable = netlist.add_signal("wm_enable", SignalExpr::External)?;
+        let wmark = netlist.add_signal("wmark", SignalExpr::And(wgc.output, enable))?;
+
+        // Fig. 1(b): the gate enable is CLK_CTRL AND WMARK; the redundant
+        // block's functional control is constant-on.
+        let clk_ctrl = netlist.add_signal("clk_ctrl", SignalExpr::Const(true))?;
+        let gate_en = netlist.add_signal("gate_en", SignalExpr::And(clk_ctrl, wmark))?;
+
+        let mut body_cells = Vec::with_capacity(total as usize);
+        let mut icg_cells = Vec::with_capacity(self.words as usize);
+        let mut switching_left = self.switching_registers;
+        for _ in 0..self.words {
+            let icg = netlist.add_icg(group, clock, gate_en)?;
+            icg_cells.push(icg);
+            for _ in 0..self.regs_per_word {
+                let data = if switching_left > 0 {
+                    switching_left -= 1;
+                    DataSource::Toggle
+                } else {
+                    DataSource::Hold
+                };
+                // "All registers are pre-initialized to '0'."
+                body_cells
+                    .push(netlist.add_register(group, RegisterConfig::new(icg.into()).data(data))?);
+            }
+        }
+
+        Ok(EmbeddedWatermark {
+            group,
+            wmark,
+            enable,
+            wgc_cells: wgc.cells,
+            body_cells,
+            icg_cells,
+            pattern: self.wgc.expected_pattern()?,
+        })
+    }
+
+    fn dedicated_registers(&self) -> u32 {
+        self.body_registers()
+    }
+
+    fn wgc_registers(&self) -> u32 {
+        self.wgc.register_count()
+    }
+
+    fn name(&self) -> &'static str {
+        "clock-modulation watermark (proposed)"
+    }
+
+    fn signal_amplitude(&self, model: &PowerModel) -> Power {
+        let f = model.clock_frequency();
+        model.library().reg_clock_power(f) * self.body_registers() as f64
+            + model.library().reg_data_power(f) * self.switching_registers as f64
+    }
+}
+
+/// A synthetic clock-gated functional IP block, used as the reuse target
+/// of [`ClockModulationWatermark::embed_reusing`] and as the victim in
+/// removal-attack experiments.
+///
+/// Each word has its own functional clock-enable (an external signal the
+/// simulation drives with the block's real activity pattern) and an ICG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalBlock {
+    /// The block's accounting group.
+    pub group: GroupId,
+    /// One clock gate per word.
+    pub icgs: Vec<CellId>,
+    /// The original (pre-watermark) enable of each gate.
+    pub enables: Vec<SignalId>,
+    /// The block's registers.
+    pub registers: Vec<CellId>,
+}
+
+impl FunctionalBlock {
+    /// Synthesizes a block of `words × regs_per_word` busy registers, each
+    /// word behind its own clock gate with an externally driven functional
+    /// enable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist errors.
+    pub fn synthesize(
+        netlist: &mut Netlist,
+        name: &str,
+        clock: ClockInput,
+        words: u32,
+        regs_per_word: u32,
+    ) -> Result<Self, ClockmarkError> {
+        let group = netlist.add_group(name);
+        let mut icgs = Vec::with_capacity(words as usize);
+        let mut enables = Vec::with_capacity(words as usize);
+        let mut registers = Vec::new();
+        for w in 0..words {
+            let en = netlist.add_signal(&format!("{name}_en{w}"), SignalExpr::External)?;
+            let icg = netlist.add_icg(group, clock, en)?;
+            enables.push(en);
+            icgs.push(icg);
+            for _ in 0..regs_per_word {
+                registers.push(netlist.add_register(
+                    group,
+                    RegisterConfig::new(icg.into()).data(DataSource::Toggle),
+                )?);
+            }
+        }
+        Ok(FunctionalBlock {
+            group,
+            icgs,
+            enables,
+            registers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockmark_power::{EnergyLibrary, Frequency};
+    use clockmark_sim::{CycleSim, SignalDriver};
+
+    fn model() -> PowerModel {
+        PowerModel::new(EnergyLibrary::tsmc65ll(), Frequency::from_megahertz(10.0))
+    }
+
+    fn netlist_with_clock() -> (Netlist, ClockInput) {
+        let mut n = Netlist::new();
+        let clk = n.add_clock_root("clk");
+        (n, clk.into())
+    }
+
+    #[test]
+    fn paper_clock_modulation_amplitude_is_1_51_mw() {
+        let arch = ClockModulationWatermark::paper();
+        let p = arch.signal_amplitude(&model());
+        assert!((p.milliwatts() - 1.511).abs() < 0.01, "got {p}");
+    }
+
+    #[test]
+    fn table1_amplitudes_via_switching_sweep() {
+        let expected = [(0u32, 1.51), (256, 1.80), (512, 2.09), (1024, 2.66)];
+        for (switching, mw) in expected {
+            let arch = ClockModulationWatermark {
+                switching_registers: switching,
+                ..ClockModulationWatermark::paper()
+            };
+            let p = arch.signal_amplitude(&model());
+            assert!(
+                (p.milliwatts() - mw).abs() < 0.01,
+                "{switching} switching: got {p}, paper {mw} mW"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_power_load_circuit_uses_576_registers() {
+        // Table II: ≈576 load registers match the gated block's 1.5 mW.
+        let load = LoadCircuitWatermark::paper_equivalent();
+        let proposed = ClockModulationWatermark::paper();
+        let m = model();
+        let ratio = load.signal_amplitude(&m) / proposed.signal_amplitude(&m);
+        assert!((ratio - 1.0).abs() < 0.01, "amplitude ratio {ratio}");
+    }
+
+    #[test]
+    fn embed_builds_the_paper_structure() {
+        let (mut n, clk) = netlist_with_clock();
+        let wm = ClockModulationWatermark::paper()
+            .embed(&mut n, clk)
+            .expect("embeds");
+        assert_eq!(wm.wgc_cells.len(), 12);
+        assert_eq!(wm.body_cells.len(), 1024);
+        assert_eq!(wm.icg_cells.len(), 32);
+        assert_eq!(wm.period(), 4095);
+        assert!(n.validate().is_ok());
+        assert_eq!(n.register_count_in_group(wm.group), 1024 + 12);
+    }
+
+    #[test]
+    fn gated_block_clocks_only_when_wmark_high() {
+        let (mut n, clk) = netlist_with_clock();
+        let arch = ClockModulationWatermark {
+            words: 2,
+            regs_per_word: 4,
+            switching_registers: 3,
+            wgc: WgcConfig::MaxLengthLfsr { width: 4, seed: 1 },
+        };
+        let wm = arch.embed(&mut n, clk).expect("embeds");
+        let mut sim = CycleSim::new(&n).expect("valid");
+        sim.drive(wm.enable, SignalDriver::Constant(true))
+            .expect("external");
+
+        for cycle in 0..30 {
+            let activity = sim.step()[wm.group.index()];
+            let bit = wm.pattern[cycle % wm.period()];
+            // 4 WGC registers always clock; the 8 body registers only when
+            // WMARK is high.
+            let expected_body = if bit { 8 } else { 0 };
+            assert_eq!(
+                activity.reg_clock_events,
+                4 + expected_body,
+                "cycle {cycle}, wmark={bit}"
+            );
+            // Data toggles: 3 switching body registers, plus whatever the
+            // WGC shifts internally.
+            if bit {
+                assert!(activity.reg_data_toggles >= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_watermark_never_clocks_the_body() {
+        let (mut n, clk) = netlist_with_clock();
+        let arch = ClockModulationWatermark {
+            words: 2,
+            regs_per_word: 4,
+            switching_registers: 0,
+            wgc: WgcConfig::MaxLengthLfsr { width: 4, seed: 1 },
+        };
+        let wm = arch.embed(&mut n, clk).expect("embeds");
+        let mut sim = CycleSim::new(&n).expect("valid");
+        sim.drive(wm.enable, SignalDriver::Constant(false))
+            .expect("external");
+        for _ in 0..30 {
+            let activity = sim.step()[wm.group.index()];
+            assert_eq!(activity.reg_clock_events, 4, "only the WGC clocks");
+        }
+    }
+
+    #[test]
+    fn load_circuit_shifts_its_pattern_when_enabled() {
+        let (mut n, clk) = netlist_with_clock();
+        let arch = LoadCircuitWatermark {
+            load_registers: 8,
+            regs_per_gate: 4,
+            clock_gated: true,
+            wgc: WgcConfig::CircularShift {
+                pattern: vec![true, false],
+            },
+        };
+        let wm = arch.embed(&mut n, clk).expect("embeds");
+        let mut sim = CycleSim::new(&n).expect("valid");
+        sim.drive(wm.enable, SignalDriver::Constant(true))
+            .expect("external");
+
+        // WMARK alternates 1,0,1,0…; on active cycles all 8 load registers
+        // clock and toggle (1010… rotates), on inactive cycles none.
+        for cycle in 0..20 {
+            let activity = sim.step()[wm.group.index()];
+            let bit = cycle % 2 == 0;
+            let body_clocks = activity.reg_clock_events - 2; // minus WGC ring
+            if bit {
+                assert_eq!(body_clocks, 8, "cycle {cycle}");
+                assert!(activity.reg_data_toggles >= 8, "all load registers toggle");
+            } else {
+                assert_eq!(body_clocks, 0, "cycle {cycle}");
+            }
+        }
+    }
+
+    #[test]
+    fn ungated_load_circuit_burns_clock_constantly() {
+        let (mut n, clk) = netlist_with_clock();
+        let arch = LoadCircuitWatermark {
+            load_registers: 6,
+            regs_per_gate: 32,
+            clock_gated: false,
+            wgc: WgcConfig::CircularShift {
+                pattern: vec![true, false],
+            },
+        };
+        let wm = arch.embed(&mut n, clk).expect("embeds");
+        assert!(wm.icg_cells.is_empty());
+        let mut sim = CycleSim::new(&n).expect("valid");
+        sim.drive(wm.enable, SignalDriver::Constant(true))
+            .expect("external");
+        for cycle in 0..10 {
+            let activity = sim.step()[wm.group.index()];
+            // 6 body + 2 WGC registers clock every cycle regardless.
+            assert_eq!(activity.reg_clock_events, 8);
+            let bit = cycle % 2 == 0;
+            if !bit {
+                // Only the WGC ring may toggle when WMARK is low.
+                assert!(activity.reg_data_toggles <= 2, "cycle {cycle}");
+            }
+        }
+    }
+
+    #[test]
+    fn embed_reusing_adds_no_dedicated_registers() {
+        let (mut n, clk) = netlist_with_clock();
+        let block = FunctionalBlock::synthesize(&mut n, "dsp", clk, 4, 8).expect("synthesizes");
+        let before = n.register_count();
+        let arch = ClockModulationWatermark {
+            wgc: WgcConfig::MaxLengthLfsr { width: 6, seed: 1 },
+            ..ClockModulationWatermark::paper()
+        };
+        let wm = arch.embed_reusing(&mut n, clk, &block).expect("embeds");
+        assert!(wm.body_cells.is_empty());
+        assert!(wm.icg_cells.is_empty());
+        assert_eq!(n.register_count(), before + 6, "only the WGC is added");
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn reused_block_is_gated_by_both_function_and_watermark() {
+        let (mut n, clk) = netlist_with_clock();
+        let block = FunctionalBlock::synthesize(&mut n, "dsp", clk, 1, 4).expect("synthesizes");
+        let arch = ClockModulationWatermark {
+            wgc: WgcConfig::CircularShift {
+                pattern: vec![true, true, false],
+            },
+            ..ClockModulationWatermark::paper()
+        };
+        let wm = arch.embed_reusing(&mut n, clk, &block).expect("embeds");
+
+        let mut sim = CycleSim::new(&n).expect("valid");
+        sim.drive(wm.enable, SignalDriver::Constant(true))
+            .expect("external");
+        // Functional enable: on for 4 cycles, off for 2, repeating.
+        sim.drive(
+            block.enables[0],
+            SignalDriver::bits([true, true, true, true, false, false], true),
+        )
+        .expect("external");
+
+        for cycle in 0..18 {
+            let activity = sim.step()[block.group.index()];
+            let functional = [true, true, true, true, false, false][cycle % 6];
+            let wmark = [true, true, false][cycle % 3];
+            let expected = if functional && wmark { 4 } else { 0 };
+            assert_eq!(activity.reg_clock_events, expected, "cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn tree_embedding_matches_flat_embedding_behaviour() {
+        // Same architecture, flat vs tree-distributed clock: identical
+        // register clocking pattern, and the tree's buffers follow WMARK.
+        let arch = ClockModulationWatermark {
+            words: 8,
+            regs_per_word: 4,
+            switching_registers: 0,
+            wgc: WgcConfig::MaxLengthLfsr { width: 5, seed: 1 },
+        };
+
+        let (mut flat_nl, clk) = netlist_with_clock();
+        let flat = arch.embed(&mut flat_nl, clk).expect("embeds");
+        let (mut tree_nl, clk2) = netlist_with_clock();
+        let tree = arch.embed_with_tree(&mut tree_nl, clk2, 3).expect("embeds");
+
+        assert!(tree_nl.buffer_count() > 0, "the tree inserted buffers");
+        assert!(tree_nl.validate().is_ok());
+
+        let mut flat_sim = CycleSim::new(&flat_nl).expect("valid");
+        flat_sim
+            .drive(flat.enable, SignalDriver::Constant(true))
+            .expect("external");
+        let mut tree_sim = CycleSim::new(&tree_nl).expect("valid");
+        tree_sim
+            .drive(tree.enable, SignalDriver::Constant(true))
+            .expect("external");
+
+        for cycle in 0..62 {
+            let f = flat_sim.step()[flat.group.index()];
+            let t = tree_sim.step()[tree.group.index()];
+            assert_eq!(
+                f.reg_clock_events, t.reg_clock_events,
+                "cycle {cycle}: register clocking must not depend on distribution"
+            );
+            // Tree buffers toggle exactly when the watermark gates on.
+            let wmark = arch.wgc.expected_pattern().expect("valid")[cycle % 31];
+            if wmark {
+                assert_eq!(t.buffer_events as usize, tree_nl.buffer_count());
+            } else {
+                assert_eq!(t.buffer_events, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_embedding_with_explicit_buffer_energy_costs_more() {
+        use clockmark_power::{Energy, EnergyLibrary};
+        let arch = ClockModulationWatermark {
+            words: 8,
+            regs_per_word: 4,
+            switching_registers: 0,
+            wgc: WgcConfig::CircularShift {
+                pattern: vec![true],
+            },
+        };
+        let (mut n, clk) = netlist_with_clock();
+        let wm = arch.embed_with_tree(&mut n, clk, 2).expect("embeds");
+        let mut sim = CycleSim::new(&n).expect("valid");
+        sim.drive(wm.enable, SignalDriver::Constant(true))
+            .expect("external");
+        let activity = sim.run(8).expect("runs");
+
+        let f = Frequency::from_megahertz(10.0);
+        let lumped = PowerModel::new(EnergyLibrary::tsmc65ll(), f);
+        let split = PowerModel::new(
+            EnergyLibrary::tsmc65ll().with_tree_buffer(Energy::from_femtojoules(30.0)),
+            f,
+        );
+        let p_lumped = lumped.group_trace(&activity, wm.group).mean();
+        let p_split = split.group_trace(&activity, wm.group).mean();
+        assert!(p_split > p_lumped, "explicit tree energy must add power");
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let (mut n, clk) = netlist_with_clock();
+        let empty = ClockModulationWatermark {
+            words: 0,
+            ..ClockModulationWatermark::paper()
+        };
+        assert!(matches!(
+            empty.embed(&mut n, clk),
+            Err(ClockmarkError::EmptyWatermarkBody)
+        ));
+
+        let too_many = ClockModulationWatermark {
+            switching_registers: 2000,
+            ..ClockModulationWatermark::paper()
+        };
+        assert!(matches!(
+            too_many.embed(&mut n, clk),
+            Err(ClockmarkError::TooManySwitchingRegisters {
+                requested: 2000,
+                available: 1024
+            })
+        ));
+
+        let no_load = LoadCircuitWatermark {
+            load_registers: 0,
+            ..LoadCircuitWatermark::paper_equivalent()
+        };
+        assert!(matches!(
+            no_load.embed(&mut n, clk),
+            Err(ClockmarkError::EmptyWatermarkBody)
+        ));
+    }
+
+    #[test]
+    fn architecture_names_distinguish_proposed_from_baseline() {
+        assert!(ClockModulationWatermark::paper()
+            .name()
+            .contains("proposed"));
+        assert!(LoadCircuitWatermark::paper_equivalent()
+            .name()
+            .contains("state of the art"));
+    }
+}

@@ -1,0 +1,114 @@
+use std::error::Error;
+use std::fmt;
+
+/// The unified error type of the `clockmark` crate.
+///
+/// Wraps the errors of every substrate plus the configuration errors of
+/// the watermark layer itself.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClockmarkError {
+    /// Sequence-generator configuration failed.
+    Seq(clockmark_seq::SeqError),
+    /// Netlist construction failed.
+    Netlist(clockmark_netlist::NetlistError),
+    /// Simulation failed.
+    Sim(clockmark_sim::SimError),
+    /// Power-trace arithmetic failed.
+    Power(clockmark_power::PowerError),
+    /// SoC background simulation failed.
+    Soc(clockmark_soc::SocError),
+    /// Correlation power analysis failed.
+    Cpa(clockmark_cpa::CpaError),
+    /// A watermark architecture was configured with no body registers.
+    EmptyWatermarkBody,
+    /// More switching registers were requested than the body holds.
+    TooManySwitchingRegisters {
+        /// Requested switching registers.
+        requested: u32,
+        /// Registers available in the body.
+        available: u32,
+    },
+    /// The experiment was configured with zero measurement cycles.
+    ZeroCycles,
+}
+
+impl fmt::Display for ClockmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockmarkError::Seq(e) => write!(f, "sequence generator: {e}"),
+            ClockmarkError::Netlist(e) => write!(f, "netlist: {e}"),
+            ClockmarkError::Sim(e) => write!(f, "simulation: {e}"),
+            ClockmarkError::Power(e) => write!(f, "power model: {e}"),
+            ClockmarkError::Soc(e) => write!(f, "soc model: {e}"),
+            ClockmarkError::Cpa(e) => write!(f, "cpa: {e}"),
+            ClockmarkError::EmptyWatermarkBody => {
+                write!(f, "watermark body must contain at least one register")
+            }
+            ClockmarkError::TooManySwitchingRegisters {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} switching registers but the body holds {available}"
+                )
+            }
+            ClockmarkError::ZeroCycles => {
+                write!(f, "experiment needs at least one measurement cycle")
+            }
+        }
+    }
+}
+
+impl Error for ClockmarkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClockmarkError::Seq(e) => Some(e),
+            ClockmarkError::Netlist(e) => Some(e),
+            ClockmarkError::Sim(e) => Some(e),
+            ClockmarkError::Power(e) => Some(e),
+            ClockmarkError::Soc(e) => Some(e),
+            ClockmarkError::Cpa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! from_sub_error {
+    ($sub:ty => $variant:ident) => {
+        impl From<$sub> for ClockmarkError {
+            fn from(e: $sub) -> Self {
+                ClockmarkError::$variant(e)
+            }
+        }
+    };
+}
+
+from_sub_error!(clockmark_seq::SeqError => Seq);
+from_sub_error!(clockmark_netlist::NetlistError => Netlist);
+from_sub_error!(clockmark_sim::SimError => Sim);
+from_sub_error!(clockmark_power::PowerError => Power);
+from_sub_error!(clockmark_soc::SocError => Soc);
+from_sub_error!(clockmark_cpa::CpaError => Cpa);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_errors_convert_and_chain() {
+        let err: ClockmarkError = clockmark_seq::SeqError::ZeroSeed.into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("sequence generator"));
+
+        let err: ClockmarkError = clockmark_cpa::CpaError::ConstantPattern.into();
+        assert!(err.to_string().contains("cpa"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClockmarkError>();
+    }
+}

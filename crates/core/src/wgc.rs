@@ -1,0 +1,385 @@
+use crate::ClockmarkError;
+use clockmark_netlist::{
+    CellId, ClockInput, DataSource, GroupId, Netlist, RegisterConfig, SignalExpr, SignalId,
+};
+use clockmark_seq::{maximal_taps, CircularShiftRegister, GoldCode, Lfsr, SequenceGenerator};
+
+/// Configuration of the watermark generation circuit (WGC).
+///
+/// The test chips contain "two sequence generators which can be configured
+/// as either 32-bit Linear Feedback Shift Registers or simple 32-bit
+/// circular shift registers"; the silicon experiments used a single 12-bit
+/// maximal LFSR ([`WgcConfig::paper`]).
+///
+/// A `WgcConfig` can be materialised two ways, guaranteed bit-identical:
+///
+/// - [`software_generator`](WgcConfig::software_generator) — the detector's
+///   model of the sequence (used to build the CPA vector `X`), and
+/// - [`build_structural`](WgcConfig::build_structural) — actual registers
+///   and XOR feedback inside a [`Netlist`], whose power and removability
+///   the experiments measure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WgcConfig {
+    /// A maximal-length LFSR of the given width, seeded with `seed`.
+    MaxLengthLfsr {
+        /// Register width in bits (2..=32).
+        width: u32,
+        /// Non-zero initial state.
+        seed: u32,
+    },
+    /// A circular shift register rotating `pattern`.
+    CircularShift {
+        /// The rotated pattern (the output repeats it verbatim).
+        pattern: Vec<bool>,
+    },
+    /// A Gold code: the XOR of a tabulated preferred pair of LFSRs.
+    ///
+    /// Gold families have bounded cross-correlation, so several vendors can
+    /// watermark blocks on the same die and each detector still resolves
+    /// only its own peak — the multi-watermark extension experiment.
+    Gold {
+        /// Pair width (only widths tabulated by
+        /// [`GoldCode::preferred`](clockmark_seq::GoldCode::preferred)).
+        width: u32,
+        /// Seed of the first component.
+        seed_a: u32,
+        /// Seed of the second component (distinct phases select distinct
+        /// family members).
+        seed_b: u32,
+    },
+}
+
+/// The structural realisation of a WGC inside a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuralWgc {
+    /// The raw `WMARK` output signal (pre-edge value of the output
+    /// register).
+    pub output: SignalId,
+    /// The WGC's state registers.
+    pub cells: Vec<CellId>,
+}
+
+impl WgcConfig {
+    /// The paper's configuration: a 12-bit maximal LFSR (period 4,095).
+    pub fn paper() -> Self {
+        WgcConfig::MaxLengthLfsr { width: 12, seed: 1 }
+    }
+
+    /// The sequence period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockmarkError::Seq`] for an invalid configuration.
+    pub fn period(&self) -> Result<usize, ClockmarkError> {
+        match self {
+            WgcConfig::MaxLengthLfsr { width, seed } => {
+                let _ = Lfsr::maximal_with_seed(*width, *seed)?;
+                Ok(((1u64 << width) - 1) as usize)
+            }
+            WgcConfig::CircularShift { pattern } => {
+                if pattern.is_empty() {
+                    return Err(ClockmarkError::Seq(clockmark_seq::SeqError::EmptyPattern));
+                }
+                Ok(pattern.len())
+            }
+            WgcConfig::Gold {
+                width,
+                seed_a,
+                seed_b,
+            } => {
+                let _ = GoldCode::preferred(*width, *seed_a, *seed_b)?;
+                Ok(((1u64 << width) - 1) as usize)
+            }
+        }
+    }
+
+    /// Registers the WGC occupies (12 for the paper configuration — the
+    /// basis of the "98 % area reduction" headline).
+    pub fn register_count(&self) -> u32 {
+        match self {
+            WgcConfig::MaxLengthLfsr { width, .. } => *width,
+            WgcConfig::CircularShift { pattern } => pattern.len() as u32,
+            WgcConfig::Gold { width, .. } => 2 * width,
+        }
+    }
+
+    /// The detector-side software model of the sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockmarkError::Seq`] for an invalid configuration.
+    pub fn software_generator(&self) -> Result<Box<dyn SequenceGenerator>, ClockmarkError> {
+        Ok(match self {
+            WgcConfig::MaxLengthLfsr { width, seed } => {
+                Box::new(Lfsr::maximal_with_seed(*width, *seed)?)
+            }
+            WgcConfig::CircularShift { pattern } => Box::new(CircularShiftRegister::new(pattern)?),
+            WgcConfig::Gold {
+                width,
+                seed_a,
+                seed_b,
+            } => Box::new(GoldCode::preferred(*width, *seed_a, *seed_b)?),
+        })
+    }
+
+    /// One full period of the expected `WMARK` sequence — the CPA model
+    /// vector `X`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockmarkError::Seq`] for an invalid configuration.
+    pub fn expected_pattern(&self) -> Result<Vec<bool>, ClockmarkError> {
+        let period = self.period()?;
+        let mut generator = self.software_generator()?;
+        Ok((0..period).map(|_| generator.next_bit()).collect())
+    }
+
+    /// Builds the WGC structurally: state registers, shift wiring, XOR
+    /// feedback (for the LFSR form) and the `WMARK` output signal.
+    ///
+    /// The registers are clocked from `clock` (ungated — the WGC free-runs,
+    /// as in the test chips) and placed in `group` for power accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockmarkError::Seq`] for an invalid configuration and
+    /// propagates netlist errors.
+    pub fn build_structural(
+        &self,
+        netlist: &mut Netlist,
+        group: GroupId,
+        clock: ClockInput,
+    ) -> Result<StructuralWgc, ClockmarkError> {
+        match self {
+            WgcConfig::MaxLengthLfsr { width, seed } => {
+                // Validate width/seed once via the software model.
+                let _ = Lfsr::maximal_with_seed(*width, *seed)?;
+                let taps = maximal_taps(*width)?;
+                let (cells, q0) =
+                    build_lfsr_chain(netlist, group, clock, *width, taps, *seed, "wgc")?;
+                let output = netlist.add_signal("wmark_raw", SignalExpr::RegOutput(q0))?;
+                Ok(StructuralWgc { output, cells })
+            }
+            WgcConfig::Gold {
+                width,
+                seed_a,
+                seed_b,
+            } => {
+                // Validate via the software model (width/seeds/pair).
+                let _ = GoldCode::preferred(*width, *seed_a, *seed_b)?;
+                let (taps_a, taps_b) = GoldCode::preferred_taps(*width)?;
+                let (mut cells, a0) =
+                    build_lfsr_chain(netlist, group, clock, *width, taps_a, *seed_a, "gold_a")?;
+                let (cells_b, b0) =
+                    build_lfsr_chain(netlist, group, clock, *width, taps_b, *seed_b, "gold_b")?;
+                cells.extend(cells_b);
+                let qa = netlist.add_signal("gold_qa", SignalExpr::RegOutput(a0))?;
+                let qb = netlist.add_signal("gold_qb", SignalExpr::RegOutput(b0))?;
+                let output = netlist.add_signal("wmark_raw", SignalExpr::Xor(qa, qb))?;
+                Ok(StructuralWgc { output, cells })
+            }
+            WgcConfig::CircularShift { pattern } => {
+                if pattern.is_empty() {
+                    return Err(ClockmarkError::Seq(clockmark_seq::SeqError::EmptyPattern));
+                }
+                let n = pattern.len();
+                let cells: Vec<CellId> = (0..n)
+                    .map(|i| {
+                        netlist.add_register(group, RegisterConfig::new(clock).init(pattern[i]))
+                    })
+                    .collect::<Result<_, _>>()?;
+                // Ring: s[i] <= s[i+1], s[n-1] <= s[0].
+                for i in 0..n - 1 {
+                    netlist.set_register_data(cells[i], DataSource::ShiftFrom(cells[i + 1]))?;
+                }
+                netlist.set_register_data(cells[n - 1], DataSource::ShiftFrom(cells[0]))?;
+
+                let output = netlist.add_signal("wmark_raw", SignalExpr::RegOutput(cells[0]))?;
+                Ok(StructuralWgc { output, cells })
+            }
+        }
+    }
+}
+
+/// Builds one right-shift Fibonacci LFSR structurally: `width` registers
+/// shifting towards index 0, XOR feedback over state bits `width − tap`
+/// entering at the top register. Returns the state cells and the output
+/// register (state bit 0), matching `clockmark_seq::Lfsr` bit-for-bit.
+fn build_lfsr_chain(
+    netlist: &mut Netlist,
+    group: GroupId,
+    clock: ClockInput,
+    width: u32,
+    taps: &[u32],
+    seed: u32,
+    prefix: &str,
+) -> Result<(Vec<CellId>, CellId), ClockmarkError> {
+    let n = width as usize;
+    let cells: Vec<CellId> = (0..n)
+        .map(|i| {
+            let init = (seed >> i) & 1 != 0;
+            netlist.add_register(group, RegisterConfig::new(clock).init(init))
+        })
+        .collect::<Result<_, _>>()?;
+    for i in 0..n - 1 {
+        netlist.set_register_data(cells[i], DataSource::ShiftFrom(cells[i + 1]))?;
+    }
+
+    let mut feedback: Option<SignalId> = None;
+    for &tap in taps {
+        let bit = (width - tap) as usize;
+        let q = netlist.add_signal(
+            &format!("{prefix}_q{bit}"),
+            SignalExpr::RegOutput(cells[bit]),
+        )?;
+        feedback = Some(match feedback {
+            None => q,
+            Some(acc) => {
+                netlist.add_signal(&format!("{prefix}_fb_x{bit}"), SignalExpr::Xor(acc, q))?
+            }
+        });
+    }
+    let feedback = feedback.expect("tap lists are validated non-empty");
+    netlist.set_register_data(cells[n - 1], DataSource::Signal(feedback))?;
+    let out = cells[0];
+    Ok((cells, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockmark_sim::CycleSim;
+
+    fn structural_stream(config: &WgcConfig, len: usize) -> Vec<bool> {
+        let mut netlist = Netlist::new();
+        let clk = netlist.add_clock_root("clk");
+        let wgc = config
+            .build_structural(&mut netlist, GroupId::TOP, clk.into())
+            .expect("builds");
+        let mut sim = CycleSim::new(&netlist).expect("valid");
+        let mut bits = Vec::with_capacity(len);
+        for _ in 0..len {
+            sim.step();
+            bits.push(sim.signal_value(wgc.output));
+        }
+        bits
+    }
+
+    fn software_stream(config: &WgcConfig, len: usize) -> Vec<bool> {
+        let mut generator = config.software_generator().expect("valid");
+        (0..len).map(|_| generator.next_bit()).collect()
+    }
+
+    #[test]
+    fn structural_lfsr_matches_software_for_all_small_widths() {
+        for width in 2..=10u32 {
+            let config = WgcConfig::MaxLengthLfsr { width, seed: 1 };
+            let len = ((1usize << width) - 1) * 2;
+            assert_eq!(
+                structural_stream(&config, len),
+                software_stream(&config, len),
+                "width {width} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_lfsr_matches_software_with_nontrivial_seed() {
+        let config = WgcConfig::MaxLengthLfsr {
+            width: 8,
+            seed: 0xA7,
+        };
+        assert_eq!(
+            structural_stream(&config, 600),
+            software_stream(&config, 600)
+        );
+    }
+
+    #[test]
+    fn paper_configuration_period_and_registers() {
+        let config = WgcConfig::paper();
+        assert_eq!(config.period().expect("valid"), 4095);
+        assert_eq!(config.register_count(), 12);
+        let pattern = config.expected_pattern().expect("valid");
+        assert_eq!(pattern.len(), 4095);
+        // Maximal sequence: 2^11 ones.
+        assert_eq!(pattern.iter().filter(|&&b| b).count(), 2048);
+    }
+
+    #[test]
+    fn structural_gold_matches_software() {
+        for (width, seed_a, seed_b) in [(5u32, 1u32, 1u32), (7, 1, 9), (9, 5, 17)] {
+            let config = WgcConfig::Gold {
+                width,
+                seed_a,
+                seed_b,
+            };
+            let len = ((1usize << width) - 1) + 50;
+            assert_eq!(
+                structural_stream(&config, len),
+                software_stream(&config, len),
+                "gold width {width} seeds {seed_a}/{seed_b} diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn gold_config_accounting() {
+        let config = WgcConfig::Gold {
+            width: 7,
+            seed_a: 1,
+            seed_b: 3,
+        };
+        assert_eq!(config.period().expect("valid"), 127);
+        assert_eq!(config.register_count(), 14);
+        assert!(matches!(
+            WgcConfig::Gold {
+                width: 8,
+                seed_a: 1,
+                seed_b: 1
+            }
+            .period(),
+            Err(ClockmarkError::Seq(
+                clockmark_seq::SeqError::NoPreferredPair { width: 8 }
+            ))
+        ));
+    }
+
+    #[test]
+    fn structural_circular_matches_software() {
+        let config = WgcConfig::CircularShift {
+            pattern: vec![true, true, false, true, false, false],
+        };
+        assert_eq!(structural_stream(&config, 36), software_stream(&config, 36));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(matches!(
+            WgcConfig::MaxLengthLfsr { width: 1, seed: 1 }.period(),
+            Err(ClockmarkError::Seq(_))
+        ));
+        assert!(matches!(
+            WgcConfig::MaxLengthLfsr { width: 8, seed: 0 }.software_generator(),
+            Err(ClockmarkError::Seq(_))
+        ));
+        assert!(matches!(
+            WgcConfig::CircularShift { pattern: vec![] }.expected_pattern(),
+            Err(ClockmarkError::Seq(_))
+        ));
+    }
+
+    #[test]
+    fn structural_wgc_occupies_expected_registers() {
+        let config = WgcConfig::paper();
+        let mut netlist = Netlist::new();
+        let clk = netlist.add_clock_root("clk");
+        let group = netlist.add_group("wgc");
+        let wgc = config
+            .build_structural(&mut netlist, group, clk.into())
+            .expect("builds");
+        assert_eq!(wgc.cells.len(), 12);
+        assert_eq!(netlist.register_count_in_group(group), 12);
+    }
+}

@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by correlation power analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CpaError {
+    /// Input vectors have different lengths.
+    LengthMismatch {
+        /// Length of the first vector.
+        left: usize,
+        /// Length of the second vector.
+        right: usize,
+    },
+    /// An input vector is empty or too short to correlate.
+    TooShort {
+        /// The offending length.
+        len: usize,
+    },
+    /// The watermark pattern is constant (all zeros or all ones), so its
+    /// variance is zero and no correlation is defined.
+    ConstantPattern,
+    /// Spectra from experiments with different periods were combined.
+    PeriodMismatch {
+        /// Period expected by the ensemble.
+        expected: usize,
+        /// Period of the offending spectrum.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CpaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpaError::LengthMismatch { left, right } => {
+                write!(
+                    f,
+                    "input vectors have different lengths ({left} vs {right})"
+                )
+            }
+            CpaError::TooShort { len } => {
+                write!(f, "input of length {len} is too short to correlate")
+            }
+            CpaError::ConstantPattern => {
+                write!(f, "watermark pattern is constant and has no variance")
+            }
+            CpaError::PeriodMismatch { expected, got } => {
+                write!(
+                    f,
+                    "spectrum period {got} does not match ensemble period {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CpaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CpaError>();
+        assert!(CpaError::ConstantPattern.to_string().contains("constant"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Correlation power analysis (CPA) for watermark detection.
+//!
+//! Implements the detection side of Kufel et al. (DATE 2014): the IP vendor
+//! knows the watermark sequence (the *model vector* `X`, one period of the
+//! WGC output) and records the device's per-clock-cycle power (`Y`, each
+//! value the average of the oscilloscope samples within one cycle). Because
+//! the phase between the two is unknown, `X` is rotated one cycle at a time
+//! and the Pearson correlation coefficient recomputed — producing the
+//! *spread spectrum* of Fig. 5. A watermark is detected when a single
+//! significant peak resolves.
+//!
+//! Two implementations are provided and tested against each other:
+//!
+//! - [`spread_spectrum_naive`]: the textbook O(N·P) loop, kept as the
+//!   reference;
+//! - [`spread_spectrum`]: a folded O(N + P·W) algorithm (`W` = ones per
+//!   period) exploiting the periodicity of `X`, which makes the paper-scale
+//!   problem (N = 300,000, P = 4,095) interactive.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use clockmark_cpa::{spread_spectrum, DetectionCriterion};
+//! use clockmark_seq::{Lfsr, SequenceGenerator};
+//!
+//! // One period of a 6-bit m-sequence, tiled into a measurement starting
+//! // 17 cycles into the period, with a deterministic "noise" ramp on top.
+//! let mut wgc = Lfsr::maximal(6)?;
+//! let pattern: Vec<bool> = (0..63).map(|_| wgc.next_bit()).collect();
+//! let y: Vec<f64> = (0..630)
+//!     .map(|i| if pattern[(i + 17) % 63] { 1.0 } else { 0.0 } + (i % 7) as f64 * 0.01)
+//!     .collect();
+//!
+//! let spectrum = spread_spectrum(&pattern, &y)?;
+//! let detection = spectrum.detect(&DetectionCriterion::default());
+//! assert!(detection.detected);
+//! assert_eq!(detection.peak_rotation, 17);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detect;
+mod error;
+mod pearson;
+mod rotational;
+mod significance;
+mod stats;
+mod streaming;
+
+pub use detect::{DetectionCriterion, DetectionResult};
+pub use error::CpaError;
+pub use pearson::pearson;
+pub use rotational::{spread_spectrum, spread_spectrum_naive, SpreadSpectrum};
+pub use significance::{normal_cdf, peak_false_positive_probability};
+pub use stats::{BoxPlotStats, RotationEnsemble};
+pub use streaming::StreamingCpa;

@@ -1,0 +1,145 @@
+use crate::CpaError;
+
+/// Pearson correlation coefficient between two equal-length vectors.
+///
+/// Implements equation (1) of the paper:
+///
+/// ```text
+///         N·Σxᵢyᵢ − Σxᵢ·Σyᵢ
+/// ρ = ─────────────────────────────────────────────
+///     √(N·Σxᵢ² − (Σxᵢ)²) · √(N·Σyᵢ² − (Σyᵢ)²)
+/// ```
+///
+/// Returns a value in `[-1, 1]`; `1` for identical signals, `-1` for
+/// identical but inverted signals, `0` for no linear relationship. When one
+/// of the vectors has zero variance the correlation is undefined; this
+/// function returns `0.0` in that case (the detector treats such rotations
+/// as "no relationship", matching how a flat measurement would read).
+///
+/// # Errors
+///
+/// Returns [`CpaError::LengthMismatch`] when lengths differ and
+/// [`CpaError::TooShort`] when fewer than two samples are supplied.
+///
+/// ```
+/// # fn main() -> Result<(), clockmark_cpa::CpaError> {
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let anti = [4.0, 3.0, 2.0, 1.0];
+/// assert!((clockmark_cpa::pearson(&x, &x)? - 1.0).abs() < 1e-12);
+/// assert!((clockmark_cpa::pearson(&x, &anti)? + 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, CpaError> {
+    if x.len() != y.len() {
+        return Err(CpaError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(CpaError::TooShort { len: x.len() });
+    }
+    let n = x.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    for (&a, &b) in x.iter().zip(y) {
+        sx += a;
+        sy += b;
+        sxx += a * a;
+        syy += b * b;
+        sxy += a * b;
+    }
+    Ok(correlation_from_sums(n, sx, sy, sxx, syy, sxy))
+}
+
+/// Assembles ρ from running sums — shared with the folded rotational path.
+pub(crate) fn correlation_from_sums(n: f64, sx: f64, sy: f64, sxx: f64, syy: f64, sxy: f64) -> f64 {
+    let num = n * sxy - sx * sy;
+    let var_x = n * sxx - sx * sx;
+    let var_y = n * syy - sy * sy;
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return 0.0;
+    }
+    let rho = num / (var_x.sqrt() * var_y.sqrt());
+    rho.clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_correlation_and_anticorrelation() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        let inv: Vec<f64> = x.iter().map(|v| -2.0 * v + 1.0).collect();
+        assert!((pearson(&x, &y).expect("valid") - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &inv).expect("valid") + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_signals_correlate_to_zero() {
+        // One full period of sine vs cosine, coarsely sampled.
+        let n = 360;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).to_radians().sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64).to_radians().cos()).collect();
+        assert!(pearson(&x, &y).expect("valid").abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_variance_reads_as_zero() {
+        let flat = [5.0; 10];
+        let ramp: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(pearson(&flat, &ramp).expect("valid"), 0.0);
+        assert_eq!(pearson(&ramp, &flat).expect("valid"), 0.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert_eq!(
+            pearson(&[1.0], &[1.0, 2.0]).unwrap_err(),
+            CpaError::LengthMismatch { left: 1, right: 2 }
+        );
+        assert_eq!(
+            pearson(&[1.0], &[1.0]).unwrap_err(),
+            CpaError::TooShort { len: 1 }
+        );
+        assert_eq!(
+            pearson(&[], &[]).unwrap_err(),
+            CpaError::TooShort { len: 0 }
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn result_is_always_within_unit_interval(
+            x in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        ) {
+            let y: Vec<f64> = x.iter().enumerate().map(|(i, v)| v * 0.3 + (i % 5) as f64).collect();
+            let rho = pearson(&x, &y).expect("valid");
+            prop_assert!((-1.0..=1.0).contains(&rho));
+        }
+
+        #[test]
+        fn symmetric_in_arguments(x in proptest::collection::vec(-100f64..100.0, 2..50)) {
+            let y: Vec<f64> = x.iter().rev().copied().collect();
+            let a = pearson(&x, &y).expect("valid");
+            let b = pearson(&y, &x).expect("valid");
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+
+        #[test]
+        fn invariant_under_affine_transform(
+            x in proptest::collection::vec(-100f64..100.0, 3..50),
+            scale in 0.1f64..10.0,
+            offset in -100f64..100.0,
+        ) {
+            let y: Vec<f64> = x.iter().enumerate().map(|(i, v)| v + (i as f64).sin()).collect();
+            let x2: Vec<f64> = x.iter().map(|v| v * scale + offset).collect();
+            let a = pearson(&x, &y).expect("valid");
+            let b = pearson(&x2, &y).expect("valid");
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Statistical significance of a spread-spectrum peak.
+//!
+//! The paper's criterion — "a single significant correlation coefficient
+//! can be resolved" — is visual. This module makes it quantitative: under
+//! the null hypothesis (no watermark), each rotation's ρ against
+//! independent noise is asymptotically normal with σ ≈ 1/√N, so the
+//! probability that the *maximum* over `P` rotations reaches an observed
+//! peak is
+//!
+//! ```text
+//! p = 1 − Φ(ρ_peak · √N)^P
+//! ```
+//!
+//! (treating rotations as independent, which is conservative for
+//! m-sequences whose rotations are nearly orthogonal). A detection can
+//! then be reported with a false-positive probability instead of a bare
+//! threshold.
+
+use crate::SpreadSpectrum;
+
+/// The standard normal cumulative distribution function.
+///
+/// Uses the Abramowitz–Stegun 7.1.26 erf approximation (|error| < 1.5e-7),
+/// ample for p-value reporting.
+///
+/// ```
+/// let phi = clockmark_cpa::normal_cdf(0.0);
+/// assert!((phi - 0.5).abs() < 1e-7);
+/// assert!(clockmark_cpa::normal_cdf(3.0) > 0.9986);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// The error function via Abramowitz–Stegun 7.1.26.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// The probability that pure noise produces a spread-spectrum maximum at
+/// least as large as `peak_rho`, over `rotations` rotations of an
+/// `n_cycles`-long trace.
+///
+/// Values are clamped to `[0, 1]`; peaks so large that `Φ` saturates
+/// report `0.0` (numerically indistinguishable from certainty).
+///
+/// ```
+/// // The paper-scale experiment: rho = 0.0165 over 4,095 rotations of a
+/// // 300,000-cycle trace is overwhelming evidence…
+/// let p = clockmark_cpa::peak_false_positive_probability(0.0165, 300_000, 4_095);
+/// assert!(p < 1e-9);
+///
+/// // …while the same rho on a 10,000-cycle trace is unremarkable.
+/// let p = clockmark_cpa::peak_false_positive_probability(0.0165, 10_000, 4_095);
+/// assert!(p > 0.05);
+/// ```
+pub fn peak_false_positive_probability(peak_rho: f64, n_cycles: usize, rotations: usize) -> f64 {
+    if peak_rho <= 0.0 {
+        return 1.0;
+    }
+    let z = peak_rho * (n_cycles as f64).sqrt();
+    let phi = normal_cdf(z);
+    // 1 − Φ^P, computed stably for Φ → 1 via log1p.
+    let log_phi = phi.ln();
+    let log_pow = rotations as f64 * log_phi;
+    (-(log_pow.exp_m1())).clamp(0.0, 1.0)
+}
+
+impl SpreadSpectrum {
+    /// The false-positive probability of this spectrum's peak for a trace
+    /// of `n_cycles` cycles (see
+    /// [`peak_false_positive_probability`]).
+    pub fn peak_p_value(&self, n_cycles: usize) -> f64 {
+        let (_, peak) = self.peak();
+        peak_false_positive_probability(peak, n_cycles, self.period())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spread_spectrum;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        let cases = [
+            (-3.0, 0.001_349_898),
+            (-1.0, 0.158_655_254),
+            (0.0, 0.5),
+            (1.0, 0.841_344_746),
+            (1.96, 0.975_002_105),
+            (3.0, 0.998_650_102),
+        ];
+        for (x, expected) in cases {
+            let got = normal_cdf(x);
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "Φ({x}) = {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_symmetric() {
+        let mut last = 0.0;
+        for i in -40..=40 {
+            let x = i as f64 / 10.0;
+            let phi = normal_cdf(x);
+            assert!(phi >= last);
+            last = phi;
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn p_value_edges() {
+        assert_eq!(peak_false_positive_probability(0.0, 1000, 100), 1.0);
+        assert_eq!(peak_false_positive_probability(-0.5, 1000, 100), 1.0);
+        let huge = peak_false_positive_probability(0.9, 1_000_000, 4095);
+        assert!(huge < 1e-12);
+    }
+
+    #[test]
+    fn p_value_grows_with_rotation_count() {
+        // More rotations = more chances for noise to spike.
+        let few = peak_false_positive_probability(0.02, 50_000, 63);
+        let many = peak_false_positive_probability(0.02, 50_000, 4095);
+        assert!(many > few, "{many} vs {few}");
+    }
+
+    #[test]
+    fn p_value_shrinks_with_trace_length() {
+        let short = peak_false_positive_probability(0.02, 10_000, 255);
+        let long = peak_false_positive_probability(0.02, 100_000, 255);
+        assert!(long < short, "{long} vs {short}");
+    }
+
+    #[test]
+    fn monte_carlo_false_positive_rate_matches_prediction() {
+        // Pure-noise spectra: the fraction of runs whose peak exceeds a
+        // threshold should be close to the predicted probability.
+        use clockmark_seq::{Lfsr, SequenceGenerator};
+        let mut lfsr = Lfsr::maximal(6).expect("valid");
+        let pattern: Vec<bool> = (0..63).map(|_| lfsr.next_bit()).collect();
+        let n = 4000usize;
+        let runs = 300;
+        let threshold = 0.045;
+
+        let mut exceed = 0usize;
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(seed as u64);
+            let y: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let s = spread_spectrum(&pattern, &y).expect("valid");
+            if s.peak().1 >= threshold {
+                exceed += 1;
+            }
+        }
+        let empirical = exceed as f64 / runs as f64;
+        let predicted = peak_false_positive_probability(threshold, n, 63);
+        // Agreement within a factor allowing for finite-sample noise and
+        // the independence approximation.
+        assert!(
+            (empirical - predicted).abs() < 0.05 + predicted,
+            "empirical {empirical:.3} vs predicted {predicted:.3}"
+        );
+    }
+
+    #[test]
+    fn watermarked_spectrum_reports_tiny_p_value() {
+        use clockmark_seq::{Lfsr, SequenceGenerator};
+        let mut lfsr = Lfsr::maximal(8).expect("valid");
+        let pattern: Vec<bool> = (0..255).map(|_| lfsr.next_bit()).collect();
+        let mut rng = StdRng::seed_from_u64(77);
+        let y: Vec<f64> = (0..20_000)
+            .map(|i| {
+                let wm = if pattern[(i + 9) % 255] { 1.0 } else { 0.0 };
+                wm + rng.random_range(-3.0..3.0)
+            })
+            .collect();
+        let s = spread_spectrum(&pattern, &y).expect("valid");
+        assert!(s.peak_p_value(20_000) < 1e-6);
+
+        let noise: Vec<f64> = (0..20_000).map(|_| rng.random_range(-3.0..3.0)).collect();
+        let s = spread_spectrum(&pattern, &noise).expect("valid");
+        assert!(s.peak_p_value(20_000) > 1e-3);
+    }
+}

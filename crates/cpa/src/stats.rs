@@ -1,0 +1,275 @@
+use crate::{CpaError, DetectionCriterion, SpreadSpectrum};
+
+/// Box-plot statistics of a sample set, matching the paper's Fig. 6
+/// convention: the box covers 95 % of all values (2.5th to 97.5th
+/// percentile), the median marks the centre, and extremes are the whisker
+/// ends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxPlotStats {
+    /// Sample median.
+    pub median: f64,
+    /// 2.5th percentile (lower edge of the 95 % box).
+    pub q_low: f64,
+    /// 97.5th percentile (upper edge of the 95 % box).
+    pub q_high: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl BoxPlotStats {
+    /// Computes the statistics from a sample set.
+    ///
+    /// Returns `None` for an empty input.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(BoxPlotStats {
+            median: percentile(&sorted, 50.0),
+            q_low: percentile(&sorted, 2.5),
+            q_high: percentile(&sorted, 97.5),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            n: sorted.len(),
+        })
+    }
+}
+
+/// Linear-interpolation percentile over a pre-sorted slice.
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let low = rank.floor() as usize;
+    let high = rank.ceil() as usize;
+    let frac = rank - low as f64;
+    sorted[low] * (1.0 - frac) + sorted[high] * frac
+}
+
+/// Aggregates spread spectra from repeated experiments — the data behind
+/// the paper's Fig. 6 box plots (100 repetitions per chip).
+///
+/// ```
+/// # fn main() -> Result<(), clockmark_cpa::CpaError> {
+/// use clockmark_cpa::{spread_spectrum, RotationEnsemble};
+///
+/// let pattern = [true, false, true, false, false];
+/// let mut ensemble = RotationEnsemble::new(pattern.len());
+/// for run in 0..5 {
+///     let y: Vec<f64> = (0..100)
+///         .map(|i| if pattern[(i + 2) % 5] { 1.0 } else { 0.0 } + (i + run) as f64 * 1e-3)
+///         .collect();
+///     ensemble.add(&spread_spectrum(&pattern, &y)?)?;
+/// }
+/// assert_eq!(ensemble.runs(), 5);
+/// let peak_stats = ensemble.stats_at(2).expect("has samples");
+/// assert!(peak_stats.median > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RotationEnsemble {
+    period: usize,
+    /// Row-major: run-major storage of per-rotation coefficients.
+    runs: Vec<Vec<f64>>,
+}
+
+impl RotationEnsemble {
+    /// Creates an empty ensemble for a watermark period.
+    pub fn new(period: usize) -> Self {
+        RotationEnsemble {
+            period,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Adds one experiment's spectrum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpaError::PeriodMismatch`] when the spectrum's period
+    /// differs from the ensemble's.
+    pub fn add(&mut self, spectrum: &SpreadSpectrum) -> Result<(), CpaError> {
+        if spectrum.period() != self.period {
+            return Err(CpaError::PeriodMismatch {
+                expected: self.period,
+                got: spectrum.period(),
+            });
+        }
+        self.runs.push(spectrum.rho().to_vec());
+        Ok(())
+    }
+
+    /// Number of collected runs.
+    pub fn runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The watermark period.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Box statistics of the coefficients observed at one rotation across
+    /// all runs. `None` when no runs were added or the rotation is out of
+    /// range.
+    pub fn stats_at(&self, rotation: usize) -> Option<BoxPlotStats> {
+        if rotation >= self.period || self.runs.is_empty() {
+            return None;
+        }
+        let samples: Vec<f64> = self.runs.iter().map(|r| r[rotation]).collect();
+        BoxPlotStats::from_samples(&samples)
+    }
+
+    /// Box statistics at every rotation (length = period).
+    pub fn stats(&self) -> Vec<Option<BoxPlotStats>> {
+        (0..self.period).map(|r| self.stats_at(r)).collect()
+    }
+
+    /// The rotation whose median coefficient is largest, with its stats.
+    pub fn peak_rotation(&self) -> Option<(usize, BoxPlotStats)> {
+        (0..self.period)
+            .filter_map(|r| self.stats_at(r).map(|s| (r, s)))
+            .max_by(|a, b| a.1.median.total_cmp(&b.1.median))
+    }
+
+    /// How many runs satisfied the detection criterion — the paper reports
+    /// 100 / 100 for both chips.
+    pub fn detection_count(&self, criterion: &DetectionCriterion) -> usize {
+        self.runs
+            .iter()
+            .filter(|rho| {
+                SpreadSpectrum::from_rho((*rho).clone())
+                    .detect(criterion)
+                    .detected
+            })
+            .count()
+    }
+
+    /// Pooled box statistics over every off-peak rotation and run — the
+    /// "floor" distribution of Fig. 6.
+    pub fn floor_stats(&self) -> Option<BoxPlotStats> {
+        let (peak, _) = self.peak_rotation()?;
+        let samples: Vec<f64> = self
+            .runs
+            .iter()
+            .flat_map(|run| {
+                run.iter()
+                    .enumerate()
+                    .filter(move |(r, _)| *r != peak)
+                    .map(|(_, v)| *v)
+            })
+            .collect();
+        BoxPlotStats::from_samples(&samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spread_spectrum;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let stats = BoxPlotStats::from_samples(&samples).expect("non-empty");
+        assert!((stats.median - 50.5).abs() < 1e-9);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 100.0);
+        assert!((stats.q_low - 3.475).abs() < 1e-9);
+        assert!((stats.q_high - 97.525).abs() < 1e-9);
+        assert_eq!(stats.n, 100);
+    }
+
+    #[test]
+    fn single_sample_stats() {
+        let stats = BoxPlotStats::from_samples(&[3.0]).expect("non-empty");
+        assert_eq!(stats.median, 3.0);
+        assert_eq!(stats.q_low, 3.0);
+        assert_eq!(stats.q_high, 3.0);
+    }
+
+    #[test]
+    fn empty_samples_yield_none() {
+        assert_eq!(BoxPlotStats::from_samples(&[]), None);
+    }
+
+    #[test]
+    fn ensemble_rejects_mismatched_periods() {
+        let mut ensemble = RotationEnsemble::new(7);
+        let s =
+            spread_spectrum(&[true, false, true], &[1.0, 0.0, 1.0, 1.0, 0.0, 1.0]).expect("valid");
+        assert_eq!(
+            ensemble.add(&s).unwrap_err(),
+            CpaError::PeriodMismatch {
+                expected: 7,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn repeated_noisy_experiments_reproduce_fig6_shape() {
+        // 30 repetitions of a watermarked, noisy measurement: the peak
+        // rotation's median is clearly separated from the pooled floor.
+        use clockmark_seq::{Lfsr, SequenceGenerator};
+        let mut lfsr = Lfsr::maximal(5).expect("valid width");
+        let pattern: Vec<bool> = (0..31).map(|_| lfsr.next_bit()).collect();
+        let mut ensemble = RotationEnsemble::new(31);
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let y: Vec<f64> = (0..3000)
+                .map(|i| {
+                    let wm = if pattern[(i + 9) % 31] { 0.5 } else { 0.0 };
+                    wm + rng.random_range(-2.0..2.0)
+                })
+                .collect();
+            ensemble
+                .add(&spread_spectrum(&pattern, &y).expect("valid"))
+                .expect("same period");
+        }
+
+        let (peak_rot, peak_stats) = ensemble.peak_rotation().expect("has runs");
+        assert_eq!(peak_rot, 9);
+        let floor = ensemble.floor_stats().expect("has runs");
+        assert!(
+            peak_stats.median > floor.q_high,
+            "peak median {} must clear floor 97.5th percentile {}",
+            peak_stats.median,
+            floor.q_high
+        );
+        // Every run individually detects.
+        assert_eq!(ensemble.detection_count(&DetectionCriterion::default()), 30);
+        // Floor medians hug zero.
+        assert!(floor.median.abs() < 0.02, "floor median {}", floor.median);
+    }
+
+    #[test]
+    fn stats_at_out_of_range_rotation_is_none() {
+        let ensemble = RotationEnsemble::new(5);
+        assert_eq!(ensemble.stats_at(9), None);
+        assert_eq!(ensemble.stats_at(0), None, "no runs added yet");
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_bounds_hold(samples in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+            let stats = BoxPlotStats::from_samples(&samples).expect("non-empty");
+            prop_assert!(stats.min <= stats.q_low + 1e-9);
+            prop_assert!(stats.q_low <= stats.median + 1e-9);
+            prop_assert!(stats.median <= stats.q_high + 1e-9);
+            prop_assert!(stats.q_high <= stats.max + 1e-9);
+        }
+    }
+}

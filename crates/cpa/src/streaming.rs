@@ -1,0 +1,295 @@
+use crate::{CpaError, DetectionCriterion, DetectionResult, SpreadSpectrum};
+
+/// An incremental rotational-CPA detector.
+///
+/// The folded algorithm of [`spread_spectrum`](crate::spread_spectrum)
+/// maintains only per-residue sums of the measurement, so it can be updated
+/// one cycle at a time. `StreamingCpa` exposes that: feed cycles as the
+/// oscilloscope produces them, query the spectrum whenever you like, and
+/// stop as soon as the detection criterion is met — answering the
+/// practical question behind the paper's fixed N = 300,000: *how many
+/// cycles does this chip actually need?*
+///
+/// ```
+/// # fn main() -> Result<(), clockmark_cpa::CpaError> {
+/// use clockmark_cpa::{DetectionCriterion, StreamingCpa};
+///
+/// let pattern = [true, false, true, true, false, false, true, false];
+/// let mut detector = StreamingCpa::new(&pattern)?;
+/// for i in 0..400 {
+///     let y = if pattern[(i + 3) % 8] { 1.0 } else { 0.0 } + (i % 5) as f64 * 0.1;
+///     detector.push(y);
+/// }
+/// let result = detector.detect(&DetectionCriterion::default());
+/// assert!(result.detected);
+/// assert_eq!(result.peak_rotation, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingCpa {
+    pattern: Vec<bool>,
+    ones: Vec<usize>,
+    /// Per-residue sums of y.
+    residue_sums: Vec<f64>,
+    /// Per-residue sample counts.
+    residue_counts: Vec<u64>,
+    sum_y: f64,
+    sum_yy: f64,
+    cycles: u64,
+}
+
+impl StreamingCpa {
+    /// Creates a detector for a watermark pattern (one period).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpaError::TooShort`] for a pattern shorter than 2 and
+    /// [`CpaError::ConstantPattern`] when the pattern has no variance.
+    pub fn new(pattern: &[bool]) -> Result<Self, CpaError> {
+        if pattern.len() < 2 {
+            return Err(CpaError::TooShort { len: pattern.len() });
+        }
+        let ones: Vec<usize> = (0..pattern.len()).filter(|&i| pattern[i]).collect();
+        if ones.is_empty() || ones.len() == pattern.len() {
+            return Err(CpaError::ConstantPattern);
+        }
+        Ok(StreamingCpa {
+            ones,
+            residue_sums: vec![0.0; pattern.len()],
+            residue_counts: vec![0; pattern.len()],
+            pattern: pattern.to_vec(),
+            sum_y: 0.0,
+            sum_yy: 0.0,
+            cycles: 0,
+        })
+    }
+
+    /// The watermark period.
+    pub fn period(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Feeds one measured cycle.
+    pub fn push(&mut self, y: f64) {
+        let k = (self.cycles % self.period() as u64) as usize;
+        self.residue_sums[k] += y;
+        self.residue_counts[k] += 1;
+        self.sum_y += y;
+        self.sum_yy += y * y;
+        self.cycles += 1;
+    }
+
+    /// Feeds a batch of cycles.
+    pub fn extend_from_slice(&mut self, ys: &[f64]) {
+        for &y in ys {
+            self.push(y);
+        }
+    }
+
+    /// Computes the current spread spectrum from the accumulated sums.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpaError::TooShort`] until at least one full period has
+    /// been consumed.
+    pub fn spectrum(&self) -> Result<SpreadSpectrum, CpaError> {
+        let period = self.period();
+        if self.cycles < period as u64 {
+            return Err(CpaError::TooShort {
+                len: self.cycles as usize,
+            });
+        }
+        let nf = self.cycles as f64;
+        let mut rho = Vec::with_capacity(period);
+        for r in 0..period {
+            let mut sx = 0.0f64;
+            let mut sxy = 0.0f64;
+            for &j in &self.ones {
+                let k = (j + period - r) % period;
+                sx += self.residue_counts[k] as f64;
+                sxy += self.residue_sums[k];
+            }
+            rho.push(crate::pearson::correlation_from_sums(
+                nf,
+                sx,
+                self.sum_y,
+                sx,
+                self.sum_yy,
+                sxy,
+            ));
+        }
+        Ok(SpreadSpectrum::from_rho(rho))
+    }
+
+    /// Evaluates the criterion against the current spectrum. Before one
+    /// full period has been consumed this conservatively reports
+    /// "not detected".
+    pub fn detect(&self, criterion: &DetectionCriterion) -> DetectionResult {
+        match self.spectrum() {
+            Ok(spectrum) => spectrum.detect(criterion),
+            Err(_) => DetectionResult {
+                detected: false,
+                peak_rotation: 0,
+                peak_rho: 0.0,
+                floor_max_abs: 0.0,
+                ratio: 0.0,
+                zscore: 0.0,
+            },
+        }
+    }
+
+    /// Consumes cycles from an iterator until the criterion is satisfied
+    /// (checking every `check_interval` cycles) or the iterator ends.
+    /// Returns the cycle count at detection, or `None` if the stream ended
+    /// undetected.
+    pub fn run_until_detected<I: IntoIterator<Item = f64>>(
+        &mut self,
+        ys: I,
+        criterion: &DetectionCriterion,
+        check_interval: u64,
+    ) -> Option<u64> {
+        let check_interval = check_interval.max(1);
+        for y in ys {
+            self.push(y);
+            if self.cycles.is_multiple_of(check_interval) && self.detect(criterion).detected {
+                return Some(self.cycles);
+            }
+        }
+        if self.detect(criterion).detected {
+            Some(self.cycles)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spread_spectrum;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn m_sequence_pattern() -> Vec<bool> {
+        use clockmark_seq::{Lfsr, SequenceGenerator};
+        let mut lfsr = Lfsr::maximal(7).expect("valid");
+        (0..127).map(|_| lfsr.next_bit()).collect()
+    }
+
+    fn noisy_trace(
+        pattern: &[bool],
+        n: usize,
+        phase: usize,
+        amp: f64,
+        noise: f64,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let wm = if pattern[(i + phase) % pattern.len()] {
+                    amp
+                } else {
+                    0.0
+                };
+                wm + rng.random_range(-noise..noise)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_spectrum_matches_batch_exactly() {
+        let pattern = m_sequence_pattern();
+        let y = noisy_trace(&pattern, 3000, 41, 0.7, 2.0, 1);
+
+        let batch = spread_spectrum(&pattern, &y).expect("valid");
+        let mut streaming = StreamingCpa::new(&pattern).expect("valid");
+        streaming.extend_from_slice(&y);
+        let incremental = streaming.spectrum().expect("enough cycles");
+
+        for (a, b) in batch.rho().iter().zip(incremental.rho()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn early_stopping_detects_before_the_stream_ends() {
+        let pattern = m_sequence_pattern();
+        let y = noisy_trace(&pattern, 20_000, 41, 1.0, 2.0, 2);
+        let mut streaming = StreamingCpa::new(&pattern).expect("valid");
+        let stopped_at = streaming
+            .run_until_detected(y.iter().copied(), &DetectionCriterion::default(), 127)
+            .expect("strong watermark must be found");
+        assert!(
+            stopped_at < 20_000,
+            "early stop at {stopped_at} should beat the full trace"
+        );
+        assert_eq!(
+            streaming
+                .detect(&DetectionCriterion::default())
+                .peak_rotation,
+            41
+        );
+    }
+
+    #[test]
+    fn weak_watermark_needs_more_cycles_than_strong() {
+        let pattern = m_sequence_pattern();
+        let criterion = DetectionCriterion::default();
+        let strong = {
+            let y = noisy_trace(&pattern, 60_000, 10, 1.0, 2.0, 3);
+            StreamingCpa::new(&pattern)
+                .expect("valid")
+                .run_until_detected(y, &criterion, 127)
+        };
+        let weak = {
+            let y = noisy_trace(&pattern, 60_000, 10, 0.3, 2.0, 3);
+            StreamingCpa::new(&pattern)
+                .expect("valid")
+                .run_until_detected(y, &criterion, 127)
+        };
+        let strong = strong.expect("strong detects");
+        let weak = weak.expect("weak detects eventually");
+        assert!(weak > strong, "weak {weak} vs strong {strong}");
+    }
+
+    #[test]
+    fn absent_watermark_never_stops_early() {
+        let pattern = m_sequence_pattern();
+        let y = noisy_trace(&pattern, 30_000, 0, 0.0, 2.0, 4);
+        let mut streaming = StreamingCpa::new(&pattern).expect("valid");
+        assert_eq!(
+            streaming.run_until_detected(y, &DetectionCriterion::default(), 127),
+            None
+        );
+    }
+
+    #[test]
+    fn detection_before_one_period_is_conservative() {
+        let pattern = m_sequence_pattern();
+        let mut streaming = StreamingCpa::new(&pattern).expect("valid");
+        for _ in 0..50 {
+            streaming.push(1.0);
+        }
+        assert!(streaming.spectrum().is_err());
+        assert!(!streaming.detect(&DetectionCriterion::default()).detected);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(matches!(
+            StreamingCpa::new(&[true]).unwrap_err(),
+            CpaError::TooShort { len: 1 }
+        ));
+        assert_eq!(
+            StreamingCpa::new(&[true, true]).unwrap_err(),
+            CpaError::ConstantPattern
+        );
+    }
+}

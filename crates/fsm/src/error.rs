@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the FSM watermarking substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsmError {
+    /// A machine was declared with zero states, inputs or outputs.
+    EmptyMachine,
+    /// A state id is outside the machine.
+    UnknownState {
+        /// The rejected state.
+        state: u32,
+    },
+    /// An input or output symbol is outside the declared alphabet.
+    UnknownSymbol {
+        /// The rejected symbol.
+        symbol: u8,
+        /// The alphabet size it must be below.
+        alphabet: u8,
+    },
+    /// A transition was specified twice.
+    AlreadySpecified {
+        /// The source state.
+        state: u32,
+        /// The input symbol.
+        input: u8,
+    },
+    /// The machine takes an unspecified transition during simulation.
+    Unspecified {
+        /// The stuck state.
+        state: u32,
+        /// The input with no transition.
+        input: u8,
+    },
+    /// The watermark key is empty or its signature length differs from its
+    /// input length.
+    InvalidKey,
+    /// The key's first transition from reset is already used functionally,
+    /// so embedding would change specified behaviour.
+    KeyCollidesWithFunction {
+        /// The input symbol that is already specified from reset.
+        input: u8,
+    },
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::EmptyMachine => {
+                write!(f, "a machine needs at least one state, input and output")
+            }
+            FsmError::UnknownState { state } => write!(f, "unknown state {state}"),
+            FsmError::UnknownSymbol { symbol, alphabet } => {
+                write!(f, "symbol {symbol} outside the {alphabet}-symbol alphabet")
+            }
+            FsmError::AlreadySpecified { state, input } => {
+                write!(
+                    f,
+                    "transition from state {state} on input {input} is already specified"
+                )
+            }
+            FsmError::Unspecified { state, input } => {
+                write!(f, "no transition from state {state} on input {input}")
+            }
+            FsmError::InvalidKey => {
+                write!(f, "key needs equal, non-zero input and signature lengths")
+            }
+            FsmError::KeyCollidesWithFunction { input } => {
+                write!(
+                    f,
+                    "input {input} from reset is functionally specified; pick an unused key prefix"
+                )
+            }
+        }
+    }
+}
+
+impl Error for FsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(FsmError::KeyCollidesWithFunction { input: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(FsmError::UnknownSymbol {
+            symbol: 9,
+            alphabet: 4
+        }
+        .to_string()
+        .contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FsmError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! FSM-based IP watermarking — the related-work comparator of the paper's
+//! Section I.
+//!
+//! Before power watermarks, the dominant soft-IP protection techniques
+//! embedded signatures into a design's **finite state machine**: extra
+//! states (Oliveira 1999; Torunoglu & Charbon 2000; Cui et al. 2011) or
+//! modified existing states (Abdel-Hamid et al. 2005/2008) produce a secret
+//! output signature when a secret input key is applied. Their area overhead
+//! is tiny (down to the famous "0 %"), but detection needs **access to the
+//! device's input and output ports and knowledge of the surrounding
+//! design** — exactly the capability the paper argues many IP vendors do
+//! not have, which motivates detecting through the power rail instead.
+//!
+//! This crate implements that baseline end to end so the trade-off is
+//! executable:
+//!
+//! - [`Fsm`]: a Mealy machine with optionally specified transitions
+//!   (don't-cares are what the watermark consumes);
+//! - [`embed_signature`]: Torunoglu-style state insertion driven by a
+//!   secret key, leaving all specified behaviour untouched;
+//! - [`verify_signature`]: the vendor-side detection (apply key, compare
+//!   output signature);
+//! - [`reachability`]: BFS analysis showing the watermark states are
+//!   behaviourally hidden (unreachable without the key prefix).
+//!
+//! ```
+//! # fn main() -> Result<(), clockmark_fsm::FsmError> {
+//! use clockmark_fsm::{embed_signature, verify_signature, Fsm, Key};
+//!
+//! // A 3-state controller with unused input symbols to hide a mark in.
+//! let mut fsm = Fsm::new(3, 4, 4)?;
+//! fsm.specify(0, 0, 1, 1)?; // state 0 --in 0/out 1--> state 1
+//! fsm.specify(1, 0, 2, 2)?;
+//! fsm.specify(2, 0, 0, 3)?;
+//!
+//! let key = Key { inputs: vec![3, 1, 2], signature: vec![1, 0, 1] };
+//! let watermarked = embed_signature(&fsm, &key)?;
+//!
+//! assert!(verify_signature(&watermarked.fsm, &key)?);
+//! assert!(!verify_signature(&fsm, &key)?, "unwatermarked part fails");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod machine;
+pub mod reachability;
+mod watermark;
+
+pub use error::FsmError;
+pub use machine::{Fsm, StateId, Symbol};
+pub use watermark::{embed_signature, verify_signature, Key, WatermarkedFsm};

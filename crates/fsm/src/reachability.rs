@@ -1,0 +1,172 @@
+//! Reachability analysis of (watermarked) state machines.
+//!
+//! The stealth of an FSM watermark rests on its states being invisible to
+//! anyone who doesn't hold the key: they *are* reachable (the key reaches
+//! them), but only through input words an attacker has no reason to apply.
+//! These queries quantify that: full reachability (attacker with the
+//! netlist), functional reachability (attacker observing normal
+//! operation), and the watermark's exposure = the difference.
+
+use crate::{Fsm, FsmError, StateId, Symbol};
+use std::collections::VecDeque;
+
+/// States reachable from reset using *any* input symbols (an attacker who
+/// can drive the inputs exhaustively).
+///
+/// # Errors
+///
+/// Currently infallible for a well-formed machine; the `Result` mirrors
+/// the other queries.
+pub fn reachable_states(fsm: &Fsm) -> Result<Vec<StateId>, FsmError> {
+    reachable_with(fsm, |_, _| true)
+}
+
+/// States reachable from reset using only the given input symbols (an
+/// attacker limited to a functional stimulus set).
+///
+/// # Errors
+///
+/// Returns [`FsmError::UnknownSymbol`] when `allowed` contains symbols
+/// outside the alphabet.
+pub fn functionally_reachable_states(
+    fsm: &Fsm,
+    allowed: &[Symbol],
+) -> Result<Vec<StateId>, FsmError> {
+    for &symbol in allowed {
+        if symbol >= fsm.input_count() {
+            return Err(FsmError::UnknownSymbol {
+                symbol,
+                alphabet: fsm.input_count(),
+            });
+        }
+    }
+    reachable_with(fsm, |_, input| allowed.contains(&input))
+}
+
+fn reachable_with(
+    fsm: &Fsm,
+    permit: impl Fn(StateId, Symbol) -> bool,
+) -> Result<Vec<StateId>, FsmError> {
+    let mut seen = vec![false; fsm.state_count() as usize];
+    let mut queue = VecDeque::from([0u32]);
+    seen[0] = true;
+    while let Some(state) = queue.pop_front() {
+        for input in 0..fsm.input_count() {
+            if !permit(state, input) {
+                continue;
+            }
+            if let Some((next, _)) = fsm.transition(state, input)? {
+                if !seen[next as usize] {
+                    seen[next as usize] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    Ok((0..fsm.state_count())
+        .filter(|&s| seen[s as usize])
+        .collect())
+}
+
+/// The watermark-exposure report of a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExposureReport {
+    /// States reachable with arbitrary inputs.
+    pub reachable: Vec<StateId>,
+    /// States reachable with the functional stimulus set only.
+    pub functionally_reachable: Vec<StateId>,
+}
+
+impl ExposureReport {
+    /// States only an out-of-band stimulus (like the key) can reach —
+    /// where the watermark hides.
+    pub fn hidden_states(&self) -> Vec<StateId> {
+        self.reachable
+            .iter()
+            .copied()
+            .filter(|s| !self.functionally_reachable.contains(s))
+            .collect()
+    }
+}
+
+/// Computes both reachability sets at once.
+///
+/// # Errors
+///
+/// Returns [`FsmError::UnknownSymbol`] for out-of-alphabet entries in
+/// `functional_inputs`.
+pub fn exposure(fsm: &Fsm, functional_inputs: &[Symbol]) -> Result<ExposureReport, FsmError> {
+    Ok(ExposureReport {
+        reachable: reachable_states(fsm)?,
+        functionally_reachable: functionally_reachable_states(fsm, functional_inputs)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{embed_signature, Key};
+
+    fn controller() -> Fsm {
+        let mut fsm = Fsm::new(4, 4, 4).expect("valid dims");
+        for s in 0..4 {
+            fsm.specify(s, 0, (s + 1) % 4, s as u8).expect("fresh");
+            fsm.specify(s, 1, 0, 3).expect("fresh");
+        }
+        fsm
+    }
+
+    #[test]
+    fn all_functional_states_are_reachable() {
+        let fsm = controller();
+        assert_eq!(reachable_states(&fsm).expect("ok"), vec![0, 1, 2, 3]);
+        assert_eq!(
+            functionally_reachable_states(&fsm, &[0, 1]).expect("ok"),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn watermark_states_hide_from_functional_stimulus() {
+        let key = Key {
+            inputs: vec![2, 3, 2],
+            signature: vec![1, 0, 2],
+        };
+        let wm = embed_signature(&controller(), &key).expect("embeds");
+        let report = exposure(&wm.fsm, &[0, 1]).expect("ok");
+        // The full-reachability attacker sees everything…
+        assert_eq!(report.reachable.len() as u32, wm.fsm.state_count());
+        // …but functional operation never enters the watermark chain.
+        assert_eq!(report.hidden_states(), wm.added_states);
+    }
+
+    #[test]
+    fn disconnected_states_stay_unreached() {
+        let mut fsm = controller();
+        let orphan = fsm.add_state();
+        let reachable = reachable_states(&fsm).expect("ok");
+        assert!(!reachable.contains(&orphan));
+    }
+
+    #[test]
+    fn restricted_stimulus_shrinks_the_set() {
+        let fsm = controller();
+        // Input 1 always returns to reset, so alone it reaches nothing new.
+        assert_eq!(
+            functionally_reachable_states(&fsm, &[1]).expect("ok"),
+            vec![0]
+        );
+        assert_eq!(
+            functionally_reachable_states(&fsm, &[]).expect("ok"),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn bad_symbols_are_rejected() {
+        assert!(matches!(
+            functionally_reachable_states(&controller(), &[9]).unwrap_err(),
+            FsmError::UnknownSymbol { symbol: 9, .. }
+        ));
+    }
+}

@@ -1,0 +1,302 @@
+use crate::{Fsm, FsmError, StateId, Symbol};
+
+/// The vendor's secret: an input word and the output signature the
+/// watermarked machine must answer it with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Key {
+    /// The secret input word, applied from reset.
+    pub inputs: Vec<Symbol>,
+    /// The expected output signature.
+    pub signature: Vec<Symbol>,
+}
+
+impl Key {
+    /// Key length in symbols.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the key is empty (invalid for embedding).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+/// The result of embedding: the watermarked machine plus accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatermarkedFsm {
+    /// The machine with the signature path inserted.
+    pub fsm: Fsm,
+    /// Ids of the inserted watermark states.
+    pub added_states: Vec<StateId>,
+    /// State registers before embedding.
+    pub registers_before: u32,
+    /// State registers after embedding.
+    pub registers_after: u32,
+}
+
+impl WatermarkedFsm {
+    /// Extra state registers the watermark cost (frequently zero — the
+    /// "0 % area overhead" result of the FSM-watermarking literature,
+    /// achieved when the added states fit the existing encoding slack).
+    pub fn register_overhead(&self) -> u32 {
+        self.registers_after - self.registers_before
+    }
+}
+
+/// Embeds a signature path à la Torunoglu & Charbon: a chain of fresh
+/// states traversed only by the key word, emitting the signature; any
+/// wrong symbol mid-chain falls back to reset. All *specified* original
+/// behaviour is preserved exactly (the chain entry consumes a don't-care
+/// transition of the reset state).
+///
+/// # Errors
+///
+/// Returns [`FsmError::InvalidKey`] for empty/mismatched keys,
+/// [`FsmError::KeyCollidesWithFunction`] when the key's first symbol is
+/// already functionally specified from reset, and range errors for
+/// out-of-alphabet symbols.
+pub fn embed_signature(original: &Fsm, key: &Key) -> Result<WatermarkedFsm, FsmError> {
+    if key.is_empty() || key.inputs.len() != key.signature.len() {
+        return Err(FsmError::InvalidKey);
+    }
+    for &symbol in &key.inputs {
+        if symbol >= original.input_count() {
+            return Err(FsmError::UnknownSymbol {
+                symbol,
+                alphabet: original.input_count(),
+            });
+        }
+    }
+    for &symbol in &key.signature {
+        if symbol >= original.output_count() {
+            return Err(FsmError::UnknownSymbol {
+                symbol,
+                alphabet: original.output_count(),
+            });
+        }
+    }
+    if original.transition(0, key.inputs[0])?.is_some() {
+        return Err(FsmError::KeyCollidesWithFunction {
+            input: key.inputs[0],
+        });
+    }
+
+    let mut fsm = original.clone();
+    let registers_before = fsm.state_registers();
+
+    // Chain states w1..wm; the final key symbol returns to reset, so the
+    // machine is usable again right after verification.
+    let added_states: Vec<StateId> = (1..key.len()).map(|_| fsm.add_state()).collect();
+    let mut chain_targets: Vec<StateId> = added_states.clone();
+    chain_targets.push(0); // last hop back to reset
+
+    // Entry: reset --key[0]/sig[0]--> w1 (or reset for a 1-symbol key).
+    fsm.specify(0, key.inputs[0], chain_targets[0], key.signature[0])?;
+
+    // Chain hops, with every non-key input from a chain state falling back
+    // to reset emitting output 0 (a deliberately unremarkable answer).
+    for (i, &w) in added_states.iter().enumerate() {
+        for input in 0..fsm.input_count() {
+            if input == key.inputs[i + 1] {
+                fsm.specify(w, input, chain_targets[i + 1], key.signature[i + 1])?;
+            } else {
+                fsm.specify(w, input, 0, 0)?;
+            }
+        }
+    }
+
+    let registers_after = fsm.state_registers();
+    Ok(WatermarkedFsm {
+        fsm,
+        added_states,
+        registers_before,
+        registers_after,
+    })
+}
+
+/// The vendor-side check: apply the key from reset and compare the output
+/// word with the signature.
+///
+/// # Errors
+///
+/// Returns range errors for out-of-alphabet key symbols. An unspecified
+/// transition along the way reads as "not watermarked" rather than an
+/// error (an unwatermarked device may simply not implement the path).
+pub fn verify_signature(fsm: &Fsm, key: &Key) -> Result<bool, FsmError> {
+    match fsm.run(&key.inputs) {
+        Ok(outputs) => Ok(outputs == key.signature),
+        Err(FsmError::Unspecified { .. }) => Ok(false),
+        Err(other) => Err(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// A 4-state controller using inputs {0,1} functionally, leaving
+    /// inputs {2,3} as don't-cares.
+    fn controller() -> Fsm {
+        let mut fsm = Fsm::new(4, 4, 4).expect("valid dims");
+        for s in 0..4 {
+            fsm.specify(s, 0, (s + 1) % 4, s as u8).expect("fresh");
+            fsm.specify(s, 1, 0, 3).expect("fresh");
+        }
+        fsm
+    }
+
+    fn key() -> Key {
+        Key {
+            inputs: vec![2, 3, 2, 2],
+            signature: vec![1, 0, 2, 3],
+        }
+    }
+
+    #[test]
+    fn embedding_preserves_all_functional_behaviour() {
+        let original = controller();
+        let wm = embed_signature(&original, &key()).expect("embeds");
+
+        // Exhaustively compare every functional input word up to length 6.
+        let mut words = vec![vec![]];
+        for _ in 0..6 {
+            words = words
+                .into_iter()
+                .flat_map(|w| {
+                    [0u8, 1].iter().map(move |&i| {
+                        let mut w2 = w.clone();
+                        w2.push(i);
+                        w2
+                    })
+                })
+                .collect();
+        }
+        for word in words {
+            assert_eq!(
+                original.run(&word).expect("functional inputs specified"),
+                wm.fsm.run(&word).expect("still specified"),
+                "behaviour changed for {word:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn key_produces_the_signature_only_on_the_watermarked_machine() {
+        let original = controller();
+        let wm = embed_signature(&original, &key()).expect("embeds");
+        assert!(verify_signature(&wm.fsm, &key()).expect("runs"));
+        assert!(!verify_signature(&original, &key()).expect("runs"));
+    }
+
+    #[test]
+    fn wrong_keys_fail_verification() {
+        let wm = embed_signature(&controller(), &key()).expect("embeds");
+        // Wrong signature.
+        let mut wrong = key();
+        wrong.signature[2] ^= 1;
+        assert!(!verify_signature(&wm.fsm, &wrong).expect("runs"));
+        // Wrong input word (diverges mid-chain, falls back to reset).
+        let mut wrong = key();
+        wrong.inputs[1] = 2;
+        assert!(!verify_signature(&wm.fsm, &wrong).expect("runs"));
+    }
+
+    #[test]
+    fn machine_remains_usable_after_verification() {
+        let wm = embed_signature(&controller(), &key()).expect("embeds");
+        // Key then functional word: the chain's last hop returns to reset.
+        let mut word = key().inputs;
+        word.extend([0u8, 0, 0]);
+        let out = wm.fsm.run(&word).expect("specified");
+        assert_eq!(
+            &out[4..],
+            &[0, 1, 2],
+            "functional outputs resume from reset"
+        );
+    }
+
+    #[test]
+    fn area_accounting_matches_the_zero_overhead_story() {
+        let wm = embed_signature(&controller(), &key()).expect("embeds");
+        // 4 states → 7 states: 2 registers → 3 registers.
+        assert_eq!(wm.added_states.len(), 3);
+        assert_eq!(wm.registers_before, 2);
+        assert_eq!(wm.registers_after, 3);
+        assert_eq!(wm.register_overhead(), 1);
+
+        // A roomier encoding absorbs the watermark for free: 12 functional
+        // states (4 registers) + 3 watermark states still fit 4 registers.
+        let mut roomy = Fsm::new(12, 4, 4).expect("valid dims");
+        for s in 0..12 {
+            roomy.specify(s, 0, (s + 1) % 12, 0).expect("fresh");
+        }
+        let wm = embed_signature(&roomy, &key()).expect("embeds");
+        assert_eq!(wm.register_overhead(), 0, "the famous 0 % overhead");
+    }
+
+    #[test]
+    fn collisions_and_bad_keys_are_rejected() {
+        let original = controller();
+        // Key starting with a functionally used input.
+        let colliding = Key {
+            inputs: vec![0, 2],
+            signature: vec![0, 0],
+        };
+        assert_eq!(
+            embed_signature(&original, &colliding).unwrap_err(),
+            FsmError::KeyCollidesWithFunction { input: 0 }
+        );
+        // Mismatched lengths / empty.
+        let bad = Key {
+            inputs: vec![2],
+            signature: vec![],
+        };
+        assert_eq!(
+            embed_signature(&original, &bad).unwrap_err(),
+            FsmError::InvalidKey
+        );
+        let bad = Key {
+            inputs: vec![],
+            signature: vec![],
+        };
+        assert_eq!(
+            embed_signature(&original, &bad).unwrap_err(),
+            FsmError::InvalidKey
+        );
+        // Out-of-alphabet symbols.
+        let bad = Key {
+            inputs: vec![9],
+            signature: vec![0],
+        };
+        assert!(matches!(
+            embed_signature(&original, &bad).unwrap_err(),
+            FsmError::UnknownSymbol { symbol: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn random_probing_rarely_reveals_the_signature() {
+        // An attacker without the key who feeds random inputs and watches
+        // outputs: the probability of reproducing the 4-symbol signature
+        // by chance is (1/4)^4 per aligned window; verify a few thousand
+        // probes never verify.
+        let wm = embed_signature(&controller(), &key()).expect("embeds");
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            let probe = Key {
+                inputs: (0..4).map(|_| rng.random_range(0u8..4)).collect(),
+                signature: key().signature,
+            };
+            if probe.inputs == key().inputs {
+                continue; // the actual key, skip
+            }
+            assert!(
+                !verify_signature(&wm.fsm, &probe).expect("runs"),
+                "probe {probe:?} accidentally verified"
+            );
+        }
+    }
+}

@@ -1,0 +1,142 @@
+use clockmark_netlist::NetlistError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing `.cmn` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdlError {
+    /// A character the lexer does not recognise.
+    UnexpectedCharacter {
+        /// 1-based source line.
+        line: usize,
+        /// The offending character.
+        character: char,
+    },
+    /// The parser expected something else here.
+    Unexpected {
+        /// 1-based source line.
+        line: usize,
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// A name was used before being declared.
+    UnknownName {
+        /// 1-based source line.
+        line: usize,
+        /// The undeclared name.
+        name: String,
+    },
+    /// A name was declared twice.
+    DuplicateName {
+        /// 1-based source line.
+        line: usize,
+        /// The re-declared name.
+        name: String,
+    },
+    /// A required key (e.g. a register's `clock=`) is missing.
+    MissingKey {
+        /// 1-based source line.
+        line: usize,
+        /// The missing key.
+        key: &'static str,
+    },
+    /// A key appeared twice in one declaration.
+    DuplicateKey {
+        /// 1-based source line.
+        line: usize,
+        /// The duplicated key.
+        key: String,
+    },
+    /// The netlist rejected a construction (with the source line that
+    /// caused it).
+    Netlist {
+        /// 1-based source line.
+        line: usize,
+        /// The underlying error.
+        source: NetlistError,
+    },
+}
+
+impl HdlError {
+    /// The 1-based source line the error points at.
+    pub fn line(&self) -> usize {
+        match self {
+            HdlError::UnexpectedCharacter { line, .. }
+            | HdlError::Unexpected { line, .. }
+            | HdlError::UnknownName { line, .. }
+            | HdlError::DuplicateName { line, .. }
+            | HdlError::MissingKey { line, .. }
+            | HdlError::DuplicateKey { line, .. }
+            | HdlError::Netlist { line, .. } => *line,
+        }
+    }
+}
+
+impl fmt::Display for HdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdlError::UnexpectedCharacter { line, character } => {
+                write!(f, "line {line}: unexpected character {character:?}")
+            }
+            HdlError::Unexpected {
+                line,
+                expected,
+                found,
+            } => {
+                write!(f, "line {line}: expected {expected}, found {found}")
+            }
+            HdlError::UnknownName { line, name } => {
+                write!(f, "line {line}: unknown name `{name}`")
+            }
+            HdlError::DuplicateName { line, name } => {
+                write!(f, "line {line}: name `{name}` is already declared")
+            }
+            HdlError::MissingKey { line, key } => {
+                write!(f, "line {line}: missing required key `{key}`")
+            }
+            HdlError::DuplicateKey { line, key } => {
+                write!(f, "line {line}: duplicate key `{key}`")
+            }
+            HdlError::Netlist { line, source } => {
+                write!(f, "line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for HdlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HdlError::Netlist { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_accessor_and_display() {
+        let err = HdlError::UnknownName {
+            line: 7,
+            name: "x".into(),
+        };
+        assert_eq!(err.line(), 7);
+        assert!(err.to_string().contains("line 7"));
+        assert!(err.to_string().contains('x'));
+    }
+
+    #[test]
+    fn netlist_errors_chain() {
+        let err = HdlError::Netlist {
+            line: 3,
+            source: NetlistError::UnknownClockRoot,
+        };
+        assert!(err.source().is_some());
+    }
+}

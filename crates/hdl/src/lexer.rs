@@ -1,0 +1,137 @@
+use crate::HdlError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Token {
+    /// Identifier or bare number (`r0`, `toggle`, `1`).
+    Ident(String),
+    /// `=`
+    Equals,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Equals => write!(f, "`=`"),
+            Token::LParen => write!(f, "`(`"),
+            Token::RParen => write!(f, "`)`"),
+            Token::Comma => write!(f, "`,`"),
+        }
+    }
+}
+
+/// A tokenised source line that still knows its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Line {
+    pub number: usize,
+    pub tokens: Vec<Token>,
+}
+
+/// Splits source text into non-empty token lines. Comments (`#` to end of
+/// line) and blank lines disappear.
+pub(crate) fn tokenize(source: &str) -> Result<Vec<Line>, HdlError> {
+    let mut lines = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let number = i + 1;
+        let mut tokens = Vec::new();
+        let mut chars = raw.chars().peekable();
+        while let Some(&c) = chars.peek() {
+            match c {
+                '#' => break,
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                '=' => {
+                    chars.next();
+                    tokens.push(Token::Equals);
+                }
+                '(' => {
+                    chars.next();
+                    tokens.push(Token::LParen);
+                }
+                ')' => {
+                    chars.next();
+                    tokens.push(Token::RParen);
+                }
+                ',' => {
+                    chars.next();
+                    tokens.push(Token::Comma);
+                }
+                c if c.is_ascii_alphanumeric() || c == '_' => {
+                    let mut ident = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            ident.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Token::Ident(ident));
+                }
+                other => {
+                    return Err(HdlError::UnexpectedCharacter {
+                        line: number,
+                        character: other,
+                    })
+                }
+            }
+        }
+        if !tokens.is_empty() {
+            lines.push(Line { number, tokens });
+        }
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_declaration() {
+        let lines = tokenize("reg r0 clock=clk data=shift(r1)").expect("lexes");
+        assert_eq!(lines.len(), 1);
+        let t = &lines[0].tokens;
+        assert_eq!(t[0], Token::Ident("reg".into()));
+        assert_eq!(t[1], Token::Ident("r0".into()));
+        assert_eq!(t[2], Token::Ident("clock".into()));
+        assert_eq!(t[3], Token::Equals);
+        assert_eq!(t[4], Token::Ident("clk".into()));
+        assert_eq!(t[8], Token::LParen);
+        assert_eq!(t[10], Token::RParen);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_vanish() {
+        let lines = tokenize("# header\n\nclock clk # trailing\n\n# done\n").expect("lexes");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].number, 3);
+        assert_eq!(lines[0].tokens.len(), 2);
+    }
+
+    #[test]
+    fn bad_characters_report_their_line() {
+        let err = tokenize("clock clk\nreg r0 @clock").unwrap_err();
+        assert_eq!(
+            err,
+            HdlError::UnexpectedCharacter {
+                line: 2,
+                character: '@'
+            }
+        );
+    }
+
+    #[test]
+    fn numbers_lex_as_identifiers() {
+        let lines = tokenize("reg r0 init=1").expect("lexes");
+        assert_eq!(lines[0].tokens[4], Token::Ident("1".into()));
+    }
+}

@@ -1,0 +1,64 @@
+//! The `.cmn` text netlist format: parse and serialize
+//! [`Netlist`](clockmark_netlist::Netlist)s.
+//!
+//! The watermark-insertion flow the paper targets operates on RTL files an
+//! IP vendor ships and an integrator synthesises. This crate provides the
+//! file interchange for the `clockmark` tool suite: a small line-oriented
+//! netlist language covering exactly the model of `clockmark-netlist`
+//! (clock roots, groups, combinational signals, buffers, clock gates,
+//! registers, and post-declaration rewires for sequential loops).
+//!
+//! # Format
+//!
+//! ```text
+//! # comments run to end of line
+//! clock clk
+//! group watermark
+//!
+//! signal en    = external
+//! signal n_en  = not(en)
+//!
+//! buffer b0 clock=clk
+//! icg    g0 clock=b0 enable=en group=watermark
+//! reg    r0 clock=g0 data=toggle init=1 group=watermark
+//! reg    r1 clock=g0 data=shift(r0)
+//! signal q1 = reg(r1)
+//! reg    r2 clock=clk data=signal(q1) enable=en
+//!
+//! # sequential loops are closed after declaration:
+//! rewire r0 data=shift(r1)
+//! # clock-gate enables can also be retargeted (watermark insertion):
+//! rewire g0 enable=n_en
+//! ```
+//!
+//! # Round trip
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use clockmark_hdl::{parse, serialize};
+//! use clockmark_netlist::{GroupId, Netlist, RegisterConfig};
+//!
+//! let mut netlist = Netlist::new();
+//! let clk = netlist.add_clock_root("clk");
+//! netlist.add_register(GroupId::TOP, RegisterConfig::new(clk.into()))?;
+//!
+//! let text = serialize(&netlist);
+//! let reparsed = parse(&text)?;
+//! assert_eq!(reparsed.register_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod lexer;
+mod parser;
+mod verilog;
+mod writer;
+
+pub use error::HdlError;
+pub use parser::parse;
+pub use verilog::to_verilog;
+pub use writer::serialize;

@@ -1,0 +1,571 @@
+use crate::lexer::{tokenize, Line, Token};
+use crate::HdlError;
+use clockmark_netlist::{
+    CellId, ClockInput, ClockRootId, DataSource, GroupId, Netlist, NetlistError, RegisterConfig,
+    SignalExpr, SignalId,
+};
+use std::collections::HashMap;
+
+/// What a declared name refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Binding {
+    Clock(ClockRootId),
+    Group(GroupId),
+    Cell(CellId),
+    Signal(SignalId),
+}
+
+impl Binding {
+    fn kind(&self) -> &'static str {
+        match self {
+            Binding::Clock(_) => "clock",
+            Binding::Group(_) => "group",
+            Binding::Cell(_) => "cell",
+            Binding::Signal(_) => "signal",
+        }
+    }
+}
+
+/// Parses `.cmn` source into a validated [`Netlist`].
+///
+/// # Errors
+///
+/// Returns an [`HdlError`] carrying the offending 1-based source line for
+/// lexical, syntactic, name-resolution and netlist-consistency problems.
+pub fn parse(source: &str) -> Result<Netlist, HdlError> {
+    let lines = tokenize(source)?;
+    let mut parser = Parser {
+        netlist: Netlist::new(),
+        names: HashMap::new(),
+    };
+    parser
+        .names
+        .insert("top".to_owned(), Binding::Group(GroupId::TOP));
+    for line in &lines {
+        parser.statement(line)?;
+    }
+    parser
+        .netlist
+        .validate()
+        .map_err(|source| HdlError::Netlist { line: 0, source })?;
+    Ok(parser.netlist)
+}
+
+struct Parser {
+    netlist: Netlist,
+    names: HashMap<String, Binding>,
+}
+
+/// A cursor over one line's tokens.
+struct Cursor<'a> {
+    line: usize,
+    tokens: &'a [Token],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(line: &'a Line) -> Self {
+        Cursor {
+            line: line.number,
+            tokens: &line.tokens,
+            at: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.at)
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.at);
+        self.at += 1;
+        t
+    }
+
+    fn unexpected(&self, expected: &str) -> HdlError {
+        HdlError::Unexpected {
+            line: self.line,
+            expected: expected.to_owned(),
+            found: match self.tokens.get(self.at) {
+                Some(t) => t.to_string(),
+                None => "end of line".to_owned(),
+            },
+        }
+    }
+
+    fn ident(&mut self, expected: &str) -> Result<String, HdlError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.at += 1;
+                Ok(s)
+            }
+            _ => Err(self.unexpected(expected)),
+        }
+    }
+
+    fn expect(&mut self, token: Token, expected: &str) -> Result<(), HdlError> {
+        if self.peek() == Some(&token) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.unexpected(expected))
+        }
+    }
+
+    fn end(&self) -> Result<(), HdlError> {
+        if self.at == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.unexpected("end of line"))
+        }
+    }
+}
+
+/// Key-value pairs of a cell declaration.
+struct KeyValues {
+    line: usize,
+    values: HashMap<String, KeyValue>,
+}
+
+enum KeyValue {
+    Name(String),
+    Data { head: String, arg: Option<String> },
+}
+
+impl KeyValues {
+    fn take_name(&mut self, key: &'static str) -> Result<Option<String>, HdlError> {
+        match self.values.remove(key) {
+            None => Ok(None),
+            Some(KeyValue::Name(n)) => Ok(Some(n)),
+            Some(KeyValue::Data { .. }) => Err(HdlError::Unexpected {
+                line: self.line,
+                expected: format!("plain name for `{key}`"),
+                found: "call syntax".to_owned(),
+            }),
+        }
+    }
+
+    fn require_name(&mut self, key: &'static str) -> Result<String, HdlError> {
+        self.take_name(key)?.ok_or(HdlError::MissingKey {
+            line: self.line,
+            key,
+        })
+    }
+
+    fn finish(self) -> Result<(), HdlError> {
+        if let Some(key) = self.values.into_keys().next() {
+            return Err(HdlError::Unexpected {
+                line: self.line,
+                expected: "a known key".to_owned(),
+                found: format!("`{key}`"),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Parser {
+    fn bind(&mut self, line: usize, name: &str, binding: Binding) -> Result<(), HdlError> {
+        if self.names.contains_key(name) {
+            return Err(HdlError::DuplicateName {
+                line,
+                name: name.to_owned(),
+            });
+        }
+        self.names.insert(name.to_owned(), binding);
+        Ok(())
+    }
+
+    fn lookup(&self, line: usize, name: &str) -> Result<Binding, HdlError> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| HdlError::UnknownName {
+                line,
+                name: name.to_owned(),
+            })
+    }
+
+    fn lookup_signal(&self, line: usize, name: &str) -> Result<SignalId, HdlError> {
+        match self.lookup(line, name)? {
+            Binding::Signal(s) => Ok(s),
+            other => Err(HdlError::Unexpected {
+                line,
+                expected: "a signal name".to_owned(),
+                found: format!("{} `{name}`", other.kind()),
+            }),
+        }
+    }
+
+    fn lookup_cell(&self, line: usize, name: &str) -> Result<CellId, HdlError> {
+        match self.lookup(line, name)? {
+            Binding::Cell(c) => Ok(c),
+            other => Err(HdlError::Unexpected {
+                line,
+                expected: "a cell name".to_owned(),
+                found: format!("{} `{name}`", other.kind()),
+            }),
+        }
+    }
+
+    fn lookup_clock(&self, line: usize, name: &str) -> Result<ClockInput, HdlError> {
+        match self.lookup(line, name)? {
+            Binding::Clock(c) => Ok(ClockInput::Root(c)),
+            Binding::Cell(c) => Ok(ClockInput::Cell(c)),
+            other => Err(HdlError::Unexpected {
+                line,
+                expected: "a clock root or clock-source cell".to_owned(),
+                found: format!("{} `{name}`", other.kind()),
+            }),
+        }
+    }
+
+    fn lookup_group(&self, line: usize, name: Option<String>) -> Result<GroupId, HdlError> {
+        match name {
+            None => Ok(GroupId::TOP),
+            Some(name) => match self.lookup(line, &name)? {
+                Binding::Group(g) => Ok(g),
+                other => Err(HdlError::Unexpected {
+                    line,
+                    expected: "a group name".to_owned(),
+                    found: format!("{} `{name}`", other.kind()),
+                }),
+            },
+        }
+    }
+
+    fn netlist_err(line: usize) -> impl Fn(NetlistError) -> HdlError {
+        move |source| HdlError::Netlist { line, source }
+    }
+
+    fn statement(&mut self, line: &Line) -> Result<(), HdlError> {
+        let mut cursor = Cursor::new(line);
+        let keyword = cursor.ident("a statement keyword")?;
+        match keyword.as_str() {
+            "clock" => {
+                let name = cursor.ident("a clock name")?;
+                cursor.end()?;
+                let id = self.netlist.add_clock_root(&name);
+                self.bind(line.number, &name, Binding::Clock(id))
+            }
+            "group" => {
+                let name = cursor.ident("a group name")?;
+                cursor.end()?;
+                let id = self.netlist.add_group(&name);
+                self.bind(line.number, &name, Binding::Group(id))
+            }
+            "signal" => self.signal_statement(line.number, &mut cursor),
+            "buffer" | "icg" | "reg" => self.cell_statement(&keyword, line.number, &mut cursor),
+            "rewire" => self.rewire_statement(line.number, &mut cursor),
+            other => Err(HdlError::Unexpected {
+                line: line.number,
+                expected: "clock/group/signal/buffer/icg/reg/rewire".to_owned(),
+                found: format!("`{other}`"),
+            }),
+        }
+    }
+
+    fn signal_statement(&mut self, line: usize, cursor: &mut Cursor<'_>) -> Result<(), HdlError> {
+        let name = cursor.ident("a signal name")?;
+        cursor.expect(Token::Equals, "`=`")?;
+        let head = cursor.ident("a signal expression")?;
+        let expr = match head.as_str() {
+            "external" => SignalExpr::External,
+            "const" => {
+                let bit = self.call_one_arg(line, cursor)?;
+                SignalExpr::Const(parse_bit(line, &bit)?)
+            }
+            "reg" => {
+                let cell = self.call_one_arg(line, cursor)?;
+                SignalExpr::RegOutput(self.lookup_cell(line, &cell)?)
+            }
+            "not" => {
+                let a = self.call_one_arg(line, cursor)?;
+                SignalExpr::Not(self.lookup_signal(line, &a)?)
+            }
+            op @ ("and" | "or" | "xor") => {
+                let (a, b) = self.call_two_args(line, cursor)?;
+                let a = self.lookup_signal(line, &a)?;
+                let b = self.lookup_signal(line, &b)?;
+                match op {
+                    "and" => SignalExpr::And(a, b),
+                    "or" => SignalExpr::Or(a, b),
+                    _ => SignalExpr::Xor(a, b),
+                }
+            }
+            other => {
+                return Err(HdlError::Unexpected {
+                    line,
+                    expected: "external/const/reg/and/or/xor/not".to_owned(),
+                    found: format!("`{other}`"),
+                })
+            }
+        };
+        cursor.end()?;
+        let id = self
+            .netlist
+            .add_signal(&name, expr)
+            .map_err(Self::netlist_err(line))?;
+        self.bind(line, &name, Binding::Signal(id))
+    }
+
+    fn call_one_arg(&self, _line: usize, cursor: &mut Cursor<'_>) -> Result<String, HdlError> {
+        cursor.expect(Token::LParen, "`(`")?;
+        let arg = cursor.ident("an argument")?;
+        cursor.expect(Token::RParen, "`)`")?;
+        Ok(arg)
+    }
+
+    fn call_two_args(
+        &self,
+        _line: usize,
+        cursor: &mut Cursor<'_>,
+    ) -> Result<(String, String), HdlError> {
+        cursor.expect(Token::LParen, "`(`")?;
+        let a = cursor.ident("an argument")?;
+        cursor.expect(Token::Comma, "`,`")?;
+        let b = cursor.ident("an argument")?;
+        cursor.expect(Token::RParen, "`)`")?;
+        Ok((a, b))
+    }
+
+    fn key_values(&self, line: usize, cursor: &mut Cursor<'_>) -> Result<KeyValues, HdlError> {
+        let mut values = HashMap::new();
+        while cursor.peek().is_some() {
+            let key = cursor.ident("a key")?;
+            cursor.expect(Token::Equals, "`=`")?;
+            let head = cursor.ident("a value")?;
+            let value = if cursor.peek() == Some(&Token::LParen) {
+                cursor.next();
+                let arg = cursor.ident("an argument")?;
+                cursor.expect(Token::RParen, "`)`")?;
+                KeyValue::Data {
+                    head,
+                    arg: Some(arg),
+                }
+            } else {
+                KeyValue::Name(head)
+            };
+            if values.insert(key.clone(), value).is_some() {
+                return Err(HdlError::DuplicateKey { line, key });
+            }
+        }
+        Ok(KeyValues { line, values })
+    }
+
+    fn take_data(&self, kv: &mut KeyValues) -> Result<Option<DataSource>, HdlError> {
+        let line = kv.line;
+        let Some(value) = kv.values.remove("data") else {
+            return Ok(None);
+        };
+        let (head, arg) = match value {
+            KeyValue::Name(n) => (n, None),
+            KeyValue::Data { head, arg } => (head, arg),
+        };
+        let data = match (head.as_str(), arg) {
+            ("toggle", None) => DataSource::Toggle,
+            ("hold", None) => DataSource::Hold,
+            ("const", Some(bit)) => DataSource::Constant(parse_bit(line, &bit)?),
+            ("shift", Some(cell)) => DataSource::ShiftFrom(self.lookup_cell(line, &cell)?),
+            ("signal", Some(sig)) => DataSource::Signal(self.lookup_signal(line, &sig)?),
+            (other, _) => {
+                return Err(HdlError::Unexpected {
+                    line,
+                    expected: "toggle/hold/const(b)/shift(cell)/signal(sig)".to_owned(),
+                    found: format!("`{other}`"),
+                })
+            }
+        };
+        Ok(Some(data))
+    }
+
+    fn cell_statement(
+        &mut self,
+        kind: &str,
+        line: usize,
+        cursor: &mut Cursor<'_>,
+    ) -> Result<(), HdlError> {
+        let name = cursor.ident("a cell name")?;
+        let mut kv = self.key_values(line, cursor)?;
+
+        let clock_name = kv.require_name("clock")?;
+        let clock = self.lookup_clock(line, &clock_name)?;
+        let group = {
+            let g = kv.take_name("group")?;
+            self.lookup_group(line, g)?
+        };
+
+        let id = match kind {
+            "buffer" => {
+                kv.finish()?;
+                self.netlist
+                    .add_buffer(group, clock)
+                    .map_err(Self::netlist_err(line))?
+            }
+            "icg" => {
+                let enable_name = kv.require_name("enable")?;
+                let enable = self.lookup_signal(line, &enable_name)?;
+                kv.finish()?;
+                self.netlist
+                    .add_icg(group, clock, enable)
+                    .map_err(Self::netlist_err(line))?
+            }
+            "reg" => {
+                let mut config = RegisterConfig::new(clock);
+                if let Some(data) = self.take_data(&mut kv)? {
+                    config = config.data(data);
+                }
+                if let Some(init) = kv.take_name("init")? {
+                    config = config.init(parse_bit(line, &init)?);
+                }
+                if let Some(enable) = kv.take_name("enable")? {
+                    config = config.sync_enable(self.lookup_signal(line, &enable)?);
+                }
+                kv.finish()?;
+                self.netlist
+                    .add_register(group, config)
+                    .map_err(Self::netlist_err(line))?
+            }
+            _ => unreachable!("caller matched the keyword"),
+        };
+        self.netlist
+            .name_cell(id, &name)
+            .map_err(Self::netlist_err(line))?;
+        self.bind(line, &name, Binding::Cell(id))
+    }
+
+    fn rewire_statement(&mut self, line: usize, cursor: &mut Cursor<'_>) -> Result<(), HdlError> {
+        let name = cursor.ident("a cell name")?;
+        let cell = self.lookup_cell(line, &name)?;
+        let mut kv = self.key_values(line, cursor)?;
+
+        if let Some(data) = self.take_data(&mut kv)? {
+            self.netlist
+                .set_register_data(cell, data)
+                .map_err(Self::netlist_err(line))?;
+        }
+        if let Some(enable) = kv.take_name("enable")? {
+            let enable = self.lookup_signal(line, &enable)?;
+            self.netlist
+                .set_icg_enable(cell, enable)
+                .map_err(Self::netlist_err(line))?;
+        }
+        kv.finish()
+    }
+}
+
+fn parse_bit(line: usize, text: &str) -> Result<bool, HdlError> {
+    match text {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        other => Err(HdlError::Unexpected {
+            line,
+            expected: "`0` or `1`".to_owned(),
+            found: format!("`{other}`"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockmark_netlist::CellKind;
+
+    #[test]
+    fn parses_the_crate_docs_example() {
+        let source = "\
+# comments run to end of line
+clock clk
+group watermark
+
+signal en    = external
+signal n_en  = not(en)
+
+buffer b0 clock=clk
+icg    g0 clock=b0 enable=en group=watermark
+reg    r0 clock=g0 data=toggle init=1 group=watermark
+reg    r1 clock=g0 data=shift(r0)
+signal q1 = reg(r1)
+reg    r2 clock=clk data=signal(q1) enable=en
+
+rewire r0 data=shift(r1)
+rewire g0 enable=n_en
+";
+        let netlist = parse(source).expect("parses");
+        assert_eq!(netlist.clock_root_count(), 1);
+        assert_eq!(netlist.group_count(), 2);
+        assert_eq!(netlist.register_count(), 3);
+        assert_eq!(netlist.icg_count(), 1);
+        assert_eq!(netlist.buffer_count(), 1);
+        assert_eq!(netlist.signal_count(), 3);
+
+        // The rewires took effect.
+        let wm = netlist.group("watermark").expect("declared");
+        let cells = netlist.cells_in_group(wm);
+        assert_eq!(cells.len(), 2); // g0 + r0
+        let r0 = cells
+            .iter()
+            .find(|&&c| netlist.cell(c).expect("known").kind.is_register())
+            .copied()
+            .expect("r0 in group");
+        match netlist.cell(r0).expect("known").kind {
+            CellKind::Register(config) => {
+                assert!(matches!(config.data, DataSource::ShiftFrom(_)));
+                assert!(config.init);
+            }
+            _ => panic!("not a register"),
+        }
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let cases: &[(&str, usize)] = &[
+            ("clock clk\nreg r0 clock=nope", 2),
+            ("signal s = and(a, b)", 1),
+            ("clock clk\nclock clk", 2),
+            ("clock clk\nreg r0 data=toggle", 2),
+            ("clock clk\nreg r0 clock=clk clock=clk", 2),
+            ("clock clk\nreg r0 clock=clk init=2", 2),
+            ("widget w", 1),
+        ];
+        for (source, line) in cases {
+            let err = parse(source).unwrap_err();
+            assert_eq!(err.line(), *line, "for {source:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn kind_mismatches_are_diagnosed() {
+        // A group used as a clock.
+        let err = parse("group g\nreg r0 clock=g").unwrap_err();
+        assert!(err.to_string().contains("clock root"), "{err}");
+
+        // A cell used as a signal.
+        let err = parse("clock clk\nbuffer b clock=clk\nsignal s = not(b)").unwrap_err();
+        assert!(err.to_string().contains("signal name"), "{err}");
+
+        // Rewiring a buffer's data.
+        let err = parse("clock clk\nbuffer b clock=clk\nrewire b data=toggle").unwrap_err();
+        assert!(matches!(err, HdlError::Netlist { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let err = parse("clock clk\nreg r0 clock=clk colour=red").unwrap_err();
+        assert!(err.to_string().contains("colour"), "{err}");
+    }
+
+    #[test]
+    fn top_group_is_predeclared() {
+        let netlist = parse("clock clk\nreg r clock=clk group=top").expect("parses");
+        assert_eq!(netlist.register_count_in_group(GroupId::TOP), 1);
+    }
+
+    #[test]
+    fn cell_names_survive_into_the_netlist() {
+        let netlist = parse("clock clk\nreg counter_q clock=clk").expect("parses");
+        let (_, cell) = netlist.cells().next().expect("one cell");
+        assert_eq!(cell.name.as_deref(), Some("counter_q"));
+    }
+}

@@ -1,0 +1,259 @@
+use clockmark_netlist::{
+    CellId, CellKind, ClockInput, DataSource, GroupId, Netlist, SignalExpr, SignalId,
+};
+use std::fmt::Write as _;
+
+/// Serialises a netlist to `.cmn` text that [`parse`](crate::parse)
+/// accepts and that reconstructs a behaviourally identical netlist.
+///
+/// Names are canonical (`clk0`, `grp1`, `s0`, `c0`…); original cell names
+/// are preserved as comments. Sequential data loops and retargeted clock
+/// gates come out as `rewire` statements, and clock-gate enables are
+/// always rewired (through a constant placeholder signal) so arbitrary
+/// post-construction retargeting serialises correctly. The placeholder
+/// shifts signal ids by one, so round-trip comparisons should be
+/// behavioural, not id-based.
+pub fn serialize(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# clockmark netlist v1");
+
+    // --- clock roots and groups -----------------------------------------
+    for i in 0..netlist.clock_root_count() {
+        let name = netlist
+            .clock_root_name(clockmark_netlist_root(i))
+            .unwrap_or("");
+        let _ = writeln!(out, "clock clk{i} # {name}");
+    }
+    for i in 1..netlist.group_count() {
+        let name = netlist.group_name(group_id(i)).unwrap_or("");
+        let _ = writeln!(out, "group grp{i} # {name}");
+    }
+
+    let group_name = |g: GroupId| {
+        if g == GroupId::TOP {
+            "top".to_owned()
+        } else {
+            format!("grp{}", g.index())
+        }
+    };
+    let clock_name = |c: ClockInput| match c {
+        ClockInput::Root(r) => format!("clk{}", r.index()),
+        ClockInput::Cell(c) => format!("c{}", c.index()),
+    };
+    let sig_name = |s: SignalId| format!("s{}", s.index());
+    let cell_name = |c: CellId| format!("c{}", c.index());
+
+    // --- placeholder enable for clock gates ------------------------------
+    let has_icg = netlist.icg_count() > 0;
+    if has_icg {
+        let _ = writeln!(out, "signal ph_en = const(0) # placeholder, rewired below");
+    }
+
+    // --- precompute emission dependencies --------------------------------
+    let signals: Vec<(SignalId, SignalExpr)> = netlist
+        .signals()
+        .map(|(id, decl)| (id, decl.expr))
+        .collect();
+    let cells: Vec<CellId> = netlist.cells().map(|(id, _)| id).collect();
+
+    // For a signal: the largest cell id it reads (RegOutput), if any.
+    let sig_cell_dep = |expr: SignalExpr| -> Option<usize> {
+        match expr {
+            SignalExpr::RegOutput(c) => Some(c.index()),
+            _ => None,
+        }
+    };
+    // For a cell: the largest signal id its *inline* declaration needs
+    // (sync enables only; data and ICG enables are rewired).
+    let cell_sig_dep = |id: CellId| -> Option<usize> {
+        match netlist.cell(id).expect("iterating own ids").kind {
+            CellKind::Register(config) => config.sync_enable.map(|s| s.index()),
+            _ => None,
+        }
+    };
+
+    // --- merged emission --------------------------------------------------
+    let mut next_sig = 0usize;
+    let mut next_cell = 0usize;
+    let mut rewires: Vec<String> = Vec::new();
+
+    while next_sig < signals.len() || next_cell < cells.len() {
+        // Prefer signals; fall back to cells when the signal is blocked on
+        // a not-yet-emitted register.
+        let emit_signal = match signals.get(next_sig) {
+            Some((_, expr)) => match sig_cell_dep(*expr) {
+                Some(cell_dep) => cell_dep < next_cell,
+                None => true,
+            },
+            None => false,
+        };
+        if emit_signal {
+            let (id, expr) = signals[next_sig];
+            let rhs = match expr {
+                SignalExpr::Const(b) => format!("const({})", b as u8),
+                SignalExpr::External => "external".to_owned(),
+                SignalExpr::RegOutput(c) => format!("reg({})", cell_name(c)),
+                SignalExpr::And(a, b) => format!("and({}, {})", sig_name(a), sig_name(b)),
+                SignalExpr::Or(a, b) => format!("or({}, {})", sig_name(a), sig_name(b)),
+                SignalExpr::Xor(a, b) => format!("xor({}, {})", sig_name(a), sig_name(b)),
+                SignalExpr::Not(a) => format!("not({})", sig_name(a)),
+            };
+            let original = netlist.signal(id).expect("own id").name.clone();
+            let _ = writeln!(out, "signal {} = {rhs} # {original}", sig_name(id));
+            next_sig += 1;
+            continue;
+        }
+
+        let id = cells[next_cell];
+        if let Some(dep) = cell_sig_dep(id) {
+            assert!(
+                dep < next_sig,
+                "emission deadlock: cell {id} needs signal s{dep} (emitted {next_sig})"
+            );
+        }
+        let cell = netlist.cell(id).expect("own id");
+        let comment = cell.name.as_deref().unwrap_or("");
+        match cell.kind {
+            CellKind::ClockBuffer { clock } => {
+                let _ = writeln!(
+                    out,
+                    "buffer {} clock={} group={} # {comment}",
+                    cell_name(id),
+                    clock_name(clock),
+                    group_name(cell.group),
+                );
+            }
+            CellKind::ClockGate { clock, enable } => {
+                let _ = writeln!(
+                    out,
+                    "icg {} clock={} enable=ph_en group={} # {comment}",
+                    cell_name(id),
+                    clock_name(clock),
+                    group_name(cell.group),
+                );
+                rewires.push(format!(
+                    "rewire {} enable={}",
+                    cell_name(id),
+                    sig_name(enable)
+                ));
+            }
+            CellKind::Register(config) => {
+                let inline_data = match config.data {
+                    DataSource::Hold => Some("hold".to_owned()),
+                    DataSource::Toggle => Some("toggle".to_owned()),
+                    DataSource::Constant(b) => Some(format!("const({})", b as u8)),
+                    DataSource::ShiftFrom(src) => {
+                        rewires.push(format!(
+                            "rewire {} data=shift({})",
+                            cell_name(id),
+                            cell_name(src)
+                        ));
+                        None
+                    }
+                    DataSource::Signal(sig) => {
+                        rewires.push(format!(
+                            "rewire {} data=signal({})",
+                            cell_name(id),
+                            sig_name(sig)
+                        ));
+                        None
+                    }
+                };
+                let mut decl = format!(
+                    "reg {} clock={} data={} init={} group={}",
+                    cell_name(id),
+                    clock_name(config.clock),
+                    inline_data.unwrap_or_else(|| "hold".to_owned()),
+                    config.init as u8,
+                    group_name(cell.group),
+                );
+                if let Some(enable) = config.sync_enable {
+                    let _ = write!(decl, " enable={}", sig_name(enable));
+                }
+                let _ = writeln!(out, "{decl} # {comment}");
+            }
+        }
+        next_cell += 1;
+    }
+
+    for rewire in rewires {
+        let _ = writeln!(out, "{rewire}");
+    }
+    out
+}
+
+fn clockmark_netlist_root(index: usize) -> clockmark_netlist::ClockRootId {
+    clockmark_netlist::ClockRootId::from_index(index)
+}
+
+fn group_id(index: usize) -> GroupId {
+    GroupId::from_index(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use clockmark_netlist::{Netlist, RegisterConfig, SignalExpr};
+
+    fn round_trip(netlist: &Netlist) -> Netlist {
+        let text = serialize(netlist);
+        parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n--- text ---\n{text}"))
+    }
+
+    #[test]
+    fn simple_netlist_round_trips_counts() {
+        let mut n = Netlist::new();
+        let clk = n.add_clock_root("clk");
+        let en = n.add_signal("en", SignalExpr::External).expect("signal");
+        let icg = n.add_icg(GroupId::TOP, clk.into(), en).expect("icg");
+        let r0 = n
+            .add_register(
+                GroupId::TOP,
+                RegisterConfig::new(icg.into()).data(DataSource::Toggle),
+            )
+            .expect("register");
+        let r1 = n
+            .add_register(
+                GroupId::TOP,
+                RegisterConfig::new(clk.into())
+                    .data(DataSource::ShiftFrom(r0))
+                    .sync_enable(en),
+            )
+            .expect("register");
+        n.set_register_data(r0, DataSource::ShiftFrom(r1))
+            .expect("rewire");
+
+        let back = round_trip(&n);
+        assert_eq!(back.register_count(), 2);
+        assert_eq!(back.icg_count(), 1);
+        assert_eq!(back.clock_root_count(), 1);
+        // Placeholder adds one signal.
+        assert_eq!(back.signal_count(), n.signal_count() + 1);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn netlist_without_icgs_has_no_placeholder() {
+        let mut n = Netlist::new();
+        let clk = n.add_clock_root("clk");
+        n.add_register(GroupId::TOP, RegisterConfig::new(clk.into()))
+            .expect("register");
+        let text = serialize(&n);
+        assert!(!text.contains("ph_en"));
+        assert_eq!(round_trip(&n).signal_count(), 0);
+    }
+
+    #[test]
+    fn original_names_survive_as_comments() {
+        let mut n = Netlist::new();
+        let clk = n.add_clock_root("main_clock");
+        let reg = n
+            .add_register(GroupId::TOP, RegisterConfig::new(clk.into()))
+            .expect("register");
+        n.name_cell(reg, "status_flag").expect("known");
+        let text = serialize(&n);
+        assert!(text.contains("main_clock"));
+        assert!(text.contains("status_flag"));
+    }
+}

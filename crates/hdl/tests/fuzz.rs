@@ -1,0 +1,59 @@
+//! Parser robustness: arbitrary input must never panic — only parse or
+//! return a line-located error — and valid outputs must validate.
+
+use clockmark_hdl::parse;
+use proptest::prelude::*;
+
+/// Grammar-adjacent fragments that stress the parser more than pure noise.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("clock clk".to_owned()),
+        Just("group g".to_owned()),
+        Just("signal s = external".to_owned()),
+        Just("signal t = and(s, s)".to_owned()),
+        Just("signal u = const(1)".to_owned()),
+        Just("buffer b clock=clk".to_owned()),
+        Just("icg i clock=clk enable=s".to_owned()),
+        Just("reg r clock=clk data=toggle init=1".to_owned()),
+        Just("reg r2 clock=i data=shift(r)".to_owned()),
+        Just("rewire r data=hold".to_owned()),
+        Just("rewire i enable=u".to_owned()),
+        Just("# a comment".to_owned()),
+        Just("".to_owned()),
+        // Deliberately broken lines.
+        Just("reg".to_owned()),
+        Just("signal = external".to_owned()),
+        Just("reg r clock=".to_owned()),
+        Just("icg i clock=clk enable=clk".to_owned()),
+        Just("clock clk extra".to_owned()),
+        Just("reg r clock=clk data=shift()".to_owned()),
+        "[a-z]{1,8} [a-z]{1,8}=[a-z]{1,8}",
+        "[ -~]{0,40}",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_fragment_programs_never_panic(lines in proptest::collection::vec(fragment(), 0..25)) {
+        let source = lines.join("\n");
+        match parse(&source) {
+            Ok(netlist) => {
+                // Whatever parses must be a valid netlist.
+                prop_assert!(netlist.validate().is_ok());
+            }
+            Err(e) => {
+                // Errors must point at a line within the source (or 0 for
+                // whole-netlist validation).
+                prop_assert!(e.line() <= lines.len());
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics(source in "[\\PC\n]{0,300}") {
+        let _ = parse(&source);
+    }
+}

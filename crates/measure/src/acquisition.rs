@@ -1,0 +1,271 @@
+use crate::{gaussian, NoiseModel, Oscilloscope, PdnModel, ShuntProbe};
+use clockmark_power::{Frequency, Power, PowerTrace};
+use rand::RngExt;
+
+/// The per-cycle measured vector `Y` of the CPA detector.
+///
+/// Stored in power-equivalent watts (converted back through the shunt), so
+/// detection code can reason in the same units as the simulation. CPA is
+/// affine-invariant, so the unit choice does not influence ρ.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MeasuredTrace {
+    watts: Vec<f64>,
+}
+
+impl MeasuredTrace {
+    /// The per-cycle power-equivalent values.
+    pub fn as_watts(&self) -> &[f64] {
+        &self.watts
+    }
+
+    /// Number of measured cycles.
+    pub fn len(&self) -> usize {
+        self.watts.len()
+    }
+
+    /// Whether no cycles were measured.
+    pub fn is_empty(&self) -> bool {
+        self.watts.is_empty()
+    }
+
+    /// Converts into a plain [`PowerTrace`].
+    pub fn into_power_trace(self) -> PowerTrace {
+        PowerTrace::from_watts(self.watts)
+    }
+}
+
+/// The full acquisition chain: power → shunt voltage → oversampled, noisy,
+/// quantised scope samples → per-cycle averages.
+///
+/// See the [crate documentation](crate) for the model and an example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Acquisition {
+    /// Shunt/probe conversion.
+    pub shunt: ShuntProbe,
+    /// Scope front end.
+    pub scope: Oscilloscope,
+    /// Deterministic disturbances.
+    pub noise: NoiseModel,
+    /// Power-delivery-network smoothing between die and shunt (defaults to
+    /// none; see [`PdnModel`]).
+    pub pdn: PdnModel,
+    /// Device clock frequency (sets the averaging window).
+    pub f_clk: Frequency,
+}
+
+impl Acquisition {
+    /// The paper's chain: 270 mΩ shunt at 1.2 V, MSO6032A-like scope at
+    /// 500 MS/s, regulator-like ripple, at the given device clock.
+    pub fn paper_chain(f_clk: Frequency) -> Self {
+        Acquisition {
+            shunt: ShuntProbe::paper(),
+            scope: Oscilloscope::mso6032a(),
+            noise: NoiseModel::regulator_default(),
+            pdn: PdnModel::none(),
+            f_clk,
+        }
+    }
+
+    /// Scope samples averaged into one cycle value (50 in the paper).
+    pub fn samples_per_cycle(&self) -> usize {
+        (self.scope.sample_rate.hertz() / self.f_clk.hertz()).round() as usize
+    }
+
+    /// Effective white-noise σ of one *cycle-averaged* sample, expressed as
+    /// power. Useful for analytic SNR predictions: averaging `k` samples
+    /// divides the per-sample σ by √k.
+    pub fn cycle_noise_sigma(&self) -> Power {
+        let k = self.samples_per_cycle().max(1) as f64;
+        let sigma_v = self.scope.vertical_noise_volts / k.sqrt();
+        self.shunt.volts_to_power(sigma_v)
+    }
+
+    /// Digitises a per-cycle power trace into the measured vector `Y`.
+    ///
+    /// For each clock cycle the true shunt voltage is held constant (the
+    /// simulator already averages within the cycle), `samples_per_cycle()`
+    /// scope samples are drawn with ripple, drift and white noise, each is
+    /// quantised, and their mean becomes the cycle's measurement. The DC
+    /// level is auto-offset to the trace mean so the signal stays inside
+    /// the ADC range, exactly like centring the trace on a scope screen.
+    pub fn acquire<R: RngExt + ?Sized>(&self, power: &PowerTrace, rng: &mut R) -> MeasuredTrace {
+        let k = self.samples_per_cycle().max(1);
+        let dt = 1.0 / self.scope.sample_rate.hertz();
+        let t_cycle = self.f_clk.period_seconds();
+        let dc_offset = self.shunt.power_to_volts(power.mean());
+
+        let mut watts = Vec::with_capacity(power.len());
+        let mut drift = 0.0f64;
+        // PDN state: board voltage tracking the die voltage with a
+        // single-pole lag that persists across cycle boundaries.
+        let pdn_alpha = self.pdn.alpha(dt);
+        let mut pdn_state = power
+            .get(0)
+            .map(|p| self.shunt.power_to_volts(p) - dc_offset)
+            .unwrap_or(0.0);
+        for (cycle, p) in power.iter().enumerate() {
+            let v_true = self.shunt.power_to_volts(p) - dc_offset;
+            drift += gaussian(rng) * self.noise.drift_volts_per_cycle;
+            let t0 = cycle as f64 * t_cycle;
+            let mut acc = 0.0f64;
+            for s in 0..k {
+                let t = t0 + s as f64 * dt;
+                let v_board = if self.pdn.is_active() {
+                    pdn_state += pdn_alpha * (v_true - pdn_state);
+                    pdn_state
+                } else {
+                    v_true
+                };
+                let v = v_board
+                    + drift
+                    + self.noise.ripple_at(t)
+                    + gaussian(rng) * self.scope.vertical_noise_volts;
+                acc += self.scope.quantize(v);
+            }
+            let v_avg = acc / k as f64 + dc_offset;
+            watts.push(self.shunt.volts_to_power(v_avg).watts());
+        }
+        MeasuredTrace { watts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain() -> Acquisition {
+        Acquisition::paper_chain(Frequency::from_megahertz(10.0))
+    }
+
+    #[test]
+    fn fifty_samples_per_cycle_at_paper_settings() {
+        assert_eq!(chain().samples_per_cycle(), 50);
+    }
+
+    #[test]
+    fn acquisition_preserves_length_and_mean() {
+        let power = PowerTrace::constant(Power::from_milliwatts(5.0), 20_000);
+        let mut rng = StdRng::seed_from_u64(11);
+        let y = chain().acquire(&power, &mut rng);
+        assert_eq!(y.len(), 20_000);
+        // The calibrated chain noise is ~45 mW per averaged cycle, so the
+        // 20k-cycle mean has σ ≈ 0.32 mW.
+        let mean = y.as_watts().iter().sum::<f64>() / y.len() as f64;
+        assert!(
+            (mean - 5e-3).abs() < 1.2e-3,
+            "mean {mean} should be near 5 mW"
+        );
+    }
+
+    #[test]
+    fn averaging_reduces_noise_by_sqrt_k() {
+        // Empirical σ of the cycle-averaged trace should be close to the
+        // per-sample σ divided by √50 (drift/ripple/quantisation add a bit).
+        let power = PowerTrace::constant(Power::from_milliwatts(5.0), 4000);
+        let mut acq = chain();
+        acq.noise = NoiseModel::none();
+        let mut rng = StdRng::seed_from_u64(12);
+        let y = acq.acquire(&power, &mut rng);
+        let mean = y.as_watts().iter().sum::<f64>() / y.len() as f64;
+        let sigma = (y
+            .as_watts()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / y.len() as f64)
+            .sqrt();
+        let predicted = acq.cycle_noise_sigma().watts();
+        assert!(
+            (sigma - predicted).abs() / predicted < 0.15,
+            "sigma {sigma:.3e} vs predicted {predicted:.3e}"
+        );
+    }
+
+    #[test]
+    fn acquisition_is_deterministic_per_seed() {
+        let power = PowerTrace::constant(Power::from_milliwatts(3.0), 100);
+        let a = chain().acquire(&power, &mut StdRng::seed_from_u64(5));
+        let b = chain().acquire(&power, &mut StdRng::seed_from_u64(5));
+        let c = chain().acquire(&power, &mut StdRng::seed_from_u64(6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn watermark_amplitude_survives_the_chain() {
+        // A square-wave power signal must still be visible (in the mean
+        // difference sense) after digitisation.
+        let hi = Power::from_milliwatts(6.5);
+        let lo = Power::from_milliwatts(5.0);
+        let power: PowerTrace = (0..100_000)
+            .map(|i| if i % 2 == 0 { hi } else { lo })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(13);
+        let y = chain().acquire(&power, &mut rng);
+
+        let (mut sum_hi, mut sum_lo) = (0.0, 0.0);
+        for (i, v) in y.as_watts().iter().enumerate() {
+            if i % 2 == 0 {
+                sum_hi += v;
+            } else {
+                sum_lo += v;
+            }
+        }
+        let delta = (sum_hi - sum_lo) / (y.len() / 2) as f64;
+        // The calibrated front-end noise is ~45 mW per averaged cycle, so
+        // the mean-difference estimator over 50k cycle pairs has σ ≈ 0.3 mW.
+        assert!(
+            (delta - 1.5e-3).abs() < 1.0e-3,
+            "recovered amplitude {delta:.3e} should be near 1.5 mW"
+        );
+    }
+
+    #[test]
+    fn pdn_filtering_attenuates_the_recovered_square_wave() {
+        use crate::PdnModel;
+        let hi = Power::from_milliwatts(6.5);
+        let lo = Power::from_milliwatts(5.0);
+        let power: PowerTrace = (0..60_000)
+            .map(|i| if i % 2 == 0 { hi } else { lo })
+            .collect();
+
+        let mut ideal = chain();
+        ideal.noise = NoiseModel::none();
+        ideal.scope = ideal.scope.with_vertical_noise(1e-3);
+        let mut filtered = ideal;
+        filtered.pdn = PdnModel {
+            time_constant_s: 25e-9,
+        };
+
+        let swing = |acq: &Acquisition, seed: u64| {
+            let y = acq.acquire(&power, &mut StdRng::seed_from_u64(seed));
+            let (mut s_hi, mut s_lo) = (0.0, 0.0);
+            for (i, v) in y.as_watts().iter().enumerate() {
+                if i % 2 == 0 {
+                    s_hi += v;
+                } else {
+                    s_lo += v;
+                }
+            }
+            (s_hi - s_lo) / (y.len() / 2) as f64
+        };
+
+        let ideal_swing = swing(&ideal, 21);
+        let filtered_swing = swing(&filtered, 21);
+        let measured_attenuation = filtered_swing / ideal_swing;
+        let predicted = filtered.pdn.square_wave_attenuation(filtered.f_clk);
+        assert!(
+            (measured_attenuation - predicted).abs() < 0.05,
+            "attenuation {measured_attenuation:.3} vs analytic {predicted:.3}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_acquires_empty() {
+        let y = chain().acquire(&PowerTrace::new(), &mut StdRng::seed_from_u64(1));
+        assert!(y.is_empty());
+        assert_eq!(y.into_power_trace().len(), 0);
+    }
+}

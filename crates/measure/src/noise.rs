@@ -1,0 +1,117 @@
+use clockmark_power::Frequency;
+use rand::RngExt;
+
+/// Draws one standard-normal sample using the Marsaglia polar method.
+///
+/// Kept local so the crate needs no distribution dependency; the quality is
+/// ample for noise injection.
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let mean: f64 = (0..10_000).map(|_| clockmark_measure::gaussian(&mut rng)).sum::<f64>() / 1e4;
+/// assert!(mean.abs() < 0.05);
+/// ```
+pub fn gaussian<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
+        let v: f64 = rng.random::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Deterministic (non-white) disturbances on the measured rail.
+///
+/// Two components beyond the scope's white noise:
+///
+/// - a sinusoidal **supply ripple** (voltage-regulator switching residue),
+///   which adds a periodic component the CPA floor has to reject, and
+/// - a slow random-walk **drift** (thermal / regulator wander) applied per
+///   clock cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Peak amplitude of the supply ripple, in volts at the probe.
+    pub ripple_amplitude_volts: f64,
+    /// Frequency of the supply ripple.
+    pub ripple_frequency: Frequency,
+    /// Per-cycle standard deviation of the drift random walk, in volts.
+    pub drift_volts_per_cycle: f64,
+}
+
+impl NoiseModel {
+    /// A regulator-like default: 1 mV ripple at 133 kHz plus a slow
+    /// sub-microvolt drift.
+    pub fn regulator_default() -> Self {
+        NoiseModel {
+            ripple_amplitude_volts: 1e-3,
+            ripple_frequency: Frequency::from_hertz(133_000.0),
+            drift_volts_per_cycle: 2e-8,
+        }
+    }
+
+    /// A noiseless configuration (white scope noise still applies).
+    pub fn none() -> Self {
+        NoiseModel {
+            ripple_amplitude_volts: 0.0,
+            ripple_frequency: Frequency::from_hertz(1.0),
+            drift_volts_per_cycle: 0.0,
+        }
+    }
+
+    /// The ripple contribution at absolute time `t` seconds.
+    pub fn ripple_at(&self, t_seconds: f64) -> f64 {
+        if self.ripple_amplitude_volts == 0.0 {
+            return 0.0;
+        }
+        self.ripple_amplitude_volts
+            * (2.0 * std::f64::consts::PI * self.ripple_frequency.hertz() * t_seconds).sin()
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self::regulator_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn ripple_is_periodic_and_bounded() {
+        let noise = NoiseModel::regulator_default();
+        let period = 1.0 / noise.ripple_frequency.hertz();
+        for i in 0..100 {
+            let t = i as f64 * 1e-7;
+            let v = noise.ripple_at(t);
+            assert!(v.abs() <= noise.ripple_amplitude_volts + 1e-15);
+            assert!((v - noise.ripple_at(t + period)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn none_model_is_silent() {
+        let noise = NoiseModel::none();
+        assert_eq!(noise.ripple_at(0.123), 0.0);
+        assert_eq!(noise.drift_volts_per_cycle, 0.0);
+    }
+}

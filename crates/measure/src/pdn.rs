@@ -1,0 +1,215 @@
+use clockmark_power::Frequency;
+
+/// A first-order model of the power delivery network between the die and
+/// the shunt resistor.
+///
+/// On a real board the chip's cycle-by-cycle current steps are smoothed by
+/// the package inductance and decoupling capacitance before they reach the
+/// shunt: the board current follows the die current with a single-pole
+/// response of time constant `τ = R·C`. For the watermark this matters —
+/// the `WMARK` square wave is low-pass filtered, attenuating the
+/// cycle-aligned amplitude the CPA detector correlates against.
+///
+/// The default [`PdnModel::typical`] uses τ = 20 ns, a mild filter against
+/// the paper's 100 ns clock period; [`PdnModel::none`] bypasses filtering
+/// (the idealisation used unless a sweep asks otherwise).
+///
+/// ```
+/// use clockmark_measure::PdnModel;
+///
+/// let pdn = PdnModel::typical();
+/// let mut samples = vec![0.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// pdn.filter_samples(&mut samples, 2e-9);
+/// // The step is smoothed: the first post-step sample is well below 1.
+/// assert!(samples[1] < 0.2);
+/// // …and the response keeps rising towards the plateau.
+/// assert!(samples[5] > samples[2]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdnModel {
+    /// The RC time constant, in seconds. Zero disables filtering.
+    pub time_constant_s: f64,
+}
+
+impl PdnModel {
+    /// No PDN filtering (ideal measurement).
+    pub fn none() -> Self {
+        PdnModel {
+            time_constant_s: 0.0,
+        }
+    }
+
+    /// A typical small-package network: τ = 20 ns.
+    pub fn typical() -> Self {
+        PdnModel {
+            time_constant_s: 20e-9,
+        }
+    }
+
+    /// Whether the model actually filters.
+    pub fn is_active(&self) -> bool {
+        self.time_constant_s > 0.0
+    }
+
+    /// The single-pole smoothing factor for a sample interval `dt`.
+    pub fn alpha(&self, dt: f64) -> f64 {
+        if !self.is_active() {
+            return 1.0;
+        }
+        1.0 - (-dt / self.time_constant_s).exp()
+    }
+
+    /// Filters an oversampled waveform in place (board current given die
+    /// current), starting from the first sample's value at rest.
+    pub fn filter_samples(&self, samples: &mut [f64], dt: f64) {
+        if !self.is_active() || samples.is_empty() {
+            return;
+        }
+        let alpha = self.alpha(dt);
+        let mut state = samples[0];
+        for v in samples.iter_mut() {
+            state += alpha * (*v - state);
+            *v = state;
+        }
+    }
+
+    /// The attenuation of a cycle-alternating square wave after per-cycle
+    /// averaging, relative to the unfiltered wave — the worst-case
+    /// (fastest) spectral component of the watermark, for SNR predictions
+    /// (1.0 = no attenuation).
+    ///
+    /// At steady alternation with period `T` per level, the filtered state
+    /// bounces between `1/(1+e^(−r))` and its mirror (`r = T/τ`), and each
+    /// per-cycle average loses `q = (τ/T)(1 − e^(−r))` of the approach, so
+    /// the swing of the averages is `1 − q·(1 + tanh(r/2))`.
+    pub fn square_wave_attenuation(&self, f_clk: Frequency) -> f64 {
+        if !self.is_active() {
+            return 1.0;
+        }
+        let t = f_clk.period_seconds();
+        let tau = self.time_constant_s;
+        let r = t / tau;
+        let q = (1.0 - (-r).exp()) / r;
+        (1.0 - q * (1.0 + (r / 2.0).tanh())).clamp(0.0, 1.0)
+    }
+}
+
+impl Default for PdnModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn none_is_a_passthrough() {
+        let pdn = PdnModel::none();
+        let original = vec![0.5, -1.0, 3.0, 0.0];
+        let mut filtered = original.clone();
+        pdn.filter_samples(&mut filtered, 2e-9);
+        assert_eq!(filtered, original);
+        assert_eq!(
+            pdn.square_wave_attenuation(Frequency::from_megahertz(10.0)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn step_response_settles_exponentially() {
+        let pdn = PdnModel {
+            time_constant_s: 10e-9,
+        };
+        let dt = 2e-9;
+        let mut samples = vec![0.0];
+        samples.extend(std::iter::repeat_n(1.0, 30));
+        pdn.filter_samples(&mut samples, dt);
+        // Monotone rise…
+        assert!(samples.windows(2).all(|w| w[1] >= w[0]));
+        // …to within 1% after 5τ (25 samples).
+        assert!(samples[26] > 0.99, "settled to {}", samples[26]);
+        // One τ in (5 samples): ~63 %.
+        assert!((samples[5] - 0.63).abs() < 0.05, "1τ point {}", samples[5]);
+    }
+
+    #[test]
+    fn attenuation_grows_with_time_constant() {
+        let f = Frequency::from_megahertz(10.0);
+        let mut last = 1.0;
+        for tau_ns in [5.0, 20.0, 50.0, 200.0] {
+            let pdn = PdnModel {
+                time_constant_s: tau_ns * 1e-9,
+            };
+            let a = pdn.square_wave_attenuation(f);
+            assert!(a < last, "τ={tau_ns} ns: {a} !< {last}");
+            assert!((0.0..=1.0).contains(&a));
+            last = a;
+        }
+    }
+
+    #[test]
+    fn analytic_attenuation_matches_filtered_average() {
+        // Filter an alternating-cycle square wave and compare per-cycle
+        // averages with the analytic figure.
+        let pdn = PdnModel {
+            time_constant_s: 25e-9,
+        };
+        let samples_per_cycle = 50usize;
+        let dt = 2e-9;
+        let cycles = 400usize;
+        let mut wave: Vec<f64> = (0..cycles * samples_per_cycle)
+            .map(|i| {
+                if (i / samples_per_cycle).is_multiple_of(2) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        pdn.filter_samples(&mut wave, dt);
+
+        // Per-cycle averages, skipping the settling prefix.
+        let averages: Vec<f64> = (4..cycles - 1)
+            .map(|c| {
+                wave[c * samples_per_cycle..(c + 1) * samples_per_cycle]
+                    .iter()
+                    .sum::<f64>()
+                    / samples_per_cycle as f64
+            })
+            .collect();
+        let hi: f64 =
+            averages.iter().step_by(2).sum::<f64>() / averages.iter().step_by(2).count() as f64;
+        let lo: f64 = averages.iter().skip(1).step_by(2).sum::<f64>()
+            / averages.iter().skip(1).step_by(2).count() as f64;
+        let measured = (hi - lo).abs();
+        let predicted = pdn.square_wave_attenuation(Frequency::from_megahertz(10.0));
+        assert!(
+            (measured - predicted).abs() < 0.05,
+            "measured swing {measured:.3} vs analytic {predicted:.3}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn filtering_preserves_bounds(values in proptest::collection::vec(-5.0f64..5.0, 1..200), tau_ns in 1.0f64..100.0) {
+            let pdn = PdnModel { time_constant_s: tau_ns * 1e-9 };
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut filtered = values.clone();
+            pdn.filter_samples(&mut filtered, 2e-9);
+            for v in filtered {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+
+        #[test]
+        fn alpha_in_unit_interval(tau_ns in 0.0f64..1000.0, dt_ns in 0.1f64..100.0) {
+            let pdn = PdnModel { time_constant_s: tau_ns * 1e-9 };
+            let a = pdn.alpha(dt_ns * 1e-9);
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+use clockmark_power::Power;
+
+/// The shunt resistor and supply rail converting chip power into the
+/// voltage an oscilloscope probe observes.
+///
+/// The chip draws `I = P / V_dd` from the rail; the probe measures
+/// `V = I · R_shunt` across the shunt. The conversion is linear, so CPA
+/// (which is scale- and offset-invariant) is unaffected by the exact
+/// values — they matter only for realistic noise bookkeeping.
+///
+/// ```
+/// use clockmark_measure::ShuntProbe;
+/// use clockmark_power::Power;
+///
+/// let probe = ShuntProbe::paper();
+/// let v = probe.power_to_volts(Power::from_milliwatts(5.0));
+/// // 5 mW at 1.2 V is ~4.17 mA; across 270 mΩ that is ~1.13 mV.
+/// assert!((v - 1.125e-3).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShuntProbe {
+    /// Shunt resistance in ohms (the paper uses 270 mΩ).
+    pub resistance_ohms: f64,
+    /// Nominal supply voltage in volts (1.2 V for the 65 nm chips).
+    pub supply_volts: f64,
+}
+
+impl ShuntProbe {
+    /// The paper's test-board configuration: 270 mΩ shunt on a 1.2 V rail.
+    pub fn paper() -> Self {
+        ShuntProbe {
+            resistance_ohms: 0.270,
+            supply_volts: 1.2,
+        }
+    }
+
+    /// Voltage across the shunt for a given chip power draw.
+    pub fn power_to_volts(&self, power: Power) -> f64 {
+        power.watts() / self.supply_volts * self.resistance_ohms
+    }
+
+    /// Chip power corresponding to a shunt voltage.
+    pub fn volts_to_power(&self, volts: f64) -> Power {
+        Power::from_watts(volts / self.resistance_ohms * self.supply_volts)
+    }
+}
+
+impl Default for ShuntProbe {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conversions_are_inverse() {
+        let probe = ShuntProbe::paper();
+        let p = Power::from_milliwatts(7.3);
+        let v = probe.power_to_volts(p);
+        let back = probe.volts_to_power(v);
+        assert!((back.watts() - p.watts()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_power_reads_zero_volts() {
+        assert_eq!(ShuntProbe::paper().power_to_volts(Power::ZERO), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn conversion_is_linear(mw in 0.0f64..1e3, scale in 0.1f64..10.0) {
+            let probe = ShuntProbe::paper();
+            let v1 = probe.power_to_volts(Power::from_milliwatts(mw));
+            let v2 = probe.power_to_volts(Power::from_milliwatts(mw * scale));
+            prop_assert!((v2 - v1 * scale).abs() < 1e-12);
+        }
+    }
+}

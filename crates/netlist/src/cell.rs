@@ -1,0 +1,228 @@
+use crate::{CellId, ClockRootId, GroupId, SignalId};
+
+/// Where a clocked cell receives its clock from.
+///
+/// Clocks form a forest: each clocked cell is driven either directly by a
+/// top-level [`ClockRootId`] or by the output of a clock buffer / clock gate
+/// cell, building the clock tree the paper's technique modulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClockInput {
+    /// Driven directly by a top-level clock root.
+    Root(ClockRootId),
+    /// Driven by the output of another cell (a buffer or an ICG).
+    Cell(CellId),
+}
+
+impl From<ClockRootId> for ClockInput {
+    fn from(root: ClockRootId) -> Self {
+        ClockInput::Root(root)
+    }
+}
+
+impl From<CellId> for ClockInput {
+    fn from(cell: CellId) -> Self {
+        ClockInput::Cell(cell)
+    }
+}
+
+/// What a register samples on each (enabled) clock edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataSource {
+    /// A constant value: the register loads it once and never toggles again.
+    Constant(bool),
+    /// The inverse of the register's own output — toggles every clocked
+    /// cycle, maximising data switching power (the paper's Table I
+    /// "switching registers").
+    Toggle,
+    /// The previous-cycle output of another register, forming shift-register
+    /// chains (the state-of-the-art load circuit of Fig. 1(a)).
+    ShiftFrom(CellId),
+    /// A combinational signal evaluated from pre-edge register outputs.
+    Signal(SignalId),
+    /// Data input tied to the register's own output: state is retained, so
+    /// only the clock pin consumes power (Table I "no data switching").
+    Hold,
+}
+
+/// A combinational signal expression.
+///
+/// Signals are evaluated every cycle from the *pre-edge* values of register
+/// outputs, standard synchronous semantics. `External` signals are driven by
+/// the simulator's stimulus (e.g. a software sequence generator standing in
+/// for an off-netlist block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalExpr {
+    /// A constant level.
+    Const(bool),
+    /// Driven externally by simulation stimulus.
+    External,
+    /// The current output of a register cell.
+    RegOutput(CellId),
+    /// Logical AND of two signals.
+    And(SignalId, SignalId),
+    /// Logical OR of two signals.
+    Or(SignalId, SignalId),
+    /// Logical XOR of two signals.
+    Xor(SignalId, SignalId),
+    /// Logical negation of a signal.
+    Not(SignalId),
+}
+
+/// Configuration for a register cell, consumed by
+/// [`Netlist::add_register`](crate::Netlist::add_register).
+///
+/// ```
+/// use clockmark_netlist::{DataSource, Netlist, RegisterConfig};
+///
+/// let mut netlist = Netlist::new();
+/// let clk = netlist.add_clock_root("clk");
+/// let config = RegisterConfig::new(clk.into())
+///     .data(DataSource::Toggle)
+///     .init(true);
+/// let reg = netlist.add_register(clockmark_netlist::GroupId::TOP, config);
+/// assert!(reg.is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegisterConfig {
+    /// Clock input of the flip-flop.
+    pub clock: ClockInput,
+    /// Data sampled at each enabled clock edge.
+    pub data: DataSource,
+    /// Power-on value of the register output.
+    pub init: bool,
+    /// Optional synchronous enable: when present and low, the register keeps
+    /// its value even though its clock pin still toggles (and still burns
+    /// clock power) — exactly the situation clock gating eliminates.
+    pub sync_enable: Option<SignalId>,
+}
+
+impl RegisterConfig {
+    /// A register clocked from `clock`, holding its value, initialised to 0.
+    pub fn new(clock: ClockInput) -> Self {
+        RegisterConfig {
+            clock,
+            data: DataSource::Hold,
+            init: false,
+            sync_enable: None,
+        }
+    }
+
+    /// Sets the data source.
+    pub fn data(mut self, data: DataSource) -> Self {
+        self.data = data;
+        self
+    }
+
+    /// Sets the power-on value.
+    pub fn init(mut self, init: bool) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Adds a synchronous enable signal.
+    pub fn sync_enable(mut self, enable: SignalId) -> Self {
+        self.sync_enable = Some(enable);
+        self
+    }
+}
+
+/// The kind-specific payload of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// A D flip-flop.
+    Register(RegisterConfig),
+    /// An integrated clock-gating cell: propagates its input clock while
+    /// `enable` is high, holds the downstream clock low otherwise.
+    ClockGate {
+        /// Upstream clock.
+        clock: ClockInput,
+        /// Gating condition, evaluated each cycle.
+        enable: SignalId,
+    },
+    /// A clock-tree buffer: repeats its input clock to downstream sinks.
+    ClockBuffer {
+        /// Upstream clock.
+        clock: ClockInput,
+    },
+}
+
+impl CellKind {
+    /// The upstream clock of this cell.
+    pub fn clock(&self) -> ClockInput {
+        match *self {
+            CellKind::Register(RegisterConfig { clock, .. }) => clock,
+            CellKind::ClockGate { clock, .. } => clock,
+            CellKind::ClockBuffer { clock } => clock,
+        }
+    }
+
+    /// Whether this cell can source a clock for other cells.
+    pub fn is_clock_source(&self) -> bool {
+        matches!(
+            self,
+            CellKind::ClockGate { .. } | CellKind::ClockBuffer { .. }
+        )
+    }
+
+    /// Whether this cell is a register.
+    pub fn is_register(&self) -> bool {
+        matches!(self, CellKind::Register(_))
+    }
+}
+
+/// A cell instance: kind plus bookkeeping metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cell {
+    /// Kind-specific configuration.
+    pub kind: CellKind,
+    /// The accounting group the cell belongs to.
+    pub group: GroupId,
+    /// Optional instance name for diagnostics.
+    pub name: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_config_builder_chains() {
+        let clock = ClockInput::Root(ClockRootId(0));
+        let cfg = RegisterConfig::new(clock)
+            .data(DataSource::Toggle)
+            .init(true)
+            .sync_enable(SignalId(2));
+        assert_eq!(cfg.clock, clock);
+        assert_eq!(cfg.data, DataSource::Toggle);
+        assert!(cfg.init);
+        assert_eq!(cfg.sync_enable, Some(SignalId(2)));
+    }
+
+    #[test]
+    fn clock_input_conversions() {
+        let from_root: ClockInput = ClockRootId(1).into();
+        assert_eq!(from_root, ClockInput::Root(ClockRootId(1)));
+        let from_cell: ClockInput = CellId(9).into();
+        assert_eq!(from_cell, ClockInput::Cell(CellId(9)));
+    }
+
+    #[test]
+    fn cell_kind_classification() {
+        let reg = CellKind::Register(RegisterConfig::new(ClockRootId(0).into()));
+        assert!(reg.is_register());
+        assert!(!reg.is_clock_source());
+
+        let icg = CellKind::ClockGate {
+            clock: ClockRootId(0).into(),
+            enable: SignalId(0),
+        };
+        assert!(icg.is_clock_source());
+        assert!(!icg.is_register());
+
+        let buf = CellKind::ClockBuffer {
+            clock: ClockRootId(0).into(),
+        };
+        assert!(buf.is_clock_source());
+        assert_eq!(buf.clock(), ClockInput::Root(ClockRootId(0)));
+    }
+}

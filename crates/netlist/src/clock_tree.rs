@@ -1,0 +1,206 @@
+use crate::{CellId, ClockInput, GroupId, Netlist, NetlistError};
+
+/// A synthesized balanced clock-buffer tree.
+///
+/// Clock distribution consumes a large share of total dynamic power — the
+/// paper cites up to 50 % — because every buffer on the tree toggles twice
+/// per cycle. `ClockTree` inserts the buffer levels between a clock source
+/// and a set of leaf taps with a bounded per-buffer fanout, mirroring how a
+/// physical CTS tool builds the tree the watermark later modulates.
+///
+/// ```
+/// # fn main() -> Result<(), clockmark_netlist::NetlistError> {
+/// use clockmark_netlist::{ClockTree, GroupId, Netlist};
+///
+/// let mut netlist = Netlist::new();
+/// let clk = netlist.add_clock_root("clk");
+/// let tree = ClockTree::synthesize(&mut netlist, GroupId::TOP, clk.into(), 32, 4)?;
+///
+/// assert_eq!(tree.leaves().len(), 32);
+/// // 32 leaves at fanout 4 need two more levels above them (8, then 2).
+/// assert_eq!(tree.levels(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockTree {
+    leaves: Vec<CellId>,
+    all_buffers: Vec<CellId>,
+    levels: usize,
+}
+
+impl ClockTree {
+    /// Builds a balanced buffer tree under `source` with `n_leaves` leaf
+    /// buffers, each internal buffer driving at most `max_fanout` children.
+    ///
+    /// All inserted buffers are placed in `group`. Returned leaves can be
+    /// used as [`ClockInput::Cell`] for registers or further clock gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidTreeShape`] when `n_leaves` is zero or
+    /// `max_fanout < 2`, and propagates reference errors from the netlist.
+    pub fn synthesize(
+        netlist: &mut Netlist,
+        group: GroupId,
+        source: ClockInput,
+        n_leaves: usize,
+        max_fanout: usize,
+    ) -> Result<Self, NetlistError> {
+        if n_leaves == 0 || max_fanout < 2 {
+            return Err(NetlistError::InvalidTreeShape);
+        }
+
+        let mut all_buffers = Vec::new();
+        let mut levels = 0usize;
+
+        // Build top-down: each level splits the demand of the level below
+        // into groups of at most `max_fanout`.
+        //
+        // level_sizes[0] is the leaf level.
+        let mut level_sizes = vec![n_leaves];
+        while *level_sizes.last().expect("non-empty") > max_fanout {
+            let below = *level_sizes.last().expect("non-empty");
+            level_sizes.push(below.div_ceil(max_fanout));
+        }
+
+        // Insert from the root level downwards.
+        let mut parents: Vec<ClockInput> = vec![source];
+        for &size in level_sizes.iter().rev() {
+            levels += 1;
+            let mut this_level = Vec::with_capacity(size);
+            for i in 0..size {
+                // Distribute children over parents round-robin by block.
+                let parent = parents[i * parents.len() / size];
+                let buf = netlist.add_buffer(group, parent)?;
+                all_buffers.push(buf);
+                this_level.push(ClockInput::Cell(buf));
+            }
+            parents = this_level;
+        }
+
+        let leaves = parents
+            .into_iter()
+            .map(|p| match p {
+                ClockInput::Cell(c) => c,
+                ClockInput::Root(_) => unreachable!("leaves are always buffer cells"),
+            })
+            .collect();
+
+        Ok(ClockTree {
+            leaves,
+            all_buffers,
+            levels,
+        })
+    }
+
+    /// The leaf buffers, in index order. Registers tap the tree here.
+    pub fn leaves(&self) -> &[CellId] {
+        &self.leaves
+    }
+
+    /// Every buffer inserted by the synthesis, root level first.
+    pub fn buffers(&self) -> &[CellId] {
+        &self.all_buffers
+    }
+
+    /// Number of buffer levels inserted (≥ 1).
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The leaf buffer a given sink index should use, wrapping modulo the
+    /// leaf count. Convenient when assigning many registers across leaves.
+    pub fn leaf_for(&self, sink_index: usize) -> CellId {
+        self.leaves[sink_index % self.leaves.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn netlist_with_clock() -> (Netlist, ClockInput) {
+        let mut n = Netlist::new();
+        let clk = n.add_clock_root("clk");
+        (n, clk.into())
+    }
+
+    #[test]
+    fn degenerate_shapes_are_rejected() {
+        let (mut n, clk) = netlist_with_clock();
+        assert_eq!(
+            ClockTree::synthesize(&mut n, GroupId::TOP, clk, 0, 4).unwrap_err(),
+            NetlistError::InvalidTreeShape
+        );
+        assert_eq!(
+            ClockTree::synthesize(&mut n, GroupId::TOP, clk, 8, 1).unwrap_err(),
+            NetlistError::InvalidTreeShape
+        );
+    }
+
+    #[test]
+    fn single_level_when_leaves_fit_fanout() {
+        let (mut n, clk) = netlist_with_clock();
+        let tree = ClockTree::synthesize(&mut n, GroupId::TOP, clk, 4, 8).expect("valid");
+        assert_eq!(tree.levels(), 1);
+        assert_eq!(tree.leaves().len(), 4);
+        assert_eq!(tree.buffers().len(), 4);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_sized_tree_32_words() {
+        // The test chips gate 1,024 registers as 32 words; a tree with 32
+        // leaves at fanout 4 has 3 levels (2 + 8 + 32 = 42 buffers).
+        let (mut n, clk) = netlist_with_clock();
+        let tree = ClockTree::synthesize(&mut n, GroupId::TOP, clk, 32, 4).expect("valid");
+        assert_eq!(tree.levels(), 3);
+        assert_eq!(tree.leaves().len(), 32);
+        assert_eq!(tree.buffers().len(), 2 + 8 + 32);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn every_leaf_reaches_the_root() {
+        let (mut n, clk) = netlist_with_clock();
+        let tree = ClockTree::synthesize(&mut n, GroupId::TOP, clk, 20, 3).expect("valid");
+        for &leaf in tree.leaves() {
+            let root = n.clock_root_of(leaf).expect("reaches root");
+            assert_eq!(n.clock_root_name(root), Some("clk"));
+        }
+    }
+
+    #[test]
+    fn leaf_for_wraps_modulo() {
+        let (mut n, clk) = netlist_with_clock();
+        let tree = ClockTree::synthesize(&mut n, GroupId::TOP, clk, 4, 8).expect("valid");
+        assert_eq!(tree.leaf_for(0), tree.leaves()[0]);
+        assert_eq!(tree.leaf_for(5), tree.leaves()[1]);
+    }
+
+    proptest! {
+        #[test]
+        fn fanout_bound_holds(n_leaves in 1usize..200, max_fanout in 2usize..8) {
+            let (mut n, clk) = netlist_with_clock();
+            let tree = ClockTree::synthesize(&mut n, GroupId::TOP, clk, n_leaves, max_fanout)
+                .expect("valid shape");
+            prop_assert_eq!(tree.leaves().len(), n_leaves);
+
+            // Count children per driver.
+            let mut fanout = std::collections::HashMap::new();
+            for &buf in tree.buffers() {
+                let clock = n.cell(buf).expect("known").kind.clock();
+                *fanout.entry(clock).or_insert(0usize) += 1;
+            }
+            for (driver, count) in fanout {
+                if let ClockInput::Cell(_) = driver {
+                    prop_assert!(count <= max_fanout,
+                        "driver fans out to {count} > {max_fanout}");
+                }
+            }
+            prop_assert!(n.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+use crate::{CellId, SignalId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A referenced cell id does not exist in this netlist.
+    UnknownCell {
+        /// The dangling reference.
+        cell: CellId,
+    },
+    /// A referenced signal id does not exist in this netlist.
+    UnknownSignal {
+        /// The dangling reference.
+        signal: SignalId,
+    },
+    /// A referenced clock root does not exist in this netlist.
+    UnknownClockRoot,
+    /// A referenced group does not exist in this netlist.
+    UnknownGroup,
+    /// A cell's clock input points at a cell that is not a clock source
+    /// (only clock buffers and clock gates output clocks).
+    NotAClockSource {
+        /// The offending clock driver.
+        cell: CellId,
+    },
+    /// A data source references a cell that is not a register.
+    NotARegister {
+        /// The offending data driver.
+        cell: CellId,
+    },
+    /// The clock network contains a cycle through this cell.
+    ClockCycle {
+        /// A cell on the cycle.
+        at: CellId,
+    },
+    /// The combinational signal network contains a cycle through this
+    /// signal.
+    SignalCycle {
+        /// A signal on the cycle.
+        at: SignalId,
+    },
+    /// A clock tree was requested with no leaves or zero fanout.
+    InvalidTreeShape,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownCell { cell } => write!(f, "unknown cell {cell}"),
+            NetlistError::UnknownSignal { signal } => write!(f, "unknown signal {signal}"),
+            NetlistError::UnknownClockRoot => write!(f, "unknown clock root"),
+            NetlistError::UnknownGroup => write!(f, "unknown group"),
+            NetlistError::NotAClockSource { cell } => {
+                write!(
+                    f,
+                    "cell {cell} is not a clock source (buffer or clock gate)"
+                )
+            }
+            NetlistError::NotARegister { cell } => {
+                write!(f, "cell {cell} is not a register and cannot drive data")
+            }
+            NetlistError::ClockCycle { at } => {
+                write!(f, "clock network contains a cycle through {at}")
+            }
+            NetlistError::SignalCycle { at } => {
+                write!(
+                    f,
+                    "signal network contains a combinational cycle through {at}"
+                )
+            }
+            NetlistError::InvalidTreeShape => {
+                write!(
+                    f,
+                    "clock tree requires at least one leaf and a fanout of at least two"
+                )
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_without_trailing_punctuation() {
+        let errors: Vec<NetlistError> = vec![
+            NetlistError::UnknownCell { cell: CellId(1) },
+            NetlistError::UnknownSignal {
+                signal: SignalId(1),
+            },
+            NetlistError::UnknownClockRoot,
+            NetlistError::UnknownGroup,
+            NetlistError::NotAClockSource { cell: CellId(0) },
+            NetlistError::NotARegister { cell: CellId(0) },
+            NetlistError::ClockCycle { at: CellId(0) },
+            NetlistError::SignalCycle { at: SignalId(0) },
+            NetlistError::InvalidTreeShape,
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.ends_with('.'), "{msg}");
+            assert!(
+                msg.chars().next().expect("non-empty").is_lowercase(),
+                "{msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

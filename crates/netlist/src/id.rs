@@ -1,0 +1,91 @@
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// The raw index of this id within its arena.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Reconstructs an id from a raw arena index.
+            ///
+            /// Ids are dense indices in insertion order, so external tools
+            /// (serializers, report generators) can rebuild them; using an
+            /// index from a *different* netlist yields a dangling id that
+            /// accessor methods will reject.
+            ///
+            /// # Panics
+            ///
+            /// Panics when `index` exceeds `u32::MAX`.
+            pub fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("arena indices fit in u32"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a cell (register, clock gate or clock buffer) in a
+    /// [`Netlist`](crate::Netlist).
+    ///
+    /// Ids are dense indices assigned in insertion order; they are only
+    /// meaningful within the netlist that created them.
+    CellId,
+    "cell"
+);
+
+define_id!(
+    /// Identifies a combinational signal declared in a
+    /// [`Netlist`](crate::Netlist).
+    SignalId,
+    "sig"
+);
+
+define_id!(
+    /// Identifies a top-level clock source of a
+    /// [`Netlist`](crate::Netlist).
+    ClockRootId,
+    "clkroot"
+);
+
+define_id!(
+    /// Identifies a named cell group (e.g. `"cpu"`, `"watermark"`) used to
+    /// split activity and power accounting per subsystem.
+    GroupId,
+    "group"
+);
+
+impl GroupId {
+    /// The implicit top-level group every netlist starts with.
+    pub const TOP: GroupId = GroupId(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix_and_index() {
+        assert_eq!(CellId(3).to_string(), "cell3");
+        assert_eq!(SignalId(0).to_string(), "sig0");
+        assert_eq!(ClockRootId(7).to_string(), "clkroot7");
+        assert_eq!(GroupId::TOP.to_string(), "group0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(CellId(1) < CellId(2));
+        assert_eq!(CellId(5).index(), 5);
+    }
+}

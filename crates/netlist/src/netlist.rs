@@ -1,0 +1,687 @@
+use crate::{
+    Cell, CellId, CellKind, ClockInput, ClockRootId, DataSource, GroupId, NetlistError,
+    RegisterConfig, SignalExpr, SignalId,
+};
+
+/// A declared combinational signal: name plus expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SignalDecl {
+    /// Diagnostic name of the signal.
+    pub name: String,
+    /// The expression that drives it.
+    pub expr: SignalExpr,
+}
+
+/// An in-memory netlist of clocked cells and combinational signals.
+///
+/// The netlist is an append-only arena: ids are dense indices handed out in
+/// insertion order. Construction methods validate references eagerly, and
+/// [`validate`](Netlist::validate) performs whole-netlist checks (acyclic
+/// clock network, acyclic signal network).
+///
+/// See the [crate-level documentation](crate) for a worked example.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    cells: Vec<Cell>,
+    signals: Vec<SignalDecl>,
+    clock_roots: Vec<String>,
+    groups: Vec<String>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist containing only the implicit
+    /// [`GroupId::TOP`] group.
+    pub fn new() -> Self {
+        Netlist {
+            cells: Vec::new(),
+            signals: Vec::new(),
+            clock_roots: Vec::new(),
+            groups: vec!["top".to_owned()],
+        }
+    }
+
+    // ---------------------------------------------------------------- roots
+
+    /// Declares a top-level clock source.
+    pub fn add_clock_root(&mut self, name: &str) -> ClockRootId {
+        self.clock_roots.push(name.to_owned());
+        ClockRootId(self.clock_roots.len() as u32 - 1)
+    }
+
+    /// Number of declared clock roots.
+    pub fn clock_root_count(&self) -> usize {
+        self.clock_roots.len()
+    }
+
+    /// The diagnostic name of a clock root, if it exists.
+    pub fn clock_root_name(&self, root: ClockRootId) -> Option<&str> {
+        self.clock_roots.get(root.index()).map(String::as_str)
+    }
+
+    // --------------------------------------------------------------- groups
+
+    /// Declares a named accounting group and returns its id.
+    pub fn add_group(&mut self, name: &str) -> GroupId {
+        self.groups.push(name.to_owned());
+        GroupId(self.groups.len() as u32 - 1)
+    }
+
+    /// Looks up a group by name.
+    pub fn group(&self, name: &str) -> Option<GroupId> {
+        self.groups
+            .iter()
+            .position(|g| g == name)
+            .map(|i| GroupId(i as u32))
+    }
+
+    /// The name of a group, if it exists.
+    pub fn group_name(&self, group: GroupId) -> Option<&str> {
+        self.groups.get(group.index()).map(String::as_str)
+    }
+
+    /// Number of declared groups (including the implicit top group).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    // -------------------------------------------------------------- signals
+
+    /// Declares a combinational signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`], [`NetlistError::UnknownCell`]
+    /// or [`NetlistError::NotARegister`] when the expression references
+    /// something that does not exist yet. Forward references are not
+    /// allowed, which also guarantees the signal network is acyclic by
+    /// construction.
+    pub fn add_signal(&mut self, name: &str, expr: SignalExpr) -> Result<SignalId, NetlistError> {
+        self.check_signal_expr(expr)?;
+        self.signals.push(SignalDecl {
+            name: name.to_owned(),
+            expr,
+        });
+        Ok(SignalId(self.signals.len() as u32 - 1))
+    }
+
+    fn check_signal_expr(&self, expr: SignalExpr) -> Result<(), NetlistError> {
+        let check_sig = |sig: SignalId| {
+            if sig.index() < self.signals.len() {
+                Ok(())
+            } else {
+                Err(NetlistError::UnknownSignal { signal: sig })
+            }
+        };
+        match expr {
+            SignalExpr::Const(_) | SignalExpr::External => Ok(()),
+            SignalExpr::RegOutput(cell) => {
+                let c = self.cell(cell)?;
+                if c.kind.is_register() {
+                    Ok(())
+                } else {
+                    Err(NetlistError::NotARegister { cell })
+                }
+            }
+            SignalExpr::And(a, b) | SignalExpr::Or(a, b) | SignalExpr::Xor(a, b) => {
+                check_sig(a)?;
+                check_sig(b)
+            }
+            SignalExpr::Not(a) => check_sig(a),
+        }
+    }
+
+    /// The declaration of a signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] for a dangling id.
+    pub fn signal(&self, signal: SignalId) -> Result<&SignalDecl, NetlistError> {
+        self.signals
+            .get(signal.index())
+            .ok_or(NetlistError::UnknownSignal { signal })
+    }
+
+    /// Number of declared signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Iterates over `(id, declaration)` pairs of all signals.
+    pub fn signals(&self) -> impl Iterator<Item = (SignalId, &SignalDecl)> {
+        self.signals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SignalId(i as u32), s))
+    }
+
+    // ---------------------------------------------------------------- cells
+
+    fn push_cell(&mut self, cell: Cell) -> CellId {
+        self.cells.push(cell);
+        CellId(self.cells.len() as u32 - 1)
+    }
+
+    fn check_group(&self, group: GroupId) -> Result<(), NetlistError> {
+        if group.index() < self.groups.len() {
+            Ok(())
+        } else {
+            Err(NetlistError::UnknownGroup)
+        }
+    }
+
+    fn check_clock_input(&self, clock: ClockInput) -> Result<(), NetlistError> {
+        match clock {
+            ClockInput::Root(root) => {
+                if root.index() < self.clock_roots.len() {
+                    Ok(())
+                } else {
+                    Err(NetlistError::UnknownClockRoot)
+                }
+            }
+            ClockInput::Cell(cell) => {
+                let c = self.cell(cell)?;
+                if c.kind.is_clock_source() {
+                    Ok(())
+                } else {
+                    Err(NetlistError::NotAClockSource { cell })
+                }
+            }
+        }
+    }
+
+    /// Adds a clock-tree buffer driven by `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `group` or `clock` dangles, or when `clock`
+    /// points at a cell that cannot source a clock.
+    pub fn add_buffer(
+        &mut self,
+        group: GroupId,
+        clock: ClockInput,
+    ) -> Result<CellId, NetlistError> {
+        self.check_group(group)?;
+        self.check_clock_input(clock)?;
+        Ok(self.push_cell(Cell {
+            kind: CellKind::ClockBuffer { clock },
+            group,
+            name: None,
+        }))
+    }
+
+    /// Adds an integrated clock-gating cell whose output clock follows
+    /// `clock` while `enable` is high.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `group`, `clock` or `enable` dangles, or when
+    /// `clock` points at a cell that cannot source a clock.
+    pub fn add_icg(
+        &mut self,
+        group: GroupId,
+        clock: ClockInput,
+        enable: SignalId,
+    ) -> Result<CellId, NetlistError> {
+        self.check_group(group)?;
+        self.check_clock_input(clock)?;
+        if enable.index() >= self.signals.len() {
+            return Err(NetlistError::UnknownSignal { signal: enable });
+        }
+        Ok(self.push_cell(Cell {
+            kind: CellKind::ClockGate { clock, enable },
+            group,
+            name: None,
+        }))
+    }
+
+    /// Adds a register described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any reference in the configuration dangles,
+    /// when the clock input is not a clock source, or when a
+    /// [`DataSource::ShiftFrom`] points at a non-register cell.
+    pub fn add_register(
+        &mut self,
+        group: GroupId,
+        config: RegisterConfig,
+    ) -> Result<CellId, NetlistError> {
+        self.check_group(group)?;
+        self.check_clock_input(config.clock)?;
+        match config.data {
+            DataSource::ShiftFrom(cell) => {
+                let c = self.cell(cell)?;
+                if !c.kind.is_register() {
+                    return Err(NetlistError::NotARegister { cell });
+                }
+            }
+            DataSource::Signal(signal) => {
+                if signal.index() >= self.signals.len() {
+                    return Err(NetlistError::UnknownSignal { signal });
+                }
+            }
+            DataSource::Constant(_) | DataSource::Toggle | DataSource::Hold => {}
+        }
+        if let Some(enable) = config.sync_enable {
+            if enable.index() >= self.signals.len() {
+                return Err(NetlistError::UnknownSignal { signal: enable });
+            }
+        }
+        Ok(self.push_cell(Cell {
+            kind: CellKind::Register(config),
+            group,
+            name: None,
+        }))
+    }
+
+    /// Retargets the data input of an existing register.
+    ///
+    /// Data paths through registers are sequential, so cycles (e.g. the
+    /// feedback of a circular shift register or an LFSR) are legal; this
+    /// method exists precisely to close such loops after all registers of a
+    /// chain have been declared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCell`] / [`NetlistError::NotARegister`]
+    /// when `cell` is not a register, and validates the new `data` source
+    /// like [`add_register`](Netlist::add_register) does.
+    pub fn set_register_data(
+        &mut self,
+        cell: CellId,
+        data: DataSource,
+    ) -> Result<(), NetlistError> {
+        match data {
+            DataSource::ShiftFrom(src) => {
+                let c = self.cell(src)?;
+                if !c.kind.is_register() {
+                    return Err(NetlistError::NotARegister { cell: src });
+                }
+            }
+            DataSource::Signal(signal) => {
+                if signal.index() >= self.signals.len() {
+                    return Err(NetlistError::UnknownSignal { signal });
+                }
+            }
+            DataSource::Constant(_) | DataSource::Toggle | DataSource::Hold => {}
+        }
+        let slot = self
+            .cells
+            .get_mut(cell.index())
+            .ok_or(NetlistError::UnknownCell { cell })?;
+        match &mut slot.kind {
+            CellKind::Register(config) => {
+                config.data = data;
+                Ok(())
+            }
+            _ => Err(NetlistError::NotARegister { cell }),
+        }
+    }
+
+    /// Retargets the enable input of an existing clock-gating cell.
+    ///
+    /// This is the watermark-insertion edit of the paper's Fig. 1(b): the
+    /// original enable `CLK_CTRL` of an IP block's clock gate is replaced
+    /// with `CLK_CTRL AND WMARK`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCell`] for a dangling cell,
+    /// [`NetlistError::UnknownSignal`] for a dangling signal, and
+    /// [`NetlistError::NotAClockSource`] when `cell` is not a clock gate.
+    pub fn set_icg_enable(&mut self, cell: CellId, enable: SignalId) -> Result<(), NetlistError> {
+        if enable.index() >= self.signals.len() {
+            return Err(NetlistError::UnknownSignal { signal: enable });
+        }
+        let slot = self
+            .cells
+            .get_mut(cell.index())
+            .ok_or(NetlistError::UnknownCell { cell })?;
+        match &mut slot.kind {
+            CellKind::ClockGate { enable: e, .. } => {
+                *e = enable;
+                Ok(())
+            }
+            _ => Err(NetlistError::NotAClockSource { cell }),
+        }
+    }
+
+    /// Assigns a diagnostic name to a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCell`] for a dangling id.
+    pub fn name_cell(&mut self, cell: CellId, name: &str) -> Result<(), NetlistError> {
+        let slot = self
+            .cells
+            .get_mut(cell.index())
+            .ok_or(NetlistError::UnknownCell { cell })?;
+        slot.name = Some(name.to_owned());
+        Ok(())
+    }
+
+    /// The cell stored under `cell`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCell`] for a dangling id.
+    pub fn cell(&self, cell: CellId) -> Result<&Cell, NetlistError> {
+        self.cells
+            .get(cell.index())
+            .ok_or(NetlistError::UnknownCell { cell })
+    }
+
+    /// Iterates over `(id, cell)` pairs of all cells.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// Total number of cells of any kind.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of register cells.
+    pub fn register_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.kind.is_register()).count()
+    }
+
+    /// Number of integrated clock-gating cells.
+    pub fn icg_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.kind, CellKind::ClockGate { .. }))
+            .count()
+    }
+
+    /// Number of clock-tree buffer cells.
+    pub fn buffer_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.kind, CellKind::ClockBuffer { .. }))
+            .count()
+    }
+
+    /// Number of register cells belonging to `group`.
+    pub fn register_count_in_group(&self, group: GroupId) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.group == group && c.kind.is_register())
+            .count()
+    }
+
+    /// Ids of all cells belonging to `group`.
+    pub fn cells_in_group(&self, group: GroupId) -> Vec<CellId> {
+        self.cells()
+            .filter(|(_, c)| c.group == group)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    // ----------------------------------------------------------- clock path
+
+    /// The chain of clock-source cells between `cell` and its clock root,
+    /// nearest driver first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCell`] for a dangling id or
+    /// [`NetlistError::ClockCycle`] if the clock network loops.
+    pub fn clock_path(&self, cell: CellId) -> Result<Vec<CellId>, NetlistError> {
+        let mut path = Vec::new();
+        let mut current = self.cell(cell)?.kind.clock();
+        while let ClockInput::Cell(driver) = current {
+            if path.contains(&driver) || driver == cell {
+                return Err(NetlistError::ClockCycle { at: driver });
+            }
+            path.push(driver);
+            current = self.cell(driver)?.kind.clock();
+        }
+        Ok(path)
+    }
+
+    /// The clock root ultimately driving `cell`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCell`] for a dangling id or
+    /// [`NetlistError::ClockCycle`] if the clock network loops.
+    pub fn clock_root_of(&self, cell: CellId) -> Result<ClockRootId, NetlistError> {
+        let mut seen = Vec::new();
+        let mut current = self.cell(cell)?.kind.clock();
+        loop {
+            match current {
+                ClockInput::Root(root) => return Ok(root),
+                ClockInput::Cell(driver) => {
+                    if seen.contains(&driver) || driver == cell {
+                        return Err(NetlistError::ClockCycle { at: driver });
+                    }
+                    seen.push(driver);
+                    current = self.cell(driver)?.kind.clock();
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- validate
+
+    /// Performs whole-netlist consistency checks.
+    ///
+    /// Verifies that every cell's clock resolves to a root without cycles.
+    /// (Signal acyclicity and reference validity are already guaranteed by
+    /// the eager checks in the builder methods.)
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (id, _) in self.cells() {
+            self.clock_root_of(id)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_netlist() -> (Netlist, ClockRootId) {
+        let mut n = Netlist::new();
+        let clk = n.add_clock_root("clk");
+        (n, clk)
+    }
+
+    #[test]
+    fn empty_netlist_has_top_group_only() {
+        let n = Netlist::new();
+        assert_eq!(n.group_count(), 1);
+        assert_eq!(n.group("top"), Some(GroupId::TOP));
+        assert_eq!(n.cell_count(), 0);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_dangling_references() {
+        let (mut n, clk) = simple_netlist();
+        // Unknown group.
+        let bad_group = GroupId(99);
+        assert_eq!(
+            n.add_buffer(bad_group, clk.into()).unwrap_err(),
+            NetlistError::UnknownGroup
+        );
+        // Unknown clock root.
+        let bad_root = ClockRootId(9);
+        assert_eq!(
+            n.add_buffer(GroupId::TOP, bad_root.into()).unwrap_err(),
+            NetlistError::UnknownClockRoot
+        );
+        // ICG with unknown enable.
+        assert!(matches!(
+            n.add_icg(GroupId::TOP, clk.into(), SignalId(0))
+                .unwrap_err(),
+            NetlistError::UnknownSignal { .. }
+        ));
+    }
+
+    #[test]
+    fn register_cannot_clock_other_cells() {
+        let (mut n, clk) = simple_netlist();
+        let reg = n
+            .add_register(GroupId::TOP, RegisterConfig::new(clk.into()))
+            .expect("valid register");
+        let err = n.add_buffer(GroupId::TOP, reg.into()).unwrap_err();
+        assert_eq!(err, NetlistError::NotAClockSource { cell: reg });
+    }
+
+    #[test]
+    fn shift_from_requires_register() {
+        let (mut n, clk) = simple_netlist();
+        let buf = n
+            .add_buffer(GroupId::TOP, clk.into())
+            .expect("valid buffer");
+        let err = n
+            .add_register(
+                GroupId::TOP,
+                RegisterConfig::new(clk.into()).data(DataSource::ShiftFrom(buf)),
+            )
+            .unwrap_err();
+        assert_eq!(err, NetlistError::NotARegister { cell: buf });
+    }
+
+    #[test]
+    fn signal_expressions_cannot_forward_reference() {
+        let (mut n, _clk) = simple_netlist();
+        let err = n
+            .add_signal("bad", SignalExpr::Not(SignalId(5)))
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownSignal { .. }));
+    }
+
+    #[test]
+    fn reg_output_signal_requires_register() {
+        let (mut n, clk) = simple_netlist();
+        let buf = n
+            .add_buffer(GroupId::TOP, clk.into())
+            .expect("valid buffer");
+        let err = n.add_signal("q", SignalExpr::RegOutput(buf)).unwrap_err();
+        assert_eq!(err, NetlistError::NotARegister { cell: buf });
+    }
+
+    #[test]
+    fn clock_path_walks_through_gates_and_buffers() {
+        let (mut n, clk) = simple_netlist();
+        let en = n
+            .add_signal("en", SignalExpr::Const(true))
+            .expect("valid signal");
+        let buf = n.add_buffer(GroupId::TOP, clk.into()).expect("buffer");
+        let icg = n.add_icg(GroupId::TOP, buf.into(), en).expect("icg");
+        let reg = n
+            .add_register(GroupId::TOP, RegisterConfig::new(icg.into()))
+            .expect("register");
+
+        assert_eq!(n.clock_path(reg).expect("path"), vec![icg, buf]);
+        assert_eq!(n.clock_root_of(reg).expect("root"), clk);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn counts_split_by_kind_and_group() {
+        let (mut n, clk) = simple_netlist();
+        let wm = n.add_group("watermark");
+        let en = n.add_signal("en", SignalExpr::External).expect("signal");
+        n.add_buffer(GroupId::TOP, clk.into()).expect("buffer");
+        n.add_icg(wm, clk.into(), en).expect("icg");
+        for _ in 0..5 {
+            n.add_register(wm, RegisterConfig::new(clk.into()))
+                .expect("register");
+        }
+        for _ in 0..3 {
+            n.add_register(GroupId::TOP, RegisterConfig::new(clk.into()))
+                .expect("register");
+        }
+        assert_eq!(n.register_count(), 8);
+        assert_eq!(n.register_count_in_group(wm), 5);
+        assert_eq!(n.register_count_in_group(GroupId::TOP), 3);
+        assert_eq!(n.icg_count(), 1);
+        assert_eq!(n.buffer_count(), 1);
+        assert_eq!(n.cells_in_group(wm).len(), 6);
+    }
+
+    #[test]
+    fn set_register_data_closes_circular_chains() {
+        let (mut n, clk) = simple_netlist();
+        let head = n
+            .add_register(GroupId::TOP, RegisterConfig::new(clk.into()).init(true))
+            .expect("head");
+        let tail = n
+            .add_register(
+                GroupId::TOP,
+                RegisterConfig::new(clk.into()).data(DataSource::ShiftFrom(head)),
+            )
+            .expect("tail");
+        n.set_register_data(head, DataSource::ShiftFrom(tail))
+            .expect("retarget");
+        assert!(n.validate().is_ok());
+
+        // Non-registers are rejected both as target and as source.
+        let buf = n.add_buffer(GroupId::TOP, clk.into()).expect("buffer");
+        assert_eq!(
+            n.set_register_data(buf, DataSource::Hold).unwrap_err(),
+            NetlistError::NotARegister { cell: buf }
+        );
+        assert_eq!(
+            n.set_register_data(head, DataSource::ShiftFrom(buf))
+                .unwrap_err(),
+            NetlistError::NotARegister { cell: buf }
+        );
+        assert!(matches!(
+            n.set_register_data(head, DataSource::Signal(SignalId(7)))
+                .unwrap_err(),
+            NetlistError::UnknownSignal { .. }
+        ));
+    }
+
+    #[test]
+    fn set_icg_enable_rewires_the_gate() {
+        let (mut n, clk) = simple_netlist();
+        let en_a = n.add_signal("a", SignalExpr::Const(true)).expect("signal");
+        let icg = n.add_icg(GroupId::TOP, clk.into(), en_a).expect("icg");
+        let en_b = n.add_signal("b", SignalExpr::External).expect("signal");
+        n.set_icg_enable(icg, en_b).expect("retarget");
+        match n.cell(icg).expect("known").kind {
+            CellKind::ClockGate { enable, .. } => assert_eq!(enable, en_b),
+            _ => panic!("not a clock gate"),
+        }
+
+        // Invalid targets are rejected.
+        let reg = n
+            .add_register(GroupId::TOP, RegisterConfig::new(clk.into()))
+            .expect("register");
+        assert_eq!(
+            n.set_icg_enable(reg, en_b).unwrap_err(),
+            NetlistError::NotAClockSource { cell: reg }
+        );
+        assert!(matches!(
+            n.set_icg_enable(icg, SignalId(99)).unwrap_err(),
+            NetlistError::UnknownSignal { .. }
+        ));
+    }
+
+    #[test]
+    fn name_cell_round_trips() {
+        let (mut n, clk) = simple_netlist();
+        let reg = n
+            .add_register(GroupId::TOP, RegisterConfig::new(clk.into()))
+            .expect("register");
+        n.name_cell(reg, "wgc_bit0").expect("known cell");
+        assert_eq!(
+            n.cell(reg).expect("known").name.as_deref(),
+            Some("wgc_bit0")
+        );
+        assert!(n.name_cell(CellId(42), "x").is_err());
+    }
+}

@@ -1,0 +1,412 @@
+//! Structural queries over a netlist.
+//!
+//! Section VI of the paper argues robustness structurally: the
+//! state-of-the-art load circuit is a *stand-alone* block (nothing in the
+//! system consumes its outputs), so an attacker reading the RTL can excise
+//! it without functional impact; the clock-modulation watermark instead
+//! weaves its generator into the clock enables of functional logic, so
+//! removal impairs the system. These queries make that argument computable.
+
+use crate::{
+    CellId, CellKind, ClockInput, DataSource, Netlist, NetlistError, SignalExpr, SignalId,
+};
+use std::collections::{HashSet, VecDeque};
+
+/// Something that consumes the value of a combinational signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalConsumer {
+    /// The enable pin of a clock-gating cell.
+    IcgEnable(CellId),
+    /// The data input of a register.
+    RegisterData(CellId),
+    /// The synchronous-enable input of a register.
+    RegisterSyncEnable(CellId),
+    /// Another signal's expression.
+    Signal(SignalId),
+}
+
+/// The influence footprint of a set of cells on the rest of the design.
+///
+/// Produced by [`influence_of`](crate::Netlist::influence_of); consumed by
+/// the removal-attack analysis in the `clockmark` crate.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InfluenceReport {
+    /// Registers *outside* the set whose data depends (through any signal
+    /// chain) on a register inside the set.
+    pub data_dependents: Vec<CellId>,
+    /// Registers *outside* the set whose clock passes through an ICG whose
+    /// enable depends on a register inside the set.
+    pub clock_dependents: Vec<CellId>,
+    /// Registers *outside* the set clocked through a buffer or ICG that is
+    /// itself inside the set (removing the set removes their clock).
+    pub clocked_through_set: Vec<CellId>,
+}
+
+impl InfluenceReport {
+    /// Whether the set is a stand-alone subcircuit: removing it cannot
+    /// change the behaviour of any register outside the set.
+    pub fn is_standalone(&self) -> bool {
+        self.data_dependents.is_empty()
+            && self.clock_dependents.is_empty()
+            && self.clocked_through_set.is_empty()
+    }
+
+    /// Total number of outside registers affected by removal.
+    pub fn affected_register_count(&self) -> usize {
+        let mut all: HashSet<CellId> = HashSet::new();
+        all.extend(&self.data_dependents);
+        all.extend(&self.clock_dependents);
+        all.extend(&self.clocked_through_set);
+        all.len()
+    }
+}
+
+impl Netlist {
+    /// All consumers of a signal's value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] for a dangling id.
+    pub fn signal_consumers(&self, signal: SignalId) -> Result<Vec<SignalConsumer>, NetlistError> {
+        self.signal(signal)?;
+        let mut consumers = Vec::new();
+        for (id, cell) in self.cells() {
+            match cell.kind {
+                CellKind::ClockGate { enable, .. } if enable == signal => {
+                    consumers.push(SignalConsumer::IcgEnable(id));
+                }
+                CellKind::Register(config) => {
+                    if config.data == DataSource::Signal(signal) {
+                        consumers.push(SignalConsumer::RegisterData(id));
+                    }
+                    if config.sync_enable == Some(signal) {
+                        consumers.push(SignalConsumer::RegisterSyncEnable(id));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (id, decl) in self.signals() {
+            let refs = match decl.expr {
+                SignalExpr::And(a, b) | SignalExpr::Or(a, b) | SignalExpr::Xor(a, b) => {
+                    a == signal || b == signal
+                }
+                SignalExpr::Not(a) => a == signal,
+                _ => false,
+            };
+            if refs {
+                consumers.push(SignalConsumer::Signal(id));
+            }
+        }
+        Ok(consumers)
+    }
+
+    /// The registers whose output feeds a signal, directly or through the
+    /// signal DAG.
+    fn signal_register_support(&self, signal: SignalId) -> Result<HashSet<CellId>, NetlistError> {
+        let mut support = HashSet::new();
+        let mut queue = VecDeque::from([signal]);
+        let mut seen = HashSet::new();
+        while let Some(sig) = queue.pop_front() {
+            if !seen.insert(sig) {
+                continue;
+            }
+            match self.signal(sig)?.expr {
+                SignalExpr::RegOutput(cell) => {
+                    support.insert(cell);
+                }
+                SignalExpr::And(a, b) | SignalExpr::Or(a, b) | SignalExpr::Xor(a, b) => {
+                    queue.push_back(a);
+                    queue.push_back(b);
+                }
+                SignalExpr::Not(a) => queue.push_back(a),
+                SignalExpr::Const(_) | SignalExpr::External => {}
+            }
+        }
+        Ok(support)
+    }
+
+    /// Registers clocked through `source` (an ICG or buffer), directly or
+    /// through further tree cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCell`] for a dangling id.
+    pub fn clock_sinks_of(&self, source: CellId) -> Result<Vec<CellId>, NetlistError> {
+        self.cell(source)?;
+        let mut sinks = Vec::new();
+        for (id, cell) in self.cells() {
+            if !cell.kind.is_register() {
+                continue;
+            }
+            if self.clock_path(id)?.contains(&source) {
+                sinks.push(id);
+            }
+        }
+        Ok(sinks)
+    }
+
+    /// Computes the influence footprint of `set` on the rest of the design.
+    ///
+    /// This answers the removal-attack question: if an attacker deletes
+    /// exactly these cells from the RTL, which registers outside the set
+    /// change behaviour (data, clock enable or lost clock)?
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCell`] if the set references cells not
+    /// in the netlist.
+    pub fn influence_of(&self, set: &HashSet<CellId>) -> Result<InfluenceReport, NetlistError> {
+        for &cell in set {
+            self.cell(cell)?;
+        }
+        let mut report = InfluenceReport::default();
+
+        for (id, cell) in self.cells() {
+            if set.contains(&id) {
+                continue;
+            }
+            let CellKind::Register(config) = cell.kind else {
+                continue;
+            };
+
+            // Lost clock: any tree cell on the clock path inside the set.
+            let path = self.clock_path(id)?;
+            if path.iter().any(|c| set.contains(c)) {
+                report.clocked_through_set.push(id);
+            } else {
+                // Gated by an enable computed from in-set registers.
+                let mut gated = false;
+                for tree_cell in &path {
+                    if let CellKind::ClockGate { enable, .. } = self.cell(*tree_cell)?.kind {
+                        let support = self.signal_register_support(enable)?;
+                        if support.iter().any(|c| set.contains(c)) {
+                            gated = true;
+                            break;
+                        }
+                    }
+                }
+                if gated {
+                    report.clock_dependents.push(id);
+                }
+            }
+
+            // Data dependence on in-set registers.
+            let data_depends = match config.data {
+                DataSource::ShiftFrom(src) => set.contains(&src),
+                DataSource::Signal(sig) => self
+                    .signal_register_support(sig)?
+                    .iter()
+                    .any(|c| set.contains(c)),
+                _ => false,
+            };
+            let enable_depends = match config.sync_enable {
+                Some(sig) => self
+                    .signal_register_support(sig)?
+                    .iter()
+                    .any(|c| set.contains(c)),
+                None => false,
+            };
+            if data_depends || enable_depends {
+                report.data_dependents.push(id);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Convenience: influence footprint of a whole group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`influence_of`](Netlist::influence_of).
+    pub fn influence_of_group(
+        &self,
+        group: crate::GroupId,
+    ) -> Result<InfluenceReport, NetlistError> {
+        let set: HashSet<CellId> = self.cells_in_group(group).into_iter().collect();
+        self.influence_of(&set)
+    }
+
+    /// The direct fanout of a clock source cell: cells clocked immediately
+    /// by it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCell`] for a dangling id.
+    pub fn direct_clock_fanout(&self, source: CellId) -> Result<Vec<CellId>, NetlistError> {
+        self.cell(source)?;
+        Ok(self
+            .cells()
+            .filter(|(_, c)| c.kind.clock() == ClockInput::Cell(source))
+            .map(|(id, _)| id)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GroupId, RegisterConfig};
+
+    /// A load-circuit-style embedding: a shift chain nothing else reads.
+    fn standalone_load_circuit() -> (Netlist, HashSet<CellId>) {
+        let mut n = Netlist::new();
+        let clk = n.add_clock_root("clk");
+        let wm = n.add_group("watermark");
+
+        // System register, untouched by the watermark.
+        n.add_register(
+            GroupId::TOP,
+            RegisterConfig::new(clk.into()).data(DataSource::Toggle),
+        )
+        .expect("system register");
+
+        // 4-stage circular shift chain in the watermark group.
+        let head = n
+            .add_register(wm, RegisterConfig::new(clk.into()).init(true))
+            .expect("head");
+        let mut prev = head;
+        let mut set = HashSet::from([head]);
+        for i in 0..3 {
+            let reg = n
+                .add_register(
+                    wm,
+                    RegisterConfig::new(clk.into())
+                        .data(DataSource::ShiftFrom(prev))
+                        .init(i % 2 == 1),
+                )
+                .expect("stage");
+            set.insert(reg);
+            prev = reg;
+        }
+        (n, set)
+    }
+
+    #[test]
+    fn load_circuit_is_standalone() {
+        let (n, set) = standalone_load_circuit();
+        let report = n.influence_of(&set).expect("valid set");
+        assert!(report.is_standalone());
+        assert_eq!(report.affected_register_count(), 0);
+    }
+
+    #[test]
+    fn clock_modulated_ip_is_not_standalone() {
+        // WGC register output drives the ICG enable of a functional block:
+        // removing the WGC de-clocks the block.
+        let mut n = Netlist::new();
+        let clk = n.add_clock_root("clk");
+        let wm = n.add_group("wgc");
+
+        let wgc_reg = n
+            .add_register(
+                wm,
+                RegisterConfig::new(clk.into())
+                    .data(DataSource::Toggle)
+                    .init(true),
+            )
+            .expect("wgc register");
+        let wmark = n
+            .add_signal("wmark", SignalExpr::RegOutput(wgc_reg))
+            .expect("signal");
+        let icg = n.add_icg(GroupId::TOP, clk.into(), wmark).expect("icg");
+        let ip_reg = n
+            .add_register(
+                GroupId::TOP,
+                RegisterConfig::new(icg.into()).data(DataSource::Toggle),
+            )
+            .expect("ip register");
+
+        let set = HashSet::from([wgc_reg]);
+        let report = n.influence_of(&set).expect("valid set");
+        assert!(!report.is_standalone());
+        assert_eq!(report.clock_dependents, vec![ip_reg]);
+        assert_eq!(report.affected_register_count(), 1);
+    }
+
+    #[test]
+    fn removing_a_tree_cell_declocks_downstream_registers() {
+        let mut n = Netlist::new();
+        let clk = n.add_clock_root("clk");
+        let buf = n.add_buffer(GroupId::TOP, clk.into()).expect("buffer");
+        let reg = n
+            .add_register(GroupId::TOP, RegisterConfig::new(buf.into()))
+            .expect("register");
+
+        let set = HashSet::from([buf]);
+        let report = n.influence_of(&set).expect("valid set");
+        assert_eq!(report.clocked_through_set, vec![reg]);
+        assert!(!report.is_standalone());
+    }
+
+    #[test]
+    fn data_dependents_follow_signal_chains() {
+        let mut n = Netlist::new();
+        let clk = n.add_clock_root("clk");
+        let src = n
+            .add_register(
+                GroupId::TOP,
+                RegisterConfig::new(clk.into()).data(DataSource::Toggle),
+            )
+            .expect("src");
+        let q = n.add_signal("q", SignalExpr::RegOutput(src)).expect("q");
+        let nq = n.add_signal("nq", SignalExpr::Not(q)).expect("nq");
+        let dst = n
+            .add_register(
+                GroupId::TOP,
+                RegisterConfig::new(clk.into()).data(DataSource::Signal(nq)),
+            )
+            .expect("dst");
+
+        let report = n.influence_of(&HashSet::from([src])).expect("valid");
+        assert_eq!(report.data_dependents, vec![dst]);
+    }
+
+    #[test]
+    fn signal_consumers_enumerates_all_consumer_kinds() {
+        let mut n = Netlist::new();
+        let clk = n.add_clock_root("clk");
+        let sig = n.add_signal("s", SignalExpr::External).expect("s");
+        let icg = n.add_icg(GroupId::TOP, clk.into(), sig).expect("icg");
+        let reg_data = n
+            .add_register(
+                GroupId::TOP,
+                RegisterConfig::new(clk.into()).data(DataSource::Signal(sig)),
+            )
+            .expect("reg");
+        let reg_en = n
+            .add_register(
+                GroupId::TOP,
+                RegisterConfig::new(clk.into()).sync_enable(sig),
+            )
+            .expect("reg");
+        let derived = n.add_signal("d", SignalExpr::Not(sig)).expect("d");
+
+        let consumers = n.signal_consumers(sig).expect("known signal");
+        assert!(consumers.contains(&SignalConsumer::IcgEnable(icg)));
+        assert!(consumers.contains(&SignalConsumer::RegisterData(reg_data)));
+        assert!(consumers.contains(&SignalConsumer::RegisterSyncEnable(reg_en)));
+        assert!(consumers.contains(&SignalConsumer::Signal(derived)));
+        assert_eq!(consumers.len(), 4);
+    }
+
+    #[test]
+    fn clock_sinks_walks_nested_tree() {
+        let mut n = Netlist::new();
+        let clk = n.add_clock_root("clk");
+        let en = n.add_signal("en", SignalExpr::Const(true)).expect("en");
+        let buf = n.add_buffer(GroupId::TOP, clk.into()).expect("buffer");
+        let icg = n.add_icg(GroupId::TOP, buf.into(), en).expect("icg");
+        let inner = n
+            .add_register(GroupId::TOP, RegisterConfig::new(icg.into()))
+            .expect("inner");
+        let outer = n
+            .add_register(GroupId::TOP, RegisterConfig::new(clk.into()))
+            .expect("outer");
+
+        let sinks = n.clock_sinks_of(buf).expect("known");
+        assert_eq!(sinks, vec![inner]);
+        assert!(!sinks.contains(&outer));
+        assert_eq!(n.direct_clock_fanout(buf).expect("known"), vec![icg]);
+    }
+}

@@ -1,0 +1,38 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by power-trace arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// Two traces of different lengths were combined element-wise.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::LengthMismatch { left, right } => {
+                write!(f, "power traces have different lengths ({left} vs {right})")
+            }
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_both_lengths() {
+        let msg = PowerError::LengthMismatch { left: 3, right: 5 }.to_string();
+        assert!(msg.contains('3') && msg.contains('5'));
+    }
+}

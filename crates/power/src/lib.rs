@@ -1,0 +1,43 @@
+//! Power modelling for clock-gated netlists.
+//!
+//! Converts per-cycle switching activity (from `clockmark-sim`) into watts
+//! using a per-cell energy library calibrated with the constants published
+//! in Kufel et al. (DATE 2014): on the paper's TSMC 65 nm low-leakage
+//! process at 10 MHz / 1.2 V,
+//!
+//! - a single register's embedded clock buffer consumes **1.476 µW**, and
+//! - data switching in a single register consumes **1.126 µW**.
+//!
+//! Those two constants are the entire basis of the paper's Tables I and II,
+//! which this crate reproduces analytically in [`tables`].
+//!
+//! # Example
+//!
+//! ```
+//! use clockmark_power::{EnergyLibrary, Frequency, PowerModel};
+//! use clockmark_sim::GroupActivity;
+//!
+//! let model = PowerModel::new(EnergyLibrary::tsmc65ll(), Frequency::from_megahertz(10.0));
+//!
+//! // 1,024 registers clocked, none switching data: the paper's Table I
+//! // first row, 1.51 mW.
+//! let activity = GroupActivity { reg_clock_events: 1024, ..Default::default() };
+//! let p = model.dynamic_power(activity);
+//! assert!((p.milliwatts() - 1.511).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod library;
+mod model;
+pub mod tables;
+mod trace;
+mod units;
+
+pub use error::PowerError;
+pub use library::EnergyLibrary;
+pub use model::PowerModel;
+pub use trace::PowerTrace;
+pub use units::{Energy, Frequency, Power};

@@ -1,0 +1,173 @@
+use crate::{Energy, Frequency, Power};
+
+/// Per-event switching energies and leakage for a standard-cell library.
+///
+/// The default [`tsmc65ll`](EnergyLibrary::tsmc65ll) instance encodes the
+/// constants the paper reports from PrimeTime-PX sign-off on the TSMC 65 nm
+/// low-leakage library at 1.2 V:
+///
+/// | event | paper figure @ 10 MHz | energy per event |
+/// |---|---|---|
+/// | register clock pin (embedded clock buffers) | 1.476 µW | 147.6 fJ |
+/// | register output data toggle | 1.126 µW | 112.6 fJ |
+/// | register leakage | ≈ 0.39 nW | — |
+///
+/// Clock-tree distribution buffers and ICG internal power default to zero
+/// because the paper's per-register clock figure is an *average that already
+/// includes the register's share of the tree* ("on average the dynamic
+/// power consumption of a single clock buffer is 1.476 µW"). Set
+/// [`tree_buffer`](EnergyLibrary::tree_buffer) /
+/// [`icg`](EnergyLibrary::icg) to non-zero values for ablations that split
+/// the tree out explicitly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyLibrary {
+    /// Energy per register whose clock pin receives an active cycle
+    /// (covers both edges of the internal clock buffers).
+    pub reg_clock: Energy,
+    /// Energy per register output toggle.
+    pub reg_data: Energy,
+    /// Energy per active clock-tree buffer per cycle (default 0: lumped
+    /// into `reg_clock`).
+    pub tree_buffer: Energy,
+    /// Energy per clock-gate cell receiving an input clock per cycle
+    /// (default 0: lumped).
+    pub icg: Energy,
+    /// Static leakage per register.
+    pub reg_leakage: Power,
+}
+
+impl EnergyLibrary {
+    /// The paper's TSMC 65 nm low-leakage library constants.
+    pub fn tsmc65ll() -> Self {
+        let reference = Frequency::from_megahertz(10.0);
+        EnergyLibrary {
+            reg_clock: Power::from_microwatts(1.476) / reference,
+            reg_data: Power::from_microwatts(1.126) / reference,
+            tree_buffer: Energy::ZERO,
+            icg: Energy::ZERO,
+            // Table I: 0.404 µW static for the 1,024-register load circuit
+            // plus its 12-register WGC → ≈ 0.39 nW per register.
+            reg_leakage: Power::from_nanowatts(0.39),
+        }
+    }
+
+    /// Clock-pin power of one register at a given clock frequency.
+    pub fn reg_clock_power(&self, f_clk: Frequency) -> Power {
+        self.reg_clock * f_clk
+    }
+
+    /// Data-toggle power of one register toggling every cycle at `f_clk`.
+    pub fn reg_data_power(&self, f_clk: Frequency) -> Power {
+        self.reg_data * f_clk
+    }
+
+    /// Static power of `n` registers.
+    pub fn leakage(&self, registers: usize) -> Power {
+        self.reg_leakage * registers as f64
+    }
+
+    /// Returns a copy with explicit tree-buffer energy (ablation use).
+    pub fn with_tree_buffer(mut self, energy: Energy) -> Self {
+        self.tree_buffer = energy;
+        self
+    }
+
+    /// Returns a copy with explicit ICG energy (ablation use).
+    pub fn with_icg(mut self, energy: Energy) -> Self {
+        self.icg = energy;
+        self
+    }
+
+    /// The nominal supply of the paper's chips, in volts.
+    pub const NOMINAL_SUPPLY_VOLTS: f64 = 1.2;
+
+    /// Returns a copy rescaled to a different supply voltage: switching
+    /// energies scale as `(V/V₀)²` (CV² energy), leakage approximately
+    /// linearly with `V` (a first-order fit adequate for the ±20 % range
+    /// DVFS sweeps use; subthreshold leakage is really super-linear).
+    ///
+    /// ```
+    /// use clockmark_power::{EnergyLibrary, Frequency};
+    ///
+    /// let low = EnergyLibrary::tsmc65ll().at_supply(0.9);
+    /// let f = Frequency::from_megahertz(10.0);
+    /// // (0.9/1.2)² = 0.5625 of the nominal 1.476 µW.
+    /// assert!((low.reg_clock_power(f).microwatts() - 0.830).abs() < 0.01);
+    /// ```
+    pub fn at_supply(self, volts: f64) -> Self {
+        let ratio = volts / Self::NOMINAL_SUPPLY_VOLTS;
+        let dynamic = ratio * ratio;
+        EnergyLibrary {
+            reg_clock: self.reg_clock * dynamic,
+            reg_data: self.reg_data * dynamic,
+            tree_buffer: self.tree_buffer * dynamic,
+            icg: self.icg * dynamic,
+            reg_leakage: self.reg_leakage * ratio,
+        }
+    }
+}
+
+impl Default for EnergyLibrary {
+    fn default() -> Self {
+        Self::tsmc65ll()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_at_reference_frequency() {
+        let lib = EnergyLibrary::tsmc65ll();
+        let f = Frequency::from_megahertz(10.0);
+        assert!((lib.reg_clock_power(f).microwatts() - 1.476).abs() < 1e-9);
+        assert!((lib.reg_data_power(f).microwatts() - 1.126).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_power_exceeds_data_power() {
+        // The core observation of the paper: a register's clock buffers
+        // burn more than its data switching.
+        let lib = EnergyLibrary::tsmc65ll();
+        assert!(lib.reg_clock > lib.reg_data);
+    }
+
+    #[test]
+    fn leakage_scales_with_register_count() {
+        let lib = EnergyLibrary::tsmc65ll();
+        // 1,024 load registers + 12 WGC registers ≈ the 0.404 µW static
+        // figure from Table I.
+        let static_power = lib.leakage(1024 + 12);
+        assert!((static_power.microwatts() - 0.404).abs() < 0.01);
+    }
+
+    #[test]
+    fn ablation_setters_return_modified_copies() {
+        let lib = EnergyLibrary::tsmc65ll()
+            .with_tree_buffer(Energy::from_femtojoules(30.0))
+            .with_icg(Energy::from_femtojoules(50.0));
+        assert!((lib.tree_buffer.femtojoules() - 30.0).abs() < 1e-9);
+        assert!((lib.icg.femtojoules() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supply_scaling_is_quadratic_for_dynamic_linear_for_leakage() {
+        let nominal = EnergyLibrary::tsmc65ll();
+        let low = nominal.at_supply(0.6); // half the nominal 1.2 V
+        assert!((low.reg_clock.joules() / nominal.reg_clock.joules() - 0.25).abs() < 1e-12);
+        assert!((low.reg_data.joules() / nominal.reg_data.joules() - 0.25).abs() < 1e-12);
+        assert!((low.reg_leakage.watts() / nominal.reg_leakage.watts() - 0.5).abs() < 1e-12);
+        // Nominal voltage is the identity.
+        let same = nominal.at_supply(EnergyLibrary::NOMINAL_SUPPLY_VOLTS);
+        assert!((same.reg_clock.joules() - nominal.reg_clock.joules()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn power_scales_linearly_with_frequency() {
+        let lib = EnergyLibrary::tsmc65ll();
+        let p10 = lib.reg_clock_power(Frequency::from_megahertz(10.0));
+        let p20 = lib.reg_clock_power(Frequency::from_megahertz(20.0));
+        assert!((p20.watts() - 2.0 * p10.watts()).abs() < 1e-15);
+    }
+}

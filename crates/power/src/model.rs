@@ -1,0 +1,148 @@
+use crate::{EnergyLibrary, Frequency, Power, PowerTrace};
+use clockmark_netlist::GroupId;
+use clockmark_sim::{ActivityTrace, GroupActivity};
+
+/// Prices per-cycle switching activity into dynamic power.
+///
+/// Energies come from an [`EnergyLibrary`]; the clock frequency converts
+/// per-event energies into per-cycle average power (the quantity an
+/// oscilloscope integrating over one clock period observes).
+///
+/// ```
+/// use clockmark_power::{EnergyLibrary, Frequency, PowerModel};
+/// use clockmark_sim::GroupActivity;
+///
+/// let model = PowerModel::new(EnergyLibrary::tsmc65ll(), Frequency::from_megahertz(10.0));
+/// let one_reg = GroupActivity { reg_clock_events: 1, reg_data_toggles: 1, ..Default::default() };
+/// // 1.476 + 1.126 = 2.602 µW for one clocked, toggling register.
+/// assert!((model.dynamic_power(one_reg).microwatts() - 2.602).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    library: EnergyLibrary,
+    f_clk: Frequency,
+}
+
+impl PowerModel {
+    /// Creates a model for a library at a clock frequency.
+    pub fn new(library: EnergyLibrary, f_clk: Frequency) -> Self {
+        PowerModel { library, f_clk }
+    }
+
+    /// The energy library in use.
+    pub fn library(&self) -> &EnergyLibrary {
+        &self.library
+    }
+
+    /// The clock frequency in use.
+    pub fn clock_frequency(&self) -> Frequency {
+        self.f_clk
+    }
+
+    /// Average dynamic power of one cycle's activity.
+    pub fn dynamic_power(&self, activity: GroupActivity) -> Power {
+        let lib = &self.library;
+        let energy = lib.reg_clock * activity.reg_clock_events as f64
+            + lib.reg_data * activity.reg_data_toggles as f64
+            + lib.tree_buffer * activity.buffer_events as f64
+            + lib.icg * activity.icg_events as f64;
+        energy * self.f_clk
+    }
+
+    /// Per-cycle dynamic power of the whole design.
+    pub fn trace(&self, activity: &ActivityTrace) -> PowerTrace {
+        (0..activity.cycles())
+            .map(|c| self.dynamic_power(activity.total(c)))
+            .collect()
+    }
+
+    /// Per-cycle dynamic power of one cell group.
+    pub fn group_trace(&self, activity: &ActivityTrace, group: GroupId) -> PowerTrace {
+        (0..activity.cycles())
+            .map(|c| self.dynamic_power(activity.activity(c, group)))
+            .collect()
+    }
+
+    /// Static power of `registers` registers, for offsetting traces.
+    pub fn static_power(&self, registers: usize) -> Power {
+        self.library.leakage(registers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        PowerModel::new(EnergyLibrary::tsmc65ll(), Frequency::from_megahertz(10.0))
+    }
+
+    #[test]
+    fn table1_first_row_clock_buffers_only() {
+        // 1,024 registers clocked with no data switching: 1.51 mW.
+        let activity = GroupActivity {
+            reg_clock_events: 1024,
+            ..Default::default()
+        };
+        let p = model().dynamic_power(activity);
+        assert!((p.milliwatts() - 1.5114).abs() < 1e-3, "got {p}");
+    }
+
+    #[test]
+    fn table1_last_row_all_registers_switching() {
+        // 1,024 clocked and toggling: 2.66 mW.
+        let activity = GroupActivity {
+            reg_clock_events: 1024,
+            reg_data_toggles: 1024,
+            ..Default::default()
+        };
+        let p = model().dynamic_power(activity);
+        assert!((p.milliwatts() - 2.664).abs() < 1e-2, "got {p}");
+    }
+
+    #[test]
+    fn idle_cycle_consumes_no_dynamic_power() {
+        assert_eq!(model().dynamic_power(GroupActivity::default()), Power::ZERO);
+    }
+
+    #[test]
+    fn trace_prices_every_cycle() {
+        let mut activity = ActivityTrace::new(1);
+        activity.push_cycle(&[GroupActivity {
+            reg_clock_events: 10,
+            ..Default::default()
+        }]);
+        activity.push_cycle(&[GroupActivity::default()]);
+        let trace = model().trace(&activity);
+        assert_eq!(trace.len(), 2);
+        assert!(trace.get(0).expect("cycle").watts() > 0.0);
+        assert_eq!(trace.get(1).expect("cycle"), Power::ZERO);
+    }
+
+    #[test]
+    fn group_trace_isolates_one_group() {
+        let mut activity = ActivityTrace::new(2);
+        let busy = GroupActivity {
+            reg_clock_events: 4,
+            ..Default::default()
+        };
+        activity.push_cycle(&[GroupActivity::default(), busy]);
+        let m = model();
+        let top = m.group_trace(&activity, GroupId::TOP);
+        assert_eq!(top.get(0).expect("cycle"), Power::ZERO);
+        let total = m.trace(&activity);
+        assert!(total.get(0).expect("cycle").watts() > 0.0);
+    }
+
+    #[test]
+    fn tree_buffer_ablation_adds_power() {
+        let lib = EnergyLibrary::tsmc65ll().with_tree_buffer(crate::Energy::from_femtojoules(30.0));
+        let m = PowerModel::new(lib, Frequency::from_megahertz(10.0));
+        let activity = GroupActivity {
+            buffer_events: 42,
+            ..Default::default()
+        };
+        let p = m.dynamic_power(activity);
+        assert!((p.microwatts() - 42.0 * 0.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,233 @@
+//! Analytic reproductions of the paper's Table I and Table II.
+//!
+//! Both tables are linear roll-ups of the two per-register constants the
+//! paper measured with PrimeTime-PX (see [`EnergyLibrary::tsmc65ll`]):
+//!
+//! - **Table I** prices the placed-and-routed 1,024-register load circuit as
+//!   the number of data-switching registers grows from 0 to all 1,024.
+//! - **Table II** inverts the model: given a target detectable load power,
+//!   how many shift registers would the state-of-the-art load circuit need
+//!   (`N = P_load / (1.126 µW + 1.476 µW)`), and what fraction of the
+//!   watermark area does the proposed technique therefore remove
+//!   (`N / (N + 12)` with a 12-register WGC)?
+//!
+//! The functions here are deliberately analytic so the benches can compare
+//! them against the *simulated* roll-up from `clockmark-sim`; the two must
+//! agree exactly, which is itself a regression test of the simulator.
+
+use crate::{EnergyLibrary, Frequency, Power};
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Number of registers whose data toggles when `WMARK = 1` (the rest
+    /// only burn clock power).
+    pub switching_registers: u32,
+    /// Dynamic power while the watermark is active.
+    pub dynamic: Power,
+    /// Static (leakage) power of the whole watermark circuit.
+    pub static_power: Power,
+    /// Total power (dynamic + static).
+    pub total: Power,
+    /// Load-circuit share of the total watermark dynamic power, in percent.
+    pub load_share_pct: f64,
+}
+
+/// One row of the paper's Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// The target detectable load-circuit dynamic power.
+    pub p_load: Power,
+    /// Registers the state-of-the-art load circuit needs to reach it:
+    /// `N = P_load / (data + clock power per register)`.
+    pub registers_needed: u64,
+    /// Area-overhead reduction achieved by removing the load circuit and
+    /// keeping only the WGC, in percent: `N / (N + wgc_registers) × 100`.
+    pub area_reduction_pct: f64,
+}
+
+/// Parameters shared by both tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableModel {
+    /// Energy library supplying the per-register constants.
+    pub library: EnergyLibrary,
+    /// Clock frequency at which powers are quoted (the paper uses 10 MHz).
+    pub f_clk: Frequency,
+    /// Total registers in the clock-gated redundant block (1,024 in the
+    /// test chips).
+    pub load_registers: u32,
+    /// Registers in the watermark generation circuit (12 in the paper's
+    /// experiments: a 12-bit LFSR).
+    pub wgc_registers: u32,
+    /// Dynamic power of the WGC itself. The paper's Table I percentages
+    /// imply ≈ 60 µW for the WGC macro including its control logic.
+    pub wgc_dynamic: Power,
+}
+
+impl TableModel {
+    /// The paper's experimental configuration.
+    pub fn paper() -> Self {
+        TableModel {
+            library: EnergyLibrary::tsmc65ll(),
+            f_clk: Frequency::from_megahertz(10.0),
+            load_registers: 1024,
+            wgc_registers: 12,
+            wgc_dynamic: Power::from_microwatts(60.0),
+        }
+    }
+
+    /// Dynamic power of the gated block with `switching` of its registers
+    /// toggling data (all of them burn clock power while `WMARK = 1`).
+    pub fn load_dynamic(&self, switching: u32) -> Power {
+        let clock = self.library.reg_clock_power(self.f_clk) * self.load_registers as f64;
+        let data = self.library.reg_data_power(self.f_clk) * switching as f64;
+        clock + data
+    }
+
+    /// Computes one Table I row.
+    pub fn table1_row(&self, switching_registers: u32) -> Table1Row {
+        let dynamic = self.load_dynamic(switching_registers);
+        let static_power = self
+            .library
+            .leakage((self.load_registers + self.wgc_registers) as usize);
+        let load_share_pct = dynamic / (dynamic + self.wgc_dynamic) * 100.0;
+        Table1Row {
+            switching_registers,
+            dynamic,
+            static_power,
+            total: dynamic + static_power,
+            load_share_pct,
+        }
+    }
+
+    /// Computes the paper's four Table I rows (0, 256, 512, 1,024 switching
+    /// registers).
+    pub fn table1(&self) -> Vec<Table1Row> {
+        [0u32, 256, 512, 1024]
+            .into_iter()
+            .map(|k| self.table1_row(k))
+            .collect()
+    }
+
+    /// Per-register cost used by Table II: clock plus data power of one
+    /// load-circuit register (2.602 µW at the paper's constants).
+    pub fn per_register_load_power(&self) -> Power {
+        self.library.reg_clock_power(self.f_clk) + self.library.reg_data_power(self.f_clk)
+    }
+
+    /// Computes one Table II row for a target load power.
+    pub fn table2_row(&self, p_load: Power) -> Table2Row {
+        let n = (p_load / self.per_register_load_power()).floor() as u64;
+        let area_reduction_pct = n as f64 / (n as f64 + self.wgc_registers as f64) * 100.0;
+        Table2Row {
+            p_load,
+            registers_needed: n,
+            area_reduction_pct,
+        }
+    }
+
+    /// Computes the paper's six Table II rows
+    /// (0.25, 0.5, 1, 1.5, 5 and 10 mW).
+    pub fn table2(&self) -> Vec<Table2Row> {
+        [0.25, 0.5, 1.0, 1.5, 5.0, 10.0]
+            .into_iter()
+            .map(|mw| self.table2_row(Power::from_milliwatts(mw)))
+            .collect()
+    }
+}
+
+impl Default for TableModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_paper_dynamic_column() {
+        // Paper: 1.51, 1.80, 2.09, 2.66 mW.
+        let rows = TableModel::paper().table1();
+        let expected_mw = [1.51, 1.80, 2.09, 2.66];
+        for (row, expected) in rows.iter().zip(expected_mw) {
+            assert!(
+                (row.dynamic.milliwatts() - expected).abs() < 0.01,
+                "{} switching: got {}, paper {expected} mW",
+                row.switching_registers,
+                row.dynamic
+            );
+        }
+    }
+
+    #[test]
+    fn table1_static_column_matches_paper() {
+        // Paper: ≈ 0.404–0.408 µW static in every row.
+        for row in TableModel::paper().table1() {
+            assert!(
+                (row.static_power.microwatts() - 0.404).abs() < 0.01,
+                "got {}",
+                row.static_power
+            );
+        }
+    }
+
+    #[test]
+    fn table1_share_column_matches_paper_shape() {
+        // Paper: 95.6 %, 96.8 %, 97.2 %, 98 % — monotonically increasing,
+        // all above 95 %.
+        let rows = TableModel::paper().table1();
+        let shares: Vec<f64> = rows.iter().map(|r| r.load_share_pct).collect();
+        assert!(shares.windows(2).all(|w| w[1] > w[0]), "{shares:?}");
+        assert!(shares.iter().all(|&s| s > 95.0 && s < 99.0), "{shares:?}");
+        // Middle rows reproduce the paper to a tenth of a percent.
+        assert!((shares[1] - 96.8).abs() < 0.1, "{}", shares[1]);
+        assert!((shares[2] - 97.2).abs() < 0.1, "{}", shares[2]);
+    }
+
+    #[test]
+    fn table2_reproduces_paper_register_column_exactly() {
+        // Paper: 96, 192, 384, 576, 1921, 3843 registers.
+        let rows = TableModel::paper().table2();
+        let expected = [96u64, 192, 384, 576, 1921, 3843];
+        for (row, expected) in rows.iter().zip(expected) {
+            assert_eq!(
+                row.registers_needed, expected,
+                "for {}, got {} registers",
+                row.p_load, row.registers_needed
+            );
+        }
+    }
+
+    #[test]
+    fn table2_reproduces_paper_area_column() {
+        // Paper: 88.9, 94.1, 96.9, 98, 99.4, 99.7 %.
+        let rows = TableModel::paper().table2();
+        let expected = [88.9, 94.1, 96.9, 98.0, 99.4, 99.7];
+        for (row, expected) in rows.iter().zip(expected) {
+            assert!(
+                (row.area_reduction_pct - expected).abs() < 0.1,
+                "for {}: got {:.2}, paper {expected}",
+                row.p_load,
+                row.area_reduction_pct
+            );
+        }
+    }
+
+    #[test]
+    fn area_reduction_grows_with_system_size() {
+        // Bigger systems need bigger load circuits, so removing the load
+        // saves more — the paper's scaling argument.
+        let rows = TableModel::paper().table2();
+        assert!(rows
+            .windows(2)
+            .all(|w| w[1].area_reduction_pct > w[0].area_reduction_pct));
+    }
+
+    #[test]
+    fn per_register_cost_is_2_602_uw() {
+        let p = TableModel::paper().per_register_load_power();
+        assert!((p.microwatts() - 2.602).abs() < 1e-9);
+    }
+}

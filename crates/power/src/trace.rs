@@ -1,0 +1,289 @@
+use crate::{Power, PowerError};
+
+/// A per-clock-cycle power series, in watts.
+///
+/// This is the common currency between the simulator (which produces one),
+/// the SoC background-noise model (which produces another), the measurement
+/// chain (which digitises the sum) and the CPA detector (which correlates
+/// the result). Values are stored as raw `f64` watts for arithmetic speed;
+/// use [`Power`] at the API edges.
+///
+/// ```
+/// use clockmark_power::{Power, PowerTrace};
+///
+/// let mut trace = PowerTrace::new();
+/// trace.push(Power::from_milliwatts(1.0));
+/// trace.push(Power::from_milliwatts(3.0));
+/// assert_eq!(trace.len(), 2);
+/// assert!((trace.mean().milliwatts() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PowerTrace {
+    watts: Vec<f64>,
+}
+
+impl PowerTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        PowerTrace { watts: Vec::new() }
+    }
+
+    /// Creates an empty trace with reserved capacity.
+    pub fn with_capacity(cycles: usize) -> Self {
+        PowerTrace {
+            watts: Vec::with_capacity(cycles),
+        }
+    }
+
+    /// Wraps a raw per-cycle watts vector.
+    pub fn from_watts(watts: Vec<f64>) -> Self {
+        PowerTrace { watts }
+    }
+
+    /// A trace of `cycles` identical values.
+    pub fn constant(value: Power, cycles: usize) -> Self {
+        PowerTrace {
+            watts: vec![value.watts(); cycles],
+        }
+    }
+
+    /// Appends one cycle.
+    pub fn push(&mut self, value: Power) {
+        self.watts.push(value.watts());
+    }
+
+    /// Number of cycles.
+    pub fn len(&self) -> usize {
+        self.watts.len()
+    }
+
+    /// Whether the trace holds no cycles.
+    pub fn is_empty(&self) -> bool {
+        self.watts.is_empty()
+    }
+
+    /// The power in one cycle.
+    pub fn get(&self, cycle: usize) -> Option<Power> {
+        self.watts.get(cycle).map(|&w| Power::from_watts(w))
+    }
+
+    /// The raw per-cycle watts.
+    pub fn as_watts(&self) -> &[f64] {
+        &self.watts
+    }
+
+    /// Consumes the trace, returning the raw watts vector.
+    pub fn into_watts(self) -> Vec<f64> {
+        self.watts
+    }
+
+    /// Element-wise sum of two traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::LengthMismatch`] when lengths differ.
+    pub fn checked_add(&self, other: &PowerTrace) -> Result<PowerTrace, PowerError> {
+        if self.len() != other.len() {
+            return Err(PowerError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        Ok(PowerTrace {
+            watts: self
+                .watts
+                .iter()
+                .zip(&other.watts)
+                .map(|(a, b)| a + b)
+                .collect(),
+        })
+    }
+
+    /// Adds a constant offset (e.g. leakage) to every cycle, in place.
+    pub fn add_offset(&mut self, offset: Power) {
+        let w = offset.watts();
+        for v in &mut self.watts {
+            *v += w;
+        }
+    }
+
+    /// Scales every cycle by a factor, in place.
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.watts {
+            *v *= factor;
+        }
+    }
+
+    /// Arithmetic mean over all cycles (zero for an empty trace).
+    pub fn mean(&self) -> Power {
+        if self.watts.is_empty() {
+            return Power::ZERO;
+        }
+        Power::from_watts(self.watts.iter().sum::<f64>() / self.watts.len() as f64)
+    }
+
+    /// Population standard deviation over all cycles.
+    pub fn std_dev(&self) -> Power {
+        if self.watts.is_empty() {
+            return Power::ZERO;
+        }
+        let mean = self.mean().watts();
+        let var = self
+            .watts
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.watts.len() as f64;
+        Power::from_watts(var.sqrt())
+    }
+
+    /// Smallest per-cycle value.
+    pub fn min(&self) -> Option<Power> {
+        self.watts
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
+            .map(Power::from_watts)
+    }
+
+    /// Largest per-cycle value.
+    pub fn max(&self) -> Option<Power> {
+        self.watts
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+            .map(Power::from_watts)
+    }
+
+    /// A sub-range of the trace as a new trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn window(&self, start: usize, len: usize) -> PowerTrace {
+        PowerTrace {
+            watts: self.watts[start..start + len].to_vec(),
+        }
+    }
+
+    /// Iterates over per-cycle values.
+    pub fn iter(&self) -> impl Iterator<Item = Power> + '_ {
+        self.watts.iter().map(|&w| Power::from_watts(w))
+    }
+}
+
+impl FromIterator<Power> for PowerTrace {
+    fn from_iter<I: IntoIterator<Item = Power>>(iter: I) -> Self {
+        PowerTrace {
+            watts: iter.into_iter().map(|p| p.watts()).collect(),
+        }
+    }
+}
+
+impl Extend<Power> for PowerTrace {
+    fn extend<I: IntoIterator<Item = Power>>(&mut self, iter: I) {
+        self.watts.extend(iter.into_iter().map(|p| p.watts()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mw(values: &[f64]) -> PowerTrace {
+        values.iter().map(|&v| Power::from_milliwatts(v)).collect()
+    }
+
+    #[test]
+    fn statistics_on_known_values() {
+        let t = mw(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((t.mean().milliwatts() - 2.5).abs() < 1e-12);
+        assert!((t.std_dev().milliwatts() - 1.118).abs() < 1e-3);
+        assert!((t.min().expect("non-empty").milliwatts() - 1.0).abs() < 1e-12);
+        assert!((t.max().expect("non-empty").milliwatts() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_statistics() {
+        let t = PowerTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.mean(), Power::ZERO);
+        assert_eq!(t.std_dev(), Power::ZERO);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+        assert_eq!(t.get(0), None);
+    }
+
+    #[test]
+    fn checked_add_requires_equal_lengths() {
+        let a = mw(&[1.0, 2.0]);
+        let b = mw(&[1.0]);
+        assert_eq!(
+            a.checked_add(&b).unwrap_err(),
+            PowerError::LengthMismatch { left: 2, right: 1 }
+        );
+        let sum = a.checked_add(&mw(&[0.5, 0.5])).expect("same length");
+        assert!((sum.get(0).expect("cycle 0").milliwatts() - 1.5).abs() < 1e-12);
+        assert!((sum.get(1).expect("cycle 1").milliwatts() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_and_scale_mutate_in_place() {
+        let mut t = mw(&[1.0, 2.0]);
+        t.add_offset(Power::from_milliwatts(0.1));
+        t.scale(2.0);
+        assert!((t.get(0).expect("cycle").milliwatts() - 2.2).abs() < 1e-12);
+        assert!((t.get(1).expect("cycle").milliwatts() - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_extracts_subrange() {
+        let t = mw(&[1.0, 2.0, 3.0, 4.0]);
+        let w = t.window(1, 2);
+        assert_eq!(w.len(), 2);
+        assert!((w.get(0).expect("cycle").milliwatts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_trace() {
+        let t = PowerTrace::constant(Power::from_milliwatts(5.0), 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.std_dev(), Power::ZERO);
+        assert!((t.mean().milliwatts() - 5.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn mean_is_between_min_and_max(values in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let t = PowerTrace::from_watts(values);
+            let mean = t.mean().watts();
+            prop_assert!(mean >= t.min().expect("non-empty").watts() - 1e-9);
+            prop_assert!(mean <= t.max().expect("non-empty").watts() + 1e-9);
+        }
+
+        #[test]
+        fn add_then_subtract_offset_is_identity(values in proptest::collection::vec(-1e3f64..1e3, 0..50), offset in -1e3f64..1e3) {
+            let mut t = PowerTrace::from_watts(values.clone());
+            t.add_offset(Power::from_watts(offset));
+            t.add_offset(Power::from_watts(-offset));
+            for (a, b) in t.as_watts().iter().zip(&values) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn checked_add_is_commutative(a in proptest::collection::vec(-1e3f64..1e3, 0..50)) {
+            let b: Vec<f64> = a.iter().map(|v| v * 0.5 + 1.0).collect();
+            let ta = PowerTrace::from_watts(a);
+            let tb = PowerTrace::from_watts(b);
+            let ab = ta.checked_add(&tb).expect("equal lengths");
+            let ba = tb.checked_add(&ta).expect("equal lengths");
+            prop_assert_eq!(ab, ba);
+        }
+    }
+}

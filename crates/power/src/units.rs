@@ -1,0 +1,345 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Formats a value with engineering-prefix scaling for Display impls.
+fn engineering(value: f64, unit: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let magnitude = value.abs();
+    let (scaled, prefix) = if magnitude == 0.0 {
+        (value, "")
+    } else if magnitude >= 1.0 {
+        if magnitude >= 1e9 {
+            (value / 1e9, "G")
+        } else if magnitude >= 1e6 {
+            (value / 1e6, "M")
+        } else if magnitude >= 1e3 {
+            (value / 1e3, "k")
+        } else {
+            (value, "")
+        }
+    } else if magnitude >= 1e-3 {
+        (value * 1e3, "m")
+    } else if magnitude >= 1e-6 {
+        (value * 1e6, "u")
+    } else if magnitude >= 1e-9 {
+        (value * 1e9, "n")
+    } else if magnitude >= 1e-12 {
+        (value * 1e12, "p")
+    } else {
+        (value * 1e15, "f")
+    };
+    write!(f, "{scaled:.3} {prefix}{unit}")
+}
+
+macro_rules! unit_newtype {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Whether the value is finite (not NaN or infinite).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                engineering(self.0, $unit, f)
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// Electrical power in watts.
+    ///
+    /// ```
+    /// use clockmark_power::Power;
+    ///
+    /// let p = Power::from_microwatts(1476.0);
+    /// assert!((p.milliwatts() - 1.476).abs() < 1e-12);
+    /// assert_eq!(p.to_string(), "1.476 mW");
+    /// ```
+    Power,
+    "W"
+);
+
+unit_newtype!(
+    /// Energy in joules (per-event switching energies are femtojoule scale).
+    ///
+    /// ```
+    /// use clockmark_power::{Energy, Frequency};
+    ///
+    /// let e = Energy::from_femtojoules(147.6);
+    /// let p = e * Frequency::from_megahertz(10.0);
+    /// assert!((p.microwatts() - 1.476).abs() < 1e-9);
+    /// ```
+    Energy,
+    "J"
+);
+
+unit_newtype!(
+    /// Frequency in hertz.
+    ///
+    /// ```
+    /// use clockmark_power::Frequency;
+    ///
+    /// let f = Frequency::from_megahertz(10.0);
+    /// assert_eq!(f.hertz(), 10_000_000.0);
+    /// ```
+    Frequency,
+    "Hz"
+);
+
+impl Power {
+    /// Constructs a power from watts.
+    pub fn from_watts(watts: f64) -> Self {
+        Power(watts)
+    }
+
+    /// Constructs a power from milliwatts.
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Power(mw * 1e-3)
+    }
+
+    /// Constructs a power from microwatts.
+    pub fn from_microwatts(uw: f64) -> Self {
+        Power(uw * 1e-6)
+    }
+
+    /// Constructs a power from nanowatts.
+    pub fn from_nanowatts(nw: f64) -> Self {
+        Power(nw * 1e-9)
+    }
+
+    /// The value in watts.
+    pub fn watts(self) -> f64 {
+        self.0
+    }
+
+    /// The value in milliwatts.
+    pub fn milliwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The value in microwatts.
+    pub fn microwatts(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Energy {
+    /// Constructs an energy from joules.
+    pub fn from_joules(joules: f64) -> Self {
+        Energy(joules)
+    }
+
+    /// Constructs an energy from picojoules.
+    pub fn from_picojoules(pj: f64) -> Self {
+        Energy(pj * 1e-12)
+    }
+
+    /// Constructs an energy from femtojoules.
+    pub fn from_femtojoules(fj: f64) -> Self {
+        Energy(fj * 1e-15)
+    }
+
+    /// The value in joules.
+    pub fn joules(self) -> f64 {
+        self.0
+    }
+
+    /// The value in femtojoules.
+    pub fn femtojoules(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+impl Frequency {
+    /// Constructs a frequency from hertz.
+    pub fn from_hertz(hz: f64) -> Self {
+        Frequency(hz)
+    }
+
+    /// Constructs a frequency from megahertz.
+    pub fn from_megahertz(mhz: f64) -> Self {
+        Frequency(mhz * 1e6)
+    }
+
+    /// The value in hertz.
+    pub fn hertz(self) -> f64 {
+        self.0
+    }
+
+    /// The value in megahertz.
+    pub fn megahertz(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// The duration of one period, in seconds.
+    pub fn period_seconds(self) -> f64 {
+        1.0 / self.0
+    }
+}
+
+/// Energy dissipated every cycle at a frequency is a power: `E × f = P`.
+impl Mul<Frequency> for Energy {
+    type Output = Power;
+    fn mul(self, rhs: Frequency) -> Power {
+        Power(self.0 * rhs.0)
+    }
+}
+
+/// Symmetric form of `Energy × Frequency`.
+impl Mul<Energy> for Frequency {
+    type Output = Power;
+    fn mul(self, rhs: Energy) -> Power {
+        Power(self.0 * rhs.0)
+    }
+}
+
+/// Power averaged over one cycle is an energy: `P / f = E`.
+impl Div<Frequency> for Power {
+    type Output = Energy;
+    fn div(self, rhs: Frequency) -> Energy {
+        Energy(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_constant_round_trips_through_energy() {
+        // 1.476 µW at 10 MHz is 147.6 fJ per cycle.
+        let p = Power::from_microwatts(1.476);
+        let f = Frequency::from_megahertz(10.0);
+        let e = p / f;
+        assert!((e.femtojoules() - 147.6).abs() < 1e-9);
+        let back = e * f;
+        assert!((back.microwatts() - 1.476).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_uses_engineering_prefixes() {
+        assert_eq!(Power::from_watts(0.0).to_string(), "0.000 W");
+        assert_eq!(Power::from_milliwatts(2.66).to_string(), "2.660 mW");
+        assert_eq!(Power::from_nanowatts(404.0).to_string(), "404.000 nW");
+        assert_eq!(Frequency::from_megahertz(500.0).to_string(), "500.000 MHz");
+        assert_eq!(Energy::from_femtojoules(112.6).to_string(), "112.600 fJ");
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_f64() {
+        let a = Power::from_milliwatts(1.0);
+        let b = Power::from_milliwatts(0.5);
+        assert!(((a + b).milliwatts() - 1.5).abs() < 1e-12);
+        assert!(((a - b).milliwatts() - 0.5).abs() < 1e-12);
+        assert!(((a * 2.0).milliwatts() - 2.0).abs() < 1e-12);
+        assert!(((a / 2.0).milliwatts() - 0.5).abs() < 1e-12);
+        assert!((a / b - 2.0).abs() < 1e-12);
+        assert!(((-a).milliwatts() + 1.0).abs() < 1e-12);
+        let total: Power = [a, b, b].into_iter().sum();
+        assert!((total.milliwatts() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_is_dimensionless() {
+        let full = Power::from_milliwatts(2.66);
+        let part = Power::from_milliwatts(1.51);
+        let pct = part / full * 100.0;
+        assert!((pct - 56.8).abs() < 0.1);
+    }
+
+    proptest! {
+        #[test]
+        fn unit_conversions_are_inverses(mw in -1e6f64..1e6) {
+            let p = Power::from_milliwatts(mw);
+            prop_assert!((p.milliwatts() - mw).abs() <= mw.abs() * 1e-12 + 1e-15);
+            prop_assert!((Power::from_watts(p.watts()).watts() - p.watts()).abs() < 1e-12);
+        }
+
+        #[test]
+        fn energy_frequency_power_triangle(fj in 0.1f64..1e6, mhz in 0.001f64..1e4) {
+            let e = Energy::from_femtojoules(fj);
+            let f = Frequency::from_megahertz(mhz);
+            let p = e * f;
+            let e2 = p / f;
+            prop_assert!((e2.femtojoules() - fj).abs() <= fj * 1e-9);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+use crate::SequenceGenerator;
+
+/// A collected binary sequence with statistical analysis helpers.
+///
+/// The detectability of a power watermark depends on statistical properties
+/// of the `WMARK` sequence: its balance sets the average watermark power,
+/// and its periodic autocorrelation determines how cleanly a single
+/// correlation peak resolves in the spread spectrum (Fig. 5 of the paper).
+/// `BitSequence` makes those properties measurable.
+///
+/// ```
+/// # fn main() -> Result<(), clockmark_seq::SeqError> {
+/// use clockmark_seq::{BitSequence, Lfsr};
+///
+/// let mut lfsr = Lfsr::maximal(8)?;
+/// let seq = BitSequence::from_generator(&mut lfsr, 255);
+///
+/// // m-sequence: one extra 1 per period, autocorrelation -1 off-peak.
+/// assert_eq!(seq.balance(), 1);
+/// assert_eq!(seq.periodic_autocorrelation(10), -1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitSequence {
+    bits: Vec<bool>,
+}
+
+/// Run-length statistics of a binary sequence.
+///
+/// For a maximal-length sequence of width `n`, half the runs have length 1,
+/// a quarter have length 2, and so on, with a single run of `n` ones and a
+/// single run of `n-1` zeros per period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RunStats {
+    /// Total number of runs (maximal blocks of equal bits).
+    pub total_runs: usize,
+    /// Length of the longest run of ones.
+    pub longest_ones_run: usize,
+    /// Length of the longest run of zeros.
+    pub longest_zeros_run: usize,
+}
+
+impl BitSequence {
+    /// Collects `len` bits from a generator.
+    pub fn from_generator<G: SequenceGenerator + ?Sized>(generator: &mut G, len: usize) -> Self {
+        BitSequence {
+            bits: (0..len).map(|_| generator.next_bit()).collect(),
+        }
+    }
+
+    /// Wraps an existing bit vector.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        BitSequence { bits }
+    }
+
+    /// The underlying bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of bits in the sequence.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Number of one bits.
+    pub fn ones(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of zero bits.
+    pub fn zeros(&self) -> usize {
+        self.len() - self.ones()
+    }
+
+    /// Ones minus zeros. Zero means a perfectly balanced sequence; a
+    /// maximal-length sequence over one full period has balance `+1`.
+    pub fn balance(&self) -> i64 {
+        self.ones() as i64 - self.zeros() as i64
+    }
+
+    /// Fraction of cycles in which the watermark is active (duty cycle).
+    ///
+    /// This directly scales the average power overhead of the embedded
+    /// watermark: a duty cycle of 0.5 means the gated block burns half of
+    /// its always-on clock power.
+    pub fn duty_cycle(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.ones() as f64 / self.len() as f64
+    }
+
+    /// Periodic (circular) autocorrelation at the given shift, computed on
+    /// the ±1 mapping of the bits.
+    ///
+    /// For a maximal-length sequence of period `P`, the result is `P` at
+    /// shift 0 (mod `P`) and exactly `-1` everywhere else — the property
+    /// that gives the CPA spread spectrum its single clean peak.
+    pub fn periodic_autocorrelation(&self, shift: usize) -> i64 {
+        let n = self.len();
+        if n == 0 {
+            return 0;
+        }
+        let shift = shift % n;
+        let mut acc: i64 = 0;
+        for i in 0..n {
+            let x: i64 = if self.bits[i] { 1 } else { -1 };
+            let y: i64 = if self.bits[(i + shift) % n] { 1 } else { -1 };
+            acc += x * y;
+        }
+        acc
+    }
+
+    /// The smallest period of the sequence, i.e. the smallest `p` such that
+    /// `bits[i] == bits[i % p]` for all `i`. Returns `len()` for aperiodic
+    /// content and 0 for an empty sequence.
+    pub fn smallest_period(&self) -> usize {
+        let n = self.len();
+        'candidate: for p in 1..n {
+            for i in p..n {
+                if self.bits[i] != self.bits[i - p] {
+                    continue 'candidate;
+                }
+            }
+            return p;
+        }
+        n
+    }
+
+    /// Run-length statistics.
+    pub fn run_stats(&self) -> RunStats {
+        let mut stats = RunStats::default();
+        let mut iter = self.bits.iter();
+        let Some(&first) = iter.next() else {
+            return stats;
+        };
+        let mut current_value = first;
+        let mut current_len = 1usize;
+        let record = |value: bool, len: usize, stats: &mut RunStats| {
+            stats.total_runs += 1;
+            if value {
+                stats.longest_ones_run = stats.longest_ones_run.max(len);
+            } else {
+                stats.longest_zeros_run = stats.longest_zeros_run.max(len);
+            }
+        };
+        for &bit in iter {
+            if bit == current_value {
+                current_len += 1;
+            } else {
+                record(current_value, current_len, &mut stats);
+                current_value = bit;
+                current_len = 1;
+            }
+        }
+        record(current_value, current_len, &mut stats);
+        stats
+    }
+
+    /// Maps the sequence to an `f64` vector with ones → `high` and
+    /// zeros → `low`, the form consumed by the CPA model-vector builder.
+    pub fn to_levels(&self, low: f64, high: f64) -> Vec<f64> {
+        self.bits
+            .iter()
+            .map(|&b| if b { high } else { low })
+            .collect()
+    }
+}
+
+impl FromIterator<bool> for BitSequence {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitSequence {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<bool> for BitSequence {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        self.bits.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircularShiftRegister, Lfsr};
+    use proptest::prelude::*;
+
+    #[test]
+    fn m_sequence_balance_is_plus_one() {
+        for width in 2u32..=12 {
+            let mut lfsr = Lfsr::maximal(width).expect("valid");
+            let period = (1usize << width) - 1;
+            let seq = BitSequence::from_generator(&mut lfsr, period);
+            assert_eq!(seq.balance(), 1, "width {width}");
+        }
+    }
+
+    #[test]
+    fn m_sequence_autocorrelation_is_minus_one_off_peak() {
+        let mut lfsr = Lfsr::maximal(9).expect("valid");
+        let period = 511;
+        let seq = BitSequence::from_generator(&mut lfsr, period);
+        assert_eq!(seq.periodic_autocorrelation(0), period as i64);
+        for shift in 1..period {
+            assert_eq!(seq.periodic_autocorrelation(shift), -1, "shift {shift}");
+        }
+    }
+
+    #[test]
+    fn m_sequence_run_structure() {
+        // Width n: one run of n ones, one run of n-1 zeros, and 2^(n-1)
+        // runs in total per period.
+        let width = 8u32;
+        let mut lfsr = Lfsr::maximal(width).expect("valid");
+        let period = (1usize << width) - 1;
+        let seq = BitSequence::from_generator(&mut lfsr, period);
+        let stats = seq.run_stats();
+        assert_eq!(stats.longest_ones_run, width as usize);
+        assert_eq!(stats.longest_zeros_run, width as usize - 1);
+        // Periodic run count: the linear scan may split one run across the
+        // wrap, overcounting by at most one.
+        let expected = 1usize << (width - 1);
+        assert!(
+            stats.total_runs == expected || stats.total_runs == expected + 1,
+            "got {} runs, expected about {expected}",
+            stats.total_runs
+        );
+    }
+
+    #[test]
+    fn smallest_period_detects_tiling() {
+        let mut csr = CircularShiftRegister::new(&[true, false, false]).expect("ok");
+        let seq = BitSequence::from_generator(&mut csr, 12);
+        assert_eq!(seq.smallest_period(), 3);
+    }
+
+    #[test]
+    fn smallest_period_of_aperiodic_prefix_is_len() {
+        let seq = BitSequence::from_bits(vec![true, true, false, true]);
+        assert_eq!(seq.smallest_period(), 3); // t t f t tiles with p=3
+        let seq = BitSequence::from_bits(vec![true, false, false, true]);
+        assert_eq!(seq.smallest_period(), 3);
+        let seq = BitSequence::from_bits(vec![true, false, true, true, false, false]);
+        assert_eq!(seq.smallest_period(), 6);
+    }
+
+    #[test]
+    fn empty_sequence_edge_cases() {
+        let seq = BitSequence::from_bits(vec![]);
+        assert!(seq.is_empty());
+        assert_eq!(seq.smallest_period(), 0);
+        assert_eq!(seq.duty_cycle(), 0.0);
+        assert_eq!(seq.periodic_autocorrelation(5), 0);
+        assert_eq!(seq.run_stats(), RunStats::default());
+    }
+
+    #[test]
+    fn to_levels_maps_bits() {
+        let seq = BitSequence::from_bits(vec![true, false, true]);
+        assert_eq!(seq.to_levels(0.0, 2.5), vec![2.5, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut seq: BitSequence = [true, false].into_iter().collect();
+        seq.extend([true]);
+        assert_eq!(seq.bits(), &[true, false, true]);
+    }
+
+    proptest! {
+        #[test]
+        fn ones_plus_zeros_equals_len(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let seq = BitSequence::from_bits(bits);
+            prop_assert_eq!(seq.ones() + seq.zeros(), seq.len());
+        }
+
+        #[test]
+        fn autocorrelation_at_zero_is_len(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+            let seq = BitSequence::from_bits(bits);
+            prop_assert_eq!(seq.periodic_autocorrelation(0), seq.len() as i64);
+        }
+
+        #[test]
+        fn autocorrelation_is_symmetric(bits in proptest::collection::vec(any::<bool>(), 1..100), shift in 0usize..100) {
+            let seq = BitSequence::from_bits(bits);
+            let n = seq.len();
+            let forward = seq.periodic_autocorrelation(shift % n);
+            let backward = seq.periodic_autocorrelation((n - shift % n) % n);
+            prop_assert_eq!(forward, backward);
+        }
+
+        #[test]
+        fn sequence_tiles_with_its_smallest_period(bits in proptest::collection::vec(any::<bool>(), 1..100)) {
+            let seq = BitSequence::from_bits(bits.clone());
+            let p = seq.smallest_period();
+            prop_assert!(p >= 1 && p <= bits.len());
+            for i in p..bits.len() {
+                prop_assert_eq!(bits[i], bits[i - p]);
+            }
+        }
+    }
+}

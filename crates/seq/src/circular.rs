@@ -1,0 +1,163 @@
+use crate::{SeqError, SequenceGenerator};
+
+/// A circular (rotating) shift register sequence generator.
+///
+/// The paper's watermark generation circuit can be configured as a "simple
+/// 32-bit circular shift register" instead of an LFSR: a fixed pattern is
+/// loaded once and rotated by one position every clock cycle, so the output
+/// repeats with a period equal to the pattern length. Circular patterns give
+/// full control over the duty cycle of the watermark (and hence its average
+/// power draw) at the cost of much weaker autocorrelation properties than a
+/// maximal-length sequence.
+///
+/// ```
+/// # fn main() -> Result<(), clockmark_seq::SeqError> {
+/// use clockmark_seq::{CircularShiftRegister, SequenceGenerator};
+///
+/// let mut csr = CircularShiftRegister::new(&[true, true, false, false])?;
+/// assert_eq!(csr.period_hint(), Some(4));
+/// let bits = csr.collect_bits(8);
+/// assert_eq!(bits, [true, true, false, false, true, true, false, false]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CircularShiftRegister {
+    pattern: Vec<bool>,
+    position: usize,
+}
+
+impl CircularShiftRegister {
+    /// Creates a circular shift register holding `pattern`.
+    ///
+    /// The first output bit is `pattern[0]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::EmptyPattern`] when `pattern` is empty.
+    pub fn new(pattern: &[bool]) -> Result<Self, SeqError> {
+        if pattern.is_empty() {
+            return Err(SeqError::EmptyPattern);
+        }
+        Ok(CircularShiftRegister {
+            pattern: pattern.to_vec(),
+            position: 0,
+        })
+    }
+
+    /// Creates a register from the low `width` bits of `word`.
+    ///
+    /// Bit 0 of `word` is output first. This mirrors loading a hardware
+    /// register from a configuration word, as the WGC in the test chips does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::InvalidWidth`] when `width` is zero or exceeds 64.
+    ///
+    /// ```
+    /// # fn main() -> Result<(), clockmark_seq::SeqError> {
+    /// use clockmark_seq::{CircularShiftRegister, SequenceGenerator};
+    ///
+    /// // The classic 1010... load pattern, 8 bits wide.
+    /// let mut csr = CircularShiftRegister::from_word(0b0101_0101, 8)?;
+    /// assert!(csr.next_bit());
+    /// assert!(!csr.next_bit());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_word(word: u64, width: u32) -> Result<Self, SeqError> {
+        if width == 0 || width > 64 {
+            return Err(SeqError::InvalidWidth { width });
+        }
+        let pattern: Vec<bool> = (0..width).map(|i| (word >> i) & 1 != 0).collect();
+        Self::new(&pattern)
+    }
+
+    /// The stored pattern, in output order starting from the reset position.
+    pub fn pattern(&self) -> &[bool] {
+        &self.pattern
+    }
+
+    /// Number of bits in one rotation.
+    pub fn len(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Whether the register is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.pattern.is_empty()
+    }
+}
+
+impl SequenceGenerator for CircularShiftRegister {
+    fn next_bit(&mut self) -> bool {
+        let bit = self.pattern[self.position];
+        self.position = (self.position + 1) % self.pattern.len();
+        bit
+    }
+
+    fn reset(&mut self) {
+        self.position = 0;
+    }
+
+    fn period_hint(&self) -> Option<u64> {
+        Some(self.pattern.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_pattern_is_rejected() {
+        assert_eq!(
+            CircularShiftRegister::new(&[]).unwrap_err(),
+            SeqError::EmptyPattern
+        );
+    }
+
+    #[test]
+    fn from_word_width_bounds() {
+        assert!(CircularShiftRegister::from_word(1, 0).is_err());
+        assert!(CircularShiftRegister::from_word(1, 65).is_err());
+        assert!(CircularShiftRegister::from_word(1, 64).is_ok());
+    }
+
+    #[test]
+    fn single_bit_pattern_is_constant() {
+        let mut csr = CircularShiftRegister::new(&[true]).expect("non-empty");
+        assert!(csr.collect_bits(16).iter().all(|&b| b));
+    }
+
+    #[test]
+    fn rotation_wraps_at_pattern_length() {
+        let pattern = [true, false, false, true, true];
+        let mut csr = CircularShiftRegister::new(&pattern).expect("non-empty");
+        let out = csr.collect_bits(15);
+        for (i, &bit) in out.iter().enumerate() {
+            assert_eq!(bit, pattern[i % pattern.len()]);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn output_is_periodic_with_pattern_length(pattern in proptest::collection::vec(any::<bool>(), 1..64)) {
+            let mut csr = CircularShiftRegister::new(&pattern).expect("non-empty");
+            let out = csr.collect_bits(pattern.len() * 3);
+            for (i, &bit) in out.iter().enumerate() {
+                prop_assert_eq!(bit, pattern[i % pattern.len()]);
+            }
+        }
+
+        #[test]
+        fn reset_replays(pattern in proptest::collection::vec(any::<bool>(), 1..64), len in 1usize..200) {
+            let mut csr = CircularShiftRegister::new(&pattern).expect("non-empty");
+            let a = csr.collect_bits(len);
+            csr.reset();
+            let b = csr.collect_bits(len);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Linear complexity via the Berlekamp–Massey algorithm.
+//!
+//! A security angle the paper leaves implicit: if an attacker can observe
+//! the `WMARK` bit stream (say, from a high-resolution power trace of an
+//! otherwise idle chip), Berlekamp–Massey reconstructs the shortest LFSR
+//! generating it from just `2·L` bits — an `L`-bit maximal LFSR is
+//! *forgeable* after 24 observed bits for the paper's 12-bit WGC. The
+//! linear complexity of a candidate sequence therefore measures how
+//! expensive cloning (as opposed to removing) the watermark would be;
+//! Gold codes and longer LFSRs raise it.
+
+use crate::SequenceGenerator;
+
+/// The result of a Berlekamp–Massey synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LfsrSynthesis {
+    /// The linear complexity: length of the shortest LFSR generating the
+    /// observed bits.
+    pub complexity: usize,
+    /// The connection polynomial coefficients `c[1..=complexity]` (the
+    /// recurrence `s[n] = Σ c[i]·s[n−i]` over GF(2)), index 0 holding the
+    /// constant 1.
+    pub connection: Vec<bool>,
+}
+
+impl LfsrSynthesis {
+    /// Continues the recurrence to predict the bits following the observed
+    /// prefix — a successful prediction is the forging attack succeeding.
+    ///
+    /// `history` must contain at least `complexity` bits (the observed
+    /// suffix); returns `count` predicted bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `history` is shorter than the synthesised complexity.
+    pub fn predict(&self, history: &[bool], count: usize) -> Vec<bool> {
+        assert!(
+            history.len() >= self.complexity,
+            "need {} bits of history, got {}",
+            self.complexity,
+            history.len()
+        );
+        let mut window: Vec<bool> = history[history.len() - self.complexity..].to_vec();
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut next = false;
+            for i in 1..=self.complexity {
+                if self.connection[i] {
+                    next ^= window[window.len() - i];
+                }
+            }
+            out.push(next);
+            window.push(next);
+            window.remove(0);
+        }
+        out
+    }
+}
+
+/// Computes the linear complexity of a bit sequence (Berlekamp–Massey
+/// over GF(2)).
+///
+/// For one period of an `L`-bit maximal LFSR the complexity is exactly
+/// `L`; a Gold code of the same width has complexity `2L`; a random
+/// sequence of length `n` hovers around `n/2`.
+///
+/// ```
+/// # fn main() -> Result<(), clockmark_seq::SeqError> {
+/// use clockmark_seq::{berlekamp_massey, Lfsr, SequenceGenerator};
+///
+/// let mut lfsr = Lfsr::maximal(12)?;
+/// let bits: Vec<bool> = (0..100).map(|_| lfsr.next_bit()).collect();
+/// let synthesis = berlekamp_massey(&bits);
+/// // The paper's 12-bit WGC is recoverable from a short observation.
+/// assert_eq!(synthesis.complexity, 12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn berlekamp_massey(bits: &[bool]) -> LfsrSynthesis {
+    let n = bits.len();
+    // c: current connection polynomial, b: previous, both over GF(2).
+    let mut c = vec![false; n + 1];
+    let mut b = vec![false; n + 1];
+    c[0] = true;
+    b[0] = true;
+    let mut l = 0usize; // current complexity
+    let mut m = 1usize; // steps since last update of b
+    for i in 0..n {
+        // Discrepancy: s[i] + Σ_{j=1..l} c[j]·s[i−j].
+        let mut d = bits[i];
+        for j in 1..=l {
+            if c[j] && bits[i - j] {
+                d = !d;
+            }
+        }
+        if !d {
+            m += 1;
+        } else if 2 * l <= i {
+            let t = c.clone();
+            for (j, &bj) in b.iter().enumerate() {
+                if bj && j + m <= n {
+                    c[j + m] ^= true;
+                }
+            }
+            l = i + 1 - l;
+            b = t;
+            m = 1;
+        } else {
+            for (j, &bj) in b.iter().enumerate() {
+                if bj && j + m <= n {
+                    c[j + m] ^= true;
+                }
+            }
+            m += 1;
+        }
+    }
+    LfsrSynthesis {
+        complexity: l,
+        connection: c[..=l].to_vec(),
+    }
+}
+
+/// Convenience: the linear complexity of the next `observed` bits of a
+/// generator (the generator is advanced).
+pub fn linear_complexity<G: SequenceGenerator + ?Sized>(
+    generator: &mut G,
+    observed: usize,
+) -> usize {
+    let bits: Vec<bool> = (0..observed).map(|_| generator.next_bit()).collect();
+    berlekamp_massey(&bits).complexity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircularShiftRegister, GoldCode, Lfsr};
+    use proptest::prelude::*;
+
+    #[test]
+    fn maximal_lfsr_complexity_equals_width() {
+        for width in 3u32..=14 {
+            let mut lfsr = Lfsr::maximal(width).expect("valid");
+            let complexity = linear_complexity(&mut lfsr, 4 * width as usize);
+            assert_eq!(complexity, width as usize, "width {width}");
+        }
+    }
+
+    #[test]
+    fn gold_codes_double_the_complexity() {
+        for width in [5u32, 7, 9] {
+            let mut gold = GoldCode::preferred(width, 1, 5).expect("tabulated");
+            let complexity = linear_complexity(&mut gold, 6 * width as usize);
+            assert_eq!(complexity, 2 * width as usize, "width {width}");
+        }
+    }
+
+    #[test]
+    fn forging_attack_predicts_the_watermark_stream() {
+        // Observe 2L bits of the paper's 12-bit WGC, synthesise, and
+        // predict the next 200 bits perfectly — the cloning threat model.
+        let mut wgc = Lfsr::maximal(12).expect("valid");
+        let observed: Vec<bool> = (0..24).map(|_| wgc.next_bit()).collect();
+        let synthesis = berlekamp_massey(&observed);
+        assert_eq!(synthesis.complexity, 12);
+
+        let predicted = synthesis.predict(&observed, 200);
+        let actual: Vec<bool> = (0..200).map(|_| wgc.next_bit()).collect();
+        assert_eq!(predicted, actual, "the forged WGC diverged");
+    }
+
+    #[test]
+    fn too_short_an_observation_fails_to_forge() {
+        // With far fewer than 2L bits the synthesised recurrence is
+        // necessarily shorter than the true register (L ≤ n = 8 < 12) and
+        // its prediction must diverge: if an 8-step recurrence reproduced
+        // 100+ further bits of a 12-bit m-sequence, that window's linear
+        // complexity would be ≤ 8, contradicting its true complexity of 12.
+        let mut wgc = Lfsr::maximal(12).expect("valid");
+        let observed: Vec<bool> = (0..8).map(|_| wgc.next_bit()).collect();
+        let synthesis = berlekamp_massey(&observed);
+        assert!(synthesis.complexity <= 8);
+        let predicted = synthesis.predict(&observed, 100);
+        let actual: Vec<bool> = (0..100).map(|_| wgc.next_bit()).collect();
+        assert_ne!(predicted, actual, "an underfit LFSR should not forge");
+    }
+
+    #[test]
+    fn degenerate_sequences() {
+        assert_eq!(berlekamp_massey(&[]).complexity, 0);
+        assert_eq!(berlekamp_massey(&[false; 20]).complexity, 0);
+        // A single 1 after k zeros has complexity k+1.
+        let mut bits = vec![false; 5];
+        bits.push(true);
+        assert_eq!(berlekamp_massey(&bits).complexity, 6);
+        // Alternating bits come from a 2-bit LFSR.
+        let alternating: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+        assert!(berlekamp_massey(&alternating).complexity <= 2);
+    }
+
+    #[test]
+    fn circular_pattern_complexity_is_bounded_by_its_period() {
+        let pattern = [true, true, false, true, false, false, false, true];
+        let mut csr = CircularShiftRegister::new(&pattern).expect("valid");
+        let complexity = linear_complexity(&mut csr, 64);
+        assert!(complexity <= pattern.len(), "complexity {complexity}");
+    }
+
+    proptest! {
+        #[test]
+        fn complexity_is_at_most_the_length(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let synthesis = berlekamp_massey(&bits);
+            prop_assert!(synthesis.complexity <= bits.len());
+            prop_assert_eq!(synthesis.connection.len(), synthesis.complexity + 1);
+            prop_assert!(synthesis.connection[0]);
+        }
+
+        #[test]
+        fn synthesised_lfsr_regenerates_the_observation(bits in proptest::collection::vec(any::<bool>(), 1..120)) {
+            // The defining property of Berlekamp–Massey: the synthesised
+            // recurrence reproduces the observed sequence itself.
+            let synthesis = berlekamp_massey(&bits);
+            let l = synthesis.complexity;
+            prop_assume!(l > 0 && 2 * l <= bits.len());
+            let (seedpart, rest) = bits.split_at(l);
+            let predicted = synthesis.predict(seedpart, rest.len());
+            prop_assert_eq!(predicted.as_slice(), rest);
+        }
+    }
+}

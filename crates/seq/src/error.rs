@@ -1,0 +1,100 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or configuring sequence generators.
+///
+/// ```
+/// use clockmark_seq::{Lfsr, SeqError};
+///
+/// let err = Lfsr::maximal(1).unwrap_err();
+/// assert!(matches!(err, SeqError::InvalidWidth { width: 1 }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SeqError {
+    /// The requested register width is outside the supported 2..=32 range.
+    InvalidWidth {
+        /// The rejected width.
+        width: u32,
+    },
+    /// An LFSR was seeded with the all-zero state, which is a fixed point.
+    ZeroSeed,
+    /// A tap specification referenced a bit outside the register.
+    TapOutOfRange {
+        /// The rejected tap position (1-indexed).
+        tap: u32,
+        /// The register width.
+        width: u32,
+    },
+    /// A tap specification was empty.
+    EmptyTaps,
+    /// A circular shift register was given an empty initial pattern.
+    EmptyPattern,
+    /// No preferred Gold-code pair is tabulated for the requested width.
+    NoPreferredPair {
+        /// The rejected width.
+        width: u32,
+    },
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::InvalidWidth { width } => {
+                write!(
+                    f,
+                    "register width {width} is outside the supported 2..=32 range"
+                )
+            }
+            SeqError::ZeroSeed => write!(f, "seed of an LFSR must be non-zero"),
+            SeqError::TapOutOfRange { tap, width } => {
+                write!(f, "tap position {tap} is outside a {width}-bit register")
+            }
+            SeqError::EmptyTaps => write!(f, "at least one feedback tap is required"),
+            SeqError::EmptyPattern => {
+                write!(f, "circular shift register pattern must be non-empty")
+            }
+            SeqError::NoPreferredPair { width } => {
+                write!(
+                    f,
+                    "no preferred Gold-code pair is tabulated for width {width}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SeqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_without_trailing_punctuation() {
+        let errors = [
+            SeqError::InvalidWidth { width: 1 },
+            SeqError::ZeroSeed,
+            SeqError::TapOutOfRange { tap: 9, width: 8 },
+            SeqError::EmptyTaps,
+            SeqError::EmptyPattern,
+            SeqError::NoPreferredPair { width: 8 },
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "message ends with period: {msg}");
+            let first = msg.chars().next().expect("non-empty message");
+            assert!(
+                first.is_lowercase() || first.is_numeric(),
+                "not lowercase: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SeqError>();
+    }
+}

@@ -1,0 +1,103 @@
+/// A clocked source of watermark control bits.
+///
+/// Every implementor produces one bit per call to [`next_bit`], mirroring a
+/// hardware sequence generator that updates once per clock cycle. Generators
+/// are deterministic: after [`reset`], the same bit stream is produced again,
+/// which is what allows the detector to reconstruct the expected watermark
+/// model vector `X` used by correlation power analysis.
+///
+/// The trait is object safe so heterogeneous generators can be stored behind
+/// `Box<dyn SequenceGenerator>` (the watermark circuit in the paper selects
+/// between an LFSR and a circular shift register at configuration time).
+///
+/// ```
+/// # fn main() -> Result<(), clockmark_seq::SeqError> {
+/// use clockmark_seq::{CircularShiftRegister, Lfsr, SequenceGenerator};
+///
+/// let generators: Vec<Box<dyn SequenceGenerator>> = vec![
+///     Box::new(Lfsr::maximal(8)?),
+///     Box::new(CircularShiftRegister::new(&[true, false, true, false])?),
+/// ];
+/// for mut g in generators {
+///     let a: Vec<bool> = (0..16).map(|_| g.next_bit()).collect();
+///     g.reset();
+///     let b: Vec<bool> = (0..16).map(|_| g.next_bit()).collect();
+///     assert_eq!(a, b, "generators replay deterministically after reset");
+/// }
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [`next_bit`]: SequenceGenerator::next_bit
+/// [`reset`]: SequenceGenerator::reset
+pub trait SequenceGenerator: Send {
+    /// Advances the generator by one clock cycle and returns the output bit.
+    fn next_bit(&mut self) -> bool;
+
+    /// Returns the generator to its initial state.
+    ///
+    /// After a reset the generator reproduces exactly the same bit stream.
+    fn reset(&mut self);
+
+    /// The period of the generated sequence, if it is known in closed form.
+    ///
+    /// Maximal-length LFSRs report `2^width - 1`; circular shift registers
+    /// report their pattern length. Returns `None` when the period is not
+    /// known without exhaustive search (e.g. an LFSR with custom taps).
+    fn period_hint(&self) -> Option<u64>;
+
+    /// Collects the next `len` bits into a vector.
+    ///
+    /// This consumes generator state exactly like `len` calls to
+    /// [`next_bit`](SequenceGenerator::next_bit).
+    fn collect_bits(&mut self, len: usize) -> Vec<bool>
+    where
+        Self: Sized,
+    {
+        (0..len).map(|_| self.next_bit()).collect()
+    }
+}
+
+impl<G: SequenceGenerator + ?Sized> SequenceGenerator for Box<G> {
+    fn next_bit(&mut self) -> bool {
+        (**self).next_bit()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn period_hint(&self) -> Option<u64> {
+        (**self).period_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lfsr;
+
+    #[test]
+    fn boxed_generator_forwards_all_methods() {
+        let mut direct = Lfsr::maximal(8).expect("valid width");
+        let mut boxed: Box<dyn SequenceGenerator> = Box::new(Lfsr::maximal(8).expect("valid"));
+        assert_eq!(boxed.period_hint(), Some(255));
+        for _ in 0..100 {
+            assert_eq!(direct.next_bit(), boxed.next_bit());
+        }
+        direct.reset();
+        boxed.reset();
+        for _ in 0..100 {
+            assert_eq!(direct.next_bit(), boxed.next_bit());
+        }
+    }
+
+    #[test]
+    fn collect_bits_matches_next_bit() {
+        let mut a = Lfsr::maximal(10).expect("valid");
+        let mut b = Lfsr::maximal(10).expect("valid");
+        let collected = a.collect_bits(64);
+        let manual: Vec<bool> = (0..64).map(|_| b.next_bit()).collect();
+        assert_eq!(collected, manual);
+    }
+}

@@ -1,0 +1,195 @@
+use crate::{Lfsr, SeqError, SequenceGenerator};
+
+/// A Gold-code sequence generator: the XOR of a preferred pair of
+/// maximal-length LFSRs.
+///
+/// Gold codes are useful when several watermarked IP blocks coexist on one
+/// die: the bounded cross-correlation between family members lets each
+/// vendor's detector resolve its own watermark against the others. The paper
+/// uses a single m-sequence, so Gold codes are provided as an extension for
+/// the multi-watermark ablation experiments.
+///
+/// ```
+/// # fn main() -> Result<(), clockmark_seq::SeqError> {
+/// use clockmark_seq::{GoldCode, SequenceGenerator};
+///
+/// let mut gold = GoldCode::preferred(7, 1, 1)?;
+/// assert_eq!(gold.period_hint(), Some(127));
+/// let bits = gold.collect_bits(127);
+/// assert_eq!(bits.len(), 127);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GoldCode {
+    a: Lfsr,
+    b: Lfsr,
+}
+
+/// Tabulated preferred pairs `(taps_a, taps_b)` for Gold-code construction.
+///
+/// Preferred pairs only exist for widths not divisible by 4; this table
+/// covers the widths commonly used in spread-spectrum practice.
+const PREFERRED_PAIRS: &[(u32, &[u32], &[u32])] = &[
+    (5, &[5, 3], &[5, 4, 3, 2]),
+    (6, &[6, 5], &[6, 5, 2, 1]),
+    (7, &[7, 3], &[7, 3, 2, 1]),
+    (9, &[9, 4], &[9, 6, 4, 3]),
+    (10, &[10, 3], &[10, 8, 3, 2]),
+    (11, &[11, 2], &[11, 8, 5, 2]),
+];
+
+impl GoldCode {
+    /// Creates a Gold code from a tabulated preferred pair of the given
+    /// width, with per-component seeds.
+    ///
+    /// Distinct `(seed_a, seed_b)` phase combinations select distinct family
+    /// members; a family of width `n` has `2^n + 1` members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::NoPreferredPair`] when no pair is tabulated for
+    /// `width`, or [`SeqError::ZeroSeed`] when either seed is zero in-width.
+    pub fn preferred(width: u32, seed_a: u32, seed_b: u32) -> Result<Self, SeqError> {
+        let (_, taps_a, taps_b) = PREFERRED_PAIRS
+            .iter()
+            .find(|(w, _, _)| *w == width)
+            .ok_or(SeqError::NoPreferredPair { width })?;
+        let a = Lfsr::with_taps(width, taps_a, seed_a)?;
+        let b = Lfsr::with_taps(width, taps_b, seed_b)?;
+        Ok(GoldCode { a, b })
+    }
+
+    /// Creates a Gold code from two explicitly constructed LFSRs.
+    ///
+    /// The caller is responsible for choosing a preferred pair; arbitrary
+    /// pairs still produce a valid periodic sequence but without the Gold
+    /// cross-correlation bound.
+    pub fn from_components(a: Lfsr, b: Lfsr) -> Self {
+        GoldCode { a, b }
+    }
+
+    /// The widths for which [`GoldCode::preferred`] has a tabulated pair.
+    pub fn tabulated_widths() -> Vec<u32> {
+        PREFERRED_PAIRS.iter().map(|(w, _, _)| *w).collect()
+    }
+
+    /// The tabulated preferred-pair tap positions for a width, for callers
+    /// building the pair structurally (e.g. in a netlist).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::NoPreferredPair`] when no pair is tabulated.
+    pub fn preferred_taps(width: u32) -> Result<(&'static [u32], &'static [u32]), SeqError> {
+        PREFERRED_PAIRS
+            .iter()
+            .find(|(w, _, _)| *w == width)
+            .map(|(_, a, b)| (*a, *b))
+            .ok_or(SeqError::NoPreferredPair { width })
+    }
+
+    /// Borrows the first component LFSR.
+    pub fn component_a(&self) -> &Lfsr {
+        &self.a
+    }
+
+    /// Borrows the second component LFSR.
+    pub fn component_b(&self) -> &Lfsr {
+        &self.b
+    }
+}
+
+impl SequenceGenerator for GoldCode {
+    fn next_bit(&mut self) -> bool {
+        self.a.next_bit() ^ self.b.next_bit()
+    }
+
+    fn reset(&mut self) {
+        self.a.reset();
+        self.b.reset();
+    }
+
+    fn period_hint(&self) -> Option<u64> {
+        // Components share a width, so the XOR has the component period.
+        Some((1u64 << self.a.width()) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitSequence;
+
+    #[test]
+    fn all_tabulated_pairs_are_maximal() {
+        for &width in &GoldCode::tabulated_widths() {
+            let gold = GoldCode::preferred(width, 1, 1).expect("tabulated");
+            let expected = (1u64 << width) - 1;
+            assert_eq!(
+                gold.component_a().period_exhaustive(),
+                expected,
+                "component A of width {width} is not maximal"
+            );
+            assert_eq!(
+                gold.component_b().period_exhaustive(),
+                expected,
+                "component B of width {width} is not maximal"
+            );
+        }
+    }
+
+    #[test]
+    fn untabulated_width_is_rejected() {
+        assert!(matches!(
+            GoldCode::preferred(8, 1, 1).unwrap_err(),
+            SeqError::NoPreferredPair { width: 8 }
+        ));
+    }
+
+    #[test]
+    fn gold_sequence_has_component_period() {
+        let mut gold = GoldCode::preferred(7, 1, 3).expect("tabulated");
+        let p = gold.period_hint().expect("known") as usize;
+        let first = gold.collect_bits(p);
+        let second = gold.collect_bits(p);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn gold_cross_correlation_is_three_valued() {
+        // For a preferred pair of width n (odd), the periodic
+        // cross-correlation of any two family members takes values in
+        // {-1, -t(n), t(n)-2} with t(n) = 2^((n+1)/2) + 1.
+        let width = 7u32;
+        let p = (1usize << width) - 1;
+        let t = (1i64 << width.div_ceil(2)) + 1;
+        let allowed = [-1i64, -t, t - 2];
+
+        let mut member_1 = GoldCode::preferred(width, 1, 1).expect("tabulated");
+        let mut member_2 = GoldCode::preferred(width, 1, 9).expect("tabulated");
+        let s1 = BitSequence::from_generator(&mut member_1, p);
+        let s2 = BitSequence::from_generator(&mut member_2, p);
+
+        for shift in 0..p {
+            let mut acc: i64 = 0;
+            for i in 0..p {
+                let x = if s1.bits()[i] { 1i64 } else { -1 };
+                let y = if s2.bits()[(i + shift) % p] { 1i64 } else { -1 };
+                acc += x * y;
+            }
+            assert!(
+                allowed.contains(&acc),
+                "cross-correlation {acc} at shift {shift} outside Gold bound {allowed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_restores_both_components() {
+        let mut gold = GoldCode::preferred(9, 5, 17).expect("tabulated");
+        let a = gold.collect_bits(100);
+        gold.reset();
+        let b = gold.collect_bits(100);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,436 @@
+use crate::taps::maximal_taps;
+use crate::{SeqError, SequenceGenerator, MAX_LFSR_WIDTH, MIN_LFSR_WIDTH};
+
+/// A Fibonacci (many-to-one) linear feedback shift register.
+///
+/// This is the structure used by the paper's watermark generation circuit:
+/// a 12-bit maximal LFSR producing the `WMARK` control sequence of period
+/// `2^12 - 1 = 4095`. The register shifts towards the least significant bit;
+/// the output bit is the bit shifted out, and the feedback (XOR of the
+/// tapped bits) is shifted into the most significant position.
+///
+/// ```
+/// # fn main() -> Result<(), clockmark_seq::SeqError> {
+/// use clockmark_seq::{Lfsr, SequenceGenerator};
+///
+/// // The configuration used in the paper's silicon experiments.
+/// let mut wgc = Lfsr::maximal(12)?;
+/// assert_eq!(wgc.period_hint(), Some(4095));
+///
+/// // A maximal sequence of width n contains 2^(n-1) ones per period.
+/// let ones = (0..4095).filter(|_| wgc.next_bit()).count();
+/// assert_eq!(ones, 2048);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lfsr {
+    width: u32,
+    /// Feedback mask over state bits: bit `n − t` is set for each 1-indexed
+    /// tap `t`, so the bit being shifted out (tap `n` → bit 0) always
+    /// participates in the feedback.
+    tap_mask: u32,
+    seed: u32,
+    state: u32,
+    maximal: bool,
+}
+
+impl Lfsr {
+    /// Creates a maximal-length LFSR of the given width, seeded with 1.
+    ///
+    /// Tap positions come from the built-in table ([`maximal_taps`]); the
+    /// resulting sequence has period `2^width - 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::InvalidWidth`] for widths outside 2..=32.
+    ///
+    /// [`maximal_taps`]: crate::maximal_taps
+    pub fn maximal(width: u32) -> Result<Self, SeqError> {
+        Self::maximal_with_seed(width, 1)
+    }
+
+    /// Creates a maximal-length LFSR with an explicit non-zero seed.
+    ///
+    /// Different seeds produce phase-shifted versions of the same maximal
+    /// sequence, which is how the test chips in the paper end up with
+    /// different correlation-peak rotations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::InvalidWidth`] for widths outside 2..=32 and
+    /// [`SeqError::ZeroSeed`] when `seed` (masked to `width` bits) is zero.
+    pub fn maximal_with_seed(width: u32, seed: u32) -> Result<Self, SeqError> {
+        let taps = maximal_taps(width)?;
+        let mut lfsr = Self::with_taps(width, taps, seed)?;
+        lfsr.maximal = true;
+        Ok(lfsr)
+    }
+
+    /// Creates an LFSR with explicit feedback taps (1-indexed positions).
+    ///
+    /// No maximality check is performed; [`period_hint`] returns `None` for
+    /// custom taps. Use [`period_exhaustive`] to measure the actual cycle
+    /// length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::InvalidWidth`], [`SeqError::EmptyTaps`],
+    /// [`SeqError::TapOutOfRange`] or [`SeqError::ZeroSeed`] on invalid
+    /// configuration.
+    ///
+    /// [`period_hint`]: SequenceGenerator::period_hint
+    /// [`period_exhaustive`]: Lfsr::period_exhaustive
+    pub fn with_taps(width: u32, taps: &[u32], seed: u32) -> Result<Self, SeqError> {
+        if !(MIN_LFSR_WIDTH..=MAX_LFSR_WIDTH).contains(&width) {
+            return Err(SeqError::InvalidWidth { width });
+        }
+        if taps.is_empty() {
+            return Err(SeqError::EmptyTaps);
+        }
+        let mut tap_mask = 0u32;
+        for &tap in taps {
+            if tap == 0 || tap > width {
+                return Err(SeqError::TapOutOfRange { tap, width });
+            }
+            // Right-shift Fibonacci form: tap `t` of polynomial
+            // x^n + ... + x^t + ... + 1 reads state bit `n − t`, so that
+            // tap `n` (always present) is the bit shifted out this cycle.
+            tap_mask |= 1 << (width - tap);
+        }
+        let seed = seed & Self::width_mask(width);
+        if seed == 0 {
+            return Err(SeqError::ZeroSeed);
+        }
+        Ok(Lfsr {
+            width,
+            tap_mask,
+            seed,
+            state: seed,
+            maximal: false,
+        })
+    }
+
+    fn width_mask(width: u32) -> u32 {
+        if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        }
+    }
+
+    /// The register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The current register contents.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// The seed the register resets to.
+    pub fn seed(&self) -> u32 {
+        self.seed
+    }
+
+    /// Measures the true cycle length by stepping until the state recurs.
+    ///
+    /// For a maximal LFSR this equals `2^width - 1`. The generator is reset
+    /// afterwards, so calling this does not perturb the output stream.
+    ///
+    /// Runtime is proportional to the cycle length, so avoid calling this on
+    /// wide registers (width ≳ 24) in hot paths.
+    pub fn period_exhaustive(&self) -> u64 {
+        let mut probe = self.clone();
+        probe.state = probe.seed;
+        let mut steps: u64 = 0;
+        loop {
+            probe.next_bit();
+            steps += 1;
+            if probe.state == probe.seed {
+                return steps;
+            }
+        }
+    }
+}
+
+impl SequenceGenerator for Lfsr {
+    fn next_bit(&mut self) -> bool {
+        let out = self.state & 1 != 0;
+        let feedback = (self.state & self.tap_mask).count_ones() & 1;
+        self.state = (self.state >> 1) | (feedback << (self.width - 1));
+        out
+    }
+
+    fn reset(&mut self) {
+        self.state = self.seed;
+    }
+
+    fn period_hint(&self) -> Option<u64> {
+        if self.maximal {
+            Some((1u64 << self.width) - 1)
+        } else {
+            None
+        }
+    }
+}
+
+/// A Galois (one-to-many) linear feedback shift register.
+///
+/// Produces maximal sequences with the same statistical properties as the
+/// Fibonacci form but with a single XOR level in the feedback path, which is
+/// the form usually synthesised in silicon. The output stream differs from
+/// the Fibonacci stream bit-for-bit (it is a phase-shifted decimation), but
+/// shares period, balance and autocorrelation structure.
+///
+/// ```
+/// # fn main() -> Result<(), clockmark_seq::SeqError> {
+/// use clockmark_seq::{GaloisLfsr, SequenceGenerator};
+///
+/// let mut g = GaloisLfsr::maximal(8)?;
+/// assert_eq!(g.period_hint(), Some(255));
+/// let ones = (0..255).filter(|_| g.next_bit()).count();
+/// assert_eq!(ones, 128);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GaloisLfsr {
+    width: u32,
+    /// XOR mask applied when the output bit is 1.
+    poly_mask: u32,
+    seed: u32,
+    state: u32,
+    maximal: bool,
+}
+
+impl GaloisLfsr {
+    /// Creates a maximal-length Galois LFSR of the given width, seeded with 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::InvalidWidth`] for widths outside 2..=32.
+    pub fn maximal(width: u32) -> Result<Self, SeqError> {
+        Self::maximal_with_seed(width, 1)
+    }
+
+    /// Creates a maximal-length Galois LFSR with an explicit non-zero seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::InvalidWidth`] for widths outside 2..=32 and
+    /// [`SeqError::ZeroSeed`] when `seed` (masked to `width` bits) is zero.
+    pub fn maximal_with_seed(width: u32, seed: u32) -> Result<Self, SeqError> {
+        let taps = maximal_taps(width)?;
+        // The Galois mask for polynomial x^n + x^a + ... + 1 sets bit (a-1)
+        // for every non-leading tap a, mirroring the Fibonacci tap set.
+        let mut poly_mask = 0u32;
+        for &tap in taps {
+            if tap != width {
+                poly_mask |= 1 << (tap - 1);
+            }
+        }
+        // Reciprocal-polynomial form: shifting right, reinject at the top.
+        poly_mask |= 1 << (width - 1);
+        let seed = seed & Lfsr::width_mask(width);
+        if seed == 0 {
+            return Err(SeqError::ZeroSeed);
+        }
+        Ok(GaloisLfsr {
+            width,
+            poly_mask,
+            seed,
+            state: seed,
+            maximal: true,
+        })
+    }
+
+    /// The register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The current register contents.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Measures the true cycle length by stepping until the state recurs.
+    ///
+    /// Runtime is proportional to the cycle length.
+    pub fn period_exhaustive(&self) -> u64 {
+        let mut probe = self.clone();
+        probe.state = probe.seed;
+        let mut steps: u64 = 0;
+        loop {
+            probe.next_bit();
+            steps += 1;
+            if probe.state == probe.seed {
+                return steps;
+            }
+        }
+    }
+}
+
+impl SequenceGenerator for GaloisLfsr {
+    fn next_bit(&mut self) -> bool {
+        let out = self.state & 1 != 0;
+        self.state >>= 1;
+        if out {
+            self.state ^= self.poly_mask;
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        self.state = self.seed;
+    }
+
+    fn period_hint(&self) -> Option<u64> {
+        if self.maximal {
+            Some((1u64 << self.width) - 1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MIN_LFSR_WIDTH;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fibonacci_periods_are_maximal_for_small_widths() {
+        for width in MIN_LFSR_WIDTH..=16 {
+            let lfsr = Lfsr::maximal(width).expect("valid width");
+            assert_eq!(
+                lfsr.period_exhaustive(),
+                (1u64 << width) - 1,
+                "width {width} is not maximal"
+            );
+        }
+    }
+
+    #[test]
+    fn galois_periods_are_maximal_for_small_widths() {
+        for width in MIN_LFSR_WIDTH..=16 {
+            let lfsr = GaloisLfsr::maximal(width).expect("valid width");
+            assert_eq!(
+                lfsr.period_exhaustive(),
+                (1u64 << width) - 1,
+                "width {width} is not maximal"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_configuration_has_period_4095() {
+        let lfsr = Lfsr::maximal(12).expect("valid width");
+        assert_eq!(lfsr.period_exhaustive(), 4095);
+        assert_eq!(lfsr.period_hint(), Some(4095));
+    }
+
+    #[test]
+    fn sequence_repeats_with_the_advertised_period() {
+        let mut lfsr = Lfsr::maximal(10).expect("valid width");
+        let period = lfsr.period_hint().expect("maximal") as usize;
+        let first = lfsr.collect_bits(period);
+        let second = lfsr.collect_bits(period);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn zero_seed_is_rejected() {
+        assert_eq!(
+            Lfsr::maximal_with_seed(8, 0).unwrap_err(),
+            SeqError::ZeroSeed
+        );
+        assert_eq!(
+            GaloisLfsr::maximal_with_seed(8, 0).unwrap_err(),
+            SeqError::ZeroSeed
+        );
+        // A seed whose in-width bits are all zero is also rejected.
+        assert_eq!(
+            Lfsr::maximal_with_seed(8, 0x100).unwrap_err(),
+            SeqError::ZeroSeed
+        );
+    }
+
+    #[test]
+    fn custom_taps_validation() {
+        assert!(matches!(
+            Lfsr::with_taps(8, &[], 1).unwrap_err(),
+            SeqError::EmptyTaps
+        ));
+        assert!(matches!(
+            Lfsr::with_taps(8, &[9], 1).unwrap_err(),
+            SeqError::TapOutOfRange { tap: 9, width: 8 }
+        ));
+        assert!(matches!(
+            Lfsr::with_taps(8, &[0], 1).unwrap_err(),
+            SeqError::TapOutOfRange { tap: 0, width: 8 }
+        ));
+        // Custom taps have no closed-form period.
+        let custom = Lfsr::with_taps(8, &[8, 1], 1).expect("valid taps");
+        assert_eq!(custom.period_hint(), None);
+    }
+
+    #[test]
+    fn width_32_does_not_overflow() {
+        let mut lfsr = Lfsr::maximal(32).expect("valid width");
+        assert_eq!(lfsr.period_hint(), Some((1u64 << 32) - 1));
+        // Just exercise stepping; the state must remain within 32 bits and
+        // never reach zero.
+        for _ in 0..10_000 {
+            lfsr.next_bit();
+            assert_ne!(lfsr.state(), 0);
+        }
+    }
+
+    #[test]
+    fn different_seeds_are_rotations_of_each_other() {
+        // For a maximal LFSR all non-zero states lie on one cycle, so the
+        // stream from seed B appears somewhere in the stream from seed A.
+        let width = 8;
+        let period = (1usize << width) - 1;
+        let mut a = Lfsr::maximal_with_seed(width as u32, 1).expect("valid");
+        let stream_a = a.collect_bits(2 * period);
+        let mut b = Lfsr::maximal_with_seed(width as u32, 0x5A).expect("valid");
+        let stream_b = b.collect_bits(period);
+        let found = (0..period).any(|off| stream_a[off..off + period] == stream_b[..]);
+        assert!(found, "seeded stream is not a rotation of the base stream");
+    }
+
+    proptest! {
+        #[test]
+        fn state_never_zero_for_maximal_lfsrs(width in 2u32..=16, seed in 1u32..=u16::MAX as u32, steps in 0usize..2000) {
+            prop_assume!(seed & ((1u32 << width) - 1) != 0);
+            let mut lfsr = Lfsr::maximal_with_seed(width, seed).expect("valid");
+            for _ in 0..steps {
+                lfsr.next_bit();
+                prop_assert_ne!(lfsr.state(), 0);
+            }
+        }
+
+        #[test]
+        fn reset_replays_identically(width in 2u32..=16, seed in 1u32..1000u32, len in 1usize..500) {
+            prop_assume!(seed & ((1u32 << width) - 1) != 0);
+            let mut lfsr = Lfsr::maximal_with_seed(width, seed).expect("valid");
+            let first = lfsr.collect_bits(len);
+            lfsr.reset();
+            let second = lfsr.collect_bits(len);
+            prop_assert_eq!(first, second);
+        }
+
+        #[test]
+        fn ones_count_per_period_is_exactly_half_rounded_up(width in 2u32..=14) {
+            let mut lfsr = Lfsr::maximal(width).expect("valid");
+            let period = lfsr.period_hint().expect("maximal") as usize;
+            let ones = lfsr.collect_bits(period).iter().filter(|&&b| b).count();
+            prop_assert_eq!(ones, 1usize << (width - 1));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Pseudo-random binary sequence generators for power watermarking.
+//!
+//! The watermark generation circuit (WGC) described in Kufel et al.,
+//! *Clock-Modulation Based Watermark for Protection of Embedded Processors*
+//! (DATE 2014), contains sequence generators that can be configured as either
+//! linear feedback shift registers (LFSRs) or simple circular shift
+//! registers. This crate provides bit-exact software models of those
+//! generators, plus Gold codes (for multi-watermark coexistence experiments)
+//! and statistical analysis of the produced sequences.
+//!
+//! # Quick example
+//!
+//! Generate the 12-bit maximum-length sequence used in the paper's silicon
+//! experiments and check its period:
+//!
+//! ```
+//! # fn main() -> Result<(), clockmark_seq::SeqError> {
+//! use clockmark_seq::{Lfsr, SequenceGenerator};
+//!
+//! let mut lfsr = Lfsr::maximal(12)?;
+//! assert_eq!(lfsr.period_exhaustive(), 4095); // 2^12 - 1
+//!
+//! // The generator streams the WMARK control bit, one per clock cycle.
+//! let first: Vec<bool> = (0..8).map(|_| lfsr.next_bit()).collect();
+//! assert_eq!(first.len(), 8);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Modules
+//!
+//! - [`Lfsr`] / [`GaloisLfsr`]: maximal-length feedback shift registers for
+//!   widths 2..=32, with the standard tap table built in.
+//! - [`CircularShiftRegister`]: the paper's alternative WGC configuration.
+//! - [`GoldCode`]: preferred-pair Gold sequences.
+//! - [`BitSequence`]: collected sequences with balance, run-length and
+//!   periodic autocorrelation analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod circular;
+mod complexity;
+mod error;
+mod generator;
+mod gold;
+mod lfsr;
+mod taps;
+
+pub use analysis::{BitSequence, RunStats};
+pub use circular::CircularShiftRegister;
+pub use complexity::{berlekamp_massey, linear_complexity, LfsrSynthesis};
+pub use error::SeqError;
+pub use generator::SequenceGenerator;
+pub use gold::GoldCode;
+pub use lfsr::{GaloisLfsr, Lfsr};
+pub use taps::{maximal_taps, MAX_LFSR_WIDTH, MIN_LFSR_WIDTH};

@@ -1,0 +1,115 @@
+use crate::SeqError;
+
+/// Smallest supported LFSR width.
+pub const MIN_LFSR_WIDTH: u32 = 2;
+
+/// Largest supported LFSR width.
+///
+/// The watermark generation circuit in the paper contains 32-bit sequence
+/// generators, so 32 bits bounds everything this library needs.
+pub const MAX_LFSR_WIDTH: u32 = 32;
+
+/// Maximal-length feedback tap positions for widths 2..=32.
+///
+/// Tap positions are 1-indexed bit numbers of the feedback polynomial
+/// `x^n + x^t1 + ... + 1`, following the widely used XAPP052 table. Each
+/// entry yields a sequence of period `2^n - 1`.
+const MAXIMAL_TAPS: [&[u32]; 31] = [
+    &[2, 1],           // 2
+    &[3, 2],           // 3
+    &[4, 3],           // 4
+    &[5, 3],           // 5
+    &[6, 5],           // 6
+    &[7, 6],           // 7
+    &[8, 6, 5, 4],     // 8
+    &[9, 5],           // 9
+    &[10, 7],          // 10
+    &[11, 9],          // 11
+    &[12, 6, 4, 1],    // 12
+    &[13, 4, 3, 1],    // 13
+    &[14, 5, 3, 1],    // 14
+    &[15, 14],         // 15
+    &[16, 15, 13, 4],  // 16
+    &[17, 14],         // 17
+    &[18, 11],         // 18
+    &[19, 6, 2, 1],    // 19
+    &[20, 17],         // 20
+    &[21, 19],         // 21
+    &[22, 21],         // 22
+    &[23, 18],         // 23
+    &[24, 23, 22, 17], // 24
+    &[25, 22],         // 25
+    &[26, 6, 2, 1],    // 26
+    &[27, 5, 2, 1],    // 27
+    &[28, 25],         // 28
+    &[29, 27],         // 29
+    &[30, 6, 4, 1],    // 30
+    &[31, 28],         // 31
+    &[32, 22, 2, 1],   // 32
+];
+
+/// Returns the tabulated maximal-length tap positions for a register width.
+///
+/// Tap positions are 1-indexed; position `n` (the register width itself) is
+/// always present. Feeding these taps to [`Lfsr::with_taps`] produces a
+/// maximum-length sequence of period `2^width - 1`.
+///
+/// # Errors
+///
+/// Returns [`SeqError::InvalidWidth`] when `width` is outside
+/// [`MIN_LFSR_WIDTH`]..=[`MAX_LFSR_WIDTH`].
+///
+/// ```
+/// # fn main() -> Result<(), clockmark_seq::SeqError> {
+/// let taps = clockmark_seq::maximal_taps(12)?;
+/// assert_eq!(taps, &[12, 6, 4, 1]);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [`Lfsr::with_taps`]: crate::Lfsr::with_taps
+pub fn maximal_taps(width: u32) -> Result<&'static [u32], SeqError> {
+    if !(MIN_LFSR_WIDTH..=MAX_LFSR_WIDTH).contains(&width) {
+        return Err(SeqError::InvalidWidth { width });
+    }
+    Ok(MAXIMAL_TAPS[(width - MIN_LFSR_WIDTH) as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_entry_leads_with_its_own_width() {
+        for width in MIN_LFSR_WIDTH..=MAX_LFSR_WIDTH {
+            let taps = maximal_taps(width).expect("tabulated width");
+            assert_eq!(taps[0], width, "first tap must equal the width");
+            assert!(taps.iter().all(|&t| t >= 1 && t <= width));
+            // Taps are strictly decreasing (canonical ordering).
+            assert!(taps.windows(2).all(|w| w[0] > w[1]));
+        }
+    }
+
+    #[test]
+    fn even_tap_counts() {
+        // A maximal polynomial over GF(2) has an even number of feedback
+        // taps when the implicit +1 term is excluded, i.e. the tabulated
+        // list (which excludes the +1) has an even length.
+        for width in MIN_LFSR_WIDTH..=MAX_LFSR_WIDTH {
+            let taps = maximal_taps(width).expect("tabulated width");
+            assert_eq!(
+                taps.len() % 2,
+                0,
+                "width {width} should have an even tap count"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_widths_are_rejected() {
+        assert!(maximal_taps(0).is_err());
+        assert!(maximal_taps(1).is_err());
+        assert!(maximal_taps(33).is_err());
+        assert!(maximal_taps(u32::MAX).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+use clockmark_netlist::{NetlistError, SignalId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A driver was attached to a signal that is not declared
+    /// [`SignalExpr::External`](clockmark_netlist::SignalExpr::External).
+    DriverForNonExternal {
+        /// The offending signal.
+        signal: SignalId,
+    },
+    /// A structural problem was found in the underlying netlist.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DriverForNonExternal { signal } => {
+                write!(f, "signal {signal} is not external and cannot be driven")
+            }
+            SimError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SimError {
+    fn from(e: NetlistError) -> Self {
+        SimError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netlist_errors_convert_and_chain() {
+        let err: SimError = NetlistError::UnknownClockRoot.into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("netlist error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

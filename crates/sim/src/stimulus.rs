@@ -1,0 +1,154 @@
+use clockmark_seq::SequenceGenerator;
+
+/// A per-cycle value source for an
+/// [`External`](clockmark_netlist::SignalExpr::External) signal.
+///
+/// Drivers are polled once per simulated cycle. Undriven external signals
+/// read as constant `false`.
+pub enum SignalDriver {
+    /// A constant level.
+    Constant(bool),
+    /// An explicit per-cycle bit vector. When `repeat` is true the vector
+    /// tiles forever; otherwise the driver holds `false` after the end.
+    Bits {
+        /// The per-cycle values.
+        bits: Vec<bool>,
+        /// Whether to tile the vector.
+        repeat: bool,
+        /// Current position (internal cursor).
+        position: usize,
+    },
+    /// A sequence generator (e.g. the software model of a WGC LFSR).
+    Generator(Box<dyn SequenceGenerator>),
+}
+
+impl SignalDriver {
+    /// Convenience constructor for [`SignalDriver::Bits`].
+    pub fn bits<I: IntoIterator<Item = bool>>(bits: I, repeat: bool) -> Self {
+        SignalDriver::Bits {
+            bits: bits.into_iter().collect(),
+            repeat,
+            position: 0,
+        }
+    }
+
+    /// Convenience constructor wrapping a sequence generator.
+    pub fn generator<G: SequenceGenerator + 'static>(generator: G) -> Self {
+        SignalDriver::Generator(Box::new(generator))
+    }
+
+    /// Produces the value for the next cycle.
+    pub fn next_value(&mut self) -> bool {
+        match self {
+            SignalDriver::Constant(v) => *v,
+            SignalDriver::Bits {
+                bits,
+                repeat,
+                position,
+            } => {
+                if bits.is_empty() {
+                    return false;
+                }
+                if *position >= bits.len() {
+                    if *repeat {
+                        *position = 0;
+                    } else {
+                        return false;
+                    }
+                }
+                let v = bits[*position];
+                *position += 1;
+                v
+            }
+            SignalDriver::Generator(g) => g.next_bit(),
+        }
+    }
+
+    /// Rewinds the driver to its initial state.
+    pub fn reset(&mut self) {
+        match self {
+            SignalDriver::Constant(_) => {}
+            SignalDriver::Bits { position, .. } => *position = 0,
+            SignalDriver::Generator(g) => g.reset(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SignalDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SignalDriver::Constant(v) => f.debug_tuple("Constant").field(v).finish(),
+            SignalDriver::Bits {
+                bits,
+                repeat,
+                position,
+            } => f
+                .debug_struct("Bits")
+                .field("len", &bits.len())
+                .field("repeat", repeat)
+                .field("position", position)
+                .finish(),
+            SignalDriver::Generator(_) => f.debug_tuple("Generator").finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockmark_seq::Lfsr;
+
+    #[test]
+    fn constant_driver_never_changes() {
+        let mut d = SignalDriver::Constant(true);
+        for _ in 0..10 {
+            assert!(d.next_value());
+        }
+    }
+
+    #[test]
+    fn bits_driver_holds_false_after_end() {
+        let mut d = SignalDriver::bits([true, true], false);
+        assert!(d.next_value());
+        assert!(d.next_value());
+        assert!(!d.next_value());
+        assert!(!d.next_value());
+    }
+
+    #[test]
+    fn bits_driver_tiles_when_repeating() {
+        let mut d = SignalDriver::bits([true, false], true);
+        let seq: Vec<bool> = (0..6).map(|_| d.next_value()).collect();
+        assert_eq!(seq, [true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn empty_bits_driver_reads_false() {
+        let mut d = SignalDriver::bits([], true);
+        assert!(!d.next_value());
+    }
+
+    #[test]
+    fn generator_driver_matches_raw_generator() {
+        let mut raw = Lfsr::maximal(8).expect("valid");
+        let mut d = SignalDriver::generator(Lfsr::maximal(8).expect("valid"));
+        for _ in 0..100 {
+            assert_eq!(d.next_value(), raw.next_bit());
+        }
+    }
+
+    #[test]
+    fn reset_rewinds_all_driver_kinds() {
+        let mut bits = SignalDriver::bits([true, false, false], false);
+        let first: Vec<bool> = (0..3).map(|_| bits.next_value()).collect();
+        bits.reset();
+        let second: Vec<bool> = (0..3).map(|_| bits.next_value()).collect();
+        assert_eq!(first, second);
+
+        let mut generator = SignalDriver::generator(Lfsr::maximal(6).expect("valid"));
+        let first: Vec<bool> = (0..10).map(|_| generator.next_value()).collect();
+        generator.reset();
+        let second: Vec<bool> = (0..10).map(|_| generator.next_value()).collect();
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,344 @@
+//! Value-change-dump (VCD) export of simulation waveforms.
+//!
+//! Lets any simulation be inspected in a standard waveform viewer
+//! (GTKWave etc.) — the debugging loop a hardware engineer expects when
+//! validating a watermark embedding, and the medium in which the paper's
+//! Fig. 2 waveforms would actually be produced.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use clockmark_netlist::{DataSource, GroupId, Netlist, RegisterConfig, SignalExpr};
+//! use clockmark_sim::{CycleSim, SignalDriver, VcdProbe};
+//!
+//! let mut netlist = Netlist::new();
+//! let clk = netlist.add_clock_root("clk");
+//! let en = netlist.add_signal("en", SignalExpr::External)?;
+//! let icg = netlist.add_icg(GroupId::TOP, clk.into(), en)?;
+//! let reg = netlist.add_register(
+//!     GroupId::TOP,
+//!     RegisterConfig::new(icg.into()).data(DataSource::Toggle),
+//! )?;
+//!
+//! let mut sim = CycleSim::new(&netlist)?;
+//! sim.drive(en, SignalDriver::bits([true, false, true], true))?;
+//!
+//! let mut probe = VcdProbe::new("clockmark quickstart");
+//! probe.watch_signal(en, "en");
+//! probe.watch_register(reg, "q");
+//! for _ in 0..6 {
+//!     sim.step();
+//!     probe.sample(&sim);
+//! }
+//!
+//! let mut out = Vec::new();
+//! probe.write(&mut out)?;
+//! let vcd = String::from_utf8(out)?;
+//! assert!(vcd.contains("$var wire 1"));
+//! assert!(vcd.contains("$enddefinitions"));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::CycleSim;
+use clockmark_netlist::{CellId, SignalId};
+use std::io::{self, Write};
+
+/// What a probe channel observes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Channel {
+    Signal(SignalId, String),
+    Register(CellId, String),
+    ClockActive(CellId, String),
+}
+
+impl Channel {
+    fn name(&self) -> &str {
+        match self {
+            Channel::Signal(_, n) | Channel::Register(_, n) | Channel::ClockActive(_, n) => n,
+        }
+    }
+
+    fn read(&self, sim: &CycleSim) -> bool {
+        match self {
+            Channel::Signal(id, _) => sim.signal_value(*id),
+            Channel::Register(id, _) => sim.register_value(*id),
+            Channel::ClockActive(id, _) => sim.clock_was_active(*id),
+        }
+    }
+}
+
+/// Records named signal/register waveforms during simulation and writes
+/// them as a VCD file.
+///
+/// Channels are registered up front, then [`sample`](VcdProbe::sample) is
+/// called once per simulated cycle (after [`CycleSim::step`]). The writer
+/// emits one VCD timestep per cycle with change-only value dumps, as the
+/// format requires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdProbe {
+    comment: String,
+    channels: Vec<Channel>,
+    /// samples[cycle][channel]
+    samples: Vec<Vec<bool>>,
+    /// Clock period in nanoseconds (for the timescale header).
+    period_ns: u64,
+}
+
+impl VcdProbe {
+    /// Creates an empty probe. `comment` lands in the VCD header.
+    pub fn new(comment: &str) -> Self {
+        VcdProbe {
+            comment: comment.to_owned(),
+            channels: Vec::new(),
+            samples: Vec::new(),
+            period_ns: 100, // 10 MHz default
+        }
+    }
+
+    /// Sets the clock period used for the `$timescale` header.
+    pub fn with_period_ns(mut self, period_ns: u64) -> Self {
+        self.period_ns = period_ns.max(1);
+        self
+    }
+
+    /// Watches a combinational signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the first [`sample`](VcdProbe::sample) —
+    /// channels must be homogeneous across all samples.
+    pub fn watch_signal(&mut self, signal: SignalId, name: &str) {
+        assert!(self.samples.is_empty(), "register channels before sampling");
+        self.channels.push(Channel::Signal(signal, name.to_owned()));
+    }
+
+    /// Watches a register's output value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the first [`sample`](VcdProbe::sample).
+    pub fn watch_register(&mut self, cell: CellId, name: &str) {
+        assert!(self.samples.is_empty(), "register channels before sampling");
+        self.channels.push(Channel::Register(cell, name.to_owned()));
+    }
+
+    /// Watches whether a cell's clock was active each cycle (the gated
+    /// clock waveform `CLK_WMARK` of the paper's Fig. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the first [`sample`](VcdProbe::sample).
+    pub fn watch_clock(&mut self, cell: CellId, name: &str) {
+        assert!(self.samples.is_empty(), "register channels before sampling");
+        self.channels
+            .push(Channel::ClockActive(cell, name.to_owned()));
+    }
+
+    /// Number of registered channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of recorded cycles.
+    pub fn cycles(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Captures the current values of all channels (call after each
+    /// [`CycleSim::step`]).
+    pub fn sample(&mut self, sim: &CycleSim) {
+        let row: Vec<bool> = self.channels.iter().map(|c| c.read(sim)).collect();
+        self.samples.push(row);
+    }
+
+    /// VCD identifier code for a channel index (printable ASCII from `!`).
+    fn code(index: usize) -> String {
+        // Base-94 over the printable range '!'..='~'.
+        let mut index = index;
+        let mut out = String::new();
+        loop {
+            out.push((b'!' + (index % 94) as u8) as char);
+            index /= 94;
+            if index == 0 {
+                break;
+            }
+            index -= 1;
+        }
+        out
+    }
+
+    /// Writes the recorded waveform as VCD.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer (a `&mut Vec<u8>` or
+    /// `&mut File` can be passed, since `Write` is implemented for mutable
+    /// references).
+    pub fn write<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "$comment {} $end", self.comment)?;
+        writeln!(w, "$timescale 1ns $end")?;
+        writeln!(w, "$scope module clockmark $end")?;
+        for (i, channel) in self.channels.iter().enumerate() {
+            writeln!(w, "$var wire 1 {} {} $end", Self::code(i), channel.name())?;
+        }
+        writeln!(w, "$upscope $end")?;
+        writeln!(w, "$enddefinitions $end")?;
+
+        let mut last: Vec<Option<bool>> = vec![None; self.channels.len()];
+        for (cycle, row) in self.samples.iter().enumerate() {
+            let changes: Vec<(usize, bool)> = row
+                .iter()
+                .enumerate()
+                .filter(|(i, v)| last[*i] != Some(**v))
+                .map(|(i, v)| (i, *v))
+                .collect();
+            if !changes.is_empty() {
+                writeln!(w, "#{}", cycle as u64 * self.period_ns)?;
+                for (i, v) in changes {
+                    writeln!(w, "{}{}", if v { '1' } else { '0' }, Self::code(i))?;
+                    last[i] = Some(v);
+                }
+            }
+        }
+        // Final timestamp closing the trace.
+        writeln!(w, "#{}", self.samples.len() as u64 * self.period_ns)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignalDriver;
+    use clockmark_netlist::{DataSource, GroupId, Netlist, RegisterConfig, SignalExpr};
+
+    fn toggled_netlist() -> (Netlist, SignalId, CellId, CellId) {
+        let mut n = Netlist::new();
+        let clk = n.add_clock_root("clk");
+        let en = n.add_signal("en", SignalExpr::External).expect("signal");
+        let icg = n.add_icg(GroupId::TOP, clk.into(), en).expect("icg");
+        let reg = n
+            .add_register(
+                GroupId::TOP,
+                RegisterConfig::new(icg.into()).data(DataSource::Toggle),
+            )
+            .expect("register");
+        (n, en, icg, reg)
+    }
+
+    fn render(probe: &VcdProbe) -> String {
+        let mut out = Vec::new();
+        probe.write(&mut out).expect("writes");
+        String::from_utf8(out).expect("utf8")
+    }
+
+    #[test]
+    fn header_declares_every_channel() {
+        let (n, en, icg, reg) = toggled_netlist();
+        let mut sim = CycleSim::new(&n).expect("valid");
+        sim.drive(en, SignalDriver::Constant(true))
+            .expect("external");
+
+        let mut probe = VcdProbe::new("test");
+        probe.watch_signal(en, "enable");
+        probe.watch_register(reg, "q");
+        probe.watch_clock(icg, "clk_gated");
+        sim.step();
+        probe.sample(&sim);
+
+        let vcd = render(&probe);
+        assert!(vcd.contains("$var wire 1 ! enable $end"));
+        assert!(vcd.contains("$var wire 1 \" q $end"));
+        assert!(vcd.contains("$var wire 1 # clk_gated $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.contains("$comment test $end"));
+    }
+
+    #[test]
+    fn toggling_register_produces_change_per_cycle() {
+        let (n, en, _icg, reg) = toggled_netlist();
+        let mut sim = CycleSim::new(&n).expect("valid");
+        sim.drive(en, SignalDriver::Constant(true))
+            .expect("external");
+
+        let mut probe = VcdProbe::new("toggle").with_period_ns(100);
+        probe.watch_register(reg, "q");
+        for _ in 0..4 {
+            sim.step();
+            probe.sample(&sim);
+        }
+        let vcd = render(&probe);
+        // q goes 1,0,1,0 → a change at every timestep.
+        for t in [0u64, 100, 200, 300] {
+            assert!(
+                vcd.contains(&format!("#{t}\n")),
+                "missing timestep {t}:\n{vcd}"
+            );
+        }
+        assert!(vcd.contains("1!"));
+        assert!(vcd.contains("0!"));
+    }
+
+    #[test]
+    fn unchanged_values_are_not_re_dumped() {
+        let (n, en, _icg, reg) = toggled_netlist();
+        let mut sim = CycleSim::new(&n).expect("valid");
+        // Gated off: the register never changes after the first sample.
+        sim.drive(en, SignalDriver::Constant(false))
+            .expect("external");
+
+        let mut probe = VcdProbe::new("static").with_period_ns(10);
+        probe.watch_register(reg, "q");
+        for _ in 0..5 {
+            sim.step();
+            probe.sample(&sim);
+        }
+        let vcd = render(&probe);
+        let dumps = vcd.matches("0!").count() + vcd.matches("1!").count();
+        assert_eq!(dumps, 1, "only the initial value dump:\n{vcd}");
+    }
+
+    #[test]
+    fn gated_clock_channel_mirrors_wmark() {
+        let (n, en, icg, _reg) = toggled_netlist();
+        let mut sim = CycleSim::new(&n).expect("valid");
+        sim.drive(en, SignalDriver::bits([true, false, true, false], true))
+            .expect("external");
+
+        let mut probe = VcdProbe::new("gate").with_period_ns(1);
+        probe.watch_clock(icg, "clk_wmark");
+        for _ in 0..4 {
+            sim.step();
+            probe.sample(&sim);
+        }
+        assert_eq!(probe.cycles(), 4);
+        let vcd = render(&probe);
+        // Alternating gate → change at every step.
+        assert!(vcd.contains("#0\n1!"));
+        assert!(vcd.contains("#1\n0!"));
+        assert!(vcd.contains("#2\n1!"));
+        assert!(vcd.contains("#3\n0!"));
+    }
+
+    #[test]
+    fn identifier_codes_are_unique_and_printable() {
+        let codes: Vec<String> = (0..500).map(VcdProbe::code).collect();
+        let unique: std::collections::HashSet<&String> = codes.iter().collect();
+        assert_eq!(unique.len(), codes.len());
+        for code in &codes {
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)), "{code}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before sampling")]
+    fn adding_channels_after_sampling_panics() {
+        let (n, en, _icg, reg) = toggled_netlist();
+        let mut sim = CycleSim::new(&n).expect("valid");
+        let mut probe = VcdProbe::new("late");
+        probe.watch_register(reg, "q");
+        sim.step();
+        probe.sample(&sim);
+        probe.watch_signal(en, "too_late");
+    }
+}

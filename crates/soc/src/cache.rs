@@ -1,0 +1,169 @@
+/// Statistics accumulated by a [`Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (causing a line fill).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]` (zero when no accesses were made).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            return 0.0;
+        }
+        self.misses as f64 / self.accesses() as f64
+    }
+}
+
+/// A direct-mapped cache model.
+///
+/// Used by the chip-II configuration: the paper's second test chip carries
+/// a dual Cortex-A5 cluster whose cores "did not execute any program" but
+/// whose clocks, caches and bus were active, contributing a significant
+/// share of background noise. Cache refill traffic is the bursty component
+/// of that noise, so the model only tracks hit/miss — no data.
+///
+/// ```
+/// let mut cache = clockmark_soc::Cache::new(16, 32);
+/// assert!(!cache.access(0x40));        // cold miss
+/// assert!(cache.access(0x44));         // same 32-byte line
+/// assert!(!cache.access(0x40 + 512));  // conflict: same index, new tag
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cache {
+    line_bytes: u32,
+    tags: Vec<Option<u32>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cold cache with `lines` lines of `line_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lines` is zero or `line_bytes` is not a power of two.
+    pub fn new(lines: usize, line_bytes: u32) -> Self {
+        assert!(lines > 0, "cache needs at least one line");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Cache {
+            line_bytes,
+            tags: vec![None; lines],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Looks up `addr`, filling the line on a miss. Returns `true` on hit.
+    pub fn access(&mut self, addr: u32) -> bool {
+        let line_addr = addr / self.line_bytes;
+        let index = (line_addr as usize) % self.tags.len();
+        let tag = line_addr / self.tags.len() as u32;
+        let hit = self.tags[index] == Some(tag);
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            self.tags[index] = Some(tag);
+        }
+        hit
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Invalidates every line and clears statistics.
+    pub fn flush(&mut self) {
+        self.tags.fill(None);
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sequential_walk_hits_within_lines() {
+        let mut cache = Cache::new(64, 32);
+        for addr in (0..2048u32).step_by(4) {
+            cache.access(addr);
+        }
+        // One miss per 32-byte line, seven hits (8 word accesses per line).
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 64);
+        assert_eq!(stats.hits, 448);
+    }
+
+    #[test]
+    fn conflicting_addresses_evict() {
+        let mut cache = Cache::new(4, 16);
+        // Two addresses 4*16 = 64 bytes apart map to the same index.
+        assert!(!cache.access(0));
+        assert!(!cache.access(64));
+        assert!(!cache.access(0), "line was evicted by the conflict");
+    }
+
+    #[test]
+    fn flush_resets_everything() {
+        let mut cache = Cache::new(8, 32);
+        cache.access(0);
+        cache.access(0);
+        cache.flush();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert!(!cache.access(0), "cold again after flush");
+    }
+
+    #[test]
+    fn miss_ratio_edges() {
+        let empty = Cache::new(2, 16);
+        assert_eq!(empty.stats().miss_ratio(), 0.0);
+        let mut all_miss = Cache::new(1, 16);
+        all_miss.access(0);
+        all_miss.access(16);
+        all_miss.access(32);
+        assert_eq!(all_miss.stats().miss_ratio(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_is_rejected() {
+        Cache::new(4, 24);
+    }
+
+    proptest! {
+        #[test]
+        fn hits_plus_misses_equals_accesses(addrs in proptest::collection::vec(0u32..1_000_000, 0..500)) {
+            let mut cache = Cache::new(32, 64);
+            for addr in &addrs {
+                cache.access(*addr);
+            }
+            prop_assert_eq!(cache.stats().accesses(), addrs.len() as u64);
+        }
+
+        #[test]
+        fn repeated_access_to_one_address_hits_after_first(addr in 0u32..1_000_000) {
+            let mut cache = Cache::new(32, 64);
+            cache.access(addr);
+            for _ in 0..10 {
+                prop_assert!(cache.access(addr));
+            }
+        }
+    }
+}

@@ -1,0 +1,602 @@
+use crate::{Instr, Program, Reg, SocError};
+
+/// Byte-addressed data memory with bounds checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zeroed memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Memory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// The address-space size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn check(&self, addr: u32, bytes: u32) -> Result<usize, SocError> {
+        let end = addr as usize + bytes as usize;
+        if end > self.bytes.len() {
+            return Err(SocError::MemoryOutOfBounds {
+                addr,
+                size: self.bytes.len(),
+            });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::MemoryOutOfBounds`] past the end of memory.
+    pub fn read_u8(&self, addr: u32) -> Result<u8, SocError> {
+        let i = self.check(addr, 1)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::MemoryOutOfBounds`] past the end of memory.
+    pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), SocError> {
+        let i = self.check(addr, 1)?;
+        self.bytes[i] = value;
+        Ok(())
+    }
+
+    /// Reads a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::MemoryOutOfBounds`] past the end of memory.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, SocError> {
+        let i = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes(
+            self.bytes[i..i + 4].try_into().expect("4-byte slice"),
+        ))
+    }
+
+    /// Writes a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::MemoryOutOfBounds`] past the end of memory.
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), SocError> {
+        let i = self.check(addr, 4)?;
+        self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory at `addr` (for program data setup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::MemoryOutOfBounds`] past the end of memory.
+    pub fn load_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), SocError> {
+        let i = self.check(addr, data.len() as u32)?;
+        self.bytes[i..i + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+/// Per-instruction switching activity, used to price background power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstrActivity {
+    /// Cycles the instruction occupied.
+    pub cycles: u32,
+    /// ALU operations performed (arithmetic/logic/shift/compare).
+    pub alu_ops: u32,
+    /// Register-file writes.
+    pub reg_writes: u32,
+    /// Data-memory reads.
+    pub mem_reads: u32,
+    /// Data-memory writes.
+    pub mem_writes: u32,
+    /// Whether a branch redirected the program counter.
+    pub branch_taken: bool,
+}
+
+/// Outcome of one [`Cpu::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuStepOutcome {
+    /// An instruction executed with the given activity.
+    Executed(InstrActivity),
+    /// The CPU had already halted (or just executed `Halt`); no activity.
+    Halted,
+}
+
+/// A small in-order RISC core with per-instruction cycle costs.
+///
+/// Cycle costs mirror a Cortex-M0-class pipeline: single-cycle ALU
+/// operations, two-cycle memory accesses and taken branches, three-cycle
+/// multiply.
+///
+/// ```
+/// # fn main() -> Result<(), clockmark_soc::SocError> {
+/// use clockmark_soc::{Cpu, Instr, Memory, ProgramBuilder, Reg};
+///
+/// let mut pb = ProgramBuilder::new();
+/// pb.push(Instr::MovImm { rd: Reg::R0, imm: 6 });
+/// pb.push(Instr::MovImm { rd: Reg::R1, imm: 7 });
+/// pb.push(Instr::Mul { rd: Reg::R2, ra: Reg::R0, rb: Reg::R1 });
+/// pb.push(Instr::Halt);
+/// let program = pb.finish()?;
+///
+/// let mut cpu = Cpu::new(program);
+/// let mut mem = Memory::new(64);
+/// cpu.run_to_halt(&mut mem, 100)?;
+/// assert_eq!(cpu.reg(Reg::R2), 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cpu {
+    program: Program,
+    regs: [u32; Reg::COUNT],
+    pc: u32,
+    halted: bool,
+    executed: u64,
+}
+
+impl Cpu {
+    /// Creates a CPU at the start of `program` with zeroed registers.
+    pub fn new(program: Program) -> Self {
+        Cpu {
+            program,
+            regs: [0; Reg::COUNT],
+            pc: 0,
+            halted: false,
+            executed: 0,
+        }
+    }
+
+    /// Current program counter (instruction index).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Whether a `Halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Instructions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (for test setup).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        self.regs[r.index()] = value;
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Restarts the program without clearing registers (bare-metal
+    /// benchmark loops restart this way).
+    pub fn restart(&mut self) {
+        self.pc = 0;
+        self.halted = false;
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::PcOutOfBounds`] when execution falls off the end
+    /// of the program and [`SocError::MemoryOutOfBounds`] on a bad access.
+    pub fn step(&mut self, mem: &mut Memory) -> Result<CpuStepOutcome, SocError> {
+        if self.halted {
+            return Ok(CpuStepOutcome::Halted);
+        }
+        let idx = self.pc as usize;
+        let instr = *self
+            .program
+            .instrs()
+            .get(idx)
+            .ok_or(SocError::PcOutOfBounds {
+                pc: self.pc,
+                len: self.program.len(),
+            })?;
+        self.pc += 1;
+        self.executed += 1;
+
+        let mut act = InstrActivity {
+            cycles: 1,
+            ..Default::default()
+        };
+        let addr = |base: u32, offset: i32| base.wrapping_add(offset as u32);
+
+        match instr {
+            Instr::Nop => {}
+            Instr::Halt => {
+                self.halted = true;
+                return Ok(CpuStepOutcome::Halted);
+            }
+            Instr::MovImm { rd, imm } => {
+                self.regs[rd.index()] = imm;
+                act.reg_writes = 1;
+            }
+            Instr::Add { rd, ra, rb } => {
+                self.regs[rd.index()] = self.reg(ra).wrapping_add(self.reg(rb));
+                act.alu_ops = 1;
+                act.reg_writes = 1;
+            }
+            Instr::Sub { rd, ra, rb } => {
+                self.regs[rd.index()] = self.reg(ra).wrapping_sub(self.reg(rb));
+                act.alu_ops = 1;
+                act.reg_writes = 1;
+            }
+            Instr::AddImm { rd, ra, imm } => {
+                self.regs[rd.index()] = self.reg(ra).wrapping_add(imm as u32);
+                act.alu_ops = 1;
+                act.reg_writes = 1;
+            }
+            Instr::And { rd, ra, rb } => {
+                self.regs[rd.index()] = self.reg(ra) & self.reg(rb);
+                act.alu_ops = 1;
+                act.reg_writes = 1;
+            }
+            Instr::Or { rd, ra, rb } => {
+                self.regs[rd.index()] = self.reg(ra) | self.reg(rb);
+                act.alu_ops = 1;
+                act.reg_writes = 1;
+            }
+            Instr::Xor { rd, ra, rb } => {
+                self.regs[rd.index()] = self.reg(ra) ^ self.reg(rb);
+                act.alu_ops = 1;
+                act.reg_writes = 1;
+            }
+            Instr::ShlImm { rd, ra, amount } => {
+                self.regs[rd.index()] = self.reg(ra) << (amount as u32 & 31);
+                act.alu_ops = 1;
+                act.reg_writes = 1;
+            }
+            Instr::ShrImm { rd, ra, amount } => {
+                self.regs[rd.index()] = self.reg(ra) >> (amount as u32 & 31);
+                act.alu_ops = 1;
+                act.reg_writes = 1;
+            }
+            Instr::Mul { rd, ra, rb } => {
+                self.regs[rd.index()] = self.reg(ra).wrapping_mul(self.reg(rb));
+                act.cycles = 3;
+                act.alu_ops = 3;
+                act.reg_writes = 1;
+            }
+            Instr::LoadWord { rd, ra, offset } => {
+                self.regs[rd.index()] = mem.read_u32(addr(self.reg(ra), offset))?;
+                act.cycles = 2;
+                act.mem_reads = 1;
+                act.reg_writes = 1;
+            }
+            Instr::StoreWord { rs, ra, offset } => {
+                mem.write_u32(addr(self.reg(ra), offset), self.reg(rs))?;
+                act.cycles = 2;
+                act.mem_writes = 1;
+            }
+            Instr::LoadByte { rd, ra, offset } => {
+                self.regs[rd.index()] = mem.read_u8(addr(self.reg(ra), offset))? as u32;
+                act.cycles = 2;
+                act.mem_reads = 1;
+                act.reg_writes = 1;
+            }
+            Instr::StoreByte { rs, ra, offset } => {
+                mem.write_u8(addr(self.reg(ra), offset), self.reg(rs) as u8)?;
+                act.cycles = 2;
+                act.mem_writes = 1;
+            }
+            Instr::Beq { ra, rb, target } => {
+                act.alu_ops = 1;
+                if self.reg(ra) == self.reg(rb) {
+                    self.pc = target;
+                    act.cycles = 2;
+                    act.branch_taken = true;
+                }
+            }
+            Instr::Bne { ra, rb, target } => {
+                act.alu_ops = 1;
+                if self.reg(ra) != self.reg(rb) {
+                    self.pc = target;
+                    act.cycles = 2;
+                    act.branch_taken = true;
+                }
+            }
+            Instr::Blt { ra, rb, target } => {
+                act.alu_ops = 1;
+                if self.reg(ra) < self.reg(rb) {
+                    self.pc = target;
+                    act.cycles = 2;
+                    act.branch_taken = true;
+                }
+            }
+            Instr::Bge { ra, rb, target } => {
+                act.alu_ops = 1;
+                if self.reg(ra) >= self.reg(rb) {
+                    self.pc = target;
+                    act.cycles = 2;
+                    act.branch_taken = true;
+                }
+            }
+            Instr::Jump { target } => {
+                self.pc = target;
+                act.cycles = 2;
+                act.branch_taken = true;
+            }
+        }
+        Ok(CpuStepOutcome::Executed(act))
+    }
+
+    /// Runs until `Halt` or `max_instructions` have executed.
+    ///
+    /// Returns the total cycles consumed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors from [`step`](Cpu::step).
+    pub fn run_to_halt(
+        &mut self,
+        mem: &mut Memory,
+        max_instructions: u64,
+    ) -> Result<u64, SocError> {
+        let mut cycles = 0u64;
+        for _ in 0..max_instructions {
+            match self.step(mem)? {
+                CpuStepOutcome::Executed(act) => cycles += act.cycles as u64,
+                CpuStepOutcome::Halted => break,
+            }
+        }
+        Ok(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    fn run(program: Program) -> (Cpu, Memory) {
+        let mut cpu = Cpu::new(program);
+        let mut mem = Memory::new(256);
+        cpu.run_to_halt(&mut mem, 10_000).expect("runs");
+        (cpu, mem)
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::MovImm {
+            rd: Reg::R0,
+            imm: 0xF0,
+        });
+        pb.push(Instr::MovImm {
+            rd: Reg::R1,
+            imm: 0x0F,
+        });
+        pb.push(Instr::Or {
+            rd: Reg::R2,
+            ra: Reg::R0,
+            rb: Reg::R1,
+        });
+        pb.push(Instr::And {
+            rd: Reg::R3,
+            ra: Reg::R0,
+            rb: Reg::R1,
+        });
+        pb.push(Instr::Xor {
+            rd: Reg::R4,
+            ra: Reg::R0,
+            rb: Reg::R2,
+        });
+        pb.push(Instr::Sub {
+            rd: Reg::R5,
+            ra: Reg::R2,
+            rb: Reg::R1,
+        });
+        pb.push(Instr::ShlImm {
+            rd: Reg::R6,
+            ra: Reg::R1,
+            amount: 4,
+        });
+        pb.push(Instr::ShrImm {
+            rd: Reg::R7,
+            ra: Reg::R0,
+            amount: 4,
+        });
+        pb.push(Instr::Halt);
+        let (cpu, _) = run(pb.finish().expect("valid"));
+        assert_eq!(cpu.reg(Reg::R2), 0xFF);
+        assert_eq!(cpu.reg(Reg::R3), 0x00);
+        assert_eq!(cpu.reg(Reg::R4), 0x0F);
+        assert_eq!(cpu.reg(Reg::R5), 0xF0);
+        assert_eq!(cpu.reg(Reg::R6), 0xF0);
+        assert_eq!(cpu.reg(Reg::R7), 0x0F);
+    }
+
+    #[test]
+    fn memory_round_trip_word_and_byte() {
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::MovImm {
+            rd: Reg::R0,
+            imm: 16,
+        });
+        pb.push(Instr::MovImm {
+            rd: Reg::R1,
+            imm: 0xDEAD_BEEF,
+        });
+        pb.push(Instr::StoreWord {
+            rs: Reg::R1,
+            ra: Reg::R0,
+            offset: 0,
+        });
+        pb.push(Instr::LoadWord {
+            rd: Reg::R2,
+            ra: Reg::R0,
+            offset: 0,
+        });
+        pb.push(Instr::LoadByte {
+            rd: Reg::R3,
+            ra: Reg::R0,
+            offset: 0,
+        });
+        pb.push(Instr::StoreByte {
+            rs: Reg::R3,
+            ra: Reg::R0,
+            offset: 8,
+        });
+        pb.push(Instr::Halt);
+        let (cpu, mem) = run(pb.finish().expect("valid"));
+        assert_eq!(cpu.reg(Reg::R2), 0xDEAD_BEEF);
+        assert_eq!(cpu.reg(Reg::R3), 0xEF, "little-endian low byte");
+        assert_eq!(mem.read_u8(24).expect("in range"), 0xEF);
+    }
+
+    #[test]
+    fn loop_executes_expected_iterations() {
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::MovImm {
+            rd: Reg::R0,
+            imm: 0,
+        });
+        pb.push(Instr::MovImm {
+            rd: Reg::R1,
+            imm: 37,
+        });
+        let top = pb.new_label();
+        pb.bind(top).expect("fresh");
+        pb.push(Instr::AddImm {
+            rd: Reg::R0,
+            ra: Reg::R0,
+            imm: 1,
+        });
+        pb.branch_lt(Reg::R0, Reg::R1, top);
+        pb.push(Instr::Halt);
+        let (cpu, _) = run(pb.finish().expect("valid"));
+        assert_eq!(cpu.reg(Reg::R0), 37);
+    }
+
+    #[test]
+    fn cycle_costs_match_the_documented_model() {
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::MovImm {
+            rd: Reg::R0,
+            imm: 8,
+        }); // 1
+        pb.push(Instr::Mul {
+            rd: Reg::R1,
+            ra: Reg::R0,
+            rb: Reg::R0,
+        }); // 3
+        pb.push(Instr::StoreWord {
+            rs: Reg::R1,
+            ra: Reg::R0,
+            offset: 0,
+        }); // 2
+        pb.push(Instr::Jump { target: 4 }); // 2
+        pb.push(Instr::Halt);
+        let mut cpu = Cpu::new(pb.finish().expect("valid"));
+        let mut mem = Memory::new(64);
+        let cycles = cpu.run_to_halt(&mut mem, 100).expect("runs");
+        assert_eq!(cycles, 1 + 3 + 2 + 2);
+    }
+
+    #[test]
+    fn untaken_branch_is_single_cycle() {
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::Beq {
+            ra: Reg::R0,
+            rb: Reg::R1,
+            target: 0,
+        });
+        pb.push(Instr::Halt);
+        let mut cpu = Cpu::new(pb.finish().expect("valid"));
+        cpu.set_reg(Reg::R1, 5); // r0 != r1 → not taken
+        let mut mem = Memory::new(16);
+        match cpu.step(&mut mem).expect("steps") {
+            CpuStepOutcome::Executed(act) => {
+                assert_eq!(act.cycles, 1);
+                assert!(!act.branch_taken);
+            }
+            CpuStepOutcome::Halted => panic!("should execute the branch"),
+        }
+    }
+
+    #[test]
+    fn memory_bounds_are_enforced() {
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::MovImm {
+            rd: Reg::R0,
+            imm: 1000,
+        });
+        pb.push(Instr::LoadWord {
+            rd: Reg::R1,
+            ra: Reg::R0,
+            offset: 0,
+        });
+        pb.push(Instr::Halt);
+        let mut cpu = Cpu::new(pb.finish().expect("valid"));
+        let mut mem = Memory::new(64);
+        let err = cpu.run_to_halt(&mut mem, 100).unwrap_err();
+        assert_eq!(
+            err,
+            SocError::MemoryOutOfBounds {
+                addr: 1000,
+                size: 64
+            }
+        );
+    }
+
+    #[test]
+    fn falling_off_the_program_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::Nop);
+        let mut cpu = Cpu::new(pb.finish().expect("valid"));
+        let mut mem = Memory::new(16);
+        cpu.step(&mut mem).expect("nop executes");
+        let err = cpu.step(&mut mem).unwrap_err();
+        assert_eq!(err, SocError::PcOutOfBounds { pc: 1, len: 1 });
+    }
+
+    #[test]
+    fn halted_cpu_stays_halted_and_restart_revives_it() {
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::AddImm {
+            rd: Reg::R0,
+            ra: Reg::R0,
+            imm: 1,
+        });
+        pb.push(Instr::Halt);
+        let mut cpu = Cpu::new(pb.finish().expect("valid"));
+        let mut mem = Memory::new(16);
+        cpu.run_to_halt(&mut mem, 10).expect("runs");
+        assert!(cpu.is_halted());
+        assert_eq!(cpu.step(&mut mem).expect("ok"), CpuStepOutcome::Halted);
+        cpu.restart();
+        cpu.run_to_halt(&mut mem, 10).expect("runs again");
+        assert_eq!(cpu.reg(Reg::R0), 2, "registers survive a restart");
+    }
+
+    #[test]
+    fn memory_load_bytes_and_bounds() {
+        let mut mem = Memory::new(8);
+        mem.load_bytes(2, &[1, 2, 3]).expect("fits");
+        assert_eq!(mem.read_u8(3).expect("in range"), 2);
+        assert!(mem.load_bytes(6, &[0; 4]).is_err());
+        assert!(mem.read_u32(5).is_err());
+        assert!(mem.write_u32(6, 0).is_err());
+    }
+}

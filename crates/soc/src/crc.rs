@@ -1,0 +1,272 @@
+//! A bitwise CRC-32 workload — an ALU/branch-heavy contrast to the
+//! memory-heavy Dhrystone-like benchmark, for workload-sensitivity
+//! studies (the detector must work whatever the processor happens to be
+//! running).
+
+use crate::{Instr, Memory, Program, ProgramBuilder, Reg, SocError};
+
+/// Base address of the 16-byte message buffer.
+const SRC: u32 = 0;
+/// Address where each iteration's CRC is stored.
+const RESULT: u32 = 128;
+/// Message length in bytes.
+const MSG_LEN: u32 = 16;
+/// The reflected CRC-32 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Minimum memory the workload needs.
+pub const CRC_MEMORY_BYTES: usize = 160;
+
+/// Builds a program computing a bitwise (reflected) CRC-32 of a 16-byte
+/// message, `iterations` times, storing each result.
+///
+/// Activity profile per iteration: 16 byte loads, 128 shift/XOR rounds
+/// with a data-dependent branch each, one word store — branchy integer
+/// work with almost no memory traffic, the opposite corner from
+/// [`dhrystone_like`](crate::dhrystone_like).
+///
+/// Register conventions: `r14` iteration counter, `r15` bound, `r9` the
+/// running CRC, `r0`–`r8` scratch.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` propagates builder invariants.
+pub fn crc32_like(iterations: u32) -> Result<Program, SocError> {
+    let mut pb = ProgramBuilder::new();
+
+    pb.push(Instr::MovImm {
+        rd: Reg::R14,
+        imm: 0,
+    });
+    pb.push(Instr::MovImm {
+        rd: Reg::R15,
+        imm: iterations,
+    });
+    pb.push(Instr::MovImm {
+        rd: Reg::R10,
+        imm: SRC,
+    });
+    pb.push(Instr::MovImm {
+        rd: Reg::R11,
+        imm: RESULT,
+    });
+    pb.push(Instr::MovImm {
+        rd: Reg::R12,
+        imm: POLY,
+    });
+    pb.push(Instr::MovImm {
+        rd: Reg::R13,
+        imm: 1,
+    }); // bit mask constant
+
+    let outer = pb.new_label();
+    let done = pb.new_label();
+    pb.bind(outer)?;
+    pb.branch_ge(Reg::R14, Reg::R15, done);
+
+    // crc = 0xFFFFFFFF
+    pb.push(Instr::MovImm {
+        rd: Reg::R9,
+        imm: 0xFFFF_FFFF,
+    });
+
+    // for (j = 0; j < 16; j++)
+    pb.push(Instr::MovImm {
+        rd: Reg::R1,
+        imm: 0,
+    });
+    pb.push(Instr::MovImm {
+        rd: Reg::R2,
+        imm: MSG_LEN,
+    });
+    let byte_loop = pb.new_label();
+    pb.bind(byte_loop)?;
+    pb.push(Instr::Add {
+        rd: Reg::R3,
+        ra: Reg::R10,
+        rb: Reg::R1,
+    });
+    pb.push(Instr::LoadByte {
+        rd: Reg::R4,
+        ra: Reg::R3,
+        offset: 0,
+    });
+    pb.push(Instr::Xor {
+        rd: Reg::R9,
+        ra: Reg::R9,
+        rb: Reg::R4,
+    });
+
+    // for (k = 0; k < 8; k++)
+    pb.push(Instr::MovImm {
+        rd: Reg::R5,
+        imm: 0,
+    });
+    pb.push(Instr::MovImm {
+        rd: Reg::R6,
+        imm: 8,
+    });
+    let bit_loop = pb.new_label();
+    let no_xor = pb.new_label();
+    let bit_next = pb.new_label();
+    pb.bind(bit_loop)?;
+    // if (crc & 1) { crc = (crc >> 1) ^ POLY } else { crc >>= 1 }
+    pb.push(Instr::And {
+        rd: Reg::R7,
+        ra: Reg::R9,
+        rb: Reg::R13,
+    });
+    pb.push(Instr::ShrImm {
+        rd: Reg::R9,
+        ra: Reg::R9,
+        amount: 1,
+    });
+    pb.push(Instr::MovImm {
+        rd: Reg::R8,
+        imm: 0,
+    });
+    pb.branch_eq(Reg::R7, Reg::R8, no_xor);
+    pb.push(Instr::Xor {
+        rd: Reg::R9,
+        ra: Reg::R9,
+        rb: Reg::R12,
+    });
+    pb.bind(no_xor)?;
+    pb.bind(bit_next)?;
+    pb.push(Instr::AddImm {
+        rd: Reg::R5,
+        ra: Reg::R5,
+        imm: 1,
+    });
+    pb.branch_lt(Reg::R5, Reg::R6, bit_loop);
+
+    pb.push(Instr::AddImm {
+        rd: Reg::R1,
+        ra: Reg::R1,
+        imm: 1,
+    });
+    pb.branch_lt(Reg::R1, Reg::R2, byte_loop);
+
+    // crc = ~crc (via XOR with all-ones), store it.
+    pb.push(Instr::MovImm {
+        rd: Reg::R3,
+        imm: 0xFFFF_FFFF,
+    });
+    pb.push(Instr::Xor {
+        rd: Reg::R9,
+        ra: Reg::R9,
+        rb: Reg::R3,
+    });
+    pb.push(Instr::StoreWord {
+        rs: Reg::R9,
+        ra: Reg::R11,
+        offset: 0,
+    });
+
+    pb.push(Instr::AddImm {
+        rd: Reg::R14,
+        ra: Reg::R14,
+        imm: 1,
+    });
+    pb.jump(outer);
+    pb.bind(done)?;
+    pb.push(Instr::Halt);
+    pb.finish()
+}
+
+/// Initialises the message buffer.
+///
+/// # Errors
+///
+/// Returns [`SocError::MemoryOutOfBounds`] when `mem` is smaller than
+/// [`CRC_MEMORY_BYTES`].
+pub fn init_crc_memory(mem: &mut Memory) -> Result<(), SocError> {
+    mem.load_bytes(SRC, b"CLOCKMARK CRC32\0")
+}
+
+/// The reference CRC-32 (reflected, init 0xFFFFFFFF, final XOR) of a byte
+/// message — for validating the in-ISA implementation.
+pub fn reference_crc32(message: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in message {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cpu;
+
+    #[test]
+    fn in_isa_crc_matches_the_reference_implementation() {
+        let program = crc32_like(1).expect("builds");
+        let mut cpu = Cpu::new(program);
+        let mut mem = Memory::new(CRC_MEMORY_BYTES);
+        init_crc_memory(&mut mem).expect("fits");
+        cpu.run_to_halt(&mut mem, 1_000_000).expect("runs");
+
+        let expected = reference_crc32(b"CLOCKMARK CRC32\0");
+        let stored = mem.read_u32(RESULT).expect("in range");
+        assert_eq!(stored, expected, "{stored:#010x} vs {expected:#010x}");
+    }
+
+    #[test]
+    fn reference_crc_known_vector() {
+        // The canonical CRC-32 check value.
+        assert_eq!(reference_crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(reference_crc32(b""), 0);
+    }
+
+    #[test]
+    fn iterations_recompute_the_same_crc() {
+        let program = crc32_like(3).expect("builds");
+        let mut cpu = Cpu::new(program);
+        let mut mem = Memory::new(CRC_MEMORY_BYTES);
+        init_crc_memory(&mut mem).expect("fits");
+        cpu.run_to_halt(&mut mem, 10_000_000).expect("runs");
+        assert_eq!(
+            mem.read_u32(RESULT).expect("in range"),
+            reference_crc32(b"CLOCKMARK CRC32\0")
+        );
+        assert!(cpu.is_halted());
+    }
+
+    #[test]
+    fn crc_is_alu_heavy_compared_to_dhrystone() {
+        use crate::{dhrystone_like, init_dhrystone_memory, CpuStepOutcome};
+
+        let profile = |program: crate::Program, init: fn(&mut Memory) -> Result<(), SocError>| {
+            let mut cpu = Cpu::new(program);
+            let mut mem = Memory::new(256);
+            init(&mut mem).expect("fits");
+            let (mut alu, mut memops, mut cycles) = (0u64, 0u64, 0u64);
+            while let CpuStepOutcome::Executed(act) = cpu.step(&mut mem).expect("runs") {
+                alu += act.alu_ops as u64;
+                memops += (act.mem_reads + act.mem_writes) as u64;
+                cycles += act.cycles as u64;
+            }
+            (alu as f64 / cycles as f64, memops as f64 / cycles as f64)
+        };
+
+        let (crc_alu, crc_mem) = profile(crc32_like(4).expect("builds"), init_crc_memory);
+        let (dhry_alu, dhry_mem) =
+            profile(dhrystone_like(4).expect("builds"), init_dhrystone_memory);
+        assert!(
+            crc_alu > dhry_alu,
+            "crc alu {crc_alu:.2} vs dhrystone {dhry_alu:.2}"
+        );
+        assert!(
+            crc_mem < dhry_mem,
+            "crc mem {crc_mem:.2} vs dhrystone {dhry_mem:.2}"
+        );
+    }
+}

@@ -1,0 +1,383 @@
+//! A synthetic Dhrystone-like benchmark.
+//!
+//! Dhrystone "reflects the activities of the integer IP processor core,
+//! such as integer arithmetic, string operations, logic decisions and
+//! memory accesses in a general computing application" (the paper, quoting
+//! ARM's benchmarking white paper). This module builds a program for the
+//! in-house ISA exercising exactly those four activity classes per
+//! iteration, so the background power it produces has the same *texture*
+//! (bursty memory phases, branchy logic phases, steady arithmetic phases)
+//! as the workload the silicon experiments ran.
+
+use crate::{Instr, Memory, Program, ProgramBuilder, Reg, SocError};
+
+/// Base address of the 16-byte source string.
+const SRC: u32 = 0;
+/// Base address of the 16-byte destination string.
+const DST: u32 = 32;
+/// Base address of the 16-entry word array.
+const ARRAY: u32 = 64;
+/// Length of the strings, in bytes.
+const STR_LEN: u32 = 16;
+
+/// Minimum memory size the benchmark needs.
+pub const DHRYSTONE_MEMORY_BYTES: usize = 192;
+
+/// Builds the benchmark program.
+///
+/// Each iteration performs, in order:
+///
+/// 1. **string copy** — 16 bytes from `SRC` to `DST` (byte loads/stores),
+/// 2. **string compare** — the two buffers, with an early-out branch,
+/// 3. **integer arithmetic** — a multiply-accumulate chain,
+/// 4. **logic decisions** — parity tests steering two branches,
+/// 5. **array access** — read-modify-write of a word indexed by the
+///    iteration counter.
+///
+/// With `iterations = 0` the program still runs its setup and halts.
+/// Register conventions: `r14` holds the iteration counter, `r15` the
+/// iteration bound; `r0`–`r9` are scratch.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` propagates builder invariants.
+pub fn dhrystone_like(iterations: u32) -> Result<Program, SocError> {
+    let mut pb = ProgramBuilder::new();
+    let r = Reg::R0; // scratch naming below keeps the listing readable
+
+    // -- setup -----------------------------------------------------------
+    pb.push(Instr::MovImm {
+        rd: Reg::R14,
+        imm: 0,
+    }); // iteration counter
+    pb.push(Instr::MovImm {
+        rd: Reg::R15,
+        imm: iterations,
+    });
+    pb.push(Instr::MovImm {
+        rd: Reg::R10,
+        imm: SRC,
+    });
+    pb.push(Instr::MovImm {
+        rd: Reg::R11,
+        imm: DST,
+    });
+    pb.push(Instr::MovImm {
+        rd: Reg::R12,
+        imm: ARRAY,
+    });
+    pb.push(Instr::MovImm {
+        rd: Reg::R9,
+        imm: 0,
+    }); // checksum accumulator
+
+    let outer = pb.new_label();
+    let done = pb.new_label();
+    pb.bind(outer)?;
+    // for (i = 0; i < iterations; ...)
+    pb.branch_ge(Reg::R14, Reg::R15, done);
+
+    // -- 1. string copy ----------------------------------------------------
+    // for (j = 0; j < 16; j++) dst[j] = src[j];
+    pb.push(Instr::MovImm {
+        rd: Reg::R1,
+        imm: 0,
+    });
+    pb.push(Instr::MovImm {
+        rd: Reg::R2,
+        imm: STR_LEN,
+    });
+    let copy_top = pb.new_label();
+    pb.bind(copy_top)?;
+    pb.push(Instr::Add {
+        rd: Reg::R3,
+        ra: Reg::R10,
+        rb: Reg::R1,
+    });
+    pb.push(Instr::LoadByte {
+        rd: Reg::R4,
+        ra: Reg::R3,
+        offset: 0,
+    });
+    pb.push(Instr::Add {
+        rd: Reg::R3,
+        ra: Reg::R11,
+        rb: Reg::R1,
+    });
+    pb.push(Instr::StoreByte {
+        rs: Reg::R4,
+        ra: Reg::R3,
+        offset: 0,
+    });
+    pb.push(Instr::AddImm {
+        rd: Reg::R1,
+        ra: Reg::R1,
+        imm: 1,
+    });
+    pb.branch_lt(Reg::R1, Reg::R2, copy_top);
+
+    // -- 2. string compare --------------------------------------------------
+    // Walk both buffers; r5 accumulates XOR of differences (0 = equal).
+    pb.push(Instr::MovImm {
+        rd: Reg::R1,
+        imm: 0,
+    });
+    pb.push(Instr::MovImm {
+        rd: Reg::R5,
+        imm: 0,
+    });
+    let cmp_top = pb.new_label();
+    let cmp_done = pb.new_label();
+    pb.bind(cmp_top)?;
+    pb.push(Instr::Add {
+        rd: Reg::R3,
+        ra: Reg::R10,
+        rb: Reg::R1,
+    });
+    pb.push(Instr::LoadByte {
+        rd: Reg::R4,
+        ra: Reg::R3,
+        offset: 0,
+    });
+    pb.push(Instr::Add {
+        rd: Reg::R3,
+        ra: Reg::R11,
+        rb: Reg::R1,
+    });
+    pb.push(Instr::LoadByte {
+        rd: Reg::R6,
+        ra: Reg::R3,
+        offset: 0,
+    });
+    pb.push(Instr::Xor {
+        rd: Reg::R7,
+        ra: Reg::R4,
+        rb: Reg::R6,
+    });
+    pb.push(Instr::Or {
+        rd: Reg::R5,
+        ra: Reg::R5,
+        rb: Reg::R7,
+    });
+    // Early out on mismatch (never taken after the copy, but the branch is
+    // part of the workload shape).
+    pb.push(Instr::MovImm {
+        rd: Reg::R8,
+        imm: 0,
+    });
+    pb.branch_ne(Reg::R5, Reg::R8, cmp_done);
+    pb.push(Instr::AddImm {
+        rd: Reg::R1,
+        ra: Reg::R1,
+        imm: 1,
+    });
+    pb.branch_lt(Reg::R1, Reg::R2, cmp_top);
+    pb.bind(cmp_done)?;
+
+    // -- 3. integer arithmetic ----------------------------------------------
+    // checksum = checksum * 31 + i  (and a sub/shift to vary the mix)
+    pb.push(Instr::MovImm {
+        rd: Reg::R1,
+        imm: 31,
+    });
+    pb.push(Instr::Mul {
+        rd: Reg::R9,
+        ra: Reg::R9,
+        rb: Reg::R1,
+    });
+    pb.push(Instr::Add {
+        rd: Reg::R9,
+        ra: Reg::R9,
+        rb: Reg::R14,
+    });
+    pb.push(Instr::ShrImm {
+        rd: Reg::R3,
+        ra: Reg::R9,
+        amount: 7,
+    });
+    pb.push(Instr::Sub {
+        rd: Reg::R9,
+        ra: Reg::R9,
+        rb: Reg::R3,
+    });
+
+    // -- 4. logic decisions ---------------------------------------------------
+    // if (i & 1) checksum += 3; else checksum ^= 0x55;
+    pb.push(Instr::MovImm {
+        rd: Reg::R1,
+        imm: 1,
+    });
+    pb.push(Instr::And {
+        rd: Reg::R2,
+        ra: Reg::R14,
+        rb: Reg::R1,
+    });
+    let odd = pb.new_label();
+    let after_logic = pb.new_label();
+    pb.branch_eq(Reg::R2, Reg::R1, odd);
+    pb.push(Instr::MovImm {
+        rd: Reg::R3,
+        imm: 0x55,
+    });
+    pb.push(Instr::Xor {
+        rd: Reg::R9,
+        ra: Reg::R9,
+        rb: Reg::R3,
+    });
+    pb.jump(after_logic);
+    pb.bind(odd)?;
+    pb.push(Instr::AddImm {
+        rd: Reg::R9,
+        ra: Reg::R9,
+        imm: 3,
+    });
+    pb.bind(after_logic)?;
+
+    // -- 5. array access --------------------------------------------------------
+    // array[i % 16] = array[i % 16] + checksum;
+    pb.push(Instr::MovImm {
+        rd: Reg::R1,
+        imm: 15,
+    });
+    pb.push(Instr::And {
+        rd: Reg::R2,
+        ra: Reg::R14,
+        rb: Reg::R1,
+    });
+    pb.push(Instr::ShlImm {
+        rd: Reg::R2,
+        ra: Reg::R2,
+        amount: 2,
+    });
+    pb.push(Instr::Add {
+        rd: Reg::R3,
+        ra: Reg::R12,
+        rb: Reg::R2,
+    });
+    pb.push(Instr::LoadWord {
+        rd: Reg::R4,
+        ra: Reg::R3,
+        offset: 0,
+    });
+    pb.push(Instr::Add {
+        rd: Reg::R4,
+        ra: Reg::R4,
+        rb: Reg::R9,
+    });
+    pb.push(Instr::StoreWord {
+        rs: Reg::R4,
+        ra: Reg::R3,
+        offset: 0,
+    });
+
+    // -- loop back -----------------------------------------------------------
+    pb.push(Instr::AddImm {
+        rd: Reg::R14,
+        ra: Reg::R14,
+        imm: 1,
+    });
+    pb.jump(outer);
+    pb.bind(done)?;
+    pb.push(Instr::Halt);
+
+    let _ = r;
+    pb.finish()
+}
+
+/// Initialises data memory for the benchmark (the source string).
+///
+/// # Errors
+///
+/// Returns [`SocError::MemoryOutOfBounds`] when `mem` is smaller than
+/// [`DHRYSTONE_MEMORY_BYTES`].
+pub fn init_dhrystone_memory(mem: &mut Memory) -> Result<(), SocError> {
+    mem.load_bytes(SRC, b"DHRYSTONE BENCH\0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cpu, CpuStepOutcome};
+
+    fn run_iterations(iterations: u32) -> (Cpu, Memory, u64) {
+        let program = dhrystone_like(iterations).expect("builds");
+        let mut cpu = Cpu::new(program);
+        let mut mem = Memory::new(DHRYSTONE_MEMORY_BYTES);
+        init_dhrystone_memory(&mut mem).expect("fits");
+        let cycles = cpu.run_to_halt(&mut mem, 10_000_000).expect("runs");
+        (cpu, mem, cycles)
+    }
+
+    #[test]
+    fn zero_iterations_halts_immediately() {
+        let (cpu, _, cycles) = run_iterations(0);
+        assert!(cpu.is_halted());
+        assert!(cycles < 20);
+    }
+
+    #[test]
+    fn string_copy_moves_the_source() {
+        let (_, mem, _) = run_iterations(1);
+        for j in 0..STR_LEN {
+            assert_eq!(
+                mem.read_u8(DST + j).expect("in range"),
+                mem.read_u8(SRC + j).expect("in range"),
+                "byte {j} copied"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_is_deterministic_and_iteration_dependent() {
+        let (cpu1, _, _) = run_iterations(5);
+        let (cpu2, _, _) = run_iterations(5);
+        let (cpu3, _, _) = run_iterations(6);
+        assert_eq!(cpu1.reg(Reg::R9), cpu2.reg(Reg::R9));
+        assert_ne!(cpu1.reg(Reg::R9), cpu3.reg(Reg::R9));
+    }
+
+    #[test]
+    fn cycles_scale_linearly_with_iterations() {
+        let (_, _, c10) = run_iterations(10);
+        let (_, _, c20) = run_iterations(20);
+        let (_, _, c30) = run_iterations(30);
+        // Steady periodic activity: equal increments per 10 iterations.
+        assert_eq!(c30 - c20, c20 - c10);
+        let per_iter = (c20 - c10) as f64 / 10.0;
+        assert!(per_iter > 100.0, "an iteration is a nontrivial workload");
+    }
+
+    #[test]
+    fn workload_mixes_all_activity_classes() {
+        let program = dhrystone_like(3).expect("builds");
+        let mut cpu = Cpu::new(program);
+        let mut mem = Memory::new(DHRYSTONE_MEMORY_BYTES);
+        init_dhrystone_memory(&mut mem).expect("fits");
+
+        let mut total = crate::InstrActivity::default();
+        let mut branches = 0u32;
+        while let CpuStepOutcome::Executed(act) = cpu.step(&mut mem).expect("runs") {
+            total.alu_ops += act.alu_ops;
+            total.mem_reads += act.mem_reads;
+            total.mem_writes += act.mem_writes;
+            total.reg_writes += act.reg_writes;
+            branches += act.branch_taken as u32;
+        }
+        assert!(total.alu_ops > 50, "integer arithmetic present");
+        assert!(total.mem_reads > 30, "loads present");
+        assert!(total.mem_writes > 20, "stores present");
+        assert!(branches > 20, "logic decisions present");
+    }
+
+    #[test]
+    fn array_accumulates_across_iterations() {
+        let (_, mem, _) = run_iterations(16);
+        let mut nonzero = 0;
+        for k in 0..16 {
+            if mem.read_u32(ARRAY + 4 * k).expect("in range") != 0 {
+                nonzero += 1;
+            }
+        }
+        assert_eq!(nonzero, 16, "every array slot was touched once");
+    }
+}

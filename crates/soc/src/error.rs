@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the SoC simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SocError {
+    /// A program label was referenced by a branch but never bound to an
+    /// instruction position.
+    UnboundLabel {
+        /// Index of the unbound label.
+        label: usize,
+    },
+    /// A label was bound twice.
+    LabelRebound {
+        /// Index of the rebound label.
+        label: usize,
+    },
+    /// A memory access fell outside the configured address space.
+    MemoryOutOfBounds {
+        /// The faulting byte address.
+        addr: u32,
+        /// The memory size in bytes.
+        size: usize,
+    },
+    /// The program counter left the program (no `Halt` executed).
+    PcOutOfBounds {
+        /// The faulting instruction index.
+        pc: u32,
+        /// The number of instructions in the program.
+        len: usize,
+    },
+    /// An empty program cannot run.
+    EmptyProgram,
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::UnboundLabel { label } => {
+                write!(f, "label {label} was referenced but never bound")
+            }
+            SocError::LabelRebound { label } => write!(f, "label {label} was bound twice"),
+            SocError::MemoryOutOfBounds { addr, size } => {
+                write!(
+                    f,
+                    "memory access at {addr:#x} outside {size}-byte address space"
+                )
+            }
+            SocError::PcOutOfBounds { pc, len } => {
+                write!(f, "program counter {pc} outside {len}-instruction program")
+            }
+            SocError::EmptyProgram => write!(f, "cannot run an empty program"),
+        }
+    }
+}
+
+impl Error for SocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let msg = SocError::MemoryOutOfBounds {
+            addr: 0x100,
+            size: 64,
+        }
+        .to_string();
+        assert!(msg.contains("0x100") && msg.contains("64"));
+        assert!(SocError::EmptyProgram.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SocError>();
+    }
+}

@@ -1,0 +1,225 @@
+use std::fmt;
+
+/// One of the sixteen general-purpose registers `r0`..`r15`.
+///
+/// ```
+/// use clockmark_soc::Reg;
+///
+/// assert_eq!(Reg::R3.index(), 3);
+/// assert_eq!(Reg::new(15), Some(Reg::R15));
+/// assert_eq!(Reg::new(16), None);
+/// assert_eq!(Reg::R7.to_string(), "r7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 16;
+
+    /// Creates a register from its index, if within `0..16`.
+    pub fn new(index: u8) -> Option<Reg> {
+        (index < Self::COUNT as u8).then_some(Reg(index))
+    }
+
+    /// The register's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+macro_rules! reg_consts {
+    ($($name:ident = $idx:literal),* $(,)?) => {
+        impl Reg {
+            $(
+                #[doc = concat!("Register r", stringify!($idx), ".")]
+                pub const $name: Reg = Reg($idx);
+            )*
+        }
+    };
+}
+
+reg_consts!(
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One instruction of the small RISC ISA.
+///
+/// The ISA is deliberately minimal but covers every activity class the
+/// Dhrystone benchmark exercises: integer arithmetic, logical operations,
+/// shifts, byte and word memory accesses, compares-and-branches and
+/// unconditional jumps. Branch targets are absolute instruction indices
+/// (resolved from labels by [`ProgramBuilder`](crate::ProgramBuilder)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // Field meanings follow the standard 3-operand form.
+pub enum Instr {
+    /// No operation (one cycle).
+    Nop,
+    /// Stops execution.
+    Halt,
+    /// `rd ← imm`.
+    MovImm { rd: Reg, imm: u32 },
+    /// `rd ← ra + rb` (wrapping).
+    Add { rd: Reg, ra: Reg, rb: Reg },
+    /// `rd ← ra − rb` (wrapping).
+    Sub { rd: Reg, ra: Reg, rb: Reg },
+    /// `rd ← ra + imm` (wrapping, sign-extended immediate).
+    AddImm { rd: Reg, ra: Reg, imm: i32 },
+    /// `rd ← ra & rb`.
+    And { rd: Reg, ra: Reg, rb: Reg },
+    /// `rd ← ra | rb`.
+    Or { rd: Reg, ra: Reg, rb: Reg },
+    /// `rd ← ra ^ rb`.
+    Xor { rd: Reg, ra: Reg, rb: Reg },
+    /// `rd ← ra << amount` (amount masked to 0..32).
+    ShlImm { rd: Reg, ra: Reg, amount: u8 },
+    /// `rd ← ra >> amount` (logical, amount masked to 0..32).
+    ShrImm { rd: Reg, ra: Reg, amount: u8 },
+    /// `rd ← ra × rb` (wrapping; three cycles like a small multiplier).
+    Mul { rd: Reg, ra: Reg, rb: Reg },
+    /// `rd ← mem32[ra + offset]` (two cycles).
+    LoadWord { rd: Reg, ra: Reg, offset: i32 },
+    /// `mem32[ra + offset] ← rs` (two cycles).
+    StoreWord { rs: Reg, ra: Reg, offset: i32 },
+    /// `rd ← zero-extended mem8[ra + offset]` (two cycles).
+    LoadByte { rd: Reg, ra: Reg, offset: i32 },
+    /// `mem8[ra + offset] ← rs & 0xFF` (two cycles).
+    StoreByte { rs: Reg, ra: Reg, offset: i32 },
+    /// Branch to `target` when `ra == rb` (two cycles taken, one not).
+    Beq { ra: Reg, rb: Reg, target: u32 },
+    /// Branch to `target` when `ra != rb`.
+    Bne { ra: Reg, rb: Reg, target: u32 },
+    /// Branch to `target` when `ra < rb` (unsigned).
+    Blt { ra: Reg, rb: Reg, target: u32 },
+    /// Branch to `target` when `ra >= rb` (unsigned).
+    Bge { ra: Reg, rb: Reg, target: u32 },
+    /// Unconditional jump to `target` (two cycles).
+    Jump { target: u32 },
+}
+
+impl Instr {
+    /// Whether this instruction can redirect control flow.
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Instr::Beq { .. }
+                | Instr::Bne { .. }
+                | Instr::Blt { .. }
+                | Instr::Bge { .. }
+                | Instr::Jump { .. }
+        )
+    }
+
+    /// Whether this instruction touches data memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::LoadWord { .. }
+                | Instr::StoreWord { .. }
+                | Instr::LoadByte { .. }
+                | Instr::StoreByte { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::MovImm { rd, imm } => write!(f, "mov {rd}, #{imm}"),
+            Instr::Add { rd, ra, rb } => write!(f, "add {rd}, {ra}, {rb}"),
+            Instr::Sub { rd, ra, rb } => write!(f, "sub {rd}, {ra}, {rb}"),
+            Instr::AddImm { rd, ra, imm } => write!(f, "add {rd}, {ra}, #{imm}"),
+            Instr::And { rd, ra, rb } => write!(f, "and {rd}, {ra}, {rb}"),
+            Instr::Or { rd, ra, rb } => write!(f, "or {rd}, {ra}, {rb}"),
+            Instr::Xor { rd, ra, rb } => write!(f, "xor {rd}, {ra}, {rb}"),
+            Instr::ShlImm { rd, ra, amount } => write!(f, "shl {rd}, {ra}, #{amount}"),
+            Instr::ShrImm { rd, ra, amount } => write!(f, "shr {rd}, {ra}, #{amount}"),
+            Instr::Mul { rd, ra, rb } => write!(f, "mul {rd}, {ra}, {rb}"),
+            Instr::LoadWord { rd, ra, offset } => write!(f, "ldr {rd}, [{ra}, #{offset}]"),
+            Instr::StoreWord { rs, ra, offset } => write!(f, "str {rs}, [{ra}, #{offset}]"),
+            Instr::LoadByte { rd, ra, offset } => write!(f, "ldrb {rd}, [{ra}, #{offset}]"),
+            Instr::StoreByte { rs, ra, offset } => write!(f, "strb {rs}, [{ra}, #{offset}]"),
+            Instr::Beq { ra, rb, target } => write!(f, "beq {ra}, {rb}, @{target}"),
+            Instr::Bne { ra, rb, target } => write!(f, "bne {ra}, {rb}, @{target}"),
+            Instr::Blt { ra, rb, target } => write!(f, "blt {ra}, {rb}, @{target}"),
+            Instr::Bge { ra, rb, target } => write!(f, "bge {ra}, {rb}, @{target}"),
+            Instr::Jump { target } => write!(f, "jmp @{target}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_bounds() {
+        assert_eq!(Reg::new(0), Some(Reg::R0));
+        assert_eq!(Reg::new(15), Some(Reg::R15));
+        assert_eq!(Reg::new(16), None);
+        assert_eq!(Reg::new(255), None);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Instr::Jump { target: 0 }.is_branch());
+        assert!(Instr::Beq {
+            ra: Reg::R0,
+            rb: Reg::R1,
+            target: 0
+        }
+        .is_branch());
+        assert!(!Instr::Nop.is_branch());
+        assert!(Instr::LoadByte {
+            rd: Reg::R0,
+            ra: Reg::R1,
+            offset: 0
+        }
+        .is_memory());
+        assert!(!Instr::Add {
+            rd: Reg::R0,
+            ra: Reg::R0,
+            rb: Reg::R0
+        }
+        .is_memory());
+    }
+
+    #[test]
+    fn display_is_assembly_like() {
+        let i = Instr::AddImm {
+            rd: Reg::R2,
+            ra: Reg::R3,
+            imm: -4,
+        };
+        assert_eq!(i.to_string(), "add r2, r3, #-4");
+        let b = Instr::Bne {
+            ra: Reg::R0,
+            rb: Reg::R1,
+            target: 12,
+        };
+        assert_eq!(b.to_string(), "bne r0, r1, @12");
+    }
+}

@@ -1,0 +1,57 @@
+//! A small embedded-SoC simulator producing realistic background power.
+//!
+//! The paper detects its watermark while an ARM Cortex-M0 runs the
+//! Dhrystone benchmark — integer arithmetic, string operations, logic
+//! decisions and memory accesses — so the background power the CPA detector
+//! has to see through is *structured program activity*, not white noise.
+//! This crate provides that substrate:
+//!
+//! - a small RISC ISA ([`Instr`], [`Cpu`], [`Memory`]) with per-instruction
+//!   cycle costs and switching-activity accounting,
+//! - a label-resolving [`ProgramBuilder`] and a synthetic
+//!   [`dhrystone_like`] benchmark exercising the same activity classes as
+//!   Dhrystone,
+//! - a direct-mapped [`Cache`] model for the chip-II configuration, and
+//! - two SoC configurations matching the paper's test chips:
+//!   [`Soc::chip_i`] (Cortex-M0-class SoC) and [`Soc::chip_ii`]
+//!   (adds a dual Cortex-A5-class subsystem with active clocks and caches,
+//!   contributing "a significant portion of background noise").
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), clockmark_soc::SocError> {
+//! use clockmark_soc::Soc;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut soc = Soc::chip_i()?;
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let background = soc.run(10_000, &mut rng)?;
+//! assert_eq!(background.len(), 10_000);
+//! // A few milliwatts of structured activity.
+//! assert!(background.mean().milliwatts() > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod cpu;
+mod crc;
+mod dhrystone;
+mod error;
+mod isa;
+mod program;
+mod soc;
+
+pub use cache::{Cache, CacheStats};
+pub use cpu::{Cpu, CpuStepOutcome, InstrActivity, Memory};
+pub use crc::{crc32_like, init_crc_memory, reference_crc32, CRC_MEMORY_BYTES};
+pub use dhrystone::{dhrystone_like, init_dhrystone_memory, DHRYSTONE_MEMORY_BYTES};
+pub use error::SocError;
+pub use isa::{Instr, Reg};
+pub use program::{Label, Program, ProgramBuilder};
+pub use soc::{CpuPowerProfile, Soc, Workload};

@@ -1,0 +1,230 @@
+use crate::{Instr, Reg, SocError};
+
+/// A forward-referenceable position in a program under construction.
+///
+/// Created by [`ProgramBuilder::new_label`], bound to the next instruction
+/// position by [`ProgramBuilder::bind`], and referenced by the branch
+/// helpers. All references are patched when [`ProgramBuilder::finish`]
+/// resolves the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// A finished, label-resolved instruction sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// The instructions in execution order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Formats the program as an assembly listing.
+    pub fn listing(&self) -> String {
+        self.instrs
+            .iter()
+            .enumerate()
+            .map(|(i, instr)| format!("{i:4}: {instr}\n"))
+            .collect()
+    }
+}
+
+/// Builds a [`Program`] with label-based control flow.
+///
+/// ```
+/// # fn main() -> Result<(), clockmark_soc::SocError> {
+/// use clockmark_soc::{Instr, ProgramBuilder, Reg};
+///
+/// // Count r0 from 0 to 10.
+/// let mut pb = ProgramBuilder::new();
+/// pb.push(Instr::MovImm { rd: Reg::R0, imm: 0 });
+/// pb.push(Instr::MovImm { rd: Reg::R1, imm: 10 });
+/// let top = pb.new_label();
+/// pb.bind(top)?;
+/// pb.push(Instr::AddImm { rd: Reg::R0, ra: Reg::R0, imm: 1 });
+/// pb.branch_ne(Reg::R0, Reg::R1, top);
+/// pb.push(Instr::Halt);
+/// let program = pb.finish()?;
+/// assert_eq!(program.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+    /// `(instruction index, label)` pairs to patch at finish.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an instruction and returns its index.
+    pub fn push(&mut self, instr: Instr) -> usize {
+        self.instrs.push(instr);
+        self.instrs.len() - 1
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds a label to the position of the *next* pushed instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::LabelRebound`] when the label is already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), SocError> {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            return Err(SocError::LabelRebound { label: label.0 });
+        }
+        *slot = Some(self.instrs.len() as u32);
+        Ok(())
+    }
+
+    fn push_fixup(&mut self, instr: Instr, label: Label) {
+        let idx = self.push(instr);
+        self.fixups.push((idx, label));
+    }
+
+    /// Pushes `beq ra, rb, label`.
+    pub fn branch_eq(&mut self, ra: Reg, rb: Reg, label: Label) {
+        self.push_fixup(Instr::Beq { ra, rb, target: 0 }, label);
+    }
+
+    /// Pushes `bne ra, rb, label`.
+    pub fn branch_ne(&mut self, ra: Reg, rb: Reg, label: Label) {
+        self.push_fixup(Instr::Bne { ra, rb, target: 0 }, label);
+    }
+
+    /// Pushes `blt ra, rb, label` (unsigned).
+    pub fn branch_lt(&mut self, ra: Reg, rb: Reg, label: Label) {
+        self.push_fixup(Instr::Blt { ra, rb, target: 0 }, label);
+    }
+
+    /// Pushes `bge ra, rb, label` (unsigned).
+    pub fn branch_ge(&mut self, ra: Reg, rb: Reg, label: Label) {
+        self.push_fixup(Instr::Bge { ra, rb, target: 0 }, label);
+    }
+
+    /// Pushes `jmp label`.
+    pub fn jump(&mut self, label: Label) {
+        self.push_fixup(Instr::Jump { target: 0 }, label);
+    }
+
+    /// Resolves all labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::UnboundLabel`] when a referenced label was never
+    /// bound, and [`SocError::EmptyProgram`] for an instruction-less
+    /// program.
+    pub fn finish(mut self) -> Result<Program, SocError> {
+        if self.instrs.is_empty() {
+            return Err(SocError::EmptyProgram);
+        }
+        for (idx, label) in self.fixups {
+            let target = self.labels[label.0].ok_or(SocError::UnboundLabel { label: label.0 })?;
+            match &mut self.instrs[idx] {
+                Instr::Beq { target: t, .. }
+                | Instr::Bne { target: t, .. }
+                | Instr::Blt { target: t, .. }
+                | Instr::Bge { target: t, .. }
+                | Instr::Jump { target: t } => *t = target,
+                other => unreachable!("fixup on non-branch instruction {other}"),
+            }
+        }
+        Ok(Program {
+            instrs: self.instrs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_references_are_patched() {
+        let mut pb = ProgramBuilder::new();
+        let end = pb.new_label();
+        pb.jump(end);
+        pb.push(Instr::Nop);
+        pb.bind(end).expect("fresh label");
+        pb.push(Instr::Halt);
+        let p = pb.finish().expect("resolvable");
+        assert_eq!(p.instrs()[0], Instr::Jump { target: 2 });
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let nowhere = pb.new_label();
+        pb.jump(nowhere);
+        assert_eq!(
+            pb.finish().unwrap_err(),
+            SocError::UnboundLabel { label: 0 }
+        );
+    }
+
+    #[test]
+    fn rebinding_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let l = pb.new_label();
+        pb.bind(l).expect("first bind");
+        assert_eq!(pb.bind(l).unwrap_err(), SocError::LabelRebound { label: 0 });
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert_eq!(
+            ProgramBuilder::new().finish().unwrap_err(),
+            SocError::EmptyProgram
+        );
+    }
+
+    #[test]
+    fn listing_shows_indices_and_mnemonics() {
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::Nop);
+        pb.push(Instr::Halt);
+        let listing = pb.finish().expect("non-empty").listing();
+        assert!(listing.contains("0: nop"));
+        assert!(listing.contains("1: halt"));
+    }
+
+    #[test]
+    fn all_branch_helpers_resolve() {
+        let mut pb = ProgramBuilder::new();
+        let top = pb.new_label();
+        pb.bind(top).expect("fresh");
+        pb.branch_eq(Reg::R0, Reg::R1, top);
+        pb.branch_ne(Reg::R0, Reg::R1, top);
+        pb.branch_lt(Reg::R0, Reg::R1, top);
+        pb.branch_ge(Reg::R0, Reg::R1, top);
+        pb.push(Instr::Halt);
+        let p = pb.finish().expect("resolvable");
+        for instr in &p.instrs()[..4] {
+            assert!(instr.is_branch());
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! A minimal flag parser for the tool suite (no external dependency).
+
+use crate::ToolError;
+
+/// Parsed command-line arguments: positionals plus `--flag value` /
+/// `--flag` pairs, consumed destructively so leftovers can be diagnosed.
+///
+/// ```
+/// use clockmark_tools::args::Args;
+///
+/// let mut args = Args::new(vec![
+///     "design.cmn".into(),
+///     "--cycles".into(),
+///     "500".into(),
+///     "--verbose".into(),
+/// ]);
+/// assert_eq!(args.positional("file").unwrap(), "design.cmn");
+/// assert_eq!(args.value_of("--cycles").unwrap(), Some("500".into()));
+/// assert!(args.flag("--verbose"));
+/// assert!(args.finish().is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    tokens: Vec<Option<String>>,
+}
+
+impl Args {
+    /// Wraps raw arguments (without the program / subcommand names).
+    pub fn new(tokens: Vec<String>) -> Self {
+        Args {
+            tokens: tokens.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// Takes the next unconsumed positional (non-`--`) argument.
+    ///
+    /// A token immediately following a still-unconsumed `--flag` is assumed
+    /// to be that flag's value and is skipped, so `--out x.cmn in.cmn`
+    /// yields `in.cmn` regardless of consumption order. (Boolean flags
+    /// should therefore be placed after positionals on the command line.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Usage`] naming `what` when none remains.
+    pub fn positional(&mut self, what: &str) -> Result<String, ToolError> {
+        for i in 0..self.tokens.len() {
+            let Some(tok) = self.tokens[i].as_deref() else {
+                continue;
+            };
+            if tok.starts_with("--") {
+                continue;
+            }
+            let follows_flag = i > 0
+                && self.tokens[i - 1]
+                    .as_deref()
+                    .is_some_and(|prev| prev.starts_with("--"));
+            if follows_flag {
+                continue;
+            }
+            return Ok(self.tokens[i].take().expect("just checked"));
+        }
+        Err(ToolError::Usage(format!("missing <{what}>")))
+    }
+
+    /// Takes `--name value` if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Usage`] when the flag is present without a
+    /// value.
+    pub fn value_of(&mut self, name: &str) -> Result<Option<String>, ToolError> {
+        for i in 0..self.tokens.len() {
+            if self.tokens[i].as_deref() == Some(name) {
+                self.tokens[i] = None;
+                let value = self
+                    .tokens
+                    .get_mut(i + 1)
+                    .and_then(Option::take)
+                    .ok_or_else(|| ToolError::Usage(format!("{name} needs a value")))?;
+                if value.starts_with("--") {
+                    return Err(ToolError::Usage(format!("{name} needs a value")));
+                }
+                return Ok(Some(value));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Takes `--name value`, requiring it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Usage`] when absent or valueless.
+    pub fn require(&mut self, name: &str) -> Result<String, ToolError> {
+        self.value_of(name)?
+            .ok_or_else(|| ToolError::Usage(format!("missing {name}")))
+    }
+
+    /// Takes a numeric `--name value` with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Usage`] on a malformed number.
+    pub fn numeric<T: std::str::FromStr>(
+        &mut self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ToolError> {
+        match self.value_of(name)? {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ToolError::Usage(format!("{name}: cannot parse `{v}`"))),
+        }
+    }
+
+    /// Takes a boolean `--name` flag.
+    pub fn flag(&mut self, name: &str) -> bool {
+        for slot in &mut self.tokens {
+            if slot.as_deref() == Some(name) {
+                *slot = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fails if any argument was not consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToolError::Usage`] naming the leftover.
+    pub fn finish(self) -> Result<(), ToolError> {
+        match self.tokens.into_iter().flatten().next() {
+            Some(tok) => Err(ToolError::Usage(format!("unexpected argument `{tok}`"))),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::new(list.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn positionals_and_flags_interleave() {
+        let mut a = args(&["--out", "x.cmn", "in.cmn", "--force"]);
+        assert_eq!(a.positional("input").expect("present"), "in.cmn");
+        assert_eq!(a.require("--out").expect("present"), "x.cmn");
+        assert!(a.flag("--force"));
+        assert!(!a.flag("--force"), "flags are consumed");
+        a.finish().expect("all consumed");
+    }
+
+    #[test]
+    fn missing_value_is_a_usage_error() {
+        let mut a = args(&["--out"]);
+        assert!(matches!(
+            a.value_of("--out").unwrap_err(),
+            ToolError::Usage(_)
+        ));
+        let mut a = args(&["--out", "--force"]);
+        assert!(matches!(
+            a.value_of("--out").unwrap_err(),
+            ToolError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn numeric_parsing_with_default() {
+        let mut a = args(&["--cycles", "123"]);
+        assert_eq!(a.numeric("--cycles", 5usize).expect("parses"), 123);
+        let mut a = args(&[]);
+        assert_eq!(a.numeric("--cycles", 5usize).expect("default"), 5);
+        let mut a = args(&["--cycles", "abc"]);
+        assert!(a.numeric("--cycles", 5usize).is_err());
+    }
+
+    #[test]
+    fn leftovers_are_rejected() {
+        let a = args(&["stray"]);
+        assert!(matches!(a.finish().unwrap_err(), ToolError::Usage(_)));
+    }
+}

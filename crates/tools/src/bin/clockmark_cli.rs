@@ -1,0 +1,190 @@
+//! The `clockmark-cli` binary: a thin dispatcher over
+//! [`clockmark_tools::commands`].
+
+use clockmark::ChipModel;
+use clockmark_tools::args::Args;
+use clockmark_tools::commands::{
+    cmd_attack, cmd_detect, cmd_embed, cmd_experiment, cmd_parse, cmd_simulate, cmd_verilog,
+    ArchChoice, EmbedOptions, PatternSpec,
+};
+use clockmark_tools::ToolError;
+use std::fs;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+clockmark-cli — clock-modulation watermark tool suite
+
+USAGE:
+  clockmark-cli parse <file.cmn>
+  clockmark-cli embed <file.cmn> --out <file.cmn> [--arch clockmod|load]
+                 [--width W] [--seed S] [--words N] [--regs-per-word N]
+                 [--load-registers N]
+  clockmark-cli simulate <file.cmn> [--cycles N] [--vcd <file>] [--power <file>]
+  clockmark-cli verilog <file.cmn> --out <file.v> [--module <name>]
+  clockmark-cli attack <file.cmn> --group <name>
+  clockmark-cli detect --trace <file.csv> (--lfsr W [--seed S] | --bits 1011…)
+                 [--lenient]
+  clockmark-cli experiment [--chip i|ii] [--cycles N] [--seed S] [--full-noise]
+                 [--spectrum <file.csv>]
+";
+
+fn read(path: &str) -> Result<String, ToolError> {
+    fs::read_to_string(path).map_err(|source| ToolError::Io {
+        path: path.to_owned(),
+        source,
+    })
+}
+
+fn write(path: &str, contents: &str) -> Result<(), ToolError> {
+    fs::write(path, contents).map_err(|source| ToolError::Io {
+        path: path.to_owned(),
+        source,
+    })
+}
+
+fn run() -> Result<(), ToolError> {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "-h" {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let command = raw.remove(0);
+    let mut args = Args::new(raw);
+
+    match command.as_str() {
+        "parse" => {
+            let path = args.positional("file.cmn")?;
+            args.finish()?;
+            print!("{}", cmd_parse(&read(&path)?)?);
+        }
+        "embed" => {
+            let path = args.positional("file.cmn")?;
+            let out = args.require("--out")?;
+            let defaults = EmbedOptions::default();
+            let options = EmbedOptions {
+                arch: match args.value_of("--arch")? {
+                    Some(a) => a.parse()?,
+                    None => ArchChoice::ClockMod,
+                },
+                width: args.numeric("--width", defaults.width)?,
+                seed: args.numeric("--seed", defaults.seed)?,
+                words: args.numeric("--words", defaults.words)?,
+                regs_per_word: args.numeric("--regs-per-word", defaults.regs_per_word)?,
+                load_registers: args.numeric("--load-registers", defaults.load_registers)?,
+            };
+            args.finish()?;
+            let (text, report) = cmd_embed(&read(&path)?, &options)?;
+            write(&out, &text)?;
+            print!("{report}");
+            println!("wrote {out}");
+        }
+        "simulate" => {
+            let path = args.positional("file.cmn")?;
+            let cycles = args.numeric("--cycles", 1000usize)?;
+            let vcd_path = args.value_of("--vcd")?;
+            let power_path = args.value_of("--power")?;
+            args.finish()?;
+            let out = cmd_simulate(
+                &read(&path)?,
+                cycles,
+                vcd_path.is_some(),
+                power_path.is_some(),
+            )?;
+            print!("{}", out.report);
+            if let (Some(path), Some(vcd)) = (vcd_path, out.vcd) {
+                write(&path, &vcd)?;
+                println!("wrote {path}");
+            }
+            if let (Some(path), Some(csv)) = (power_path, out.power_csv) {
+                write(&path, &csv)?;
+                println!("wrote {path}");
+            }
+        }
+        "verilog" => {
+            let path = args.positional("file.cmn")?;
+            let out = args.require("--out")?;
+            let module = args
+                .value_of("--module")?
+                .unwrap_or_else(|| "clockmark_design".to_owned());
+            args.finish()?;
+            write(&out, &cmd_verilog(&read(&path)?, &module)?)?;
+            println!("wrote {out}");
+        }
+        "attack" => {
+            let path = args.positional("file.cmn")?;
+            let group = args.require("--group")?;
+            args.finish()?;
+            print!("{}", cmd_attack(&read(&path)?, &group)?);
+        }
+        "detect" => {
+            let trace = args.require("--trace")?;
+            let lenient = args.flag("--lenient");
+            let spec = if let Some(width) = args.value_of("--lfsr")? {
+                let width: u32 = width
+                    .parse()
+                    .map_err(|_| ToolError::Usage("--lfsr needs a width".to_owned()))?;
+                let seed = args.numeric("--seed", 1u32)?;
+                PatternSpec::Lfsr { width, seed }
+            } else if let Some(bits) = args.value_of("--bits")? {
+                let parsed: Result<Vec<bool>, _> = bits
+                    .chars()
+                    .map(|c| match c {
+                        '0' => Ok(false),
+                        '1' => Ok(true),
+                        other => Err(ToolError::Usage(format!(
+                            "--bits must be 0s and 1s, found {other:?}"
+                        ))),
+                    })
+                    .collect();
+                PatternSpec::Bits(parsed?)
+            } else {
+                return Err(ToolError::Usage("detect needs --lfsr or --bits".to_owned()));
+            };
+            args.finish()?;
+            print!("{}", cmd_detect(&read(&trace)?, &spec, lenient)?);
+        }
+        "experiment" => {
+            let chip = match args.value_of("--chip")?.as_deref() {
+                None | Some("i") => ChipModel::ChipI,
+                Some("ii") => ChipModel::ChipII,
+                Some(other) => {
+                    return Err(ToolError::Usage(format!(
+                        "--chip must be `i` or `ii`, not `{other}`"
+                    )))
+                }
+            };
+            let cycles = args.numeric("--cycles", 20_000usize)?;
+            let seed = args.numeric("--seed", 1u64)?;
+            let full_noise = args.flag("--full-noise");
+            let spectrum_path = args.value_of("--spectrum")?;
+            args.finish()?;
+            let (report, spectrum) =
+                cmd_experiment(chip, cycles, seed, !full_noise, spectrum_path.is_some())?;
+            print!("{report}");
+            if let (Some(path), Some(csv)) = (spectrum_path, spectrum) {
+                write(&path, &csv)?;
+                println!("wrote {path}");
+            }
+        }
+        other => {
+            return Err(ToolError::Usage(format!(
+                "unknown command `{other}`; run with --help"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, ToolError::Usage(_)) {
+                eprintln!();
+                eprint!("{USAGE}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

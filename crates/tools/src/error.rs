@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the command-line tools.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ToolError {
+    /// Command-line usage error (unknown flag, missing value…).
+    Usage(String),
+    /// File I/O failure.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A `.cmn` file failed to parse.
+    Hdl(clockmark_hdl::HdlError),
+    /// A trace file was malformed.
+    Trace {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A library operation failed.
+    Clockmark(clockmark::ClockmarkError),
+}
+
+impl fmt::Display for ToolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolError::Usage(msg) => write!(f, "usage error: {msg}"),
+            ToolError::Io { path, source } => write!(f, "{path}: {source}"),
+            ToolError::Hdl(e) => write!(f, "netlist: {e}"),
+            ToolError::Trace { line, message } => {
+                write!(f, "trace file line {line}: {message}")
+            }
+            ToolError::Clockmark(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ToolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ToolError::Io { source, .. } => Some(source),
+            ToolError::Hdl(e) => Some(e),
+            ToolError::Clockmark(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<clockmark_hdl::HdlError> for ToolError {
+    fn from(e: clockmark_hdl::HdlError) -> Self {
+        ToolError::Hdl(e)
+    }
+}
+
+impl From<clockmark::ClockmarkError> for ToolError {
+    fn from(e: clockmark::ClockmarkError) -> Self {
+        ToolError::Clockmark(e)
+    }
+}
+
+impl From<clockmark_cpa::CpaError> for ToolError {
+    fn from(e: clockmark_cpa::CpaError) -> Self {
+        ToolError::Clockmark(clockmark::ClockmarkError::Cpa(e))
+    }
+}
+
+impl From<clockmark_sim::SimError> for ToolError {
+    fn from(e: clockmark_sim::SimError) -> Self {
+        ToolError::Clockmark(clockmark::ClockmarkError::Sim(e))
+    }
+}
+
+impl From<clockmark_netlist::NetlistError> for ToolError {
+    fn from(e: clockmark_netlist::NetlistError) -> Self {
+        ToolError::Clockmark(clockmark::ClockmarkError::Netlist(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let err: ToolError = clockmark_cpa::CpaError::ConstantPattern.into();
+        assert!(err.to_string().contains("constant"));
+        let err = ToolError::Usage("missing --cycles".into());
+        assert!(err.to_string().contains("--cycles"));
+    }
+}

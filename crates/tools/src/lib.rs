@@ -1,0 +1,25 @@
+//! The `clockmark-cli` tool suite: the watermark-insertion and detection
+//! flow as command-line operations over `.cmn` netlist files and CSV power
+//! traces.
+//!
+//! Subcommands (all implemented as library functions so they are
+//! unit-testable; the binary is a thin dispatcher):
+//!
+//! | command | what it does |
+//! |---|---|
+//! | `parse <file.cmn>` | validate a netlist and print statistics |
+//! | `embed <file.cmn> --arch clockmod\|load --out <file>` | insert a watermark and write the result |
+//! | `simulate <file.cmn> --cycles N [--vcd f] [--power f]` | run the cycle simulator, optionally dumping waveforms / a power trace |
+//! | `attack <file.cmn> --group <name>` | removal-attack (influence) analysis of a cell group |
+//! | `detect --trace <csv> --lfsr W [--seed S]` | rotational CPA on a recorded trace |
+//! | `experiment --chip i\|ii --cycles N [--trace-out f]` | full pipeline run on a chip model |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+mod error;
+pub mod tracefile;
+
+pub use error::ToolError;

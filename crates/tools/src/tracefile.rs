@@ -1,0 +1,98 @@
+//! CSV power-trace files: one watts value per line, `#` comments.
+//!
+//! The interchange between `clockmark-cli simulate`/`experiment` (which
+//! record traces) and `clockmark-cli detect` (which runs CPA on them) —
+//! standing in for the oscilloscope's exported capture.
+
+use crate::ToolError;
+use clockmark_power::PowerTrace;
+
+/// Serialises a trace, one value per line with a small header.
+pub fn write_trace(trace: &PowerTrace) -> String {
+    let mut out = String::with_capacity(trace.len() * 16 + 64);
+    out.push_str("# clockmark power trace, watts per clock cycle\n");
+    out.push_str(&format!("# cycles: {}\n", trace.len()));
+    for w in trace.as_watts() {
+        out.push_str(&format!("{w:.9e}\n"));
+    }
+    out
+}
+
+/// Parses a trace produced by [`write_trace`] (or any one-value-per-line
+/// file with `#` comments).
+///
+/// # Errors
+///
+/// Returns [`ToolError::Trace`] with the offending 1-based line for
+/// malformed or non-finite values.
+pub fn read_trace(text: &str) -> Result<PowerTrace, ToolError> {
+    let mut watts = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value: f64 = line.parse().map_err(|_| ToolError::Trace {
+            line: i + 1,
+            message: format!("cannot parse `{line}` as a number"),
+        })?;
+        if !value.is_finite() {
+            return Err(ToolError::Trace {
+                line: i + 1,
+                message: "values must be finite".to_owned(),
+            });
+        }
+        watts.push(value);
+    }
+    Ok(PowerTrace::from_watts(watts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockmark_power::Power;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let trace: PowerTrace = [1.5e-3, 2.25e-3, 0.0, 4.75e-3]
+            .into_iter()
+            .map(Power::from_watts)
+            .collect();
+        let text = write_trace(&trace);
+        let back = read_trace(&text).expect("parses");
+        assert_eq!(back.len(), 4);
+        for (a, b) in back.as_watts().iter().zip(trace.as_watts()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let back = read_trace("# header\n\n1.0 # inline\n\n2.0\n").expect("parses");
+        assert_eq!(back.as_watts(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn bad_lines_are_located() {
+        let err = read_trace("1.0\nnot_a_number\n").unwrap_err();
+        match err {
+            ToolError::Trace { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(read_trace("inf\n").is_err());
+        assert!(read_trace("NaN\n").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_traces_round_trip(values in proptest::collection::vec(-1.0f64..1.0, 0..200)) {
+            let trace = PowerTrace::from_watts(values.clone());
+            let back = read_trace(&write_trace(&trace)).expect("parses");
+            prop_assert_eq!(back.len(), values.len());
+            for (a, b) in back.as_watts().iter().zip(&values) {
+                prop_assert!((a - b).abs() <= b.abs() * 1e-8 + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The area/power trade-off of Section V: what the load circuit costs at
+//! each target power level, and what the proposed technique saves
+//! (Tables I and II).
+//!
+//! ```sh
+//! cargo run --release --example area_tradeoff
+//! ```
+
+use clockmark::overhead::{area_reduction_pct, equal_power_comparison, AreaReport};
+use clockmark::{ClockModulationWatermark, LoadCircuitWatermark, WatermarkArchitecture};
+use clockmark_power::tables::TableModel;
+use clockmark_power::{EnergyLibrary, Frequency, Power, PowerModel};
+
+fn main() {
+    let table_model = TableModel::paper();
+    let power_model = PowerModel::new(EnergyLibrary::tsmc65ll(), Frequency::from_megahertz(10.0));
+
+    println!("== Table I: power of the clock-gated 1,024-register block ==");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>8}",
+        "switching", "dynamic", "static", "total", "share"
+    );
+    for row in table_model.table1() {
+        println!(
+            "{:>10} {:>12} {:>12} {:>12} {:>7.1}%",
+            row.switching_registers, row.dynamic, row.static_power, row.total, row.load_share_pct
+        );
+    }
+
+    println!("\n== Table II: load-circuit cost per target power ==");
+    println!("{:>10} {:>10} {:>12}", "P_load", "registers", "area saved");
+    for row in table_model.table2() {
+        println!(
+            "{:>10} {:>10} {:>11.1}%",
+            row.p_load, row.registers_needed, row.area_reduction_pct
+        );
+    }
+
+    println!("\n== equal-power architecture comparison ==");
+    let targets: Vec<Power> = [0.25, 0.5, 1.0, 1.5, 5.0, 10.0]
+        .into_iter()
+        .map(Power::from_milliwatts)
+        .collect();
+    println!(
+        "{:>10} {:>18} {:>18} {:>10}",
+        "P_load", "baseline (regs)", "proposed (regs)", "saved"
+    );
+    for row in equal_power_comparison(&table_model, &targets) {
+        println!(
+            "{:>10} {:>18} {:>18} {:>9.1}%",
+            row.p_load, row.baseline_registers, row.proposed_registers, row.reduction_pct
+        );
+    }
+
+    println!("\n== the paper's headline comparison ==");
+    let baseline = LoadCircuitWatermark::paper_equivalent();
+    let proposed = ClockModulationWatermark::paper();
+    let baseline_report = AreaReport::for_architecture(&baseline, &power_model);
+    println!(
+        "baseline  : {} — {} + {} registers, amplitude {}",
+        baseline.name(),
+        baseline_report.wgc_registers,
+        baseline_report.dedicated_registers,
+        baseline_report.signal_amplitude,
+    );
+    println!(
+        "proposed  : {} — {} registers (reusing existing logic), amplitude {}",
+        proposed.name(),
+        proposed.wgc_registers(),
+        proposed.signal_amplitude(&power_model),
+    );
+    println!(
+        "area overhead reduction: {:.1} % (paper: 98 %)",
+        area_reduction_pct(&baseline_report, 0)
+    );
+
+    println!("\n== in silicon terms (typical 65 nm LP footprints) ==");
+    let cell_lib = clockmark_netlist::CellAreaLibrary::tsmc65_typical();
+    {
+        let mut netlist = clockmark_netlist::Netlist::new();
+        let clk = netlist.add_clock_root("clk");
+        let wm = LoadCircuitWatermark::paper_equivalent()
+            .embed(&mut netlist, clk.into())
+            .expect("embeds");
+        let area = netlist.group_area(wm.group, &cell_lib);
+        println!("  baseline load circuit        : {area}");
+    }
+    {
+        let mut netlist = clockmark_netlist::Netlist::new();
+        let clk = netlist.add_clock_root("clk");
+        let wm = ClockModulationWatermark::paper()
+            .embed(&mut netlist, clk.into())
+            .expect("embeds");
+        let area = netlist.group_area(wm.group, &cell_lib);
+        println!("  proposed (redundant block)   : {area}");
+    }
+    println!(
+        "  proposed (reusing IP logic)  : {:.1} um2 (12 WGC registers only)",
+        12.0 * cell_lib.register_um2
+    );
+}

@@ -1,0 +1,93 @@
+//! Multi-vendor watermarking with Gold codes: two IP vendors watermark
+//! their blocks on one die; each detector resolves only its own sequence.
+//!
+//! This is the natural extension of the paper's technique for the SoC
+//! reality it motivates — chips integrating IP from several suppliers, all
+//! of whom want to audit finished silicon independently.
+//!
+//! ```sh
+//! cargo run --release --example multi_vendor
+//! ```
+
+use clockmark::{ClockModulationWatermark, Experiment, WatermarkArchitecture, WgcConfig};
+use clockmark_cpa::{spread_spectrum, DetectionCriterion};
+use clockmark_netlist::Netlist;
+use clockmark_power::PowerModel;
+use clockmark_sim::{CycleSim, SignalDriver};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three members of the 9-bit Gold family (period 511): A and B are
+    // embedded, C is a vendor whose IP is NOT on this die.
+    let vendor_a = WgcConfig::Gold {
+        width: 9,
+        seed_a: 1,
+        seed_b: 5,
+    };
+    let vendor_b = WgcConfig::Gold {
+        width: 9,
+        seed_a: 1,
+        seed_b: 200,
+    };
+    let vendor_c = WgcConfig::Gold {
+        width: 9,
+        seed_a: 1,
+        seed_b: 77,
+    };
+
+    // One die, two watermarked blocks.
+    let mut netlist = Netlist::new();
+    let clk = netlist.add_clock_root("clk");
+    let arch_a = ClockModulationWatermark {
+        wgc: vendor_a.clone(),
+        ..ClockModulationWatermark::paper()
+    };
+    let arch_b = ClockModulationWatermark {
+        wgc: vendor_b.clone(),
+        ..ClockModulationWatermark::paper()
+    };
+    let wm_a = arch_a.embed(&mut netlist, clk.into())?;
+    let wm_b = arch_b.embed(&mut netlist, clk.into())?;
+    println!(
+        "die carries {} registers of watermark A and {} of watermark B (WGCs: {} + {})",
+        wm_a.body_cells.len(),
+        wm_b.body_cells.len(),
+        wm_a.wgc_cells.len(),
+        wm_b.wgc_cells.len()
+    );
+
+    // One shared measurement of the whole die.
+    let experiment = Experiment::quick(25_000, 77);
+    let mut sim = CycleSim::new(&netlist)?;
+    sim.drive(wm_a.enable, SignalDriver::Constant(true))?;
+    sim.drive(wm_b.enable, SignalDriver::Constant(true))?;
+    for _ in 0..experiment.phase_offset {
+        sim.step();
+    }
+    let activity = sim.run(experiment.cycles)?;
+    let model = PowerModel::new(experiment.library, experiment.f_clk);
+    let mut power = model.trace(&activity);
+    power.add_offset(model.static_power(netlist.register_count()));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(experiment.seed);
+    let mut soc = clockmark_soc::Soc::chip_i()?;
+    let background = soc.run(experiment.cycles, &mut rng)?;
+    let total = power.checked_add(&background)?;
+    let y = experiment.acquisition.acquire(&total, &mut rng);
+
+    // Each vendor correlates against their own family member.
+    let criterion = DetectionCriterion::default();
+    for (name, config, embedded) in [
+        ("vendor A", &vendor_a, true),
+        ("vendor B", &vendor_b, true),
+        ("vendor C (not on die)", &vendor_c, false),
+    ] {
+        let pattern = config.expected_pattern()?;
+        let result = spread_spectrum(&pattern, y.as_watts())?.detect(&criterion);
+        println!("{name:<22} {result}");
+        assert_eq!(result.detected, embedded, "{name} detection mismatch");
+    }
+    println!(
+        "\neach embedded vendor resolves a single clean peak; the absent vendor sees only floor"
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! The Section VI robustness argument, executed: attempt a structural
+//! removal attack against three embeddings and report what breaks.
+//!
+//! ```sh
+//! cargo run --release --example removal_attack
+//! ```
+
+use clockmark::{
+    removal_attack, ClockModulationWatermark, FunctionalBlock, LoadCircuitWatermark,
+    WatermarkArchitecture, WgcConfig,
+};
+use clockmark_netlist::{DataSource, GroupId, Netlist, RegisterConfig};
+
+fn wgc() -> WgcConfig {
+    WgcConfig::MaxLengthLfsr { width: 12, seed: 1 }
+}
+
+/// Some unrelated system logic so the attack report has context.
+fn add_system_logic(netlist: &mut Netlist, clk: clockmark_netlist::ClockRootId, n: u32) {
+    for _ in 0..n {
+        netlist
+            .add_register(
+                GroupId::TOP,
+                RegisterConfig::new(clk.into()).data(DataSource::Toggle),
+            )
+            .expect("system register");
+    }
+}
+
+fn main() -> Result<(), clockmark::ClockmarkError> {
+    // Scenario 1: the state-of-the-art load circuit. Highly visible in the
+    // RTL (hundreds of registers doing nothing functional) and stand-alone.
+    let mut netlist = Netlist::new();
+    let clk = netlist.add_clock_root("clk");
+    add_system_logic(&mut netlist, clk, 500);
+    let baseline = LoadCircuitWatermark {
+        wgc: wgc(),
+        ..LoadCircuitWatermark::paper_equivalent()
+    };
+    let wm = baseline.embed(&mut netlist, clk.into())?;
+    let report = removal_attack(&netlist, &wm)?;
+    println!("1. {}:\n   {report}\n", baseline.name());
+
+    // Scenario 2: the test chips' redundant clock-gated block. Cheap, but
+    // still a stand-alone circuit — the paper acknowledges this and points
+    // to scenario 3 for production.
+    let mut netlist = Netlist::new();
+    let clk = netlist.add_clock_root("clk");
+    add_system_logic(&mut netlist, clk, 500);
+    let redundant = ClockModulationWatermark {
+        wgc: wgc(),
+        ..ClockModulationWatermark::paper()
+    };
+    let wm = redundant.embed(&mut netlist, clk.into())?;
+    let report = removal_attack(&netlist, &wm)?;
+    println!("2. {} (redundant block):\n   {report}\n", redundant.name());
+
+    // Scenario 3: the production deployment — the WGC modulates the clock
+    // gates of a real IP sub-module. Removing the 12 WGC registers
+    // de-clocks the whole block.
+    let mut netlist = Netlist::new();
+    let clk = netlist.add_clock_root("clk");
+    add_system_logic(&mut netlist, clk, 500);
+    let block = FunctionalBlock::synthesize(&mut netlist, "dsp", clk.into(), 32, 32)?;
+    let wm = redundant.embed_reusing(&mut netlist, clk.into(), &block)?;
+    let report = removal_attack(&netlist, &wm)?;
+    println!(
+        "3. {} (reusing the dsp block's clock gates):\n   {report}\n",
+        redundant.name()
+    );
+    println!(
+        "scenario 3 adds only {} registers and cannot be removed without breaking \
+         {:.0} % of the dsp block — the robustness claim of Section VI",
+        wm.wgc_cells.len(),
+        report.impact_fraction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Compare watermark sequence generators: maximal LFSRs of several widths,
+//! a circular shift register, and a Gold code — their statistics and their
+//! end-to-end detection margins.
+//!
+//! The paper fixes a 12-bit maximal LFSR; this example is the ablation
+//! behind that choice: m-sequences buy a flat −1 autocorrelation floor,
+//! circular patterns buy duty-cycle control at the cost of spectrum
+//! ambiguity.
+//!
+//! ```sh
+//! cargo run --release --example sequence_zoo
+//! ```
+
+use clockmark::{ClockModulationWatermark, Experiment, WgcConfig};
+use clockmark_seq::{linear_complexity, BitSequence, GoldCode, Lfsr, SequenceGenerator};
+
+fn describe(name: &str, generator: &mut dyn SequenceGenerator, period: usize) {
+    generator.reset();
+    let seq = BitSequence::from_generator(&mut *generator, period);
+    let worst_sidelobe = (1..period)
+        .map(|s| seq.periodic_autocorrelation(s).abs())
+        .max()
+        .unwrap_or(0);
+    generator.reset();
+    // Bits an eavesdropper needs to clone the generator (Berlekamp–Massey
+    // recovers an L-complexity sequence from 2L observed bits).
+    let forging_bits = 2 * linear_complexity(&mut *generator, period.min(512));
+    println!(
+        "{name:<28} period {period:>5}  duty {:>5.3}  worst |autocorr| {worst_sidelobe:>4} ({:.3} of peak)  forgeable after {forging_bits:>4} bits",
+        seq.duty_cycle(),
+        worst_sidelobe as f64 / period as f64,
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== sequence statistics ==");
+    for width in [6u32, 8, 10, 12] {
+        let mut lfsr = Lfsr::maximal(width)?;
+        let period = (1usize << width) - 1;
+        describe(&format!("maximal LFSR, {width}-bit"), &mut lfsr, period);
+    }
+    let mut gold = GoldCode::preferred(9, 1, 5)?;
+    describe("Gold code, 9-bit pair", &mut gold, 511);
+    let pattern: Vec<bool> = (0..32).map(|i| i % 4 == 0).collect();
+    let mut csr = clockmark_seq::CircularShiftRegister::new(&pattern)?;
+    describe("circular 32-bit, duty 1/4", &mut csr, 32);
+
+    println!("\n== end-to-end detection margin (same block, same noise) ==");
+    let configs: Vec<(&str, WgcConfig)> = vec![
+        (
+            "maximal LFSR, 6-bit",
+            WgcConfig::MaxLengthLfsr { width: 6, seed: 1 },
+        ),
+        (
+            "maximal LFSR, 8-bit",
+            WgcConfig::MaxLengthLfsr { width: 8, seed: 1 },
+        ),
+        (
+            "maximal LFSR, 10-bit",
+            WgcConfig::MaxLengthLfsr { width: 10, seed: 1 },
+        ),
+        (
+            "circular 32-bit, duty 1/2",
+            WgcConfig::CircularShift {
+                pattern: (0..32).map(|i| i % 2 == 0).collect(),
+            },
+        ),
+    ];
+    for (name, wgc) in configs {
+        let arch = ClockModulationWatermark {
+            wgc,
+            ..ClockModulationWatermark::paper()
+        };
+        let outcome = Experiment::quick(20_000, 9).run(&arch)?;
+        println!(
+            "{name:<28} peak rho {:+.4}  z {:>6.1}  ratio {:>5.2}  detected: {}",
+            outcome.detection.peak_rho,
+            outcome.detection.zscore,
+            outcome.detection.ratio,
+            outcome.detection.detected,
+        );
+    }
+    println!(
+        "\nnote the circular pattern: strong rho but an ambiguous spectrum — its \
+         autocorrelation sidelobes produce secondary peaks, which is why the paper \
+         uses a maximal-length sequence"
+    );
+    Ok(())
+}

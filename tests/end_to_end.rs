@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: the full embed → simulate → digitise →
+//! correlate pipeline, at reduced scale (see `Experiment::quick`), on both
+//! chip models.
+
+use clockmark::{ChipModel, ClockModulationWatermark, Experiment, WgcConfig};
+use clockmark_cpa::{DetectionCriterion, RotationEnsemble};
+
+fn small_arch() -> ClockModulationWatermark {
+    ClockModulationWatermark {
+        wgc: WgcConfig::MaxLengthLfsr { width: 8, seed: 1 },
+        ..ClockModulationWatermark::paper()
+    }
+}
+
+#[test]
+fn chip_i_active_watermark_is_detected_at_the_trigger_phase() {
+    let experiment = Experiment::quick(15_000, 100);
+    let outcome = experiment.run(&small_arch()).expect("pipeline runs");
+    assert!(outcome.detection.detected, "{outcome}");
+    assert_eq!(
+        outcome.detection.peak_rotation,
+        outcome.expected_peak_rotation
+    );
+    // The peak is positive and well clear of the floor.
+    assert!(outcome.detection.peak_rho > 0.0);
+    assert!(outcome.detection.zscore > 5.0);
+}
+
+#[test]
+fn chip_i_inactive_watermark_is_not_detected() {
+    let experiment = Experiment::quick(15_000, 101).disabled();
+    let outcome = experiment.run(&small_arch()).expect("pipeline runs");
+    assert!(!outcome.detection.detected, "{outcome}");
+    // Fig. 5b: the whole spectrum sits in a narrow band around zero.
+    assert!(outcome.detection.peak_rho < 0.05);
+}
+
+#[test]
+fn chip_ii_detects_despite_heavier_background() {
+    let mut experiment = Experiment::quick(15_000, 102);
+    experiment.chip = ChipModel::ChipII;
+    let outcome = experiment.run(&small_arch()).expect("pipeline runs");
+    assert!(outcome.detection.detected, "{outcome}");
+    // Chip II's background is much larger than chip I's…
+    assert!(outcome.background_mean.milliwatts() > 5.0);
+
+    let mut control = experiment.clone().disabled();
+    control.seed = 103;
+    let control = control.run(&small_arch()).expect("pipeline runs");
+    assert!(!control.detection.detected, "{control}");
+}
+
+#[test]
+fn repeated_runs_all_detect_like_fig6() {
+    // A miniature Fig. 6: several seeds, ensemble statistics, every run
+    // resolves the peak at the same rotation.
+    let mut ensemble = RotationEnsemble::new(255);
+    let mut peak_rotations = Vec::new();
+    for seed in 0..6u64 {
+        let outcome = Experiment::quick(12_000, 200 + seed)
+            .run(&small_arch())
+            .expect("pipeline runs");
+        peak_rotations.push(outcome.detection.peak_rotation);
+        ensemble.add(&outcome.spectrum).expect("same period");
+    }
+    assert_eq!(ensemble.detection_count(&DetectionCriterion::default()), 6);
+    assert!(peak_rotations.windows(2).all(|w| w[0] == w[1]));
+
+    let (peak_rot, peak_stats) = ensemble.peak_rotation().expect("has runs");
+    assert_eq!(peak_rot, peak_rotations[0]);
+    let floor = ensemble.floor_stats().expect("has runs");
+    assert!(
+        peak_stats.min > floor.q_high,
+        "worst peak {} must clear the floor's 97.5th percentile {}",
+        peak_stats.min,
+        floor.q_high
+    );
+    assert!(floor.median.abs() < 0.01, "floor median near zero");
+}
+
+#[test]
+fn detection_is_workload_agnostic() {
+    // The paper detects while Dhrystone runs; the detector must not care
+    // what the processor happens to execute.
+    for workload in [
+        clockmark_soc::Workload::Dhrystone,
+        clockmark_soc::Workload::Crc32,
+    ] {
+        let mut experiment = Experiment::quick(15_000, 104);
+        experiment.chip = ChipModel::ChipIWith(workload);
+        let outcome = experiment.run(&small_arch()).expect("pipeline runs");
+        assert!(outcome.detection.detected, "{workload:?}: {outcome}");
+    }
+}
+
+#[test]
+fn longer_traces_strengthen_detection() {
+    // The √N law behind the paper's choice of 300,000 cycles.
+    let short = Experiment::quick(6_000, 300)
+        .run(&small_arch())
+        .expect("runs");
+    let long = Experiment::quick(24_000, 300)
+        .run(&small_arch())
+        .expect("runs");
+    assert!(
+        long.detection.zscore > short.detection.zscore,
+        "z {} (24k) vs {} (6k)",
+        long.detection.zscore,
+        short.detection.zscore
+    );
+}
+
+#[test]
+fn watermark_is_a_small_fraction_of_total_power() {
+    // Fig. 3: the watermark is deeply embedded in the device total.
+    let outcome = Experiment::quick(10_000, 400)
+        .run(&small_arch())
+        .expect("runs");
+    let fraction = outcome.watermark_mean / outcome.total_mean;
+    assert!(fraction < 0.5, "watermark fraction {fraction}");
+    assert!(outcome.watermark_mean.watts() > 0.0);
+}

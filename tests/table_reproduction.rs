@@ -1,0 +1,136 @@
+//! Table I and Table II reproduced two independent ways: the analytic
+//! roll-up in `clockmark_power::tables` and the cycle-accurate simulator.
+//! The two must agree, which cross-checks the simulator's activity
+//! accounting against the paper's published constants.
+
+use clockmark::{ClockModulationWatermark, WatermarkArchitecture, WgcConfig};
+use clockmark_netlist::Netlist;
+use clockmark_power::tables::TableModel;
+use clockmark_power::{EnergyLibrary, Frequency, Power, PowerModel};
+use clockmark_sim::{CycleSim, SignalDriver};
+
+/// Simulates the gated block with `WMARK` pinned high and measures the
+/// per-cycle dynamic power of the watermark body (excluding the WGC).
+fn simulated_active_power(switching: u32) -> Power {
+    let mut netlist = Netlist::new();
+    let clk = netlist.add_clock_root("clk");
+    let arch = ClockModulationWatermark {
+        switching_registers: switching,
+        // A constant-1 "sequence" so the block is always gated on: one-bit
+        // circular pattern.
+        wgc: WgcConfig::CircularShift {
+            pattern: vec![true],
+        },
+        ..ClockModulationWatermark::paper()
+    };
+    let wm = arch.embed(&mut netlist, clk.into()).expect("embeds");
+    let mut sim = CycleSim::new(&netlist).expect("valid");
+    sim.drive(wm.enable, SignalDriver::Constant(true))
+        .expect("external");
+
+    let model = PowerModel::new(EnergyLibrary::tsmc65ll(), Frequency::from_megahertz(10.0));
+    // Skip the first cycle (Toggle registers switching out of reset) and
+    // average a steady window.
+    sim.step();
+    let activity = sim.run(8).expect("runs");
+    let trace = model.group_trace(&activity, wm.group);
+    // Subtract the WGC's own contribution (1 always-on register with
+    // constant data → clock power only).
+    let wgc_power = model.library().reg_clock_power(model.clock_frequency());
+    Power::from_watts(trace.mean().watts()) - wgc_power
+}
+
+#[test]
+fn simulated_table1_matches_the_analytic_model() {
+    let table = TableModel::paper();
+    for switching in [0u32, 256, 512, 1024] {
+        let analytic = table.load_dynamic(switching);
+        let simulated = simulated_active_power(switching);
+        assert!(
+            (simulated.watts() - analytic.watts()).abs() / analytic.watts() < 1e-9,
+            "{switching} switching: simulated {simulated} vs analytic {analytic}"
+        );
+    }
+}
+
+#[test]
+fn simulated_table1_matches_the_paper_column() {
+    let expected_mw = [(0u32, 1.51), (256, 1.80), (512, 2.09), (1024, 2.66)];
+    for (switching, mw) in expected_mw {
+        let simulated = simulated_active_power(switching);
+        assert!(
+            (simulated.milliwatts() - mw).abs() < 0.01,
+            "{switching} switching: simulated {simulated}, paper {mw} mW"
+        );
+    }
+}
+
+#[test]
+fn gated_block_simulates_to_zero_power_when_wmark_low() {
+    let mut netlist = Netlist::new();
+    let clk = netlist.add_clock_root("clk");
+    let arch = ClockModulationWatermark {
+        wgc: WgcConfig::CircularShift {
+            pattern: vec![true],
+        },
+        ..ClockModulationWatermark::paper()
+    };
+    let wm = arch.embed(&mut netlist, clk.into()).expect("embeds");
+    let mut sim = CycleSim::new(&netlist).expect("valid");
+    // Watermark disabled → enable low → block never clocks.
+    sim.drive(wm.enable, SignalDriver::Constant(false))
+        .expect("external");
+    let activity = sim.run(10).expect("runs");
+    let model = PowerModel::new(EnergyLibrary::tsmc65ll(), Frequency::from_megahertz(10.0));
+    let trace = model.group_trace(&activity, wm.group);
+    // Only the single WGC register's clock power remains.
+    let wgc_only = model.library().reg_clock_power(model.clock_frequency());
+    assert!(
+        (trace.mean().watts() - wgc_only.watts()).abs() < 1e-12,
+        "got {}, expected bare WGC {}",
+        trace.mean(),
+        wgc_only
+    );
+}
+
+#[test]
+fn table2_register_counts_are_exact() {
+    let rows = TableModel::paper().table2();
+    let expected: [(f64, u64, f64); 6] = [
+        (0.25, 96, 88.9),
+        (0.5, 192, 94.1),
+        (1.0, 384, 96.9),
+        (1.5, 576, 98.0),
+        (5.0, 1921, 99.4),
+        (10.0, 3843, 99.7),
+    ];
+    for (row, (mw, regs, pct)) in rows.iter().zip(expected) {
+        assert!((row.p_load.milliwatts() - mw).abs() < 1e-12);
+        assert_eq!(row.registers_needed, regs, "at {mw} mW");
+        assert!(
+            (row.area_reduction_pct - pct).abs() < 0.1,
+            "at {mw} mW: {}",
+            row.area_reduction_pct
+        );
+    }
+}
+
+#[test]
+fn architecture_amplitude_agrees_with_table_model() {
+    // The architecture's signal_amplitude and the table model's
+    // load_dynamic are two paths to the same number.
+    let model = PowerModel::new(EnergyLibrary::tsmc65ll(), Frequency::from_megahertz(10.0));
+    let table = TableModel::paper();
+    for switching in [0u32, 256, 512, 1024] {
+        let arch = ClockModulationWatermark {
+            switching_registers: switching,
+            ..ClockModulationWatermark::paper()
+        };
+        let a = arch.signal_amplitude(&model);
+        let b = table.load_dynamic(switching);
+        assert!(
+            (a.watts() - b.watts()).abs() < 1e-15,
+            "{switching}: {a} vs {b}"
+        );
+    }
+}
