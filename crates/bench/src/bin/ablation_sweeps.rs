@@ -8,7 +8,7 @@
 //! cargo run --release -p clockmark-bench --bin ablation_sweeps -- --quick
 //! ```
 
-use clockmark::{ClockModulationWatermark, Experiment, WgcConfig};
+use clockmark::{parallel_map, ClockModulationWatermark, Experiment, ExperimentBatch, WgcConfig};
 use clockmark_bench::has_flag;
 
 fn arch(width: u32) -> ClockModulationWatermark {
@@ -21,6 +21,9 @@ fn arch(width: u32) -> ClockModulationWatermark {
 fn main() -> Result<(), clockmark::ClockmarkError> {
     let quick = has_flag("--quick");
     let base_cycles = if quick { 10_000 } else { 30_000 };
+    // Arch-varying sweeps can't share an ExperimentBatch (one batch = one
+    // architecture); they fan out with parallel_map instead.
+    let threads = clockmark_cpa::thread_count();
 
     println!("== sweep 1: trace length (the √N detection law) ==");
     println!(
@@ -32,8 +35,14 @@ fn main() -> Result<(), clockmark::ClockmarkError> {
     } else {
         vec![4_000, 8_000, 16_000, 32_000, 64_000]
     };
-    for cycles in lengths {
-        let outcome = Experiment::quick(cycles, 1).run(&arch(8))?;
+    let experiments = lengths
+        .iter()
+        .map(|&cycles| Experiment::quick(cycles, 1))
+        .collect();
+    for (cycles, outcome) in lengths
+        .iter()
+        .zip(ExperimentBatch::new(experiments).run(&arch(8))?)
+    {
         println!(
             "{cycles:>10} {:>10.4} {:>8.1} {:>8.2} {:>9}",
             outcome.detection.peak_rho,
@@ -48,8 +57,13 @@ fn main() -> Result<(), clockmark::ClockmarkError> {
         "{:>8} {:>8} {:>10} {:>8} {:>9}",
         "width", "period", "peak rho", "z", "detected"
     );
-    for width in [6u32, 8, 10, 12] {
-        let outcome = Experiment::quick(base_cycles, 2).run(&arch(width))?;
+    let widths = [6u32, 8, 10, 12];
+    let outcomes = parallel_map(&widths, threads, |&width| {
+        Experiment::quick(base_cycles, 2).run(&arch(width))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    for (&width, outcome) in widths.iter().zip(&outcomes) {
         println!(
             "{width:>8} {:>8} {:>10.4} {:>8.1} {:>9}",
             (1u64 << width) - 1,
@@ -64,13 +78,22 @@ fn main() -> Result<(), clockmark::ClockmarkError> {
         "{:>14} {:>10} {:>8} {:>9}",
         "noise (mV rms)", "peak rho", "z", "detected"
     );
-    for noise_mv in [5.0f64, 15.0, 30.0, 72.0, 150.0] {
-        let mut experiment = Experiment::quick(base_cycles, 3);
-        experiment.acquisition.scope = experiment
-            .acquisition
-            .scope
-            .with_vertical_noise(noise_mv * 1e-3);
-        let outcome = experiment.run(&arch(8))?;
+    let noise_levels = [5.0f64, 15.0, 30.0, 72.0, 150.0];
+    let experiments = noise_levels
+        .iter()
+        .map(|&noise_mv| {
+            let mut experiment = Experiment::quick(base_cycles, 3);
+            experiment.acquisition.scope = experiment
+                .acquisition
+                .scope
+                .with_vertical_noise(noise_mv * 1e-3);
+            experiment
+        })
+        .collect();
+    for (&noise_mv, outcome) in noise_levels
+        .iter()
+        .zip(ExperimentBatch::new(experiments).run(&arch(8))?)
+    {
         println!(
             "{noise_mv:>14.0} {:>10.4} {:>8.1} {:>9}",
             outcome.detection.peak_rho, outcome.detection.zscore, outcome.detection.detected
@@ -82,10 +105,19 @@ fn main() -> Result<(), clockmark::ClockmarkError> {
         "{:>8} {:>10} {:>8} {:>9}",
         "bits", "peak rho", "z", "detected"
     );
-    for bits in [4u32, 6, 8, 10, 12] {
-        let mut experiment = Experiment::quick(base_cycles, 4);
-        experiment.acquisition.scope = experiment.acquisition.scope.with_adc_bits(bits);
-        let outcome = experiment.run(&arch(8))?;
+    let adc_bits = [4u32, 6, 8, 10, 12];
+    let experiments = adc_bits
+        .iter()
+        .map(|&bits| {
+            let mut experiment = Experiment::quick(base_cycles, 4);
+            experiment.acquisition.scope = experiment.acquisition.scope.with_adc_bits(bits);
+            experiment
+        })
+        .collect();
+    for (&bits, outcome) in adc_bits
+        .iter()
+        .zip(ExperimentBatch::new(experiments).run(&arch(8))?)
+    {
         println!(
             "{bits:>8} {:>10.4} {:>8.1} {:>9}",
             outcome.detection.peak_rho, outcome.detection.zscore, outcome.detection.detected
@@ -97,14 +129,20 @@ fn main() -> Result<(), clockmark::ClockmarkError> {
         "{:>10} {:>12} {:>10} {:>8} {:>9}",
         "registers", "amplitude", "peak rho", "z", "detected"
     );
-    for words in [2u32, 8, 16, 32, 64] {
+    let word_counts = [2u32, 8, 16, 32, 64];
+    let outcomes = parallel_map(&word_counts, threads, |&words| {
+        let a = ClockModulationWatermark { words, ..arch(8) };
+        Experiment::quick(base_cycles, 5).run(&a)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    for (&words, outcome) in word_counts.iter().zip(&outcomes) {
         let a = ClockModulationWatermark { words, ..arch(8) };
         let model = clockmark_power::PowerModel::new(
             clockmark_power::EnergyLibrary::tsmc65ll(),
             clockmark_power::Frequency::from_megahertz(10.0),
         );
         let amplitude = clockmark::WatermarkArchitecture::signal_amplitude(&a, &model);
-        let outcome = Experiment::quick(base_cycles, 5).run(&a)?;
         println!(
             "{:>10} {:>12} {:>10.4} {:>8.1} {:>9}",
             words * 32,
@@ -120,15 +158,25 @@ fn main() -> Result<(), clockmark::ClockmarkError> {
         "{:>10} {:>14} {:>12} {:>10} {:>8} {:>9}",
         "f_clk", "samples/cycle", "amplitude", "peak rho", "z", "detected"
     );
-    for mhz in [2.5f64, 5.0, 10.0, 20.0, 50.0] {
-        let f = clockmark_power::Frequency::from_megahertz(mhz);
-        let mut experiment = Experiment::quick(base_cycles, 6);
-        experiment.f_clk = f;
-        experiment.acquisition = clockmark::measure::Acquisition::paper_chain(f);
-        experiment.acquisition.scope = experiment.acquisition.scope.with_vertical_noise(15e-3);
-        let model = clockmark_power::PowerModel::new(clockmark_power::EnergyLibrary::tsmc65ll(), f);
+    let clock_mhz = [2.5f64, 5.0, 10.0, 20.0, 50.0];
+    let experiments: Vec<_> = clock_mhz
+        .iter()
+        .map(|&mhz| {
+            let f = clockmark_power::Frequency::from_megahertz(mhz);
+            let mut experiment = Experiment::quick(base_cycles, 6);
+            experiment.f_clk = f;
+            experiment.acquisition = clockmark::measure::Acquisition::paper_chain(f);
+            experiment.acquisition.scope = experiment.acquisition.scope.with_vertical_noise(15e-3);
+            experiment
+        })
+        .collect();
+    let outcomes = ExperimentBatch::new(experiments.clone()).run(&arch(8))?;
+    for ((&mhz, experiment), outcome) in clock_mhz.iter().zip(&experiments).zip(&outcomes) {
+        let model = clockmark_power::PowerModel::new(
+            clockmark_power::EnergyLibrary::tsmc65ll(),
+            experiment.f_clk,
+        );
         let amplitude = clockmark::WatermarkArchitecture::signal_amplitude(&arch(8), &model);
-        let outcome = experiment.run(&arch(8))?;
         println!(
             "{:>7} MHz {:>14} {:>12} {:>10.4} {:>8.1} {:>9}",
             mhz,
@@ -150,16 +198,23 @@ fn main() -> Result<(), clockmark::ClockmarkError> {
         "{:>10} {:>14} {:>10} {:>8} {:>9}",
         "tau (ns)", "attenuation", "peak rho", "z", "detected"
     );
-    for tau_ns in [0.0f64, 10.0, 25.0, 50.0, 150.0] {
-        let mut experiment = Experiment::quick(base_cycles, 7);
-        experiment.acquisition.pdn = clockmark::measure::PdnModel {
-            time_constant_s: tau_ns * 1e-9,
-        };
+    let taus_ns = [0.0f64, 10.0, 25.0, 50.0, 150.0];
+    let experiments: Vec<_> = taus_ns
+        .iter()
+        .map(|&tau_ns| {
+            let mut experiment = Experiment::quick(base_cycles, 7);
+            experiment.acquisition.pdn = clockmark::measure::PdnModel {
+                time_constant_s: tau_ns * 1e-9,
+            };
+            experiment
+        })
+        .collect();
+    let outcomes = ExperimentBatch::new(experiments.clone()).run(&arch(8))?;
+    for ((&tau_ns, experiment), outcome) in taus_ns.iter().zip(&experiments).zip(&outcomes) {
         let predicted = experiment
             .acquisition
             .pdn
             .square_wave_attenuation(experiment.f_clk);
-        let outcome = experiment.run(&arch(8))?;
         println!(
             "{tau_ns:>10.0} {:>14.3} {:>10.4} {:>8.1} {:>9}",
             predicted,
@@ -179,12 +234,19 @@ fn main() -> Result<(), clockmark::ClockmarkError> {
         "{:>10} {:>12} {:>10} {:>8} {:>9}",
         "V_dd", "amplitude", "peak rho", "z", "detected"
     );
-    for volts in [0.8f64, 1.0, 1.2, 1.4] {
-        let mut experiment = Experiment::quick(base_cycles, 8);
-        experiment.library = clockmark_power::EnergyLibrary::tsmc65ll().at_supply(volts);
+    let supplies = [0.8f64, 1.0, 1.2, 1.4];
+    let experiments: Vec<_> = supplies
+        .iter()
+        .map(|&volts| {
+            let mut experiment = Experiment::quick(base_cycles, 8);
+            experiment.library = clockmark_power::EnergyLibrary::tsmc65ll().at_supply(volts);
+            experiment
+        })
+        .collect();
+    let outcomes = ExperimentBatch::new(experiments.clone()).run(&arch(8))?;
+    for ((&volts, experiment), outcome) in supplies.iter().zip(&experiments).zip(&outcomes) {
         let model = clockmark_power::PowerModel::new(experiment.library, experiment.f_clk);
         let amplitude = clockmark::WatermarkArchitecture::signal_amplitude(&arch(8), &model);
-        let outcome = experiment.run(&arch(8))?;
         println!(
             "{volts:>9.1}V {:>12} {:>10.4} {:>8.1} {:>9}",
             amplitude.to_string(),

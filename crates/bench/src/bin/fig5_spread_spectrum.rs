@@ -12,7 +12,7 @@
 //! cargo run --release -p clockmark-bench --bin fig5_spread_spectrum -- --quick
 //! ```
 
-use clockmark::{ClockModulationWatermark, Experiment, WgcConfig};
+use clockmark::{ClockModulationWatermark, Experiment, ExperimentBatch, WgcConfig};
 use clockmark_bench::{has_flag, render_spectrum};
 
 fn main() -> Result<(), clockmark::ClockmarkError> {
@@ -44,13 +44,22 @@ fn main() -> Result<(), clockmark::ClockmarkError> {
         ("(d) chip II, watermark inactive", chip_ii, false),
     ];
 
-    for (title, experiment, active) in panels {
-        let experiment = if active {
-            experiment
-        } else {
-            experiment.disabled()
-        };
-        let outcome = experiment.run(&arch)?;
+    // All four panels are independent: run them as one parallel batch
+    // (CLOCKMARK_THREADS overrides the worker count). Outcomes come back
+    // in panel order.
+    let experiments = panels
+        .iter()
+        .map(|(_, experiment, active)| {
+            if *active {
+                experiment.clone()
+            } else {
+                experiment.clone().disabled()
+            }
+        })
+        .collect();
+    let outcomes = ExperimentBatch::new(experiments).run(&arch)?;
+
+    for ((title, _, active), outcome) in panels.iter().zip(outcomes) {
         println!("==== Fig. 5{title} ====");
         println!("{}", outcome.detection);
         println!(
@@ -60,7 +69,7 @@ fn main() -> Result<(), clockmark::ClockmarkError> {
             outcome.spectrum.floor_max_abs()
         );
         println!("{}", render_spectrum(&outcome.spectrum, 32));
-        if active {
+        if *active {
             assert!(
                 outcome.detection.detected,
                 "active panel must resolve a peak"

@@ -11,7 +11,7 @@
 //! cargo run --release -p clockmark-bench --bin fig6_boxplots -- --quick
 //! ```
 
-use clockmark::{ChipModel, ClockModulationWatermark, Experiment, WgcConfig};
+use clockmark::{ChipModel, ClockModulationWatermark, Experiment, ExperimentBatch, WgcConfig};
 use clockmark_bench::{arg_value, has_flag};
 use clockmark_cpa::RotationEnsemble;
 
@@ -41,8 +41,11 @@ fn main() -> Result<(), clockmark::ClockmarkError> {
         let period = arch.wgc.period()?;
         let mut ensemble = RotationEnsemble::new(period);
         let mut detections = 0usize;
-        for rep in 0..reps {
-            let outcome = base.clone().with_seed(1000 + rep as u64).run(&arch)?;
+        // Repetitions are independent, so fan them across worker threads
+        // (CLOCKMARK_THREADS overrides the count); seed order is preserved.
+        let seeds = 1000..1000 + reps as u64;
+        let outcomes = ExperimentBatch::repeat_with_seeds(&base, seeds).run(&arch)?;
+        for outcome in &outcomes {
             detections += outcome.detection.detected as usize;
             ensemble.add(&outcome.spectrum)?;
         }

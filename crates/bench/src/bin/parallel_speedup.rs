@@ -1,0 +1,85 @@
+//! Wall-clock comparison of the serial experiment loop against the
+//! [`ExperimentBatch`] std-thread engine on a repetition sweep, verifying
+//! along the way that the two produce bit-identical outcomes.
+//!
+//! The sweep mirrors the Fig. 6 repetition study: the same experiment
+//! re-run once per seed. Every run is independent, so the batch runner's
+//! speedup should approach the machine's core count. On a single-core
+//! machine the two necessarily tie (the ≥ 2× acceptance check is applied
+//! only when at least 4 cores are available).
+//!
+//! ```sh
+//! cargo run --release -p clockmark-bench --bin parallel_speedup                 # 16 seeds
+//! cargo run --release -p clockmark-bench --bin parallel_speedup -- --seeds 50
+//! cargo run --release -p clockmark-bench --bin parallel_speedup -- --quick
+//! CLOCKMARK_THREADS=2 cargo run --release -p clockmark-bench --bin parallel_speedup
+//! ```
+
+use clockmark::{ClockModulationWatermark, Experiment, ExperimentBatch, WgcConfig};
+use clockmark_bench::{arg_value, has_flag};
+use std::time::Instant;
+
+fn main() -> Result<(), clockmark::ClockmarkError> {
+    let quick = has_flag("--quick");
+    let seeds = arg_value("--seeds", 16) as u64;
+    let cycles = if quick { 4_000 } else { 12_000 };
+
+    let arch = ClockModulationWatermark {
+        wgc: WgcConfig::MaxLengthLfsr { width: 8, seed: 1 },
+        ..ClockModulationWatermark::paper()
+    };
+    let base = Experiment::quick(cycles, 0);
+    let threads = clockmark_cpa::thread_count();
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    println!("parallel experiment engine: {seeds}-seed sweep, {cycles} cycles per run");
+    println!(
+        "machine: {cores} core(s); using {threads} worker thread(s) \
+         (set CLOCKMARK_THREADS to override)\n"
+    );
+
+    // One untimed run primes the allocator and caches for both sides.
+    base.clone().with_seed(u64::MAX).run(&arch)?;
+
+    let start = Instant::now();
+    let serial = (0..seeds)
+        .map(|seed| base.clone().with_seed(seed).run(&arch))
+        .collect::<Result<Vec<_>, _>>()?;
+    let serial_time = start.elapsed();
+
+    let start = Instant::now();
+    let parallel = ExperimentBatch::repeat_with_seeds(&base, 0..seeds).run(&arch)?;
+    let parallel_time = start.elapsed();
+
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            a.detection.peak_rho.to_bits(),
+            b.detection.peak_rho.to_bits(),
+            "scheduling must not change any outcome"
+        );
+        assert_eq!(a.spectrum.rho(), b.spectrum.rho());
+    }
+
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9);
+    println!("serial loop  : {serial_time:>10.2?}");
+    println!("batch runner : {parallel_time:>10.2?}  ({threads} thread(s))");
+    println!("speedup      : {speedup:.2}x");
+    println!("\nall {seeds} outcomes bit-identical between the two runs");
+
+    if cores >= 4 && threads >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "expected >= 2x speedup with {cores} cores and {threads} threads, measured {speedup:.2}x"
+        );
+        println!("acceptance: >= 2x speedup with {cores} cores — met");
+    } else {
+        println!(
+            "note: {cores} core(s) / {threads} thread(s) cannot demonstrate parallel speedup; \
+             the >= 2x acceptance check applies on machines with >= 4 cores"
+        );
+    }
+    Ok(())
+}

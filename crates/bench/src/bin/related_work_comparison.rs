@@ -52,28 +52,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         wgc: wgc.clone(),
         ..LoadCircuitWatermark::paper_equivalent()
     };
-    let mut netlist = Netlist::new();
-    let clk = netlist.add_clock_root("clk");
-    let load_wm = load.embed(&mut netlist, clk.into())?;
-    let load_outcome = Experiment::quick(15_000, 31).run(&load)?;
-    let load_attack = removal_attack(&netlist, &load_wm)?;
+    let mut load_netlist = Netlist::new();
+    let clk = load_netlist.add_clock_root("clk");
+    let load_wm = load.embed(&mut load_netlist, clk.into())?;
 
     // --- 3. clock-modulation power watermark (reused IP deployment) ---------
     let proposed = ClockModulationWatermark {
         wgc,
         ..ClockModulationWatermark::paper()
     };
-    let mut netlist = Netlist::new();
-    let clk = netlist.add_clock_root("clk");
-    let block = FunctionalBlock::synthesize(&mut netlist, "ip", clk.into(), 32, 32)?;
-    let cm_wm = proposed.embed_reusing(&mut netlist, clk.into(), &block)?;
-    let drivers: Vec<_> = block
-        .enables
-        .iter()
-        .map(|&e| (e, clockmark_sim::SignalDriver::Constant(true)))
-        .collect();
-    let cm_outcome = Experiment::quick(15_000, 32).run_embedded_with(&netlist, &cm_wm, drivers)?;
-    let cm_attack = removal_attack(&netlist, &cm_wm)?;
+    let mut cm_netlist = Netlist::new();
+    let clk = cm_netlist.add_clock_root("clk");
+    let block = FunctionalBlock::synthesize(&mut cm_netlist, "ip", clk.into(), 32, 32)?;
+    let cm_wm = proposed.embed_reusing(&mut cm_netlist, clk.into(), &block)?;
+
+    // The two power-watermark detection experiments are independent; run
+    // them on worker threads (CLOCKMARK_THREADS overrides the count).
+    let jobs = [true, false];
+    let mut outcomes = clockmark::parallel_map(&jobs, clockmark_cpa::thread_count(), |&is_load| {
+        if is_load {
+            Experiment::quick(15_000, 31).run(&load)
+        } else {
+            let drivers: Vec<_> = block
+                .enables
+                .iter()
+                .map(|&e| (e, clockmark_sim::SignalDriver::Constant(true)))
+                .collect();
+            Experiment::quick(15_000, 32).run_embedded_with(&cm_netlist, &cm_wm, drivers)
+        }
+    })
+    .into_iter();
+    let load_outcome = outcomes.next().expect("two jobs")?;
+    let cm_outcome = outcomes.next().expect("two jobs")?;
+    let load_attack = removal_attack(&load_netlist, &load_wm)?;
+    let cm_attack = removal_attack(&cm_netlist, &cm_wm)?;
 
     println!("related-work comparison (Section I, made executable)\n");
     println!(

@@ -67,14 +67,33 @@ fn main() -> Result<(), clockmark::ClockmarkError> {
     let block = FunctionalBlock::synthesize(&mut netlist, "ip", clk.into(), 32, 32)?;
     let wm = proposed.embed_reusing(&mut netlist, clk.into(), &block)?;
 
-    // Before the attack: the watermark detects end-to-end through the
-    // block's own clock tree.
-    let drivers: Vec<_> = block
-        .enables
-        .iter()
-        .map(|&e| (e, SignalDriver::Constant(true)))
-        .collect();
-    let outcome = Experiment::quick(15_000, 9).run_embedded_with(&netlist, &wm, drivers)?;
+    // The pre-attack and post-attack detection runs are independent, so
+    // fan them across worker threads (CLOCKMARK_THREADS overrides the
+    // count). `pre` selects which view of the chip each job measures.
+    let jobs = [true, false];
+    let mut outcomes = clockmark::parallel_map(&jobs, clockmark_cpa::thread_count(), |&pre| {
+        if pre {
+            // Before the attack: the watermark detects end-to-end through
+            // the block's own clock tree.
+            let drivers: Vec<_> = block
+                .enables
+                .iter()
+                .map(|&e| (e, SignalDriver::Constant(true)))
+                .collect();
+            Experiment::quick(15_000, 9).run_embedded_with(&netlist, &wm, drivers)
+        } else {
+            // After the attack (watermark excised ≅ WGC gone, enables
+            // broken): emulate the detector's view of a chip without the
+            // watermark.
+            Experiment::quick(15_000, 10)
+                .disabled()
+                .run_embedded(&netlist, &wm)
+        }
+    })
+    .into_iter();
+    let outcome = outcomes.next().expect("two jobs")?;
+    let post = outcomes.next().expect("two jobs")?;
+
     println!(
         "\n3. {} — reusing the ip block's clock gates:",
         proposed.name()
@@ -86,11 +105,6 @@ fn main() -> Result<(), clockmark::ClockmarkError> {
     println!("   removal attack: {report}");
     assert_eq!(report.verdict, AttackVerdict::FunctionalDamage);
 
-    // After the attack (watermark excised ≅ WGC gone, enables broken):
-    // emulate the detector's view of a chip without the watermark.
-    let post = Experiment::quick(15_000, 10)
-        .disabled()
-        .run_embedded(&netlist, &wm)?;
     println!("   post-attack detection: {}", post.detection);
     assert!(!post.detection.detected);
 

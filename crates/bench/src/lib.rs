@@ -18,7 +18,7 @@ use clockmark_cpa::SpreadSpectrum;
 pub fn render_spectrum(spectrum: &SpreadSpectrum, bins: usize) -> String {
     let period = spectrum.period();
     let bins = bins.min(period).max(1);
-    let (peak_rotation, peak_value) = spectrum.peak();
+    let (peak_rotation, peak_value) = spectrum.peak_abs();
     let scale = peak_value.abs().max(1e-12);
 
     let mut out = String::new();

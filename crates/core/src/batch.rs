@@ -1,0 +1,227 @@
+//! A std-thread parallel experiment engine.
+//!
+//! The paper's evaluation repeats independent [`Experiment`] runs many
+//! times — 50 repetitions per box of Fig. 6, a dozen configurations per
+//! ablation sweep — and every run is embarrassingly parallel: experiments
+//! share nothing and each seeds its own RNG. [`ExperimentBatch`] fans such
+//! runs across worker threads with [`std::thread::scope`], preserving the
+//! input order of the results so a parallel sweep prints byte-identical
+//! tables to a serial one.
+//!
+//! Worker count comes from [`clockmark_cpa::thread_count`]: the
+//! `CLOCKMARK_THREADS` environment variable when set, the machine's
+//! available parallelism otherwise.
+
+use crate::{ClockmarkError, Experiment, ExperimentOutcome, WatermarkArchitecture};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item on up to `threads` worker threads, returning
+/// the results **in input order**.
+///
+/// Items are claimed from a shared counter, so threads stay busy even when
+/// per-item cost varies; ordering is restored afterwards. With `threads`
+/// ≤ 1 (or a single item) everything runs on the calling thread — same
+/// results, no spawn overhead.
+///
+/// ```
+/// let squares = clockmark::parallel_map(&[1, 2, 3, 4], 8, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(idx) else { break };
+                        mine.push((idx, f(item)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for handle in handles {
+            indexed.extend(handle.join().expect("batch worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|(idx, _)| *idx);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A set of independent experiments run across worker threads.
+///
+/// ```
+/// # fn main() -> Result<(), clockmark::ClockmarkError> {
+/// use clockmark::{ClockModulationWatermark, Experiment, ExperimentBatch, WgcConfig};
+///
+/// let arch = ClockModulationWatermark {
+///     wgc: WgcConfig::MaxLengthLfsr { width: 8, seed: 1 },
+///     ..ClockModulationWatermark::paper()
+/// };
+/// let outcomes = ExperimentBatch::repeat_with_seeds(&Experiment::quick(12_000, 0), 1..=4)
+///     .run(&arch)?;
+/// assert_eq!(outcomes.len(), 4);
+/// assert!(outcomes.iter().all(|o| o.detection.detected));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentBatch {
+    experiments: Vec<Experiment>,
+    threads: usize,
+}
+
+impl ExperimentBatch {
+    /// A batch over explicit experiments, using
+    /// [`clockmark_cpa::thread_count`] workers.
+    pub fn new(experiments: Vec<Experiment>) -> Self {
+        ExperimentBatch {
+            experiments,
+            threads: clockmark_cpa::thread_count(),
+        }
+    }
+
+    /// The repetition study of Fig. 6: the same experiment re-run once per
+    /// seed (results come back in seed order).
+    pub fn repeat_with_seeds(base: &Experiment, seeds: impl IntoIterator<Item = u64>) -> Self {
+        Self::new(
+            seeds
+                .into_iter()
+                .map(|seed| base.clone().with_seed(seed))
+                .collect(),
+        )
+    }
+
+    /// Overrides the worker count (primarily for tests and benchmarks;
+    /// clamped to at least 1 worker at run time).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of experiments in the batch.
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    /// The experiments in run order.
+    pub fn experiments(&self) -> &[Experiment] {
+        &self.experiments
+    }
+
+    /// Runs every experiment against one architecture, in parallel, and
+    /// returns the outcomes **in input order**.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest-ordered failing experiment (the
+    /// same one a serial loop would have reported first).
+    pub fn run<A>(&self, architecture: &A) -> Result<Vec<ExperimentOutcome>, ClockmarkError>
+    where
+        A: WatermarkArchitecture + Sync + ?Sized,
+    {
+        parallel_map(&self.experiments, self.threads, |experiment| {
+            experiment.run(architecture)
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClockModulationWatermark, WgcConfig};
+
+    fn small_arch() -> ClockModulationWatermark {
+        ClockModulationWatermark {
+            words: 32,
+            regs_per_word: 32,
+            switching_registers: 0,
+            wgc: WgcConfig::MaxLengthLfsr { width: 8, seed: 1 },
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..57).collect();
+        for threads in [1, 2, 5, 16] {
+            let out = parallel_map(&items, threads, |&x| x * 3);
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_input() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn batch_matches_a_serial_loop_exactly() {
+        let base = Experiment::quick(6_000, 0);
+        let arch = small_arch();
+        let seeds = [11u64, 12, 13, 14, 15];
+
+        let serial: Vec<_> = seeds
+            .iter()
+            .map(|&s| base.clone().with_seed(s).run(&arch).expect("runs"))
+            .collect();
+        let parallel = ExperimentBatch::repeat_with_seeds(&base, seeds)
+            .with_threads(4)
+            .run(&arch)
+            .expect("runs");
+
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            // The pipeline is fully seeded, so each repetition is
+            // reproducible: parallel scheduling must not change anything.
+            assert_eq!(
+                a.detection.peak_rho.to_bits(),
+                b.detection.peak_rho.to_bits()
+            );
+            assert_eq!(a.detection.peak_rotation, b.detection.peak_rotation);
+            assert_eq!(a.spectrum.rho(), b.spectrum.rho());
+        }
+    }
+
+    #[test]
+    fn batch_propagates_the_first_error_in_order() {
+        let good = Experiment::quick(5_000, 1);
+        let mut zero = Experiment::quick(5_000, 2);
+        zero.cycles = 0;
+        let batch = ExperimentBatch::new(vec![good.clone(), zero, good]).with_threads(3);
+        assert!(matches!(
+            batch.run(&small_arch()),
+            Err(ClockmarkError::ZeroCycles)
+        ));
+    }
+
+    #[test]
+    fn batch_accessors_report_contents() {
+        let batch = ExperimentBatch::repeat_with_seeds(&Experiment::quick(1_000, 0), 0..6);
+        assert_eq!(batch.len(), 6);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.experiments()[3].seed, 3);
+        assert!(ExperimentBatch::new(Vec::new()).is_empty());
+    }
+}

@@ -60,6 +60,7 @@
 
 mod arch;
 pub mod attack;
+mod batch;
 mod error;
 pub mod overhead;
 mod pipeline;
@@ -71,6 +72,7 @@ pub use arch::{
     WatermarkArchitecture,
 };
 pub use attack::{removal_attack, AttackReport, AttackVerdict};
+pub use batch::{parallel_map, ExperimentBatch};
 pub use error::ClockmarkError;
 pub use pipeline::{ChipModel, Experiment, ExperimentOutcome};
 pub use wgc::{StructuralWgc, WgcConfig};

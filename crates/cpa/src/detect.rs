@@ -35,12 +35,20 @@ impl DetectionCriterion {
     }
 
     /// Evaluates the criterion against a spectrum.
+    ///
+    /// The decision is made on the coefficient *magnitude*, so an inverted
+    /// watermark (power drops when the pattern bit is high) is detected at
+    /// the same rotation; `peak_rho` keeps the sign so the polarity can be
+    /// read off the result. A degenerate (all-zero) spectrum — e.g. from a
+    /// constant trace — never detects.
     pub fn evaluate(&self, spectrum: &SpreadSpectrum) -> DetectionResult {
-        let (peak_rotation, peak_rho) = spectrum.peak();
+        let (peak_rotation, peak_rho) = spectrum.peak_abs();
         let ratio = spectrum.peak_to_floor_ratio();
         let zscore = spectrum.peak_zscore();
         DetectionResult {
-            detected: ratio >= self.min_peak_ratio && zscore >= self.min_zscore,
+            detected: !spectrum.is_degenerate()
+                && ratio >= self.min_peak_ratio
+                && zscore >= self.min_zscore,
             peak_rotation,
             peak_rho,
             floor_max_abs: spectrum.floor_max_abs(),
@@ -67,11 +75,12 @@ pub struct DetectionResult {
     /// The rotation at which the peak occurred (the phase offset between
     /// acquisition start and the watermark period).
     pub peak_rotation: usize,
-    /// The peak correlation coefficient.
+    /// The correlation coefficient at the magnitude peak, sign preserved:
+    /// negative for an inverted watermark.
     pub peak_rho: f64,
     /// The largest |ρ| among all other rotations.
     pub floor_max_abs: f64,
-    /// `peak_rho / floor_max_abs`.
+    /// `|peak_rho| / floor_max_abs`.
     pub ratio: f64,
     /// Peak z-score against the floor distribution.
     pub zscore: f64,
@@ -101,7 +110,7 @@ mod tests {
     use super::*;
     use crate::spread_spectrum;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn noisy_watermarked(amplitude: f64, noise: f64, seed: u64) -> (Vec<bool>, Vec<f64>) {
         use clockmark_seq::{Lfsr, SequenceGenerator};
@@ -159,6 +168,36 @@ mod tests {
         let s = spread_spectrum(&pattern, &y).expect("valid");
         let missed = s.detect(&DetectionCriterion::default());
         assert!(missed.to_string().contains("not detected"));
+    }
+
+    #[test]
+    fn constant_trace_is_not_detected() {
+        // Regression: a zero-variance trace used to yield an all-zero
+        // spectrum whose ratio and z-score were both +∞ → DETECTED.
+        let pattern = [true, false, true, true, false, false, true];
+        let y = vec![3.3; 700];
+        let s = spread_spectrum(&pattern, &y).expect("valid");
+        let result = s.detect(&DetectionCriterion::default());
+        assert!(!result.detected, "{result}");
+        assert!(result.ratio.is_finite());
+        assert!(result.zscore.is_finite());
+    }
+
+    #[test]
+    fn inverted_watermark_is_detected_at_the_right_phase() {
+        // Regression: detection used to maximise the *signed* ρ, so a
+        // polarity-inverted watermark (power drops when the bit is high)
+        // was invisible to the detector.
+        let (pattern, y) = noisy_watermarked(-1.0, 2.0, 12);
+        let s = spread_spectrum(&pattern, &y).expect("valid");
+        let result = s.detect(&DetectionCriterion::default());
+        assert!(result.detected, "{result}");
+        assert_eq!(result.peak_rotation, 17);
+        assert!(
+            result.peak_rho < 0.0,
+            "sign must be preserved: {}",
+            result.peak_rho
+        );
     }
 
     #[test]

@@ -20,6 +20,14 @@ pub enum CpaError {
     /// The watermark pattern is constant (all zeros or all ones), so its
     /// variance is zero and no correlation is defined.
     ConstantPattern,
+    /// A streaming detector was queried before consuming one full
+    /// watermark period, so no rotation hypothesis can be evaluated yet.
+    InsufficientCycles {
+        /// Cycles consumed so far.
+        have: u64,
+        /// Cycles required (one watermark period).
+        need: usize,
+    },
     /// Spectra from experiments with different periods were combined.
     PeriodMismatch {
         /// Period expected by the ensemble.
@@ -44,6 +52,13 @@ impl fmt::Display for CpaError {
             CpaError::ConstantPattern => {
                 write!(f, "watermark pattern is constant and has no variance")
             }
+            CpaError::InsufficientCycles { have, need } => {
+                write!(
+                    f,
+                    "only {have} cycles consumed; at least {need} \
+                     (one watermark period) are required"
+                )
+            }
             CpaError::PeriodMismatch { expected, got } => {
                 write!(
                     f,
@@ -65,5 +80,17 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CpaError>();
         assert!(CpaError::ConstantPattern.to_string().contains("constant"));
+    }
+
+    #[test]
+    fn insufficient_cycles_reports_both_counts() {
+        let msg = CpaError::InsufficientCycles {
+            have: 50,
+            need: 127,
+        }
+        .to_string();
+        assert!(msg.contains("50"), "{msg}");
+        assert!(msg.contains("127"), "{msg}");
+        assert!(msg.contains("period"), "{msg}");
     }
 }

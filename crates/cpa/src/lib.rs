@@ -43,6 +43,7 @@
 
 mod detect;
 mod error;
+mod parallel;
 mod pearson;
 mod rotational;
 mod significance;
@@ -51,6 +52,7 @@ mod streaming;
 
 pub use detect::{DetectionCriterion, DetectionResult};
 pub use error::CpaError;
+pub use parallel::{spread_spectrum_parallel, thread_count};
 pub use pearson::pearson;
 pub use rotational::{spread_spectrum, spread_spectrum_naive, SpreadSpectrum};
 pub use significance::{normal_cdf, peak_false_positive_probability};

@@ -26,7 +26,11 @@ impl SpreadSpectrum {
         self.rho.len()
     }
 
-    /// The rotation with the largest coefficient, and its value.
+    /// The rotation with the largest *signed* coefficient, and its value.
+    ///
+    /// Detection statistics use [`peak_abs`](Self::peak_abs) instead, so an
+    /// inverted watermark (power *drops* when the pattern bit is high, e.g.
+    /// an attacker re-inverting the modulation polarity) is still found.
     ///
     /// # Panics
     ///
@@ -41,10 +45,35 @@ impl SpreadSpectrum {
         (idx, val)
     }
 
+    /// The rotation whose coefficient has the largest magnitude, and its
+    /// *signed* value — negative for an inverted watermark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectrum is empty, which the constructors prevent.
+    pub fn peak_abs(&self) -> (usize, f64) {
+        let (idx, &val) = self
+            .rho
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .expect("spectra are non-empty by construction");
+        (idx, val)
+    }
+
+    /// Whether every coefficient is exactly zero — a zero-variance
+    /// (constant) trace, where correlation is undefined and
+    /// [`correlation_from_sums`] reports 0 for every rotation. No peak can
+    /// be resolved from such a spectrum.
+    pub fn is_degenerate(&self) -> bool {
+        self.rho.iter().all(|&r| r == 0.0)
+    }
+
     /// The largest absolute coefficient among all rotations *except* the
-    /// peak — the noise floor the peak must clear to be "resolved".
+    /// magnitude peak — the noise floor the peak must clear to be
+    /// "resolved".
     pub fn floor_max_abs(&self) -> f64 {
-        let (peak_idx, _) = self.peak();
+        let (peak_idx, _) = self.peak_abs();
         self.rho
             .iter()
             .enumerate()
@@ -55,7 +84,7 @@ impl SpreadSpectrum {
 
     /// Mean of the non-peak coefficients.
     pub fn floor_mean(&self) -> f64 {
-        let (peak_idx, _) = self.peak();
+        let (peak_idx, _) = self.peak_abs();
         let n = self.rho.len() - 1;
         if n == 0 {
             return 0.0;
@@ -71,7 +100,7 @@ impl SpreadSpectrum {
 
     /// Population standard deviation of the non-peak coefficients.
     pub fn floor_std(&self) -> f64 {
-        let (peak_idx, _) = self.peak();
+        let (peak_idx, _) = self.peak_abs();
         let n = self.rho.len() - 1;
         if n == 0 {
             return 0.0;
@@ -88,27 +117,40 @@ impl SpreadSpectrum {
         var.sqrt()
     }
 
-    /// Peak value divided by the largest other absolute value. Greater than
-    /// one means the peak stands above everything else.
+    /// Peak magnitude divided by the largest other absolute value. Greater
+    /// than one means the peak stands above everything else.
+    ///
+    /// A degenerate (all-zero) spectrum has no peak at all and reports
+    /// `0.0`, never a spurious infinity.
     pub fn peak_to_floor_ratio(&self) -> f64 {
-        let (_, peak) = self.peak();
+        let (_, peak) = self.peak_abs();
+        let peak = peak.abs();
         let floor = self.floor_max_abs();
-        if floor == 0.0 {
+        if peak == 0.0 {
+            0.0
+        } else if floor == 0.0 {
             f64::INFINITY
         } else {
             peak / floor
         }
     }
 
-    /// How many floor standard deviations the peak stands above the floor
-    /// mean.
+    /// How many floor standard deviations the peak magnitude stands away
+    /// from the floor mean.
+    ///
+    /// A degenerate (all-zero) spectrum reports `0.0`; a peak coinciding
+    /// with the floor mean likewise scores `0.0` even when the floor has no
+    /// spread.
     pub fn peak_zscore(&self) -> f64 {
-        let (_, peak) = self.peak();
+        let (_, peak) = self.peak_abs();
+        let distance = (peak - self.floor_mean()).abs();
         let std = self.floor_std();
-        if std == 0.0 {
+        if distance == 0.0 {
+            0.0
+        } else if std == 0.0 {
             f64::INFINITY
         } else {
-            (peak - self.floor_mean()) / std
+            distance / std
         }
     }
 
@@ -118,7 +160,7 @@ impl SpreadSpectrum {
     }
 }
 
-fn validate_inputs(pattern: &[bool], y: &[f64]) -> Result<(), CpaError> {
+pub(crate) fn validate_inputs(pattern: &[bool], y: &[f64]) -> Result<(), CpaError> {
     let period = pattern.len();
     if period < 2 {
         return Err(CpaError::TooShort { len: period });
@@ -173,6 +215,82 @@ pub fn spread_spectrum_naive(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectr
     Ok(SpreadSpectrum::from_rho(rho))
 }
 
+/// The rotation-invariant folded sums shared by the serial and parallel
+/// spread-spectrum implementations.
+///
+/// Built once in O(N); each rotation's ρ is then an O(W) sum over the
+/// folded arrays, so any partition of the rotation range performs exactly
+/// the same arithmetic per rotation — the basis of the bit-identical
+/// guarantee of [`spread_spectrum_parallel`](crate::spread_spectrum_parallel).
+#[derive(Debug, Clone)]
+pub(crate) struct FoldedTrace {
+    nf: f64,
+    sy: f64,
+    syy: f64,
+    /// Per-residue sums `c_k = Σ_{i ≡ k (mod P)} y_i`.
+    c: Vec<f64>,
+    /// Per-residue counts `m_k = |{i ≡ k (mod P)}|`.
+    m: Vec<u64>,
+    /// Indices of the ones in the pattern.
+    ones: Vec<usize>,
+}
+
+impl FoldedTrace {
+    /// Folds a validated measurement (callers run [`validate_inputs`] first).
+    pub(crate) fn new(pattern: &[bool], y: &[f64]) -> Self {
+        let period = pattern.len();
+        let mut c = vec![0.0f64; period];
+        let mut m = vec![0u64; period];
+        for (i, &yi) in y.iter().enumerate() {
+            let k = i % period;
+            c[k] += yi;
+            m[k] += 1;
+        }
+        FoldedTrace {
+            nf: y.len() as f64,
+            sy: y.iter().sum(),
+            syy: y.iter().map(|v| v * v).sum(),
+            c,
+            m,
+            ones: (0..period).filter(|&j| pattern[j]).collect(),
+        }
+    }
+
+    /// The watermark period.
+    pub(crate) fn period(&self) -> usize {
+        self.c.len()
+    }
+
+    /// The multiply-adds needed for the full spectrum (`P·W`); used to
+    /// decide whether parallelism is worth the thread-spawn overhead.
+    pub(crate) fn work(&self) -> usize {
+        self.period().saturating_mul(self.ones.len())
+    }
+
+    /// ρ for rotations `rotations.start..rotations.end`. The per-rotation
+    /// arithmetic depends only on the folded arrays, never on the chunk
+    /// boundaries, so concatenating ranges reproduces the full spectrum
+    /// bit for bit.
+    pub(crate) fn rho_range(&self, rotations: std::ops::Range<usize>) -> Vec<f64> {
+        let period = self.period();
+        let mut rho = Vec::with_capacity(rotations.len());
+        for r in rotations {
+            let mut sx = 0.0f64;
+            let mut sxy = 0.0f64;
+            for &j in &self.ones {
+                // (j - r) mod P without branching on negatives.
+                let k = (j + period - r) % period;
+                sx += self.m[k] as f64;
+                sxy += self.c[k];
+            }
+            rho.push(correlation_from_sums(
+                self.nf, sx, self.sy, sx, self.syy, sxy,
+            ));
+        }
+        rho
+    }
+}
+
 /// Folded O(N + P·W) rotational CPA (`W` = ones per period).
 ///
 /// Because the model vector is periodic, all rotation-dependent sums reduce
@@ -189,42 +307,25 @@ pub fn spread_spectrum_naive(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectr
 /// Produces bit-identical decisions to [`spread_spectrum_naive`] (values
 /// agree to floating-point accumulation order).
 ///
+/// When the rotation loop is large (≥ ~1 M multiply-adds) and more than
+/// one thread is available (see
+/// [`thread_count`](crate::thread_count)), the loop is chunked across
+/// threads via [`spread_spectrum_parallel`](crate::spread_spectrum_parallel);
+/// the result is bit-identical either way.
+///
 /// # Errors
 ///
 /// Same conditions as [`spread_spectrum_naive`].
 pub fn spread_spectrum(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
     validate_inputs(pattern, y)?;
-    let period = pattern.len();
-    let n = y.len();
-    let nf = n as f64;
-
-    let sy: f64 = y.iter().sum();
-    let syy: f64 = y.iter().map(|v| v * v).sum();
-
-    // Fold y into per-residue sums and counts.
-    let mut c = vec![0.0f64; period];
-    let mut m = vec![0u64; period];
-    for (i, &yi) in y.iter().enumerate() {
-        let k = i % period;
-        c[k] += yi;
-        m[k] += 1;
+    let folded = FoldedTrace::new(pattern, y);
+    let threads = crate::thread_count();
+    if threads > 1 && folded.work() >= crate::parallel::PARALLEL_WORK_THRESHOLD {
+        Ok(crate::parallel::spectrum_from_folded(&folded, threads))
+    } else {
+        let period = folded.period();
+        Ok(SpreadSpectrum::from_rho(folded.rho_range(0..period)))
     }
-
-    let ones: Vec<usize> = (0..period).filter(|&j| pattern[j]).collect();
-
-    let mut rho = Vec::with_capacity(period);
-    for r in 0..period {
-        let mut sx = 0.0f64;
-        let mut sxy = 0.0f64;
-        for &j in &ones {
-            // (j - r) mod P without branching on negatives.
-            let k = (j + period - r) % period;
-            sx += m[k] as f64;
-            sxy += c[k];
-        }
-        rho.push(correlation_from_sums(nf, sx, sy, sx, syy, sxy));
-    }
-    Ok(SpreadSpectrum::from_rho(rho))
 }
 
 #[cfg(test)]
@@ -232,7 +333,7 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     /// Tiles `pattern` starting at `phase` into a clean power trace.
     fn tiled(pattern: &[bool], n: usize, phase: usize, high: f64) -> Vec<f64> {
@@ -311,12 +412,18 @@ mod tests {
     #[test]
     fn spectrum_statistics_on_flat_noise() {
         // Pure constant y: every rotation has zero variance in y → all 0.
+        // A zero-variance trace carries no watermark evidence, so the
+        // statistics must stay finite and the spectrum must not detect.
         let pattern = [true, false, false, true];
         let y = vec![2.5; 64];
         let s = spread_spectrum(&pattern, &y).expect("valid");
         assert!(s.rho().iter().all(|&r| r == 0.0));
+        assert!(s.is_degenerate());
         assert_eq!(s.floor_max_abs(), 0.0);
-        assert_eq!(s.peak_to_floor_ratio(), f64::INFINITY);
+        assert_eq!(s.peak_to_floor_ratio(), 0.0);
+        assert_eq!(s.peak_zscore(), 0.0);
+        let result = s.detect(&crate::DetectionCriterion::default());
+        assert!(!result.detected, "constant trace must not detect: {result}");
     }
 
     #[test]
@@ -327,8 +434,12 @@ mod tests {
             .map(|i| if pattern[i % 5] { 0.0 } else { 1.0 })
             .collect();
         let s = spread_spectrum(&pattern, &y).expect("valid");
-        // Rotation 0 should be strongly negative.
+        // Rotation 0 should be strongly negative, and the magnitude peak
+        // must land there with its sign preserved.
         assert!(s.rho()[0] < -0.9);
+        let (rot, rho) = s.peak_abs();
+        assert_eq!(rot, 0);
+        assert!(rho < -0.9);
     }
 
     proptest! {

@@ -77,9 +77,12 @@ impl SpreadSpectrum {
     /// The false-positive probability of this spectrum's peak for a trace
     /// of `n_cycles` cycles (see
     /// [`peak_false_positive_probability`]).
+    ///
+    /// Uses the peak *magnitude*, so an inverted watermark reports the
+    /// same significance as an upright one.
     pub fn peak_p_value(&self, n_cycles: usize) -> f64 {
-        let (_, peak) = self.peak();
-        peak_false_positive_probability(peak, n_cycles, self.period())
+        let (_, peak) = self.peak_abs();
+        peak_false_positive_probability(peak.abs(), n_cycles, self.period())
     }
 }
 
@@ -88,7 +91,7 @@ mod tests {
     use super::*;
     use crate::spread_spectrum;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn normal_cdf_reference_points() {

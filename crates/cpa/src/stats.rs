@@ -178,7 +178,7 @@ mod tests {
     use crate::spread_spectrum;
     use proptest::prelude::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn percentiles_of_known_distribution() {

@@ -96,13 +96,15 @@ impl StreamingCpa {
     ///
     /// # Errors
     ///
-    /// Returns [`CpaError::TooShort`] until at least one full period has
-    /// been consumed.
+    /// Returns [`CpaError::InsufficientCycles`] until at least one full
+    /// period has been consumed (the `TooShort` variant is reserved for
+    /// patterns that are themselves too short).
     pub fn spectrum(&self) -> Result<SpreadSpectrum, CpaError> {
         let period = self.period();
         if self.cycles < period as u64 {
-            return Err(CpaError::TooShort {
-                len: self.cycles as usize,
+            return Err(CpaError::InsufficientCycles {
+                have: self.cycles,
+                need: period,
             });
         }
         let nf = self.cycles as f64;
@@ -174,7 +176,7 @@ mod tests {
     use super::*;
     use crate::spread_spectrum;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn m_sequence_pattern() -> Vec<bool> {
         use clockmark_seq::{Lfsr, SequenceGenerator};
@@ -277,7 +279,13 @@ mod tests {
         for _ in 0..50 {
             streaming.push(1.0);
         }
-        assert!(streaming.spectrum().is_err());
+        assert_eq!(
+            streaming.spectrum().unwrap_err(),
+            CpaError::InsufficientCycles {
+                have: 50,
+                need: 127
+            }
+        );
         assert!(!streaming.detect(&DetectionCriterion::default()).detected);
     }
 

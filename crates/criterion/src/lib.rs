@@ -1,0 +1,218 @@
+//! A vendored, std-only subset of the [`criterion`](https://docs.rs/criterion)
+//! benchmarking API.
+//!
+//! The build environment for this repository has no reachable crate
+//! registry, so the real `criterion` crate cannot be downloaded. This
+//! shim keeps the workspace's `cargo bench` targets compiling and
+//! producing useful wall-clock numbers: each benchmark runs a short
+//! warm-up, then a fixed number of timed samples, and prints the median
+//! per-iteration time (plus throughput when configured).
+//!
+//! It does **not** implement criterion's statistical machinery (outlier
+//! analysis, regression detection, HTML reports).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in
+/// favour of `std::hint::black_box`, which the workspace already uses).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 30,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&id.to_string(), 30, None, &mut f);
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings (mirrors
+/// `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling
+    /// elements/second reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.throughput, &mut f);
+    }
+
+    /// Benchmarks a closure against an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (a no-op placeholder for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A function+parameter benchmark label (mirrors `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter description.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Work performed per iteration, for derived rates (mirrors
+/// `criterion::Throughput`).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark closure; runs and times the workload
+/// (mirrors `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, collecting one duration per sample after a warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until ~50 ms or 3 iterations, whichever is later.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        // One timed call per sample; for very fast bodies, batch enough
+        // iterations that each sample is at least ~100 µs.
+        let per_iter = warm_start.elapsed() / warm_iters.max(1);
+        let batch = (Duration::from_micros(100).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u32;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        sorted.get(sorted.len() / 2).copied().unwrap_or_default()
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let median = bencher.median();
+    let rate = throughput
+        .map(|t| {
+            let (n, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let per_sec = n as f64 / median.as_secs_f64().max(1e-12);
+            format!("  ({per_sec:.3e} {unit}/s)")
+        })
+        .unwrap_or_default();
+    println!("{label:<55} {median:>12.2?}/iter{rate}");
+}
+
+/// Declares a group function running each benchmark target in order
+/// (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

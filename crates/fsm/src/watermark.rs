@@ -135,7 +135,7 @@ pub fn verify_signature(fsm: &Fsm, key: &Key) -> Result<bool, FsmError> {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     /// A 4-state controller using inputs {0,1} functionally, leaving
     /// inputs {2,3} as don't-cares.

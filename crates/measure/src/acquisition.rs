@@ -1,6 +1,6 @@
 use crate::{gaussian, NoiseModel, Oscilloscope, PdnModel, ShuntProbe};
 use clockmark_power::{Frequency, Power, PowerTrace};
-use rand::RngExt;
+use rand::Rng;
 
 /// The per-cycle measured vector `Y` of the CPA detector.
 ///
@@ -88,7 +88,7 @@ impl Acquisition {
     /// quantised, and their mean becomes the cycle's measurement. The DC
     /// level is auto-offset to the trace mean so the signal stays inside
     /// the ADC range, exactly like centring the trace on a scope screen.
-    pub fn acquire<R: RngExt + ?Sized>(&self, power: &PowerTrace, rng: &mut R) -> MeasuredTrace {
+    pub fn acquire<R: Rng + ?Sized>(&self, power: &PowerTrace, rng: &mut R) -> MeasuredTrace {
         let k = self.samples_per_cycle().max(1);
         let dt = 1.0 / self.scope.sample_rate.hertz();
         let t_cycle = self.f_clk.period_seconds();

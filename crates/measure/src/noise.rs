@@ -1,5 +1,5 @@
 use clockmark_power::Frequency;
-use rand::RngExt;
+use rand::Rng;
 
 /// Draws one standard-normal sample using the Marsaglia polar method.
 ///
@@ -14,7 +14,7 @@ use rand::RngExt;
 /// let mean: f64 = (0..10_000).map(|_| clockmark_measure::gaussian(&mut rng)).sum::<f64>() / 1e4;
 /// assert!(mean.abs() < 0.05);
 /// ```
-pub fn gaussian<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     loop {
         let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
         let v: f64 = rng.random::<f64>() * 2.0 - 1.0;

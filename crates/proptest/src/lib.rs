@@ -1,0 +1,211 @@
+//! A vendored, std-only subset of the [`proptest`](https://docs.rs/proptest)
+//! property-testing API.
+//!
+//! The build environment for this repository has no reachable crate
+//! registry, so the real `proptest` crate cannot be downloaded. This crate
+//! implements the subset the workspace's tests use — the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map`, ranges / [`Just`] / tuple /
+//! regex-string strategies, [`collection::vec`], [`option::of`],
+//! [`prop_oneof!`], `any::<T>()` and the `prop_assert*` family — with the
+//! same semantics: each test body runs against many generated inputs and a
+//! failure reports the inputs that produced it.
+//!
+//! Two deliberate simplifications versus the real crate:
+//!
+//! - **no shrinking** — a failing case reports the original input instead
+//!   of a minimised one;
+//! - **deterministic seeding** — cases derive from a hash of the test name,
+//!   so failures always reproduce.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Returns the canonical strategy for a type (`any::<bool>()`,
+/// `any::<u64>()`, …).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy behind `any::<T>()` for primitives: the type's full range.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyOf<T>(core::marker::PhantomData<T>);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyOf<$t>;
+            fn arbitrary() -> Self::Strategy { AnyOf(core::marker::PhantomData) }
+        }
+        impl Strategy for AnyOf<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = AnyOf<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyOf(core::marker::PhantomData)
+    }
+}
+impl Strategy for AnyOf<bool> {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyOf<f64>;
+    fn arbitrary() -> Self::Strategy {
+        AnyOf(core::marker::PhantomData)
+    }
+}
+impl Strategy for AnyOf<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = (rng.unit_f64() * 600.0 - 300.0).exp2();
+        if rng.next_u64() & 1 == 0 {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+/// The workhorse macro: wraps `#[test]` functions whose arguments are
+/// drawn from strategies, running each body against many generated
+/// inputs (mirrors `proptest::proptest!`, without shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    (@run ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_cases(&__config, stringify!($name), |__rng, __inputs| {
+                    let __vals = ( $( $crate::strategy::Strategy::new_value(&($strat), __rng), )+ );
+                    *__inputs = ::std::format!("{:?}", __vals);
+                    let ( $($pat,)+ ) = __vals;
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `(left == right)`\n\tleft: {:?}\n\tright: {:?}",
+                    __l, __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `(left == right)`: {}\n\tleft: {:?}\n\tright: {:?}",
+                    ::std::format!($($fmt)+), __l, __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: `(left != right)`\n\tboth: {:?}", __l),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when a precondition does not hold (the case is
+/// regenerated, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type
+/// (mirrors `proptest::prop_oneof!`, without weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}

@@ -1,0 +1,7 @@
+//! The glob-import surface (`use proptest::prelude::*`), mirroring the
+//! real crate's prelude.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{any, Arbitrary};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};

@@ -1,0 +1,313 @@
+//! Generation of strings from the small regex subset the workspace's
+//! string strategies use: literals, character classes (`[a-z]`, `[ -~]`,
+//! `[\PC\n]`), and `{m,n}` / `{n}` / `*` / `+` / `?` repetition.
+//!
+//! This is a *generator*, not a matcher: it only needs to produce strings
+//! the pattern would accept, with enough variety to exercise parsers.
+
+use crate::test_runner::TestRng;
+
+/// One unit of the pattern with its repetition bounds.
+#[derive(Debug, Clone)]
+struct Atom {
+    kind: AtomKind,
+    min: usize,
+    max: usize,
+}
+
+#[derive(Debug, Clone)]
+enum AtomKind {
+    Literal(char),
+    /// Characters and inclusive ranges a class draws from, plus whether the
+    /// class includes the `\PC` "any non-control character" escape.
+    Class {
+        singles: Vec<char>,
+        ranges: Vec<(char, char)>,
+        printable: bool,
+    },
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax the subset does not cover (anchors, groups,
+/// alternation) — the panic message names the offending pattern so the
+/// strategy can be extended.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = if atom.min == atom.max {
+            atom.min
+        } else {
+            rng.usize_in(atom.min, atom.max + 1)
+        };
+        for _ in 0..n {
+            out.push(sample_atom(&atom.kind, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(kind: &AtomKind, rng: &mut TestRng) -> char {
+    match kind {
+        AtomKind::Literal(c) => *c,
+        AtomKind::Class {
+            singles,
+            ranges,
+            printable,
+        } => {
+            // Weight choices: each single and each range counts once, the
+            // printable escape (when present) counts twice to keep its
+            // share substantial.
+            let options = singles.len() + ranges.len() + if *printable { 2 } else { 0 };
+            let pick = rng.usize_in(0, options.max(1));
+            if pick < singles.len() {
+                singles[pick]
+            } else if pick < singles.len() + ranges.len() {
+                let (lo, hi) = ranges[pick - singles.len()];
+                let span = hi as u32 - lo as u32 + 1;
+                // Re-draw on the surrogate gap (only reachable for exotic
+                // explicit ranges; the workspace uses ASCII ranges).
+                loop {
+                    let v = lo as u32 + rng.below(span as u64) as u32;
+                    if let Some(c) = char::from_u32(v) {
+                        return c;
+                    }
+                }
+            } else {
+                sample_printable(rng)
+            }
+        }
+    }
+}
+
+/// A non-control character: mostly printable ASCII, occasionally a
+/// multi-byte code point to stress UTF-8 handling.
+fn sample_printable(rng: &mut TestRng) -> char {
+    const EXOTIC: [char; 8] = ['é', 'ß', 'λ', '中', '→', '€', '‽', '🦀'];
+    if rng.below(8) == 0 {
+        EXOTIC[rng.usize_in(0, EXOTIC.len())]
+    } else {
+        char::from_u32(0x20 + rng.below(0x5F) as u32).expect("printable ASCII")
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let kind = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                class
+            }
+            '\\' => {
+                i += 1;
+                let (c, next) = parse_escape(&chars, i, pattern);
+                i = next;
+                c
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("regex construct '{}' not supported by the vendored proptest string strategy (pattern {pattern:?})", chars[i])
+            }
+            c => {
+                i += 1;
+                AtomKind::Literal(c)
+            }
+        };
+        // Optional repetition suffix.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i)
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("repetition bound"),
+                            hi.trim().parse().expect("repetition bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("repetition count");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { kind, min, max });
+    }
+    atoms
+}
+
+/// Parses a `\x` escape starting at `i` (past the backslash); returns the
+/// atom and the index after it.
+fn parse_escape(chars: &[char], i: usize, pattern: &str) -> (AtomKind, usize) {
+    let c = *chars
+        .get(i)
+        .unwrap_or_else(|| panic!("dangling backslash in pattern {pattern:?}"));
+    match c {
+        'n' => (AtomKind::Literal('\n'), i + 1),
+        't' => (AtomKind::Literal('\t'), i + 1),
+        'r' => (AtomKind::Literal('\r'), i + 1),
+        'P' | 'p' => {
+            // Unicode category escape; the workspace only uses \PC ("not
+            // control"), which we model as "any printable character".
+            let class = *chars
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("dangling \\P in pattern {pattern:?}"));
+            assert!(
+                c == 'P' && class == 'C',
+                "only the \\PC escape is supported (pattern {pattern:?})"
+            );
+            (
+                AtomKind::Class {
+                    singles: Vec::new(),
+                    ranges: Vec::new(),
+                    printable: true,
+                },
+                i + 2,
+            )
+        }
+        other => (AtomKind::Literal(other), i + 1),
+    }
+}
+
+/// Parses a character class starting at `i` (past the `[`); returns the
+/// atom and the index after the closing `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (AtomKind, usize) {
+    let mut singles = Vec::new();
+    let mut ranges = Vec::new();
+    let mut printable = false;
+    let mut pending: Option<char> = None;
+    loop {
+        let c = *chars
+            .get(i)
+            .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    singles.push(p);
+                }
+                return (
+                    AtomKind::Class {
+                        singles,
+                        ranges,
+                        printable,
+                    },
+                    i + 1,
+                );
+            }
+            '\\' => {
+                if let Some(p) = pending.take() {
+                    singles.push(p);
+                }
+                let (atom, next) = parse_escape(chars, i + 1, pattern);
+                i = next;
+                match atom {
+                    AtomKind::Literal(c) => pending = Some(c),
+                    AtomKind::Class {
+                        printable: true, ..
+                    } => printable = true,
+                    AtomKind::Class { .. } => unreachable!("escapes yield literal or \\PC"),
+                }
+            }
+            '-' if pending.is_some() && chars.get(i + 1) != Some(&']') => {
+                let lo = pending.take().expect("checked");
+                let hi = chars[i + 1];
+                assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                ranges.push((lo, hi));
+                i += 2;
+            }
+            c => {
+                if let Some(p) = pending.take() {
+                    singles.push(p);
+                }
+                pending = Some(c);
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string-tests", 0)
+    }
+
+    #[test]
+    fn literal_patterns_reproduce_themselves() {
+        assert_eq!(generate("abc", &mut rng()), "abc");
+    }
+
+    #[test]
+    fn class_with_counted_repetition() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-z]{1,8}", &mut r);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn compound_pattern_has_expected_shape() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("[a-z]{1,8} [a-z]{1,8}=[a-z]{1,8}", &mut r);
+            assert!(s.contains(' ') && s.contains('='), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("[ -~]{0,40}", &mut r);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn non_control_class_with_newline() {
+        let mut r = rng();
+        let mut saw_newline = false;
+        for _ in 0..300 {
+            let s = generate("[\\PC\n]{0,300}", &mut r);
+            assert!(s.chars().count() <= 300);
+            assert!(
+                s.chars().all(|c| c == '\n' || !c.is_control()),
+                "control char in {s:?}"
+            );
+            saw_newline |= s.contains('\n');
+        }
+        assert!(saw_newline, "the class must actually emit newlines");
+    }
+}

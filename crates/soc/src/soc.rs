@@ -2,7 +2,7 @@ use crate::crc::{crc32_like, init_crc_memory, CRC_MEMORY_BYTES};
 use crate::dhrystone::{dhrystone_like, init_dhrystone_memory, DHRYSTONE_MEMORY_BYTES};
 use crate::{Cache, Cpu, CpuStepOutcome, InstrActivity, Memory, SocError};
 use clockmark_power::{Power, PowerTrace};
-use rand::RngExt;
+use rand::Rng;
 use std::collections::VecDeque;
 
 /// Maps CPU switching activity to per-cycle power.
@@ -247,7 +247,7 @@ impl Soc {
     ///
     /// Propagates CPU execution faults (which indicate a bug in the
     /// benchmark program, not a user error).
-    pub fn step_cycle<R: RngExt + ?Sized>(&mut self, rng: &mut R) -> Result<Power, SocError> {
+    pub fn step_cycle<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<Power, SocError> {
         // Refill the per-cycle queue from the next instruction when empty.
         if self.pending.is_empty() {
             if self.cpu.is_halted() {
@@ -282,7 +282,7 @@ impl Soc {
     /// # Errors
     ///
     /// Propagates CPU execution faults.
-    pub fn run<R: RngExt + ?Sized>(
+    pub fn run<R: Rng + ?Sized>(
         &mut self,
         cycles: usize,
         rng: &mut R,
@@ -297,7 +297,7 @@ impl Soc {
 
 /// Standard-normal sample (Marsaglia polar method). Local copy to keep the
 /// crate free of a distribution dependency.
-fn gaussian<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     loop {
         let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
         let v: f64 = rng.random::<f64>() * 2.0 - 1.0;
