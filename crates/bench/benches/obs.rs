@@ -1,0 +1,68 @@
+//! Benchmark guard for the observability layer's no-op path.
+//!
+//! With no recorder installed (no `CLOCKMARK_METRICS`, log level below
+//! `debug`) every instrumentation site must collapse to one relaxed
+//! atomic load and a branch. This bench pins that down two ways: the
+//! raw cost of disabled primitives (nanoseconds per site), and a real
+//! folded-CPA workload whose instrumented-disabled time must be
+//! indistinguishable from the work itself — compare `cpa_disabled`
+//! here against the `folded` timings in the `cpa` bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clockmark_cpa::spread_spectrum;
+use clockmark_seq::{Lfsr, SequenceGenerator};
+
+fn make_input(width: u32, cycles: usize) -> (Vec<bool>, Vec<f64>) {
+    let mut lfsr = Lfsr::maximal(width).expect("valid width");
+    let period = (1usize << width) - 1;
+    let pattern: Vec<bool> = (0..period).map(|_| lfsr.next_bit()).collect();
+    let y: Vec<f64> = (0..cycles)
+        .map(|i| {
+            let wm = if pattern[(i + 17) % period] { 1.0 } else { 0.0 };
+            wm + ((i * 2654435761) % 1000) as f64 * 0.01
+        })
+        .collect();
+    (pattern, y)
+}
+
+fn bench_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_disabled");
+
+    // The primitives themselves: these run with the recorder suppressed
+    // on this thread, i.e. the exact code path a production run with no
+    // CLOCKMARK_* configuration takes after the first atomic load.
+    group.bench_function("span_site", |b| {
+        b.iter(|| {
+            clockmark_obs::suppressed(|| {
+                let span = clockmark_obs::span(black_box("bench.noop"));
+                black_box(span.is_recording())
+            })
+        })
+    });
+    group.bench_function("counter_site", |b| {
+        b.iter(|| {
+            clockmark_obs::suppressed(|| {
+                clockmark_obs::counter_add(black_box("bench.noop"), black_box(1));
+            })
+        })
+    });
+
+    // A real instrumented workload with recording disabled: any visible
+    // gap versus the uninstrumented `cpa/folded` bench is overhead the
+    // zero-cost contract forbids.
+    let (pattern, y) = make_input(10, 60_000);
+    group.bench_function("cpa_disabled/P1023_N60000", |b| {
+        b.iter(|| {
+            clockmark_obs::suppressed(|| {
+                spread_spectrum(black_box(&pattern), black_box(&y)).expect("valid")
+            })
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

@@ -19,6 +19,10 @@ fn arch(width: u32) -> ClockModulationWatermark {
 }
 
 fn main() -> Result<(), clockmark::ClockmarkError> {
+    clockmark_bench::obs_scope("ablation_sweeps", run)
+}
+
+fn run() -> Result<(), clockmark::ClockmarkError> {
     let quick = has_flag("--quick");
     let base_cycles = if quick { 10_000 } else { 30_000 };
     // Arch-varying sweeps can't share an ExperimentBatch (one batch = one

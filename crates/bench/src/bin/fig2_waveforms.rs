@@ -21,6 +21,10 @@ use clockmark_sim::{CycleSim, SignalDriver, VcdProbe};
 const CYCLES: usize = 24;
 
 fn main() -> Result<(), clockmark::ClockmarkError> {
+    clockmark_bench::obs_scope("fig2_waveforms", run)
+}
+
+fn run() -> Result<(), clockmark::ClockmarkError> {
     // A WGC with a short, readable sequence for the waveform.
     let wgc = WgcConfig::CircularShift {
         pattern: vec![true, true, false, true, false, false],

@@ -25,6 +25,10 @@ fn bar(value: f64, full_scale: f64) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    clockmark_bench::obs_scope("fig3_power_embedding", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let arch = ClockModulationWatermark {
         wgc: WgcConfig::CircularShift {
             // A readable slow pattern for the figure window.

@@ -16,6 +16,10 @@ use clockmark::{ClockModulationWatermark, Experiment, ExperimentBatch, WgcConfig
 use clockmark_bench::{has_flag, render_spectrum};
 
 fn main() -> Result<(), clockmark::ClockmarkError> {
+    clockmark_bench::obs_scope("fig5_spread_spectrum", run)
+}
+
+fn run() -> Result<(), clockmark::ClockmarkError> {
     let quick = has_flag("--quick");
 
     let (arch, chip_i, chip_ii) = if quick {
@@ -57,7 +61,18 @@ fn main() -> Result<(), clockmark::ClockmarkError> {
             }
         })
         .collect();
-    let outcomes = ExperimentBatch::new(experiments).run(&arch)?;
+    let (outcomes, report) = ExperimentBatch::new(experiments).run_with_progress(&arch, |p| {
+        clockmark_obs::info!(
+            "fig5: panel {}/{} done (input {}, worker {})",
+            p.completed,
+            p.total,
+            p.index,
+            p.worker
+        );
+    })?;
+    for line in report.to_string().lines() {
+        clockmark_obs::debug!("fig5: {line}");
+    }
 
     for ((title, _, active), outcome) in panels.iter().zip(outcomes) {
         println!("==== Fig. 5{title} ====");

@@ -16,6 +16,10 @@ use clockmark_bench::{arg_value, has_flag};
 use clockmark_cpa::RotationEnsemble;
 
 fn main() -> Result<(), clockmark::ClockmarkError> {
+    clockmark_bench::obs_scope("fig6_boxplots", run)
+}
+
+fn run() -> Result<(), clockmark::ClockmarkError> {
     let quick = has_flag("--quick");
     let reps = arg_value("--reps", if quick { 10 } else { 20 });
 

@@ -34,6 +34,10 @@ fn controller() -> Fsm {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    clockmark_bench::obs_scope("related_work_comparison", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let model = PowerModel::new(EnergyLibrary::tsmc65ll(), Frequency::from_megahertz(10.0));
     let wgc = WgcConfig::MaxLengthLfsr { width: 8, seed: 1 };
 

@@ -32,6 +32,10 @@ fn add_system_logic(netlist: &mut Netlist, clk: clockmark_netlist::ClockRootId, 
 }
 
 fn main() -> Result<(), clockmark::ClockmarkError> {
+    clockmark_bench::obs_scope("robustness", run)
+}
+
+fn run() -> Result<(), clockmark::ClockmarkError> {
     println!("Section VI — removal-attack analysis\n");
 
     // 1. Baseline load circuit.

@@ -39,6 +39,10 @@ fn simulated(switching: u32) -> Result<Power, clockmark::ClockmarkError> {
 }
 
 fn main() -> Result<(), clockmark::ClockmarkError> {
+    clockmark_bench::obs_scope("table1_load_power", run)
+}
+
+fn run() -> Result<(), clockmark::ClockmarkError> {
     let table = TableModel::paper();
     let paper_mw = [1.51, 1.80, 2.09, 2.66];
 

@@ -15,6 +15,10 @@ use clockmark_power::tables::TableModel;
 use clockmark_power::Power;
 
 fn main() {
+    clockmark_bench::obs_scope("table2_area_overhead", run)
+}
+
+fn run() {
     let table = TableModel::paper();
     let paper: [(f64, u64, f64); 6] = [
         (0.25, 96, 88.9),

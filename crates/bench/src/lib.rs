@@ -9,6 +9,24 @@
 
 use clockmark_cpa::SpreadSpectrum;
 
+/// Runs a bench binary's body under the observability layer.
+///
+/// Resolves the global recorder from `CLOCKMARK_METRICS` /
+/// `CLOCKMARK_LOG` before any instrumented code runs, wraps `f` in a
+/// root `bench.run` span tagged with the binary name, and flushes the
+/// recorder (writing the JSON-lines artifact and the summary table)
+/// after `f` returns — including when it returns an error.
+pub fn obs_scope<R>(bin: &'static str, f: impl FnOnce() -> R) -> R {
+    clockmark_obs::init_from_env();
+    clockmark_obs::info!("{bin}: starting");
+    let result = {
+        let _span = clockmark_obs::span("bench.run").field("bin", bin);
+        f()
+    };
+    clockmark_obs::flush();
+    result
+}
+
 /// Renders a spread spectrum as a coarse ASCII table: the maximum |ρ| in
 /// each of `bins` rotation bins, with a bar proportional to the value.
 ///

@@ -14,6 +14,7 @@
 
 use crate::{ClockmarkError, Experiment, ExperimentOutcome, WatermarkArchitecture};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Applies `f` to every item on up to `threads` worker threads, returning
 /// the results **in input order**.
@@ -60,6 +61,194 @@ where
     });
     indexed.sort_by_key(|(idx, _)| *idx);
     indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Per-worker accounting from one reported batch run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index, 0-based (worker 0 is the calling thread in a serial
+    /// run).
+    pub worker: usize,
+    /// Items this worker completed.
+    pub items: usize,
+    /// Wall-clock time this worker spent inside experiments (its busy
+    /// time; the gap to the batch wall time is claim/join overhead and
+    /// end-of-batch idling).
+    pub busy: Duration,
+}
+
+/// A progress event, delivered after each experiment completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchProgress {
+    /// Experiments finished so far, including this one.
+    pub completed: usize,
+    /// Total experiments in the batch.
+    pub total: usize,
+    /// Input index of the experiment that just finished.
+    pub index: usize,
+    /// The worker that ran it.
+    pub worker: usize,
+}
+
+/// Timing summary of one batch run: wall time, per-worker utilisation,
+/// and the speedup over the serial estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Experiments the batch ran.
+    pub experiments: usize,
+    /// Wall-clock duration of the whole batch.
+    pub wall: Duration,
+    /// One entry per worker that participated.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl BatchReport {
+    /// Total busy time across workers — what a serial loop over the same
+    /// experiments would have cost (claim overhead aside).
+    pub fn serial_estimate(&self) -> Duration {
+        self.workers.iter().map(|w| w.busy).sum()
+    }
+
+    /// Estimated speedup over a serial run (`serial_estimate / wall`);
+    /// 0 when the batch finished too fast to time.
+    pub fn speedup_estimate(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.serial_estimate().as_secs_f64() / wall
+        } else {
+            0.0
+        }
+    }
+
+    /// Experiments completed per wall-clock second.
+    pub fn throughput_per_sec(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.experiments as f64 / wall
+        } else {
+            0.0
+        }
+    }
+
+    /// A worker's busy time as a fraction of the batch wall time (0–1).
+    pub fn utilisation(&self, worker: &WorkerStats) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            (worker.busy.as_secs_f64() / wall).min(1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "batch: {} experiments on {} worker(s) in {:.2?} ({:.2} exp/s)",
+            self.experiments,
+            self.workers.len(),
+            self.wall,
+            self.throughput_per_sec(),
+        )?;
+        writeln!(
+            f,
+            "serial estimate {:.2?}, speedup ~{:.2}x",
+            self.serial_estimate(),
+            self.speedup_estimate(),
+        )?;
+        for w in &self.workers {
+            writeln!(
+                f,
+                "  worker {:>2}: {:>4} experiment(s), busy {:>9.2?} ({:>5.1}% util)",
+                w.worker,
+                w.items,
+                w.busy,
+                100.0 * self.utilisation(w),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The engine behind [`ExperimentBatch`]: [`parallel_map`] plus
+/// per-worker accounting and completion callbacks.
+fn run_engine<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+    progress: Option<&(dyn Fn(BatchProgress) + Sync)>,
+) -> (Vec<R>, Vec<WorkerStats>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let total = items.len();
+    let threads = threads.clamp(1, total.max(1));
+    let completed = AtomicUsize::new(0);
+    let report = |index: usize, worker: usize| {
+        if let Some(callback) = progress {
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            callback(BatchProgress {
+                completed: done,
+                total,
+                index,
+                worker,
+            });
+        }
+    };
+
+    if threads == 1 {
+        let mut stats = WorkerStats::default();
+        let mut out = Vec::with_capacity(total);
+        for (index, item) in items.iter().enumerate() {
+            let t0 = Instant::now();
+            out.push(f(item));
+            stats.busy += t0.elapsed();
+            stats.items += 1;
+            report(index, 0);
+        }
+        return (out, vec![stats]);
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(total);
+    let mut workers = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let f = &f;
+                let next = &next;
+                let report = &report;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    let mut stats = WorkerStats {
+                        worker,
+                        ..WorkerStats::default()
+                    };
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(index) else { break };
+                        let t0 = Instant::now();
+                        mine.push((index, f(item)));
+                        stats.busy += t0.elapsed();
+                        stats.items += 1;
+                        report(index, worker);
+                    }
+                    (mine, stats)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (mine, stats) = handle.join().expect("batch worker panicked");
+            indexed.extend(mine);
+            workers.push(stats);
+        }
+    });
+    indexed.sort_by_key(|(idx, _)| *idx);
+    workers.sort_by_key(|w| w.worker);
+    (indexed.into_iter().map(|(_, r)| r).collect(), workers)
 }
 
 /// A set of independent experiments run across worker threads.
@@ -139,11 +328,67 @@ impl ExperimentBatch {
     where
         A: WatermarkArchitecture + Sync + ?Sized,
     {
-        parallel_map(&self.experiments, self.threads, |experiment| {
-            experiment.run(architecture)
-        })
-        .into_iter()
-        .collect()
+        Ok(self.run_reported(architecture)?.0)
+    }
+
+    /// Like [`run`](Self::run), but also returns the [`BatchReport`] with
+    /// wall time, per-worker utilisation, and the speedup estimate.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_reported<A>(
+        &self,
+        architecture: &A,
+    ) -> Result<(Vec<ExperimentOutcome>, BatchReport), ClockmarkError>
+    where
+        A: WatermarkArchitecture + Sync + ?Sized,
+    {
+        self.run_with_progress(architecture, |_| {})
+    }
+
+    /// Like [`run_reported`](Self::run_reported), with `progress` invoked
+    /// (from the completing worker's thread) after each experiment
+    /// finishes — the hook bench bins use to print live progress.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_with_progress<A, P>(
+        &self,
+        architecture: &A,
+        progress: P,
+    ) -> Result<(Vec<ExperimentOutcome>, BatchReport), ClockmarkError>
+    where
+        A: WatermarkArchitecture + Sync + ?Sized,
+        P: Fn(BatchProgress) + Sync,
+    {
+        let _span = clockmark_obs::span("batch.run")
+            .field("experiments", self.experiments.len())
+            .field("threads", self.threads);
+        let t0 = Instant::now();
+        let (results, workers) = run_engine(
+            &self.experiments,
+            self.threads,
+            |experiment| experiment.run(architecture),
+            Some(&progress),
+        );
+        let report = BatchReport {
+            experiments: self.experiments.len(),
+            wall: t0.elapsed(),
+            workers,
+        };
+        if clockmark_obs::enabled() {
+            clockmark_obs::counter_add("batch.experiments", report.experiments as u64);
+            for worker in &report.workers {
+                clockmark_obs::observe("batch.worker_busy_seconds", worker.busy.as_secs_f64());
+            }
+            clockmark_obs::gauge_set("batch.speedup_estimate", report.speedup_estimate());
+            clockmark_obs::gauge_set("batch.throughput_per_sec", report.throughput_per_sec());
+        }
+        let outcomes: Result<Vec<ExperimentOutcome>, ClockmarkError> =
+            results.into_iter().collect();
+        Ok((outcomes?, report))
     }
 }
 
@@ -214,6 +459,63 @@ mod tests {
             batch.run(&small_arch()),
             Err(ClockmarkError::ZeroCycles)
         ));
+    }
+
+    #[test]
+    fn report_accounts_every_experiment_to_a_worker() {
+        let batch =
+            ExperimentBatch::repeat_with_seeds(&Experiment::quick(4_000, 0), 1..=7).with_threads(3);
+        let (outcomes, report) = batch.run_reported(&small_arch()).expect("runs");
+        assert_eq!(outcomes.len(), 7);
+        assert_eq!(report.experiments, 7);
+        assert_eq!(report.workers.len(), 3);
+        assert_eq!(report.workers.iter().map(|w| w.items).sum::<usize>(), 7);
+        assert_eq!(
+            report.workers.iter().map(|w| w.worker).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(report.serial_estimate() >= report.workers[0].busy);
+        assert!(report.speedup_estimate() > 0.0);
+        assert!(report.throughput_per_sec() > 0.0);
+        for w in &report.workers {
+            let util = report.utilisation(w);
+            assert!((0.0..=1.0).contains(&util), "utilisation {util}");
+        }
+        let rendered = report.to_string();
+        assert!(
+            rendered.contains("7 experiments on 3 worker(s)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("speedup"), "{rendered}");
+    }
+
+    #[test]
+    fn progress_callback_sees_every_index_exactly_once() {
+        use std::sync::Mutex;
+        let batch =
+            ExperimentBatch::repeat_with_seeds(&Experiment::quick(4_000, 0), 1..=6).with_threads(2);
+        let seen = Mutex::new(Vec::new());
+        let (_, report) = batch
+            .run_with_progress(&small_arch(), |p| {
+                assert_eq!(p.total, 6);
+                assert!(p.completed >= 1 && p.completed <= 6);
+                seen.lock().expect("lock").push(p.index);
+            })
+            .expect("runs");
+        let mut seen = seen.into_inner().expect("lock");
+        seen.sort_unstable();
+        assert_eq!(seen, (0..6).collect::<Vec<_>>());
+        assert_eq!(report.experiments, 6);
+    }
+
+    #[test]
+    fn serial_engine_reports_a_single_worker() {
+        let batch =
+            ExperimentBatch::repeat_with_seeds(&Experiment::quick(4_000, 0), 1..=3).with_threads(1);
+        let (_, report) = batch.run_reported(&small_arch()).expect("runs");
+        assert_eq!(report.workers.len(), 1);
+        assert_eq!(report.workers[0].worker, 0);
+        assert_eq!(report.workers[0].items, 3);
     }
 
     #[test]

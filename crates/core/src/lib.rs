@@ -72,7 +72,7 @@ pub use arch::{
     WatermarkArchitecture,
 };
 pub use attack::{removal_attack, AttackReport, AttackVerdict};
-pub use batch::{parallel_map, ExperimentBatch};
+pub use batch::{parallel_map, BatchProgress, BatchReport, ExperimentBatch, WorkerStats};
 pub use error::ClockmarkError;
 pub use pipeline::{ChipModel, Experiment, ExperimentOutcome};
 pub use wgc::{StructuralWgc, WgcConfig};

@@ -157,9 +157,13 @@ impl Experiment {
         }
 
         // 1. Build the watermarked netlist.
-        let mut netlist = Netlist::new();
-        let clk = netlist.add_clock_root("clk");
-        let watermark = architecture.embed(&mut netlist, clk.into())?;
+        let (netlist, watermark) = {
+            let _span = clockmark_obs::span("experiment.embed");
+            let mut netlist = Netlist::new();
+            let clk = netlist.add_clock_root("clk");
+            let watermark = architecture.embed(&mut netlist, clk.into())?;
+            (netlist, watermark)
+        };
         self.run_embedded(&netlist, &watermark)
     }
 
@@ -198,34 +202,47 @@ impl Experiment {
         if self.cycles == 0 {
             return Err(ClockmarkError::ZeroCycles);
         }
+        let _run_span = clockmark_obs::span("experiment.run")
+            .field("cycles", self.cycles)
+            .field("seed", self.seed)
+            .field("enabled", self.watermark_enabled);
+        clockmark_obs::counter_add("experiment.runs", 1);
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // 2. Simulate the watermark circuit's switching activity.
-        let mut sim = CycleSim::new(netlist)?;
-        sim.drive(
-            watermark.enable,
-            SignalDriver::Constant(self.watermark_enabled),
-        )?;
-        for (signal, driver) in extra_drivers {
-            sim.drive(signal, driver)?;
-        }
-        for _ in 0..self.phase_offset {
-            sim.step();
-        }
-        let activity = sim.run(self.cycles)?;
+        let activity = {
+            let _span =
+                clockmark_obs::span("experiment.simulate").field("phase_offset", self.phase_offset);
+            let mut sim = CycleSim::new(netlist)?;
+            sim.drive(
+                watermark.enable,
+                SignalDriver::Constant(self.watermark_enabled),
+            )?;
+            for (signal, driver) in extra_drivers {
+                sim.drive(signal, driver)?;
+            }
+            for _ in 0..self.phase_offset {
+                sim.step();
+            }
+            sim.run(self.cycles)?
+        };
 
         // 3. Price it, including leakage of every register on the die.
+        let _power_span = clockmark_obs::span("experiment.power");
         let model = PowerModel::new(self.library, self.f_clk);
         let mut chip_power = model.trace(&activity);
         chip_power.add_offset(model.static_power(netlist.register_count()));
         let watermark_power = model.group_trace(&activity, watermark.group);
+        drop(_power_span);
 
         // 4. Add the SoC background.
+        let _bg_span = clockmark_obs::span("experiment.background");
         let background = match self.chip.build()? {
             Some(mut soc) => soc.run(self.cycles, &mut rng)?,
             None => PowerTrace::constant(Power::ZERO, self.cycles),
         };
         let total = chip_power.checked_add(&background)?;
+        drop(_bg_span);
 
         // 5. Digitise through the shunt + scope chain.
         let measured = self.acquisition.acquire(&total, &mut rng);
@@ -233,6 +250,12 @@ impl Experiment {
         // 6. Rotational CPA against the expected sequence.
         let spectrum = spread_spectrum(&watermark.pattern, measured.as_watts())?;
         let detection = spectrum.detect(&self.criterion);
+        if clockmark_obs::enabled() {
+            clockmark_obs::counter_add("experiment.detections", u64::from(detection.detected));
+            clockmark_obs::observe("detect.peak_rho_abs", detection.peak_rho.abs());
+            clockmark_obs::observe("detect.margin", detection.ratio);
+            clockmark_obs::observe("detect.zscore", detection.zscore);
+        }
 
         let p_value = spectrum.peak_p_value(self.cycles);
         Ok(ExperimentOutcome {

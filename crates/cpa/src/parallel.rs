@@ -72,26 +72,59 @@ pub fn spread_spectrum_parallel(
 pub(crate) fn spectrum_from_folded(folded: &FoldedTrace, threads: usize) -> SpreadSpectrum {
     let period = folded.period();
     let threads = threads.clamp(1, period);
-    if threads == 1 {
-        return SpreadSpectrum::from_rho(folded.rho_range(0..period));
-    }
+    let span = clockmark_obs::span("cpa.spread_spectrum")
+        .field("period", period)
+        .field("work", folded.work())
+        .field("threads", threads);
+    let timed = span.is_recording().then(std::time::Instant::now);
 
-    let chunk = period.div_ceil(threads);
-    let mut rho = Vec::with_capacity(period);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let start = (t * chunk).min(period);
-                let end = ((t + 1) * chunk).min(period);
-                scope.spawn(move || folded.rho_range(start..end))
-            })
-            .collect();
-        // Joining in spawn order keeps the concatenation deterministic.
-        for handle in handles {
-            rho.extend(handle.join().expect("rotation worker panicked"));
+    let spectrum = if threads == 1 {
+        SpreadSpectrum::from_rho(rotate_chunk(folded, 0, 0, period))
+    } else {
+        let chunk = period.div_ceil(threads);
+        let mut rho = Vec::with_capacity(period);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let start = (t * chunk).min(period);
+                    let end = ((t + 1) * chunk).min(period);
+                    scope.spawn(move || rotate_chunk(folded, t, start, end))
+                })
+                .collect();
+            // Joining in spawn order keeps the concatenation deterministic.
+            for handle in handles {
+                rho.extend(handle.join().expect("rotation worker panicked"));
+            }
+        });
+        SpreadSpectrum::from_rho(rho)
+    };
+
+    clockmark_obs::counter_add("cpa.rotations", period as u64);
+    if clockmark_obs::enabled() {
+        clockmark_obs::gauge_set("cpa.peak_rho_abs", spectrum.peak_abs().1.abs());
+    }
+    if let Some(t0) = timed {
+        let secs = t0.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            clockmark_obs::gauge_set("cpa.rotations_per_sec", period as f64 / secs);
         }
-    });
-    SpreadSpectrum::from_rho(rho)
+    }
+    spectrum
+}
+
+/// One worker's share of the rotation loop, wrapped in a `cpa.rotate`
+/// span so per-chunk wall time (and thus thread imbalance) is visible.
+fn rotate_chunk(folded: &FoldedTrace, worker: usize, start: usize, end: usize) -> Vec<f64> {
+    let span = clockmark_obs::span("cpa.rotate")
+        .field("worker", worker)
+        .field("start", start)
+        .field("end", end);
+    let timed = span.is_recording().then(std::time::Instant::now);
+    let rho = folded.rho_range(start..end);
+    if let Some(t0) = timed {
+        clockmark_obs::observe("cpa.chunk_seconds", t0.elapsed().as_secs_f64());
+    }
+    rho
 }
 
 #[cfg(test)]

@@ -320,12 +320,12 @@ pub fn spread_spectrum(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, Cp
     validate_inputs(pattern, y)?;
     let folded = FoldedTrace::new(pattern, y);
     let threads = crate::thread_count();
-    if threads > 1 && folded.work() >= crate::parallel::PARALLEL_WORK_THRESHOLD {
-        Ok(crate::parallel::spectrum_from_folded(&folded, threads))
+    let threads = if threads > 1 && folded.work() >= crate::parallel::PARALLEL_WORK_THRESHOLD {
+        threads
     } else {
-        let period = folded.period();
-        Ok(SpreadSpectrum::from_rho(folded.rho_range(0..period)))
-    }
+        1
+    };
+    Ok(crate::parallel::spectrum_from_folded(&folded, threads))
 }
 
 #[cfg(test)]

@@ -107,6 +107,9 @@ impl StreamingCpa {
                 need: period,
             });
         }
+        let _span = clockmark_obs::span("cpa.streaming_spectrum")
+            .field("period", period)
+            .field("cycles", self.cycles);
         let nf = self.cycles as f64;
         let mut rho = Vec::with_capacity(period);
         for r in 0..period {

@@ -90,6 +90,9 @@ impl Acquisition {
     /// the ADC range, exactly like centring the trace on a scope screen.
     pub fn acquire<R: Rng + ?Sized>(&self, power: &PowerTrace, rng: &mut R) -> MeasuredTrace {
         let k = self.samples_per_cycle().max(1);
+        let _span = clockmark_obs::span("measure.acquire")
+            .field("cycles", power.len())
+            .field("samples_per_cycle", k);
         let dt = 1.0 / self.scope.sample_rate.hertz();
         let t_cycle = self.f_clk.period_seconds();
         let dc_offset = self.shunt.power_to_volts(power.mean());
@@ -125,6 +128,8 @@ impl Acquisition {
             let v_avg = acc / k as f64 + dc_offset;
             watts.push(self.shunt.volts_to_power(v_avg).watts());
         }
+        clockmark_obs::counter_add("measure.cycles", power.len() as u64);
+        clockmark_obs::counter_add("measure.samples", (power.len() * k) as u64);
         MeasuredTrace { watts }
     }
 }

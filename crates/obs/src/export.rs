@@ -1,0 +1,300 @@
+//! Pluggable exporters: JSON-lines to a file, human text to stderr.
+//!
+//! Exporters receive every completed [`SpanEvent`] as it happens and the
+//! full [`MetricsSnapshot`] on flush. The JSON-lines format is one object
+//! per line:
+//!
+//! ```json
+//! {"t":"span","name":"cpa.rotate","path":"bench.run/cpa.spread_spectrum/cpa.rotate","thread":"main","start_us":1200,"dur_ns":834000,"fields":{"worker":3,"start":1024,"end":1536}}
+//! {"t":"counter","name":"sim.cycles","value":300000}
+//! {"t":"gauge","name":"cpa.rotations_per_sec","value":1.2e6}
+//! {"t":"hist","name":"cpa.chunk_seconds","count":8,"sum":0.21,"mean":0.026,"min":0.018,"max":0.034,"p50":0.025,"p90":0.033,"p99":0.034}
+//! {"t":"span_stat","name":"cpa.rotate","count":8,"total_ns":210000000,"max_ns":34000000}
+//! ```
+//!
+//! Every line parses with [`crate::json::parse`]; `clockmark-cli metrics`
+//! validates and summarises such files.
+
+use crate::json::{write_f64, write_str};
+use crate::metrics::MetricsSnapshot;
+use crate::span::{FieldValue, SpanEvent};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A destination for span events and metric snapshots.
+pub trait Exporter: Send {
+    /// Called once per completed span, in completion order.
+    fn span(&mut self, event: &SpanEvent);
+    /// Called on [`flush`](crate::flush) with the current snapshot.
+    fn snapshot(&mut self, snapshot: &MetricsSnapshot);
+    /// Flushes any buffered output.
+    fn flush(&mut self);
+}
+
+/// Serialises one span event as a JSON object (no trailing newline).
+pub fn span_to_json(event: &SpanEvent) -> String {
+    let mut line = String::with_capacity(128);
+    line.push_str("{\"t\":\"span\",\"name\":");
+    write_str(&mut line, event.name);
+    line.push_str(",\"path\":");
+    write_str(&mut line, &event.path);
+    line.push_str(",\"thread\":");
+    write_str(&mut line, &event.thread);
+    line.push_str(&format!(
+        ",\"start_us\":{},\"dur_ns\":{}",
+        event.start_us, event.duration_ns
+    ));
+    line.push_str(",\"fields\":{");
+    for (i, (key, value)) in event.fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        write_str(&mut line, key);
+        line.push(':');
+        match value {
+            FieldValue::U64(v) => line.push_str(&v.to_string()),
+            FieldValue::I64(v) => line.push_str(&v.to_string()),
+            FieldValue::F64(v) => write_f64(&mut line, *v),
+            FieldValue::Bool(v) => line.push_str(if *v { "true" } else { "false" }),
+            FieldValue::Str(v) => write_str(&mut line, v),
+        }
+    }
+    line.push_str("}}");
+    line
+}
+
+/// Serialises a snapshot as JSON-lines (one metric per line).
+pub fn snapshot_to_json_lines(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        out.push_str("{\"t\":\"counter\",\"name\":");
+        write_str(&mut out, name);
+        out.push_str(&format!(",\"value\":{value}}}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        out.push_str("{\"t\":\"gauge\",\"name\":");
+        write_str(&mut out, name);
+        out.push_str(",\"value\":");
+        write_f64(&mut out, *value);
+        out.push_str("}\n");
+    }
+    for (name, h) in &snapshot.histograms {
+        out.push_str("{\"t\":\"hist\",\"name\":");
+        write_str(&mut out, name);
+        out.push_str(&format!(",\"count\":{}", h.count));
+        for (key, value) in [
+            ("sum", h.sum),
+            ("mean", h.mean),
+            ("min", h.min),
+            ("max", h.max),
+            ("p50", h.p50),
+            ("p90", h.p90),
+            ("p99", h.p99),
+        ] {
+            out.push_str(&format!(",\"{key}\":"));
+            write_f64(&mut out, value);
+        }
+        out.push_str("}\n");
+    }
+    for (name, s) in &snapshot.spans {
+        out.push_str("{\"t\":\"span_stat\",\"name\":");
+        write_str(&mut out, name);
+        out.push_str(&format!(
+            ",\"count\":{},\"total_ns\":{},\"max_ns\":{}}}\n",
+            s.count, s.total_ns, s.max_ns
+        ));
+    }
+    out
+}
+
+/// Writes JSON-lines to any [`Write`] sink (`CLOCKMARK_METRICS` opens a
+/// file; tests use a [`SharedBuffer`]).
+pub struct JsonLinesExporter<W: Write + Send> {
+    sink: W,
+}
+
+impl<W: Write + Send> JsonLinesExporter<W> {
+    /// Wraps a sink.
+    pub fn new(sink: W) -> Self {
+        JsonLinesExporter { sink }
+    }
+}
+
+impl<W: Write + Send> Exporter for JsonLinesExporter<W> {
+    fn span(&mut self, event: &SpanEvent) {
+        let _ = writeln!(self.sink, "{}", span_to_json(event));
+    }
+
+    fn snapshot(&mut self, snapshot: &MetricsSnapshot) {
+        let _ = self
+            .sink
+            .write_all(snapshot_to_json_lines(snapshot).as_bytes());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.sink.flush();
+    }
+}
+
+/// Renders a snapshot as an aligned human-readable table.
+pub fn snapshot_to_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.spans.is_empty() {
+        out.push_str("spans (aggregate):\n");
+        for (name, s) in &snapshot.spans {
+            out.push_str(&format!(
+                "  {name:<32} count {:>6}  total {:>10.3?}  max {:>10.3?}\n",
+                s.count,
+                std::time::Duration::from_nanos(s.total_ns.min(u64::MAX as u128) as u64),
+                std::time::Duration::from_nanos(s.max_ns.min(u64::MAX as u128) as u64),
+            ));
+        }
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &snapshot.counters {
+            out.push_str(&format!("  {name:<32} {value}\n"));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &snapshot.gauges {
+            out.push_str(&format!("  {name:<32} {value:.6}\n"));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, h) in &snapshot.histograms {
+            out.push_str(&format!(
+                "  {name:<32} n {:>6}  mean {:.3e}  p50 {:.3e}  p90 {:.3e}  p99 {:.3e}  max {:.3e}\n",
+                h.count, h.mean, h.p50, h.p90, h.p99, h.max
+            ));
+        }
+    }
+    out
+}
+
+/// The human exporter: echoes spans at `debug` level and prints the
+/// snapshot table to stderr on flush.
+#[derive(Debug, Default)]
+pub struct TextExporter {
+    _private: (),
+}
+
+impl TextExporter {
+    /// A text exporter writing through the leveled logger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Exporter for TextExporter {
+    fn span(&mut self, event: &SpanEvent) {
+        crate::debug!(
+            "span {:<40} {:>10.3?} on {}",
+            event.path,
+            std::time::Duration::from_nanos(event.duration_ns.min(u64::MAX as u128) as u64),
+            event.thread
+        );
+    }
+
+    fn snapshot(&mut self, snapshot: &MetricsSnapshot) {
+        for line in snapshot_to_text(snapshot).lines() {
+            crate::debug!("{line}");
+        }
+    }
+
+    fn flush(&mut self) {}
+}
+
+/// A clonable in-memory sink for tests and programmatic capture.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything written so far, as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("buffer lock")).into_owned()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buffer lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    fn sample_event() -> SpanEvent {
+        SpanEvent {
+            name: "cpa.rotate",
+            path: "bench.run/cpa.rotate".to_owned(),
+            thread: "main".to_owned(),
+            start_us: 1200,
+            duration_ns: 834_000,
+            fields: vec![
+                ("worker", FieldValue::U64(3)),
+                ("rho", FieldValue::F64(0.015)),
+                ("label", FieldValue::Str("chip \"I\"".to_owned())),
+                ("active", FieldValue::Bool(true)),
+                ("delta", FieldValue::I64(-2)),
+            ],
+        }
+    }
+
+    #[test]
+    fn span_line_is_valid_json_with_all_fields() {
+        let line = span_to_json(&sample_event());
+        let v = parse(&line).expect("valid JSON");
+        assert_eq!(v.get("t").and_then(Json::as_str), Some("span"));
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("cpa.rotate"));
+        assert_eq!(v.get("dur_ns").and_then(Json::as_f64), Some(834_000.0));
+        let fields = v.get("fields").expect("fields");
+        assert_eq!(fields.get("worker").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(fields.get("rho").and_then(Json::as_f64), Some(0.015));
+        assert_eq!(
+            fields.get("label").and_then(Json::as_str),
+            Some("chip \"I\"")
+        );
+        assert_eq!(fields.get("active"), Some(&Json::Bool(true)));
+        assert_eq!(fields.get("delta").and_then(Json::as_f64), Some(-2.0));
+    }
+
+    #[test]
+    fn snapshot_lines_all_parse() {
+        let mut registry = crate::metrics::Registry::new();
+        registry.counter_add("sim.cycles", 300_000);
+        registry.gauge_set("peak", 0.0153);
+        registry.observe("chunk", 0.5);
+        registry.span_complete("sim.run", 42);
+        let text = snapshot_to_json_lines(&registry.snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in lines {
+            parse(line).unwrap_or_else(|e| panic!("line {line:?} must parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn shared_buffer_accumulates() {
+        let buffer = SharedBuffer::new();
+        let mut exporter = JsonLinesExporter::new(buffer.clone());
+        exporter.span(&sample_event());
+        exporter.flush();
+        assert!(buffer.contents().contains("\"cpa.rotate\""));
+    }
+}

@@ -1,0 +1,202 @@
+//! Log severity levels and the `CLOCKMARK_LOG`-controlled stderr logger.
+//!
+//! The logger is independent of the span/metrics recorder: `error!` and
+//! `warn!` diagnostics print by default so CLI failures stay visible,
+//! while `info!`/`debug!`/`trace!` only print when `CLOCKMARK_LOG`
+//! requests them. The level check is a single relaxed atomic load, so a
+//! disabled log site costs a couple of nanoseconds and never formats its
+//! arguments.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable failures.
+    Error = 1,
+    /// Suspicious conditions the run survives (the default threshold).
+    Warn = 2,
+    /// High-level progress (per-stage, per-panel).
+    Info = 3,
+    /// Detailed progress; also echoes completed spans to stderr.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses a `CLOCKMARK_LOG` value. Accepts the level names in any
+    /// case, plus `off`/`none`/`0` to silence even errors.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// The fixed-width display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// 0 = uninitialised (read `CLOCKMARK_LOG` on first use), 1–5 = a level,
+/// 6 = fully off.
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(0);
+const LEVEL_OFF: u8 = 6;
+
+fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+fn init_level() -> u8 {
+    let level = match std::env::var("CLOCKMARK_LOG") {
+        Ok(v) => match Level::parse(&v) {
+            Some(level) => level as u8,
+            None if matches!(v.trim().to_ascii_lowercase().as_str(), "off" | "none" | "0") => {
+                LEVEL_OFF
+            }
+            None => Level::Warn as u8,
+        },
+        Err(_) => Level::Warn as u8,
+    };
+    // Racing first calls compute the same value, so a plain store is fine.
+    LOG_LEVEL.store(level, Ordering::Relaxed);
+    // Anchor relative timestamps at first logger use.
+    let _ = process_start();
+    level
+}
+
+/// The active log threshold, or `None` when logging is fully off.
+pub fn log_level() -> Option<Level> {
+    let raw = match LOG_LEVEL.load(Ordering::Relaxed) {
+        0 => init_level(),
+        set => set,
+    };
+    match raw {
+        1 => Some(Level::Error),
+        2 => Some(Level::Warn),
+        3 => Some(Level::Info),
+        4 => Some(Level::Debug),
+        5 => Some(Level::Trace),
+        _ => None,
+    }
+}
+
+/// Overrides the threshold (tests, or a CLI `--verbose` flag).
+pub fn set_log_level(level: Option<Level>) {
+    LOG_LEVEL.store(
+        level.map(|l| l as u8).unwrap_or(LEVEL_OFF),
+        Ordering::Relaxed,
+    );
+}
+
+/// Whether a message at `level` would currently print.
+pub fn log_enabled(level: Level) -> bool {
+    log_level().is_some_and(|threshold| level <= threshold)
+}
+
+/// Writes one formatted line to stderr. Use the [`error!`](crate::error!)
+/// … [`trace!`](crate::trace!) macros instead of calling this directly —
+/// they skip argument formatting when the level is filtered out.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    let t = process_start().elapsed();
+    eprintln!("[{:9.3}s {:5}] {args}", t.as_secs_f64(), level.as_str());
+}
+
+/// Logs at an explicit level, checking the threshold first.
+#[macro_export]
+macro_rules! log_at {
+    ($level:expr, $($arg:tt)*) => {
+        if $crate::log_enabled($level) {
+            $crate::log($level, ::std::format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs an unrecoverable failure.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => { $crate::log_at!($crate::Level::Error, $($arg)*) };
+}
+
+/// Logs a suspicious-but-survivable condition (printed by default).
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => { $crate::log_at!($crate::Level::Warn, $($arg)*) };
+}
+
+/// Logs high-level progress.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => { $crate::log_at!($crate::Level::Info, $($arg)*) };
+}
+
+/// Logs detailed progress.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => { $crate::log_at!($crate::Level::Debug, $($arg)*) };
+}
+
+/// Logs everything else.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => { $crate::log_at!($crate::Level::Trace, $($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_names_case_insensitively() {
+        assert_eq!(Level::parse("error"), Some(Level::Error));
+        assert_eq!(Level::parse(" WARN "), Some(Level::Warn));
+        assert_eq!(Level::parse("Info"), Some(Level::Info));
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse("trace"), Some(Level::Trace));
+        assert_eq!(Level::parse("verbose"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn levels_order_from_severe_to_chatty() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn threshold_filters_and_can_be_overridden() {
+        // Note: the level is process-global, so this test restores it.
+        let before = log_level();
+        set_log_level(Some(Level::Info));
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+        set_log_level(None);
+        assert!(!log_enabled(Level::Error));
+        set_log_level(before);
+    }
+}

@@ -1,0 +1,302 @@
+//! Typed metrics: monotonic counters, last-value gauges, and histograms
+//! with exact percentiles.
+//!
+//! The registry is deliberately simple — metric cardinality in this
+//! workspace is small (tens of names, thousands of samples), so
+//! histograms keep their raw samples and percentiles are computed exactly
+//! at snapshot time instead of approximated through buckets.
+
+use std::collections::BTreeMap;
+
+/// A histogram of `f64` samples with exact percentile queries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Non-finite values are dropped.
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().reduce(f64::min).unwrap_or(0.0)
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().reduce(f64::max).unwrap_or(0.0)
+    }
+
+    /// The `p`-th percentile (0–100) by the nearest-rank method, or 0 when
+    /// empty. `percentile(50.0)` of `1..=100` is exactly 50.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.max(1) - 1]
+    }
+
+    /// Condenses the histogram into its summary statistics.
+    pub fn summary(&self) -> HistogramSummary {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let at = |p: f64| {
+            if sorted.is_empty() {
+                0.0
+            } else {
+                let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+                sorted[rank.max(1) - 1]
+            }
+        };
+        HistogramSummary {
+            count: sorted.len() as u64,
+            sum: self.sum(),
+            mean: self.mean(),
+            min: sorted.first().copied().unwrap_or(0.0),
+            max: sorted.last().copied().unwrap_or(0.0),
+            p50: at(50.0),
+            p90: at(90.0),
+            p99: at(99.0),
+        }
+    }
+}
+
+/// The condensed form of a [`Histogram`] that exporters emit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Aggregate timing of all completed spans sharing a name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across them.
+    pub total_ns: u128,
+    /// The slowest single span, in nanoseconds.
+    pub max_ns: u128,
+}
+
+/// The mutable store behind a recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    span_stats: BTreeMap<String, SpanStat>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to a monotonic counter, creating it at zero.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Sets a last-value gauge.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// Folds one completed span into the per-name aggregates.
+    pub fn span_complete(&mut self, name: &str, duration_ns: u128) {
+        let stat = self.span_stats.entry(name.to_owned()).or_default();
+        stat.count += 1;
+        stat.total_ns += duration_ns;
+        stat.max_ns = stat.max_ns.max(duration_ns);
+    }
+
+    /// An immutable snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+            spans: self
+                .span_stats
+                .iter()
+                .map(|(k, s)| (k.clone(), *s))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of the registry, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// Per-span-name timing aggregates.
+    pub spans: Vec<(String, SpanStat)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.percentile(50.0), 50.0);
+        assert_eq!(h.percentile(90.0), 90.0);
+        assert_eq!(h.percentile(99.0), 99.0);
+        assert_eq!(h.percentile(100.0), 100.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 100.0);
+        assert!((h.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_are_order_independent() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let values = [5.0, 1.0, 9.0, 3.0, 7.0];
+        for &v in &values {
+            a.record(v);
+        }
+        for &v in values.iter().rev() {
+            b.record(v);
+        }
+        assert_eq!(a.percentile(50.0), b.percentile(50.0));
+        assert_eq!(a.percentile(50.0), 5.0);
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(2.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 2.0);
+    }
+
+    #[test]
+    fn registry_accumulates_and_snapshots() {
+        let mut r = Registry::new();
+        r.counter_add("sim.cycles", 300);
+        r.counter_add("sim.cycles", 700);
+        r.gauge_set("peak_rho", 0.015);
+        r.gauge_set("peak_rho", 0.018);
+        r.observe("chunk_seconds", 0.25);
+        r.observe("chunk_seconds", 0.75);
+        r.span_complete("cpa.rotate", 1_000);
+        r.span_complete("cpa.rotate", 3_000);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("sim.cycles"), Some(1_000));
+        assert_eq!(snap.gauge("peak_rho"), Some(0.018));
+        let h = snap.histogram("chunk_seconds").expect("recorded");
+        assert_eq!(h.count, 2);
+        assert!((h.mean - 0.5).abs() < 1e-12);
+        let (_, span) = &snap.spans[0];
+        assert_eq!(span.count, 2);
+        assert_eq!(span.total_ns, 4_000);
+        assert_eq!(span.max_ns, 3_000);
+    }
+}

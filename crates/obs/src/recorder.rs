@@ -1,0 +1,284 @@
+//! The recorder: the hub tying spans, metrics and exporters together.
+
+use crate::export::{Exporter, JsonLinesExporter, TextExporter};
+use crate::metrics::{MetricsSnapshot, Registry};
+use crate::span::{Span, SpanEvent};
+use crate::Level;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Collects spans and metrics and fans them out to exporters.
+///
+/// Library code reaches the process-global recorder through the free
+/// functions in the crate root ([`crate::span`], [`crate::counter_add`],
+/// …); tests construct their own and call these methods directly.
+pub struct Recorder {
+    start: Instant,
+    registry: Mutex<Registry>,
+    exporters: Mutex<Vec<Box<dyn Exporter>>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("start", &self.start)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Recorder {
+    /// A recorder with an explicit exporter list.
+    pub fn new(exporters: Vec<Box<dyn Exporter>>) -> Self {
+        Recorder {
+            start: Instant::now(),
+            registry: Mutex::new(Registry::new()),
+            exporters: Mutex::new(exporters),
+        }
+    }
+
+    /// The environment-configured recorder, or `None` when observability
+    /// is disabled.
+    ///
+    /// - `CLOCKMARK_METRICS=<path>` attaches a JSON-lines exporter
+    ///   writing to that file (truncating an existing one);
+    /// - `CLOCKMARK_LOG=debug|trace` attaches the human text exporter
+    ///   (spans echoed as debug log lines, summary table on flush).
+    ///
+    /// With neither set, recording is off and every instrumentation site
+    /// reduces to one atomic load.
+    pub fn from_env() -> Option<Self> {
+        let mut exporters: Vec<Box<dyn Exporter>> = Vec::new();
+        if let Ok(path) = std::env::var("CLOCKMARK_METRICS") {
+            let path = path.trim();
+            if !path.is_empty() {
+                match std::fs::File::create(path) {
+                    Ok(file) => exporters.push(Box::new(JsonLinesExporter::new(
+                        std::io::BufWriter::new(file),
+                    ))),
+                    Err(e) => {
+                        crate::error!("CLOCKMARK_METRICS: cannot create {path}: {e}");
+                    }
+                }
+            }
+        }
+        if crate::log_enabled(Level::Debug) {
+            exporters.push(Box::new(TextExporter::new()));
+        }
+        if exporters.is_empty() {
+            None
+        } else {
+            Some(Recorder::new(exporters))
+        }
+    }
+
+    /// Microseconds from recorder creation to `instant` (saturating).
+    pub(crate) fn micros_since_start(&self, instant: Instant) -> u64 {
+        instant
+            .saturating_duration_since(self.start)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Opens a span. The guard reports back here when dropped.
+    pub fn span(self: &Arc<Self>, name: &'static str) -> Span {
+        Span::enter(Arc::clone(self), name)
+    }
+
+    pub(crate) fn span_completed(&self, event: SpanEvent) {
+        self.registry
+            .lock()
+            .expect("registry lock")
+            .span_complete(event.name, event.duration_ns);
+        let mut exporters = self.exporters.lock().expect("exporter lock");
+        for exporter in exporters.iter_mut() {
+            exporter.span(&event);
+        }
+    }
+
+    /// Adds `delta` to a monotonic counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.registry
+            .lock()
+            .expect("registry lock")
+            .counter_add(name, delta);
+    }
+
+    /// Sets a last-value gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.registry
+            .lock()
+            .expect("registry lock")
+            .gauge_set(name, value);
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.registry
+            .lock()
+            .expect("registry lock")
+            .observe(name, value);
+    }
+
+    /// A point-in-time copy of everything recorded.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.lock().expect("registry lock").snapshot()
+    }
+
+    /// Pushes the current snapshot to every exporter and flushes them.
+    pub fn flush(&self) {
+        let snapshot = self.snapshot();
+        let mut exporters = self.exporters.lock().expect("exporter lock");
+        for exporter in exporters.iter_mut() {
+            exporter.snapshot(&snapshot);
+            exporter.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::SharedBuffer;
+    use crate::json::{parse, Json};
+
+    fn test_recorder() -> (Arc<Recorder>, SharedBuffer) {
+        let buffer = SharedBuffer::new();
+        let recorder = Arc::new(Recorder::new(vec![Box::new(JsonLinesExporter::new(
+            buffer.clone(),
+        ))]));
+        (recorder, buffer)
+    }
+
+    #[test]
+    fn spans_nest_and_time_monotonically() {
+        let (recorder, _buffer) = test_recorder();
+        {
+            let _outer = recorder.span("outer").field("k", 1u64);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = recorder.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let snap = recorder.snapshot();
+        let outer = snap
+            .spans
+            .iter()
+            .find(|(n, _)| n == "outer")
+            .expect("outer")
+            .1;
+        let inner = snap
+            .spans
+            .iter()
+            .find(|(n, _)| n == "inner")
+            .expect("inner")
+            .1;
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // The outer span strictly contains the inner one.
+        assert!(outer.total_ns > inner.total_ns, "{outer:?} vs {inner:?}");
+        assert!(inner.total_ns >= 1_000_000, "sleep must be visible");
+    }
+
+    #[test]
+    fn span_events_carry_the_nesting_path() {
+        let (recorder, buffer) = test_recorder();
+        {
+            let _a = recorder.span("a");
+            let _b = recorder.span("b");
+        }
+        let contents = buffer.contents();
+        let paths: Vec<String> = contents
+            .lines()
+            .map(|l| {
+                parse(l)
+                    .expect("valid")
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .expect("has path")
+                    .to_owned()
+            })
+            .collect();
+        // Inner span completes (and is exported) first.
+        assert_eq!(paths, vec!["a/b".to_owned(), "a".to_owned()]);
+    }
+
+    #[test]
+    fn sibling_spans_do_not_nest() {
+        let (recorder, buffer) = test_recorder();
+        {
+            let _first = recorder.span("first");
+        }
+        {
+            let _second = recorder.span("second");
+        }
+        let contents = buffer.contents();
+        assert!(contents.contains("\"path\":\"first\""));
+        assert!(contents.contains("\"path\":\"second\""));
+        assert!(!contents.contains("first/second"));
+    }
+
+    #[test]
+    fn worker_threads_get_independent_stacks() {
+        let (recorder, buffer) = test_recorder();
+        {
+            let _outer = recorder.span("outer");
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let recorder = Arc::clone(&recorder);
+                    scope.spawn(move || {
+                        let _chunk = recorder.span("chunk");
+                    });
+                }
+            });
+        }
+        let contents = buffer.contents();
+        // Worker spans are roots on their own threads, not children of
+        // the spawning thread's span.
+        assert_eq!(contents.matches("\"path\":\"chunk\"").count(), 2);
+    }
+
+    #[test]
+    fn round_trip_through_json_lines() {
+        let (recorder, buffer) = test_recorder();
+        recorder.counter_add("cycles", 12_345);
+        recorder.gauge_set("peak_rho", 0.0153);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            recorder.observe("chunk_seconds", v);
+        }
+        {
+            let _span = recorder.span("sim.run").field("cycles", 12_345u64);
+        }
+        recorder.flush();
+
+        let contents = buffer.contents();
+        let mut counter = None;
+        let mut gauge = None;
+        let mut hist_p50 = None;
+        let mut span_seen = false;
+        for line in contents.lines() {
+            let v = parse(line).unwrap_or_else(|e| panic!("line {line:?} must parse: {e}"));
+            match v.get("t").and_then(Json::as_str) {
+                Some("counter") if v.get("name").and_then(Json::as_str) == Some("cycles") => {
+                    counter = v.get("value").and_then(Json::as_f64);
+                }
+                Some("gauge") => gauge = v.get("value").and_then(Json::as_f64),
+                Some("hist") => hist_p50 = v.get("p50").and_then(Json::as_f64),
+                Some("span") => {
+                    span_seen = true;
+                    assert_eq!(
+                        v.get("fields")
+                            .and_then(|f| f.get("cycles"))
+                            .and_then(Json::as_f64),
+                        Some(12_345.0)
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(counter, Some(12_345.0));
+        assert_eq!(gauge, Some(0.0153));
+        assert_eq!(hist_p50, Some(2.0));
+        assert!(span_seen, "span event must be exported");
+    }
+}

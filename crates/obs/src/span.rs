@@ -1,0 +1,172 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A [`Span`] is an RAII guard: it notes the time and the enclosing span
+//! path on creation, and on drop reports its duration to the recorder —
+//! which forwards a structured event to the exporters and folds the
+//! timing into the per-name aggregates. Nesting is tracked per thread, so
+//! spans opened inside `std::thread::scope` workers get their own stacks
+//! (the rotation-chunk spans of the parallel CPA engine are roots on
+//! their worker threads).
+//!
+//! When observability is disabled a span is a `None` and costs one branch.
+
+use crate::recorder::Recorder;
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A typed field value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, sizes, indices).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (rho values, seconds).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A completed span, as handed to exporters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// The span's own name.
+    pub name: &'static str,
+    /// Slash-joined path from the thread's outermost span to this one.
+    pub path: String,
+    /// The thread the span ran on (thread name, or a numeric id).
+    pub thread: String,
+    /// Microseconds from recorder creation to span start.
+    pub start_us: u64,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u128,
+    /// Fields attached via [`Span::field`].
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+#[derive(Debug)]
+pub(crate) struct ActiveSpan {
+    pub(crate) recorder: Arc<Recorder>,
+    pub(crate) name: &'static str,
+    pub(crate) path: String,
+    pub(crate) start: Instant,
+    pub(crate) fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// An RAII span guard; see the [module docs](self).
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; bind it to `_span`, not `_`"]
+pub struct Span(pub(crate) Option<ActiveSpan>);
+
+impl Span {
+    /// The inert span used when observability is disabled.
+    pub fn disabled() -> Self {
+        Span(None)
+    }
+
+    pub(crate) fn enter(recorder: Arc<Recorder>, name: &'static str) -> Self {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            stack.join("/")
+        });
+        Span(Some(ActiveSpan {
+            recorder,
+            name,
+            path,
+            start: Instant::now(),
+            fields: Vec::new(),
+        }))
+    }
+
+    /// Attaches a typed field (builder style). A no-op when disabled.
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        if let Some(active) = &mut self.0 {
+            active.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Whether this span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        let duration = active.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let thread = std::thread::current()
+            .name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("{:?}", std::thread::current().id()));
+        let event = SpanEvent {
+            name: active.name,
+            path: active.path,
+            thread,
+            start_us: active.recorder.micros_since_start(active.start),
+            duration_ns: duration.as_nanos(),
+            fields: active.fields,
+        };
+        active.recorder.span_completed(event);
+    }
+}

@@ -321,12 +321,16 @@ impl CycleSim {
 
     /// Runs `cycles` cycles and collects the per-cycle activity trace.
     pub fn run(&mut self, cycles: usize) -> Result<ActivityTrace, SimError> {
+        let _span = clockmark_obs::span("sim.run")
+            .field("cycles", cycles)
+            .field("groups", self.group_scratch.len());
         let mut trace = ActivityTrace::new(self.group_scratch.len());
         for _ in 0..cycles {
             self.step();
             let scratch = self.group_scratch.clone();
             trace.push_cycle(&scratch);
         }
+        clockmark_obs::counter_add("sim.cycles", cycles as u64);
         Ok(trace)
     }
 }

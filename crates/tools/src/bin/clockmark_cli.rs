@@ -4,8 +4,8 @@
 use clockmark::ChipModel;
 use clockmark_tools::args::Args;
 use clockmark_tools::commands::{
-    cmd_attack, cmd_detect, cmd_embed, cmd_experiment, cmd_parse, cmd_simulate, cmd_verilog,
-    ArchChoice, EmbedOptions, PatternSpec,
+    cmd_attack, cmd_detect, cmd_embed, cmd_experiment, cmd_metrics, cmd_parse, cmd_simulate,
+    cmd_verilog, ArchChoice, EmbedOptions, PatternSpec,
 };
 use clockmark_tools::ToolError;
 use std::fs;
@@ -26,6 +26,11 @@ USAGE:
                  [--lenient]
   clockmark-cli experiment [--chip i|ii] [--cycles N] [--seed S] [--full-noise]
                  [--spectrum <file.csv>]
+  clockmark-cli metrics <file.jsonl>
+
+Observability (all commands): CLOCKMARK_LOG=error|warn|info|debug|trace
+sets the stderr log level; CLOCKMARK_METRICS=<file.jsonl> records spans
+and metrics to a JSON-lines artifact (inspect it with `metrics`).
 ";
 
 fn read(path: &str) -> Result<String, ToolError> {
@@ -49,6 +54,7 @@ fn run() -> Result<(), ToolError> {
         return Ok(());
     }
     let command = raw.remove(0);
+    let _span = clockmark_obs::span("cli.run").field("command", command.clone());
     let mut args = Args::new(raw);
 
     match command.as_str() {
@@ -166,6 +172,11 @@ fn run() -> Result<(), ToolError> {
                 println!("wrote {path}");
             }
         }
+        "metrics" => {
+            let path = args.positional("file.jsonl")?;
+            args.finish()?;
+            print!("{}", cmd_metrics(&read(&path)?)?);
+        }
         other => {
             return Err(ToolError::Usage(format!(
                 "unknown command `{other}`; run with --help"
@@ -176,10 +187,13 @@ fn run() -> Result<(), ToolError> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    clockmark_obs::init_from_env();
+    let result = run();
+    clockmark_obs::flush();
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            clockmark_obs::error!("{e}");
             if matches!(e, ToolError::Usage(_)) {
                 eprintln!();
                 eprint!("{USAGE}");

@@ -437,6 +437,112 @@ pub fn cmd_experiment(
     Ok((format!("{outcome}\n"), trace_csv))
 }
 
+/// `metrics`: validate and summarise a `CLOCKMARK_METRICS` JSON-lines
+/// artifact.
+///
+/// Every non-empty line must parse as a JSON object with a known `t`
+/// tag (`span`, `counter`, `gauge`, `hist`, `span_stat`); span lines are
+/// re-aggregated by name so the summary is readable without any other
+/// tooling.
+///
+/// # Errors
+///
+/// Returns [`ToolError::Usage`] naming the first malformed line.
+pub fn cmd_metrics(contents: &str) -> Result<String, ToolError> {
+    use clockmark_obs::json::{parse as parse_json, Json};
+    use std::collections::BTreeMap;
+
+    let mut type_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut span_agg: BTreeMap<String, (u64, f64, f64)> = BTreeMap::new();
+    let mut summary_lines: Vec<String> = Vec::new();
+
+    let mut total = 0usize;
+    for (lineno, line) in contents.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        total += 1;
+        let value = parse_json(line).map_err(|e| {
+            ToolError::Usage(format!("metrics line {}: invalid JSON: {e}", lineno + 1))
+        })?;
+        let tag = value.get("t").and_then(Json::as_str).ok_or_else(|| {
+            ToolError::Usage(format!("metrics line {}: missing `t` tag", lineno + 1))
+        })?;
+        let name = value.get("name").and_then(Json::as_str).ok_or_else(|| {
+            ToolError::Usage(format!("metrics line {}: missing `name`", lineno + 1))
+        })?;
+        match tag {
+            "span" => {
+                let dur_ns = value.get("dur_ns").and_then(Json::as_f64).ok_or_else(|| {
+                    ToolError::Usage(format!("metrics line {}: span lacks dur_ns", lineno + 1))
+                })?;
+                *type_counts.entry("span").or_default() += 1;
+                let entry = span_agg.entry(name.to_owned()).or_insert((0, 0.0, 0.0));
+                entry.0 += 1;
+                entry.1 += dur_ns / 1e9;
+                entry.2 = entry.2.max(dur_ns / 1e9);
+            }
+            "counter" | "gauge" => {
+                let v = value.get("value").and_then(Json::as_f64).ok_or_else(|| {
+                    ToolError::Usage(format!("metrics line {}: {tag} lacks value", lineno + 1))
+                })?;
+                *type_counts
+                    .entry(if tag == "counter" { "counter" } else { "gauge" })
+                    .or_default() += 1;
+                summary_lines.push(format!("  {tag:<9} {name:<32} {v}"));
+            }
+            "hist" => {
+                *type_counts.entry("hist").or_default() += 1;
+                let stat = |k: &str| value.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                summary_lines.push(format!(
+                    "  hist      {name:<32} n {:>6}  mean {:.3e}  p50 {:.3e}  p90 {:.3e}  p99 {:.3e}",
+                    stat("count") as u64,
+                    stat("mean"),
+                    stat("p50"),
+                    stat("p90"),
+                    stat("p99"),
+                ));
+            }
+            "span_stat" => {
+                *type_counts.entry("span_stat").or_default() += 1;
+            }
+            other => {
+                return Err(ToolError::Usage(format!(
+                    "metrics line {}: unknown tag `{other}`",
+                    lineno + 1
+                )))
+            }
+        }
+    }
+
+    if total == 0 {
+        return Err(ToolError::Usage(
+            "metrics file contains no events; run with CLOCKMARK_METRICS set".to_owned(),
+        ));
+    }
+
+    let mut out = String::new();
+    let _ = write!(out, "metrics ok: {total} event(s)");
+    for (tag, n) in &type_counts {
+        let _ = write!(out, ", {n} {tag}");
+    }
+    out.push('\n');
+    if !span_agg.is_empty() {
+        out.push_str("spans by name:\n");
+        for (name, (count, total_s, max_s)) in &span_agg {
+            let _ = writeln!(
+                out,
+                "  {name:<32} count {count:>6}  total {total_s:>9.3}s  max {max_s:>9.3}s"
+            );
+        }
+    }
+    for line in summary_lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,5 +679,45 @@ reg r1 clock=g0 data=shift(r0) group=cpu
         assert!(report.contains("DETECTED"), "{report}");
         let csv = spectrum_csv.expect("requested");
         assert!(csv.lines().count() > 250);
+    }
+
+    #[test]
+    fn metrics_summarises_a_recorded_artifact() {
+        // Produce a real artifact with a private recorder rather than
+        // hand-writing lines, so the CLI validator and the exporter can
+        // never drift apart.
+        let buffer = clockmark_obs::SharedBuffer::new();
+        let recorder = std::sync::Arc::new(clockmark_obs::Recorder::new(vec![Box::new(
+            clockmark_obs::JsonLinesExporter::new(buffer.clone()),
+        )]));
+        {
+            let _span = recorder.span("sim.run").field("cycles", 300u64);
+        }
+        {
+            let _span = recorder.span("cpa.rotate").field("worker", 0usize);
+        }
+        recorder.counter_add("sim.cycles", 300);
+        recorder.gauge_set("cpa.peak_rho_abs", 0.0153);
+        recorder.observe("cpa.chunk_seconds", 0.25);
+        recorder.flush();
+
+        let report = cmd_metrics(&buffer.contents()).expect("valid artifact");
+        assert!(report.starts_with("metrics ok:"), "{report}");
+        assert!(report.contains("sim.run"), "{report}");
+        assert!(report.contains("cpa.rotate"), "{report}");
+        assert!(report.contains("sim.cycles"), "{report}");
+        assert!(report.contains("cpa.chunk_seconds"), "{report}");
+    }
+
+    #[test]
+    fn metrics_rejects_malformed_lines() {
+        let err = cmd_metrics("not json\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+
+        let err = cmd_metrics("{\"t\":\"mystery\",\"name\":\"x\"}\n").unwrap_err();
+        assert!(err.to_string().contains("unknown tag"), "{err}");
+
+        let err = cmd_metrics("\n\n").unwrap_err();
+        assert!(err.to_string().contains("no events"), "{err}");
     }
 }

@@ -1,0 +1,125 @@
+//! Property test: observability must be a pure observer. Running the
+//! pipeline with a recorder installed has to produce outcomes that are
+//! bit-for-bit identical to the disabled path — spans and metrics may
+//! time and count, but never perturb a single f64.
+//!
+//! The global recorder cannot be uninstalled once resolved, so the
+//! disabled baseline is taken under [`clockmark_obs::suppressed`] (the
+//! per-thread escape hatch that exists for exactly this test) and the
+//! recorded run uses a process-global recorder writing into memory.
+//! Quick-scale experiments stay under the CPA parallel-work threshold,
+//! so the whole pipeline runs on this thread and suppression covers it.
+
+use clockmark::{ClockModulationWatermark, Experiment, WgcConfig};
+use clockmark_obs::{JsonLinesExporter, Recorder, SharedBuffer};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn small_arch() -> ClockModulationWatermark {
+    ClockModulationWatermark {
+        wgc: WgcConfig::MaxLengthLfsr { width: 8, seed: 1 },
+        ..ClockModulationWatermark::paper()
+    }
+}
+
+/// Installs an in-memory recorder once for the whole test process and
+/// reports whether this process's global really is ours (it is not if
+/// the environment pre-configured one first).
+fn test_recorder() -> &'static (SharedBuffer, bool) {
+    static RECORDER: OnceLock<(SharedBuffer, bool)> = OnceLock::new();
+    RECORDER.get_or_init(|| {
+        let buffer = SharedBuffer::new();
+        let installed = clockmark_obs::install(Recorder::new(vec![Box::new(
+            JsonLinesExporter::new(buffer.clone()),
+        )]));
+        (buffer, installed)
+    })
+}
+
+fn assert_outcomes_bit_identical(
+    a: &clockmark::ExperimentOutcome,
+    b: &clockmark::ExperimentOutcome,
+) {
+    assert_eq!(a.detection.detected, b.detection.detected);
+    assert_eq!(a.detection.peak_rotation, b.detection.peak_rotation);
+    assert_eq!(
+        a.detection.peak_rho.to_bits(),
+        b.detection.peak_rho.to_bits()
+    );
+    assert_eq!(a.detection.zscore.to_bits(), b.detection.zscore.to_bits());
+    assert_eq!(a.p_value.to_bits(), b.p_value.to_bits());
+    assert_eq!(a.spectrum.period(), b.spectrum.period());
+    for (x, y) in a.spectrum.rho().iter().zip(b.spectrum.rho()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "spectrum diverged: {x} vs {y}");
+    }
+    assert_eq!(
+        a.watermark_mean.watts().to_bits(),
+        b.watermark_mean.watts().to_bits()
+    );
+    assert_eq!(
+        a.background_mean.watts().to_bits(),
+        b.background_mean.watts().to_bits()
+    );
+    assert_eq!(
+        a.total_mean.watts().to_bits(),
+        b.total_mean.watts().to_bits()
+    );
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.expected_peak_rotation, b.expected_peak_rotation);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn instrumentation_never_changes_an_outcome(
+        seed in 0u64..10_000,
+        phase in 0usize..255,
+        cycles in 4_000usize..8_000,
+    ) {
+        let arch = small_arch();
+        let mut experiment = Experiment::quick(cycles, seed);
+        experiment.phase_offset = phase;
+
+        let baseline = clockmark_obs::suppressed(|| experiment.run(&arch))
+            .expect("baseline runs");
+
+        let (buffer, installed) = test_recorder();
+        let recorded = experiment.run(&arch).expect("recorded run runs");
+
+        assert_outcomes_bit_identical(&baseline, &recorded);
+        if *installed {
+            // The recorded run really was recorded — this test must not
+            // silently compare disabled-vs-disabled.
+            let contents = buffer.contents();
+            prop_assert!(
+                contents.contains("\"name\":\"experiment.run\""),
+                "recorder captured no pipeline spans"
+            );
+        }
+    }
+}
+
+#[test]
+fn disabled_and_recorded_batches_match_too() {
+    let arch = small_arch();
+    let base = Experiment::quick(5_000, 7);
+
+    let baseline = clockmark_obs::suppressed(|| {
+        clockmark::ExperimentBatch::repeat_with_seeds(&base, 0..4)
+            .with_threads(1)
+            .run(&arch)
+    })
+    .expect("baseline batch runs");
+
+    let _ = test_recorder();
+    let recorded = clockmark::ExperimentBatch::repeat_with_seeds(&base, 0..4)
+        .with_threads(2)
+        .run(&arch)
+        .expect("recorded batch runs");
+
+    assert_eq!(baseline.len(), recorded.len());
+    for (a, b) in baseline.iter().zip(&recorded) {
+        assert_outcomes_bit_identical(a, b);
+    }
+}
