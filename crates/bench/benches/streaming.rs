@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the streaming CPA fold: per-cycle `push`
+//! against bulk `push_chunk` ingest at campaign-replay chunk sizes.
+//!
+//! `push_chunk` hoists the per-call bookkeeping out of the sample loop
+//! while keeping the floating-point accumulation order bit-identical to
+//! `push`, so the campaign replay path gets the speedup for free.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use clockmark_cpa::StreamingCpa;
+use clockmark_seq::{Lfsr, SequenceGenerator};
+
+fn make_input(width: u32, cycles: usize) -> (Vec<bool>, Vec<f64>) {
+    let mut lfsr = Lfsr::maximal(width).expect("valid width");
+    let period = (1usize << width) - 1;
+    let pattern: Vec<bool> = (0..period).map(|_| lfsr.next_bit()).collect();
+    // Deterministic pseudo-noise (no RNG in the hot loop).
+    let y: Vec<f64> = (0..cycles)
+        .map(|i| {
+            let wm = if pattern[(i + 17) % period] { 1.0 } else { 0.0 };
+            wm + ((i * 2654435761) % 1000) as f64 * 0.01
+        })
+        .collect();
+    (pattern, y)
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_cpa");
+
+    for (width, cycles) in [(8u32, 60_000usize), (12, 300_000)] {
+        let (pattern, y) = make_input(width, cycles);
+        let label = format!("P{}_N{}", (1 << width) - 1, cycles);
+        group.throughput(Throughput::Elements(cycles as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("push", &label),
+            &(&pattern, &y),
+            |b, (p, y)| {
+                b.iter(|| {
+                    let mut s = StreamingCpa::new(black_box(p)).expect("valid");
+                    for &v in y.iter() {
+                        s.push(v);
+                    }
+                    black_box(s.cycles())
+                })
+            },
+        );
+
+        // The campaign replay path reads the corpus in fixed-size chunks.
+        for chunk in [256usize, 8_192] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("push_chunk_{chunk}"), &label),
+                &(&pattern, &y),
+                |b, (p, y)| {
+                    b.iter(|| {
+                        let mut s = StreamingCpa::new(black_box(p)).expect("valid");
+                        for part in y.chunks(chunk) {
+                            s.push_chunk(part);
+                        }
+                        black_box(s.cycles())
+                    })
+                },
+            );
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Fleet-scale campaign demonstration: a ≥50-job detection campaign over
+//! a synthetic corpus, killed and resumed repeatedly, ending in a final
+//! report byte-identical to an uninterrupted reference run.
+//!
+//! Two campaigns run over the same corpus:
+//!
+//! 1. **reference** — straight through, no interruptions;
+//! 2. **interrupted** — every pass is cut short with [`CampaignLimits`]
+//!    (a job budget plus a per-job cycle budget, the in-process stand-in
+//!    for SIGKILL used so the demo is deterministic), then resumed from
+//!    its checkpoints until the fleet completes.
+//!
+//! The two `report.json` files must match byte for byte: the streaming
+//! CPA fold is replayed in the same floating-point order regardless of
+//! where the kills landed.
+//!
+//! ```sh
+//! cargo run --release -p clockmark-bench --bin campaign_scale              # 60 jobs
+//! cargo run --release -p clockmark-bench --bin campaign_scale -- --jobs 80
+//! cargo run --release -p clockmark-bench --bin campaign_scale -- --quick
+//! ```
+
+use clockmark::corpus::{Corpus, TraceHeader};
+use clockmark::{Campaign, CampaignLimits, CampaignSpec};
+use clockmark_bench::{arg_value, has_flag};
+use clockmark_seq::{Lfsr, SequenceGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::path::Path;
+use std::time::Instant;
+
+/// A synthetic measured trace: the watermark pattern at `amp`, rotated by
+/// `phase`, buried in uniform noise (amp 0 = unmarked).
+fn synth_trace(pattern: &[bool], cycles: usize, phase: usize, amp: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..cycles)
+        .map(|i| {
+            let wm = if pattern[(i + phase) % pattern.len()] {
+                amp
+            } else {
+                0.0
+            };
+            wm + rng.random_range(-2.0..2.0)
+        })
+        .collect()
+}
+
+fn build_corpus(
+    dir: &Path,
+    pattern: &[bool],
+    jobs: usize,
+    cycles: usize,
+) -> Result<Vec<String>, Box<dyn Error>> {
+    let mut corpus = Corpus::create(dir)?;
+    let mut names = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        // Every third trace is unmarked so the report mixes verdicts.
+        let marked = i % 3 != 2;
+        let name = if marked {
+            format!("marked_{i:03}")
+        } else {
+            format!("unmarked_{i:03}")
+        };
+        let amp = if marked { 1.0 } else { 0.0 };
+        let w = synth_trace(pattern, cycles, i * 13, amp, 1000 + i as u64);
+        corpus.add(&name, TraceHeader::bare(0), &w)?;
+        names.push(name);
+    }
+    Ok(names)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    clockmark_bench::obs_scope("campaign_scale", run)
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
+    let quick = has_flag("--quick");
+    let jobs = arg_value("--jobs", if quick { 50 } else { 60 });
+    let cycles = arg_value("--cycles", if quick { 6_000 } else { 20_000 });
+    let kill_after = arg_value("--kill-after-jobs", jobs / 4).max(1);
+    let interrupt_cycles = (cycles / 3).max(1) as u64;
+
+    let root =
+        std::env::temp_dir().join(format!("clockmark_campaign_scale_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::create_dir_all(&root)?;
+
+    let mut lfsr = Lfsr::maximal(8)?;
+    let pattern: Vec<bool> = (0..255).map(|_| lfsr.next_bit()).collect();
+
+    println!(
+        "campaign_scale: {jobs} jobs × {cycles} cycles, pattern period {}",
+        pattern.len()
+    );
+    let corpus_dir = root.join("corpus");
+    let start = Instant::now();
+    let names = build_corpus(&corpus_dir, &pattern, jobs, cycles)?;
+    println!(
+        "corpus built in {:.2?} at {}",
+        start.elapsed(),
+        corpus_dir.display()
+    );
+
+    let mut spec = CampaignSpec::new(&corpus_dir, pattern.clone(), names);
+    spec.checkpoint_cycles = interrupt_cycles / 2;
+    spec.chunk_cycles = 2_048;
+
+    // Reference: one uninterrupted run.
+    let reference = Campaign::create(root.join("reference"), spec.clone())?;
+    let start = Instant::now();
+    let status = reference.run(&CampaignLimits::none())?;
+    let reference_time = start.elapsed();
+    assert!(status.is_complete(), "reference must finish: {status}");
+    println!(
+        "reference:   {status} in {:.2?} ({:.1} jobs/s)",
+        reference_time,
+        jobs as f64 / reference_time.as_secs_f64()
+    );
+
+    // Interrupted fleet: cut every pass short, resume until done.
+    let interrupted = Campaign::create(root.join("interrupted"), spec)?;
+    let limits = CampaignLimits {
+        max_jobs: Some(kill_after),
+        interrupt_job_after_cycles: Some(interrupt_cycles),
+    };
+    let start = Instant::now();
+    let mut passes = 0usize;
+    loop {
+        passes += 1;
+        let status = interrupted.run(&limits)?;
+        println!(
+            "  pass {passes:>3}: {status} (killed after ≤{kill_after} jobs / {interrupt_cycles} cycles each)"
+        );
+        if status.is_complete() {
+            break;
+        }
+    }
+    let interrupted_time = start.elapsed();
+    assert!(passes >= 3, "the demo should actually be interrupted");
+    println!(
+        "interrupted: complete in {passes} passes, {:.2?} total",
+        interrupted_time
+    );
+
+    // The whole point: identical bytes, no matter where the kills landed.
+    let reference_report = std::fs::read(root.join("reference/report.json"))?;
+    let interrupted_report = std::fs::read(root.join("interrupted/report.json"))?;
+    assert_eq!(
+        reference_report, interrupted_report,
+        "kill-and-resume must reproduce the reference report bit for bit"
+    );
+
+    let detected = reference.report()?.detected();
+    println!(
+        "reports byte-identical ({} bytes); {detected}/{jobs} detected",
+        reference_report.len()
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+    Ok(())
+}

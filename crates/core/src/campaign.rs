@@ -1,0 +1,1255 @@
+//! Resumable sharded detection campaigns over a trace corpus.
+//!
+//! A *campaign* answers the fleet-scale question: given a corpus of
+//! stored power traces (see [`clockmark_corpus`]), does each one carry
+//! the watermark? Jobs — one per trace — are sharded across the same
+//! std-thread engine that powers [`ExperimentBatch`](crate::ExperimentBatch),
+//! and every job streams its trace through a [`StreamingCpa`] fold in
+//! disk-sized chunks via [`StreamingCpa::push_chunk`], so a trace is
+//! never fully resident.
+//!
+//! Everything a campaign learns is persisted as it happens:
+//!
+//! ```text
+//! campaign/
+//!   campaign.json        # the spec, written once at creation (tmp+rename)
+//!   results.jsonl        # append-only completed-job outcomes (flushed per line)
+//!   checkpoints/
+//!     job_<idx>.ckpt     # binary mid-flight fold snapshots (tmp+rename)
+//!   report.json          # final report, written when the last job lands
+//! ```
+//!
+//! Kill the process at any instant — between jobs, mid-trace, even
+//! mid-append (the torn last line of `results.jsonl` is tolerated) — and
+//! [`Campaign::run`] picks up exactly where it stopped: completed jobs
+//! are skipped, checkpointed jobs resume from their snapshot, and because
+//! [`StreamingCpa::push_chunk`] performs bit-for-bit the same
+//! accumulations as an uninterrupted fold, the final report is
+//! **byte-identical** to one produced without the interruption.
+
+use crate::batch::parallel_map;
+use clockmark_corpus::codec;
+use clockmark_corpus::{Corpus, CorpusError, Crc32};
+use clockmark_cpa::{CpaError, DetectionCriterion, DetectionResult, StreamingCpa};
+use clockmark_obs::json::{self, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Magic bytes leading a checkpoint file.
+const CKPT_MAGIC: &[u8; 8] = b"CMCKPT1\0";
+
+/// Errors produced by the campaign engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// The underlying corpus failed.
+    Corpus(CorpusError),
+    /// Correlation analysis failed.
+    Cpa(CpaError),
+    /// A campaign-directory filesystem operation failed.
+    Io {
+        /// What the engine was doing.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The campaign spec (or a persisted record of it) is invalid.
+    Spec {
+        /// What was wrong.
+        message: String,
+    },
+    /// A report was requested before every job completed.
+    Incomplete {
+        /// Jobs finished so far.
+        completed: usize,
+        /// Jobs in the campaign.
+        total: usize,
+    },
+}
+
+impl CampaignError {
+    fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        CampaignError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    fn spec(message: impl Into<String>) -> Self {
+        CampaignError::Spec {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Corpus(e) => write!(f, "corpus: {e}"),
+            CampaignError::Cpa(e) => write!(f, "cpa: {e}"),
+            CampaignError::Io { context, source } => write!(f, "{context}: {source}"),
+            CampaignError::Spec { message } => write!(f, "campaign spec: {message}"),
+            CampaignError::Incomplete { completed, total } => {
+                write!(f, "campaign incomplete: {completed} of {total} jobs done")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Corpus(e) => Some(e),
+            CampaignError::Cpa(e) => Some(e),
+            CampaignError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<CorpusError> for CampaignError {
+    fn from(e: CorpusError) -> Self {
+        CampaignError::Corpus(e)
+    }
+}
+
+impl From<CpaError> for CampaignError {
+    fn from(e: CpaError) -> Self {
+        CampaignError::Cpa(e)
+    }
+}
+
+/// What a campaign is: which corpus, which watermark, which traces, and
+/// how detection and checkpointing are tuned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Root of the trace corpus the jobs read from.
+    pub corpus: PathBuf,
+    /// One period of the watermark sequence (the model vector `X`).
+    pub pattern: Vec<bool>,
+    /// Corpus trace names, one detection job each; job `i` is `traces[i]`.
+    pub traces: Vec<String>,
+    /// Peak-resolution rule applied to every job.
+    pub criterion: DetectionCriterion,
+    /// Snapshot the fold every this many ingested cycles (0 disables
+    /// periodic checkpoints; a kill then restarts in-flight jobs from the
+    /// trace start, which is slower but still bit-identical).
+    pub checkpoint_cycles: u64,
+    /// Cycles read from disk per chunk (clamped to at least 1).
+    pub chunk_cycles: usize,
+}
+
+impl CampaignSpec {
+    /// A spec with the default criterion, 64 Ki-cycle checkpoints and
+    /// 8 Ki-cycle read chunks.
+    pub fn new(corpus: impl Into<PathBuf>, pattern: Vec<bool>, traces: Vec<String>) -> Self {
+        CampaignSpec {
+            corpus: corpus.into(),
+            pattern,
+            traces,
+            criterion: DetectionCriterion::default(),
+            checkpoint_cycles: 65_536,
+            chunk_cycles: 8_192,
+        }
+    }
+
+    /// Serialises the spec as one JSON object.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"corpus\":");
+        json::write_str(&mut out, &self.corpus.to_string_lossy());
+        out.push_str(",\"pattern\":\"");
+        for &bit in &self.pattern {
+            out.push(if bit { '1' } else { '0' });
+        }
+        out.push_str("\",\"traces\":[");
+        for (i, trace) in self.traces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, trace);
+        }
+        out.push_str("],\"min_peak_ratio\":");
+        json::write_f64(&mut out, self.criterion.min_peak_ratio);
+        out.push_str(",\"min_zscore\":");
+        json::write_f64(&mut out, self.criterion.min_zscore);
+        let _ = write!(
+            out,
+            ",\"checkpoint_cycles\":{},\"chunk_cycles\":{}}}",
+            self.checkpoint_cycles, self.chunk_cycles
+        );
+        out
+    }
+
+    /// Parses a spec serialised by [`encode`](CampaignSpec::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Spec`] for malformed JSON or
+    /// missing/ill-typed fields.
+    pub fn decode(text: &str) -> Result<Self, CampaignError> {
+        let value =
+            json::parse(text).map_err(|e| CampaignError::spec(format!("invalid JSON: {e}")))?;
+        let str_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| CampaignError::spec(format!("missing string field `{key}`")))
+        };
+        let num_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| CampaignError::spec(format!("missing numeric field `{key}`")))
+        };
+        let pattern = str_field("pattern")?
+            .chars()
+            .map(|c| match c {
+                '0' => Ok(false),
+                '1' => Ok(true),
+                other => Err(CampaignError::spec(format!(
+                    "pattern contains `{other}`; only 0/1 allowed"
+                ))),
+            })
+            .collect::<Result<Vec<bool>, _>>()?;
+        let traces = match value.get("traces") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| CampaignError::spec("non-string trace name".to_owned()))
+                })
+                .collect::<Result<Vec<String>, _>>()?,
+            _ => return Err(CampaignError::spec("missing array field `traces`")),
+        };
+        Ok(CampaignSpec {
+            corpus: PathBuf::from(str_field("corpus")?),
+            pattern,
+            traces,
+            criterion: DetectionCriterion {
+                min_peak_ratio: num_field("min_peak_ratio")?,
+                min_zscore: num_field("min_zscore")?,
+            },
+            checkpoint_cycles: num_field("checkpoint_cycles")? as u64,
+            chunk_cycles: num_field("chunk_cycles")? as usize,
+        })
+    }
+
+    /// Validates the spec: a usable pattern, at least one trace, no
+    /// duplicate trace names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Cpa`] for a degenerate pattern and
+    /// [`CampaignError::Spec`] for job-list problems.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        StreamingCpa::new(&self.pattern)?;
+        if self.traces.is_empty() {
+            return Err(CampaignError::spec("campaign has no traces"));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for trace in &self.traces {
+            if !seen.insert(trace.as_str()) {
+                return Err(CampaignError::spec(format!("duplicate trace `{trace}`")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One unit of campaign work: run detection over one stored trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Position in the campaign's job list (stable across resumes).
+    pub index: usize,
+    /// The corpus trace this job reads.
+    pub trace: String,
+}
+
+/// The persisted outcome of one completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Job index.
+    pub index: usize,
+    /// The trace analysed.
+    pub trace: String,
+    /// Cycles the trace held.
+    pub cycles: u64,
+    /// The detection verdict and its statistics.
+    pub result: DetectionResult,
+}
+
+impl JobOutcome {
+    /// Serialises the outcome as one JSON line (no trailing newline).
+    ///
+    /// Finite `f64` fields are written in Rust's shortest round-trip
+    /// form, so decoding them back is bit-exact — the property the
+    /// byte-identical-report guarantee rests on.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(160);
+        let _ = write!(out, "{{\"index\":{},\"trace\":", self.index);
+        json::write_str(&mut out, &self.trace);
+        let _ = write!(
+            out,
+            ",\"cycles\":{},\"detected\":{},\"peak_rotation\":{},\"peak_rho\":",
+            self.cycles, self.result.detected, self.result.peak_rotation
+        );
+        json::write_f64(&mut out, self.result.peak_rho);
+        out.push_str(",\"floor_max_abs\":");
+        json::write_f64(&mut out, self.result.floor_max_abs);
+        out.push_str(",\"ratio\":");
+        json::write_f64(&mut out, self.result.ratio);
+        out.push_str(",\"zscore\":");
+        json::write_f64(&mut out, self.result.zscore);
+        out.push('}');
+        out
+    }
+
+    /// Parses one `results.jsonl` line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Spec`] for malformed JSON or
+    /// missing/ill-typed fields.
+    pub fn decode(text: &str) -> Result<Self, CampaignError> {
+        let value =
+            json::parse(text).map_err(|e| CampaignError::spec(format!("invalid JSON: {e}")))?;
+        let num_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| CampaignError::spec(format!("missing numeric field `{key}`")))
+        };
+        let detected = match value.get("detected") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(CampaignError::spec("missing boolean field `detected`")),
+        };
+        let trace = value
+            .get("trace")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CampaignError::spec("missing string field `trace`"))?
+            .to_owned();
+        Ok(JobOutcome {
+            index: num_field("index")? as usize,
+            trace,
+            cycles: num_field("cycles")? as u64,
+            result: DetectionResult {
+                detected,
+                peak_rotation: num_field("peak_rotation")? as usize,
+                peak_rho: num_field("peak_rho")?,
+                floor_max_abs: num_field("floor_max_abs")?,
+                ratio: num_field("ratio")?,
+                zscore: num_field("zscore")?,
+            },
+        })
+    }
+}
+
+/// Optional bounds on one [`Campaign::run`] call.
+///
+/// Both limits exist so tests, benches and the CI smoke job can simulate
+/// interrupted fleets deterministically; an unbounded `run` drains the
+/// campaign to completion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignLimits {
+    /// Complete at most this many jobs in this call (the rest stay
+    /// pending for a later `run`).
+    pub max_jobs: Option<usize>,
+    /// Interrupt each in-flight job after it ingests this many cycles in
+    /// this call: the fold is checkpointed and the job left pending —
+    /// exactly what a `SIGKILL` mid-trace leaves behind.
+    pub interrupt_job_after_cycles: Option<u64>,
+}
+
+impl CampaignLimits {
+    /// No limits: run to completion.
+    pub fn none() -> Self {
+        CampaignLimits::default()
+    }
+}
+
+/// Where a campaign currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignStatus {
+    /// Jobs in the campaign.
+    pub total: usize,
+    /// Jobs with a persisted outcome.
+    pub completed: usize,
+    /// Completed jobs whose watermark was detected.
+    pub detected: usize,
+    /// Pending jobs with a mid-flight checkpoint on disk.
+    pub checkpointed: usize,
+}
+
+impl CampaignStatus {
+    /// Whether every job has completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.total
+    }
+
+    /// Jobs not yet completed.
+    pub fn pending(&self) -> usize {
+        self.total - self.completed
+    }
+}
+
+impl std::fmt::Display for CampaignStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} jobs done ({} detected, {} pending, {} checkpointed)",
+            self.completed,
+            self.total,
+            self.detected,
+            self.pending(),
+            self.checkpointed,
+        )
+    }
+}
+
+/// The final product of a completed campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Every job's outcome, sorted by job index.
+    pub outcomes: Vec<JobOutcome>,
+}
+
+impl CampaignReport {
+    /// Completed jobs whose watermark was detected.
+    pub fn detected(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.detected).count()
+    }
+
+    /// Serialises the report deterministically: same outcomes in, same
+    /// bytes out — what the kill-and-resume tests compare.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(64 + self.outcomes.len() * 160);
+        let _ = write!(
+            out,
+            "{{\"total\":{},\"detected\":{},\"jobs\":[",
+            self.outcomes.len(),
+            self.detected()
+        );
+        for (i, outcome) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&outcome.encode());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A detection campaign rooted at a directory.
+///
+/// Create one with [`Campaign::create`], re-open it any number of times
+/// with [`Campaign::open`], and drive it with [`Campaign::run`] until
+/// [`CampaignStatus::is_complete`].
+#[derive(Debug)]
+pub struct Campaign {
+    dir: PathBuf,
+    spec: CampaignSpec,
+    threads: usize,
+}
+
+impl Campaign {
+    /// Creates a campaign directory and persists the spec. Fails if a
+    /// campaign already exists there.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's [`validate`](CampaignSpec::validate) errors and
+    /// [`CampaignError::Io`] on filesystem failure.
+    pub fn create(dir: impl Into<PathBuf>, spec: CampaignSpec) -> Result<Self, CampaignError> {
+        let dir = dir.into();
+        spec.validate()?;
+        let spec_path = dir.join("campaign.json");
+        if spec_path.exists() {
+            return Err(CampaignError::io(
+                format!("creating campaign at {}", dir.display()),
+                std::io::Error::new(
+                    std::io::ErrorKind::AlreadyExists,
+                    "campaign.json already exists",
+                ),
+            ));
+        }
+        fs::create_dir_all(dir.join("checkpoints"))
+            .map_err(|e| CampaignError::io(format!("creating {}", dir.display()), e))?;
+        write_atomic(&spec_path, format!("{}\n", spec.encode()).as_bytes())?;
+        Ok(Campaign {
+            dir,
+            spec,
+            threads: clockmark_cpa::thread_count(),
+        })
+    }
+
+    /// Opens an existing campaign by reading its spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Io`] when the spec cannot be read and
+    /// [`CampaignError::Spec`] when it is malformed.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CampaignError> {
+        let dir = dir.into();
+        let spec_path = dir.join("campaign.json");
+        let text = fs::read_to_string(&spec_path)
+            .map_err(|e| CampaignError::io(format!("reading {}", spec_path.display()), e))?;
+        let spec = CampaignSpec::decode(text.trim())?;
+        spec.validate()?;
+        Ok(Campaign {
+            dir,
+            spec,
+            threads: clockmark_cpa::thread_count(),
+        })
+    }
+
+    /// The campaign directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The campaign spec.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Overrides the worker count (clamped to at least 1 at run time).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The campaign's jobs, in index order.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        self.spec
+            .traces
+            .iter()
+            .enumerate()
+            .map(|(index, trace)| JobSpec {
+                index,
+                trace: trace.clone(),
+            })
+            .collect()
+    }
+
+    fn results_path(&self) -> PathBuf {
+        self.dir.join("results.jsonl")
+    }
+
+    fn report_path(&self) -> PathBuf {
+        self.dir.join("report.json")
+    }
+
+    fn checkpoint_path(&self, index: usize) -> PathBuf {
+        self.dir
+            .join("checkpoints")
+            .join(format!("job_{index}.ckpt"))
+    }
+
+    /// Loads the persisted outcomes, keyed by job index.
+    ///
+    /// A torn *final* line — the signature a kill mid-append leaves — is
+    /// tolerated (that job simply reruns); malformed lines anywhere else
+    /// are real corruption and fail loudly. Duplicate indices keep the
+    /// last occurrence, so a crash between "append result" and "delete
+    /// checkpoint" (which makes the job rerun and re-append) stays
+    /// harmless.
+    fn load_results(&self) -> Result<BTreeMap<usize, JobOutcome>, CampaignError> {
+        Ok(self.load_results_detailed()?.0)
+    }
+
+    /// [`load_results`](Campaign::load_results) plus whether a torn tail
+    /// was skipped — [`run`](Campaign::run) repairs the log in that case
+    /// so fresh appends never concatenate onto the garbage.
+    fn load_results_detailed(&self) -> Result<(BTreeMap<usize, JobOutcome>, bool), CampaignError> {
+        let path = self.results_path();
+        let mut map = BTreeMap::new();
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((map, false)),
+            Err(e) => return Err(CampaignError::io(format!("reading {}", path.display()), e)),
+        };
+        let mut torn = false;
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        for (i, line) in lines.iter().enumerate() {
+            match JobOutcome::decode(line) {
+                Ok(outcome) => {
+                    if outcome.index >= self.spec.traces.len() {
+                        return Err(CampaignError::spec(format!(
+                            "results line {} names job {} but the campaign has {} jobs",
+                            i + 1,
+                            outcome.index,
+                            self.spec.traces.len()
+                        )));
+                    }
+                    map.insert(outcome.index, outcome);
+                }
+                Err(_) if i + 1 == lines.len() => {
+                    torn = true;
+                    clockmark_obs::counter_add("campaign.torn_results_lines", 1);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((map, torn))
+    }
+
+    /// Computes the current status from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the persistence errors of the results log.
+    pub fn status(&self) -> Result<CampaignStatus, CampaignError> {
+        let completed = self.load_results()?;
+        let checkpointed = (0..self.spec.traces.len())
+            .filter(|index| !completed.contains_key(index) && self.checkpoint_path(*index).exists())
+            .count();
+        Ok(CampaignStatus {
+            total: self.spec.traces.len(),
+            completed: completed.len(),
+            detected: completed.values().filter(|o| o.result.detected).count(),
+            checkpointed,
+        })
+    }
+
+    /// Builds the final report. Fails until every job has completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Incomplete`] while jobs are pending, plus
+    /// the persistence errors of the results log.
+    pub fn report(&self) -> Result<CampaignReport, CampaignError> {
+        let completed = self.load_results()?;
+        if completed.len() != self.spec.traces.len() {
+            return Err(CampaignError::Incomplete {
+                completed: completed.len(),
+                total: self.spec.traces.len(),
+            });
+        }
+        Ok(CampaignReport {
+            outcomes: completed.into_values().collect(),
+        })
+    }
+
+    /// Runs pending jobs (subject to `limits`) across the worker threads
+    /// and returns the status afterwards. When the last job lands, the
+    /// final report is written to `report.json`.
+    ///
+    /// Call again after an interruption — a kill, a `max_jobs` bound, an
+    /// injected mid-trace interrupt — and the campaign continues from its
+    /// persisted state; the eventual report is byte-identical to an
+    /// uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest-ordered failing job, plus
+    /// persistence errors of the campaign directory itself.
+    pub fn run(&self, limits: &CampaignLimits) -> Result<CampaignStatus, CampaignError> {
+        let _span = clockmark_obs::span("campaign.run")
+            .field("jobs", self.spec.traces.len())
+            .field("threads", self.threads);
+        let corpus = Corpus::open(&self.spec.corpus)?;
+        for trace in &self.spec.traces {
+            if corpus.entry(trace).is_none() {
+                return Err(CampaignError::spec(format!(
+                    "trace `{trace}` is not in the corpus at {}",
+                    self.spec.corpus.display()
+                )));
+            }
+        }
+
+        let (completed, torn) = self.load_results_detailed()?;
+        if torn {
+            // A kill mid-append left a partial record without a trailing
+            // newline; rewrite the log from the intact records (atomic)
+            // so the rerun job's fresh line does not concatenate onto it.
+            let mut text = String::new();
+            for outcome in completed.values() {
+                text.push_str(&outcome.encode());
+                text.push('\n');
+            }
+            write_atomic(&self.results_path(), text.as_bytes())?;
+        }
+        // A crash between "append result" and "delete checkpoint" leaves a
+        // stale snapshot behind; sweep those before claiming work.
+        for index in completed.keys() {
+            let _ = fs::remove_file(self.checkpoint_path(*index));
+        }
+        let mut pending: Vec<JobSpec> = self
+            .jobs()
+            .into_iter()
+            .filter(|job| !completed.contains_key(&job.index))
+            .collect();
+        if let Some(max) = limits.max_jobs {
+            pending.truncate(max);
+        }
+
+        if !pending.is_empty() {
+            let path = self.results_path();
+            let file = OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(&path)
+                .map_err(|e| CampaignError::io(format!("opening {}", path.display()), e))?;
+            let results = Mutex::new(file);
+            let t0 = Instant::now();
+            let finished: Vec<Result<Option<JobOutcome>, CampaignError>> =
+                parallel_map(&pending, self.threads, |job| {
+                    self.run_job(&corpus, job, &results, limits)
+                });
+            let landed = finished.iter().filter(|r| matches!(r, Ok(Some(_)))).count();
+            for result in finished {
+                result?;
+            }
+            if clockmark_obs::enabled() {
+                let wall = t0.elapsed().as_secs_f64();
+                if wall > 0.0 {
+                    clockmark_obs::gauge_set("campaign.jobs_per_sec", landed as f64 / wall);
+                }
+            }
+        }
+
+        let status = self.status()?;
+        if status.is_complete() {
+            let report = self.report()?;
+            write_atomic(
+                &self.report_path(),
+                format!("{}\n", report.encode()).as_bytes(),
+            )?;
+        }
+        Ok(status)
+    }
+
+    /// Runs one job to completion (or to an injected interrupt, returning
+    /// `Ok(None)` with a checkpoint on disk).
+    fn run_job(
+        &self,
+        corpus: &Corpus,
+        job: &JobSpec,
+        results: &Mutex<File>,
+        limits: &CampaignLimits,
+    ) -> Result<Option<JobOutcome>, CampaignError> {
+        let _span = clockmark_obs::span("campaign.job")
+            .field("index", job.index)
+            .field("trace", job.trace.clone());
+        let mut reader = corpus.reader(&job.trace)?;
+        let trace_cycles = reader.header().cycles;
+        let mut detector = match self.restore_checkpoint(job, trace_cycles) {
+            Some(detector) => detector,
+            None => StreamingCpa::new(&self.spec.pattern)?,
+        };
+        // Replaying the consumed prefix (discarded, but still fed to the
+        // CRC) keeps the end-of-trace integrity check meaningful.
+        if detector.cycles() > 0 {
+            reader.skip_samples(detector.cycles())?;
+        }
+
+        let chunk = self.spec.chunk_cycles.max(1);
+        let mut buf = vec![0.0f64; chunk];
+        let mut since_checkpoint = 0u64;
+        let mut ingested = 0u64;
+        loop {
+            let got = reader.read_chunk(&mut buf)?;
+            if got == 0 {
+                break;
+            }
+            detector.push_chunk(&buf[..got]);
+            since_checkpoint += got as u64;
+            ingested += got as u64;
+            if self.spec.checkpoint_cycles > 0 && since_checkpoint >= self.spec.checkpoint_cycles {
+                self.write_checkpoint(job, &detector)?;
+                since_checkpoint = 0;
+            }
+            if let Some(limit) = limits.interrupt_job_after_cycles {
+                if ingested >= limit && reader.remaining() > 0 {
+                    self.write_checkpoint(job, &detector)?;
+                    return Ok(None);
+                }
+            }
+        }
+        let header = reader.finish()?; // full CRC validation
+
+        let result = detector.detect(&self.spec.criterion);
+        let outcome = JobOutcome {
+            index: job.index,
+            trace: job.trace.clone(),
+            cycles: header.cycles,
+            result,
+        };
+        // Ordering matters: append the durable result first, then drop
+        // the checkpoint. A crash in between reruns the job (harmless,
+        // last line wins); the opposite order could lose the job's work.
+        {
+            let mut file = results
+                .lock()
+                .map_err(|_| CampaignError::spec("results lock poisoned"))?;
+            let mut line = outcome.encode();
+            line.push('\n');
+            file.write_all(line.as_bytes())
+                .map_err(|e| CampaignError::io("appending results.jsonl", e))?;
+            file.flush()
+                .map_err(|e| CampaignError::io("flushing results.jsonl", e))?;
+        }
+        let _ = fs::remove_file(self.checkpoint_path(job.index));
+        clockmark_obs::counter_add("campaign.jobs_completed", 1);
+        Ok(Some(outcome))
+    }
+
+    /// Restores a job's fold from its checkpoint, or `None` to start
+    /// fresh. Any defect — wrong trace, wrong pattern, impossible cycle
+    /// count, corrupt bytes — discards the file: restarting a job is
+    /// always safe (replay is bit-identical), trusting a bad snapshot
+    /// never is.
+    fn restore_checkpoint(&self, job: &JobSpec, trace_cycles: u64) -> Option<StreamingCpa> {
+        let path = self.checkpoint_path(job.index);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => return None,
+        };
+        let restored = decode_checkpoint(&bytes)
+            .ok()
+            .and_then(|(index, trace, state)| {
+                if index != job.index
+                    || trace != job.trace
+                    || state.pattern != self.spec.pattern
+                    || state.cycles > trace_cycles
+                {
+                    return None;
+                }
+                StreamingCpa::from_state(state).ok()
+            });
+        if restored.is_none() {
+            let _ = fs::remove_file(&path);
+            clockmark_obs::counter_add("campaign.checkpoints_discarded", 1);
+        }
+        restored
+    }
+
+    /// Snapshots a job's fold to disk (tmp + rename, so a kill mid-write
+    /// leaves the previous checkpoint intact).
+    fn write_checkpoint(
+        &self,
+        job: &JobSpec,
+        detector: &StreamingCpa,
+    ) -> Result<(), CampaignError> {
+        let bytes = encode_checkpoint(job.index, &job.trace, detector);
+        let path = self.checkpoint_path(job.index);
+        write_atomic(&path, &bytes)?;
+        clockmark_obs::counter_add("campaign.checkpoints_written", 1);
+        clockmark_obs::counter_add("campaign.checkpoint_bytes", bytes.len() as u64);
+        Ok(())
+    }
+}
+
+/// Writes `bytes` to `path` through a temp file + rename.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CampaignError> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, bytes)
+        .map_err(|e| CampaignError::io(format!("writing {}", tmp.display()), e))?;
+    fs::rename(&tmp, path).map_err(|e| {
+        CampaignError::io(
+            format!("renaming {} over {}", tmp.display(), path.display()),
+            e,
+        )
+    })?;
+    Ok(())
+}
+
+/// Encodes a checkpoint: magic, job identity, then every accumulator of
+/// the fold as raw little-endian bits, closed by a CRC-32.
+fn encode_checkpoint(index: usize, trace: &str, detector: &StreamingCpa) -> Vec<u8> {
+    let state = detector.state();
+    let mut out = Vec::with_capacity(64 + trace.len() + state.pattern.len() * 17);
+    out.extend_from_slice(CKPT_MAGIC);
+    codec::put_u64(&mut out, index as u64);
+    codec::put_u32(&mut out, trace.len() as u32);
+    out.extend_from_slice(trace.as_bytes());
+    codec::put_u32(&mut out, state.pattern.len() as u32);
+    for &bit in &state.pattern {
+        out.push(u8::from(bit));
+    }
+    for &sum in &state.residue_sums {
+        codec::put_f64(&mut out, sum);
+    }
+    for &count in &state.residue_counts {
+        codec::put_u64(&mut out, count);
+    }
+    codec::put_f64(&mut out, state.sum_y);
+    codec::put_f64(&mut out, state.sum_yy);
+    codec::put_u64(&mut out, state.cycles);
+    let mut crc = Crc32::new();
+    crc.update(&out);
+    codec::put_u32(&mut out, crc.finish());
+    out
+}
+
+/// Decodes a checkpoint back into its job identity and fold state.
+fn decode_checkpoint(
+    bytes: &[u8],
+) -> Result<(usize, String, clockmark_cpa::StreamingCpaState), CampaignError> {
+    let bad = |message: &str| CampaignError::spec(format!("checkpoint: {message}"));
+    if bytes.len() < CKPT_MAGIC.len() + 4 || &bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let body_len = bytes.len() - 4;
+    let stored_crc = codec::get_u32(bytes, body_len)?;
+    let mut crc = Crc32::new();
+    crc.update(&bytes[..body_len]);
+    if crc.finish() != stored_crc {
+        return Err(bad("CRC mismatch"));
+    }
+    let mut at = CKPT_MAGIC.len();
+    let index = codec::get_u64(bytes, at)? as usize;
+    at += 8;
+    let trace_len = codec::get_u32(bytes, at)? as usize;
+    at += 4;
+    let trace = std::str::from_utf8(
+        bytes
+            .get(at..at + trace_len)
+            .ok_or_else(|| bad("truncated trace name"))?,
+    )
+    .map_err(|_| bad("trace name is not UTF-8"))?
+    .to_owned();
+    at += trace_len;
+    let period = codec::get_u32(bytes, at)? as usize;
+    at += 4;
+    let pattern_bytes = bytes
+        .get(at..at + period)
+        .ok_or_else(|| bad("truncated pattern"))?;
+    let pattern: Vec<bool> = pattern_bytes.iter().map(|&b| b != 0).collect();
+    at += period;
+    let mut residue_sums = Vec::with_capacity(period);
+    for _ in 0..period {
+        residue_sums.push(codec::get_f64(bytes, at)?);
+        at += 8;
+    }
+    let mut residue_counts = Vec::with_capacity(period);
+    for _ in 0..period {
+        residue_counts.push(codec::get_u64(bytes, at)?);
+        at += 8;
+    }
+    let sum_y = codec::get_f64(bytes, at)?;
+    at += 8;
+    let sum_yy = codec::get_f64(bytes, at)?;
+    at += 8;
+    let cycles = codec::get_u64(bytes, at)?;
+    at += 8;
+    if at != body_len {
+        return Err(bad("trailing bytes"));
+    }
+    Ok((
+        index,
+        trace,
+        clockmark_cpa::StreamingCpaState {
+            pattern,
+            residue_sums,
+            residue_counts,
+            sum_y,
+            sum_yy,
+            cycles,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockmark_corpus::TraceHeader;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "cm_campaign_{tag}_{}_{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            fs::remove_dir_all(&path).ok();
+            fs::create_dir_all(&path).expect("mkdir");
+            TempDir(path)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn pattern() -> Vec<bool> {
+        use clockmark_seq::{Lfsr, SequenceGenerator};
+        let mut lfsr = Lfsr::maximal(6).expect("valid");
+        (0..63).map(|_| lfsr.next_bit()).collect()
+    }
+
+    fn trace(pattern: &[bool], n: usize, phase: usize, amp: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let wm = if pattern[(i + phase) % pattern.len()] {
+                    amp
+                } else {
+                    0.0
+                };
+                wm + rng.random_range(-2.0..2.0)
+            })
+            .collect()
+    }
+
+    /// A corpus of `marked` watermarked and 1 unmarked trace, plus the
+    /// spec naming all of them.
+    fn build_fixture(dir: &Path, pattern: &[bool], marked: usize, cycles: usize) -> CampaignSpec {
+        let corpus_dir = dir.join("corpus");
+        let mut corpus = Corpus::create(&corpus_dir).expect("creates");
+        let mut names = Vec::new();
+        for i in 0..marked {
+            let name = format!("marked_{i}");
+            let w = trace(pattern, cycles, 7 + i, 1.0, 100 + i as u64);
+            corpus.add(&name, TraceHeader::bare(0), &w).expect("adds");
+            names.push(name);
+        }
+        let w = trace(pattern, cycles, 0, 0.0, 999);
+        corpus
+            .add("unmarked", TraceHeader::bare(0), &w)
+            .expect("adds");
+        names.push("unmarked".to_owned());
+        let mut spec = CampaignSpec::new(corpus_dir, pattern.to_vec(), names);
+        spec.checkpoint_cycles = 1_000;
+        spec.chunk_cycles = 256;
+        spec
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = CampaignSpec::new("some/corpus", pattern(), vec!["a".into(), "b".into()]);
+        let back = CampaignSpec::decode(&spec.encode()).expect("valid");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn outcome_round_trips_bit_exactly() {
+        let outcome = JobOutcome {
+            index: 3,
+            trace: "chip_i_s7".to_owned(),
+            cycles: 30_000,
+            result: DetectionResult {
+                detected: true,
+                peak_rotation: 41,
+                peak_rho: 0.012_345_678_901_234_567,
+                floor_max_abs: 0.003_4,
+                ratio: 3.63,
+                zscore: 11.25,
+            },
+        };
+        let back = JobOutcome::decode(&outcome.encode()).expect("valid");
+        assert_eq!(
+            back.result.peak_rho.to_bits(),
+            outcome.result.peak_rho.to_bits()
+        );
+        assert_eq!(back, outcome);
+    }
+
+    #[test]
+    fn campaign_runs_to_completion_and_reports() {
+        let dir = TempDir::new("complete");
+        let pattern = pattern();
+        let spec = build_fixture(&dir.0, &pattern, 3, 4_000);
+        let campaign = Campaign::create(dir.0.join("campaign"), spec)
+            .expect("creates")
+            .with_threads(2);
+        let status = campaign.run(&CampaignLimits::none()).expect("runs");
+        assert!(status.is_complete(), "{status}");
+        assert_eq!(status.total, 4);
+        assert_eq!(status.detected, 3, "{status}");
+        assert_eq!(status.checkpointed, 0);
+
+        let report = campaign.report().expect("complete");
+        assert_eq!(report.outcomes.len(), 4);
+        assert!(!report.outcomes[3].result.detected, "unmarked trace");
+        assert!(dir.0.join("campaign/report.json").exists());
+
+        // Running again is a no-op that leaves the report untouched.
+        let before = fs::read(dir.0.join("campaign/report.json")).expect("reads");
+        let again = campaign.run(&CampaignLimits::none()).expect("runs");
+        assert!(again.is_complete());
+        assert_eq!(
+            before,
+            fs::read(dir.0.join("campaign/report.json")).expect("reads")
+        );
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_to_a_byte_identical_report() {
+        let dir = TempDir::new("resume");
+        let pattern = pattern();
+        let spec = build_fixture(&dir.0, &pattern, 3, 4_000);
+
+        let reference = Campaign::create(dir.0.join("reference"), spec.clone())
+            .expect("creates")
+            .with_threads(2);
+        assert!(reference
+            .run(&CampaignLimits::none())
+            .expect("runs")
+            .is_complete());
+        let want = fs::read(dir.0.join("reference/report.json")).expect("reads");
+
+        // Drive the same campaign through repeated simulated kills: every
+        // pass interrupts each in-flight job mid-trace.
+        let interrupted = Campaign::create(dir.0.join("interrupted"), spec)
+            .expect("creates")
+            .with_threads(2);
+        let limits = CampaignLimits {
+            max_jobs: Some(2),
+            interrupt_job_after_cycles: Some(700),
+        };
+        let mut passes = 0;
+        while !interrupted.run(&limits).expect("runs").is_complete() {
+            passes += 1;
+            assert!(passes < 100, "campaign failed to converge");
+        }
+        assert!(
+            passes >= 3,
+            "limits too weak to exercise resume ({passes} passes)"
+        );
+        let got = fs::read(dir.0.join("interrupted/report.json")).expect("reads");
+        assert_eq!(got, want, "resumed report must be byte-identical");
+    }
+
+    #[test]
+    fn status_counts_checkpointed_jobs() {
+        let dir = TempDir::new("status");
+        let pattern = pattern();
+        let spec = build_fixture(&dir.0, &pattern, 1, 4_000);
+        let campaign = Campaign::create(dir.0.join("campaign"), spec)
+            .expect("creates")
+            .with_threads(1);
+        let status = campaign
+            .run(&CampaignLimits {
+                max_jobs: Some(1),
+                interrupt_job_after_cycles: Some(500),
+            })
+            .expect("runs");
+        assert_eq!(status.completed, 0);
+        assert_eq!(status.checkpointed, 1, "{status}");
+        assert_eq!(status.pending(), 2);
+        assert!(status.to_string().contains("0/2 jobs done"), "{status}");
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_discarded_and_the_job_restarts() {
+        let dir = TempDir::new("corrupt");
+        let pattern = pattern();
+        let spec = build_fixture(&dir.0, &pattern, 1, 3_000);
+        let campaign = Campaign::create(dir.0.join("campaign"), spec)
+            .expect("creates")
+            .with_threads(1);
+        // Leave a mid-flight checkpoint behind, then corrupt it.
+        campaign
+            .run(&CampaignLimits {
+                max_jobs: Some(1),
+                interrupt_job_after_cycles: Some(500),
+            })
+            .expect("runs");
+        let ckpt = dir.0.join("campaign/checkpoints/job_0.ckpt");
+        assert!(ckpt.exists());
+        let mut bytes = fs::read(&ckpt).expect("reads");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&ckpt, &bytes).expect("writes");
+
+        let status = campaign.run(&CampaignLimits::none()).expect("runs");
+        assert!(status.is_complete());
+        assert!(!ckpt.exists(), "bad checkpoint must be removed");
+        assert_eq!(campaign.report().expect("complete").detected(), 1);
+    }
+
+    #[test]
+    fn torn_final_results_line_is_tolerated() {
+        let dir = TempDir::new("torn");
+        let pattern = pattern();
+        let spec = build_fixture(&dir.0, &pattern, 1, 3_000);
+        let campaign = Campaign::create(dir.0.join("campaign"), spec)
+            .expect("creates")
+            .with_threads(1);
+        let reference = {
+            let status = campaign.run(&CampaignLimits::none()).expect("runs");
+            assert!(status.is_complete());
+            fs::read(dir.0.join("campaign/report.json")).expect("reads")
+        };
+
+        // Truncate the last line mid-record, as a kill mid-append would.
+        let results_path = dir.0.join("campaign/results.jsonl");
+        let text = fs::read_to_string(&results_path).expect("reads");
+        let cut = text.trim_end().len() - 10;
+        fs::write(&results_path, &text[..cut]).expect("writes");
+
+        let status = campaign.run(&CampaignLimits::none()).expect("runs");
+        assert!(status.is_complete(), "{status}");
+        let report = fs::read(dir.0.join("campaign/report.json")).expect("reads");
+        assert_eq!(report, reference, "rerun job must reproduce the same bytes");
+    }
+
+    #[test]
+    fn creation_and_spec_validation_reject_bad_input() {
+        let dir = TempDir::new("validate");
+        let mut spec = CampaignSpec::new(dir.0.join("corpus"), pattern(), vec!["a".into()]);
+        let campaign_dir = dir.0.join("campaign");
+        Campaign::create(&campaign_dir, spec.clone()).expect("creates");
+        // No double-create over an existing campaign.
+        assert!(Campaign::create(&campaign_dir, spec.clone()).is_err());
+        // Re-open reads the identical spec back.
+        assert_eq!(Campaign::open(&campaign_dir).expect("opens").spec(), &spec);
+
+        spec.traces.clear();
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            CampaignError::Spec { .. }
+        ));
+        spec.traces = vec!["a".into(), "a".into()];
+        assert!(spec.validate().is_err(), "duplicate trace");
+        spec.traces = vec!["a".into()];
+        spec.pattern = vec![true; 8];
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            CampaignError::Cpa(CpaError::ConstantPattern)
+        ));
+    }
+
+    #[test]
+    fn missing_corpus_trace_fails_before_any_work() {
+        let dir = TempDir::new("missing");
+        let pattern = pattern();
+        let mut spec = build_fixture(&dir.0, &pattern, 1, 1_000);
+        spec.traces.push("ghost".to_owned());
+        let campaign = Campaign::create(dir.0.join("campaign"), spec).expect("creates");
+        let err = campaign.run(&CampaignLimits::none()).unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_codec_round_trips_and_rejects_corruption() {
+        let pattern = pattern();
+        let mut detector = StreamingCpa::new(&pattern).expect("valid");
+        detector.push_chunk(&trace(&pattern, 1_000, 3, 0.8, 5));
+        let bytes = encode_checkpoint(7, "chip_i_s3", &detector);
+        let (index, trace_name, state) = decode_checkpoint(&bytes).expect("valid");
+        assert_eq!((index, trace_name.as_str()), (7, "chip_i_s3"));
+        let restored = StreamingCpa::from_state(state).expect("valid");
+        assert_eq!(restored, detector);
+
+        for at in [0usize, 9, bytes.len() / 2, bytes.len() - 2] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x01;
+            assert!(decode_checkpoint(&bad).is_err(), "flip at {at} undetected");
+        }
+        assert!(decode_checkpoint(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

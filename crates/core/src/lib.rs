@@ -61,6 +61,7 @@
 mod arch;
 pub mod attack;
 mod batch;
+pub mod campaign;
 mod error;
 pub mod overhead;
 mod pipeline;
@@ -73,11 +74,16 @@ pub use arch::{
 };
 pub use attack::{removal_attack, AttackReport, AttackVerdict};
 pub use batch::{parallel_map, BatchProgress, BatchReport, ExperimentBatch, WorkerStats};
+pub use campaign::{
+    Campaign, CampaignError, CampaignLimits, CampaignReport, CampaignSpec, CampaignStatus,
+    JobOutcome, JobSpec,
+};
 pub use error::ClockmarkError;
-pub use pipeline::{ChipModel, Experiment, ExperimentOutcome};
+pub use pipeline::{ChipModel, Experiment, ExperimentOutcome, MeasuredRun};
 pub use wgc::{StructuralWgc, WgcConfig};
 
 // Re-export the substrate crates so downstream users need one dependency.
+pub use clockmark_corpus as corpus;
 pub use clockmark_cpa as cpa;
 pub use clockmark_measure as measure;
 pub use clockmark_netlist as netlist;

@@ -186,6 +186,41 @@ impl Experiment {
         self.run_embedded_with(netlist, watermark, Vec::new())
     }
 
+    /// Runs the pipeline up to (and including) digitisation, returning
+    /// the measured vector `Y` itself rather than its correlation — what
+    /// a corpus build persists so detection can be replayed later,
+    /// offline, and as many times as needed.
+    ///
+    /// [`run`](Experiment::run) is exactly this plus rotational CPA, so a
+    /// stored measurement re-analysed with
+    /// [`spread_spectrum`](clockmark_cpa::spread_spectrum) (or a
+    /// [`StreamingCpa`](clockmark_cpa::StreamingCpa) fed in chunks)
+    /// reproduces the live outcome bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors eagerly and propagates substrate
+    /// failures.
+    pub fn run_measured<A: WatermarkArchitecture + ?Sized>(
+        &self,
+        architecture: &A,
+    ) -> Result<MeasuredRun, ClockmarkError> {
+        if self.cycles == 0 {
+            return Err(ClockmarkError::ZeroCycles);
+        }
+        let _span = clockmark_obs::span("experiment.measure")
+            .field("cycles", self.cycles)
+            .field("seed", self.seed);
+        let (netlist, watermark) = {
+            let _span = clockmark_obs::span("experiment.embed");
+            let mut netlist = Netlist::new();
+            let clk = netlist.add_clock_root("clk");
+            let watermark = architecture.embed(&mut netlist, clk.into())?;
+            (netlist, watermark)
+        };
+        self.measure_embedded_with(&netlist, &watermark, Vec::new())
+    }
+
     /// Like [`run_embedded`](Experiment::run_embedded) but with additional
     /// external-signal drivers (e.g. the functional enables of a reused IP
     /// block).
@@ -207,6 +242,19 @@ impl Experiment {
             .field("seed", self.seed)
             .field("enabled", self.watermark_enabled);
         clockmark_obs::counter_add("experiment.runs", 1);
+        let run = self.measure_embedded_with(netlist, watermark, extra_drivers)?;
+        run.analyse(&self.criterion).map_err(ClockmarkError::from)
+    }
+
+    /// The shared measurement chain: simulate → price → add background →
+    /// digitise. Both [`run_embedded_with`](Experiment::run_embedded_with)
+    /// and [`run_measured`](Experiment::run_measured) end up here.
+    fn measure_embedded_with(
+        &self,
+        netlist: &Netlist,
+        watermark: &EmbeddedWatermark,
+        extra_drivers: Vec<(clockmark_netlist::SignalId, SignalDriver)>,
+    ) -> Result<MeasuredRun, ClockmarkError> {
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // 2. Simulate the watermark circuit's switching activity.
@@ -247,9 +295,64 @@ impl Experiment {
         // 5. Digitise through the shunt + scope chain.
         let measured = self.acquisition.acquire(&total, &mut rng);
 
-        // 6. Rotational CPA against the expected sequence.
-        let spectrum = spread_spectrum(&watermark.pattern, measured.as_watts())?;
-        let detection = spectrum.detect(&self.criterion);
+        Ok(MeasuredRun {
+            measured,
+            pattern: watermark.pattern.clone(),
+            watermark_mean: watermark_power.mean(),
+            watermark_peak: watermark_power.max().unwrap_or(Power::ZERO),
+            background_mean: background.mean(),
+            background_std: background.std_dev(),
+            total_mean: total.mean(),
+            cycles: self.cycles,
+            expected_peak_rotation: self.phase_offset % watermark.period().max(1),
+        })
+    }
+}
+
+/// The digitised output of one experiment, before correlation.
+///
+/// Holds the measured per-cycle vector `Y` (what an oscilloscope capture
+/// yields in the lab, and what a trace corpus stores on disk) together
+/// with the watermark pattern and the power summary collected along the
+/// way. Calling [`analyse`](MeasuredRun::analyse) finishes the job and is
+/// bit-identical to having used [`Experiment::run`] directly.
+#[derive(Debug, Clone)]
+pub struct MeasuredRun {
+    /// The measured per-cycle vector `Y`.
+    pub measured: clockmark_measure::MeasuredTrace,
+    /// One period of the watermark sequence (the model vector `X`).
+    pub pattern: Vec<bool>,
+    /// Mean power of the watermark circuit over the run.
+    pub watermark_mean: Power,
+    /// Peak per-cycle power of the watermark circuit.
+    pub watermark_peak: Power,
+    /// Mean background (SoC) power.
+    pub background_mean: Power,
+    /// Cycle-to-cycle standard deviation of the background.
+    pub background_std: Power,
+    /// Mean total chip power.
+    pub total_mean: Power,
+    /// Cycles measured.
+    pub cycles: usize,
+    /// Where the peak should land given the trigger offset.
+    pub expected_peak_rotation: usize,
+}
+
+impl MeasuredRun {
+    /// Step 6 of the pipeline: rotational CPA against the expected
+    /// sequence, turning the raw measurement into a detection verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CpaError`](clockmark_cpa::CpaError) when the
+    /// measurement is too short for one watermark period or the pattern
+    /// is degenerate.
+    pub fn analyse(
+        &self,
+        criterion: &DetectionCriterion,
+    ) -> Result<ExperimentOutcome, clockmark_cpa::CpaError> {
+        let spectrum = spread_spectrum(&self.pattern, self.measured.as_watts())?;
+        let detection = spectrum.detect(criterion);
         if clockmark_obs::enabled() {
             clockmark_obs::counter_add("experiment.detections", u64::from(detection.detected));
             clockmark_obs::observe("detect.peak_rho_abs", detection.peak_rho.abs());
@@ -262,13 +365,13 @@ impl Experiment {
             detection,
             p_value,
             spectrum,
-            watermark_mean: watermark_power.mean(),
-            watermark_peak: watermark_power.max().unwrap_or(Power::ZERO),
-            background_mean: background.mean(),
-            background_std: background.std_dev(),
-            total_mean: total.mean(),
+            watermark_mean: self.watermark_mean,
+            watermark_peak: self.watermark_peak,
+            background_mean: self.background_mean,
+            background_std: self.background_std,
+            total_mean: self.total_mean,
             cycles: self.cycles,
-            expected_peak_rotation: self.phase_offset % watermark.period().max(1),
+            expected_peak_rotation: self.expected_peak_rotation,
         })
     }
 }
@@ -419,6 +522,25 @@ mod tests {
         assert!(a.detection.detected && b.detection.detected);
         assert_eq!(a.detection.peak_rotation, b.detection.peak_rotation);
         assert_ne!(a.detection.peak_rho, b.detection.peak_rho);
+    }
+
+    #[test]
+    fn measured_run_plus_analyse_matches_run_bit_for_bit() {
+        // The corpus path — capture Y, store it, re-analyse later — must
+        // agree exactly with the all-in-one pipeline.
+        let experiment = Experiment::quick(10_000, 8);
+        let direct = experiment.run(&small_arch()).expect("runs");
+        let measured = experiment.run_measured(&small_arch()).expect("measures");
+        let replayed = measured.analyse(&experiment.criterion).expect("analyses");
+        assert_eq!(
+            direct.detection.peak_rho.to_bits(),
+            replayed.detection.peak_rho.to_bits()
+        );
+        assert_eq!(direct.detection, replayed.detection);
+        assert_eq!(direct.spectrum.rho(), replayed.spectrum.rho());
+        assert_eq!(direct.p_value.to_bits(), replayed.p_value.to_bits());
+        assert_eq!(measured.measured.as_watts().len(), 10_000);
+        assert_eq!(measured.cycles, 10_000);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Little-endian field helpers shared by the trace format, checkpoint
+//! blobs, and the manifest verifier.
+//!
+//! Everything on disk is fixed little-endian regardless of host order, so
+//! a corpus written on one machine verifies bit-for-bit on any other.
+
+use crate::CorpusError;
+
+/// Appends a `u16` in little-endian order.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its little-endian IEEE-754 bits (bit-exact,
+/// including negative zero).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u16` from `bytes` at `at`.
+///
+/// # Errors
+///
+/// Returns [`CorpusError::Format`] when the slice is too short.
+pub fn get_u16(bytes: &[u8], at: usize) -> Result<u16, CorpusError> {
+    let raw: [u8; 2] = bytes
+        .get(at..at + 2)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| CorpusError::format(format!("truncated u16 at byte {at}")))?;
+    Ok(u16::from_le_bytes(raw))
+}
+
+/// Reads a `u32` from `bytes` at `at`.
+///
+/// # Errors
+///
+/// Returns [`CorpusError::Format`] when the slice is too short.
+pub fn get_u32(bytes: &[u8], at: usize) -> Result<u32, CorpusError> {
+    let raw: [u8; 4] = bytes
+        .get(at..at + 4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| CorpusError::format(format!("truncated u32 at byte {at}")))?;
+    Ok(u32::from_le_bytes(raw))
+}
+
+/// Reads a `u64` from `bytes` at `at`.
+///
+/// # Errors
+///
+/// Returns [`CorpusError::Format`] when the slice is too short.
+pub fn get_u64(bytes: &[u8], at: usize) -> Result<u64, CorpusError> {
+    let raw: [u8; 8] = bytes
+        .get(at..at + 8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| CorpusError::format(format!("truncated u64 at byte {at}")))?;
+    Ok(u64::from_le_bytes(raw))
+}
+
+/// Reads an `f64` (bit-exact) from `bytes` at `at`.
+///
+/// # Errors
+///
+/// Returns [`CorpusError::Format`] when the slice is too short.
+pub fn get_f64(bytes: &[u8], at: usize) -> Result<f64, CorpusError> {
+    Ok(f64::from_bits(get_u64(bytes, at)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_are_bit_exact() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 0xBEEF);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 7);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, 1.0e-300);
+        assert_eq!(get_u16(&buf, 0).expect("fits"), 0xBEEF);
+        assert_eq!(get_u32(&buf, 2).expect("fits"), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&buf, 6).expect("fits"), u64::MAX - 7);
+        assert_eq!(
+            get_f64(&buf, 14).expect("fits").to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(get_f64(&buf, 22).expect("fits"), 1.0e-300);
+    }
+
+    #[test]
+    fn truncated_reads_are_errors() {
+        let buf = [0u8; 3];
+        assert!(get_u32(&buf, 0).is_err());
+        assert!(get_u64(&buf, 0).is_err());
+        assert!(get_u16(&buf, 2).is_err());
+    }
+}

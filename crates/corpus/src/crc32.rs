@@ -1,0 +1,111 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+//!
+//! The integrity footer of every stored trace and checkpoint. The
+//! implementation is the classic byte-at-a-time table walk — fast enough
+//! to disappear behind file I/O, and dependency-free.
+
+/// The 256-entry lookup table, generated at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// An incremental CRC-32 accumulator.
+///
+/// ```
+/// use clockmark_corpus::Crc32;
+///
+/// let mut crc = Crc32::new();
+/// crc.update(b"123456789");
+/// assert_eq!(crc.finish(), 0xCBF4_3926); // the standard check value
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds more bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far (the accumulator stays
+    /// usable; `finish` is a pure read).
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot checksum of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut crc = Crc32::new();
+        for chunk in data.chunks(37) {
+            crc.update(chunk);
+        }
+        assert_eq!(crc.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn single_flipped_bit_changes_the_checksum() {
+        let mut data = vec![0u8; 4096];
+        let clean = crc32(&data);
+        for byte in [0usize, 1000, 4095] {
+            data[byte] ^= 0x10;
+            assert_ne!(crc32(&data), clean, "flip at byte {byte} undetected");
+            data[byte] ^= 0x10;
+        }
+    }
+}

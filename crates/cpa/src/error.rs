@@ -28,6 +28,13 @@ pub enum CpaError {
         /// Cycles required (one watermark period).
         need: usize,
     },
+    /// A serialized `StreamingCpa` snapshot failed validation on restore
+    /// (mismatched vector lengths, or accumulators inconsistent with the
+    /// cycle count).
+    InvalidState {
+        /// What was inconsistent.
+        message: String,
+    },
     /// Spectra from experiments with different periods were combined.
     PeriodMismatch {
         /// Period expected by the ensemble.
@@ -58,6 +65,9 @@ impl fmt::Display for CpaError {
                     "only {have} cycles consumed; at least {need} \
                      (one watermark period) are required"
                 )
+            }
+            CpaError::InvalidState { message } => {
+                write!(f, "invalid streaming-CPA snapshot: {message}")
             }
             CpaError::PeriodMismatch { expected, got } => {
                 write!(

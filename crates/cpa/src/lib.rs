@@ -57,4 +57,4 @@ pub use pearson::pearson;
 pub use rotational::{spread_spectrum, spread_spectrum_naive, SpreadSpectrum};
 pub use significance::{normal_cdf, peak_false_positive_probability};
 pub use stats::{BoxPlotStats, RotationEnsemble};
-pub use streaming::StreamingCpa;
+pub use streaming::{StreamingCpa, StreamingCpaState};

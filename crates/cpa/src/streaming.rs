@@ -87,9 +87,36 @@ impl StreamingCpa {
 
     /// Feeds a batch of cycles.
     pub fn extend_from_slice(&mut self, ys: &[f64]) {
+        self.push_chunk(ys);
+    }
+
+    /// Bulk-ingests a chunk of cycles.
+    ///
+    /// Bit-identical to calling [`push`](Self::push) once per value (the
+    /// accumulations happen in the same order), but the per-call residue
+    /// bookkeeping — the `cycles % period` division and the repeated
+    /// field loads — is hoisted out of the loop: the residue index is
+    /// computed once and then carried incrementally, and the scalar sums
+    /// accumulate in locals. This is the campaign replay hot path, where
+    /// traces arrive as disk-sized chunks rather than single cycles.
+    pub fn push_chunk(&mut self, ys: &[f64]) {
+        let period = self.period();
+        let mut k = (self.cycles % period as u64) as usize;
+        let mut sum_y = self.sum_y;
+        let mut sum_yy = self.sum_yy;
         for &y in ys {
-            self.push(y);
+            self.residue_sums[k] += y;
+            self.residue_counts[k] += 1;
+            sum_y += y;
+            sum_yy += y * y;
+            k += 1;
+            if k == period {
+                k = 0;
+            }
         }
+        self.sum_y = sum_y;
+        self.sum_yy = sum_yy;
+        self.cycles += ys.len() as u64;
     }
 
     /// Computes the current spread spectrum from the accumulated sums.
@@ -149,6 +176,65 @@ impl StreamingCpa {
         }
     }
 
+    /// Snapshots every accumulator of the fold, bit-exactly.
+    ///
+    /// The snapshot plus the not-yet-consumed tail of the measurement is
+    /// a complete continuation: restoring it with
+    /// [`from_state`](Self::from_state) and feeding the remaining cycles
+    /// produces results bit-identical to an uninterrupted run. This is
+    /// what campaign checkpoints persist.
+    pub fn state(&self) -> StreamingCpaState {
+        StreamingCpaState {
+            pattern: self.pattern.clone(),
+            residue_sums: self.residue_sums.clone(),
+            residue_counts: self.residue_counts.clone(),
+            sum_y: self.sum_y,
+            sum_yy: self.sum_yy,
+            cycles: self.cycles,
+        }
+    }
+
+    /// Rebuilds a detector from a [`state`](Self::state) snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the pattern-validation errors of [`new`](Self::new), and
+    /// [`CpaError::InvalidState`] when the snapshot's vectors do not
+    /// match the pattern length or its counts do not sum to `cycles`.
+    pub fn from_state(state: StreamingCpaState) -> Result<Self, CpaError> {
+        let mut detector = Self::new(&state.pattern)?;
+        let period = detector.period();
+        if state.residue_sums.len() != period || state.residue_counts.len() != period {
+            return Err(CpaError::InvalidState {
+                message: format!(
+                    "residue vectors of length {}/{} for period {period}",
+                    state.residue_sums.len(),
+                    state.residue_counts.len()
+                ),
+            });
+        }
+        let counted: u64 = state.residue_counts.iter().sum();
+        if counted != state.cycles {
+            return Err(CpaError::InvalidState {
+                message: format!(
+                    "residue counts sum to {counted} but cycles is {}",
+                    state.cycles
+                ),
+            });
+        }
+        if !state.sum_y.is_finite() || !state.sum_yy.is_finite() {
+            return Err(CpaError::InvalidState {
+                message: "non-finite accumulator sums".to_owned(),
+            });
+        }
+        detector.residue_sums = state.residue_sums;
+        detector.residue_counts = state.residue_counts;
+        detector.sum_y = state.sum_y;
+        detector.sum_yy = state.sum_yy;
+        detector.cycles = state.cycles;
+        Ok(detector)
+    }
+
     /// Consumes cycles from an iterator until the criterion is satisfied
     /// (checking every `check_interval` cycles) or the iterator ends.
     /// Returns the cycle count at detection, or `None` if the stream ended
@@ -172,6 +258,27 @@ impl StreamingCpa {
             None
         }
     }
+}
+
+/// The serializable accumulators of a [`StreamingCpa`] fold.
+///
+/// All fields are public so persistence layers (the campaign engine's
+/// binary checkpoints, tests) can encode them bit-exactly; consistency is
+/// re-validated by [`StreamingCpa::from_state`] on the way back in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingCpaState {
+    /// One period of the watermark pattern.
+    pub pattern: Vec<bool>,
+    /// Per-residue sums of y.
+    pub residue_sums: Vec<f64>,
+    /// Per-residue sample counts.
+    pub residue_counts: Vec<u64>,
+    /// Running sum of y.
+    pub sum_y: f64,
+    /// Running sum of y².
+    pub sum_yy: f64,
+    /// Cycles consumed.
+    pub cycles: u64,
 }
 
 #[cfg(test)]
@@ -300,6 +407,133 @@ mod tests {
         ));
         assert_eq!(
             StreamingCpa::new(&[true, true]).unwrap_err(),
+            CpaError::ConstantPattern
+        );
+    }
+
+    /// Pins the error-variant split the docs promise: `TooShort` is about
+    /// the *pattern* (a constructor-time property), `InsufficientCycles`
+    /// is about the *stream* (a query-time property). PR 1 separated the
+    /// two; this test keeps them from collapsing back into one variant.
+    #[test]
+    fn error_variants_split_pattern_from_cycles() {
+        // Pattern too short → TooShort from `new`, never InsufficientCycles.
+        for pattern in [&[][..], &[true][..], &[false][..]] {
+            assert!(
+                matches!(
+                    StreamingCpa::new(pattern).unwrap_err(),
+                    CpaError::TooShort { len } if len == pattern.len()
+                ),
+                "pattern of length {} must fail with TooShort",
+                pattern.len()
+            );
+        }
+
+        // Too few cycles → InsufficientCycles from `spectrum`, with both
+        // counts reported, at every point short of one full period.
+        let pattern = [true, false, true, true, false, false, true, false];
+        let mut detector = StreamingCpa::new(&pattern).expect("valid pattern");
+        for have in 0..pattern.len() as u64 {
+            assert_eq!(
+                detector.spectrum().unwrap_err(),
+                CpaError::InsufficientCycles {
+                    have,
+                    need: pattern.len()
+                },
+                "at {have} cycles"
+            );
+            detector.push(1.0);
+        }
+        // One full period in: the error clears and a spectrum exists.
+        assert!(detector.spectrum().is_ok());
+    }
+
+    #[test]
+    fn push_chunk_is_bit_identical_to_per_cycle_push() {
+        let pattern = m_sequence_pattern();
+        let y = noisy_trace(&pattern, 10_000, 23, 0.6, 3.0, 5);
+
+        let mut per_cycle = StreamingCpa::new(&pattern).expect("valid");
+        for &v in &y {
+            per_cycle.push(v);
+        }
+
+        // Uneven chunk sizes, including chunks smaller and larger than
+        // the period, must not change a single accumulator bit.
+        let mut chunked = StreamingCpa::new(&pattern).expect("valid");
+        let mut offset = 0usize;
+        for (i, chunk_len) in [1usize, 7, 127, 500, 3, 1024].iter().cycle().enumerate() {
+            if offset >= y.len() {
+                break;
+            }
+            let end = (offset + chunk_len + i % 3).min(y.len());
+            chunked.push_chunk(&y[offset..end]);
+            offset = end;
+        }
+
+        assert_eq!(per_cycle, chunked, "fold state must match bit-for-bit");
+        let a = per_cycle.spectrum().expect("complete");
+        let b = chunked.spectrum().expect("complete");
+        for (x, y) in a.rho().iter().zip(b.rho()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_identical() {
+        let pattern = m_sequence_pattern();
+        let y = noisy_trace(&pattern, 8_000, 12, 0.8, 2.0, 6);
+        let (head, tail) = y.split_at(3_141);
+
+        let mut uninterrupted = StreamingCpa::new(&pattern).expect("valid");
+        uninterrupted.push_chunk(&y);
+
+        let mut first_half = StreamingCpa::new(&pattern).expect("valid");
+        first_half.push_chunk(head);
+        let snapshot = first_half.state();
+        let mut resumed = StreamingCpa::from_state(snapshot).expect("valid snapshot");
+        resumed.push_chunk(tail);
+
+        assert_eq!(uninterrupted, resumed);
+        let a = uninterrupted.detect(&DetectionCriterion::default());
+        let b = resumed.detect(&DetectionCriterion::default());
+        assert_eq!(a.peak_rho.to_bits(), b.peak_rho.to_bits());
+        assert_eq!(a.zscore.to_bits(), b.zscore.to_bits());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupted_states_are_rejected() {
+        let pattern = m_sequence_pattern();
+        let mut detector = StreamingCpa::new(&pattern).expect("valid");
+        detector.push_chunk(&noisy_trace(&pattern, 500, 0, 1.0, 1.0, 7));
+        let good = detector.state();
+
+        let mut short_sums = good.clone();
+        short_sums.residue_sums.pop();
+        assert!(matches!(
+            StreamingCpa::from_state(short_sums).unwrap_err(),
+            CpaError::InvalidState { .. }
+        ));
+
+        let mut bad_counts = good.clone();
+        bad_counts.residue_counts[0] += 1;
+        assert!(matches!(
+            StreamingCpa::from_state(bad_counts).unwrap_err(),
+            CpaError::InvalidState { .. }
+        ));
+
+        let mut nan_sum = good.clone();
+        nan_sum.sum_y = f64::NAN;
+        assert!(matches!(
+            StreamingCpa::from_state(nan_sum).unwrap_err(),
+            CpaError::InvalidState { .. }
+        ));
+
+        let mut constant = good;
+        constant.pattern = vec![true; pattern.len()];
+        assert_eq!(
+            StreamingCpa::from_state(constant).unwrap_err(),
             CpaError::ConstantPattern
         );
     }

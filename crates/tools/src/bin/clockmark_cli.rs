@@ -7,8 +7,14 @@ use clockmark_tools::commands::{
     cmd_attack, cmd_detect, cmd_embed, cmd_experiment, cmd_metrics, cmd_parse, cmd_simulate,
     cmd_verilog, ArchChoice, EmbedOptions, PatternSpec,
 };
+use clockmark_tools::fleet::{
+    cmd_campaign_resume, cmd_campaign_run, cmd_campaign_status, cmd_corpus_build,
+    cmd_corpus_convert, cmd_corpus_ls, cmd_corpus_verify, parse_chip_list, parse_seed_list,
+    CampaignCreateOptions, CampaignRunOptions, CorpusBuildOptions,
+};
 use clockmark_tools::ToolError;
 use std::fs;
+use std::path::Path;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -27,6 +33,16 @@ USAGE:
   clockmark-cli experiment [--chip i|ii] [--cycles N] [--seed S] [--full-noise]
                  [--spectrum <file.csv>]
   clockmark-cli metrics <file.jsonl>
+  clockmark-cli corpus build <dir> [--chips i,ii] [--seeds 1..8] [--cycles N]
+                 [--width W] [--wgc-seed S] [--unmarked] [--full-noise]
+  clockmark-cli corpus ls <dir>
+  clockmark-cli corpus verify <dir>
+  clockmark-cli corpus convert <file> --out <file> [--f-clk HZ] [--seed S]
+  clockmark-cli campaign run <dir> --corpus <dir> (--lfsr W [--seed S] | --bits 1011…)
+                 [--traces a,b,…] [--lenient] [--checkpoint-cycles N]
+                 [--chunk-cycles N] [--threads N] [--max-jobs N]
+  clockmark-cli campaign resume <dir> [--threads N] [--max-jobs N]
+  clockmark-cli campaign status <dir>
 
 Observability (all commands): CLOCKMARK_LOG=error|warn|info|debug|trace
 sets the stderr log level; CLOCKMARK_METRICS=<file.jsonl> records spans
@@ -45,6 +61,34 @@ fn write(path: &str, contents: &str) -> Result<(), ToolError> {
         path: path.to_owned(),
         source,
     })
+}
+
+/// Parses the shared `--lfsr W [--seed S] | --bits 1011…` expected-sequence
+/// flags of `detect` and `campaign run`.
+fn pattern_spec(args: &mut Args, command: &str) -> Result<PatternSpec, ToolError> {
+    if let Some(width) = args.value_of("--lfsr")? {
+        let width: u32 = width
+            .parse()
+            .map_err(|_| ToolError::Usage("--lfsr needs a width".to_owned()))?;
+        let seed = args.numeric("--seed", 1u32)?;
+        Ok(PatternSpec::Lfsr { width, seed })
+    } else if let Some(bits) = args.value_of("--bits")? {
+        let parsed: Result<Vec<bool>, _> = bits
+            .chars()
+            .map(|c| match c {
+                '0' => Ok(false),
+                '1' => Ok(true),
+                other => Err(ToolError::Usage(format!(
+                    "--bits must be 0s and 1s, found {other:?}"
+                ))),
+            })
+            .collect();
+        Ok(PatternSpec::Bits(parsed?))
+    } else {
+        Err(ToolError::Usage(format!(
+            "{command} needs --lfsr or --bits"
+        )))
+    }
 }
 
 fn run() -> Result<(), ToolError> {
@@ -125,27 +169,7 @@ fn run() -> Result<(), ToolError> {
         "detect" => {
             let trace = args.require("--trace")?;
             let lenient = args.flag("--lenient");
-            let spec = if let Some(width) = args.value_of("--lfsr")? {
-                let width: u32 = width
-                    .parse()
-                    .map_err(|_| ToolError::Usage("--lfsr needs a width".to_owned()))?;
-                let seed = args.numeric("--seed", 1u32)?;
-                PatternSpec::Lfsr { width, seed }
-            } else if let Some(bits) = args.value_of("--bits")? {
-                let parsed: Result<Vec<bool>, _> = bits
-                    .chars()
-                    .map(|c| match c {
-                        '0' => Ok(false),
-                        '1' => Ok(true),
-                        other => Err(ToolError::Usage(format!(
-                            "--bits must be 0s and 1s, found {other:?}"
-                        ))),
-                    })
-                    .collect();
-                PatternSpec::Bits(parsed?)
-            } else {
-                return Err(ToolError::Usage("detect needs --lfsr or --bits".to_owned()));
-            };
+            let spec = pattern_spec(&mut args, "detect")?;
             args.finish()?;
             print!("{}", cmd_detect(&read(&trace)?, &spec, lenient)?);
         }
@@ -176,6 +200,141 @@ fn run() -> Result<(), ToolError> {
             let path = args.positional("file.jsonl")?;
             args.finish()?;
             print!("{}", cmd_metrics(&read(&path)?)?);
+        }
+        "corpus" => {
+            let sub = args.positional("subcommand")?;
+            match sub.as_str() {
+                "build" => {
+                    let dir = args.positional("dir")?;
+                    let defaults = CorpusBuildOptions::default();
+                    let options = CorpusBuildOptions {
+                        chips: match args.value_of("--chips")? {
+                            Some(list) => parse_chip_list(&list)?,
+                            None => defaults.chips,
+                        },
+                        seeds: match args.value_of("--seeds")? {
+                            Some(list) => parse_seed_list(&list)?,
+                            None => defaults.seeds,
+                        },
+                        cycles: args.numeric("--cycles", defaults.cycles)?,
+                        width: args.numeric("--width", defaults.width)?,
+                        wgc_seed: args.numeric("--wgc-seed", defaults.wgc_seed)?,
+                        unmarked: args.flag("--unmarked"),
+                        full_noise: args.flag("--full-noise"),
+                    };
+                    args.finish()?;
+                    print!("{}", cmd_corpus_build(Path::new(&dir), &options)?);
+                }
+                "ls" => {
+                    let dir = args.positional("dir")?;
+                    args.finish()?;
+                    print!("{}", cmd_corpus_ls(Path::new(&dir))?);
+                }
+                "verify" => {
+                    let dir = args.positional("dir")?;
+                    args.finish()?;
+                    print!("{}", cmd_corpus_verify(Path::new(&dir))?);
+                }
+                "convert" => {
+                    let input = args.positional("file")?;
+                    let out = args.require("--out")?;
+                    let mut header = clockmark::corpus::TraceHeader::bare(0);
+                    header.f_clk_hz = args.numeric("--f-clk", header.f_clk_hz)?;
+                    header.seed = args.numeric("--seed", header.seed)?;
+                    args.finish()?;
+                    let bytes = fs::read(&input).map_err(|source| ToolError::Io {
+                        path: input.clone(),
+                        source,
+                    })?;
+                    let (converted, report) = cmd_corpus_convert(&bytes, header)?;
+                    fs::write(&out, converted).map_err(|source| ToolError::Io {
+                        path: out.clone(),
+                        source,
+                    })?;
+                    println!("{report}");
+                    println!("wrote {out}");
+                }
+                other => {
+                    return Err(ToolError::Usage(format!(
+                        "unknown corpus subcommand `{other}`"
+                    )))
+                }
+            }
+        }
+        "campaign" => {
+            let sub = args.positional("subcommand")?;
+            match sub.as_str() {
+                "run" => {
+                    let dir = args.positional("dir")?;
+                    let corpus_dir = args.require("--corpus")?;
+                    let lenient = args.flag("--lenient");
+                    let spec = pattern_spec(&mut args, "campaign run")?;
+                    let traces = args
+                        .value_of("--traces")?
+                        .map(|list| list.split(',').map(str::to_owned).collect());
+                    let checkpoint_cycles = args.value_of("--checkpoint-cycles")?;
+                    let checkpoint_cycles = match checkpoint_cycles {
+                        Some(v) => Some(v.parse().map_err(|_| {
+                            ToolError::Usage(format!("--checkpoint-cycles: cannot parse `{v}`"))
+                        })?),
+                        None => None,
+                    };
+                    let chunk_cycles = match args.value_of("--chunk-cycles")? {
+                        Some(v) => Some(v.parse().map_err(|_| {
+                            ToolError::Usage(format!("--chunk-cycles: cannot parse `{v}`"))
+                        })?),
+                        None => None,
+                    };
+                    let options = CampaignRunOptions {
+                        threads: args.numeric("--threads", 0usize)?,
+                        max_jobs: args
+                            .value_of("--max-jobs")?
+                            .map(|v| v.parse())
+                            .transpose()
+                            .map_err(|_| ToolError::Usage("--max-jobs: not a number".to_owned()))?,
+                    };
+                    args.finish()?;
+                    let create = CampaignCreateOptions {
+                        traces,
+                        lenient,
+                        checkpoint_cycles,
+                        chunk_cycles,
+                    };
+                    print!(
+                        "{}",
+                        cmd_campaign_run(
+                            Path::new(&dir),
+                            Path::new(&corpus_dir),
+                            &spec,
+                            create,
+                            options,
+                        )?
+                    );
+                }
+                "resume" => {
+                    let dir = args.positional("dir")?;
+                    let options = CampaignRunOptions {
+                        threads: args.numeric("--threads", 0usize)?,
+                        max_jobs: args
+                            .value_of("--max-jobs")?
+                            .map(|v| v.parse())
+                            .transpose()
+                            .map_err(|_| ToolError::Usage("--max-jobs: not a number".to_owned()))?,
+                    };
+                    args.finish()?;
+                    print!("{}", cmd_campaign_resume(Path::new(&dir), options)?);
+                }
+                "status" => {
+                    let dir = args.positional("dir")?;
+                    args.finish()?;
+                    print!("{}", cmd_campaign_status(Path::new(&dir))?);
+                }
+                other => {
+                    return Err(ToolError::Usage(format!(
+                        "unknown campaign subcommand `{other}`"
+                    )))
+                }
+            }
         }
         other => {
             return Err(ToolError::Usage(format!(

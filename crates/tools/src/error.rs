@@ -25,6 +25,10 @@ pub enum ToolError {
     },
     /// A library operation failed.
     Clockmark(clockmark::ClockmarkError),
+    /// A trace-corpus store operation failed.
+    Corpus(clockmark::corpus::CorpusError),
+    /// A detection campaign failed.
+    Campaign(clockmark::CampaignError),
 }
 
 impl fmt::Display for ToolError {
@@ -37,6 +41,8 @@ impl fmt::Display for ToolError {
                 write!(f, "trace file line {line}: {message}")
             }
             ToolError::Clockmark(e) => write!(f, "{e}"),
+            ToolError::Corpus(e) => write!(f, "corpus: {e}"),
+            ToolError::Campaign(e) => write!(f, "campaign: {e}"),
         }
     }
 }
@@ -47,6 +53,8 @@ impl Error for ToolError {
             ToolError::Io { source, .. } => Some(source),
             ToolError::Hdl(e) => Some(e),
             ToolError::Clockmark(e) => Some(e),
+            ToolError::Corpus(e) => Some(e),
+            ToolError::Campaign(e) => Some(e),
             _ => None,
         }
     }
@@ -79,6 +87,18 @@ impl From<clockmark_sim::SimError> for ToolError {
 impl From<clockmark_netlist::NetlistError> for ToolError {
     fn from(e: clockmark_netlist::NetlistError) -> Self {
         ToolError::Clockmark(clockmark::ClockmarkError::Netlist(e))
+    }
+}
+
+impl From<clockmark::corpus::CorpusError> for ToolError {
+    fn from(e: clockmark::corpus::CorpusError) -> Self {
+        ToolError::Corpus(e)
+    }
+}
+
+impl From<clockmark::CampaignError> for ToolError {
+    fn from(e: clockmark::CampaignError) -> Self {
+        ToolError::Campaign(e)
     }
 }
 

@@ -13,6 +13,8 @@
 //! | `attack <file.cmn> --group <name>` | removal-attack (influence) analysis of a cell group |
 //! | `detect --trace <csv> --lfsr W [--seed S]` | rotational CPA on a recorded trace |
 //! | `experiment --chip i\|ii --cycles N [--trace-out f]` | full pipeline run on a chip model |
+//! | `corpus build\|ls\|verify\|convert` | manage an on-disk corpus of binary `.cmt` power traces |
+//! | `campaign run\|resume\|status` | resumable sharded detection campaigns over a corpus |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +22,7 @@
 pub mod args;
 pub mod commands;
 mod error;
+pub mod fleet;
 pub mod tracefile;
 
 pub use error::ToolError;

@@ -6,14 +6,18 @@
 
 use crate::ToolError;
 use clockmark_power::PowerTrace;
+use std::fmt::Write as _;
 
 /// Serialises a trace, one value per line with a small header.
 pub fn write_trace(trace: &PowerTrace) -> String {
     let mut out = String::with_capacity(trace.len() * 16 + 64);
     out.push_str("# clockmark power trace, watts per clock cycle\n");
-    out.push_str(&format!("# cycles: {}\n", trace.len()));
+    let _ = writeln!(out, "# cycles: {}", trace.len());
     for w in trace.as_watts() {
-        out.push_str(&format!("{w:.9e}\n"));
+        // `write!` formats straight into `out`; a per-line `format!`
+        // here used to allocate (and drop) one String per cycle, which
+        // dominated the cost of exporting paper-scale traces.
+        let _ = writeln!(out, "{w:.9e}");
     }
     out
 }
@@ -93,6 +97,54 @@ mod tests {
             for (a, b) in back.as_watts().iter().zip(&values) {
                 prop_assert!((a - b).abs() <= b.abs() * 1e-8 + 1e-12);
             }
+        }
+
+        #[test]
+        fn csv_and_binary_codecs_round_trip(values in proptest::collection::vec(-1.0f64..1.0, 1..200)) {
+            use clockmark::corpus::{decode_trace, encode_trace, TraceHeader};
+
+            // CSV → parse → binary → decode → CSV. Only the initial CSV
+            // parse may round (its format is decimal text); the binary
+            // codec is bit-exact, so the second CSV must equal the first.
+            let csv = write_trace(&PowerTrace::from_watts(values.clone()));
+            let parsed = read_trace(&csv).expect("parses");
+            let bytes = encode_trace(TraceHeader::bare(parsed.len() as u64), parsed.as_watts())
+                .expect("encodes");
+            let (header, back) = decode_trace(&bytes).expect("decodes");
+            prop_assert_eq!(header.cycles as usize, values.len());
+            for (a, b) in back.iter().zip(parsed.as_watts()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            prop_assert_eq!(write_trace(&PowerTrace::from_watts(back)), csv);
+        }
+
+        #[test]
+        fn non_finite_values_are_rejected_by_both_codecs(
+            bad in prop_oneof![Just(f64::NAN), Just(f64::INFINITY), Just(f64::NEG_INFINITY)],
+            prefix in proptest::collection::vec(-1.0f64..1.0, 0..8),
+        ) {
+            use clockmark::corpus::{encode_trace, CorpusError, TraceHeader};
+
+            let mut watts = prefix.clone();
+            watts.push(bad);
+
+            // Binary side: the absolute sample index of the offender.
+            let err = encode_trace(TraceHeader::bare(watts.len() as u64), &watts).unwrap_err();
+            prop_assert!(
+                matches!(err, CorpusError::NonFinite { index } if index == prefix.len() as u64),
+                "{err}"
+            );
+
+            // CSV side: the 1-based line, counting the comment header.
+            let mut csv = String::from("# header\n");
+            for w in &watts {
+                let _ = writeln!(csv, "{w:e}");
+            }
+            let err = read_trace(&csv).unwrap_err();
+            prop_assert!(
+                matches!(err, ToolError::Trace { line, .. } if line == prefix.len() + 2),
+                "{err}"
+            );
         }
     }
 }

@@ -1,0 +1,147 @@
+//! Property tests: interruption must be invisible. A [`StreamingCpa`]
+//! fold serialised mid-stream, restored, and finished has to produce a
+//! [`DetectionResult`] bit-for-bit identical to the uninterrupted fold —
+//! and a whole campaign killed at arbitrary points has to resume to a
+//! byte-identical `report.json`. This is the invariant the checkpoint
+//! subsystem is built on: a checkpoint may be taken (or lost) anywhere
+//! without perturbing a single f64.
+
+use clockmark::corpus::{Corpus, TraceHeader};
+use clockmark::{Campaign, CampaignLimits, CampaignSpec};
+use clockmark_cpa::{DetectionCriterion, DetectionResult, StreamingCpa};
+use clockmark_seq::{Lfsr, SequenceGenerator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn pattern(width: u32) -> Vec<bool> {
+    let mut lfsr = Lfsr::maximal(width).expect("valid width");
+    let period = (1usize << width) - 1;
+    (0..period).map(|_| lfsr.next_bit()).collect()
+}
+
+fn synth(pattern: &[bool], cycles: usize, phase: usize, amp: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..cycles)
+        .map(|i| {
+            let wm = if pattern[(i + phase) % pattern.len()] {
+                amp
+            } else {
+                0.0
+            };
+            wm + rng.random_range(-2.0..2.0)
+        })
+        .collect()
+}
+
+fn assert_results_bit_identical(a: &DetectionResult, b: &DetectionResult) {
+    assert_eq!(a.detected, b.detected);
+    assert_eq!(a.peak_rotation, b.peak_rotation);
+    assert_eq!(a.peak_rho.to_bits(), b.peak_rho.to_bits());
+    assert_eq!(a.floor_max_abs.to_bits(), b.floor_max_abs.to_bits());
+    assert_eq!(a.ratio.to_bits(), b.ratio.to_bits());
+    assert_eq!(a.zscore.to_bits(), b.zscore.to_bits());
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "cm_resume_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&path).ok();
+        std::fs::create_dir_all(&path).expect("mkdir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mid_stream_serialisation_is_invisible_to_detection(
+        seed in 0u64..10_000,
+        split_frac in 0.0f64..1.0,
+        phase in 0usize..63,
+        amp in prop_oneof![Just(0.0f64), 0.5f64..2.0],
+    ) {
+        let pattern = pattern(6);
+        let y = synth(&pattern, 4_000, phase, amp, seed);
+        let criterion = DetectionCriterion::default();
+
+        // Uninterrupted reference fold.
+        let mut direct = StreamingCpa::new(&pattern).expect("valid");
+        direct.push_chunk(&y);
+        let expected = direct.detect(&criterion);
+
+        // Fold to an arbitrary split point, serialise, restore, finish.
+        let split = ((y.len() as f64) * split_frac) as usize;
+        let mut first = StreamingCpa::new(&pattern).expect("valid");
+        first.push_chunk(&y[..split]);
+        let state = first.state();
+        drop(first);
+
+        let mut resumed = StreamingCpa::from_state(state).expect("restores");
+        prop_assert_eq!(resumed.cycles(), split as u64);
+        resumed.push_chunk(&y[split..]);
+        assert_results_bit_identical(&resumed.detect(&criterion), &expected);
+    }
+
+    #[test]
+    fn a_campaign_killed_anywhere_resumes_to_identical_report_bytes(
+        seed in 0u64..1_000,
+        interrupt in 300u64..2_500,
+        checkpoint in 200u64..1_500,
+    ) {
+        let dir = TempDir::new("campaign");
+        let pattern = pattern(6);
+        let cycles = 3_000;
+
+        let corpus_dir = dir.0.join("corpus");
+        let mut corpus = Corpus::create(&corpus_dir).expect("creates");
+        let mut names = Vec::new();
+        for (i, amp) in [1.0, 0.0, 0.8].into_iter().enumerate() {
+            let name = format!("t{i}");
+            let y = synth(&pattern, cycles, 5 * i + 3, amp, seed * 31 + i as u64);
+            corpus.add(&name, TraceHeader::bare(0), &y).expect("adds");
+            names.push(name);
+        }
+
+        let mut spec = CampaignSpec::new(&corpus_dir, pattern.clone(), names);
+        spec.checkpoint_cycles = checkpoint;
+        spec.chunk_cycles = 128;
+
+        let reference = Campaign::create(dir.0.join("reference"), spec.clone()).expect("creates");
+        let status = reference.run(&CampaignLimits::none()).expect("runs");
+        prop_assert!(status.is_complete());
+
+        let interrupted = Campaign::create(dir.0.join("interrupted"), spec).expect("creates");
+        let limits = CampaignLimits {
+            max_jobs: Some(2),
+            interrupt_job_after_cycles: Some(interrupt),
+        };
+        let mut passes = 0;
+        loop {
+            passes += 1;
+            prop_assert!(passes < 200, "campaign failed to converge");
+            if interrupted.run(&limits).expect("runs").is_complete() {
+                break;
+            }
+        }
+
+        let reference_bytes = std::fs::read(dir.0.join("reference/report.json")).expect("report");
+        let interrupted_bytes =
+            std::fs::read(dir.0.join("interrupted/report.json")).expect("report");
+        prop_assert_eq!(reference_bytes, interrupted_bytes);
+    }
+}
