@@ -30,7 +30,7 @@
 use crate::batch::parallel_map;
 use clockmark_corpus::codec;
 use clockmark_corpus::{Corpus, CorpusError, Crc32};
-use clockmark_cpa::{CpaError, DetectionCriterion, DetectionResult, StreamingCpa};
+use clockmark_cpa::{CpaAlgo, CpaError, DetectionCriterion, DetectionResult, StreamingCpa};
 use clockmark_obs::json::{self, Json};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -40,8 +40,31 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Magic bytes leading a checkpoint file.
-const CKPT_MAGIC: &[u8; 8] = b"CMCKPT1\0";
+/// Magic bytes leading a checkpoint file. Version 2 added the spectrum
+/// kernel byte; version-1 checkpoints fail the magic check and are
+/// discarded on restore, which is always safe (the job replays from the
+/// trace start, bit-identically).
+const CKPT_MAGIC: &[u8; 8] = b"CMCKPT2\0";
+
+/// Checkpoint wire value for each spectrum kernel.
+fn algo_to_byte(algo: CpaAlgo) -> u8 {
+    match algo {
+        CpaAlgo::Naive => 0,
+        CpaAlgo::Folded => 1,
+        CpaAlgo::Fft => 2,
+        _ => u8::MAX,
+    }
+}
+
+/// Inverse of [`algo_to_byte`]; `None` for unknown wire values.
+fn algo_from_byte(byte: u8) -> Option<CpaAlgo> {
+    match byte {
+        0 => Some(CpaAlgo::Naive),
+        1 => Some(CpaAlgo::Folded),
+        2 => Some(CpaAlgo::Fft),
+        _ => None,
+    }
+}
 
 /// Errors produced by the campaign engine.
 #[derive(Debug)]
@@ -142,12 +165,22 @@ pub struct CampaignSpec {
     pub checkpoint_cycles: u64,
     /// Cycles read from disk per chunk (clamped to at least 1).
     pub chunk_cycles: usize,
+    /// The spectrum kernel every job runs (see [`CpaAlgo`]). Resolved
+    /// once, at creation time, and persisted in `campaign.json` — a
+    /// resumed campaign replays the recorded kernel regardless of the
+    /// resuming process's `CLOCKMARK_CPA_ALGO`, because the byte-identical
+    /// report guarantee only holds within one kernel's arithmetic.
+    pub algo: CpaAlgo,
 }
 
 impl CampaignSpec {
     /// A spec with the default criterion, 64 Ki-cycle checkpoints and
-    /// 8 Ki-cycle read chunks.
+    /// 8 Ki-cycle read chunks. The spectrum kernel is resolved here,
+    /// once: `CLOCKMARK_CPA_ALGO` when set, the pattern's work heuristic
+    /// otherwise.
     pub fn new(corpus: impl Into<PathBuf>, pattern: Vec<bool>, traces: Vec<String>) -> Self {
+        let algo = clockmark_cpa::algo_override()
+            .unwrap_or_else(|| CpaAlgo::resolved_for_pattern(&pattern));
         CampaignSpec {
             corpus: corpus.into(),
             pattern,
@@ -155,6 +188,7 @@ impl CampaignSpec {
             criterion: DetectionCriterion::default(),
             checkpoint_cycles: 65_536,
             chunk_cycles: 8_192,
+            algo,
         }
     }
 
@@ -180,8 +214,10 @@ impl CampaignSpec {
         json::write_f64(&mut out, self.criterion.min_zscore);
         let _ = write!(
             out,
-            ",\"checkpoint_cycles\":{},\"chunk_cycles\":{}}}",
-            self.checkpoint_cycles, self.chunk_cycles
+            ",\"checkpoint_cycles\":{},\"chunk_cycles\":{},\"algo\":\"{}\"}}",
+            self.checkpoint_cycles,
+            self.chunk_cycles,
+            self.algo.as_str()
         );
         out
     }
@@ -228,6 +264,14 @@ impl CampaignSpec {
                 .collect::<Result<Vec<String>, _>>()?,
             _ => return Err(CampaignError::spec("missing array field `traces`")),
         };
+        // Specs written before the kernel was recorded lack the field;
+        // resolve those from the pattern heuristic, never from the
+        // resuming environment (the environment at *creation* decided).
+        let algo = value
+            .get("algo")
+            .and_then(Json::as_str)
+            .and_then(CpaAlgo::parse)
+            .unwrap_or_else(|| CpaAlgo::resolved_for_pattern(&pattern));
         Ok(CampaignSpec {
             corpus: PathBuf::from(str_field("corpus")?),
             pattern,
@@ -238,6 +282,7 @@ impl CampaignSpec {
             },
             checkpoint_cycles: num_field("checkpoint_cycles")? as u64,
             chunk_cycles: num_field("chunk_cycles")? as usize,
+            algo,
         })
     }
 
@@ -416,6 +461,8 @@ impl std::fmt::Display for CampaignStatus {
 /// The final product of a completed campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
+    /// The spectrum kernel every outcome was computed with.
+    pub algo: CpaAlgo,
     /// Every job's outcome, sorted by job index.
     pub outcomes: Vec<JobOutcome>,
 }
@@ -427,14 +474,17 @@ impl CampaignReport {
     }
 
     /// Serialises the report deterministically: same outcomes in, same
-    /// bytes out — what the kill-and-resume tests compare.
+    /// bytes out — what the kill-and-resume tests compare. The kernel is
+    /// part of the bytes, so two reports only compare equal when they
+    /// were produced by the same arithmetic.
     pub fn encode(&self) -> String {
         let mut out = String::with_capacity(64 + self.outcomes.len() * 160);
         let _ = write!(
             out,
-            "{{\"total\":{},\"detected\":{},\"jobs\":[",
+            "{{\"total\":{},\"detected\":{},\"algo\":\"{}\",\"jobs\":[",
             self.outcomes.len(),
-            self.detected()
+            self.detected(),
+            self.algo.as_str()
         );
         for (i, outcome) in self.outcomes.iter().enumerate() {
             if i > 0 {
@@ -634,6 +684,7 @@ impl Campaign {
             });
         }
         Ok(CampaignReport {
+            algo: self.spec.algo,
             outcomes: completed.into_values().collect(),
         })
     }
@@ -654,7 +705,8 @@ impl Campaign {
     pub fn run(&self, limits: &CampaignLimits) -> Result<CampaignStatus, CampaignError> {
         let _span = clockmark_obs::span("campaign.run")
             .field("jobs", self.spec.traces.len())
-            .field("threads", self.threads);
+            .field("threads", self.threads)
+            .field("algo", self.spec.algo.as_str());
         let corpus = Corpus::open(&self.spec.corpus)?;
         for trace in &self.spec.traces {
             if corpus.entry(trace).is_none() {
@@ -741,9 +793,12 @@ impl Campaign {
             .field("trace", job.trace.clone());
         let mut reader = corpus.reader(&job.trace)?;
         let trace_cycles = reader.header().cycles;
+        // The kernel recorded in the spec is pinned on the detector, so
+        // neither the environment nor the work heuristic can change the
+        // arithmetic between a run and its resume.
         let mut detector = match self.restore_checkpoint(job, trace_cycles) {
             Some(detector) => detector,
-            None => StreamingCpa::new(&self.spec.pattern)?,
+            None => StreamingCpa::new(&self.spec.pattern)?.with_algo(self.spec.algo),
         };
         // Replaying the consumed prefix (discarded, but still fed to the
         // CRC) keeps the end-of-trace integrity check meaningful.
@@ -803,10 +858,10 @@ impl Campaign {
     }
 
     /// Restores a job's fold from its checkpoint, or `None` to start
-    /// fresh. Any defect — wrong trace, wrong pattern, impossible cycle
-    /// count, corrupt bytes — discards the file: restarting a job is
-    /// always safe (replay is bit-identical), trusting a bad snapshot
-    /// never is.
+    /// fresh. Any defect — wrong trace, wrong pattern, wrong spectrum
+    /// kernel, impossible cycle count, corrupt bytes — discards the file:
+    /// restarting a job is always safe (replay is bit-identical), trusting
+    /// a bad snapshot never is.
     fn restore_checkpoint(&self, job: &JobSpec, trace_cycles: u64) -> Option<StreamingCpa> {
         let path = self.checkpoint_path(job.index);
         let bytes = match fs::read(&path) {
@@ -815,15 +870,18 @@ impl Campaign {
         };
         let restored = decode_checkpoint(&bytes)
             .ok()
-            .and_then(|(index, trace, state)| {
+            .and_then(|(index, trace, algo, state)| {
                 if index != job.index
                     || trace != job.trace
+                    || algo != self.spec.algo
                     || state.pattern != self.spec.pattern
                     || state.cycles > trace_cycles
                 {
                     return None;
                 }
-                StreamingCpa::from_state(state).ok()
+                StreamingCpa::from_state(state)
+                    .ok()
+                    .map(|detector| detector.with_algo(self.spec.algo))
             });
         if restored.is_none() {
             let _ = fs::remove_file(&path);
@@ -839,7 +897,7 @@ impl Campaign {
         job: &JobSpec,
         detector: &StreamingCpa,
     ) -> Result<(), CampaignError> {
-        let bytes = encode_checkpoint(job.index, &job.trace, detector);
+        let bytes = encode_checkpoint(job.index, &job.trace, self.spec.algo, detector);
         let path = self.checkpoint_path(job.index);
         write_atomic(&path, &bytes)?;
         clockmark_obs::counter_add("campaign.checkpoints_written", 1);
@@ -862,12 +920,13 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CampaignError> {
     Ok(())
 }
 
-/// Encodes a checkpoint: magic, job identity, then every accumulator of
-/// the fold as raw little-endian bits, closed by a CRC-32.
-fn encode_checkpoint(index: usize, trace: &str, detector: &StreamingCpa) -> Vec<u8> {
+/// Encodes a checkpoint: magic, spectrum kernel, job identity, then every
+/// accumulator of the fold as raw little-endian bits, closed by a CRC-32.
+fn encode_checkpoint(index: usize, trace: &str, algo: CpaAlgo, detector: &StreamingCpa) -> Vec<u8> {
     let state = detector.state();
     let mut out = Vec::with_capacity(64 + trace.len() + state.pattern.len() * 17);
     out.extend_from_slice(CKPT_MAGIC);
+    out.push(algo_to_byte(algo));
     codec::put_u64(&mut out, index as u64);
     codec::put_u32(&mut out, trace.len() as u32);
     out.extend_from_slice(trace.as_bytes());
@@ -890,12 +949,13 @@ fn encode_checkpoint(index: usize, trace: &str, detector: &StreamingCpa) -> Vec<
     out
 }
 
-/// Decodes a checkpoint back into its job identity and fold state.
+/// Decodes a checkpoint back into its job identity, spectrum kernel and
+/// fold state.
 fn decode_checkpoint(
     bytes: &[u8],
-) -> Result<(usize, String, clockmark_cpa::StreamingCpaState), CampaignError> {
+) -> Result<(usize, String, CpaAlgo, clockmark_cpa::StreamingCpaState), CampaignError> {
     let bad = |message: &str| CampaignError::spec(format!("checkpoint: {message}"));
-    if bytes.len() < CKPT_MAGIC.len() + 4 || &bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+    if bytes.len() < CKPT_MAGIC.len() + 5 || &bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC {
         return Err(bad("bad magic"));
     }
     let body_len = bytes.len() - 4;
@@ -906,6 +966,8 @@ fn decode_checkpoint(
         return Err(bad("CRC mismatch"));
     }
     let mut at = CKPT_MAGIC.len();
+    let algo = algo_from_byte(bytes[at]).ok_or_else(|| bad("unknown spectrum kernel byte"))?;
+    at += 1;
     let index = codec::get_u64(bytes, at)? as usize;
     at += 8;
     let trace_len = codec::get_u32(bytes, at)? as usize;
@@ -947,6 +1009,7 @@ fn decode_checkpoint(
     Ok((
         index,
         trace,
+        algo,
         clockmark_cpa::StreamingCpaState {
             pattern,
             residue_sums,
@@ -1239,9 +1302,10 @@ mod tests {
         let pattern = pattern();
         let mut detector = StreamingCpa::new(&pattern).expect("valid");
         detector.push_chunk(&trace(&pattern, 1_000, 3, 0.8, 5));
-        let bytes = encode_checkpoint(7, "chip_i_s3", &detector);
-        let (index, trace_name, state) = decode_checkpoint(&bytes).expect("valid");
+        let bytes = encode_checkpoint(7, "chip_i_s3", CpaAlgo::Fft, &detector);
+        let (index, trace_name, algo, state) = decode_checkpoint(&bytes).expect("valid");
         assert_eq!((index, trace_name.as_str()), (7, "chip_i_s3"));
+        assert_eq!(algo, CpaAlgo::Fft);
         let restored = StreamingCpa::from_state(state).expect("valid");
         assert_eq!(restored, detector);
 

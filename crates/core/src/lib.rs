@@ -78,6 +78,8 @@ pub use campaign::{
     Campaign, CampaignError, CampaignLimits, CampaignReport, CampaignSpec, CampaignStatus,
     JobOutcome, JobSpec,
 };
+// `CampaignSpec::algo` is of this type; surface it next to the campaign API.
+pub use clockmark_cpa::CpaAlgo;
 pub use error::ClockmarkError;
 pub use pipeline::{ChipModel, Experiment, ExperimentOutcome, MeasuredRun};
 pub use wgc::{StructuralWgc, WgcConfig};

@@ -342,6 +342,12 @@ impl MeasuredRun {
     /// Step 6 of the pipeline: rotational CPA against the expected
     /// sequence, turning the raw measurement into a detection verdict.
     ///
+    /// The spectrum kernel is whatever [`spread_spectrum`] resolves —
+    /// the `CLOCKMARK_CPA_ALGO` override when set, else the work
+    /// heuristic (FFT at paper scale, folded below). Every kernel
+    /// reports a bit-identical peak, so the verdict does not depend on
+    /// the choice (see `docs/cpa-fft.md`).
+    ///
     /// # Errors
     ///
     /// Returns a [`CpaError`](clockmark_cpa::CpaError) when the

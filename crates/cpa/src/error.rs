@@ -17,6 +17,17 @@ pub enum CpaError {
         /// The offending length.
         len: usize,
     },
+    /// The measured trace is shorter than one watermark period, so no
+    /// rotation hypothesis can be evaluated against it. Distinct from
+    /// [`CpaError::LengthMismatch`], which is about two vectors that
+    /// should have had *equal* lengths: here the trace is expected to be
+    /// longer than (and need not be a multiple of) the period.
+    TraceShorterThanPeriod {
+        /// Cycles in the measured trace.
+        have: usize,
+        /// Cycles required (one watermark period).
+        need: usize,
+    },
     /// The watermark pattern is constant (all zeros or all ones), so its
     /// variance is zero and no correlation is defined.
     ConstantPattern,
@@ -56,6 +67,13 @@ impl fmt::Display for CpaError {
             CpaError::TooShort { len } => {
                 write!(f, "input of length {len} is too short to correlate")
             }
+            CpaError::TraceShorterThanPeriod { have, need } => {
+                write!(
+                    f,
+                    "measured trace has {have} cycles but one watermark \
+                     period needs {need}"
+                )
+            }
             CpaError::ConstantPattern => {
                 write!(f, "watermark pattern is constant and has no variance")
             }
@@ -90,6 +108,18 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CpaError>();
         assert!(CpaError::ConstantPattern.to_string().contains("constant"));
+    }
+
+    #[test]
+    fn trace_shorter_than_period_reports_both_counts() {
+        let msg = CpaError::TraceShorterThanPeriod {
+            have: 2,
+            need: 4095,
+        }
+        .to_string();
+        assert!(msg.contains('2'), "{msg}");
+        assert!(msg.contains("4095"), "{msg}");
+        assert!(msg.contains("period"), "{msg}");
     }
 
     #[test]

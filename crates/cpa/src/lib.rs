@@ -9,13 +9,23 @@
 //! *spread spectrum* of Fig. 5. A watermark is detected when a single
 //! significant peak resolves.
 //!
-//! Two implementations are provided and tested against each other:
+//! Three kernels are provided and tested against each other (see
+//! [`CpaAlgo`]):
 //!
 //! - [`spread_spectrum_naive`]: the textbook O(N·P) loop, kept as the
 //!   reference;
-//! - [`spread_spectrum`]: a folded O(N + P·W) algorithm (`W` = ones per
-//!   period) exploiting the periodicity of `X`, which makes the paper-scale
-//!   problem (N = 300,000, P = 4,095) interactive.
+//! - the folded O(N + P·W) kernel (`W` = ones per period) exploiting the
+//!   periodicity of `X`, which makes the paper-scale problem
+//!   (N = 300,000, P = 4,095) interactive;
+//! - the FFT O(N + P log P) kernel, which computes both rotation-dependent
+//!   sums as circular cross-correlations against the pattern's
+//!   ones-indicator and then *exactly refines* the peak candidates with
+//!   the folded arithmetic, so its reported peak is bit-identical to the
+//!   folded kernel's (`docs/cpa-fft.md` has the derivation).
+//!
+//! [`spread_spectrum`] resolves the kernel automatically (override with
+//! the `CLOCKMARK_CPA_ALGO` environment variable or pin it via
+//! [`spread_spectrum_with_algo`]).
 //!
 //! ```
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,8 +51,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod algo;
 mod detect;
 mod error;
+mod kernel;
 mod parallel;
 mod pearson;
 mod rotational;
@@ -50,11 +62,14 @@ mod significance;
 mod stats;
 mod streaming;
 
+pub use algo::{algo_override, CpaAlgo};
 pub use detect::{DetectionCriterion, DetectionResult};
 pub use error::CpaError;
 pub use parallel::{spread_spectrum_parallel, thread_count};
 pub use pearson::pearson;
-pub use rotational::{spread_spectrum, spread_spectrum_naive, SpreadSpectrum};
+pub use rotational::{
+    spread_spectrum, spread_spectrum_naive, spread_spectrum_with_algo, SpreadSpectrum,
+};
 pub use significance::{normal_cdf, peak_false_positive_probability};
 pub use stats::{BoxPlotStats, RotationEnsemble};
 pub use streaming::{StreamingCpa, StreamingCpaState};

@@ -1,18 +1,21 @@
-//! std-thread parallel execution of the rotation loop.
+//! std-thread parallel execution of the spectrum kernels.
 //!
 //! The folded algorithm of [`spread_spectrum`](crate::spread_spectrum)
 //! computes each rotation's ρ from rotation-invariant sums, so the rotation
 //! range can be partitioned across threads with **no** change to the
 //! per-rotation arithmetic: the parallel spectrum is bit-identical to the
-//! serial one for every thread count. No external crates are involved —
-//! only [`std::thread::scope`].
+//! serial one for every thread count. The FFT kernel's transform is a
+//! single serial O(P log P) pass, so there the *exact-refinement*
+//! candidates are what gets partitioned — each candidate's refined ρ is a
+//! pure function of its rotation index, preserving the same guarantee.
+//! No external crates are involved — only [`std::thread::scope`].
 //!
 //! The worker count defaults to the machine's available parallelism and can
 //! be pinned with the `CLOCKMARK_THREADS` environment variable (useful for
 //! reproducible benchmarking and for confining CI runners).
 
 use crate::rotational::{validate_inputs, FoldedTrace};
-use crate::{CpaError, SpreadSpectrum};
+use crate::{CpaAlgo, CpaError, SpreadSpectrum};
 
 /// Minimum multiply-adds (`P·W`) before [`spread_spectrum`](crate::spread_spectrum)
 /// prefers the threaded rotation loop; below this the thread-spawn overhead
@@ -46,14 +49,21 @@ fn thread_count_from(var: Option<&str>) -> usize {
         .unwrap_or(1)
 }
 
-/// Rotational CPA with the rotation loop chunked across `threads` worker
-/// threads.
+/// Rotational CPA with the per-rotation work chunked across `threads`
+/// worker threads.
 ///
 /// Produces a spectrum **bit-identical** to [`spread_spectrum`](crate::spread_spectrum)
-/// for every `threads` value: the folded sums are computed once and each
-/// rotation's ρ involves exactly the same operations in the same order
-/// regardless of which thread evaluates it. `threads` is clamped to
-/// `[1, period]`; passing `0` or `1` runs serially on the calling thread.
+/// for every `threads` value. With the folded kernel the rotation range is
+/// partitioned: the folded sums are computed once and each rotation's ρ
+/// involves exactly the same operations in the same order regardless of
+/// which thread evaluates it. With the FFT kernel the transform stays
+/// serial and the exact-refinement candidates are partitioned instead.
+/// `threads` is clamped; passing `0` or `1` runs serially on the calling
+/// thread.
+///
+/// The kernel is resolved exactly as in [`spread_spectrum`](crate::spread_spectrum):
+/// `CLOCKMARK_CPA_ALGO` when set, the work heuristic otherwise. A `naive`
+/// override runs the reference loop serially, ignoring `threads`.
 ///
 /// # Errors
 ///
@@ -63,68 +73,18 @@ pub fn spread_spectrum_parallel(
     y: &[f64],
     threads: usize,
 ) -> Result<SpreadSpectrum, CpaError> {
+    let algo =
+        crate::algo::algo_override().unwrap_or_else(|| CpaAlgo::resolved_for_pattern(pattern));
+    if algo == CpaAlgo::Naive {
+        return crate::spread_spectrum_naive(pattern, y);
+    }
     validate_inputs(pattern, y)?;
     let folded = FoldedTrace::new(pattern, y);
-    Ok(spectrum_from_folded(&folded, threads))
-}
-
-/// Evaluates the full spectrum of a folded trace on `threads` threads.
-pub(crate) fn spectrum_from_folded(folded: &FoldedTrace, threads: usize) -> SpreadSpectrum {
-    let period = folded.period();
-    let threads = threads.clamp(1, period);
-    let span = clockmark_obs::span("cpa.spread_spectrum")
-        .field("period", period)
-        .field("work", folded.work())
-        .field("threads", threads);
-    let timed = span.is_recording().then(std::time::Instant::now);
-
-    let spectrum = if threads == 1 {
-        SpreadSpectrum::from_rho(rotate_chunk(folded, 0, 0, period))
-    } else {
-        let chunk = period.div_ceil(threads);
-        let mut rho = Vec::with_capacity(period);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let start = (t * chunk).min(period);
-                    let end = ((t + 1) * chunk).min(period);
-                    scope.spawn(move || rotate_chunk(folded, t, start, end))
-                })
-                .collect();
-            // Joining in spawn order keeps the concatenation deterministic.
-            for handle in handles {
-                rho.extend(handle.join().expect("rotation worker panicked"));
-            }
-        });
-        SpreadSpectrum::from_rho(rho)
-    };
-
-    clockmark_obs::counter_add("cpa.rotations", period as u64);
-    if clockmark_obs::enabled() {
-        clockmark_obs::gauge_set("cpa.peak_rho_abs", spectrum.peak_abs().1.abs());
-    }
-    if let Some(t0) = timed {
-        let secs = t0.elapsed().as_secs_f64();
-        if secs > 0.0 {
-            clockmark_obs::gauge_set("cpa.rotations_per_sec", period as f64 / secs);
-        }
-    }
-    spectrum
-}
-
-/// One worker's share of the rotation loop, wrapped in a `cpa.rotate`
-/// span so per-chunk wall time (and thus thread imbalance) is visible.
-fn rotate_chunk(folded: &FoldedTrace, worker: usize, start: usize, end: usize) -> Vec<f64> {
-    let span = clockmark_obs::span("cpa.rotate")
-        .field("worker", worker)
-        .field("start", start)
-        .field("end", end);
-    let timed = span.is_recording().then(std::time::Instant::now);
-    let rho = folded.rho_range(start..end);
-    if let Some(t0) = timed {
-        clockmark_obs::observe("cpa.chunk_seconds", t0.elapsed().as_secs_f64());
-    }
-    rho
+    Ok(crate::kernel::spectrum_with_algo(
+        &folded.as_inputs(),
+        algo,
+        threads,
+    ))
 }
 
 #[cfg(test)]
@@ -187,10 +147,10 @@ mod tests {
             spread_spectrum_parallel(&[true, true], &[1.0, 2.0], 4).unwrap_err(),
             CpaError::ConstantPattern
         );
-        assert!(matches!(
+        assert_eq!(
             spread_spectrum_parallel(&[true, false, true], &[1.0], 4).unwrap_err(),
-            CpaError::LengthMismatch { .. }
-        ));
+            CpaError::TraceShorterThanPeriod { have: 1, need: 3 }
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use crate::pearson::correlation_from_sums;
-use crate::{CpaError, DetectionCriterion, DetectionResult};
+use crate::{CpaAlgo, CpaError, DetectionCriterion, DetectionResult};
 
 /// The correlation spread spectrum: one Pearson coefficient per rotation of
 /// the watermark model vector (Fig. 5 of the paper).
@@ -166,9 +166,9 @@ pub(crate) fn validate_inputs(pattern: &[bool], y: &[f64]) -> Result<(), CpaErro
         return Err(CpaError::TooShort { len: period });
     }
     if y.len() < period {
-        return Err(CpaError::LengthMismatch {
-            left: period,
-            right: y.len(),
+        return Err(CpaError::TraceShorterThanPeriod {
+            have: y.len(),
+            need: period,
         });
     }
     let ones = pattern.iter().filter(|&&b| b).count();
@@ -188,8 +188,9 @@ pub(crate) fn validate_inputs(pattern: &[bool], y: &[f64]) -> Result<(), CpaErro
 /// # Errors
 ///
 /// Returns [`CpaError::TooShort`] for a pattern shorter than 2,
-/// [`CpaError::LengthMismatch`] when `y` is shorter than one period, and
-/// [`CpaError::ConstantPattern`] when the pattern has no variance.
+/// [`CpaError::TraceShorterThanPeriod`] when `y` is shorter than one
+/// period, and [`CpaError::ConstantPattern`] when the pattern has no
+/// variance.
 pub fn spread_spectrum_naive(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
     validate_inputs(pattern, y)?;
     let period = pattern.len();
@@ -241,15 +242,26 @@ impl FoldedTrace {
         let period = pattern.len();
         let mut c = vec![0.0f64; period];
         let mut m = vec![0u64; period];
-        for (i, &yi) in y.iter().enumerate() {
-            let k = i % period;
+        let mut sy = 0.0f64;
+        let mut syy = 0.0f64;
+        // One fused pass, replacing `i % period` with a wrapping counter;
+        // each accumulator still sees the samples in index order, so the
+        // sums are bit-identical to the separate loops they replace.
+        let mut k = 0usize;
+        for &yi in y {
             c[k] += yi;
             m[k] += 1;
+            sy += yi;
+            syy += yi * yi;
+            k += 1;
+            if k == period {
+                k = 0;
+            }
         }
         FoldedTrace {
             nf: y.len() as f64,
-            sy: y.iter().sum(),
-            syy: y.iter().map(|v| v * v).sum(),
+            sy,
+            syy,
             c,
             m,
             ones: (0..period).filter(|&j| pattern[j]).collect(),
@@ -267,27 +279,17 @@ impl FoldedTrace {
         self.period().saturating_mul(self.ones.len())
     }
 
-    /// ρ for rotations `rotations.start..rotations.end`. The per-rotation
-    /// arithmetic depends only on the folded arrays, never on the chunk
-    /// boundaries, so concatenating ranges reproduces the full spectrum
-    /// bit for bit.
-    pub(crate) fn rho_range(&self, rotations: std::ops::Range<usize>) -> Vec<f64> {
-        let period = self.period();
-        let mut rho = Vec::with_capacity(rotations.len());
-        for r in rotations {
-            let mut sx = 0.0f64;
-            let mut sxy = 0.0f64;
-            for &j in &self.ones {
-                // (j - r) mod P without branching on negatives.
-                let k = (j + period - r) % period;
-                sx += self.m[k] as f64;
-                sxy += self.c[k];
-            }
-            rho.push(correlation_from_sums(
-                self.nf, sx, self.sy, sx, self.syy, sxy,
-            ));
+    /// Borrows the fold as the kernel-facing view the spectrum kernels
+    /// in [`crate::kernel`] operate on.
+    pub(crate) fn as_inputs(&self) -> crate::kernel::SpectrumInputs<'_> {
+        crate::kernel::SpectrumInputs {
+            nf: self.nf,
+            sy: self.sy,
+            syy: self.syy,
+            c: &self.c,
+            m: &self.m,
+            ones: &self.ones,
         }
-        rho
     }
 }
 
@@ -309,14 +311,47 @@ impl FoldedTrace {
 ///
 /// When the rotation loop is large (≥ ~1 M multiply-adds) and more than
 /// one thread is available (see
-/// [`thread_count`](crate::thread_count)), the loop is chunked across
+/// [`thread_count`](crate::thread_count)), the work is chunked across
 /// threads via [`spread_spectrum_parallel`](crate::spread_spectrum_parallel);
 /// the result is bit-identical either way.
+///
+/// # Kernel selection
+///
+/// The kernel is resolved per call: the `CLOCKMARK_CPA_ALGO` environment
+/// variable (`naive`, `folded` or `fft`) wins when set to a recognised
+/// name, otherwise [`CpaAlgo::resolved_for_pattern`] picks the FFT
+/// kernel for paper-scale patterns and the folded kernel below that.
+/// All kernels report the same peak rotation and (bit-identical) peak ρ
+/// — the FFT path ends with an exact refinement step guaranteeing it —
+/// so the choice is purely a performance knob. Use
+/// [`spread_spectrum_with_algo`] to pin a kernel programmatically.
 ///
 /// # Errors
 ///
 /// Same conditions as [`spread_spectrum_naive`].
 pub fn spread_spectrum(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
+    let algo =
+        crate::algo::algo_override().unwrap_or_else(|| CpaAlgo::resolved_for_pattern(pattern));
+    spread_spectrum_with_algo(pattern, y, algo)
+}
+
+/// [`spread_spectrum`] with the kernel pinned by the caller, bypassing
+/// both the environment override and the work heuristic. This is what
+/// the campaign engine calls after recording its kernel choice, so a
+/// resumed campaign replays the same arithmetic regardless of the
+/// resuming process's environment.
+///
+/// # Errors
+///
+/// Same conditions as [`spread_spectrum_naive`].
+pub fn spread_spectrum_with_algo(
+    pattern: &[bool],
+    y: &[f64],
+    algo: CpaAlgo,
+) -> Result<SpreadSpectrum, CpaError> {
+    if algo == CpaAlgo::Naive {
+        return spread_spectrum_naive(pattern, y);
+    }
     validate_inputs(pattern, y)?;
     let folded = FoldedTrace::new(pattern, y);
     let threads = crate::thread_count();
@@ -325,7 +360,11 @@ pub fn spread_spectrum(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, Cp
     } else {
         1
     };
-    Ok(crate::parallel::spectrum_from_folded(&folded, threads))
+    Ok(crate::kernel::spectrum_with_algo(
+        &folded.as_inputs(),
+        algo,
+        threads,
+    ))
 }
 
 #[cfg(test)]
@@ -403,10 +442,12 @@ mod tests {
 
     #[test]
     fn measurement_shorter_than_period_is_rejected() {
-        assert!(matches!(
+        // The dedicated variant, with both lengths reported — not the
+        // generic `LengthMismatch`, which is about *equal-length* inputs.
+        assert_eq!(
             spread_spectrum(&[true, false, true, false], &[1.0, 2.0]).unwrap_err(),
-            CpaError::LengthMismatch { .. }
-        ));
+            CpaError::TraceShorterThanPeriod { have: 2, need: 4 }
+        );
     }
 
     #[test]
@@ -466,6 +507,77 @@ mod tests {
             for (a, b) in fast.rho().iter().zip(slow.rho()) {
                 prop_assert!((a - b).abs() < 1e-9);
             }
+        }
+
+        /// Satellite proptest (a): the FFT kernel matches the naive
+        /// reference everywhere, on random patterns and traces whose
+        /// lengths are deliberately not multiples of the period, with the
+        /// watermark sometimes inverted (power low on pattern-high).
+        #[test]
+        fn fft_matches_naive_within_1e9(
+            seed in 0u64..1000,
+            period in 3usize..48,
+            n_mult in 2usize..6,
+            extra in 1usize..7,
+            inverted in proptest::any::<bool>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut pattern: Vec<bool> = (0..period).map(|_| rng.random_bool(0.5)).collect();
+            pattern[0] = true;
+            if pattern.iter().all(|&b| b) {
+                pattern[1] = false;
+            }
+            let n = period * n_mult + extra.min(period - 1);
+            let sign = if inverted { -1.0 } else { 1.0 };
+            let y: Vec<f64> = (0..n)
+                .map(|i| {
+                    let wm = if pattern[(i + 5) % period] { sign * 0.8 } else { 0.0 };
+                    wm + rng.random_range(-3.0..3.0)
+                })
+                .collect();
+
+            let fft = spread_spectrum_with_algo(&pattern, &y, CpaAlgo::Fft).expect("valid");
+            let naive = spread_spectrum_naive(&pattern, &y).expect("valid");
+            prop_assert_eq!(fft.period(), naive.period());
+            for (a, b) in fft.rho().iter().zip(naive.rho()) {
+                prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+            }
+        }
+
+        /// Satellite proptest (b): after exact refinement, the FFT
+        /// kernel's peak rotation and peak ρ — signed and by magnitude —
+        /// are bit-identical to the folded kernel's, ties included.
+        #[test]
+        fn fft_peak_is_bit_identical_to_folded(
+            seed in 0u64..1000,
+            period in 3usize..200,
+            n_mult in 1usize..5,
+            extra in 0usize..11,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut pattern: Vec<bool> = (0..period).map(|_| rng.random_bool(0.5)).collect();
+            pattern[0] = true;
+            if pattern.iter().all(|&b| b) {
+                pattern[1] = false;
+            }
+            let n = period * n_mult + extra.min(period - 1) + period;
+            let y: Vec<f64> = (0..n)
+                .map(|i| {
+                    let wm = if pattern[(i + 2) % period] { 0.4 } else { 0.0 };
+                    wm + rng.random_range(-2.0..2.0)
+                })
+                .collect();
+
+            let fft = spread_spectrum_with_algo(&pattern, &y, CpaAlgo::Fft).expect("valid");
+            let folded = spread_spectrum_with_algo(&pattern, &y, CpaAlgo::Folded).expect("valid");
+            let (fft_rot, fft_rho) = fft.peak_abs();
+            let (fold_rot, fold_rho) = folded.peak_abs();
+            prop_assert_eq!(fft_rot, fold_rot);
+            prop_assert_eq!(fft_rho.to_bits(), fold_rho.to_bits());
+            let (fft_rot, fft_rho) = fft.peak();
+            let (fold_rot, fold_rho) = folded.peak();
+            prop_assert_eq!(fft_rot, fold_rot);
+            prop_assert_eq!(fft_rho.to_bits(), fold_rho.to_bits());
         }
 
         #[test]

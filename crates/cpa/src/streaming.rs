@@ -1,4 +1,4 @@
-use crate::{CpaError, DetectionCriterion, DetectionResult, SpreadSpectrum};
+use crate::{CpaAlgo, CpaError, DetectionCriterion, DetectionResult, SpreadSpectrum};
 
 /// An incremental rotational-CPA detector.
 ///
@@ -37,6 +37,9 @@ pub struct StreamingCpa {
     sum_y: f64,
     sum_yy: f64,
     cycles: u64,
+    /// Kernel pinned by [`with_algo`](Self::with_algo); `None` resolves
+    /// per query (environment override, then work heuristic).
+    algo: Option<CpaAlgo>,
 }
 
 impl StreamingCpa {
@@ -62,7 +65,27 @@ impl StreamingCpa {
             sum_y: 0.0,
             sum_yy: 0.0,
             cycles: 0,
+            algo: None,
         })
+    }
+
+    /// Pins the spectrum kernel, overriding both the `CLOCKMARK_CPA_ALGO`
+    /// environment variable and the work heuristic for this detector's
+    /// queries. The campaign engine sets this from the kernel recorded in
+    /// the campaign spec, so resumed runs replay the same arithmetic
+    /// regardless of the resuming process's environment.
+    ///
+    /// A detector retains no raw trace, so [`CpaAlgo::Naive`] is evaluated
+    /// with the (decision-identical) folded arithmetic here.
+    #[must_use]
+    pub fn with_algo(mut self, algo: CpaAlgo) -> Self {
+        self.algo = Some(algo);
+        self
+    }
+
+    /// The pinned kernel, if [`with_algo`](Self::with_algo) set one.
+    pub fn algo(&self) -> Option<CpaAlgo> {
+        self.algo
     }
 
     /// The watermark period.
@@ -121,6 +144,13 @@ impl StreamingCpa {
 
     /// Computes the current spread spectrum from the accumulated sums.
     ///
+    /// The kernel is the one pinned by [`with_algo`](Self::with_algo),
+    /// else the `CLOCKMARK_CPA_ALGO` override, else the work heuristic —
+    /// the same precedence as [`spread_spectrum`](crate::spread_spectrum).
+    /// The kernel always runs on the calling thread: streaming detectors
+    /// live inside campaign worker threads, which must not nest their own
+    /// thread pools.
+    ///
     /// # Errors
     ///
     /// Returns [`CpaError::InsufficientCycles`] until at least one full
@@ -134,29 +164,23 @@ impl StreamingCpa {
                 need: period,
             });
         }
+        let algo = self
+            .algo
+            .or_else(crate::algo::algo_override)
+            .unwrap_or_else(|| CpaAlgo::resolved_for_pattern(&self.pattern));
         let _span = clockmark_obs::span("cpa.streaming_spectrum")
             .field("period", period)
-            .field("cycles", self.cycles);
-        let nf = self.cycles as f64;
-        let mut rho = Vec::with_capacity(period);
-        for r in 0..period {
-            let mut sx = 0.0f64;
-            let mut sxy = 0.0f64;
-            for &j in &self.ones {
-                let k = (j + period - r) % period;
-                sx += self.residue_counts[k] as f64;
-                sxy += self.residue_sums[k];
-            }
-            rho.push(crate::pearson::correlation_from_sums(
-                nf,
-                sx,
-                self.sum_y,
-                sx,
-                self.sum_yy,
-                sxy,
-            ));
-        }
-        Ok(SpreadSpectrum::from_rho(rho))
+            .field("cycles", self.cycles)
+            .field("algo", algo.as_str());
+        let inputs = crate::kernel::SpectrumInputs {
+            nf: self.cycles as f64,
+            sy: self.sum_y,
+            syy: self.sum_yy,
+            c: &self.residue_sums,
+            m: &self.residue_counts,
+            ones: &self.ones,
+        };
+        Ok(crate::kernel::spectrum_with_algo(&inputs, algo, 1))
     }
 
     /// Evaluates the criterion against the current spectrum. Before one
@@ -195,6 +219,11 @@ impl StreamingCpa {
     }
 
     /// Rebuilds a detector from a [`state`](Self::state) snapshot.
+    ///
+    /// Snapshots carry only the fold accumulators, never the kernel
+    /// choice — re-apply [`with_algo`](Self::with_algo) after restoring
+    /// when the kernel must be pinned (the campaign engine records it in
+    /// the campaign spec and does exactly that).
     ///
     /// # Errors
     ///
@@ -446,6 +475,30 @@ mod tests {
         }
         // One full period in: the error clears and a spectrum exists.
         assert!(detector.spectrum().is_ok());
+    }
+
+    #[test]
+    fn pinned_fft_kernel_reports_the_same_peak_bits_as_folded() {
+        let pattern = m_sequence_pattern();
+        let y = noisy_trace(&pattern, 5000, 77, 0.6, 2.0, 8);
+
+        let mut folded = StreamingCpa::new(&pattern)
+            .expect("valid")
+            .with_algo(crate::CpaAlgo::Folded);
+        folded.push_chunk(&y);
+        let mut fft = StreamingCpa::new(&pattern)
+            .expect("valid")
+            .with_algo(crate::CpaAlgo::Fft);
+        fft.push_chunk(&y);
+        assert_eq!(fft.algo(), Some(crate::CpaAlgo::Fft));
+
+        let a = folded.spectrum().expect("complete");
+        let b = fft.spectrum().expect("complete");
+        assert_eq!(a.peak_abs().0, b.peak_abs().0);
+        assert_eq!(a.peak_abs().1.to_bits(), b.peak_abs().1.to_bits());
+        for (x, y) in a.rho().iter().zip(b.rho()) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
     }
 
     #[test]

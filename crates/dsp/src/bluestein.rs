@@ -1,0 +1,225 @@
+use crate::{Complex64, DspError, Radix2Plan};
+
+/// Bluestein's chirp-z FFT plan for arbitrary transform lengths.
+///
+/// Rewrites the length-`n` DFT as a convolution: with `w = e^{-2πi/n}`
+/// and the *chirp* `u_k = w^{k²/2}`,
+///
+/// ```text
+/// X[k] = Σ_j x_j·w^{jk}          and   jk = (j² + k² − (k−j)²)/2, so
+/// X[k] = u_k · Σ_j (x_j·u_j) · conj(u_{k−j})
+/// ```
+///
+/// — a linear convolution of the chirp-premultiplied input with the
+/// conjugate chirp, which embeds into a circular convolution of any
+/// length `m ≥ 2n−1`. Choosing `m` as the next power of two lets the
+/// inner transforms run on a [`Radix2Plan`], giving O(n log n) for *any*
+/// `n` — including the paper's watermark period P = 4095 = 2¹²−1, which
+/// is maximally far from a power of two.
+///
+/// Construction precomputes the chirp, the FFT of the wrapped conjugate
+/// chirp, and the inner radix-2 plan; each transform then costs two
+/// inner FFTs plus O(n) chirp multiplies, reusing one scratch buffer
+/// across calls (the plan/scratch API the repeated-spectrum hot path
+/// relies on — see `docs/cpa-fft.md`).
+#[derive(Debug, Clone)]
+pub struct BluesteinPlan {
+    n: usize,
+    /// Inner circular-convolution length: the next power of two ≥ 2n−1.
+    m: usize,
+    inner: Radix2Plan,
+    /// `u_k = e^{-iπk²/n}` for `k < n` (angles reduced via `k² mod 2n`).
+    chirp: Vec<Complex64>,
+    /// Forward FFT of the wrapped conjugate chirp `b`, where `b_0 = 1`,
+    /// `b_j = b_{m−j} = e^{+iπj²/n}`.
+    b_fft: Vec<Complex64>,
+    /// Reused per-transform convolution buffer, length `m`.
+    scratch: Vec<Complex64>,
+}
+
+impl BluesteinPlan {
+    /// Plans a transform of arbitrary length `n ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyTransform`] for `n = 0`.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 {
+            return Err(DspError::EmptyTransform);
+        }
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = Radix2Plan::new(m)?;
+        // e^{-iπk²/n}: reduce k² modulo 2n first — k² overflows nothing
+        // (usize), but the *angle* πk²/n loses precision for large k if
+        // taken literally, while k² mod 2n keeps it in (−2π, 0].
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|k| {
+                let k2 = (k as u128 * k as u128 % (2 * n as u128)) as f64;
+                Complex64::cis(-std::f64::consts::PI * k2 / n as f64)
+            })
+            .collect();
+        let mut b = vec![Complex64::ZERO; m];
+        b[0] = Complex64::ONE;
+        for j in 1..n {
+            let v = chirp[j].conj();
+            b[j] = v;
+            b[m - j] = v;
+        }
+        inner.forward(&mut b);
+        Ok(BluesteinPlan {
+            n,
+            m,
+            inner,
+            chirp,
+            b_fft: b,
+            scratch: vec![Complex64::ZERO; m],
+        })
+    }
+
+    /// The transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for a length-0 transform (never true; kept for
+    /// the conventional `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The inner power-of-two convolution length (exposed for benchmarks
+    /// and tests; P = 4095 embeds into m = 8192).
+    pub fn inner_len(&self) -> usize {
+        self.m
+    }
+
+    /// In-place forward DFT, identical in meaning to
+    /// [`Radix2Plan::forward`] but for any length.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` differs from the plan length.
+    pub fn forward(&mut self, data: &mut [Complex64]) {
+        assert_eq!(
+            data.len(),
+            self.n,
+            "buffer of length {} for a length-{} Bluestein plan",
+            data.len(),
+            self.n
+        );
+        self.scratch.fill(Complex64::ZERO);
+        for (k, (&x, &u)) in data.iter().zip(&self.chirp).enumerate() {
+            self.scratch[k] = x * u;
+        }
+        self.inner.forward(&mut self.scratch);
+        for (s, &b) in self.scratch.iter_mut().zip(&self.b_fft) {
+            *s *= b;
+        }
+        self.inner.inverse(&mut self.scratch);
+        for (out, (&s, &u)) in data.iter_mut().zip(self.scratch.iter().zip(&self.chirp)) {
+            *out = s * u;
+        }
+    }
+
+    /// In-place inverse DFT, normalised by `1/n`.
+    ///
+    /// Uses the conjugation identity `IDFT(x) = conj(DFT(conj(x)))/n`,
+    /// so forward and inverse share every precomputed table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` differs from the plan length.
+    pub fn inverse(&mut self, data: &mut [Complex64]) {
+        for v in data.iter_mut() {
+            *v = v.conj();
+        }
+        self.forward(data);
+        let scale = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            *v = v.conj().scale(scale);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_close, naive_dft};
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_empty_transforms() {
+        assert_eq!(BluesteinPlan::new(0).unwrap_err(), DspError::EmptyTransform);
+    }
+
+    #[test]
+    fn matches_the_naive_dft_on_awkward_lengths() {
+        for n in [1usize, 2, 3, 5, 7, 12, 63, 100, 255] {
+            let mut plan = BluesteinPlan::new(n).expect("valid");
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.9).cos(), (i as f64 * 0.4).sin()))
+                .collect();
+            let want = naive_dft(&input);
+            let mut got = input.clone();
+            plan.forward(&mut got);
+            assert_close(&got, &want, 1e-9, &format!("bluestein n={n}"));
+        }
+    }
+
+    #[test]
+    fn inner_length_for_the_paper_period() {
+        let plan = BluesteinPlan::new(4095).expect("valid");
+        assert_eq!(plan.inner_len(), 8192);
+    }
+
+    #[test]
+    fn inverse_round_trips_at_the_paper_period() {
+        let n = 4095;
+        let mut plan = BluesteinPlan::new(n).expect("valid");
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(((i * 37) % 101) as f64 - 50.0, 0.0))
+            .collect();
+        let mut data = input.clone();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        assert_close(&data, &input, 1e-8, "round trip n=4095");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Satellite proptest (c): on power-of-two lengths — where both
+        /// algorithms apply — radix-2 and Bluestein agree.
+        #[test]
+        fn radix2_and_bluestein_agree_on_powers_of_two(
+            log2n in 0u32..9,
+            seed in 0u64..1000,
+        ) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let n = 1usize << log2n;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let input: Vec<Complex64> = (0..n)
+                .map(|_| Complex64::new(rng.random_range(-10.0..10.0), rng.random_range(-10.0..10.0)))
+                .collect();
+
+            let radix2 = Radix2Plan::new(n).expect("power of two");
+            let mut bluestein = BluesteinPlan::new(n).expect("valid");
+
+            let mut a = input.clone();
+            radix2.forward(&mut a);
+            let mut b = input.clone();
+            bluestein.forward(&mut b);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((*x - *y).abs() < 1e-8, "{x:?} vs {y:?}");
+            }
+
+            radix2.inverse(&mut a);
+            bluestein.inverse(&mut b);
+            for ((x, y), orig) in a.iter().zip(&b).zip(&input) {
+                prop_assert!((*x - *y).abs() < 1e-8);
+                prop_assert!((*x - *orig).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+///
+/// The minimal arithmetic the FFT kernels need — nothing more. Layout is
+/// `repr(C)` so a `&[Complex64]` scratch buffer is just an interleaved
+/// re/im array, the format every textbook FFT operates on.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+
+    /// The multiplicative identity.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+
+    /// Builds a complex number from its parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// The unit phasor `e^{iθ} = cos θ + i·sin θ`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (sin, cos) = theta.sin_cos();
+        Complex64 { re: cos, im: sin }
+    }
+
+    /// The complex conjugate.
+    #[inline]
+    pub const fn conj(self) -> Self {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// The squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(3.0, -2.0);
+        let b = Complex64::new(-1.0, 4.0);
+        assert_eq!(a + b, Complex64::new(2.0, 2.0));
+        assert_eq!(a - b, Complex64::new(4.0, -6.0));
+        // (3 - 2i)(-1 + 4i) = -3 + 12i + 2i + 8 = 5 + 14i
+        assert_eq!(a * b, Complex64::new(5.0, 14.0));
+        assert_eq!(-a, Complex64::new(-3.0, 2.0));
+        assert_eq!(a * Complex64::ONE, a);
+        assert_eq!(a + Complex64::ZERO, a);
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        let p = a * a.conj();
+        assert_eq!(p.re, 25.0);
+        assert_eq!(p.im, 0.0);
+    }
+
+    #[test]
+    fn cis_walks_the_unit_circle() {
+        let q = Complex64::cis(std::f64::consts::FRAC_PI_2);
+        assert!(q.re.abs() < 1e-15 && (q.im - 1.0).abs() < 1e-15);
+        assert!((Complex64::cis(0.0) - Complex64::ONE).abs() < 1e-15);
+    }
+}

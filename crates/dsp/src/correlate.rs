@@ -1,0 +1,240 @@
+use crate::{Complex64, DspError, FftPlan};
+
+/// Circular cross-correlation of real signals against a cached reference,
+/// via the convolution theorem.
+///
+/// For a reference `x` and a signal `a`, both of length `n`, computes
+///
+/// ```text
+/// f[r] = Σ_j x[j] · a[(j − r) mod n]      for every lag r in 0..n
+/// ```
+///
+/// in O(n log n): `f = IDFT(DFT(x) ⊙ conj(DFT(a)))`. Two signals are
+/// correlated per call by packing them into one complex transform
+/// (`a + i·b`), so a [`correlate_dual`](CircularCorrelator::correlate_dual)
+/// costs one forward and one inverse FFT — the reference's transform is
+/// computed once by [`set_reference`](CircularCorrelator::set_reference)
+/// and reused for every subsequent call.
+///
+/// This is exactly the shape of the rotational-CPA spectrum: both
+/// per-rotation sums of the folded detector are circular correlations of
+/// the per-residue fold against the watermark's ones-indicator (see
+/// `docs/cpa-fft.md` for the derivation).
+///
+/// ```
+/// use clockmark_dsp::CircularCorrelator;
+///
+/// let mut corr = CircularCorrelator::new(4)?;
+/// corr.set_reference(&[1.0, 0.0, 1.0, 0.0]);
+/// let mut f = [0.0; 4];
+/// let mut g = [0.0; 4];
+/// corr.correlate_dual(&[1.0, 2.0, 3.0, 4.0], &[1.0, 1.0, 0.0, 0.0], &mut f, &mut g)?;
+/// // f[0] = a[0] + a[2] = 4, f[1] = a[3] + a[1] = 6
+/// assert!((f[0] - 4.0).abs() < 1e-12 && (f[1] - 6.0).abs() < 1e-12);
+/// # Ok::<(), clockmark_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircularCorrelator {
+    n: usize,
+    plan: FftPlan,
+    /// `DFT(reference)`, set by [`set_reference`](Self::set_reference).
+    reference_fft: Option<Vec<Complex64>>,
+    /// Reused packed-signal buffer.
+    buf: Vec<Complex64>,
+}
+
+impl CircularCorrelator {
+    /// Builds a correlator for signals of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyTransform`] for `n = 0`.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        Ok(CircularCorrelator {
+            n,
+            plan: FftPlan::new(n)?,
+            reference_fft: None,
+            buf: vec![Complex64::ZERO; n],
+        })
+    }
+
+    /// The signal length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the correlator is for length-0 signals (never true; kept
+    /// for the conventional `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether a reference transform is cached.
+    pub fn has_reference(&self) -> bool {
+        self.reference_fft.is_some()
+    }
+
+    /// Computes and caches the reference's transform; one forward FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len()` differs from the correlator length.
+    pub fn set_reference(&mut self, x: &[f64]) {
+        assert_eq!(
+            x.len(),
+            self.n,
+            "reference of length {} for a length-{} correlator",
+            x.len(),
+            self.n
+        );
+        let mut fft: Vec<Complex64> = x.iter().map(|&v| Complex64::from(v)).collect();
+        self.plan.forward(&mut fft);
+        self.reference_fft = Some(fft);
+    }
+
+    /// Correlates two real signals against the cached reference in one
+    /// packed transform: `out_a[r] = Σ_j x[j]·a[(j−r) mod n]` and
+    /// likewise for `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] when any buffer's length
+    /// differs from the correlator's, or when no reference has been set
+    /// (reported as a length-0 mismatch).
+    pub fn correlate_dual(
+        &mut self,
+        a: &[f64],
+        b: &[f64],
+        out_a: &mut [f64],
+        out_b: &mut [f64],
+    ) -> Result<(), DspError> {
+        let n = self.n;
+        for len in [a.len(), b.len(), out_a.len(), out_b.len()] {
+            if len != n {
+                return Err(DspError::LengthMismatch {
+                    expected: n,
+                    got: len,
+                });
+            }
+        }
+        let reference_fft = self
+            .reference_fft
+            .as_ref()
+            .ok_or(DspError::LengthMismatch {
+                expected: n,
+                got: 0,
+            })?;
+
+        // Pack: z = a + i·b, so one transform carries both signals.
+        for (slot, (&va, &vb)) in self.buf.iter_mut().zip(a.iter().zip(b)) {
+            *slot = Complex64::new(va, vb);
+        }
+        self.plan.forward(&mut self.buf);
+        // X ⊙ conj(Z) = X·conj(A) − i·X·conj(B); the inverse transform is
+        // linear, so g = f_a − i·f_b with both correlations real.
+        for (slot, &x) in self.buf.iter_mut().zip(reference_fft) {
+            *slot = x * slot.conj();
+        }
+        self.plan.inverse(&mut self.buf);
+        for ((oa, ob), &g) in out_a.iter_mut().zip(out_b.iter_mut()).zip(&self.buf) {
+            *oa = g.re;
+            *ob = -g.im;
+        }
+        Ok(())
+    }
+}
+
+/// Reference O(n²) circular cross-correlation, kept public so callers and
+/// benchmarks can pin the FFT path against it.
+///
+/// # Panics
+///
+/// Panics when the two signals' lengths differ.
+pub fn circular_cross_correlation_naive(x: &[f64], a: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.len(), "signals must share a length");
+    let n = x.len();
+    (0..n)
+        .map(|r| (0..n).map(|j| x[j] * a[(j + n - r) % n]).sum::<f64>())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn missing_reference_is_an_error() {
+        let mut corr = CircularCorrelator::new(4).expect("valid");
+        let mut out = [0.0; 4];
+        let mut out2 = [0.0; 4];
+        assert!(corr
+            .correlate_dual(&[0.0; 4], &[0.0; 4], &mut out, &mut out2)
+            .is_err());
+    }
+
+    #[test]
+    fn length_mismatches_are_errors() {
+        let mut corr = CircularCorrelator::new(4).expect("valid");
+        corr.set_reference(&[1.0, 0.0, 0.0, 0.0]);
+        let mut out = [0.0; 4];
+        let mut short = [0.0; 3];
+        assert_eq!(
+            corr.correlate_dual(&[0.0; 4], &[0.0; 4], &mut out, &mut short)
+                .unwrap_err(),
+            DspError::LengthMismatch {
+                expected: 4,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn identity_reference_rotates_the_signal() {
+        // x = δ₀ → f[r] = a[(0 − r) mod n] = a[n − r].
+        let n = 5;
+        let mut corr = CircularCorrelator::new(n).expect("valid");
+        let mut x = vec![0.0; n];
+        x[0] = 1.0;
+        corr.set_reference(&x);
+        let a = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let mut f = [0.0; 5];
+        let mut g = [0.0; 5];
+        corr.correlate_dual(&a, &a, &mut f, &mut g).expect("valid");
+        for r in 0..n {
+            let want = a[(n - r) % n];
+            assert!((f[r] - want).abs() < 1e-9, "r={r}: {} vs {want}", f[r]);
+            assert!((g[r] - want).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn fft_correlation_matches_the_naive_loop(
+            n in 2usize..70,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x: Vec<f64> = (0..n).map(|_| rng.random_range(-4.0..4.0)).collect();
+            let a: Vec<f64> = (0..n).map(|_| rng.random_range(-4.0..4.0)).collect();
+            let b: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..9.0)).collect();
+
+            let mut corr = CircularCorrelator::new(n).expect("valid");
+            corr.set_reference(&x);
+            let mut fa = vec![0.0; n];
+            let mut fb = vec![0.0; n];
+            corr.correlate_dual(&a, &b, &mut fa, &mut fb).expect("valid");
+
+            let wa = circular_cross_correlation_naive(&x, &a);
+            let wb = circular_cross_correlation_naive(&x, &b);
+            for r in 0..n {
+                prop_assert!((fa[r] - wa[r]).abs() < 1e-8, "a lag {r}: {} vs {}", fa[r], wa[r]);
+                prop_assert!((fb[r] - wb[r]).abs() < 1e-8, "b lag {r}: {} vs {}", fb[r], wb[r]);
+            }
+        }
+    }
+}

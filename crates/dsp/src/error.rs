@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or executing FFT plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// A transform of length zero was requested.
+    EmptyTransform,
+    /// A radix-2 plan was requested for a length that is not a power of
+    /// two (use [`FftPlan`](crate::FftPlan), which falls back to
+    /// Bluestein's algorithm, for arbitrary lengths).
+    NotPowerOfTwo {
+        /// The offending length.
+        n: usize,
+    },
+    /// A buffer handed to a plan does not match the plan's length.
+    LengthMismatch {
+        /// The plan's transform length.
+        expected: usize,
+        /// The buffer's length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::EmptyTransform => write!(f, "cannot plan a length-0 transform"),
+            DspError::NotPowerOfTwo { n } => {
+                write!(f, "radix-2 FFT requires a power-of-two length, got {n}")
+            }
+            DspError::LengthMismatch { expected, got } => {
+                write!(f, "buffer of length {got} for a length-{expected} plan")
+            }
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+        assert!(DspError::NotPowerOfTwo { n: 12 }.to_string().contains("12"));
+        assert!(DspError::LengthMismatch {
+            expected: 8,
+            got: 7
+        }
+        .to_string()
+        .contains("length-8"));
+    }
+}

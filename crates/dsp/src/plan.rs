@@ -1,0 +1,122 @@
+use crate::{BluesteinPlan, Complex64, DspError, Radix2Plan};
+
+/// An FFT plan for any length: radix-2 when the length is a power of two,
+/// Bluestein's chirp-z otherwise.
+///
+/// Plans own their twiddle tables and (for Bluestein) a reused scratch
+/// buffer, so the per-transform cost after construction is allocation-free
+/// for radix-2 and amortised for Bluestein. Build one per transform
+/// length and keep it alive across calls:
+///
+/// ```
+/// use clockmark_dsp::{Complex64, FftPlan};
+///
+/// let mut plan = FftPlan::new(6)?; // not a power of two → Bluestein
+/// let mut data: Vec<Complex64> = (0..6).map(|i| Complex64::from(i as f64)).collect();
+/// plan.forward(&mut data);
+/// // DC bin holds the sum 0+1+…+5.
+/// assert!((data[0].re - 15.0).abs() < 1e-9);
+/// plan.inverse(&mut data);
+/// assert!((data[3].re - 3.0).abs() < 1e-9);
+/// # Ok::<(), clockmark_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub enum FftPlan {
+    /// Power-of-two length, handled by the iterative Cooley–Tukey kernel.
+    Radix2(Radix2Plan),
+    /// Arbitrary length, handled by the chirp-z convolution.
+    Bluestein(BluesteinPlan),
+}
+
+impl FftPlan {
+    /// Plans a transform of length `n ≥ 1`, selecting the kernel by
+    /// length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyTransform`] for `n = 0`.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 {
+            return Err(DspError::EmptyTransform);
+        }
+        if n.is_power_of_two() {
+            Ok(FftPlan::Radix2(Radix2Plan::new(n)?))
+        } else {
+            Ok(FftPlan::Bluestein(BluesteinPlan::new(n)?))
+        }
+    }
+
+    /// The transform length.
+    pub fn len(&self) -> usize {
+        match self {
+            FftPlan::Radix2(p) => p.len(),
+            FftPlan::Bluestein(p) => p.len(),
+        }
+    }
+
+    /// Whether the plan is for a length-0 transform (never true; kept for
+    /// the conventional `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// In-place forward DFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` differs from the plan length.
+    pub fn forward(&mut self, data: &mut [Complex64]) {
+        match self {
+            FftPlan::Radix2(p) => p.forward(data),
+            FftPlan::Bluestein(p) => p.forward(data),
+        }
+    }
+
+    /// In-place inverse DFT, normalised by `1/n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` differs from the plan length.
+    pub fn inverse(&mut self, data: &mut [Complex64]) {
+        match self {
+            FftPlan::Radix2(p) => p.inverse(data),
+            FftPlan::Bluestein(p) => p.inverse(data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_close, naive_dft};
+
+    #[test]
+    fn selects_the_kernel_by_length() {
+        assert!(matches!(
+            FftPlan::new(8).expect("valid"),
+            FftPlan::Radix2(_)
+        ));
+        assert!(matches!(
+            FftPlan::new(12).expect("valid"),
+            FftPlan::Bluestein(_)
+        ));
+        assert_eq!(FftPlan::new(0).unwrap_err(), DspError::EmptyTransform);
+    }
+
+    #[test]
+    fn both_kernels_match_the_naive_dft() {
+        for n in [16usize, 21] {
+            let mut plan = FftPlan::new(n).expect("valid");
+            assert_eq!(plan.len(), n);
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new(i as f64 - 3.0, (i as f64 * 0.2).sin()))
+                .collect();
+            let want = naive_dft(&input);
+            let mut got = input.clone();
+            plan.forward(&mut got);
+            assert_close(&got, &want, 1e-9, &format!("plan n={n}"));
+            plan.inverse(&mut got);
+            assert_close(&got, &input, 1e-9, &format!("plan round trip n={n}"));
+        }
+    }
+}

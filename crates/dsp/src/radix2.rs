@@ -1,0 +1,171 @@
+use crate::{Complex64, DspError};
+
+/// An iterative radix-2 Cooley–Tukey FFT plan for power-of-two lengths.
+///
+/// Construction precomputes the bit-reversal permutation and one table of
+/// `n/2` forward twiddle factors; [`forward`](Radix2Plan::forward) and
+/// [`inverse`](Radix2Plan::inverse) then run in place with no allocation,
+/// so a plan amortises its setup across arbitrarily many transforms.
+///
+/// The inverse transform conjugates the shared twiddle table on the fly
+/// and applies the `1/n` normalisation, so `inverse(forward(x)) == x` up
+/// to rounding.
+#[derive(Debug, Clone)]
+pub struct Radix2Plan {
+    n: usize,
+    /// Butterfly twiddles `w_n^j = e^{-2πi·j/n}` for `j < n/2`.
+    twiddles: Vec<Complex64>,
+    /// Bit-reversal permutation of `0..n`.
+    bit_rev: Vec<u32>,
+}
+
+impl Radix2Plan {
+    /// Plans a transform of power-of-two length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyTransform`] for `n = 0` and
+    /// [`DspError::NotPowerOfTwo`] for any other non-power-of-two `n`.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 {
+            return Err(DspError::EmptyTransform);
+        }
+        if !n.is_power_of_two() {
+            return Err(DspError::NotPowerOfTwo { n });
+        }
+        let twiddles = (0..n / 2)
+            .map(|j| Complex64::cis(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
+            .collect();
+        let bits = n.trailing_zeros();
+        let bit_rev = (0..n as u32)
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
+            .collect();
+        Ok(Radix2Plan {
+            n,
+            twiddles,
+            bit_rev,
+        })
+    }
+
+    /// The transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for a length-0 transform (never true; kept for
+    /// the conventional `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT: `data[k] ← Σ_j data[j]·e^{-2πi·jk/n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` differs from the plan length.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.transform(data, false);
+    }
+
+    /// In-place inverse DFT, normalised by `1/n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` differs from the plan length.
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.transform(data, true);
+        let scale = 1.0 / self.n as f64;
+        for v in data {
+            *v = v.scale(scale);
+        }
+    }
+
+    fn transform(&self, data: &mut [Complex64], invert: bool) {
+        let n = self.n;
+        assert_eq!(
+            data.len(),
+            n,
+            "buffer of length {} for a length-{n} radix-2 plan",
+            data.len()
+        );
+        for i in 0..n {
+            let j = self.bit_rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let mut half = 1usize;
+        while half < n {
+            let stride = n / (2 * half);
+            for block in (0..n).step_by(2 * half) {
+                for j in 0..half {
+                    let mut w = self.twiddles[j * stride];
+                    if invert {
+                        w = w.conj();
+                    }
+                    let a = data[block + j];
+                    let b = data[block + j + half] * w;
+                    data[block + j] = a + b;
+                    data[block + j + half] = a - b;
+                }
+            }
+            half *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_close, naive_dft};
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert_eq!(Radix2Plan::new(0).unwrap_err(), DspError::EmptyTransform);
+        assert_eq!(
+            Radix2Plan::new(12).unwrap_err(),
+            DspError::NotPowerOfTwo { n: 12 }
+        );
+        assert!(Radix2Plan::new(1).is_ok());
+    }
+
+    #[test]
+    fn matches_the_naive_dft() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let plan = Radix2Plan::new(n).expect("power of two");
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let want = naive_dft(&input);
+            let mut got = input.clone();
+            plan.forward(&mut got);
+            assert_close(&got, &want, 1e-10, &format!("forward n={n}"));
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let plan = Radix2Plan::new(128).expect("power of two");
+        let input: Vec<Complex64> = (0..128)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let mut data = input.clone();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        assert_close(&data, &input, 1e-12, "round trip");
+    }
+
+    #[test]
+    #[should_panic(expected = "length-8")]
+    fn wrong_buffer_length_panics() {
+        let plan = Radix2Plan::new(8).expect("power of two");
+        let mut short = vec![Complex64::ZERO; 4];
+        plan.forward(&mut short);
+    }
+}

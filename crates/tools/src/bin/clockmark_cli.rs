@@ -40,7 +40,8 @@ USAGE:
   clockmark-cli corpus convert <file> --out <file> [--f-clk HZ] [--seed S]
   clockmark-cli campaign run <dir> --corpus <dir> (--lfsr W [--seed S] | --bits 1011…)
                  [--traces a,b,…] [--lenient] [--checkpoint-cycles N]
-                 [--chunk-cycles N] [--threads N] [--max-jobs N]
+                 [--chunk-cycles N] [--algo naive|folded|fft]
+                 [--threads N] [--max-jobs N]
   clockmark-cli campaign resume <dir> [--threads N] [--max-jobs N]
   clockmark-cli campaign status <dir>
 
@@ -285,6 +286,13 @@ fn run() -> Result<(), ToolError> {
                         })?),
                         None => None,
                     };
+                    let algo = match args.value_of("--algo")? {
+                        Some(v) => Some(
+                            v.parse()
+                                .map_err(|e| ToolError::Usage(format!("--algo: {e}")))?,
+                        ),
+                        None => None,
+                    };
                     let options = CampaignRunOptions {
                         threads: args.numeric("--threads", 0usize)?,
                         max_jobs: args
@@ -299,6 +307,7 @@ fn run() -> Result<(), ToolError> {
                         lenient,
                         checkpoint_cycles,
                         chunk_cycles,
+                        algo,
                     };
                     print!(
                         "{}",

@@ -15,7 +15,7 @@ use clockmark::{
     Campaign, CampaignLimits, CampaignSpec, ChipModel, ClockModulationWatermark, Experiment,
     JobOutcome, WgcConfig,
 };
-use clockmark_cpa::DetectionCriterion;
+use clockmark_cpa::{CpaAlgo, DetectionCriterion};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -363,6 +363,9 @@ pub struct CampaignCreateOptions {
     pub checkpoint_cycles: Option<u64>,
     /// Read-chunk size override in cycles.
     pub chunk_cycles: Option<usize>,
+    /// Spectrum kernel override; `None` resolves from `CLOCKMARK_CPA_ALGO`
+    /// or the work heuristic and is then pinned in the spec.
+    pub algo: Option<CpaAlgo>,
 }
 
 /// `campaign run`: creates a campaign directory over a corpus and runs it.
@@ -400,6 +403,9 @@ pub fn cmd_campaign_run(
     if let Some(cycles) = create.chunk_cycles {
         campaign_spec.chunk_cycles = cycles;
     }
+    if let Some(algo) = create.algo {
+        campaign_spec.algo = algo;
+    }
     let campaign = options.apply(Campaign::create(dir, campaign_spec)?);
     let status = campaign.run(&options.limits())?;
     render_run(&campaign, &status)
@@ -429,10 +435,11 @@ pub fn cmd_campaign_status(dir: &Path) -> Result<String, ToolError> {
     let _ = writeln!(out, "campaign {}: {status}", campaign.dir().display());
     let _ = writeln!(
         out,
-        "corpus: {}, pattern period {}, {} trace(s)",
+        "corpus: {}, pattern period {}, {} trace(s), {} spectrum kernel",
         campaign.spec().corpus.display(),
         campaign.spec().pattern.len(),
-        campaign.spec().traces.len()
+        campaign.spec().traces.len(),
+        campaign.spec().algo
     );
     if status.is_complete() {
         let report = campaign.report()?;
