@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use clockmark_cpa::{spread_spectrum, spread_spectrum_naive};
+use clockmark::prelude::{CpaAlgo, DetectOptions, Detector};
 use clockmark_seq::{Lfsr, SequenceGenerator};
 
 fn make_input(width: u32, cycles: usize) -> (Vec<bool>, Vec<f64>) {
@@ -28,36 +28,40 @@ fn bench_cpa(c: &mut Criterion) {
     for (width, cycles) in [(8u32, 30_000usize), (10, 60_000)] {
         let (pattern, y) = make_input(width, cycles);
         group.throughput(Throughput::Elements(cycles as u64));
-        group.bench_with_input(
-            BenchmarkId::new("naive", format!("P{}_N{}", (1 << width) - 1, cycles)),
-            &(&pattern, &y),
-            |b, (p, y)| {
-                b.iter(|| spread_spectrum_naive(black_box(p), black_box(y)).expect("valid"))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("folded", format!("P{}_N{}", (1 << width) - 1, cycles)),
-            &(&pattern, &y),
-            |b, (p, y)| b.iter(|| spread_spectrum(black_box(p), black_box(y)).expect("valid")),
-        );
+        for algo in [CpaAlgo::Naive, CpaAlgo::Folded] {
+            let detector =
+                Detector::with_options(&pattern, DetectOptions::default().with_algo(algo))
+                    .expect("valid pattern");
+            group.bench_with_input(
+                BenchmarkId::new(algo.as_str(), format!("P{}_N{}", (1 << width) - 1, cycles)),
+                &(&detector, &y),
+                |b, (d, y)| b.iter(|| d.spectrum(black_box(y)).expect("valid")),
+            );
+        }
     }
 
     // Paper scale, folded only (the naive path takes seconds per run).
     let (pattern, y) = make_input(12, 300_000);
+    let folded = Detector::with_options(
+        &pattern,
+        DetectOptions::default().with_algo(CpaAlgo::Folded),
+    )
+    .expect("valid pattern");
     group.throughput(Throughput::Elements(300_000));
     group.sample_size(20);
     group.bench_function("folded/P4095_N300000_paper_scale", |b| {
-        b.iter(|| spread_spectrum(black_box(&pattern), black_box(&y)).expect("valid"))
+        b.iter(|| folded.spectrum(black_box(&y)).expect("valid"))
     });
 
     // Streaming ingest: the per-cycle cost of the online detector.
     let (pattern, y) = make_input(10, 100_000);
+    let detector = Detector::new(&pattern).expect("valid pattern");
     group.throughput(Throughput::Elements(100_000));
     group.bench_function("streaming_ingest/P1023_N100000", |b| {
         b.iter(|| {
-            let mut d = clockmark_cpa::StreamingCpa::new(black_box(&pattern)).expect("valid");
-            d.extend_from_slice(black_box(&y));
-            black_box(d.spectrum().expect("complete period"))
+            let mut session = detector.detect_streaming();
+            session.push_chunk(black_box(&y));
+            black_box(session.spectrum().expect("complete period"))
         })
     });
     group.finish();

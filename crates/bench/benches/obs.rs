@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use clockmark_cpa::spread_spectrum;
+use clockmark::prelude::{CpaAlgo, DetectOptions, Detector};
 use clockmark_seq::{Lfsr, SequenceGenerator};
 
 fn make_input(width: u32, cycles: usize) -> (Vec<bool>, Vec<f64>) {
@@ -53,12 +53,13 @@ fn bench_obs(c: &mut Criterion) {
     // gap versus the uninstrumented `cpa/folded` bench is overhead the
     // zero-cost contract forbids.
     let (pattern, y) = make_input(10, 60_000);
+    let detector = Detector::with_options(
+        &pattern,
+        DetectOptions::default().with_algo(CpaAlgo::Folded),
+    )
+    .expect("valid pattern");
     group.bench_function("cpa_disabled/P1023_N60000", |b| {
-        b.iter(|| {
-            clockmark_obs::suppressed(|| {
-                spread_spectrum(black_box(&pattern), black_box(&y)).expect("valid")
-            })
-        })
+        b.iter(|| clockmark_obs::suppressed(|| detector.spectrum(black_box(&y)).expect("valid")))
     });
 
     group.finish();

@@ -17,7 +17,7 @@ use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Instant;
 
-use clockmark_cpa::{spread_spectrum_naive, spread_spectrum_with_algo, CpaAlgo};
+use clockmark::prelude::{CpaAlgo, DetectOptions, Detector, SpreadSpectrum};
 use clockmark_dsp::{BluesteinPlan, Complex64};
 use clockmark_seq::{Lfsr, SequenceGenerator};
 
@@ -49,24 +49,24 @@ fn bench_spectrum_algos(c: &mut Criterion) {
         // The naive loop is O(N·P): seconds per call at P = 4095, so it
         // gets the smallest sample size criterion accepts there.
         group.sample_size(if period > 2_000 { 10 } else { 30 });
+        let naive =
+            Detector::with_options(&pattern, DetectOptions::default().with_algo(CpaAlgo::Naive))
+                .expect("valid pattern");
         group.bench_with_input(
             BenchmarkId::new("naive", &tag),
-            &(&pattern, &y),
-            |b, (p, y)| {
-                b.iter(|| spread_spectrum_naive(black_box(p), black_box(y)).expect("valid"))
-            },
+            &(&naive, &y),
+            |b, (d, y)| b.iter(|| d.spectrum(black_box(y)).expect("valid")),
         );
 
         group.sample_size(30);
         for algo in [CpaAlgo::Folded, CpaAlgo::Fft] {
+            let detector =
+                Detector::with_options(&pattern, DetectOptions::default().with_algo(algo))
+                    .expect("valid pattern");
             group.bench_with_input(
                 BenchmarkId::new(algo.as_str(), &tag),
-                &(&pattern, &y),
-                |b, (p, y)| {
-                    b.iter(|| {
-                        spread_spectrum_with_algo(black_box(p), black_box(y), algo).expect("valid")
-                    })
-                },
+                &(&detector, &y),
+                |b, (d, y)| b.iter(|| d.spectrum(black_box(y)).expect("valid")),
             );
         }
     }
@@ -114,10 +114,17 @@ fn quick_smoke() {
         .unwrap_or(1);
     let reps = 5u32;
 
+    let spectrum = |algo: CpaAlgo| -> SpreadSpectrum {
+        Detector::with_options(&pattern, DetectOptions::default().with_algo(algo))
+            .expect("valid pattern")
+            .spectrum(&y)
+            .expect("valid")
+    };
+
     // One untimed round per kernel warms the allocator and, for the FFT
     // path, the thread-local correlator plan cache.
-    let folded_ref = spread_spectrum_with_algo(&pattern, &y, CpaAlgo::Folded).expect("valid");
-    let fft_ref = spread_spectrum_with_algo(&pattern, &y, CpaAlgo::Fft).expect("valid");
+    let folded_ref = spectrum(CpaAlgo::Folded);
+    let fft_ref = spectrum(CpaAlgo::Fft);
     assert_eq!(
         (folded_ref.peak_abs().0, folded_ref.peak_abs().1.to_bits()),
         (fft_ref.peak_abs().0, fft_ref.peak_abs().1.to_bits()),
@@ -127,7 +134,7 @@ fn quick_smoke() {
     let time = |algo: CpaAlgo| {
         let start = Instant::now();
         for _ in 0..reps {
-            black_box(spread_spectrum_with_algo(&pattern, &y, algo).expect("valid"));
+            black_box(spectrum(algo));
         }
         start.elapsed().as_secs_f64() / f64::from(reps)
     };

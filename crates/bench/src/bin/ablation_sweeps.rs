@@ -8,7 +8,8 @@
 //! cargo run --release -p clockmark-bench --bin ablation_sweeps -- --quick
 //! ```
 
-use clockmark::{parallel_map, ClockModulationWatermark, Experiment, ExperimentBatch, WgcConfig};
+use clockmark::parallel_map;
+use clockmark::prelude::*;
 use clockmark_bench::has_flag;
 
 fn arch(width: u32) -> ClockModulationWatermark {

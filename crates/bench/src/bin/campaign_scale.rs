@@ -20,8 +20,8 @@
 //! cargo run --release -p clockmark-bench --bin campaign_scale -- --quick
 //! ```
 
-use clockmark::corpus::{Corpus, TraceHeader};
-use clockmark::{Campaign, CampaignLimits, CampaignSpec};
+use clockmark::corpus::TraceHeader;
+use clockmark::prelude::*;
 use clockmark_bench::{arg_value, has_flag};
 use clockmark_seq::{Lfsr, SequenceGenerator};
 use rand::rngs::StdRng;

@@ -12,7 +12,7 @@
 //! cargo run --release -p clockmark-bench --bin fig2_waveforms -- --vcd fig2.vcd
 //! ```
 
-use clockmark::{ClockModulationWatermark, LoadCircuitWatermark, WatermarkArchitecture, WgcConfig};
+use clockmark::prelude::*;
 use clockmark_bench::wave;
 use clockmark_netlist::Netlist;
 use clockmark_power::{EnergyLibrary, Frequency, PowerModel};

@@ -9,7 +9,7 @@
 //! cargo run --release -p clockmark-bench --bin fig3_power_embedding
 //! ```
 
-use clockmark::{ClockModulationWatermark, Experiment, WgcConfig};
+use clockmark::prelude::*;
 use clockmark_netlist::Netlist;
 use clockmark_power::{EnergyLibrary, Frequency, PowerModel};
 use clockmark_sim::{CycleSim, SignalDriver};

@@ -12,7 +12,7 @@
 //! cargo run --release -p clockmark-bench --bin fig5_spread_spectrum -- --quick
 //! ```
 
-use clockmark::{ClockModulationWatermark, Experiment, ExperimentBatch, WgcConfig};
+use clockmark::prelude::*;
 use clockmark_bench::{has_flag, render_spectrum};
 
 fn main() -> Result<(), clockmark::ClockmarkError> {

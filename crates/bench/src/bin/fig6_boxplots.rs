@@ -11,7 +11,7 @@
 //! cargo run --release -p clockmark-bench --bin fig6_boxplots -- --quick
 //! ```
 
-use clockmark::{ChipModel, ClockModulationWatermark, Experiment, ExperimentBatch, WgcConfig};
+use clockmark::prelude::*;
 use clockmark_bench::{arg_value, has_flag};
 use clockmark_cpa::RotationEnsemble;
 

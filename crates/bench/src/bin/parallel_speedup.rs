@@ -15,7 +15,7 @@
 //! CLOCKMARK_THREADS=2 cargo run --release -p clockmark-bench --bin parallel_speedup
 //! ```
 
-use clockmark::{ClockModulationWatermark, Experiment, ExperimentBatch, WgcConfig};
+use clockmark::prelude::*;
 use clockmark_bench::{arg_value, has_flag};
 use std::time::Instant;
 

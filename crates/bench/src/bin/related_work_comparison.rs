@@ -14,10 +14,8 @@
 //! cargo run --release -p clockmark-bench --bin related_work_comparison
 //! ```
 
-use clockmark::{
-    removal_attack, ClockModulationWatermark, Experiment, FunctionalBlock, LoadCircuitWatermark,
-    WatermarkArchitecture, WgcConfig,
-};
+use clockmark::prelude::*;
+use clockmark::{removal_attack, FunctionalBlock};
 use clockmark_fsm::{embed_signature, reachability, verify_signature, Fsm, Key};
 use clockmark_netlist::Netlist;
 use clockmark_power::{EnergyLibrary, Frequency, PowerModel};

@@ -9,10 +9,8 @@
 //! cargo run --release -p clockmark-bench --bin robustness
 //! ```
 
-use clockmark::{
-    removal_attack, AttackVerdict, ClockModulationWatermark, Experiment, FunctionalBlock,
-    LoadCircuitWatermark, WatermarkArchitecture, WgcConfig,
-};
+use clockmark::prelude::*;
+use clockmark::{removal_attack, AttackVerdict, FunctionalBlock};
 use clockmark_netlist::{DataSource, GroupId, Netlist, RegisterConfig};
 use clockmark_sim::SignalDriver;
 

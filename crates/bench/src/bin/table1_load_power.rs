@@ -12,7 +12,7 @@
 //! cargo run --release -p clockmark-bench --bin table1_load_power
 //! ```
 
-use clockmark::{ClockModulationWatermark, WatermarkArchitecture, WgcConfig};
+use clockmark::prelude::*;
 use clockmark_netlist::Netlist;
 use clockmark_power::tables::TableModel;
 use clockmark_power::{EnergyLibrary, Frequency, Power, PowerModel};

@@ -91,7 +91,7 @@ pub fn arg_value(name: &str, default: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clockmark_cpa::spread_spectrum;
+    use clockmark::prelude::Detector;
 
     #[test]
     fn render_marks_the_peak_bin() {
@@ -99,7 +99,10 @@ mod tests {
         let y: Vec<f64> = (0..700)
             .map(|i| if pattern[(i + 3) % 7] { 1.0 } else { 0.0 } + (i % 11) as f64 * 0.01)
             .collect();
-        let s = spread_spectrum(&pattern, &y).expect("valid");
+        let s = Detector::new(&pattern)
+            .expect("valid pattern")
+            .spectrum(&y)
+            .expect("valid");
         let rendered = render_spectrum(&s, 7);
         assert!(rendered.contains("<-- peak"));
         assert_eq!(rendered.lines().count(), 7);

@@ -4,9 +4,10 @@
 //! stored power traces (see [`clockmark_corpus`]), does each one carry
 //! the watermark? Jobs — one per trace — are sharded across the same
 //! std-thread engine that powers [`ExperimentBatch`](crate::ExperimentBatch),
-//! and every job streams its trace through a [`StreamingCpa`] fold in
-//! disk-sized chunks via [`StreamingCpa::push_chunk`], so a trace is
-//! never fully resident.
+//! and every job streams its trace through a
+//! [`Detector::detect_streaming`] session in disk-sized chunks via
+//! [`StreamingDetection::push_chunk`], so a trace is never fully
+//! resident.
 //!
 //! Everything a campaign learns is persisted as it happens:
 //!
@@ -23,14 +24,17 @@
 //! mid-append (the torn last line of `results.jsonl` is tolerated) — and
 //! [`Campaign::run`] picks up exactly where it stopped: completed jobs
 //! are skipped, checkpointed jobs resume from their snapshot, and because
-//! [`StreamingCpa::push_chunk`] performs bit-for-bit the same
+//! [`StreamingDetection::push_chunk`] performs bit-for-bit the same
 //! accumulations as an uninterrupted fold, the final report is
 //! **byte-identical** to one produced without the interruption.
 
 use crate::batch::parallel_map;
 use clockmark_corpus::codec;
 use clockmark_corpus::{Corpus, CorpusError, Crc32};
-use clockmark_cpa::{CpaAlgo, CpaError, DetectionCriterion, DetectionResult, StreamingCpa};
+use clockmark_cpa::{
+    CpaAlgo, CpaError, DetectOptions, DetectionCriterion, DetectionResult, Detector,
+    StreamingCpaState, StreamingDetection,
+};
 use clockmark_obs::json::{self, Json};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -294,7 +298,7 @@ impl CampaignSpec {
     /// Returns [`CampaignError::Cpa`] for a degenerate pattern and
     /// [`CampaignError::Spec`] for job-list problems.
     pub fn validate(&self) -> Result<(), CampaignError> {
-        StreamingCpa::new(&self.pattern)?;
+        Detector::new(&self.pattern)?;
         if self.traces.is_empty() {
             return Err(CampaignError::spec("campaign has no traces"));
         }
@@ -793,17 +797,18 @@ impl Campaign {
             .field("trace", job.trace.clone());
         let mut reader = corpus.reader(&job.trace)?;
         let trace_cycles = reader.header().cycles;
-        // The kernel recorded in the spec is pinned on the detector, so
+        // The kernel recorded in the spec is pinned on the facade, so
         // neither the environment nor the work heuristic can change the
         // arithmetic between a run and its resume.
-        let mut detector = match self.restore_checkpoint(job, trace_cycles) {
-            Some(detector) => detector,
-            None => StreamingCpa::new(&self.spec.pattern)?.with_algo(self.spec.algo),
+        let facade = self.detector()?;
+        let mut session = match self.restore_checkpoint(&facade, job, trace_cycles) {
+            Some(session) => session,
+            None => facade.detect_streaming(),
         };
         // Replaying the consumed prefix (discarded, but still fed to the
         // CRC) keeps the end-of-trace integrity check meaningful.
-        if detector.cycles() > 0 {
-            reader.skip_samples(detector.cycles())?;
+        if session.cycles() > 0 {
+            reader.skip_samples(session.cycles())?;
         }
 
         let chunk = self.spec.chunk_cycles.max(1);
@@ -815,23 +820,23 @@ impl Campaign {
             if got == 0 {
                 break;
             }
-            detector.push_chunk(&buf[..got]);
+            session.push_chunk(&buf[..got]);
             since_checkpoint += got as u64;
             ingested += got as u64;
             if self.spec.checkpoint_cycles > 0 && since_checkpoint >= self.spec.checkpoint_cycles {
-                self.write_checkpoint(job, &detector)?;
+                self.write_checkpoint(job, &session)?;
                 since_checkpoint = 0;
             }
             if let Some(limit) = limits.interrupt_job_after_cycles {
                 if ingested >= limit && reader.remaining() > 0 {
-                    self.write_checkpoint(job, &detector)?;
+                    self.write_checkpoint(job, &session)?;
                     return Ok(None);
                 }
             }
         }
         let header = reader.finish()?; // full CRC validation
 
-        let result = detector.detect(&self.spec.criterion);
+        let result = session.result();
         let outcome = JobOutcome {
             index: job.index,
             trace: job.trace.clone(),
@@ -857,12 +862,29 @@ impl Campaign {
         Ok(Some(outcome))
     }
 
+    /// The [`Detector`] facade every job of this campaign detects
+    /// through: the campaign's pattern with the recorded kernel and
+    /// criterion pinned.
+    fn detector(&self) -> Result<Detector, CampaignError> {
+        Ok(Detector::with_options(
+            &self.spec.pattern,
+            DetectOptions::default()
+                .with_algo(self.spec.algo)
+                .with_criterion(self.spec.criterion),
+        )?)
+    }
+
     /// Restores a job's fold from its checkpoint, or `None` to start
     /// fresh. Any defect — wrong trace, wrong pattern, wrong spectrum
     /// kernel, impossible cycle count, corrupt bytes — discards the file:
     /// restarting a job is always safe (replay is bit-identical), trusting
     /// a bad snapshot never is.
-    fn restore_checkpoint(&self, job: &JobSpec, trace_cycles: u64) -> Option<StreamingCpa> {
+    fn restore_checkpoint(
+        &self,
+        facade: &Detector,
+        job: &JobSpec,
+        trace_cycles: u64,
+    ) -> Option<StreamingDetection> {
         let path = self.checkpoint_path(job.index);
         let bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
@@ -879,9 +901,7 @@ impl Campaign {
                 {
                     return None;
                 }
-                StreamingCpa::from_state(state)
-                    .ok()
-                    .map(|detector| detector.with_algo(self.spec.algo))
+                facade.resume_streaming(state).ok()
             });
         if restored.is_none() {
             let _ = fs::remove_file(&path);
@@ -895,9 +915,9 @@ impl Campaign {
     fn write_checkpoint(
         &self,
         job: &JobSpec,
-        detector: &StreamingCpa,
+        session: &StreamingDetection,
     ) -> Result<(), CampaignError> {
-        let bytes = encode_checkpoint(job.index, &job.trace, self.spec.algo, detector);
+        let bytes = encode_checkpoint(job.index, &job.trace, self.spec.algo, &session.state());
         let path = self.checkpoint_path(job.index);
         write_atomic(&path, &bytes)?;
         clockmark_obs::counter_add("campaign.checkpoints_written", 1);
@@ -922,8 +942,12 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CampaignError> {
 
 /// Encodes a checkpoint: magic, spectrum kernel, job identity, then every
 /// accumulator of the fold as raw little-endian bits, closed by a CRC-32.
-fn encode_checkpoint(index: usize, trace: &str, algo: CpaAlgo, detector: &StreamingCpa) -> Vec<u8> {
-    let state = detector.state();
+fn encode_checkpoint(
+    index: usize,
+    trace: &str,
+    algo: CpaAlgo,
+    state: &StreamingCpaState,
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + trace.len() + state.pattern.len() * 17);
     out.extend_from_slice(CKPT_MAGIC);
     out.push(algo_to_byte(algo));
@@ -1300,14 +1324,15 @@ mod tests {
     #[test]
     fn checkpoint_codec_round_trips_and_rejects_corruption() {
         let pattern = pattern();
-        let mut detector = StreamingCpa::new(&pattern).expect("valid");
-        detector.push_chunk(&trace(&pattern, 1_000, 3, 0.8, 5));
-        let bytes = encode_checkpoint(7, "chip_i_s3", CpaAlgo::Fft, &detector);
+        let facade = Detector::new(&pattern).expect("valid");
+        let mut session = facade.detect_streaming();
+        session.push_chunk(&trace(&pattern, 1_000, 3, 0.8, 5));
+        let bytes = encode_checkpoint(7, "chip_i_s3", CpaAlgo::Fft, &session.state());
         let (index, trace_name, algo, state) = decode_checkpoint(&bytes).expect("valid");
         assert_eq!((index, trace_name.as_str()), (7, "chip_i_s3"));
         assert_eq!(algo, CpaAlgo::Fft);
-        let restored = StreamingCpa::from_state(state).expect("valid");
-        assert_eq!(restored, detector);
+        let restored = facade.resume_streaming(state).expect("valid");
+        assert_eq!(restored.state(), session.state());
 
         for at in [0usize, 9, bytes.len() / 2, bytes.len() - 2] {
             let mut bad = bytes.clone();

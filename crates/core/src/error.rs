@@ -3,9 +3,11 @@ use std::fmt;
 
 /// The unified error type of the `clockmark` crate.
 ///
-/// Wraps the errors of every substrate plus the configuration errors of
-/// the watermark layer itself.
-#[derive(Debug, Clone, PartialEq)]
+/// Wraps the errors of every substrate — including the corpus store, the
+/// campaign engine and (via the `clockmark-serve` crate's `From` impl)
+/// the detection server — plus the configuration errors of the watermark
+/// layer itself, so callers propagate one type with `?` end to end.
+#[derive(Debug)]
 #[non_exhaustive]
 pub enum ClockmarkError {
     /// Sequence-generator configuration failed.
@@ -20,6 +22,18 @@ pub enum ClockmarkError {
     Soc(clockmark_soc::SocError),
     /// Correlation power analysis failed.
     Cpa(clockmark_cpa::CpaError),
+    /// Trace corpus I/O or integrity failed.
+    Corpus(clockmark_corpus::CorpusError),
+    /// A detection campaign failed.
+    Campaign(crate::campaign::CampaignError),
+    /// The detection server (or its client) failed. The variant carries a
+    /// rendered message because `clockmark-serve` sits above this crate
+    /// in the dependency graph; the server crate provides the
+    /// `From<ServeError>` conversion.
+    Serve {
+        /// What went wrong, already rendered.
+        message: String,
+    },
     /// A watermark architecture was configured with no body registers.
     EmptyWatermarkBody,
     /// More switching registers were requested than the body holds.
@@ -42,6 +56,9 @@ impl fmt::Display for ClockmarkError {
             ClockmarkError::Power(e) => write!(f, "power model: {e}"),
             ClockmarkError::Soc(e) => write!(f, "soc model: {e}"),
             ClockmarkError::Cpa(e) => write!(f, "cpa: {e}"),
+            ClockmarkError::Corpus(e) => write!(f, "corpus: {e}"),
+            ClockmarkError::Campaign(e) => write!(f, "campaign: {e}"),
+            ClockmarkError::Serve { message } => write!(f, "serve: {message}"),
             ClockmarkError::EmptyWatermarkBody => {
                 write!(f, "watermark body must contain at least one register")
             }
@@ -70,6 +87,8 @@ impl Error for ClockmarkError {
             ClockmarkError::Power(e) => Some(e),
             ClockmarkError::Soc(e) => Some(e),
             ClockmarkError::Cpa(e) => Some(e),
+            ClockmarkError::Corpus(e) => Some(e),
+            ClockmarkError::Campaign(e) => Some(e),
             _ => None,
         }
     }
@@ -91,6 +110,20 @@ from_sub_error!(clockmark_sim::SimError => Sim);
 from_sub_error!(clockmark_power::PowerError => Power);
 from_sub_error!(clockmark_soc::SocError => Soc);
 from_sub_error!(clockmark_cpa::CpaError => Cpa);
+from_sub_error!(clockmark_corpus::CorpusError => Corpus);
+from_sub_error!(crate::campaign::CampaignError => Campaign);
+
+/// Trace-driven detection over a corpus reader surfaces either a CPA
+/// failure or a corpus I/O/integrity failure; both fold into the unified
+/// error so `Detector::detect_trace(reader)?` works at the top level.
+impl From<clockmark_cpa::TraceInputError<clockmark_corpus::CorpusError>> for ClockmarkError {
+    fn from(e: clockmark_cpa::TraceInputError<clockmark_corpus::CorpusError>) -> Self {
+        match e {
+            clockmark_cpa::TraceInputError::Cpa(e) => ClockmarkError::Cpa(e),
+            clockmark_cpa::TraceInputError::Input(e) => ClockmarkError::Corpus(e),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -104,6 +137,44 @@ mod tests {
 
         let err: ClockmarkError = clockmark_cpa::CpaError::ConstantPattern.into();
         assert!(err.to_string().contains("cpa"));
+
+        let err: ClockmarkError = clockmark_corpus::CorpusError::Corrupt {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("corpus"));
+
+        let err: ClockmarkError =
+            crate::campaign::CampaignError::Cpa(clockmark_cpa::CpaError::ConstantPattern).into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("campaign"));
+    }
+
+    #[test]
+    fn trace_input_error_splits_into_cpa_and_corpus() {
+        let err: ClockmarkError =
+            clockmark_cpa::TraceInputError::<clockmark_corpus::CorpusError>::Cpa(
+                clockmark_cpa::CpaError::ConstantPattern,
+            )
+            .into();
+        assert!(matches!(err, ClockmarkError::Cpa(_)));
+
+        let err: ClockmarkError =
+            clockmark_cpa::TraceInputError::Input(clockmark_corpus::CorpusError::Format {
+                message: "truncated".into(),
+            })
+            .into();
+        assert!(matches!(err, ClockmarkError::Corpus(_)));
+    }
+
+    #[test]
+    fn serve_variant_renders_message() {
+        let err = ClockmarkError::Serve {
+            message: "pool exhausted".into(),
+        };
+        assert_eq!(err.to_string(), "serve: pool exhausted");
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod campaign;
 mod error;
 pub mod overhead;
 mod pipeline;
+pub mod prelude;
 pub mod theory;
 mod wgc;
 

@@ -1,5 +1,5 @@
 use crate::{ClockmarkError, EmbeddedWatermark, WatermarkArchitecture};
-use clockmark_cpa::{spread_spectrum, DetectionCriterion, DetectionResult, SpreadSpectrum};
+use clockmark_cpa::{DetectionCriterion, DetectionResult, Detector, SpreadSpectrum};
 use clockmark_measure::Acquisition;
 use clockmark_netlist::Netlist;
 use clockmark_power::{EnergyLibrary, Frequency, Power, PowerModel, PowerTrace};
@@ -192,9 +192,9 @@ impl Experiment {
     /// offline, and as many times as needed.
     ///
     /// [`run`](Experiment::run) is exactly this plus rotational CPA, so a
-    /// stored measurement re-analysed with
-    /// [`spread_spectrum`](clockmark_cpa::spread_spectrum) (or a
-    /// [`StreamingCpa`](clockmark_cpa::StreamingCpa) fed in chunks)
+    /// stored measurement re-analysed with a
+    /// [`Detector`](clockmark_cpa::Detector) — batch, streaming or via
+    /// [`detect_trace`](clockmark_cpa::Detector::detect_trace) —
     /// reproduces the live outcome bit-for-bit.
     ///
     /// # Errors
@@ -342,8 +342,8 @@ impl MeasuredRun {
     /// Step 6 of the pipeline: rotational CPA against the expected
     /// sequence, turning the raw measurement into a detection verdict.
     ///
-    /// The spectrum kernel is whatever [`spread_spectrum`] resolves —
-    /// the `CLOCKMARK_CPA_ALGO` override when set, else the work
+    /// The spectrum kernel is whatever the [`Detector`] facade resolves
+    /// — the `CLOCKMARK_CPA_ALGO` override when set, else the work
     /// heuristic (FFT at paper scale, folded below). Every kernel
     /// reports a bit-identical peak, so the verdict does not depend on
     /// the choice (see `docs/cpa-fft.md`).
@@ -357,7 +357,7 @@ impl MeasuredRun {
         &self,
         criterion: &DetectionCriterion,
     ) -> Result<ExperimentOutcome, clockmark_cpa::CpaError> {
-        let spectrum = spread_spectrum(&self.pattern, self.measured.as_watts())?;
+        let spectrum = Detector::new(&self.pattern)?.spectrum(self.measured.as_watts())?;
         let detection = spectrum.detect(criterion);
         if clockmark_obs::enabled() {
             clockmark_obs::counter_add("experiment.detections", u64::from(detection.detected));

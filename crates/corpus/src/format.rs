@@ -385,6 +385,23 @@ impl<R: Read> TraceReader<R> {
     }
 }
 
+/// `.cmt` traces plug straight into
+/// [`Detector::detect_trace`](clockmark_cpa::Detector::detect_trace):
+/// chunks stream into the fold and the CRC footer is validated (via
+/// [`TraceReader::finish`]) before any verdict is produced, so a
+/// corrupted trace yields an error, never a silently wrong decision.
+impl<R: Read> clockmark_cpa::TraceInput for TraceReader<R> {
+    type Error = CorpusError;
+
+    fn next_chunk(&mut self, buf: &mut [f64]) -> Result<usize, CorpusError> {
+        self.read_chunk(buf)
+    }
+
+    fn finish(self) -> Result<(), CorpusError> {
+        TraceReader::finish(self).map(|_| ())
+    }
+}
+
 /// Encodes a whole trace into bytes (convenience over [`TraceWriter`]).
 ///
 /// # Errors

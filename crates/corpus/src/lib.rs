@@ -6,7 +6,7 @@
 //! seeds and workloads — needs those captures to outlive the process that
 //! recorded them. This crate provides:
 //!
-//! - the **`.cmt` binary trace format** ([`format`]): a fixed 64-byte
+//! - the **`.cmt` binary trace format** ([`mod@format`]): a fixed 64-byte
 //!   little-endian header (cycle count + capture metadata), raw `f64`
 //!   samples, and a CRC-32 integrity footer, with chunked streaming
 //!   [`TraceWriter`]/[`TraceReader`] so a trace never has to be fully

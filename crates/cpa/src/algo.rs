@@ -64,8 +64,8 @@ impl CpaAlgo {
     }
 
     /// The kernel the work heuristic picks for a watermark pattern:
-    /// [`CpaAlgo::Fft`] once the folded work `P·W` reaches
-    /// [`FFT_WORK_THRESHOLD`], [`CpaAlgo::Folded`] otherwise. The naive
+    /// [`CpaAlgo::Fft`] once the folded work `P·W` reaches the crossover
+    /// threshold, [`CpaAlgo::Folded`] otherwise. The naive
     /// kernel is never auto-selected; it exists as the reference.
     pub fn resolved_for_pattern(pattern: &[bool]) -> CpaAlgo {
         let ones = pattern.iter().filter(|&&b| b).count();

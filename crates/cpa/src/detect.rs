@@ -108,9 +108,13 @@ impl std::fmt::Display for DetectionResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spread_spectrum;
+    use crate::{CpaError, Detector};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    fn spread_spectrum(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
+        Detector::new(pattern)?.spectrum(y)
+    }
 
     fn noisy_watermarked(amplitude: f64, noise: f64, seed: u64) -> (Vec<bool>, Vec<f64>) {
         use clockmark_seq::{Lfsr, SequenceGenerator};

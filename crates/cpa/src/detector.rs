@@ -1,0 +1,688 @@
+//! The unified detection facade.
+//!
+//! Historically the crate grew four near-duplicate batch entry points —
+//! `spread_spectrum`, `spread_spectrum_naive`, `spread_spectrum_with_algo`
+//! and `spread_spectrum_parallel` — differing only in how they resolve the
+//! kernel and the thread count. [`Detector`] collapses them into one
+//! object: a validated watermark pattern plus a [`DetectOptions`]
+//! describing kernel, threading and decision criterion. Every consumer —
+//! the experiment pipeline, the campaign engine, the detection server and
+//! the CLI — routes through it, so there is exactly one place where those
+//! choices are made.
+//!
+//! The facade is a pure re-plumbing of the existing kernels: for every
+//! option combination its spectrum is **bit-identical** to the legacy
+//! entry point it replaces (a proptest at the bottom of this module pins
+//! that for every [`CpaAlgo`]).
+//!
+//! ```
+//! # fn main() -> Result<(), clockmark_cpa::CpaError> {
+//! use clockmark_cpa::{DetectOptions, Detector};
+//!
+//! let pattern = [true, false, true, true, false, false, true, false];
+//! let y: Vec<f64> = (0..400)
+//!     .map(|i| if pattern[(i + 3) % 8] { 1.0 } else { 0.0 } + (i % 5) as f64 * 0.1)
+//!     .collect();
+//!
+//! let detector = Detector::new(&pattern)?;
+//! let result = detector.detect(&y)?;
+//! assert!(result.detected);
+//! assert_eq!(result.peak_rotation, 3);
+//!
+//! // The same decision, streamed chunk by chunk.
+//! let mut session = detector.detect_streaming();
+//! for chunk in y.chunks(37) {
+//!     session.push_chunk(chunk);
+//! }
+//! assert_eq!(session.result(), result);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::rotational::{validate_inputs, FoldedTrace};
+use crate::{
+    CpaAlgo, CpaError, DetectionCriterion, DetectionResult, SpreadSpectrum, StreamingCpa,
+    StreamingCpaState,
+};
+
+/// Samples read per [`TraceInput::next_chunk`] call in
+/// [`Detector::detect_trace`]. Matches the corpus reader's natural chunk
+/// granularity; the fold is bit-identical for any chunking.
+const TRACE_CHUNK: usize = 8192;
+
+/// How a [`Detector`] resolves its kernel, threading and decision rule.
+///
+/// The defaults reproduce the historical `spread_spectrum` behaviour
+/// exactly: kernel from the `CLOCKMARK_CPA_ALGO` override else the work
+/// heuristic, threads from [`thread_count`](crate::thread_count) once the
+/// folded work justifies them, and the strict default
+/// [`DetectionCriterion`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DetectOptions {
+    /// Kernel pinned by the caller; `None` resolves per call (environment
+    /// override, then work heuristic) — the semantics of the legacy
+    /// `spread_spectrum`. The campaign engine pins the kernel recorded in
+    /// its spec here so resumes replay the same arithmetic.
+    pub algo: Option<CpaAlgo>,
+    /// Worker threads for the batch spectrum; `None` auto-sizes (machine
+    /// parallelism once the folded work passes the parallel threshold,
+    /// serial below it), `Some(n)` pins the count like the legacy
+    /// `spread_spectrum_parallel`. The spectrum is bit-identical for every
+    /// value. Streaming sessions always run on the calling thread.
+    pub threads: Option<usize>,
+    /// The decision rule applied by [`Detector::detect`] and friends.
+    pub criterion: DetectionCriterion,
+}
+
+impl DetectOptions {
+    /// Returns the options with the kernel pinned.
+    #[must_use]
+    pub fn with_algo(mut self, algo: CpaAlgo) -> Self {
+        self.algo = Some(algo);
+        self
+    }
+
+    /// Returns the options with the batch thread count pinned.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Returns the options with the decision criterion replaced.
+    #[must_use]
+    pub fn with_criterion(mut self, criterion: DetectionCriterion) -> Self {
+        self.criterion = criterion;
+        self
+    }
+}
+
+/// The single entry point for watermark detection: a validated pattern
+/// plus the [`DetectOptions`] every query uses.
+///
+/// Construct once, detect many times — against in-memory traces
+/// ([`detect`](Self::detect)), incrementally arriving cycles
+/// ([`detect_streaming`](Self::detect_streaming)) or chunked readers such
+/// as corpus `.cmt` traces ([`detect_trace`](Self::detect_trace)). All
+/// three paths share the same fold arithmetic, so their verdicts are
+/// bit-identical for the same samples and options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detector {
+    pattern: Vec<bool>,
+    options: DetectOptions,
+}
+
+impl Detector {
+    /// Creates a detector with default [`DetectOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpaError::TooShort`] for a pattern shorter than 2 and
+    /// [`CpaError::ConstantPattern`] when the pattern has no variance.
+    pub fn new(pattern: &[bool]) -> Result<Self, CpaError> {
+        Self::with_options(pattern, DetectOptions::default())
+    }
+
+    /// Creates a detector with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn with_options(pattern: &[bool], options: DetectOptions) -> Result<Self, CpaError> {
+        if pattern.len() < 2 {
+            return Err(CpaError::TooShort { len: pattern.len() });
+        }
+        let ones = pattern.iter().filter(|&&b| b).count();
+        if ones == 0 || ones == pattern.len() {
+            return Err(CpaError::ConstantPattern);
+        }
+        Ok(Detector {
+            pattern: pattern.to_vec(),
+            options,
+        })
+    }
+
+    /// One period of the watermark pattern.
+    pub fn pattern(&self) -> &[bool] {
+        &self.pattern
+    }
+
+    /// The watermark period.
+    pub fn period(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// The options every query of this detector uses.
+    pub fn options(&self) -> &DetectOptions {
+        &self.options
+    }
+
+    /// The decision criterion applied by the `detect*` methods.
+    pub fn criterion(&self) -> &DetectionCriterion {
+        &self.options.criterion
+    }
+
+    /// The kernel a query issued right now would run: the pinned option if
+    /// set, else the `CLOCKMARK_CPA_ALGO` override, else the work
+    /// heuristic for this pattern.
+    pub fn resolved_algo(&self) -> CpaAlgo {
+        self.options
+            .algo
+            .or_else(crate::algo::algo_override)
+            .unwrap_or_else(|| CpaAlgo::resolved_for_pattern(&self.pattern))
+    }
+
+    /// Computes the full spread spectrum of a measured trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpaError::TraceShorterThanPeriod`] when `y` holds fewer
+    /// cycles than one watermark period.
+    pub fn spectrum(&self, y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
+        validate_inputs(&self.pattern, y)?;
+        let algo = self.resolved_algo();
+        if algo == CpaAlgo::Naive {
+            return Ok(crate::rotational::naive_spectrum(&self.pattern, y));
+        }
+        let folded = FoldedTrace::new(&self.pattern, y);
+        let threads = match self.options.threads {
+            Some(threads) => threads,
+            None => {
+                let threads = crate::thread_count();
+                if threads > 1 && folded.work() >= crate::parallel::PARALLEL_WORK_THRESHOLD {
+                    threads
+                } else {
+                    1
+                }
+            }
+        };
+        Ok(crate::kernel::spectrum_with_algo(
+            &folded.as_inputs(),
+            algo,
+            threads,
+        ))
+    }
+
+    /// Detects the watermark in an in-memory trace: the spectrum of
+    /// [`spectrum`](Self::spectrum) judged by this detector's criterion.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`spectrum`](Self::spectrum).
+    pub fn detect(&self, y: &[f64]) -> Result<DetectionResult, CpaError> {
+        Ok(self.spectrum(y)?.detect(&self.options.criterion))
+    }
+
+    /// Opens a streaming session: feed cycles as they arrive, query the
+    /// verdict whenever you like. The session pins this detector's kernel
+    /// choice and criterion; its fold is bit-identical to the batch path
+    /// for the same samples.
+    pub fn detect_streaming(&self) -> StreamingDetection {
+        let mut inner =
+            StreamingCpa::new(&self.pattern).expect("pattern validated at Detector construction");
+        if let Some(algo) = self.options.algo {
+            inner = inner.with_algo(algo);
+        }
+        StreamingDetection {
+            inner,
+            criterion: self.options.criterion,
+        }
+    }
+
+    /// Re-opens a streaming session from a persisted fold snapshot — the
+    /// campaign engine's checkpoint-resume path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpaError::InvalidState`] when the snapshot's pattern
+    /// differs from this detector's, plus every validation error of
+    /// [`StreamingCpa::from_state`].
+    pub fn resume_streaming(
+        &self,
+        state: StreamingCpaState,
+    ) -> Result<StreamingDetection, CpaError> {
+        if state.pattern != self.pattern {
+            return Err(CpaError::InvalidState {
+                message: format!(
+                    "snapshot pattern has period {} but the detector's has {}",
+                    state.pattern.len(),
+                    self.pattern.len()
+                ),
+            });
+        }
+        let mut inner = StreamingCpa::from_state(state)?;
+        if let Some(algo) = self.options.algo {
+            inner = inner.with_algo(algo);
+        }
+        Ok(StreamingDetection {
+            inner,
+            criterion: self.options.criterion,
+        })
+    }
+
+    /// Detects the watermark in a chunked trace source — a corpus `.cmt`
+    /// reader, a network stream, anything implementing [`TraceInput`] —
+    /// without ever materialising the full trace in memory.
+    ///
+    /// Reads chunks until the source reports end-of-trace, then calls
+    /// [`TraceInput::finish`] so sources with trailing integrity checks
+    /// (the corpus reader's CRC footer) get to validate them before a
+    /// verdict is produced.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceInputError::Input`] wraps the source's own errors;
+    /// [`TraceInputError::Cpa`] reports [`CpaError::InsufficientCycles`]
+    /// when the source ended before one full watermark period.
+    pub fn detect_trace<T: TraceInput>(
+        &self,
+        mut input: T,
+    ) -> Result<TraceDetection, TraceInputError<T::Error>> {
+        let mut session = self.detect_streaming();
+        let mut buf = vec![0.0f64; TRACE_CHUNK];
+        loop {
+            let n = input.next_chunk(&mut buf).map_err(TraceInputError::Input)?;
+            if n == 0 {
+                break;
+            }
+            session.push_chunk(&buf[..n]);
+        }
+        input.finish().map_err(TraceInputError::Input)?;
+        let spectrum = session.spectrum().map_err(TraceInputError::Cpa)?;
+        Ok(TraceDetection {
+            result: spectrum.detect(&self.options.criterion),
+            cycles: session.cycles(),
+        })
+    }
+}
+
+/// A streaming detection session opened by
+/// [`Detector::detect_streaming`]: a [`StreamingCpa`] fold pinned to the
+/// detector's kernel choice, paired with its decision criterion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingDetection {
+    inner: StreamingCpa,
+    criterion: DetectionCriterion,
+}
+
+impl StreamingDetection {
+    /// Feeds one measured cycle.
+    pub fn push(&mut self, y: f64) {
+        self.inner.push(y);
+    }
+
+    /// Bulk-ingests a chunk of cycles, bit-identical to per-cycle
+    /// [`push`](Self::push).
+    pub fn push_chunk(&mut self, ys: &[f64]) {
+        self.inner.push_chunk(ys);
+    }
+
+    /// Cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.inner.cycles()
+    }
+
+    /// The watermark period.
+    pub fn period(&self) -> usize {
+        self.inner.period()
+    }
+
+    /// The current spread spectrum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpaError::InsufficientCycles`] until one full period has
+    /// been consumed.
+    pub fn spectrum(&self) -> Result<SpreadSpectrum, CpaError> {
+        self.inner.spectrum()
+    }
+
+    /// The current verdict under the session's criterion. Before one full
+    /// period has been consumed this conservatively reports
+    /// "not detected".
+    pub fn result(&self) -> DetectionResult {
+        self.inner.detect(&self.criterion)
+    }
+
+    /// Snapshots the fold accumulators bit-exactly, for persistence;
+    /// restore with [`Detector::resume_streaming`].
+    pub fn state(&self) -> StreamingCpaState {
+        self.inner.state()
+    }
+
+    /// Borrows the underlying fold.
+    pub fn inner(&self) -> &StreamingCpa {
+        &self.inner
+    }
+
+    /// Unwraps the underlying fold.
+    pub fn into_inner(self) -> StreamingCpa {
+        self.inner
+    }
+}
+
+/// A chunked source of measured power samples, as consumed by
+/// [`Detector::detect_trace`].
+///
+/// Implementations exist for the corpus `.cmt` reader (in
+/// `clockmark-corpus`) and for in-memory slices via [`SliceInput`].
+pub trait TraceInput {
+    /// The source's own error type.
+    type Error;
+
+    /// Fills `buf` with the next samples, returning how many were
+    /// written. `0` means end-of-trace; short reads are otherwise fine.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the source reports — I/O failures, format corruption.
+    fn next_chunk(&mut self, buf: &mut [f64]) -> Result<usize, Self::Error>;
+
+    /// Called once after end-of-trace, before the verdict is computed —
+    /// the hook for trailing integrity checks (CRC footers, length
+    /// cross-checks). The default does nothing.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the integrity check reports.
+    fn finish(self) -> Result<(), Self::Error>
+    where
+        Self: Sized,
+    {
+        Ok(())
+    }
+}
+
+/// [`TraceInput`] over an in-memory slice — the adapter that lets
+/// [`Detector::detect_trace`] be exercised without a corpus on disk.
+#[derive(Debug, Clone)]
+pub struct SliceInput<'a> {
+    samples: &'a [f64],
+}
+
+impl<'a> SliceInput<'a> {
+    /// Wraps a slice of samples.
+    pub fn new(samples: &'a [f64]) -> Self {
+        SliceInput { samples }
+    }
+}
+
+impl TraceInput for SliceInput<'_> {
+    type Error = std::convert::Infallible;
+
+    fn next_chunk(&mut self, buf: &mut [f64]) -> Result<usize, Self::Error> {
+        let n = self.samples.len().min(buf.len());
+        buf[..n].copy_from_slice(&self.samples[..n]);
+        self.samples = &self.samples[n..];
+        Ok(n)
+    }
+}
+
+/// The verdict of [`Detector::detect_trace`], with the trace length the
+/// decision was based on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceDetection {
+    /// The detection decision.
+    pub result: DetectionResult,
+    /// Cycles the source produced.
+    pub cycles: u64,
+}
+
+/// Error of [`Detector::detect_trace`]: either the analysis failed or the
+/// trace source did.
+#[derive(Debug)]
+pub enum TraceInputError<E> {
+    /// The correlation analysis failed (e.g. the trace ended before one
+    /// watermark period).
+    Cpa(CpaError),
+    /// The trace source failed (I/O, corruption, failed integrity check).
+    Input(E),
+}
+
+impl<E> From<CpaError> for TraceInputError<E> {
+    fn from(e: CpaError) -> Self {
+        TraceInputError::Cpa(e)
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for TraceInputError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceInputError::Cpa(e) => write!(f, "cpa: {e}"),
+            TraceInputError::Input(e) => write!(f, "trace input: {e}"),
+        }
+    }
+}
+
+impl<E: Error + 'static> Error for TraceInputError<E> {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceInputError::Cpa(e) => Some(e),
+            TraceInputError::Input(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_case(seed: u64, period: usize, n: usize) -> (Vec<bool>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pattern: Vec<bool> = (0..period).map(|_| rng.random_bool(0.5)).collect();
+        pattern[0] = true;
+        if pattern.iter().all(|&b| b) {
+            pattern[1] = false;
+        }
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                let wm = if pattern[(i + 7) % period] { 0.6 } else { 0.0 };
+                wm + rng.random_range(-2.0..2.0)
+            })
+            .collect();
+        (pattern, y)
+    }
+
+    #[test]
+    fn constructor_validates_the_pattern() {
+        assert!(matches!(
+            Detector::new(&[true]).unwrap_err(),
+            CpaError::TooShort { len: 1 }
+        ));
+        assert_eq!(
+            Detector::new(&[true, true]).unwrap_err(),
+            CpaError::ConstantPattern
+        );
+        assert_eq!(
+            Detector::new(&[false, false, false]).unwrap_err(),
+            CpaError::ConstantPattern
+        );
+    }
+
+    #[test]
+    fn short_trace_is_rejected_at_query_time() {
+        let detector = Detector::new(&[true, false, true, false]).expect("valid");
+        assert_eq!(
+            detector.detect(&[1.0, 2.0]).unwrap_err(),
+            CpaError::TraceShorterThanPeriod { have: 2, need: 4 }
+        );
+    }
+
+    #[test]
+    fn batch_streaming_and_trace_paths_agree_bit_for_bit() {
+        let (pattern, y) = random_case(11, 31, 1500);
+        let detector = Detector::new(&pattern).expect("valid");
+
+        let batch = detector.detect(&y).expect("valid");
+
+        let mut session = detector.detect_streaming();
+        for chunk in y.chunks(97) {
+            session.push_chunk(chunk);
+        }
+        let streamed = session.result();
+
+        let traced = detector.detect_trace(SliceInput::new(&y)).expect("valid");
+
+        assert_eq!(batch.peak_rho.to_bits(), streamed.peak_rho.to_bits());
+        assert_eq!(batch.zscore.to_bits(), streamed.zscore.to_bits());
+        assert_eq!(batch, streamed);
+        assert_eq!(batch, traced.result);
+        assert_eq!(traced.cycles, y.len() as u64);
+    }
+
+    #[test]
+    fn resume_streaming_round_trips_bit_exactly() {
+        let (pattern, y) = random_case(12, 63, 4000);
+        let detector = Detector::with_options(
+            &pattern,
+            DetectOptions::default().with_algo(CpaAlgo::Folded),
+        )
+        .expect("valid");
+
+        let mut uninterrupted = detector.detect_streaming();
+        uninterrupted.push_chunk(&y);
+
+        let (head, tail) = y.split_at(1711);
+        let mut first = detector.detect_streaming();
+        first.push_chunk(head);
+        let mut resumed = detector
+            .resume_streaming(first.state())
+            .expect("valid snapshot");
+        resumed.push_chunk(tail);
+
+        assert_eq!(uninterrupted, resumed);
+        assert_eq!(uninterrupted.result(), resumed.result());
+    }
+
+    #[test]
+    fn resume_streaming_rejects_foreign_snapshots() {
+        let (pattern, y) = random_case(13, 31, 500);
+        let detector = Detector::new(&pattern).expect("valid");
+        let mut session = detector.detect_streaming();
+        session.push_chunk(&y);
+
+        let (other, _) = random_case(14, 63, 63);
+        let foreign = Detector::new(&other).expect("valid");
+        assert!(matches!(
+            foreign.resume_streaming(session.state()).unwrap_err(),
+            CpaError::InvalidState { .. }
+        ));
+    }
+
+    #[test]
+    fn detect_trace_propagates_source_failures() {
+        struct Failing;
+        #[derive(Debug, PartialEq)]
+        struct Broken;
+        impl TraceInput for Failing {
+            type Error = Broken;
+            fn next_chunk(&mut self, _buf: &mut [f64]) -> Result<usize, Broken> {
+                Err(Broken)
+            }
+        }
+        let detector = Detector::new(&[true, false, true]).expect("valid");
+        assert!(matches!(
+            detector.detect_trace(Failing).unwrap_err(),
+            TraceInputError::Input(Broken)
+        ));
+    }
+
+    #[test]
+    fn detect_trace_rejects_sources_shorter_than_one_period() {
+        let detector = Detector::new(&[true, false, true, false, true]).expect("valid");
+        let short = [1.0, 2.0];
+        assert!(matches!(
+            detector.detect_trace(SliceInput::new(&short)).unwrap_err(),
+            TraceInputError::Cpa(CpaError::InsufficientCycles { have: 2, need: 5 })
+        ));
+    }
+
+    #[test]
+    fn options_builders_compose() {
+        let options = DetectOptions::default()
+            .with_algo(CpaAlgo::Fft)
+            .with_threads(3)
+            .with_criterion(DetectionCriterion::lenient());
+        assert_eq!(options.algo, Some(CpaAlgo::Fft));
+        assert_eq!(options.threads, Some(3));
+        assert_eq!(options.criterion, DetectionCriterion::lenient());
+        let detector = Detector::with_options(&[true, false, true], options).expect("valid");
+        assert_eq!(detector.resolved_algo(), CpaAlgo::Fft);
+        assert_eq!(detector.criterion(), &DetectionCriterion::lenient());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Satellite pin: the facade's spectrum is bit-identical to all
+        /// four legacy entry points, for every kernel and for pinned
+        /// thread counts.
+        #[test]
+        #[allow(deprecated)]
+        fn facade_is_bit_identical_to_every_legacy_path(
+            seed in 0u64..10_000,
+            period in 3usize..48,
+            n_mult in 1usize..5,
+            extra in 0usize..11,
+            threads in 1usize..8,
+        ) {
+            let n = period * n_mult + extra.min(period - 1) + period;
+            let (pattern, y) = random_case(seed, period, n);
+
+            let assert_bits = |a: &SpreadSpectrum, b: &SpreadSpectrum| {
+                prop_assert_eq!(a.period(), b.period());
+                for (x, y) in a.rho().iter().zip(b.rho()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+                Ok(())
+            };
+
+            // spread_spectrum ≡ default options.
+            let facade = Detector::new(&pattern).expect("valid").spectrum(&y).expect("valid");
+            let legacy = crate::spread_spectrum(&pattern, &y).expect("valid");
+            assert_bits(&facade, &legacy)?;
+
+            // spread_spectrum_naive ≡ pinned Naive kernel.
+            let facade = Detector::with_options(
+                &pattern,
+                DetectOptions::default().with_algo(CpaAlgo::Naive),
+            )
+            .expect("valid")
+            .spectrum(&y)
+            .expect("valid");
+            let legacy = crate::spread_spectrum_naive(&pattern, &y).expect("valid");
+            assert_bits(&facade, &legacy)?;
+
+            // spread_spectrum_with_algo ≡ pinned kernel, every kernel.
+            for algo in CpaAlgo::ALL {
+                let facade = Detector::with_options(
+                    &pattern,
+                    DetectOptions::default().with_algo(algo),
+                )
+                .expect("valid")
+                .spectrum(&y)
+                .expect("valid");
+                let legacy =
+                    crate::spread_spectrum_with_algo(&pattern, &y, algo).expect("valid");
+                assert_bits(&facade, &legacy)?;
+            }
+
+            // spread_spectrum_parallel ≡ pinned thread count.
+            let facade = Detector::with_options(
+                &pattern,
+                DetectOptions::default().with_threads(threads),
+            )
+            .expect("valid")
+            .spectrum(&y)
+            .expect("valid");
+            let legacy = crate::spread_spectrum_parallel(&pattern, &y, threads).expect("valid");
+            assert_bits(&facade, &legacy)?;
+        }
+    }
+}

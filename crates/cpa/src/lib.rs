@@ -23,13 +23,19 @@
 //!   the folded arithmetic, so its reported peak is bit-identical to the
 //!   folded kernel's (`docs/cpa-fft.md` has the derivation).
 //!
-//! [`spread_spectrum`] resolves the kernel automatically (override with
-//! the `CLOCKMARK_CPA_ALGO` environment variable or pin it via
-//! [`spread_spectrum_with_algo`]).
+//! The [`Detector`] facade is the single entry point: a validated pattern
+//! plus [`DetectOptions`] (kernel, threading, decision criterion), with
+//! batch ([`Detector::detect`]), streaming
+//! ([`Detector::detect_streaming`]) and chunked-reader
+//! ([`Detector::detect_trace`]) query paths that share one fold and are
+//! bit-identical for the same samples. The kernel resolves automatically
+//! (override with the `CLOCKMARK_CPA_ALGO` environment variable or pin it
+//! via [`DetectOptions::with_algo`]). The historical free functions
+//! (`spread_spectrum` and friends) remain as deprecated wrappers.
 //!
 //! ```
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! use clockmark_cpa::{spread_spectrum, DetectionCriterion};
+//! use clockmark_cpa::Detector;
 //! use clockmark_seq::{Lfsr, SequenceGenerator};
 //!
 //! // One period of a 6-bit m-sequence, tiled into a measurement starting
@@ -40,8 +46,7 @@
 //!     .map(|i| if pattern[(i + 17) % 63] { 1.0 } else { 0.0 } + (i % 7) as f64 * 0.01)
 //!     .collect();
 //!
-//! let spectrum = spread_spectrum(&pattern, &y)?;
-//! let detection = spectrum.detect(&DetectionCriterion::default());
+//! let detection = Detector::new(&pattern)?.detect(&y)?;
 //! assert!(detection.detected);
 //! assert_eq!(detection.peak_rotation, 17);
 //! # Ok(())
@@ -53,6 +58,7 @@
 
 mod algo;
 mod detect;
+mod detector;
 mod error;
 mod kernel;
 mod parallel;
@@ -64,12 +70,18 @@ mod streaming;
 
 pub use algo::{algo_override, CpaAlgo};
 pub use detect::{DetectionCriterion, DetectionResult};
-pub use error::CpaError;
-pub use parallel::{spread_spectrum_parallel, thread_count};
-pub use pearson::pearson;
-pub use rotational::{
-    spread_spectrum, spread_spectrum_naive, spread_spectrum_with_algo, SpreadSpectrum,
+pub use detector::{
+    DetectOptions, Detector, SliceInput, StreamingDetection, TraceDetection, TraceInput,
+    TraceInputError,
 };
+pub use error::CpaError;
+#[allow(deprecated)]
+pub use parallel::spread_spectrum_parallel;
+pub use parallel::thread_count;
+pub use pearson::pearson;
+pub use rotational::SpreadSpectrum;
+#[allow(deprecated)]
+pub use rotational::{spread_spectrum, spread_spectrum_naive, spread_spectrum_with_algo};
 pub use significance::{normal_cdf, peak_false_positive_probability};
 pub use stats::{BoxPlotStats, RotationEnsemble};
 pub use streaming::{StreamingCpa, StreamingCpaState};

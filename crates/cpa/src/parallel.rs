@@ -14,8 +14,8 @@
 //! be pinned with the `CLOCKMARK_THREADS` environment variable (useful for
 //! reproducible benchmarking and for confining CI runners).
 
-use crate::rotational::{validate_inputs, FoldedTrace};
-use crate::{CpaAlgo, CpaError, SpreadSpectrum};
+use crate::rotational::validate_inputs;
+use crate::{CpaError, SpreadSpectrum};
 
 /// Minimum multiply-adds (`P·W`) before [`spread_spectrum`](crate::spread_spectrum)
 /// prefers the threaded rotation loop; below this the thread-spawn overhead
@@ -67,33 +67,41 @@ fn thread_count_from(var: Option<&str>) -> usize {
 ///
 /// # Errors
 ///
-/// Same conditions as [`spread_spectrum_naive`](crate::spread_spectrum_naive).
+/// Same conditions as [`spread_spectrum`](crate::spread_spectrum).
+#[deprecated(note = "use Detector with DetectOptions::with_threads")]
 pub fn spread_spectrum_parallel(
     pattern: &[bool],
     y: &[f64],
     threads: usize,
 ) -> Result<SpreadSpectrum, CpaError> {
-    let algo =
-        crate::algo::algo_override().unwrap_or_else(|| CpaAlgo::resolved_for_pattern(pattern));
-    if algo == CpaAlgo::Naive {
-        return crate::spread_spectrum_naive(pattern, y);
-    }
     validate_inputs(pattern, y)?;
-    let folded = FoldedTrace::new(pattern, y);
-    Ok(crate::kernel::spectrum_with_algo(
-        &folded.as_inputs(),
-        algo,
-        threads,
-    ))
+    crate::Detector::with_options(
+        pattern,
+        crate::DetectOptions::default().with_threads(threads),
+    )?
+    .spectrum(y)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spread_spectrum_naive;
+    use crate::{CpaAlgo, DetectOptions, Detector};
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    fn spread_spectrum_parallel(
+        pattern: &[bool],
+        y: &[f64],
+        threads: usize,
+    ) -> Result<SpreadSpectrum, CpaError> {
+        Detector::with_options(pattern, DetectOptions::default().with_threads(threads))?.spectrum(y)
+    }
+
+    fn spread_spectrum_naive(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
+        Detector::with_options(pattern, DetectOptions::default().with_algo(CpaAlgo::Naive))?
+            .spectrum(y)
+    }
 
     fn random_case(seed: u64, period: usize, n: usize) -> (Vec<bool>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);

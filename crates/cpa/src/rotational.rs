@@ -62,8 +62,8 @@ impl SpreadSpectrum {
     }
 
     /// Whether every coefficient is exactly zero — a zero-variance
-    /// (constant) trace, where correlation is undefined and
-    /// [`correlation_from_sums`] reports 0 for every rotation. No peak can
+    /// (constant) trace, where correlation is undefined and the
+    /// correlation kernel reports 0 for every rotation. No peak can
     /// be resolved from such a spectrum.
     pub fn is_degenerate(&self) -> bool {
         self.rho.iter().all(|&r| r == 0.0)
@@ -182,8 +182,7 @@ pub(crate) fn validate_inputs(pattern: &[bool], y: &[f64]) -> Result<(), CpaErro
 ///
 /// Computes the Pearson correlation between `y` and every rotation of
 /// `pattern` tiled to `y`'s length, exactly as the detection procedure in
-/// Section III describes. Kept as the trusted reference implementation;
-/// prefer [`spread_spectrum`] for paper-scale inputs.
+/// Section III describes. Kept as the trusted reference implementation.
 ///
 /// # Errors
 ///
@@ -191,8 +190,15 @@ pub(crate) fn validate_inputs(pattern: &[bool], y: &[f64]) -> Result<(), CpaErro
 /// [`CpaError::TraceShorterThanPeriod`] when `y` is shorter than one
 /// period, and [`CpaError::ConstantPattern`] when the pattern has no
 /// variance.
+#[deprecated(note = "use Detector with DetectOptions::with_algo(CpaAlgo::Naive)")]
 pub fn spread_spectrum_naive(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
     validate_inputs(pattern, y)?;
+    Ok(naive_spectrum(pattern, y))
+}
+
+/// The naive kernel's body, shared by the [`Detector`](crate::Detector)
+/// facade and the deprecated free function. Callers validate first.
+pub(crate) fn naive_spectrum(pattern: &[bool], y: &[f64]) -> SpreadSpectrum {
     let period = pattern.len();
     let n = y.len();
     let mut rho = Vec::with_capacity(period);
@@ -213,7 +219,7 @@ pub fn spread_spectrum_naive(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectr
         // For binary x, Σx² = Σx.
         rho.push(correlation_from_sums(nf, sx, sy, sx, syy, sxy));
     }
-    Ok(SpreadSpectrum::from_rho(rho))
+    SpreadSpectrum::from_rho(rho)
 }
 
 /// The rotation-invariant folded sums shared by the serial and parallel
@@ -328,51 +334,57 @@ impl FoldedTrace {
 ///
 /// # Errors
 ///
-/// Same conditions as [`spread_spectrum_naive`].
+/// Same input validation as every spectrum entry point: `TooShort`,
+/// `TraceShorterThanPeriod` or `ConstantPattern`.
+#[deprecated(note = "use Detector")]
 pub fn spread_spectrum(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
-    let algo =
-        crate::algo::algo_override().unwrap_or_else(|| CpaAlgo::resolved_for_pattern(pattern));
-    spread_spectrum_with_algo(pattern, y, algo)
+    validate_inputs(pattern, y)?;
+    crate::Detector::new(pattern)?.spectrum(y)
 }
 
 /// [`spread_spectrum`] with the kernel pinned by the caller, bypassing
 /// both the environment override and the work heuristic. This is what
-/// the campaign engine calls after recording its kernel choice, so a
-/// resumed campaign replays the same arithmetic regardless of the
-/// resuming process's environment.
+/// the campaign engine called before it moved to the
+/// [`Detector`](crate::Detector) facade with a pinned
+/// [`DetectOptions::algo`](crate::DetectOptions).
 ///
 /// # Errors
 ///
-/// Same conditions as [`spread_spectrum_naive`].
+/// Same conditions as [`spread_spectrum`].
+#[deprecated(note = "use Detector with DetectOptions::with_algo")]
 pub fn spread_spectrum_with_algo(
     pattern: &[bool],
     y: &[f64],
     algo: CpaAlgo,
 ) -> Result<SpreadSpectrum, CpaError> {
-    if algo == CpaAlgo::Naive {
-        return spread_spectrum_naive(pattern, y);
-    }
     validate_inputs(pattern, y)?;
-    let folded = FoldedTrace::new(pattern, y);
-    let threads = crate::thread_count();
-    let threads = if threads > 1 && folded.work() >= crate::parallel::PARALLEL_WORK_THRESHOLD {
-        threads
-    } else {
-        1
-    };
-    Ok(crate::kernel::spectrum_with_algo(
-        &folded.as_inputs(),
-        algo,
-        threads,
-    ))
+    crate::Detector::with_options(pattern, crate::DetectOptions::default().with_algo(algo))?
+        .spectrum(y)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{DetectOptions, Detector};
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    fn spread_spectrum(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
+        Detector::new(pattern)?.spectrum(y)
+    }
+
+    fn spread_spectrum_naive(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
+        spread_spectrum_with_algo(pattern, y, CpaAlgo::Naive)
+    }
+
+    fn spread_spectrum_with_algo(
+        pattern: &[bool],
+        y: &[f64],
+        algo: CpaAlgo,
+    ) -> Result<SpreadSpectrum, CpaError> {
+        Detector::with_options(pattern, DetectOptions::default().with_algo(algo))?.spectrum(y)
+    }
 
     /// Tiles `pattern` starting at `phase` into a clean power trace.
     fn tiled(pattern: &[bool], n: usize, phase: usize, high: f64) -> Vec<f64> {

@@ -89,9 +89,13 @@ impl SpreadSpectrum {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spread_spectrum;
+    use crate::{CpaError, Detector, SpreadSpectrum};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    fn spread_spectrum(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
+        Detector::new(pattern)?.spectrum(y)
+    }
 
     #[test]
     fn normal_cdf_reference_points() {

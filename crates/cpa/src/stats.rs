@@ -59,15 +59,16 @@ fn percentile(sorted: &[f64], pct: f64) -> f64 {
 ///
 /// ```
 /// # fn main() -> Result<(), clockmark_cpa::CpaError> {
-/// use clockmark_cpa::{spread_spectrum, RotationEnsemble};
+/// use clockmark_cpa::{Detector, RotationEnsemble};
 ///
 /// let pattern = [true, false, true, false, false];
+/// let detector = Detector::new(&pattern)?;
 /// let mut ensemble = RotationEnsemble::new(pattern.len());
 /// for run in 0..5 {
 ///     let y: Vec<f64> = (0..100)
 ///         .map(|i| if pattern[(i + 2) % 5] { 1.0 } else { 0.0 } + (i + run) as f64 * 1e-3)
 ///         .collect();
-///     ensemble.add(&spread_spectrum(&pattern, &y)?)?;
+///     ensemble.add(&detector.spectrum(&y)?)?;
 /// }
 /// assert_eq!(ensemble.runs(), 5);
 /// let peak_stats = ensemble.stats_at(2).expect("has samples");
@@ -175,10 +176,14 @@ impl RotationEnsemble {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spread_spectrum;
+    use crate::{CpaError, Detector};
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    fn spread_spectrum(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
+        Detector::new(pattern)?.spectrum(y)
+    }
 
     #[test]
     fn percentiles_of_known_distribution() {

@@ -313,9 +313,13 @@ pub struct StreamingCpaState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spread_spectrum;
+    use crate::Detector;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    fn spread_spectrum(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
+        Detector::new(pattern)?.spectrum(y)
+    }
 
     fn m_sequence_pattern() -> Vec<bool> {
         use clockmark_seq::{Lfsr, SequenceGenerator};

@@ -5,7 +5,7 @@
 //! around three pieces:
 //!
 //! - **Spans** — RAII wall-clock timers with per-thread nesting and
-//!   typed fields ([`span`], [`Span::field`]).
+//!   typed fields ([`span()`], [`Span::field`]).
 //! - **Metrics** — monotonic counters, last-value gauges, and
 //!   raw-sample histograms with exact percentiles ([`counter_add`],
 //!   [`gauge_set`], [`observe`]).

@@ -10,7 +10,7 @@ use std::time::Instant;
 /// Collects spans and metrics and fans them out to exporters.
 ///
 /// Library code reaches the process-global recorder through the free
-/// functions in the crate root ([`crate::span`], [`crate::counter_add`],
+/// functions in the crate root ([`crate::span()`], [`crate::counter_add`],
 /// …); tests construct their own and call these methods directly.
 pub struct Recorder {
     start: Instant,

@@ -1,0 +1,188 @@
+//! Blocking client for the detection service.
+//!
+//! One [`Client`] owns one connection and may issue any number of
+//! sequential requests. A `Busy` rejection during [`Client::connect`]'s
+//! first exchange surfaces as [`ServeError::Busy`] with the server's
+//! retry hint, so callers can implement their own backoff.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use clockmark_cpa::{DetectOptions, DetectionCriterion, TraceDetection};
+
+use crate::error::{io_err, ServeError};
+use crate::protocol::{
+    read_frame, read_greeting, write_frame, write_greeting, ErrorCode, Request, Response,
+    ServerStatus,
+};
+
+/// Samples per `DetectChunk` frame: 64 KiB of payload, comfortably
+/// under any sane `max_frame_bytes`.
+pub const CLIENT_CHUNK: usize = 8192;
+
+/// A connected detection-service client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects and performs the protocol handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connecting", e))?;
+        Client::handshake(stream)
+    }
+
+    /// [`Client::connect`] with a socket-level read timeout, so a hung
+    /// server cannot block the caller forever.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connecting", e))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| io_err("setting read timeout", e))?;
+        Client::handshake(stream)
+    }
+
+    fn handshake(mut stream: TcpStream) -> Result<Self, ServeError> {
+        stream
+            .set_nodelay(true)
+            .map_err(|e| io_err("setting TCP_NODELAY", e))?;
+        write_greeting(&mut stream).map_err(|e| io_err("writing greeting", e))?;
+        read_greeting(&mut stream)?;
+        Ok(Client {
+            stream,
+            max_frame_bytes: 1 << 20,
+        })
+    }
+
+    /// Round-trips a liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.send(&Request::Ping)?;
+        match self.receive()? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server's load counters.
+    pub fn status(&mut self) -> Result<ServerStatus, ServeError> {
+        self.send(&Request::Status)?;
+        match self.receive()? {
+            Response::Status(status) => Ok(status),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Streams `samples` through a full detect exchange and returns the
+    /// server's verdict.
+    ///
+    /// `options.threads` is not carried over the wire: thread policy is
+    /// the server's to decide, and every kernel/thread combination
+    /// produces bit-identical spectra, so the verdict is unaffected.
+    pub fn detect(
+        &mut self,
+        pattern: &[bool],
+        options: DetectOptions,
+        samples: &[f64],
+    ) -> Result<TraceDetection, ServeError> {
+        self.send(&Request::DetectStart {
+            pattern: pattern.to_vec(),
+            algo: options.algo,
+            criterion: options.criterion,
+        })?;
+        for chunk in samples.chunks(CLIENT_CHUNK) {
+            self.send(&Request::DetectChunk {
+                samples: chunk.to_vec(),
+            })?;
+        }
+        self.send(&Request::DetectFinish)?;
+        match self.receive()? {
+            Response::Detection(detection) => Ok(detection),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to detect `pattern` in a trace stored in a
+    /// server-local corpus.
+    pub fn detect_corpus(
+        &mut self,
+        corpus: &str,
+        trace: &str,
+        pattern: &[bool],
+        options: DetectOptions,
+    ) -> Result<TraceDetection, ServeError> {
+        self.send(&Request::DetectCorpus {
+            corpus: corpus.to_string(),
+            trace: trace.to_string(),
+            pattern: pattern.to_vec(),
+            algo: options.algo,
+            criterion: options.criterion,
+        })?;
+        match self.receive()? {
+            Response::Detection(detection) => Ok(detection),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Convenience wrapper: [`Client::detect`] with default options and
+    /// an explicit criterion.
+    pub fn detect_with_criterion(
+        &mut self,
+        pattern: &[bool],
+        criterion: DetectionCriterion,
+        samples: &[f64],
+    ) -> Result<TraceDetection, ServeError> {
+        self.detect(
+            pattern,
+            DetectOptions::default().with_criterion(criterion),
+            samples,
+        )
+    }
+
+    /// Asks the server to drain and exit; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.send(&Request::Shutdown)?;
+        match self.receive()? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ServeError> {
+        let (ty, payload) = request.encode();
+        write_frame(&mut self.stream, ty, &payload).map_err(|e| io_err("writing request", e))
+    }
+
+    /// Reads the next response, translating error frames into
+    /// [`ServeError::Busy`] / [`ServeError::Remote`].
+    fn receive(&mut self) -> Result<Response, ServeError> {
+        let (ty, payload) = read_frame(&mut self.stream, self.max_frame_bytes)?;
+        match Response::decode(ty, &payload)? {
+            Response::Error {
+                code: ErrorCode::Busy,
+                retry_after_ms,
+                ..
+            } => Err(ServeError::Busy { retry_after_ms }),
+            Response::Error {
+                code,
+                retry_after_ms,
+                message,
+            } => Err(ServeError::Remote {
+                code,
+                retry_after_ms,
+                message,
+            }),
+            other => Ok(other),
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> ServeError {
+    ServeError::Protocol {
+        message: format!("unexpected response frame: {response:?}"),
+    }
+}

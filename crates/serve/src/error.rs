@@ -1,0 +1,169 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::protocol::ErrorCode;
+
+/// Everything that can go wrong on either side of the wire.
+///
+/// The server maps the relevant variants onto wire error frames (see
+/// [`ErrorCode`]); the client maps error frames back into
+/// [`ServeError::Remote`] so a caller can distinguish "my request was
+/// bad" from "the transport died".
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A socket operation failed.
+    Io {
+        /// What was being done.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The peer violated the wire protocol.
+    Protocol {
+        /// What was wrong with the bytes.
+        message: String,
+    },
+    /// A frame declared a payload larger than the negotiated maximum.
+    FrameTooLarge {
+        /// Declared payload length.
+        len: u64,
+        /// Maximum the receiver accepts.
+        max: u64,
+    },
+    /// The server's session pool is full; retry after the hinted delay.
+    Busy {
+        /// Server-suggested backoff before reconnecting.
+        retry_after_ms: u32,
+    },
+    /// The server reported a structured failure for our request.
+    Remote {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Server-suggested backoff (0 when retrying is pointless).
+        retry_after_ms: u32,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Correlation analysis failed server- or client-side.
+    Cpa(clockmark_cpa::CpaError),
+    /// Reading a corpus trace failed.
+    Corpus(clockmark_corpus::CorpusError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io { context, source } => write!(f, "{context}: {source}"),
+            ServeError::Protocol { message } => write!(f, "protocol violation: {message}"),
+            ServeError::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {max}-byte limit"
+                )
+            }
+            ServeError::Busy { retry_after_ms } => {
+                write!(f, "server busy; retry after {retry_after_ms} ms")
+            }
+            ServeError::Remote {
+                code,
+                retry_after_ms,
+                message,
+            } => {
+                write!(f, "server error ({code:?}): {message}")?;
+                if *retry_after_ms > 0 {
+                    write!(f, " (retry after {retry_after_ms} ms)")?;
+                }
+                Ok(())
+            }
+            ServeError::Cpa(e) => write!(f, "cpa: {e}"),
+            ServeError::Corpus(e) => write!(f, "corpus: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Io { source, .. } => Some(source),
+            ServeError::Cpa(e) => Some(e),
+            ServeError::Corpus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<clockmark_cpa::CpaError> for ServeError {
+    fn from(e: clockmark_cpa::CpaError) -> Self {
+        ServeError::Cpa(e)
+    }
+}
+
+impl From<clockmark_corpus::CorpusError> for ServeError {
+    fn from(e: clockmark_corpus::CorpusError) -> Self {
+        ServeError::Corpus(e)
+    }
+}
+
+impl From<clockmark_cpa::TraceInputError<clockmark_corpus::CorpusError>> for ServeError {
+    fn from(e: clockmark_cpa::TraceInputError<clockmark_corpus::CorpusError>) -> Self {
+        match e {
+            clockmark_cpa::TraceInputError::Cpa(e) => ServeError::Cpa(e),
+            clockmark_cpa::TraceInputError::Input(e) => ServeError::Corpus(e),
+        }
+    }
+}
+
+/// Folds server/client failures into the workspace-wide error type.
+///
+/// `ClockmarkError` lives below this crate in the dependency graph, so
+/// its `Serve` variant carries a rendered message and the conversion is
+/// provided here, where `ServeError` is local.
+impl From<ServeError> for clockmark::ClockmarkError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Cpa(e) => clockmark::ClockmarkError::Cpa(e),
+            ServeError::Corpus(e) => clockmark::ClockmarkError::Corpus(e),
+            other => clockmark::ClockmarkError::Serve {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+/// Shorthand for tagging an I/O failure with what was being attempted.
+pub(crate) fn io_err(context: impl Into<String>, source: std::io::Error) -> ServeError {
+    ServeError::Io {
+        context: context.into(),
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_stable() {
+        let e = ServeError::FrameTooLarge { len: 10, max: 4 };
+        assert_eq!(
+            e.to_string(),
+            "frame payload of 10 bytes exceeds the 4-byte limit"
+        );
+
+        let e = ServeError::Busy { retry_after_ms: 50 };
+        assert!(e.to_string().contains("retry after 50 ms"));
+    }
+
+    #[test]
+    fn folds_into_clockmark_error() {
+        let e: clockmark::ClockmarkError = ServeError::Busy { retry_after_ms: 1 }.into();
+        assert!(matches!(e, clockmark::ClockmarkError::Serve { .. }));
+        assert!(e.to_string().starts_with("serve:"));
+
+        // CPA and corpus failures keep their structured variants.
+        let e: clockmark::ClockmarkError =
+            ServeError::Cpa(clockmark_cpa::CpaError::ConstantPattern).into();
+        assert!(matches!(e, clockmark::ClockmarkError::Cpa(_)));
+    }
+}

@@ -1,0 +1,72 @@
+//! # clockmark-serve — concurrent watermark-detection service
+//!
+//! A std-only TCP server (and matching client) that exposes the
+//! [`Detector`](clockmark_cpa::Detector) facade over a versioned,
+//! length-prefixed binary protocol. Everything is `std::net` +
+//! `std::thread`; there is no async runtime and no external
+//! dependency, matching the rest of the workspace.
+//!
+//! The wire protocol is deliberately a *thin encoding* of the
+//! in-process API: a `Detect` exchange streams `f64` chunks into the
+//! same [`StreamingDetection`](clockmark_cpa::StreamingDetection)
+//! session an in-process caller would use, and verdicts travel as
+//! IEEE-754 bit patterns — so a verdict obtained over the wire is
+//! bit-identical (peak rotation, ρ, z-score) to one computed locally.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use clockmark_serve::{Client, ServeLimits, Server};
+//! use clockmark::prelude::*;
+//!
+//! # fn main() -> Result<(), ClockmarkError> {
+//! let handle = Server::new()
+//!     .with_limits(ServeLimits::default())
+//!     .bind("127.0.0.1:0")
+//!     .map_err(ClockmarkError::from)?;
+//!
+//! let pattern: Vec<bool> = (0..64).map(|i| (i * 7) % 3 == 0).collect();
+//! let trace: Vec<f64> = (0..640).map(|i| (i as f64 * 0.37).sin()).collect();
+//!
+//! let mut client = Client::connect(handle.local_addr()).map_err(ClockmarkError::from)?;
+//! client.ping().map_err(ClockmarkError::from)?;
+//! let wire = client
+//!     .detect(&pattern, DetectOptions::default(), &trace)
+//!     .map_err(ClockmarkError::from)?;
+//!
+//! // Bit-identical to the in-process facade.
+//! let local = Detector::new(&pattern)?.detect(&trace)?;
+//! assert_eq!(wire.result, local);
+//!
+//! handle.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Robustness model
+//!
+//! - **Bounded pool, explicit backpressure.** At most
+//!   [`ServeLimits::max_sessions`] connections are served concurrently;
+//!   the rest are told `Busy` with a retry hint and closed. Nothing
+//!   queues invisibly.
+//! - **Per-connection budgets.** Frame size, streamed cycle count, read
+//!   and idle timeouts are all capped by [`ServeLimits`].
+//! - **Graceful drain.** Shutdown (via [`ServerHandle::shutdown`] or a
+//!   wire `Shutdown` request) stops accepting, lets in-flight sessions
+//!   finish, and flushes `clockmark-obs` metrics.
+//!
+//! See `docs/serve.md` at the repository root for the exact byte
+//! layout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+pub mod protocol;
+mod server;
+
+pub use client::{Client, CLIENT_CHUNK};
+pub use error::ServeError;
+pub use protocol::{ErrorCode, Request, Response, ServerStatus, MAGIC, PROTOCOL_VERSION};
+pub use server::{ServeLimits, Server, ServerHandle};

@@ -1,0 +1,772 @@
+//! The `CMRPC` wire protocol: a thin binary encoding of the
+//! [`Detector`](clockmark_cpa::Detector) API.
+//!
+//! ## Byte layout
+//!
+//! Every connection opens with an 8-byte greeting from the client —
+//! the magic `b"CMRPC1"` followed by a `u16` little-endian protocol
+//! version — which the server echoes back verbatim on success.
+//!
+//! After the handshake both directions speak *frames*:
+//!
+//! ```text
+//! +------+----------------+-----------------+
+//! | type | payload length | payload         |
+//! | u8   | u32 LE         | `length` bytes  |
+//! +------+----------------+-----------------+
+//! ```
+//!
+//! Request types occupy `0x01..=0x7E`, response types `0x81..=0xFE`,
+//! and `0x7F` is the error frame in either direction. All multi-byte
+//! integers are little-endian; floating-point values are IEEE-754
+//! `f64` bit patterns, so a detection verdict survives the wire
+//! bit-for-bit.
+//!
+//! A `Detect` exchange streams the trace:
+//!
+//! ```text
+//! client: DetectStart (pattern, algo, criterion)
+//! client: DetectChunk (raw f64 samples) ... repeated ...
+//! client: DetectFinish
+//! server: DetectResult (verdict + cycle count)   -- or Error at any point
+//! ```
+//!
+//! `DetectStart` and `DetectChunk` are deliberately unacknowledged so
+//! a client can saturate the socket; the server replies exactly once
+//! per detect exchange, at `DetectFinish` or on the first failure.
+
+use clockmark_cpa::{CpaAlgo, DetectionCriterion, DetectionResult, TraceDetection};
+
+use crate::error::ServeError;
+
+/// Magic bytes every connection must open with.
+pub const MAGIC: [u8; 6] = *b"CMRPC1";
+
+/// Wire protocol version carried in the greeting.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frame-type byte of the error frame (valid in either direction).
+pub const FRAME_ERROR: u8 = 0x7F;
+
+const FRAME_PING: u8 = 0x01;
+const FRAME_DETECT_START: u8 = 0x02;
+const FRAME_DETECT_CHUNK: u8 = 0x03;
+const FRAME_DETECT_FINISH: u8 = 0x04;
+const FRAME_DETECT_CORPUS: u8 = 0x05;
+const FRAME_STATUS: u8 = 0x06;
+const FRAME_SHUTDOWN: u8 = 0x07;
+
+const FRAME_PONG: u8 = 0x81;
+const FRAME_DETECT_RESULT: u8 = 0x82;
+const FRAME_STATUS_REPORT: u8 = 0x83;
+const FRAME_SHUTDOWN_ACK: u8 = 0x84;
+
+/// Machine-readable failure class carried by an error frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The request bytes did not decode.
+    Malformed,
+    /// A frame exceeded the server's payload limit.
+    FrameTooLarge,
+    /// The session pool is full; honour `retry_after_ms`.
+    Busy,
+    /// Correlation analysis rejected the inputs.
+    Cpa,
+    /// The referenced corpus or trace could not be read.
+    Corpus,
+    /// The streamed trace exceeded the server's cycle budget.
+    TooManyCycles,
+    /// A detect frame arrived outside a detect exchange (or vice versa).
+    BadSequence,
+    /// The server is draining and no longer accepts work.
+    Draining,
+    /// An unclassified server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_wire(self) -> u16 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::FrameTooLarge => 2,
+            ErrorCode::Busy => 3,
+            ErrorCode::Cpa => 4,
+            ErrorCode::Corpus => 5,
+            ErrorCode::TooManyCycles => 6,
+            ErrorCode::BadSequence => 7,
+            ErrorCode::Draining => 8,
+            ErrorCode::Internal => 9,
+        }
+    }
+
+    fn from_wire(raw: u16) -> Option<Self> {
+        Some(match raw {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::FrameTooLarge,
+            3 => ErrorCode::Busy,
+            4 => ErrorCode::Cpa,
+            5 => ErrorCode::Corpus,
+            6 => ErrorCode::TooManyCycles,
+            7 => ErrorCode::BadSequence,
+            8 => ErrorCode::Draining,
+            9 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded client-to-server frame.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Open a detect exchange for the given watermark pattern.
+    DetectStart {
+        /// Watermark pattern, one bool per cycle.
+        pattern: Vec<bool>,
+        /// Kernel to pin, or `None` for the server-side heuristic.
+        algo: Option<CpaAlgo>,
+        /// Peak-significance thresholds to apply.
+        criterion: DetectionCriterion,
+    },
+    /// Trace samples for the open detect exchange.
+    DetectChunk {
+        /// Power samples in watts.
+        samples: Vec<f64>,
+    },
+    /// Close the detect exchange and request the verdict.
+    DetectFinish,
+    /// Detect against a trace stored in an on-disk corpus.
+    DetectCorpus {
+        /// Filesystem path of the corpus root (server-local).
+        corpus: String,
+        /// Trace name inside the corpus manifest.
+        trace: String,
+        /// Watermark pattern, one bool per cycle.
+        pattern: Vec<bool>,
+        /// Kernel to pin, or `None` for the server-side heuristic.
+        algo: Option<CpaAlgo>,
+        /// Peak-significance thresholds to apply.
+        criterion: DetectionCriterion,
+    },
+    /// Request server load counters.
+    Status,
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+/// A decoded server-to-client frame.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Verdict of a detect exchange (inline or corpus-backed).
+    Detection(TraceDetection),
+    /// Answer to [`Request::Status`].
+    Status(ServerStatus),
+    /// The server acknowledged [`Request::Shutdown`] and is draining.
+    ShutdownAck,
+    /// The request failed; the connection may or may not survive.
+    Error {
+        /// Failure class.
+        code: ErrorCode,
+        /// Suggested backoff in milliseconds (0 = don't bother).
+        retry_after_ms: u32,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Load counters reported by [`Request::Status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStatus {
+    /// Sessions currently holding a pool slot.
+    pub active_sessions: u32,
+    /// Pool capacity.
+    pub max_sessions: u32,
+    /// Detect verdicts served since startup.
+    pub served: u64,
+    /// Connections rejected with `Busy` since startup.
+    pub rejected: u64,
+    /// Whether the server has stopped accepting connections.
+    pub draining: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding primitives
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn put_pattern(out: &mut Vec<u8>, pattern: &[bool]) {
+    put_u32(out, pattern.len() as u32);
+    out.extend(pattern.iter().map(|&b| b as u8));
+}
+
+fn put_algo(out: &mut Vec<u8>, algo: Option<CpaAlgo>) {
+    out.push(match algo {
+        None => 0,
+        Some(CpaAlgo::Naive) => 1,
+        Some(CpaAlgo::Folded) => 2,
+        Some(CpaAlgo::Fft) => 3,
+        // `CpaAlgo` is non-exhaustive; new kernels need a wire tag here
+        // and a bump of PROTOCOL_VERSION.
+        Some(_) => 0,
+    });
+}
+
+fn put_criterion(out: &mut Vec<u8>, c: &DetectionCriterion) {
+    put_f64(out, c.min_peak_ratio);
+    put_f64(out, c.min_zscore);
+}
+
+/// Sequential payload reader that turns truncation into a protocol error.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(malformed(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ServeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ServeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, ServeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| malformed("string is not UTF-8"))
+    }
+
+    fn pattern(&mut self) -> Result<Vec<bool>, ServeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        bytes
+            .iter()
+            .map(|&b| match b {
+                0 => Ok(false),
+                1 => Ok(true),
+                other => Err(malformed(format!(
+                    "pattern byte must be 0 or 1, got {other}"
+                ))),
+            })
+            .collect()
+    }
+
+    fn algo(&mut self) -> Result<Option<CpaAlgo>, ServeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(CpaAlgo::Naive)),
+            2 => Ok(Some(CpaAlgo::Folded)),
+            3 => Ok(Some(CpaAlgo::Fft)),
+            other => Err(malformed(format!("unknown algo tag {other}"))),
+        }
+    }
+
+    fn criterion(&mut self) -> Result<DetectionCriterion, ServeError> {
+        Ok(DetectionCriterion {
+            min_peak_ratio: self.f64()?,
+            min_zscore: self.f64()?,
+        })
+    }
+
+    fn samples(&mut self) -> Result<Vec<f64>, ServeError> {
+        let rest = self.buf.len() - self.pos;
+        if !rest.is_multiple_of(8) {
+            return Err(malformed(format!(
+                "sample payload of {rest} bytes is not a multiple of 8"
+            )));
+        }
+        let mut out = Vec::with_capacity(rest / 8);
+        while self.pos < self.buf.len() {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    fn expect_end(&self) -> Result<(), ServeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(malformed(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn malformed(message: impl Into<String>) -> ServeError {
+    ServeError::Protocol {
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame codecs
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// Encodes the request as `(frame type, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut out = Vec::new();
+        let ty = match self {
+            Request::Ping => FRAME_PING,
+            Request::DetectStart {
+                pattern,
+                algo,
+                criterion,
+            } => {
+                put_pattern(&mut out, pattern);
+                put_algo(&mut out, *algo);
+                put_criterion(&mut out, criterion);
+                FRAME_DETECT_START
+            }
+            Request::DetectChunk { samples } => {
+                out.reserve(samples.len() * 8);
+                for &s in samples {
+                    put_f64(&mut out, s);
+                }
+                FRAME_DETECT_CHUNK
+            }
+            Request::DetectFinish => FRAME_DETECT_FINISH,
+            Request::DetectCorpus {
+                corpus,
+                trace,
+                pattern,
+                algo,
+                criterion,
+            } => {
+                put_bytes(&mut out, corpus.as_bytes());
+                put_bytes(&mut out, trace.as_bytes());
+                put_pattern(&mut out, pattern);
+                put_algo(&mut out, *algo);
+                put_criterion(&mut out, criterion);
+                FRAME_DETECT_CORPUS
+            }
+            Request::Status => FRAME_STATUS,
+            Request::Shutdown => FRAME_SHUTDOWN,
+        };
+        (ty, out)
+    }
+
+    /// Decodes a request frame received by the server.
+    pub fn decode(frame_type: u8, payload: &[u8]) -> Result<Self, ServeError> {
+        let mut c = Cursor::new(payload);
+        let req = match frame_type {
+            FRAME_PING => Request::Ping,
+            FRAME_DETECT_START => Request::DetectStart {
+                pattern: c.pattern()?,
+                algo: c.algo()?,
+                criterion: c.criterion()?,
+            },
+            FRAME_DETECT_CHUNK => Request::DetectChunk {
+                samples: c.samples()?,
+            },
+            FRAME_DETECT_FINISH => Request::DetectFinish,
+            FRAME_DETECT_CORPUS => Request::DetectCorpus {
+                corpus: c.string()?,
+                trace: c.string()?,
+                pattern: c.pattern()?,
+                algo: c.algo()?,
+                criterion: c.criterion()?,
+            },
+            FRAME_STATUS => Request::Status,
+            FRAME_SHUTDOWN => Request::Shutdown,
+            other => return Err(malformed(format!("unknown request frame 0x{other:02x}"))),
+        };
+        c.expect_end()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response as `(frame type, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut out = Vec::new();
+        let ty = match self {
+            Response::Pong => FRAME_PONG,
+            Response::Detection(d) => {
+                out.push(d.result.detected as u8);
+                put_u64(&mut out, d.result.peak_rotation as u64);
+                put_f64(&mut out, d.result.peak_rho);
+                put_f64(&mut out, d.result.floor_max_abs);
+                put_f64(&mut out, d.result.ratio);
+                put_f64(&mut out, d.result.zscore);
+                put_u64(&mut out, d.cycles);
+                FRAME_DETECT_RESULT
+            }
+            Response::Status(s) => {
+                put_u32(&mut out, s.active_sessions);
+                put_u32(&mut out, s.max_sessions);
+                put_u64(&mut out, s.served);
+                put_u64(&mut out, s.rejected);
+                out.push(s.draining as u8);
+                FRAME_STATUS_REPORT
+            }
+            Response::ShutdownAck => FRAME_SHUTDOWN_ACK,
+            Response::Error {
+                code,
+                retry_after_ms,
+                message,
+            } => {
+                out.extend_from_slice(&code.to_wire().to_le_bytes());
+                put_u32(&mut out, *retry_after_ms);
+                put_bytes(&mut out, message.as_bytes());
+                FRAME_ERROR
+            }
+        };
+        (ty, out)
+    }
+
+    /// Decodes a response frame received by the client.
+    pub fn decode(frame_type: u8, payload: &[u8]) -> Result<Self, ServeError> {
+        let mut c = Cursor::new(payload);
+        let resp = match frame_type {
+            FRAME_PONG => Response::Pong,
+            FRAME_DETECT_RESULT => {
+                let detected = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(malformed(format!("detected flag must be 0/1, got {other}")))
+                    }
+                };
+                let peak_rotation = c.u64()? as usize;
+                let peak_rho = c.f64()?;
+                let floor_max_abs = c.f64()?;
+                let ratio = c.f64()?;
+                let zscore = c.f64()?;
+                let cycles = c.u64()?;
+                Response::Detection(TraceDetection {
+                    result: DetectionResult {
+                        detected,
+                        peak_rotation,
+                        peak_rho,
+                        floor_max_abs,
+                        ratio,
+                        zscore,
+                    },
+                    cycles,
+                })
+            }
+            FRAME_STATUS_REPORT => Response::Status(ServerStatus {
+                active_sessions: c.u32()?,
+                max_sessions: c.u32()?,
+                served: c.u64()?,
+                rejected: c.u64()?,
+                draining: c.u8()? != 0,
+            }),
+            FRAME_SHUTDOWN_ACK => Response::ShutdownAck,
+            FRAME_ERROR => {
+                let raw = c.u16()?;
+                let code = ErrorCode::from_wire(raw)
+                    .ok_or_else(|| malformed(format!("unknown error code {raw}")))?;
+                Response::Error {
+                    code,
+                    retry_after_ms: c.u32()?,
+                    message: c.string()?,
+                }
+            }
+            other => return Err(malformed(format!("unknown response frame 0x{other:02x}"))),
+        };
+        c.expect_end()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Socket helpers
+// ---------------------------------------------------------------------------
+
+/// Writes the 8-byte connection greeting.
+pub fn write_greeting(w: &mut impl std::io::Write) -> std::io::Result<()> {
+    let mut greeting = [0u8; 8];
+    greeting[..6].copy_from_slice(&MAGIC);
+    greeting[6..].copy_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    w.write_all(&greeting)
+}
+
+/// Reads and validates the 8-byte connection greeting.
+pub fn read_greeting(r: &mut impl std::io::Read) -> Result<(), ServeError> {
+    let mut greeting = [0u8; 8];
+    r.read_exact(&mut greeting)
+        .map_err(|e| crate::error::io_err("reading greeting", e))?;
+    if greeting[..6] != MAGIC {
+        return Err(malformed("bad magic in greeting"));
+    }
+    let version = u16::from_le_bytes(greeting[6..].try_into().unwrap());
+    if version != PROTOCOL_VERSION {
+        return Err(malformed(format!(
+            "peer speaks protocol version {version}, this build speaks {PROTOCOL_VERSION}"
+        )));
+    }
+    Ok(())
+}
+
+/// Writes one `type + length + payload` frame.
+pub fn write_frame(
+    w: &mut impl std::io::Write,
+    frame_type: u8,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let mut header = [0u8; 5];
+    header[0] = frame_type;
+    header[1..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, enforcing `max_payload` before allocating.
+pub fn read_frame(
+    r: &mut impl std::io::Read,
+    max_payload: usize,
+) -> Result<(u8, Vec<u8>), ServeError> {
+    let mut frame_type = [0u8; 1];
+    r.read_exact(&mut frame_type)
+        .map_err(|e| crate::error::io_err("reading frame type", e))?;
+    let payload = read_frame_rest(r, max_payload)?;
+    Ok((frame_type[0], payload))
+}
+
+/// Reads the length + payload of a frame whose type byte was already
+/// consumed.
+///
+/// Split out so a server can *poll* for the single type byte under a
+/// short timeout (a 1-byte read either completes or consumes nothing,
+/// so a timeout never desyncs the stream) and then read the remainder
+/// under the full read timeout.
+pub fn read_frame_rest(
+    r: &mut impl std::io::Read,
+    max_payload: usize,
+) -> Result<Vec<u8>, ServeError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)
+        .map_err(|e| crate::error::io_err("reading frame length", e))?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > max_payload {
+        return Err(ServeError::FrameTooLarge {
+            len: len as u64,
+            max: max_payload as u64,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| crate::error::io_err("reading frame payload", e))?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let (ty, payload) = req.encode();
+        let decoded = Request::decode(ty, &payload).expect("decodes");
+        assert_eq!(decoded, req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let (ty, payload) = resp.encode();
+        let decoded = Response::decode(ty, &payload).expect("decodes");
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::DetectStart {
+            pattern: vec![true, false, true, true],
+            algo: Some(CpaAlgo::Fft),
+            criterion: DetectionCriterion::default(),
+        });
+        round_trip_request(Request::DetectStart {
+            pattern: vec![true, false],
+            algo: None,
+            criterion: DetectionCriterion::lenient(),
+        });
+        round_trip_request(Request::DetectChunk {
+            samples: vec![0.25, -1.5, f64::MIN_POSITIVE],
+        });
+        round_trip_request(Request::DetectFinish);
+        round_trip_request(Request::DetectCorpus {
+            corpus: "/tmp/corpus".into(),
+            trace: "chip_i_s3".into(),
+            pattern: vec![false, true, true],
+            algo: Some(CpaAlgo::Naive),
+            criterion: DetectionCriterion::default(),
+        });
+        round_trip_request(Request::Status);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Pong);
+        round_trip_response(Response::Detection(TraceDetection {
+            result: DetectionResult {
+                detected: true,
+                peak_rotation: 17,
+                peak_rho: -0.42,
+                floor_max_abs: 0.01,
+                ratio: 42.0,
+                zscore: 9.9,
+            },
+            cycles: 100_000,
+        }));
+        round_trip_response(Response::Status(ServerStatus {
+            active_sessions: 3,
+            max_sessions: 8,
+            served: 12,
+            rejected: 2,
+            draining: true,
+        }));
+        round_trip_response(Response::ShutdownAck);
+        round_trip_response(Response::Error {
+            code: ErrorCode::Busy,
+            retry_after_ms: 100,
+            message: "pool full".into(),
+        });
+    }
+
+    #[test]
+    fn detection_survives_the_wire_bit_for_bit() {
+        // NaN-adjacent and subnormal values must round-trip exactly: the
+        // wire carries IEEE-754 bit patterns, not decimal renderings.
+        let original = TraceDetection {
+            result: DetectionResult {
+                detected: false,
+                peak_rotation: usize::MAX >> 1,
+                peak_rho: f64::from_bits(0x3FF0_0000_0000_0001),
+                floor_max_abs: f64::MIN_POSITIVE / 2.0,
+                ratio: 1.0 + f64::EPSILON,
+                zscore: -0.0,
+            },
+            cycles: u64::MAX,
+        };
+        let (ty, payload) = Response::Detection(original).encode();
+        match Response::decode(ty, &payload).expect("decodes") {
+            Response::Detection(d) => {
+                assert_eq!(d.result.peak_rotation, original.result.peak_rotation);
+                assert_eq!(
+                    d.result.peak_rho.to_bits(),
+                    original.result.peak_rho.to_bits()
+                );
+                assert_eq!(
+                    d.result.floor_max_abs.to_bits(),
+                    original.result.floor_max_abs.to_bits()
+                );
+                assert_eq!(d.result.ratio.to_bits(), original.result.ratio.to_bits());
+                assert_eq!(d.result.zscore.to_bits(), original.result.zscore.to_bits());
+                assert_eq!(d.cycles, original.cycles);
+            }
+            other => panic!("expected Detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Request::decode(0x60, &[]).is_err());
+        assert!(Response::decode(0x60, &[]).is_err());
+        // Pattern byte outside {0, 1}.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 1);
+        payload.push(7);
+        assert!(Request::decode(FRAME_DETECT_START, &payload).is_err());
+        // Truncated DetectStart.
+        let (ty, full) = Request::DetectStart {
+            pattern: vec![true, false, true],
+            algo: None,
+            criterion: DetectionCriterion::default(),
+        }
+        .encode();
+        assert!(Request::decode(ty, &full[..full.len() - 1]).is_err());
+        // Trailing bytes after a complete payload.
+        let mut padded = full.clone();
+        padded.push(0);
+        assert!(Request::decode(ty, &padded).is_err());
+        // Odd-length sample payload.
+        assert!(Request::decode(FRAME_DETECT_CHUNK, &[0u8; 9]).is_err());
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_enforces_limit() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FRAME_PING, b"xyz").unwrap();
+        let (ty, payload) = read_frame(&mut buf.as_slice(), 16).unwrap();
+        assert_eq!(ty, FRAME_PING);
+        assert_eq!(payload, b"xyz");
+
+        let err = read_frame(&mut buf.as_slice(), 2).unwrap_err();
+        assert!(matches!(err, ServeError::FrameTooLarge { len: 3, max: 2 }));
+    }
+
+    #[test]
+    fn greeting_round_trips_and_rejects_mismatch() {
+        let mut buf = Vec::new();
+        write_greeting(&mut buf).unwrap();
+        read_greeting(&mut buf.as_slice()).expect("valid greeting");
+
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_greeting(&mut bad.as_slice()).is_err());
+
+        let mut wrong_version = buf.clone();
+        wrong_version[6] = 99;
+        assert!(read_greeting(&mut wrong_version.as_slice()).is_err());
+    }
+}

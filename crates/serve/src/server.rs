@@ -1,0 +1,581 @@
+//! The concurrent detection server.
+//!
+//! One accept thread polls a nonblocking [`TcpListener`]; each admitted
+//! connection gets a session thread from a bounded pool. When the pool
+//! is full new connections are *rejected immediately* with a `Busy`
+//! error frame carrying a retry hint — the server never queues work it
+//! cannot start, so client latency is either "being served" or "told to
+//! back off", never "silently parked".
+//!
+//! Shutdown is a drain: the accept loop stops admitting, in-flight
+//! sessions run to completion (idle ones close at their next poll
+//! tick), and observability metrics are flushed before
+//! [`ServerHandle::shutdown`] returns.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use clockmark_cpa::{DetectOptions, Detector, StreamingDetection};
+
+use crate::error::{io_err, ServeError};
+use crate::protocol::{
+    read_greeting, write_frame, write_greeting, ErrorCode, Request, Response, ServerStatus,
+};
+
+/// Poll interval of the accept loop and of idle session reads. Short
+/// enough that drain latency is imperceptible, long enough to keep an
+/// idle server off the scheduler.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Resource limits a server enforces per connection and overall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeLimits {
+    /// Concurrent session cap; further connections get `Busy`.
+    pub max_sessions: usize,
+    /// Largest frame payload either side may send, in bytes.
+    pub max_frame_bytes: usize,
+    /// Most trace cycles a single detect exchange may stream.
+    pub max_cycles: u64,
+    /// How long a blocked payload read may take before the session dies.
+    pub read_timeout: Duration,
+    /// How long a session may sit between frames before it is closed.
+    pub idle_timeout: Duration,
+    /// Backoff hint attached to `Busy` rejections.
+    pub retry_after_ms: u32,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        ServeLimits {
+            max_sessions: 8,
+            max_frame_bytes: 1 << 20,
+            max_cycles: 50_000_000,
+            read_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+            retry_after_ms: 100,
+        }
+    }
+}
+
+/// Counters and flags shared between the accept loop, sessions, and the
+/// owning handle.
+struct Shared {
+    limits: ServeLimits,
+    draining: AtomicBool,
+    active: AtomicUsize,
+    served: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Shared {
+    fn status(&self) -> ServerStatus {
+        ServerStatus {
+            active_sessions: self.active.load(Ordering::SeqCst) as u32,
+            max_sessions: self.limits.max_sessions as u32,
+            served: self.served.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            draining: self.draining.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// A running detection server.
+///
+/// Returned by [`Server::bind`]; dropping the handle drains the server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("status", &self.shared.status())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0` requests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current load counters, as a `Status` request would report them.
+    pub fn status(&self) -> ServerStatus {
+        self.shared.status()
+    }
+
+    /// Whether a drain has been requested (by [`Self::shutdown`] or a
+    /// wire `Shutdown` request).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Drains and stops the server: no new connections are admitted,
+    /// in-flight sessions finish, metrics are flushed. Returns the
+    /// final counters.
+    pub fn shutdown(mut self) -> ServerStatus {
+        self.begin_drain();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.shared.status()
+    }
+
+    /// Blocks until the accept loop exits on its own — used when a wire
+    /// `Shutdown` request, not the owning process, ends the server.
+    pub fn wait(mut self) -> ServerStatus {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.shared.status()
+    }
+
+    fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.begin_drain();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Factory for [`ServerHandle`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Server {
+    limits: ServeLimits,
+}
+
+impl Server {
+    /// A server with [`ServeLimits::default`].
+    pub fn new() -> Self {
+        Server::default()
+    }
+
+    /// Overrides the resource limits.
+    #[must_use]
+    pub fn with_limits(mut self, limits: ServeLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Binds the listener and spawns the accept loop.
+    ///
+    /// Bind to port 0 to let the OS pick a free port; the chosen
+    /// address is available via [`ServerHandle::local_addr`].
+    pub fn bind(self, addr: impl ToSocketAddrs) -> Result<ServerHandle, ServeError> {
+        let listener = TcpListener::bind(addr).map_err(|e| io_err("binding listener", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err("setting listener nonblocking", e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| io_err("reading bound address", e))?;
+
+        let shared = Arc::new(Shared {
+            limits: self.limits,
+            draining: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("clockmark-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(|e| io_err("spawning accept thread", e))?;
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+/// Decrements the active-session counter even if a session errors out
+/// early.
+struct SessionSlot<'a>(&'a Shared);
+
+impl Drop for SessionSlot<'_> {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let admitted = shared
+                    .active
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                        (n < shared.limits.max_sessions).then_some(n + 1)
+                    })
+                    .is_ok();
+                let session_shared = Arc::clone(&shared);
+                let spawn = std::thread::Builder::new()
+                    .name("clockmark-serve-session".into())
+                    .spawn(move || {
+                        if admitted {
+                            let _slot = SessionSlot(&session_shared);
+                            clockmark_obs::counter_add("serve.accept", 1);
+                            run_session(stream, &session_shared);
+                        } else {
+                            session_shared.rejected.fetch_add(1, Ordering::SeqCst);
+                            clockmark_obs::counter_add("serve.reject", 1);
+                            reject_session(stream, &session_shared);
+                        }
+                    });
+                match spawn {
+                    Ok(handle) => sessions.push(handle),
+                    Err(_) => {
+                        // Could not spawn; release the slot we reserved.
+                        if admitted {
+                            shared.active.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                sessions.retain(|h| !h.is_finished());
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. aborted connection);
+                // keep serving.
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+
+    // Graceful drain: the listener closes here (no new connections),
+    // in-flight sessions run to completion, then metrics flush.
+    drop(listener);
+    for handle in sessions {
+        let _ = handle.join();
+    }
+    clockmark_obs::flush();
+}
+
+/// Tells an over-capacity client to back off, then closes.
+fn reject_session(mut stream: TcpStream, shared: &Shared) {
+    // Keep the rejection path snappy: a client that never sends its
+    // greeting must not pin this thread for the full read timeout.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    if read_greeting(&mut stream).is_err() {
+        return;
+    }
+    if write_greeting(&mut stream).is_err() {
+        return;
+    }
+    let (ty, payload) = Response::Error {
+        code: ErrorCode::Busy,
+        retry_after_ms: shared.limits.retry_after_ms,
+        message: format!("session pool full ({} active)", shared.limits.max_sessions),
+    }
+    .encode();
+    let _ = write_frame(&mut stream, ty, &payload);
+}
+
+/// An in-progress streamed detect exchange.
+struct DetectExchange {
+    detector: Detector,
+    session: StreamingDetection,
+}
+
+/// What the session loop should do after handling one frame.
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn run_session(mut stream: TcpStream, shared: &Shared) {
+    if stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(shared.limits.read_timeout));
+    if read_greeting(&mut stream).is_err() || write_greeting(&mut stream).is_err() {
+        return;
+    }
+
+    let span = clockmark_obs::span("serve.session");
+    let mut exchange: Option<DetectExchange> = None;
+    let mut last_activity = Instant::now();
+
+    loop {
+        // Poll for the next frame's *type byte* in short slices so the
+        // session notices a drain promptly and enforces the idle budget.
+        // A 1-byte read either completes or consumes nothing, so a poll
+        // timeout can never desynchronise the stream; the frame body is
+        // then read under the full read timeout.
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL.max(Duration::from_millis(1))));
+        let mut frame_type = [0u8; 1];
+        match std::io::Read::read_exact(&mut stream, &mut frame_type) {
+            Ok(()) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // No frame yet. An idle session ends when the server
+                // drains or the idle budget runs out; one mid-exchange
+                // is given until the read timeout to resume streaming.
+                let budget = if exchange.is_some() {
+                    shared.limits.read_timeout
+                } else {
+                    shared.limits.idle_timeout
+                };
+                let draining = shared.draining.load(Ordering::SeqCst);
+                if (draining && exchange.is_none()) || last_activity.elapsed() > budget {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break, // disconnect
+        }
+        let _ = stream.set_read_timeout(Some(shared.limits.read_timeout));
+        let payload =
+            match crate::protocol::read_frame_rest(&mut stream, shared.limits.max_frame_bytes) {
+                Ok(payload) => payload,
+                Err(ServeError::FrameTooLarge { len, max }) => {
+                    send_error(
+                        &mut stream,
+                        ErrorCode::FrameTooLarge,
+                        0,
+                        &format!("frame payload of {len} bytes exceeds the {max}-byte limit"),
+                    );
+                    break;
+                }
+                Err(_) => break, // disconnect, stall, or garbled length
+            };
+        last_activity = Instant::now();
+
+        let request = match Request::decode(frame_type[0], &payload) {
+            Ok(request) => request,
+            Err(e) => {
+                send_error(&mut stream, ErrorCode::Malformed, 0, &e.to_string());
+                break;
+            }
+        };
+
+        match handle_request(&mut stream, shared, &mut exchange, request) {
+            Flow::Continue => {}
+            Flow::Close => break,
+        }
+    }
+    drop(span);
+}
+
+fn handle_request(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    exchange: &mut Option<DetectExchange>,
+    request: Request,
+) -> Flow {
+    match request {
+        Request::Ping => send_response(stream, &Response::Pong),
+        Request::Status => send_response(stream, &Response::Status(shared.status())),
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            send_response(stream, &Response::ShutdownAck);
+            Flow::Close
+        }
+        Request::DetectStart {
+            pattern,
+            algo,
+            criterion,
+        } => {
+            if exchange.is_some() {
+                return fail(
+                    stream,
+                    ErrorCode::BadSequence,
+                    "DetectStart while a detect exchange is already open",
+                );
+            }
+            if shared.draining.load(Ordering::SeqCst) {
+                return fail(stream, ErrorCode::Draining, "server is draining");
+            }
+            let mut options = DetectOptions::default().with_criterion(criterion);
+            if let Some(algo) = algo {
+                options = options.with_algo(algo);
+            }
+            match Detector::with_options(&pattern, options) {
+                Ok(detector) => {
+                    let session = detector.detect_streaming();
+                    *exchange = Some(DetectExchange { detector, session });
+                    Flow::Continue
+                }
+                Err(e) => fail(stream, ErrorCode::Cpa, &e.to_string()),
+            }
+        }
+        Request::DetectChunk { samples } => {
+            let Some(open) = exchange.as_mut() else {
+                return fail(
+                    stream,
+                    ErrorCode::BadSequence,
+                    "DetectChunk without DetectStart",
+                );
+            };
+            let next = open.session.cycles().saturating_add(samples.len() as u64);
+            if next > shared.limits.max_cycles {
+                *exchange = None;
+                return fail(
+                    stream,
+                    ErrorCode::TooManyCycles,
+                    &format!(
+                        "trace exceeds the server's {}-cycle budget",
+                        shared.limits.max_cycles
+                    ),
+                );
+            }
+            open.session.push_chunk(&samples);
+            Flow::Continue
+        }
+        Request::DetectFinish => {
+            let Some(open) = exchange.take() else {
+                return fail(
+                    stream,
+                    ErrorCode::BadSequence,
+                    "DetectFinish without DetectStart",
+                );
+            };
+            let detect_span = clockmark_obs::span("serve.detect")
+                .field("cycles", open.session.cycles())
+                .field("period", open.session.period() as u64);
+            let outcome = open
+                .session
+                .spectrum()
+                .map(|spectrum| clockmark_cpa::TraceDetection {
+                    result: open.detector.criterion().evaluate(&spectrum),
+                    cycles: open.session.cycles(),
+                });
+            drop(detect_span);
+            match outcome {
+                Ok(detection) => {
+                    shared.served.fetch_add(1, Ordering::SeqCst);
+                    send_response(stream, &Response::Detection(detection))
+                }
+                Err(e) => fail(stream, ErrorCode::Cpa, &e.to_string()),
+            }
+        }
+        Request::DetectCorpus {
+            corpus,
+            trace,
+            pattern,
+            algo,
+            criterion,
+        } => {
+            if exchange.is_some() {
+                return fail(
+                    stream,
+                    ErrorCode::BadSequence,
+                    "DetectCorpus while a detect exchange is open",
+                );
+            }
+            if shared.draining.load(Ordering::SeqCst) {
+                return fail(stream, ErrorCode::Draining, "server is draining");
+            }
+            match detect_corpus(shared, &corpus, &trace, &pattern, algo, criterion) {
+                Ok(detection) => {
+                    shared.served.fetch_add(1, Ordering::SeqCst);
+                    send_response(stream, &Response::Detection(detection))
+                }
+                Err((code, message)) => fail(stream, code, &message),
+            }
+        }
+    }
+}
+
+/// Runs a corpus-backed detect and classifies any failure for the wire.
+fn detect_corpus(
+    shared: &Shared,
+    corpus: &str,
+    trace: &str,
+    pattern: &[bool],
+    algo: Option<clockmark_cpa::CpaAlgo>,
+    criterion: clockmark_cpa::DetectionCriterion,
+) -> Result<clockmark_cpa::TraceDetection, (ErrorCode, String)> {
+    let mut options = DetectOptions::default().with_criterion(criterion);
+    if let Some(algo) = algo {
+        options = options.with_algo(algo);
+    }
+    let detector =
+        Detector::with_options(pattern, options).map_err(|e| (ErrorCode::Cpa, e.to_string()))?;
+
+    let store =
+        clockmark_corpus::Corpus::open(corpus).map_err(|e| (ErrorCode::Corpus, e.to_string()))?;
+    let entry = store.entry(trace).ok_or_else(|| {
+        (
+            ErrorCode::Corpus,
+            format!("no trace named {trace:?} in corpus"),
+        )
+    })?;
+    if entry.cycles > shared.limits.max_cycles {
+        return Err((
+            ErrorCode::TooManyCycles,
+            format!(
+                "trace holds {} cycles, over the server's {}-cycle budget",
+                entry.cycles, shared.limits.max_cycles
+            ),
+        ));
+    }
+    let reader = store
+        .reader(trace)
+        .map_err(|e| (ErrorCode::Corpus, e.to_string()))?;
+
+    let detect_span = clockmark_obs::span("serve.detect")
+        .field("cycles", entry.cycles)
+        .field("period", pattern.len() as u64);
+    let outcome = detector.detect_trace(reader);
+    drop(detect_span);
+
+    outcome.map_err(|e| {
+        let code = match &e {
+            clockmark_cpa::TraceInputError::Cpa(_) => ErrorCode::Cpa,
+            clockmark_cpa::TraceInputError::Input(_) => ErrorCode::Corpus,
+        };
+        (code, e.to_string())
+    })
+}
+
+fn send_response(stream: &mut TcpStream, response: &Response) -> Flow {
+    let (ty, payload) = response.encode();
+    match write_frame(stream, ty, &payload) {
+        Ok(()) => Flow::Continue,
+        Err(_) => Flow::Close,
+    }
+}
+
+fn send_error(stream: &mut impl Write, code: ErrorCode, retry_after_ms: u32, message: &str) {
+    let (ty, payload) = Response::Error {
+        code,
+        retry_after_ms,
+        message: message.to_string(),
+    }
+    .encode();
+    let _ = write_frame(stream, ty, &payload);
+}
+
+/// Reports a request failure and keeps the connection alive: the frame
+/// that failed was still well-formed, so the session stays usable.
+fn fail(stream: &mut TcpStream, code: ErrorCode, message: &str) -> Flow {
+    send_error(stream, code, 0, message);
+    Flow::Continue
+}

@@ -12,6 +12,10 @@ use clockmark_tools::fleet::{
     cmd_corpus_convert, cmd_corpus_ls, cmd_corpus_verify, parse_chip_list, parse_seed_list,
     CampaignCreateOptions, CampaignRunOptions, CorpusBuildOptions,
 };
+use clockmark_tools::serve_cmd::{
+    cmd_client_detect, cmd_client_detect_corpus, cmd_client_ping, cmd_client_shutdown,
+    cmd_client_status, cmd_serve, ClientDetectOptions, ServeOptions,
+};
 use clockmark_tools::ToolError;
 use std::fs;
 use std::path::Path;
@@ -44,6 +48,14 @@ USAGE:
                  [--threads N] [--max-jobs N]
   clockmark-cli campaign resume <dir> [--threads N] [--max-jobs N]
   clockmark-cli campaign status <dir>
+  clockmark-cli serve [--addr HOST:PORT] [--max-sessions N] [--max-cycles N]
+                 [--max-frame-bytes N]
+  clockmark-cli client ping|status|shutdown [--addr HOST:PORT]
+  clockmark-cli client detect --trace <file.csv> (--lfsr W [--seed S] | --bits 1011…)
+                 [--addr HOST:PORT] [--lenient] [--algo naive|folded|fft]
+  clockmark-cli client detect-corpus --corpus <dir> --name <trace>
+                 (--lfsr W [--seed S] | --bits 1011…)
+                 [--addr HOST:PORT] [--lenient] [--algo naive|folded|fft]
 
 Observability (all commands): CLOCKMARK_LOG=error|warn|info|debug|trace
 sets the stderr log level; CLOCKMARK_METRICS=<file.jsonl> records spans
@@ -90,6 +102,21 @@ fn pattern_spec(args: &mut Args, command: &str) -> Result<PatternSpec, ToolError
             "{command} needs --lfsr or --bits"
         )))
     }
+}
+
+/// Parses the `--lenient` / `--algo` flags shared by the `client detect`
+/// subcommands.
+fn client_detect_options(args: &mut Args) -> Result<ClientDetectOptions, ToolError> {
+    Ok(ClientDetectOptions {
+        lenient: args.flag("--lenient"),
+        algo: match args.value_of("--algo")? {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|e| ToolError::Usage(format!("--algo: {e}")))?,
+            ),
+            None => None,
+        },
+    })
 }
 
 fn run() -> Result<(), ToolError> {
@@ -341,6 +368,68 @@ fn run() -> Result<(), ToolError> {
                 other => {
                     return Err(ToolError::Usage(format!(
                         "unknown campaign subcommand `{other}`"
+                    )))
+                }
+            }
+        }
+        "serve" => {
+            let defaults = ServeOptions::default();
+            let mut options = ServeOptions {
+                addr: args
+                    .value_of("--addr")?
+                    .unwrap_or_else(|| defaults.addr.clone()),
+                limits: defaults.limits,
+            };
+            options.limits.max_sessions =
+                args.numeric("--max-sessions", options.limits.max_sessions)?;
+            options.limits.max_cycles = args.numeric("--max-cycles", options.limits.max_cycles)?;
+            options.limits.max_frame_bytes =
+                args.numeric("--max-frame-bytes", options.limits.max_frame_bytes)?;
+            args.finish()?;
+            print!("{}", cmd_serve(&options)?);
+        }
+        "client" => {
+            let sub = args.positional("subcommand")?;
+            let addr = args
+                .value_of("--addr")?
+                .unwrap_or_else(|| ServeOptions::default().addr);
+            match sub.as_str() {
+                "ping" => {
+                    args.finish()?;
+                    print!("{}", cmd_client_ping(&addr)?);
+                }
+                "status" => {
+                    args.finish()?;
+                    print!("{}", cmd_client_status(&addr)?);
+                }
+                "shutdown" => {
+                    args.finish()?;
+                    print!("{}", cmd_client_shutdown(&addr)?);
+                }
+                "detect" => {
+                    let trace = args.require("--trace")?;
+                    let options = client_detect_options(&mut args)?;
+                    let spec = pattern_spec(&mut args, "client detect")?;
+                    args.finish()?;
+                    print!(
+                        "{}",
+                        cmd_client_detect(&addr, &read(&trace)?, &spec, options)?
+                    );
+                }
+                "detect-corpus" => {
+                    let corpus = args.require("--corpus")?;
+                    let name = args.require("--name")?;
+                    let options = client_detect_options(&mut args)?;
+                    let spec = pattern_spec(&mut args, "client detect-corpus")?;
+                    args.finish()?;
+                    print!(
+                        "{}",
+                        cmd_client_detect_corpus(&addr, &corpus, &name, &spec, options)?
+                    );
+                }
+                other => {
+                    return Err(ToolError::Usage(format!(
+                        "unknown client subcommand `{other}`"
                     )))
                 }
             }

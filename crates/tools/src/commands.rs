@@ -7,7 +7,7 @@ use clockmark::{
     ChipModel, ClockModulationWatermark, Experiment, LoadCircuitWatermark, WatermarkArchitecture,
     WgcConfig,
 };
-use clockmark_cpa::{spread_spectrum, DetectionCriterion};
+use clockmark_cpa::{DetectOptions, DetectionCriterion, Detector};
 use clockmark_hdl::{parse, serialize};
 use clockmark_netlist::{ClockInput, ClockRootId, Netlist, SignalExpr};
 use clockmark_power::{EnergyLibrary, Frequency, PowerModel};
@@ -367,13 +367,15 @@ pub fn cmd_detect(
 ) -> Result<String, ToolError> {
     let trace = tracefile::read_trace(trace_text)?;
     let pattern = spec.pattern()?;
-    let spectrum = spread_spectrum(&pattern, trace.as_watts())?;
     let criterion = if lenient {
         DetectionCriterion::lenient()
     } else {
         DetectionCriterion::default()
     };
-    let result = spectrum.detect(&criterion);
+    let detector =
+        Detector::with_options(&pattern, DetectOptions::default().with_criterion(criterion))?;
+    let spectrum = detector.spectrum(trace.as_watts())?;
+    let result = detector.criterion().evaluate(&spectrum);
 
     let mut out = String::new();
     let _ = writeln!(

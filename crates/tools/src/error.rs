@@ -102,6 +102,14 @@ impl From<clockmark::CampaignError> for ToolError {
     }
 }
 
+/// Server/client failures route through the unified `ClockmarkError`
+/// (which has the `Serve` variant), so the CLI propagates them with `?`.
+impl From<clockmark_serve::ServeError> for ToolError {
+    fn from(e: clockmark_serve::ServeError) -> Self {
+        ToolError::Clockmark(e.into())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,8 +3,8 @@
 //!
 //! These are the filesystem-facing counterparts to [`crate::commands`]:
 //! each function owns one `clockmark-cli corpus …` / `campaign …`
-//! subcommand, talks to a [`Corpus`](clockmark::corpus::Corpus) or
-//! [`Campaign`](clockmark::Campaign) directory, and returns the report
+//! subcommand, talks to a [`Corpus`] or [`Campaign`] directory, and
+//! returns the report
 //! text to print.
 
 use crate::commands::PatternSpec;

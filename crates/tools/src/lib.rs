@@ -15,6 +15,8 @@
 //! | `experiment --chip i\|ii --cycles N [--trace-out f]` | full pipeline run on a chip model |
 //! | `corpus build\|ls\|verify\|convert` | manage an on-disk corpus of binary `.cmt` power traces |
 //! | `campaign run\|resume\|status` | resumable sharded detection campaigns over a corpus |
+//! | `serve [--addr A]` | run the concurrent detection server in the foreground |
+//! | `client ping\|status\|detect\|detect-corpus\|shutdown` | drive a running server over the wire |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ pub mod args;
 pub mod commands;
 mod error;
 pub mod fleet;
+pub mod serve_cmd;
 pub mod tracefile;
 
 pub use error::ToolError;

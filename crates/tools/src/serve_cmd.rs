@@ -1,0 +1,240 @@
+//! The `serve` and `client …` subcommands: the detection service from
+//! the command line.
+//!
+//! `cmd_serve` runs a server in the foreground until a wire `Shutdown`
+//! request drains it; the `client` commands drive one request each and
+//! render the reply in the same format the in-process `detect` command
+//! uses, so scripts can diff the two outputs byte for byte.
+
+use std::fmt::Write as _;
+
+use clockmark_cpa::{CpaAlgo, DetectOptions, DetectionCriterion, TraceDetection};
+use clockmark_serve::{Client, ServeLimits, Server};
+
+use crate::commands::PatternSpec;
+use crate::{tracefile, ToolError};
+
+/// Settings of the `serve` subcommand.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Address to bind, e.g. `127.0.0.1:4780` (port 0 picks a free one).
+    pub addr: String,
+    /// Resource limits to enforce.
+    pub limits: ServeLimits,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:4780".to_owned(),
+            limits: ServeLimits::default(),
+        }
+    }
+}
+
+/// Detection settings shared by `client detect` and `client detect-corpus`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientDetectOptions {
+    /// Use the lenient criterion instead of the paper default.
+    pub lenient: bool,
+    /// Pin a spectrum kernel instead of the server-side heuristic.
+    pub algo: Option<CpaAlgo>,
+}
+
+impl ClientDetectOptions {
+    fn detect_options(self) -> DetectOptions {
+        let criterion = if self.lenient {
+            DetectionCriterion::lenient()
+        } else {
+            DetectionCriterion::default()
+        };
+        let mut options = DetectOptions::default().with_criterion(criterion);
+        if let Some(algo) = self.algo {
+            options = options.with_algo(algo);
+        }
+        options
+    }
+}
+
+/// `serve`: run a detection server in the foreground until drained.
+///
+/// The bound address is printed (and flushed) before blocking, so a
+/// harness can spawn the process, read the first line, and connect.
+///
+/// # Errors
+///
+/// Returns bind failures.
+pub fn cmd_serve(options: &ServeOptions) -> Result<String, ToolError> {
+    let handle = Server::new()
+        .with_limits(options.limits)
+        .bind(options.addr.as_str())?;
+    println!("listening on {}", handle.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let status = handle.wait();
+    Ok(format!(
+        "drained: served {} detects, rejected {} connections\n",
+        status.served, status.rejected
+    ))
+}
+
+/// `client ping`: round-trip a liveness probe.
+///
+/// # Errors
+///
+/// Returns connection or protocol failures.
+pub fn cmd_client_ping(addr: &str) -> Result<String, ToolError> {
+    let mut client = connect(addr)?;
+    client.ping()?;
+    Ok(format!("pong from {addr}\n"))
+}
+
+/// `client status`: fetch and render the server's load counters.
+///
+/// # Errors
+///
+/// Returns connection or protocol failures.
+pub fn cmd_client_status(addr: &str) -> Result<String, ToolError> {
+    let mut client = connect(addr)?;
+    let status = client.status()?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sessions: {}/{} active{}",
+        status.active_sessions,
+        status.max_sessions,
+        if status.draining { " (draining)" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "served: {} detects, rejected: {} connections",
+        status.served, status.rejected
+    );
+    Ok(out)
+}
+
+/// `client shutdown`: ask the server to drain and exit.
+///
+/// # Errors
+///
+/// Returns connection or protocol failures.
+pub fn cmd_client_shutdown(addr: &str) -> Result<String, ToolError> {
+    let mut client = connect(addr)?;
+    client.shutdown()?;
+    Ok(format!("{addr} acknowledged shutdown, draining\n"))
+}
+
+/// `client detect`: stream a CSV trace to the server and render its
+/// verdict exactly like the in-process `detect` command renders one.
+///
+/// # Errors
+///
+/// Returns trace-file, connection, or detection failures.
+pub fn cmd_client_detect(
+    addr: &str,
+    trace_text: &str,
+    spec: &PatternSpec,
+    options: ClientDetectOptions,
+) -> Result<String, ToolError> {
+    let trace = tracefile::read_trace(trace_text)?;
+    let pattern = spec.pattern()?;
+    let mut client = connect(addr)?;
+    let detection = client.detect(&pattern, options.detect_options(), trace.as_watts())?;
+    Ok(render_detection(&detection, pattern.len()))
+}
+
+/// `client detect-corpus`: detect against a trace stored in a corpus on
+/// the server's filesystem.
+///
+/// # Errors
+///
+/// Returns connection or detection failures.
+pub fn cmd_client_detect_corpus(
+    addr: &str,
+    corpus: &str,
+    trace: &str,
+    spec: &PatternSpec,
+    options: ClientDetectOptions,
+) -> Result<String, ToolError> {
+    let pattern = spec.pattern()?;
+    let mut client = connect(addr)?;
+    let detection = client.detect_corpus(corpus, trace, &pattern, options.detect_options())?;
+    Ok(render_detection(&detection, pattern.len()))
+}
+
+fn connect(addr: &str) -> Result<Client, ToolError> {
+    Ok(Client::connect(addr)?)
+}
+
+fn render_detection(detection: &TraceDetection, period: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} cycles, pattern period {}",
+        detection.cycles, period
+    );
+    let _ = writeln!(out, "{}", detection.result);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_options_map_flags() {
+        let options = ClientDetectOptions {
+            lenient: true,
+            algo: Some(CpaAlgo::Fft),
+        };
+        let mapped = options.detect_options();
+        assert_eq!(mapped.criterion, DetectionCriterion::lenient());
+        assert_eq!(mapped.algo, Some(CpaAlgo::Fft));
+
+        let mapped = ClientDetectOptions::default().detect_options();
+        assert_eq!(mapped.criterion, DetectionCriterion::default());
+        assert_eq!(mapped.algo, None);
+    }
+
+    #[test]
+    fn end_to_end_over_loopback() {
+        let handle = Server::new().bind("127.0.0.1:0").expect("bind");
+        let addr = handle.local_addr().to_string();
+
+        assert!(cmd_client_ping(&addr).expect("ping").contains("pong"));
+        // The status session itself occupies a slot while it is served.
+        assert!(cmd_client_status(&addr)
+            .expect("status")
+            .contains("/8 active"));
+
+        // A short watermarked trace in the CSV format `detect` reads.
+        let pattern = PatternSpec::Lfsr { width: 5, seed: 1 }
+            .pattern()
+            .expect("pattern");
+        let csv: String = (0..pattern.len() * 30)
+            .map(|i| {
+                let wm = if pattern[i % pattern.len()] {
+                    1.0
+                } else {
+                    -1.0
+                };
+                format!("{}\n", wm + ((i * 37) % 101) as f64 * 0.002)
+            })
+            .collect();
+        let rendered = cmd_client_detect(
+            &addr,
+            &csv,
+            &PatternSpec::Lfsr { width: 5, seed: 1 },
+            ClientDetectOptions::default(),
+        )
+        .expect("detect");
+        assert!(rendered.contains("pattern period 31"), "{rendered}");
+
+        assert!(cmd_client_shutdown(&addr)
+            .expect("shutdown")
+            .contains("draining"));
+        let status = handle.wait();
+        assert!(status.draining);
+    }
+}

@@ -7,7 +7,7 @@
 //! ```
 
 use clockmark::overhead::{area_reduction_pct, equal_power_comparison, AreaReport};
-use clockmark::{ClockModulationWatermark, LoadCircuitWatermark, WatermarkArchitecture};
+use clockmark::prelude::*;
 use clockmark_power::tables::TableModel;
 use clockmark_power::{EnergyLibrary, Frequency, Power, PowerModel};
 

@@ -11,7 +11,7 @@
 //! the same pipeline with a 10-bit LFSR, 60,000 cycles and a quieter probe
 //! so it finishes in seconds even without optimisation.
 
-use clockmark::{ClockModulationWatermark, Experiment, WgcConfig};
+use clockmark::prelude::*;
 
 fn main() -> Result<(), clockmark::ClockmarkError> {
     let full = std::env::args().any(|a| a == "--full");

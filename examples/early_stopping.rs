@@ -7,8 +7,7 @@
 //! cargo run --release --example early_stopping
 //! ```
 
-use clockmark::{ClockModulationWatermark, WatermarkArchitecture, WgcConfig};
-use clockmark_cpa::{DetectionCriterion, StreamingCpa};
+use clockmark::prelude::*;
 use clockmark_measure::Acquisition;
 use clockmark_netlist::Netlist;
 use clockmark_power::{EnergyLibrary, Frequency, PowerModel};
@@ -42,19 +41,18 @@ fn cycles_to_detect(words: u32, seed: u64) -> Result<Option<u64>, Box<dyn std::e
     let mut soc = Soc::chip_i()?;
     let mut rng = StdRng::seed_from_u64(seed);
 
-    // Stream chunks of measured cycles into the detector.
-    let mut detector = StreamingCpa::new(&wm.pattern)?;
-    let criterion = DetectionCriterion::default();
-    while detector.cycles() < MAX_CYCLES as u64 {
+    // Stream chunks of measured cycles into a detection session.
+    let mut session = Detector::new(&wm.pattern)?.detect_streaming();
+    while session.cycles() < MAX_CYCLES as u64 {
         let activity = sim.run(CHUNK)?;
         let mut power = model.trace(&activity);
         power.add_offset(model.static_power(netlist.register_count()));
         let background = soc.run(CHUNK, &mut rng)?;
         let total = power.checked_add(&background)?;
         let measured = chain.acquire(&total, &mut rng);
-        detector.extend_from_slice(measured.as_watts());
-        if detector.detect(&criterion).detected {
-            return Ok(Some(detector.cycles()));
+        session.push_chunk(measured.as_watts());
+        if session.result().detected {
+            return Ok(Some(session.cycles()));
         }
     }
     Ok(None)

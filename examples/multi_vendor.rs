@@ -9,8 +9,7 @@
 //! cargo run --release --example multi_vendor
 //! ```
 
-use clockmark::{ClockModulationWatermark, Experiment, WatermarkArchitecture, WgcConfig};
-use clockmark_cpa::{spread_spectrum, DetectionCriterion};
+use clockmark::prelude::*;
 use clockmark_netlist::Netlist;
 use clockmark_power::PowerModel;
 use clockmark_sim::{CycleSim, SignalDriver};
@@ -75,14 +74,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let y = experiment.acquisition.acquire(&total, &mut rng);
 
     // Each vendor correlates against their own family member.
-    let criterion = DetectionCriterion::default();
     for (name, config, embedded) in [
         ("vendor A", &vendor_a, true),
         ("vendor B", &vendor_b, true),
         ("vendor C (not on die)", &vendor_c, false),
     ] {
         let pattern = config.expected_pattern()?;
-        let result = spread_spectrum(&pattern, y.as_watts())?.detect(&criterion);
+        let result = Detector::new(&pattern)?.detect(y.as_watts())?;
         println!("{name:<22} {result}");
         assert_eq!(result.detected, embedded, "{name} detection mismatch");
     }

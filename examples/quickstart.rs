@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use clockmark::{ClockModulationWatermark, Experiment, WgcConfig};
+use clockmark::prelude::*;
 
 fn main() -> Result<(), clockmark::ClockmarkError> {
     // The watermark: an 8-bit maximal LFSR (period 255) gating a block of

@@ -5,10 +5,8 @@
 //! cargo run --release --example removal_attack
 //! ```
 
-use clockmark::{
-    removal_attack, ClockModulationWatermark, FunctionalBlock, LoadCircuitWatermark,
-    WatermarkArchitecture, WgcConfig,
-};
+use clockmark::prelude::*;
+use clockmark::{removal_attack, FunctionalBlock};
 use clockmark_netlist::{DataSource, GroupId, Netlist, RegisterConfig};
 
 fn wgc() -> WgcConfig {

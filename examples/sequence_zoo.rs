@@ -11,7 +11,7 @@
 //! cargo run --release --example sequence_zoo
 //! ```
 
-use clockmark::{ClockModulationWatermark, Experiment, WgcConfig};
+use clockmark::prelude::*;
 use clockmark_seq::{linear_complexity, BitSequence, GoldCode, Lfsr, SequenceGenerator};
 
 fn describe(name: &str, generator: &mut dyn SequenceGenerator, period: usize) {

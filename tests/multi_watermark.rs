@@ -5,8 +5,7 @@
 //! vendor's detector resolve its own peak against the other's watermark,
 //! while a non-embedded family member finds nothing.
 
-use clockmark::{ClockModulationWatermark, Experiment, WatermarkArchitecture, WgcConfig};
-use clockmark_cpa::spread_spectrum;
+use clockmark::prelude::*;
 use clockmark_netlist::Netlist;
 use clockmark_power::PowerModel;
 use clockmark_sim::{CycleSim, SignalDriver};
@@ -85,29 +84,30 @@ fn measure_two_vendor_die(cycles: usize, seed: u64) -> Vec<f64> {
 #[test]
 fn each_vendor_resolves_its_own_watermark() {
     let y = measure_two_vendor_die(25_000, 900);
-    let criterion = clockmark_cpa::DetectionCriterion::default();
 
     let pattern_a = vendor_a().expected_pattern().expect("valid");
-    let result_a = spread_spectrum(&pattern_a, &y)
+    let result_a = Detector::new(&pattern_a)
         .expect("valid")
-        .detect(&criterion);
+        .detect(&y)
+        .expect("valid");
     assert!(result_a.detected, "vendor A: {result_a}");
 
     let pattern_b = vendor_b().expected_pattern().expect("valid");
-    let result_b = spread_spectrum(&pattern_b, &y)
+    let result_b = Detector::new(&pattern_b)
         .expect("valid")
-        .detect(&criterion);
+        .detect(&y)
+        .expect("valid");
     assert!(result_b.detected, "vendor B: {result_b}");
 }
 
 #[test]
 fn non_embedded_family_member_finds_nothing() {
     let y = measure_two_vendor_die(25_000, 901);
-    let criterion = clockmark_cpa::DetectionCriterion::default();
     let pattern_c = vendor_c_not_embedded().expected_pattern().expect("valid");
-    let result_c = spread_spectrum(&pattern_c, &y)
+    let result_c = Detector::new(&pattern_c)
         .expect("valid")
-        .detect(&criterion);
+        .detect(&y)
+        .expect("valid");
     assert!(
         !result_c.detected,
         "vendor C must not see a watermark: {result_c}"
