@@ -157,6 +157,20 @@ fn run() -> Result<(), Box<dyn Error>> {
         reference_report.len()
     );
 
+    // Merge the end-to-end campaign throughput into the benchmark JSON
+    // next to the fold/spectrum sections `spectrum_algos --quick` wrote.
+    let total_cycles = (jobs * cycles) as f64;
+    let reference_s = reference_time.as_secs_f64();
+    let campaign_section = format!(
+        r#"{{"jobs": {jobs}, "cycles_per_job": {cycles}, "reference_seconds": {reference_s:.3}, "jobs_per_second": {:.2}, "cycles_per_second": {:.0}, "interrupted_passes": {passes}, "interrupted_seconds": {:.3}, "report_bytes_identical": true}}"#,
+        jobs as f64 / reference_s.max(1e-9),
+        total_cycles / reference_s.max(1e-9),
+        interrupted_time.as_secs_f64(),
+    );
+    let json_path = clockmark_bench::bench_json_path();
+    clockmark_bench::merge_bench_section(&json_path, "campaign", &campaign_section)?;
+    println!("wrote campaign section to {}", json_path.display());
+
     std::fs::remove_dir_all(&root).ok();
     Ok(())
 }

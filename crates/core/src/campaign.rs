@@ -795,7 +795,11 @@ impl Campaign {
         let _span = clockmark_obs::span("campaign.job")
             .field("index", job.index)
             .field("trace", job.trace.clone());
-        let mut reader = corpus.reader(&job.trace)?;
+        // Zero-copy where the platform provides it; the buffered reader
+        // otherwise. Both stream bit-identical samples, so a campaign
+        // resumed on a different platform (or with CLOCKMARK_NO_MMAP
+        // set) still reproduces its report byte-for-byte.
+        let mut reader = corpus.source(&job.trace)?;
         let trace_cycles = reader.header().cycles;
         // The kernel recorded in the spec is pinned on the facade, so
         // neither the environment nor the work heuristic can change the

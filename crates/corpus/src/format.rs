@@ -132,8 +132,27 @@ impl TraceHeader {
     }
 
     /// Total on-disk size of a trace with this header, in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the declared cycle count is so large the size does not
+    /// fit in a `u64`. Headers from untrusted bytes should go through
+    /// [`checked_file_size`](TraceHeader::checked_file_size) instead.
     pub fn file_size(&self) -> u64 {
-        HEADER_LEN as u64 + self.cycles * 8 + FOOTER_LEN as u64
+        self.checked_file_size()
+            .expect("cycle count overflows the on-disk size")
+    }
+
+    /// Total on-disk size of a trace with this header, or `None` when the
+    /// declared cycle count is impossibly large (`cycles * 8` overflows).
+    ///
+    /// A forged or corrupt header can declare any cycle count; size
+    /// arithmetic and preallocation driven by such a header must use this
+    /// checked form.
+    pub fn checked_file_size(&self) -> Option<u64> {
+        self.cycles
+            .checked_mul(8)?
+            .checked_add(HEADER_LEN as u64 + FOOTER_LEN as u64)
     }
 }
 
@@ -410,7 +429,11 @@ impl<R: Read> clockmark_cpa::TraceInput for TraceReader<R> {
 pub fn encode_trace(header: TraceHeader, watts: &[f64]) -> Result<Vec<u8>, CorpusError> {
     let mut header = header;
     header.cycles = watts.len() as u64;
-    let mut out = Vec::with_capacity(header.file_size() as usize);
+    // The cycle count was just derived from a real slice, so the checked
+    // size cannot overflow; `unwrap_or(0)` keeps this allocation-only hint
+    // panic-free regardless.
+    let capacity = header.checked_file_size().unwrap_or(0) as usize;
+    let mut out = Vec::with_capacity(capacity);
     let mut writer = TraceWriter::new(&mut out, header)?;
     writer.write_samples(watts)?;
     writer.finish()?;
@@ -422,9 +445,14 @@ pub fn encode_trace(header: TraceHeader, watts: &[f64]) -> Result<Vec<u8>, Corpu
 ///
 /// # Errors
 ///
-/// Same conditions as the [`TraceReader`] methods.
+/// Same conditions as the [`TraceReader`] methods; additionally a
+/// [`CorpusError::Format`] when the header declares more samples than the
+/// buffer can possibly hold, so a forged header never drives a huge
+/// allocation.
 pub fn decode_trace(bytes: &[u8]) -> Result<(TraceHeader, Vec<f64>), CorpusError> {
-    let mut reader = TraceReader::new(bytes)?;
+    let reader = TraceReader::new(bytes)?;
+    check_declared_size(reader.header(), bytes.len() as u64)?;
+    let mut reader = reader;
     let mut watts = vec![0.0f64; reader.header().cycles as usize];
     let mut filled = 0;
     while filled < watts.len() {
@@ -434,6 +462,27 @@ pub fn decode_trace(bytes: &[u8]) -> Result<(TraceHeader, Vec<f64>), CorpusError
     }
     let header = reader.finish()?;
     Ok((header, watts))
+}
+
+/// Rejects headers whose declared payload cannot fit in `available`
+/// bytes, before any cycle-proportional allocation happens.
+///
+/// # Errors
+///
+/// Returns [`CorpusError::Format`] when `cycles * 8` overflows or the
+/// declared on-disk size exceeds the bytes actually present.
+pub(crate) fn check_declared_size(header: &TraceHeader, available: u64) -> Result<(), CorpusError> {
+    match header.checked_file_size() {
+        None => Err(CorpusError::format(format!(
+            "impossible header: {} cycles overflows the on-disk size",
+            header.cycles
+        ))),
+        Some(size) if size > available => Err(CorpusError::format(format!(
+            "header declares {} cycles ({size} bytes) but only {available} bytes are present",
+            header.cycles
+        ))),
+        Some(_) => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -535,6 +584,25 @@ mod tests {
         reader.read_chunk(&mut buf).expect("reads");
         assert_eq!(buf[0].to_bits(), watts[123].to_bits());
         reader.finish().expect("crc still validates");
+    }
+
+    #[test]
+    fn forged_cycle_counts_cannot_demand_huge_allocations() {
+        // A syntactically valid header over a tiny body, declaring a
+        // payload far larger than the buffer: decode must refuse before
+        // allocating anything proportional to the forged count.
+        let mut forged = TraceHeader::bare(u64::MAX / 16).encode();
+        forged.extend_from_slice(&[0u8; 64]);
+        let err = decode_trace(&forged).expect_err("forged header must be refused");
+        assert!(matches!(err, CorpusError::Format { .. }), "{err}");
+        assert!(err.to_string().contains("cycles"), "{err}");
+
+        // A count whose byte size overflows u64 entirely.
+        let mut overflow = TraceHeader::bare(u64::MAX).encode();
+        overflow.extend_from_slice(&[0u8; 64]);
+        let err = decode_trace(&overflow).expect_err("overflowing header must be refused");
+        assert!(err.to_string().contains("impossible header"), "{err}");
+        assert_eq!(TraceHeader::bare(u64::MAX).checked_file_size(), None);
     }
 
     #[test]

@@ -14,14 +14,23 @@
 //! - the **corpus store** ([`Corpus`]): an on-disk directory of traces
 //!   indexed by `manifest.jsonl` (always replaced atomically via
 //!   temp-file + rename) supporting add / list / verify / scan;
+//! - **zero-copy ingestion** ([`mod@mmap`], [`TraceBytes`],
+//!   [`MappedTrace`]): read-only memory-mapped `.cmt` traces on unix
+//!   (buffered reads elsewhere), so campaign workers and detection
+//!   services stream sample chunks straight out of the page cache with
+//!   header and CRC validation unchanged;
 //! - the low-level [`codec`] and [`Crc32`] primitives, reused by the
 //!   campaign engine's checkpoint blobs in the `clockmark` crate.
 //!
 //! Everything is std-only and byte-order-pinned: a corpus written on one
 //! machine verifies bit-for-bit on any other. The full byte layout and
-//! versioning rules live in `docs/corpus.md`.
+//! versioning rules live in `docs/corpus.md`; the mmap lifecycle and
+//! safety contract in `docs/perf.md`.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one scoped exception is the raw
+// `mmap`/`munmap` FFI in `mmap.rs`, which carries its own safety
+// argument. Everything else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
@@ -29,10 +38,14 @@ mod crc32;
 mod error;
 pub mod format;
 mod manifest;
+pub mod mmap;
 mod store;
+mod view;
 
 pub use crc32::{crc32, Crc32};
 pub use error::CorpusError;
 pub use format::{decode_trace, encode_trace, TraceHeader, TraceReader, TraceWriter};
 pub use manifest::{read_manifest, write_manifest, ManifestEntry};
-pub use store::{Corpus, VerifyOutcome};
+pub use mmap::Mmap;
+pub use store::{Corpus, TraceSource, VerifyOutcome, NO_MMAP_ENV};
+pub use view::{MappedTrace, TraceBytes};

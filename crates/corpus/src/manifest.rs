@@ -107,19 +107,43 @@ impl ManifestEntry {
                 .and_then(Json::as_f64)
                 .ok_or_else(|| bad(format!("missing numeric field `{key}`")))
         };
+        // JSON numbers travel as f64, so every integer field must be
+        // checked for integrality and range instead of being narrowed
+        // with `as`, which silently saturates: a tampered manifest would
+        // otherwise round-trip to a *different* value and mis-verify.
+        let int_field = |key: &str, max: u64| -> Result<u64, CorpusError> {
+            let raw = num_field(key)?;
+            if raw.fract() != 0.0 || !raw.is_finite() {
+                return Err(bad(format!("field `{key}` is not an integer: {raw}")));
+            }
+            if raw < 0.0 || raw > max as f64 {
+                return Err(bad(format!("field `{key}` is out of range: {raw}")));
+            }
+            // Past 2^53 an f64 cannot represent every integer, so a
+            // value that survived the range check could still be an
+            // approximation of what was written. Such sizes are far
+            // beyond any real trace; refuse rather than guess.
+            const EXACT_MAX: f64 = 9_007_199_254_740_992.0; // 2^53
+            if raw > EXACT_MAX {
+                return Err(bad(format!(
+                    "field `{key}` exceeds the exact-integer range of JSON: {raw}"
+                )));
+            }
+            Ok(raw as u64)
+        };
         let seed: u64 = str_field("seed")?
             .parse()
             .map_err(|_| bad("`seed` is not a u64 string".to_owned()))?;
         Ok(ManifestEntry {
             name: str_field("name")?,
             file: str_field("file")?,
-            cycles: num_field("cycles")? as u64,
-            bytes: num_field("bytes")? as u64,
-            crc32: num_field("crc32")? as u32,
-            version: num_field("version")? as u16,
+            cycles: int_field("cycles", u64::MAX)?,
+            bytes: int_field("bytes", u64::MAX)?,
+            crc32: int_field("crc32", u32::MAX as u64)? as u32,
+            version: int_field("version", u16::MAX as u64)? as u16,
             f_clk_hz: num_field("f_clk_hz")?,
             seed,
-            source: num_field("source")? as u32,
+            source: int_field("source", u32::MAX as u64)? as u32,
         })
     }
 }
@@ -198,6 +222,38 @@ mod tests {
         assert!(err.to_string().contains("line 7"), "{err}");
         let err = ManifestEntry::decode("{\"name\":\"x\"}", 3).unwrap_err();
         assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn tampered_numeric_fields_are_refused_not_saturated() {
+        let line = entry().encode();
+        // Each tampered value used to round-trip through `as u32`/`as
+        // u16` into a *different* entry; all must now be refused.
+        for (field, bad_value) in [
+            ("crc32", "-1"),
+            ("crc32", "4294967296"),   // u32::MAX + 1
+            ("crc32", "3735928559.5"), // fractional
+            ("source", "-7"),
+            ("source", "1e300"),
+            ("version", "65536"), // u16::MAX + 1
+            ("cycles", "30000.25"),
+            ("bytes", "-240072"),
+            ("bytes", "1e17"), // integral but beyond 2^53
+        ] {
+            let needle = match field {
+                "crc32" => format!("\"crc32\":{}", 0xDEAD_BEEFu32),
+                "source" => "\"source\":2".to_owned(),
+                "version" => "\"version\":1".to_owned(),
+                "cycles" => "\"cycles\":30000".to_owned(),
+                "bytes" => "\"bytes\":240072".to_owned(),
+                _ => unreachable!(),
+            };
+            let tampered = line.replace(&needle, &format!("\"{field}\":{bad_value}"));
+            assert_ne!(tampered, line, "tamper target `{needle}` not found");
+            let err = ManifestEntry::decode(&tampered, 1)
+                .expect_err(&format!("{field}={bad_value} must be refused"));
+            assert!(err.to_string().contains(field), "{err}");
+        }
     }
 
     #[test]

@@ -40,13 +40,17 @@ impl DetectionCriterion {
     /// watermark (power drops when the pattern bit is high) is detected at
     /// the same rotation; `peak_rho` keeps the sign so the polarity can be
     /// read off the result. A degenerate (all-zero) spectrum — e.g. from a
-    /// constant trace — never detects.
+    /// constant trace — never detects, and neither does a spectrum with
+    /// [no noise floor](SpreadSpectrum::has_noise_floor) (period 1), whose
+    /// floor statistics are vacuous and would otherwise pass any
+    /// peak-vs-floor threshold trivially.
     pub fn evaluate(&self, spectrum: &SpreadSpectrum) -> DetectionResult {
         let (peak_rotation, peak_rho) = spectrum.peak_abs();
         let ratio = spectrum.peak_to_floor_ratio();
         let zscore = spectrum.peak_zscore();
         DetectionResult {
-            detected: !spectrum.is_degenerate()
+            detected: spectrum.has_noise_floor()
+                && !spectrum.is_degenerate()
                 && ratio >= self.min_peak_ratio
                 && zscore >= self.min_zscore,
             peak_rotation,
@@ -185,6 +189,27 @@ mod tests {
         assert!(!result.detected, "{result}");
         assert!(result.ratio.is_finite());
         assert!(result.zscore.is_finite());
+    }
+
+    #[test]
+    fn spectrum_without_a_noise_floor_never_detects() {
+        // Regression: a period-1 spectrum is nothing but its own peak;
+        // floor_mean/floor_std report 0.0, so ratio and z-score blow up
+        // to +∞ and any peak-vs-floor criterion passes trivially. The
+        // verdict must be "not detected" even though both thresholds are
+        // numerically "met".
+        let s = SpreadSpectrum::from_rho(vec![0.9]);
+        assert!(!s.has_noise_floor());
+        for criterion in [DetectionCriterion::default(), DetectionCriterion::lenient()] {
+            let result = criterion.evaluate(&s);
+            assert!(
+                result.ratio >= criterion.min_peak_ratio && result.zscore >= criterion.min_zscore,
+                "precondition: the thresholds alone would pass ({result})"
+            );
+            assert!(!result.detected, "{result}");
+        }
+        // A two-rotation spectrum has a floor and stays eligible.
+        assert!(SpreadSpectrum::from_rho(vec![0.9, 0.1]).has_noise_floor());
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! The chunked struct-of-arrays fold kernel shared by the batch fold
+//! ([`FoldedTrace`](crate::rotational::FoldedTrace)) and the streaming
+//! fold ([`StreamingCpa`](crate::StreamingCpa)).
+//!
+//! # Layout and bit-identity
+//!
+//! The fold maintains four accumulators: per-residue sums `c[k]`,
+//! per-residue counts `m[k]`, and the global `Σy` / `Σy²`. The reference
+//! formulation is a single fused loop carrying a wrapping residue index —
+//! one load/store pair per accumulator per sample, with a loop-carried
+//! wrap branch that defeats autovectorization.
+//!
+//! This kernel restructures the same arithmetic into struct-of-arrays
+//! passes without changing a single rounding step:
+//!
+//! - **Global sums** accumulate in strict trace order, exactly like the
+//!   fused loop. Each of `Σy` and `Σy²` is its own dependency chain, so
+//!   splitting them out of the fused loop reorders nothing; the 4-lane
+//!   unroll keeps a *single* accumulator per sum, so the addition order
+//!   is untouched (splitting into per-lane partial sums would change the
+//!   rounding and thus the persisted checkpoint bits).
+//! - **Per-residue sums** are updated period-block-wise: after a scalar
+//!   head aligns the residue index to 0, every full period-length block
+//!   of samples maps 1:1 onto the residues (`c[j] += block[j]`), which is
+//!   a pure elementwise add the compiler vectorizes. Each `c[k]` still
+//!   receives exactly the samples `y[i]` with `i ≡ k (mod period)` in
+//!   increasing `i` — the same values in the same order as the fused
+//!   loop, hence the same bits.
+//! - **Per-residue counts** are integers; adding the whole-block count in
+//!   one go is exact.
+//!
+//! The net effect: checkpointed [`StreamingCpaState`] snapshots, resumed
+//! campaigns, and every ρ value derived from the fold are bit-identical
+//! to the scalar formulation (pinned by proptests in this module and in
+//! `streaming.rs`/`rotational.rs`).
+//!
+//! [`StreamingCpaState`]: crate::StreamingCpaState
+
+/// Folds `ys` into the accumulators, starting at residue `start`,
+/// returning the residue index the *next* sample would land on.
+///
+/// `c` and `m` must both have `period` elements and `start < period`.
+/// Bit-identical to the fused scalar wrap loop (see the module docs).
+pub(crate) fn fold_samples(
+    c: &mut [f64],
+    m: &mut [u64],
+    sum_y: &mut f64,
+    sum_yy: &mut f64,
+    start: usize,
+    ys: &[f64],
+) -> usize {
+    let period = c.len();
+    debug_assert_eq!(m.len(), period);
+    debug_assert!(start < period);
+
+    // Pass 1: the global sums, in strict trace order. One accumulator
+    // per sum — the unroll shortens the loop, it must not fan out into
+    // per-lane partials (that would reassociate the additions).
+    let mut sy = *sum_y;
+    let mut syy = *sum_yy;
+    let mut quads = ys.chunks_exact(4);
+    for q in quads.by_ref() {
+        sy += q[0];
+        syy += q[0] * q[0];
+        sy += q[1];
+        syy += q[1] * q[1];
+        sy += q[2];
+        syy += q[2] * q[2];
+        sy += q[3];
+        syy += q[3] * q[3];
+    }
+    for &y in quads.remainder() {
+        sy += y;
+        syy += y * y;
+    }
+    *sum_y = sy;
+    *sum_yy = syy;
+
+    // Pass 2: the per-residue accumulators. Scalar head until the
+    // residue index wraps to 0, then whole-period blocks (elementwise,
+    // vectorizable), then the scalar tail.
+    let mut k = start;
+    let mut rest = ys;
+    if k != 0 {
+        let head = (period - k).min(rest.len());
+        for &y in &rest[..head] {
+            c[k] += y;
+            m[k] += 1;
+            k += 1;
+        }
+        if k == period {
+            k = 0;
+        }
+        rest = &rest[head..];
+    }
+    debug_assert!(rest.is_empty() || k == 0);
+    let blocks = rest.len() / period;
+    if blocks > 0 {
+        let (full, tail) = rest.split_at(blocks * period);
+        for block in full.chunks_exact(period) {
+            let mut j = 0;
+            while j + 4 <= period {
+                c[j] += block[j];
+                c[j + 1] += block[j + 1];
+                c[j + 2] += block[j + 2];
+                c[j + 3] += block[j + 3];
+                j += 4;
+            }
+            while j < period {
+                c[j] += block[j];
+                j += 1;
+            }
+        }
+        let whole = blocks as u64;
+        for count in m.iter_mut() {
+            *count += whole;
+        }
+        rest = tail;
+    }
+    for &y in rest {
+        c[k] += y;
+        m[k] += 1;
+        k += 1;
+    }
+    if k == period {
+        k = 0;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The reference formulation: the fused scalar wrap loop this kernel
+    /// replaced.
+    fn fold_reference(
+        c: &mut [f64],
+        m: &mut [u64],
+        sum_y: &mut f64,
+        sum_yy: &mut f64,
+        start: usize,
+        ys: &[f64],
+    ) -> usize {
+        let period = c.len();
+        let mut k = start;
+        for &y in ys {
+            c[k] += y;
+            m[k] += 1;
+            *sum_y += y;
+            *sum_yy += y * y;
+            k += 1;
+            if k == period {
+                k = 0;
+            }
+        }
+        k
+    }
+
+    proptest! {
+        /// The SoA kernel is bit-identical to the fused scalar loop for
+        /// every period, starting residue, chunk split, and odd tail.
+        #[test]
+        fn soa_fold_is_bit_identical_to_the_fused_loop(
+            period in 2usize..65,
+            start_offset in 0usize..64,
+            ys in proptest::collection::vec(-1.0e3f64..1.0e3, 0..700),
+            splits in proptest::collection::vec(1usize..97, 1..8),
+        ) {
+            let start = start_offset % period;
+            let mut c_ref = vec![0.1f64; period];
+            let mut m_ref = vec![3u64; period];
+            let (mut sy_ref, mut syy_ref) = (0.25f64, 0.75f64);
+            let k_ref = fold_reference(
+                &mut c_ref, &mut m_ref, &mut sy_ref, &mut syy_ref, start, &ys,
+            );
+
+            // Feed the SoA kernel the same samples, re-chunked at
+            // arbitrary boundaries (chunk boundaries must not matter).
+            let mut c = vec![0.1f64; period];
+            let mut m = vec![3u64; period];
+            let (mut sy, mut syy) = (0.25f64, 0.75f64);
+            let mut k = start;
+            let mut fed = 0usize;
+            for &s in &splits {
+                if fed >= ys.len() {
+                    break;
+                }
+                let end = (fed + s).min(ys.len());
+                k = fold_samples(&mut c, &mut m, &mut sy, &mut syy, k, &ys[fed..end]);
+                fed = end;
+            }
+            if fed < ys.len() {
+                k = fold_samples(&mut c, &mut m, &mut sy, &mut syy, k, &ys[fed..]);
+            }
+
+            prop_assert_eq!(k, k_ref);
+            prop_assert_eq!(sy.to_bits(), sy_ref.to_bits());
+            prop_assert_eq!(syy.to_bits(), syy_ref.to_bits());
+            prop_assert_eq!(&m, &m_ref);
+            for (i, (a, b)) in c.iter().zip(&c_ref).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "c[{}]", i);
+            }
+        }
+    }
+}

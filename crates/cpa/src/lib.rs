@@ -60,6 +60,7 @@ mod algo;
 mod detect;
 mod detector;
 mod error;
+mod fold;
 mod kernel;
 mod parallel;
 mod pearson;

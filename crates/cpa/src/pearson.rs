@@ -41,15 +41,46 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, CpaError> {
         return Err(CpaError::TooShort { len: x.len() });
     }
     let n = x.len() as f64;
-    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
-    for (&a, &b) in x.iter().zip(y) {
-        sx += a;
-        sy += b;
-        sxx += a * a;
-        syy += b * b;
-        sxy += a * b;
+    // Four independent lanes per sum, combined pairwise at the end. This
+    // breaks the loop-carried addition chains so the five sums
+    // autovectorize; unlike the fold and rotation kernels, nothing
+    // downstream byte-compares pearson() results, so this reassociation
+    // is free to change the last bits (the tolerance tests below pin the
+    // accuracy).
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (
+        [0.0f64; 4],
+        [0.0f64; 4],
+        [0.0f64; 4],
+        [0.0f64; 4],
+        [0.0f64; 4],
+    );
+    let mut xq = x.chunks_exact(4);
+    let mut yq = y.chunks_exact(4);
+    for (a, b) in xq.by_ref().zip(yq.by_ref()) {
+        for lane in 0..4 {
+            sx[lane] += a[lane];
+            sy[lane] += b[lane];
+            sxx[lane] += a[lane] * a[lane];
+            syy[lane] += b[lane] * b[lane];
+            sxy[lane] += a[lane] * b[lane];
+        }
     }
-    Ok(correlation_from_sums(n, sx, sy, sxx, syy, sxy))
+    for (&a, &b) in xq.remainder().iter().zip(yq.remainder()) {
+        sx[0] += a;
+        sy[0] += b;
+        sxx[0] += a * a;
+        syy[0] += b * b;
+        sxy[0] += a * b;
+    }
+    let fold4 = |l: [f64; 4]| (l[0] + l[1]) + (l[2] + l[3]);
+    Ok(correlation_from_sums(
+        n,
+        fold4(sx),
+        fold4(sy),
+        fold4(sxx),
+        fold4(syy),
+        fold4(sxy),
+    ))
 }
 
 /// Assembles ρ from running sums — shared with the folded rotational path.

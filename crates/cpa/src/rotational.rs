@@ -69,6 +69,17 @@ impl SpreadSpectrum {
         self.rho.iter().all(|&r| r == 0.0)
     }
 
+    /// Whether the spectrum has any off-peak rotations at all.
+    ///
+    /// A period-1 spectrum consists of nothing but its own peak:
+    /// [`floor_mean`](SpreadSpectrum::floor_mean) and
+    /// [`floor_std`](SpreadSpectrum::floor_std) report `0.0` and the
+    /// peak-vs-floor statistics degenerate to infinities, so no criterion
+    /// comparing the peak against a floor can be meaningfully evaluated.
+    pub fn has_noise_floor(&self) -> bool {
+        self.rho.len() >= 2
+    }
+
     /// The largest absolute coefficient among all rotations *except* the
     /// magnitude peak — the noise floor the peak must clear to be
     /// "resolved".
@@ -250,20 +261,10 @@ impl FoldedTrace {
         let mut m = vec![0u64; period];
         let mut sy = 0.0f64;
         let mut syy = 0.0f64;
-        // One fused pass, replacing `i % period` with a wrapping counter;
-        // each accumulator still sees the samples in index order, so the
-        // sums are bit-identical to the separate loops they replace.
-        let mut k = 0usize;
-        for &yi in y {
-            c[k] += yi;
-            m[k] += 1;
-            sy += yi;
-            syy += yi * yi;
-            k += 1;
-            if k == period {
-                k = 0;
-            }
-        }
+        // The chunked struct-of-arrays fold (`fold.rs`): each accumulator
+        // still sees the samples in index order, so the sums are
+        // bit-identical to the fused scalar loop this replaces.
+        crate::fold::fold_samples(&mut c, &mut m, &mut sy, &mut syy, 0, y);
         FoldedTrace {
             nf: y.len() as f64,
             sy,

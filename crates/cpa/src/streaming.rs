@@ -115,30 +115,25 @@ impl StreamingCpa {
 
     /// Bulk-ingests a chunk of cycles.
     ///
-    /// Bit-identical to calling [`push`](Self::push) once per value (the
-    /// accumulations happen in the same order), but the per-call residue
-    /// bookkeeping — the `cycles % period` division and the repeated
-    /// field loads — is hoisted out of the loop: the residue index is
-    /// computed once and then carried incrementally, and the scalar sums
-    /// accumulate in locals. This is the campaign replay hot path, where
-    /// traces arrive as disk-sized chunks rather than single cycles.
+    /// Bit-identical to calling [`push`](Self::push) once per value —
+    /// each accumulator sees the same values in the same order — but the
+    /// work runs through the chunked struct-of-arrays fold kernel
+    /// (`fold.rs`): the global sums accumulate in a trace-order unrolled
+    /// pass and the per-residue sums in vectorizable period-length
+    /// blocks, with no per-sample wrap branch. This is the campaign
+    /// replay hot path, where traces arrive as disk-sized chunks rather
+    /// than single cycles.
     pub fn push_chunk(&mut self, ys: &[f64]) {
         let period = self.period();
-        let mut k = (self.cycles % period as u64) as usize;
-        let mut sum_y = self.sum_y;
-        let mut sum_yy = self.sum_yy;
-        for &y in ys {
-            self.residue_sums[k] += y;
-            self.residue_counts[k] += 1;
-            sum_y += y;
-            sum_yy += y * y;
-            k += 1;
-            if k == period {
-                k = 0;
-            }
-        }
-        self.sum_y = sum_y;
-        self.sum_yy = sum_yy;
+        let k = (self.cycles % period as u64) as usize;
+        crate::fold::fold_samples(
+            &mut self.residue_sums,
+            &mut self.residue_counts,
+            &mut self.sum_y,
+            &mut self.sum_yy,
+            k,
+            ys,
+        );
         self.cycles += ys.len() as u64;
     }
 

@@ -536,13 +536,17 @@ fn detect_corpus(
             ),
         ));
     }
+    // Memory-mapped where the platform allows it (buffered fallback /
+    // CLOCKMARK_NO_MMAP opt-out); repeated detect-corpus requests over
+    // the same trace then stream straight from the page cache.
     let reader = store
-        .reader(trace)
+        .source(trace)
         .map_err(|e| (ErrorCode::Corpus, e.to_string()))?;
 
     let detect_span = clockmark_obs::span("serve.detect")
         .field("cycles", entry.cycles)
-        .field("period", pattern.len() as u64);
+        .field("period", pattern.len() as u64)
+        .field("zero_copy", u64::from(reader.is_zero_copy()));
     let outcome = detector.detect_trace(reader);
     drop(detect_span);
 

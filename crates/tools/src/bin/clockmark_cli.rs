@@ -45,8 +45,8 @@ USAGE:
   clockmark-cli campaign run <dir> --corpus <dir> (--lfsr W [--seed S] | --bits 1011…)
                  [--traces a,b,…] [--lenient] [--checkpoint-cycles N]
                  [--chunk-cycles N] [--algo naive|folded|fft]
-                 [--threads N] [--max-jobs N]
-  clockmark-cli campaign resume <dir> [--threads N] [--max-jobs N]
+                 [--threads N] [--max-jobs N] [--no-mmap]
+  clockmark-cli campaign resume <dir> [--threads N] [--max-jobs N] [--no-mmap]
   clockmark-cli campaign status <dir>
   clockmark-cli serve [--addr HOST:PORT] [--max-sessions N] [--max-cycles N]
                  [--max-frame-bytes N]
@@ -327,6 +327,7 @@ fn run() -> Result<(), ToolError> {
                             .map(|v| v.parse())
                             .transpose()
                             .map_err(|_| ToolError::Usage("--max-jobs: not a number".to_owned()))?,
+                        no_mmap: args.flag("--no-mmap"),
                     };
                     args.finish()?;
                     let create = CampaignCreateOptions {
@@ -356,6 +357,7 @@ fn run() -> Result<(), ToolError> {
                             .map(|v| v.parse())
                             .transpose()
                             .map_err(|_| ToolError::Usage("--max-jobs: not a number".to_owned()))?,
+                        no_mmap: args.flag("--no-mmap"),
                     };
                     args.finish()?;
                     print!("{}", cmd_campaign_resume(Path::new(&dir), options)?);

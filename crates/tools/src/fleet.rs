@@ -332,6 +332,10 @@ pub struct CampaignRunOptions {
     pub threads: usize,
     /// Stop after at most this many jobs this invocation.
     pub max_jobs: Option<usize>,
+    /// Force buffered trace reads instead of memory-mapping (sets
+    /// `CLOCKMARK_NO_MMAP` for this process; verdicts are bit-identical
+    /// either way).
+    pub no_mmap: bool,
 }
 
 impl CampaignRunOptions {
@@ -343,6 +347,9 @@ impl CampaignRunOptions {
     }
 
     fn apply(self, campaign: Campaign) -> Campaign {
+        if self.no_mmap {
+            std::env::set_var(clockmark::corpus::NO_MMAP_ENV, "1");
+        }
         if self.threads > 0 {
             campaign.with_threads(self.threads)
         } else {
@@ -565,6 +572,7 @@ mod tests {
             CampaignRunOptions {
                 threads: 1,
                 max_jobs: Some(1),
+                ..CampaignRunOptions::default()
             },
         )
         .expect("runs");
