@@ -1,0 +1,48 @@
+//! Validates a Prometheus text exposition — used by the CI serve-smoke
+//! job to check the `Metrics` RPC output scraped during load.
+//!
+//! Usage: `promcheck [file]` (reads stdin when no file is given).
+//! Prints a one-line summary on success; exits nonzero with the parse
+//! error on malformed input.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    let (source, text) = match arg.as_deref() {
+        Some("--help" | "-h") => {
+            eprintln!("usage: promcheck [file.prom]  (reads stdin without a file)");
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => (path.to_string(), text),
+            Err(err) => {
+                eprintln!("promcheck: cannot read {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut text = String::new();
+            if let Err(err) = std::io::stdin().read_to_string(&mut text) {
+                eprintln!("promcheck: cannot read stdin: {err}");
+                return ExitCode::FAILURE;
+            }
+            ("<stdin>".to_string(), text)
+        }
+    };
+
+    match clockmark_bench::validate_prometheus_text(&text) {
+        Ok(stats) => {
+            println!(
+                "prometheus ok: {} samples, {} families ({source})",
+                stats.samples, stats.families
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("promcheck: {source}: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -41,6 +41,7 @@ use std::fmt::Write as _;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -601,6 +602,19 @@ impl Campaign {
         self.dir.join("report.json")
     }
 
+    fn progress_path(&self) -> PathBuf {
+        self.dir.join("progress.json")
+    }
+
+    /// The most recent live-progress snapshot published by a worker, or
+    /// `None` when no run has published one (or the file is unreadable
+    /// or malformed — progress is best-effort telemetry, never load-
+    /// bearing state).
+    pub fn live_progress(&self) -> Option<CampaignProgress> {
+        let text = fs::read_to_string(self.progress_path()).ok()?;
+        CampaignProgress::decode(&text)
+    }
+
     fn checkpoint_path(&self, index: usize) -> PathBuf {
         self.dir
             .join("checkpoints")
@@ -755,10 +769,16 @@ impl Campaign {
                 .open(&path)
                 .map_err(|e| CampaignError::io(format!("opening {}", path.display()), e))?;
             let results = Mutex::new(file);
+            let board = ProgressBoard::new(
+                self.progress_path(),
+                self.spec.traces.len() as u64,
+                completed.len() as u64,
+            );
+            board.publish();
             let t0 = Instant::now();
             let finished: Vec<Result<Option<JobOutcome>, CampaignError>> =
                 parallel_map(&pending, self.threads, |job| {
-                    self.run_job(&corpus, job, &results, limits)
+                    self.run_job(&corpus, job, &results, limits, &board)
                 });
             let landed = finished.iter().filter(|r| matches!(r, Ok(Some(_)))).count();
             for result in finished {
@@ -791,6 +811,7 @@ impl Campaign {
         job: &JobSpec,
         results: &Mutex<File>,
         limits: &CampaignLimits,
+        board: &ProgressBoard,
     ) -> Result<Option<JobOutcome>, CampaignError> {
         let _span = clockmark_obs::span("campaign.job")
             .field("index", job.index)
@@ -827,13 +848,16 @@ impl Campaign {
             session.push_chunk(&buf[..got]);
             since_checkpoint += got as u64;
             ingested += got as u64;
+            board.note_cycles(got as u64);
             if self.spec.checkpoint_cycles > 0 && since_checkpoint >= self.spec.checkpoint_cycles {
                 self.write_checkpoint(job, &session)?;
+                board.publish();
                 since_checkpoint = 0;
             }
             if let Some(limit) = limits.interrupt_job_after_cycles {
                 if ingested >= limit && reader.remaining() > 0 {
                     self.write_checkpoint(job, &session)?;
+                    board.publish();
                     return Ok(None);
                 }
             }
@@ -863,6 +887,7 @@ impl Campaign {
         }
         let _ = fs::remove_file(self.checkpoint_path(job.index));
         clockmark_obs::counter_add("campaign.jobs_completed", 1);
+        board.note_job_done();
         Ok(Some(outcome))
     }
 
@@ -927,6 +952,137 @@ impl Campaign {
         clockmark_obs::counter_add("campaign.checkpoints_written", 1);
         clockmark_obs::counter_add("campaign.checkpoint_bytes", bytes.len() as u64);
         Ok(())
+    }
+}
+
+/// A live-progress snapshot of a running campaign, as published to
+/// `progress.json` by worker threads after every landed job and every
+/// checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignProgress {
+    /// Jobs landed so far (including before this run started).
+    pub done: u64,
+    /// Total jobs in the campaign.
+    pub total: u64,
+    /// Trace cycles ingested by the current run.
+    pub cycles: u64,
+    /// Ingest throughput of the current run, in cycles per second.
+    pub cycles_per_sec: f64,
+    /// Completion throughput of the current run, in jobs per second.
+    pub jobs_per_sec: f64,
+    /// Estimated seconds until the remaining jobs land at the current
+    /// throughput (zero until at least one job of this run has landed).
+    pub eta_seconds: f64,
+    /// Milliseconds the publishing run had been underway.
+    pub elapsed_ms: u64,
+}
+
+impl CampaignProgress {
+    /// Encodes the snapshot as one JSON object.
+    pub fn encode(&self) -> String {
+        format!(
+            "{{\"done\":{},\"total\":{},\"cycles\":{},\"cycles_per_sec\":{},\
+             \"jobs_per_sec\":{},\"eta_seconds\":{},\"elapsed_ms\":{}}}",
+            self.done,
+            self.total,
+            self.cycles,
+            self.cycles_per_sec,
+            self.jobs_per_sec,
+            self.eta_seconds,
+            self.elapsed_ms
+        )
+    }
+
+    /// Decodes a snapshot; `None` on any malformation (a torn write is
+    /// indistinguishable from garbage, and both just mean "no live
+    /// progress to show").
+    pub fn decode(text: &str) -> Option<Self> {
+        let v = json::parse(text.trim()).ok()?;
+        let num = |k: &str| v.get(k).and_then(Json::as_f64);
+        Some(CampaignProgress {
+            done: num("done")? as u64,
+            total: num("total")? as u64,
+            cycles: num("cycles")? as u64,
+            cycles_per_sec: num("cycles_per_sec")?,
+            jobs_per_sec: num("jobs_per_sec")?,
+            eta_seconds: num("eta_seconds")?,
+            elapsed_ms: num("elapsed_ms")? as u64,
+        })
+    }
+}
+
+/// Shared by a run's worker threads: counts landed jobs and ingested
+/// cycles, publishes gauges plus `progress.json` so `campaign status`
+/// (even in another process) sees live throughput.
+struct ProgressBoard {
+    path: PathBuf,
+    total: u64,
+    base_done: u64,
+    done: AtomicU64,
+    cycles: AtomicU64,
+    t0: Instant,
+}
+
+impl ProgressBoard {
+    fn new(path: PathBuf, total: u64, base_done: u64) -> Self {
+        ProgressBoard {
+            path,
+            total,
+            base_done,
+            done: AtomicU64::new(0),
+            cycles: AtomicU64::new(0),
+            t0: Instant::now(),
+        }
+    }
+
+    fn note_cycles(&self, n: u64) {
+        self.cycles.fetch_add(n, AtomicOrdering::Relaxed);
+    }
+
+    fn note_job_done(&self) {
+        self.done.fetch_add(1, AtomicOrdering::Relaxed);
+        self.publish();
+    }
+
+    fn snapshot(&self) -> CampaignProgress {
+        let elapsed = self.t0.elapsed().as_secs_f64();
+        let run_done = self.done.load(AtomicOrdering::Relaxed);
+        let done = self.base_done + run_done;
+        let cycles = self.cycles.load(AtomicOrdering::Relaxed);
+        let jobs_per_sec = if elapsed > 0.0 {
+            run_done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = self.total.saturating_sub(done);
+        CampaignProgress {
+            done,
+            total: self.total,
+            cycles,
+            cycles_per_sec: if elapsed > 0.0 {
+                cycles as f64 / elapsed
+            } else {
+                0.0
+            },
+            jobs_per_sec,
+            eta_seconds: if jobs_per_sec > 0.0 {
+                remaining as f64 / jobs_per_sec
+            } else {
+                0.0
+            },
+            elapsed_ms: (elapsed * 1e3) as u64,
+        }
+    }
+
+    /// Publishes gauges and the atomic `progress.json`. Best-effort: a
+    /// publish failure never fails the campaign.
+    fn publish(&self) {
+        let p = self.snapshot();
+        clockmark_obs::gauge_set("campaign.jobs_done", p.done as f64);
+        clockmark_obs::gauge_set("campaign.jobs_total", p.total as f64);
+        clockmark_obs::gauge_set("campaign.cycles_per_sec", p.cycles_per_sec);
+        clockmark_obs::gauge_set("campaign.eta_seconds", p.eta_seconds);
+        let _ = write_atomic(&self.path, format!("{}\n", p.encode()).as_bytes());
     }
 }
 

@@ -76,8 +76,8 @@ pub use arch::{
 pub use attack::{removal_attack, AttackReport, AttackVerdict};
 pub use batch::{parallel_map, BatchProgress, BatchReport, ExperimentBatch, WorkerStats};
 pub use campaign::{
-    Campaign, CampaignError, CampaignLimits, CampaignReport, CampaignSpec, CampaignStatus,
-    JobOutcome, JobSpec,
+    Campaign, CampaignError, CampaignLimits, CampaignProgress, CampaignReport, CampaignSpec,
+    CampaignStatus, JobOutcome, JobSpec,
 };
 // `CampaignSpec::algo` is of this type; surface it next to the campaign API.
 pub use clockmark_cpa::CpaAlgo;

@@ -11,7 +11,7 @@
 //! wrap branch that defeats autovectorization.
 //!
 //! This kernel restructures the same arithmetic into struct-of-arrays
-//! passes without changing a single rounding step:
+//! mini-passes without changing a single rounding step:
 //!
 //! - **Global sums** accumulate in strict trace order, exactly like the
 //!   fused loop. Each of `Σy` and `Σy²` is its own dependency chain, so
@@ -28,6 +28,16 @@
 //!   loop, hence the same bits.
 //! - **Per-residue counts** are integers; adding the whole-block count in
 //!   one go is exact.
+//!
+//! The two mini-passes are interleaved at a cache-block granularity
+//! (~32 KiB of samples): each group of whole periods gets its
+//! vectorized `c[j] += block[j]` sweep immediately followed by its
+//! serial `Σy`/`Σy²` sweep while the group is still L1/L2-resident.
+//! Running the two passes over the *entire* chunk instead (the first
+//! shape this kernel shipped with) streams a large chunk from DRAM
+//! twice and loses to the fused loop on memory bandwidth. Blocking only
+//! changes *when* each mini-pass runs, not the order of additions
+//! within either dependency chain, so the bits are unchanged.
 //!
 //! The net effect: checkpointed [`StreamingCpaState`] snapshots, resumed
 //! campaigns, and every ρ value derived from the fold are bit-identical
@@ -53,39 +63,19 @@ pub(crate) fn fold_samples(
     debug_assert_eq!(m.len(), period);
     debug_assert!(start < period);
 
-    // Pass 1: the global sums, in strict trace order. One accumulator
-    // per sum — the unroll shortens the loop, it must not fan out into
-    // per-lane partials (that would reassociate the additions).
     let mut sy = *sum_y;
     let mut syy = *sum_yy;
-    let mut quads = ys.chunks_exact(4);
-    for q in quads.by_ref() {
-        sy += q[0];
-        syy += q[0] * q[0];
-        sy += q[1];
-        syy += q[1] * q[1];
-        sy += q[2];
-        syy += q[2] * q[2];
-        sy += q[3];
-        syy += q[3] * q[3];
-    }
-    for &y in quads.remainder() {
-        sy += y;
-        syy += y * y;
-    }
-    *sum_y = sy;
-    *sum_yy = syy;
-
-    // Pass 2: the per-residue accumulators. Scalar head until the
-    // residue index wraps to 0, then whole-period blocks (elementwise,
-    // vectorizable), then the scalar tail.
     let mut k = start;
     let mut rest = ys;
+
+    // Scalar head until the residue index wraps to 0, fully fused.
     if k != 0 {
         let head = (period - k).min(rest.len());
         for &y in &rest[..head] {
             c[k] += y;
             m[k] += 1;
+            sy += y;
+            syy += y * y;
             k += 1;
         }
         if k == period {
@@ -94,21 +84,49 @@ pub(crate) fn fold_samples(
         rest = &rest[head..];
     }
     debug_assert!(rest.is_empty() || k == 0);
+
+    // Middle: whole-period blocks, cache-blocked. Each ~32 KiB group of
+    // samples gets the vectorized per-residue sweep and then the serial
+    // global-sum sweep while still cache-resident, so the chunk is
+    // streamed from memory once, not twice.
+    const BLOCK_SAMPLES: usize = (32 << 10) / std::mem::size_of::<f64>();
     let blocks = rest.len() / period;
     if blocks > 0 {
         let (full, tail) = rest.split_at(blocks * period);
-        for block in full.chunks_exact(period) {
-            let mut j = 0;
-            while j + 4 <= period {
-                c[j] += block[j];
-                c[j + 1] += block[j + 1];
-                c[j + 2] += block[j + 2];
-                c[j + 3] += block[j + 3];
-                j += 4;
+        let group_len = (BLOCK_SAMPLES / period).max(1) * period;
+        for group in full.chunks(group_len) {
+            for block in group.chunks_exact(period) {
+                let mut j = 0;
+                while j + 4 <= period {
+                    c[j] += block[j];
+                    c[j + 1] += block[j + 1];
+                    c[j + 2] += block[j + 2];
+                    c[j + 3] += block[j + 3];
+                    j += 4;
+                }
+                while j < period {
+                    c[j] += block[j];
+                    j += 1;
+                }
             }
-            while j < period {
-                c[j] += block[j];
-                j += 1;
+            // Global sums in strict trace order. One accumulator per
+            // sum — the unroll shortens the loop, it must not fan out
+            // into per-lane partials (that would reassociate the
+            // additions and change the persisted checkpoint bits).
+            let mut quads = group.chunks_exact(4);
+            for q in quads.by_ref() {
+                sy += q[0];
+                syy += q[0] * q[0];
+                sy += q[1];
+                syy += q[1] * q[1];
+                sy += q[2];
+                syy += q[2] * q[2];
+                sy += q[3];
+                syy += q[3] * q[3];
+            }
+            for &y in quads.remainder() {
+                sy += y;
+                syy += y * y;
             }
         }
         let whole = blocks as u64;
@@ -117,14 +135,20 @@ pub(crate) fn fold_samples(
         }
         rest = tail;
     }
+
+    // Scalar tail, fully fused.
     for &y in rest {
         c[k] += y;
         m[k] += 1;
+        sy += y;
+        syy += y * y;
         k += 1;
     }
     if k == period {
         k = 0;
     }
+    *sum_y = sy;
+    *sum_yy = syy;
     k
 }
 

@@ -1,0 +1,154 @@
+//! Per-span-path aggregation: self-time rollups and collapsed-stack
+//! (flamegraph) export.
+//!
+//! Spans already carry their nesting as a slash-joined `path`
+//! (`"serve.session/serve.detect/cpa.spread_spectrum"`). Folding every
+//! completed span into a per-path total and subtracting the totals of
+//! its direct children yields *self time* — the wall clock actually
+//! spent in each frame, not in its callees — which is exactly what a
+//! flamegraph wants. [`PathAgg::collapsed`] renders the rollup in the
+//! standard collapsed-stack text format (`a;b;c <nanoseconds>`), one
+//! line per path, consumable by any flamegraph tool.
+
+use std::collections::BTreeMap;
+
+/// Cumulative timing for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathStat {
+    /// Completed spans with this exact path.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across them (includes callees).
+    pub total_ns: u128,
+}
+
+/// One rolled-up row: a path with its total and self time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfTime {
+    /// Slash-joined span path.
+    pub path: String,
+    /// Completed spans with this path.
+    pub count: u64,
+    /// Total wall-clock nanoseconds (includes time in child spans).
+    pub total_ns: u128,
+    /// Nanoseconds not accounted for by direct children.
+    pub self_ns: u128,
+}
+
+/// Accumulates completed spans by path for self-time analysis.
+#[derive(Debug, Clone, Default)]
+pub struct PathAgg {
+    paths: BTreeMap<String, PathStat>,
+}
+
+impl PathAgg {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one completed span in.
+    pub fn record(&mut self, path: &str, duration_ns: u128) {
+        let stat = self.paths.entry(path.to_owned()).or_default();
+        stat.count += 1;
+        stat.total_ns += duration_ns;
+    }
+
+    /// True when no spans have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The rollup: every path with its total and self time, sorted by
+    /// path. Self time saturates at zero when clock skew makes children
+    /// appear longer than their parent.
+    pub fn self_times(&self) -> Vec<SelfTime> {
+        let mut children: BTreeMap<&str, u128> = BTreeMap::new();
+        for (path, stat) in &self.paths {
+            if let Some((parent, _)) = path.rsplit_once('/') {
+                *children.entry(parent).or_default() += stat.total_ns;
+            }
+        }
+        self.paths
+            .iter()
+            .map(|(path, stat)| SelfTime {
+                path: path.clone(),
+                count: stat.count,
+                total_ns: stat.total_ns,
+                self_ns: stat
+                    .total_ns
+                    .saturating_sub(children.get(path.as_str()).copied().unwrap_or(0)),
+            })
+            .collect()
+    }
+
+    /// The rollup in collapsed-stack text format: one line per path,
+    /// frames separated by `;`, value = self time in nanoseconds.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for row in self.self_times() {
+            out.push_str(&row.path.replace('/', ";"));
+            out.push(' ');
+            out.push_str(&row.self_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let mut agg = PathAgg::new();
+        agg.record("run", 100);
+        agg.record("run/detect", 60);
+        agg.record("run/detect/fold", 35);
+        agg.record("run/flush", 10);
+        let rows = agg.self_times();
+        let get = |p: &str| rows.iter().find(|r| r.path == p).expect("row");
+        // run self = 100 - (60 + 10); the grandchild is not subtracted
+        // from run (it is already inside detect's 60).
+        assert_eq!(get("run").self_ns, 30);
+        assert_eq!(get("run/detect").self_ns, 25);
+        assert_eq!(get("run/detect/fold").self_ns, 35);
+        assert_eq!(get("run/flush").self_ns, 10);
+        let total_self: u128 = rows.iter().map(|r| r.self_ns).sum();
+        assert_eq!(total_self, 100, "self times partition the root total");
+    }
+
+    #[test]
+    fn skewed_children_saturate_instead_of_underflowing() {
+        let mut agg = PathAgg::new();
+        agg.record("a", 10);
+        agg.record("a/b", 15);
+        assert_eq!(agg.self_times()[0].self_ns, 0);
+    }
+
+    #[test]
+    fn repeated_paths_accumulate() {
+        let mut agg = PathAgg::new();
+        agg.record("a", 5);
+        agg.record("a", 7);
+        let rows = agg.self_times();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].total_ns, 12);
+    }
+
+    #[test]
+    fn collapsed_format_uses_semicolons_and_self_time() {
+        let mut agg = PathAgg::new();
+        agg.record("run", 100);
+        agg.record("run/detect", 60);
+        let text = agg.collapsed();
+        assert_eq!(text, "run 40\nrun;detect 60\n");
+    }
+
+    #[test]
+    fn empty_aggregate_renders_nothing() {
+        assert!(PathAgg::new().is_empty());
+        assert_eq!(PathAgg::new().collapsed(), "");
+    }
+}

@@ -1,0 +1,253 @@
+//! Prometheus text-format exposition of a [`MetricsSnapshot`].
+//!
+//! [`prometheus_text`] renders everything a snapshot carries — counters,
+//! gauges, cumulative histograms, span aggregates, and the live
+//! 1s/10s/60s window summaries — in the Prometheus text exposition
+//! format (version 0.0.4). Metric names are prefixed `clockmark_` and
+//! sanitised (dots become underscores), so `serve.request_seconds`
+//! exposes as `clockmark_serve_request_seconds`:
+//!
+//! ```text
+//! # TYPE clockmark_serve_accept_total counter
+//! clockmark_serve_accept_total 42
+//! # TYPE clockmark_serve_request_seconds summary
+//! clockmark_serve_request_seconds{quantile="0.5"} 0.0012
+//! clockmark_serve_request_seconds_sum 0.9
+//! clockmark_serve_request_seconds_count 42
+//! # TYPE clockmark_hist_window gauge
+//! clockmark_serve_request_seconds_window{window="1s",quantile="0.95"} 0.0031
+//! ```
+//!
+//! The serve `Metrics` RPC returns exactly this text; `clockmark client
+//! watch` parses it back for the live dashboard.
+
+use crate::metrics::MetricsSnapshot;
+use crate::window::WindowSummary;
+
+/// The prefix every exposed metric name carries.
+pub const METRIC_PREFIX: &str = "clockmark_";
+
+/// Maps an internal metric name (`serve.request_seconds`) to a valid
+/// Prometheus metric name (`clockmark_serve_request_seconds`).
+///
+/// Characters outside `[a-zA-Z0-9_:]` become `_`.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(METRIC_PREFIX.len() + name.len());
+    out.push_str(METRIC_PREFIX);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format (backslash, quote
+/// and newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an f64 sample value; Prometheus accepts `NaN`/`+Inf`/`-Inf`.
+fn sample_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn window_family(out: &mut String, base: &str, windows: &[(String, Vec<WindowSummary>)]) {
+    if windows.is_empty() {
+        return;
+    }
+    // Quantile gauges per (name, window) — only for real histograms
+    // (rate-only families have count but no distribution).
+    let has_values = windows
+        .iter()
+        .any(|(_, ws)| ws.iter().any(|w| w.count > 0 && w.max >= w.min));
+    if has_values {
+        out.push_str(&format!("# TYPE {base}_window gauge\n"));
+        for (name, ws) in windows {
+            let metric = metric_name(name);
+            for w in ws {
+                for (q, v) in [("0.5", w.p50), ("0.95", w.p95), ("0.99", w.p99)] {
+                    out.push_str(&format!(
+                        "{metric}_window{{window=\"{}\",quantile=\"{q}\"}} {}\n",
+                        w.label(),
+                        sample_value(v)
+                    ));
+                }
+            }
+        }
+    }
+    out.push_str(&format!("# TYPE {base}_window_count gauge\n"));
+    for (name, ws) in windows {
+        let metric = metric_name(name);
+        for w in ws {
+            out.push_str(&format!(
+                "{metric}_window_count{{window=\"{}\"}} {}\n",
+                w.label(),
+                w.count
+            ));
+        }
+    }
+    out.push_str(&format!("# TYPE {base}_window_rate gauge\n"));
+    for (name, ws) in windows {
+        let metric = metric_name(name);
+        for w in ws {
+            out.push_str(&format!(
+                "{metric}_window_rate{{window=\"{}\"}} {}\n",
+                w.label(),
+                sample_value(w.rate_per_sec)
+            ));
+        }
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let metric = metric_name(name);
+        out.push_str(&format!(
+            "# TYPE {metric}_total counter\n{metric}_total {value}\n"
+        ));
+    }
+    for (name, value) in &snapshot.gauges {
+        let metric = metric_name(name);
+        out.push_str(&format!(
+            "# TYPE {metric} gauge\n{metric} {}\n",
+            sample_value(*value)
+        ));
+    }
+    for (name, h) in &snapshot.histograms {
+        let metric = metric_name(name);
+        out.push_str(&format!("# TYPE {metric} summary\n"));
+        for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+            out.push_str(&format!(
+                "{metric}{{quantile=\"{q}\"}} {}\n",
+                sample_value(v)
+            ));
+        }
+        out.push_str(&format!(
+            "{metric}_sum {}\n{metric}_count {}\n",
+            sample_value(h.sum),
+            h.count
+        ));
+    }
+    if !snapshot.spans.is_empty() {
+        out.push_str("# TYPE clockmark_span_seconds_count gauge\n");
+        for (name, s) in &snapshot.spans {
+            out.push_str(&format!(
+                "clockmark_span_seconds_count{{span=\"{}\"}} {}\n",
+                escape_label(name),
+                s.count
+            ));
+        }
+        out.push_str("# TYPE clockmark_span_seconds_sum gauge\n");
+        for (name, s) in &snapshot.spans {
+            out.push_str(&format!(
+                "clockmark_span_seconds_sum{{span=\"{}\"}} {}\n",
+                escape_label(name),
+                sample_value(s.total_ns as f64 / 1e9)
+            ));
+        }
+        out.push_str("# TYPE clockmark_span_seconds_max gauge\n");
+        for (name, s) in &snapshot.spans {
+            out.push_str(&format!(
+                "clockmark_span_seconds_max{{span=\"{}\"}} {}\n",
+                escape_label(name),
+                sample_value(s.max_ns as f64 / 1e9)
+            ));
+        }
+    }
+    window_family(&mut out, "clockmark_hist", &snapshot.windows);
+    window_family(&mut out, "clockmark_counter", &snapshot.rates);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut r = Registry::new();
+        r.counter_add("serve.accept", 42);
+        r.gauge_set("campaign.eta_seconds", 12.5);
+        r.observe("serve.request_seconds", 0.002);
+        r.observe("serve.request_seconds", 0.004);
+        r.span_complete("serve.detect", 1_500_000);
+        let mut snap = r.snapshot();
+        let mut h = crate::window::WindowedHistogram::new();
+        h.record(0, 0.002);
+        h.record(1, 0.004);
+        snap.windows = vec![("serve.request_seconds".to_owned(), h.snapshot(2))];
+        let mut rc = crate::window::RateCounter::new();
+        rc.add(0, 42);
+        snap.rates = vec![("serve.accept".to_owned(), rc.snapshot(1))];
+        snap
+    }
+
+    #[test]
+    fn renders_all_metric_kinds_with_sanitised_names() {
+        let text = prometheus_text(&sample_snapshot());
+        assert!(text.contains("# TYPE clockmark_serve_accept_total counter\n"));
+        assert!(text.contains("clockmark_serve_accept_total 42\n"));
+        assert!(text.contains("clockmark_campaign_eta_seconds 12.5\n"));
+        assert!(text.contains("clockmark_serve_request_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("clockmark_serve_request_seconds_count 2\n"));
+        assert!(text.contains("clockmark_span_seconds_sum{span=\"serve.detect\"} 0.0015\n"));
+        assert!(text.contains("window=\"1s\",quantile=\"0.95\""));
+        assert!(text.contains("clockmark_serve_accept_window_rate{window=\"1s\"} 42\n"));
+        // No raw dots survive in metric names.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name_part = line.split(['{', ' ']).next().unwrap_or("");
+            assert!(!name_part.contains('.'), "unsanitised name in {line:?}");
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut snap = MetricsSnapshot::default();
+        snap.spans.push((
+            "odd\"name\\with\nnasties".to_owned(),
+            crate::metrics::SpanStat {
+                count: 1,
+                total_ns: 10,
+                max_ns: 10,
+            },
+        ));
+        let text = prometheus_text(&snap);
+        assert!(text.contains("span=\"odd\\\"name\\\\with\\nnasties\""));
+    }
+
+    #[test]
+    fn non_finite_values_use_prometheus_spellings() {
+        assert_eq!(sample_value(f64::NAN), "NaN");
+        assert_eq!(sample_value(f64::INFINITY), "+Inf");
+        assert_eq!(sample_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(sample_value(0.25), "0.25");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_text() {
+        assert_eq!(prometheus_text(&MetricsSnapshot::default()), "");
+    }
+}

@@ -10,6 +10,8 @@
 //! {"t":"gauge","name":"cpa.rotations_per_sec","value":1.2e6}
 //! {"t":"hist","name":"cpa.chunk_seconds","count":8,"sum":0.21,"mean":0.026,"min":0.018,"max":0.034,"p50":0.025,"p90":0.033,"p99":0.034}
 //! {"t":"span_stat","name":"cpa.rotate","count":8,"total_ns":210000000,"max_ns":34000000}
+//! {"t":"win_hist","name":"serve.request_seconds","window":"10s","count":41,"rate_per_sec":4.1,"mean":0.002,"min":0.001,"max":0.004,"p50":0.002,"p95":0.0038,"p99":0.004}
+//! {"t":"win_rate","name":"serve.accept","window":"1s","count":5,"rate_per_sec":5}
 //! ```
 //!
 //! Every line parses with [`crate::json::parse`]; `clockmark-cli metrics`
@@ -104,6 +106,43 @@ pub fn snapshot_to_json_lines(snapshot: &MetricsSnapshot) -> String {
             s.count, s.total_ns, s.max_ns
         ));
     }
+    for (name, windows) in &snapshot.windows {
+        for w in windows {
+            out.push_str("{\"t\":\"win_hist\",\"name\":");
+            write_str(&mut out, name);
+            out.push_str(&format!(
+                ",\"window\":\"{}\",\"count\":{}",
+                w.label(),
+                w.count
+            ));
+            for (key, value) in [
+                ("rate_per_sec", w.rate_per_sec),
+                ("mean", w.mean),
+                ("min", w.min),
+                ("max", w.max),
+                ("p50", w.p50),
+                ("p95", w.p95),
+                ("p99", w.p99),
+            ] {
+                out.push_str(&format!(",\"{key}\":"));
+                write_f64(&mut out, value);
+            }
+            out.push_str("}\n");
+        }
+    }
+    for (name, windows) in &snapshot.rates {
+        for w in windows {
+            out.push_str("{\"t\":\"win_rate\",\"name\":");
+            write_str(&mut out, name);
+            out.push_str(&format!(
+                ",\"window\":\"{}\",\"count\":{},\"rate_per_sec\":",
+                w.label(),
+                w.count
+            ));
+            write_f64(&mut out, w.rate_per_sec);
+            out.push_str("}\n");
+        }
+    }
     out
 }
 
@@ -169,6 +208,35 @@ pub fn snapshot_to_text(snapshot: &MetricsSnapshot) -> String {
                 "  {name:<32} n {:>6}  mean {:.3e}  p50 {:.3e}  p90 {:.3e}  p99 {:.3e}  max {:.3e}\n",
                 h.count, h.mean, h.p50, h.p90, h.p99, h.max
             ));
+        }
+    }
+    if !snapshot.windows.is_empty() {
+        out.push_str("windows:\n");
+        for (name, windows) in &snapshot.windows {
+            for w in windows {
+                out.push_str(&format!(
+                    "  {name:<32} {:>4}  n {:>6}  {:>8.1}/s  p50 {:.3e}  p95 {:.3e}  p99 {:.3e}\n",
+                    w.label(),
+                    w.count,
+                    w.rate_per_sec,
+                    w.p50,
+                    w.p95,
+                    w.p99
+                ));
+            }
+        }
+    }
+    if !snapshot.rates.is_empty() {
+        out.push_str("rates:\n");
+        for (name, windows) in &snapshot.rates {
+            for w in windows {
+                out.push_str(&format!(
+                    "  {name:<32} {:>4}  n {:>6}  {:>8.1}/s\n",
+                    w.label(),
+                    w.count,
+                    w.rate_per_sec
+                ));
+            }
         }
     }
     out
@@ -287,6 +355,43 @@ mod tests {
         for line in lines {
             parse(line).unwrap_or_else(|e| panic!("line {line:?} must parse: {e}"));
         }
+    }
+
+    #[test]
+    fn windowed_lines_parse_and_carry_percentiles() {
+        let mut registry = crate::metrics::Registry::new();
+        registry.observe("req_seconds", 0.5);
+        let mut snapshot = registry.snapshot();
+        let mut h = crate::window::WindowedHistogram::new();
+        h.record(0, 0.5);
+        snapshot.windows = vec![("req_seconds".to_owned(), h.snapshot(1))];
+        let mut r = crate::window::RateCounter::new();
+        r.add(0, 7);
+        snapshot.rates = vec![("requests".to_owned(), r.snapshot(1))];
+
+        let text = snapshot_to_json_lines(&snapshot);
+        let mut win_hist = 0;
+        let mut win_rate = 0;
+        for line in text.lines() {
+            let v = parse(line).unwrap_or_else(|e| panic!("line {line:?} must parse: {e}"));
+            match v.get("t").and_then(Json::as_str) {
+                Some("win_hist") => {
+                    win_hist += 1;
+                    assert!(v.get("window").and_then(Json::as_str).is_some());
+                    assert!(v.get("p95").and_then(Json::as_f64).is_some());
+                }
+                Some("win_rate") => {
+                    win_rate += 1;
+                    assert!(v.get("rate_per_sec").and_then(Json::as_f64).is_some());
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(win_hist, 3, "one line per window");
+        assert_eq!(win_rate, 3);
+        let table = snapshot_to_text(&snapshot);
+        assert!(table.contains("windows:"));
+        assert!(table.contains("rates:"));
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //!   typed fields ([`span()`], [`Span::field`]).
 //! - **Metrics** — monotonic counters, last-value gauges, and
 //!   raw-sample histograms with exact percentiles ([`counter_add`],
-//!   [`gauge_set`], [`observe`]).
+//!   [`gauge_set`], [`observe`]), each also folded into live
+//!   1s/10s/60s sliding windows ([`window`]) snapshottable at any time
+//!   and exposable as Prometheus text ([`expo`]) or collapsed-stack
+//!   span profiles ([`agg`]).
 //! - **A leveled stderr logger** — [`error!`] … [`trace!`] macros
 //!   controlled by `CLOCKMARK_LOG` (default `warn`).
 //!
@@ -41,18 +44,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
+pub mod expo;
 pub mod export;
 pub mod json;
 mod level;
 pub mod metrics;
 pub mod recorder;
 pub mod span;
+pub mod window;
 
+pub use agg::{PathAgg, SelfTime};
+pub use expo::{metric_name, prometheus_text};
 pub use export::{Exporter, JsonLinesExporter, SharedBuffer, TextExporter};
 pub use level::{log, log_enabled, log_level, set_log_level, Level};
 pub use metrics::{Histogram, HistogramSummary, MetricsSnapshot, Registry, SpanStat};
 pub use recorder::Recorder;
 pub use span::{FieldValue, Span, SpanEvent};
+pub use window::{RateCounter, WindowStore, WindowSummary, WindowedHistogram};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -159,6 +168,12 @@ pub fn observe(name: &str, value: f64) {
 /// Snapshot of the global registry, or `None` when disabled.
 pub fn snapshot() -> Option<MetricsSnapshot> {
     recorder().map(|r| r.snapshot())
+}
+
+/// The global per-span-path self-time rollup in collapsed-stack text
+/// format, or `None` when disabled.
+pub fn collapsed_spans() -> Option<String> {
+    recorder().map(|r| r.collapsed_spans())
 }
 
 /// Pushes the global snapshot to all exporters and flushes them.

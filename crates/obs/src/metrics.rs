@@ -6,6 +6,7 @@
 //! histograms keep their raw samples and percentiles are computed exactly
 //! at snapshot time instead of approximated through buckets.
 
+use crate::window::WindowSummary;
 use std::collections::BTreeMap;
 
 /// A histogram of `f64` samples with exact percentile queries.
@@ -167,7 +168,9 @@ impl Registry {
         stat.max_ns = stat.max_ns.max(duration_ns);
     }
 
-    /// An immutable snapshot of everything recorded so far.
+    /// An immutable snapshot of everything recorded so far. The live
+    /// window fields are empty — the [`crate::Recorder`] merges them in
+    /// from its [`crate::window::WindowStore`].
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
@@ -182,6 +185,8 @@ impl Registry {
                 .iter()
                 .map(|(k, s)| (k.clone(), *s))
                 .collect(),
+            windows: Vec::new(),
+            rates: Vec::new(),
         }
     }
 }
@@ -197,6 +202,10 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<(String, HistogramSummary)>,
     /// Per-span-name timing aggregates.
     pub spans: Vec<(String, SpanStat)>,
+    /// Live sliding-window summaries per histogram name (1s/10s/60s).
+    pub windows: Vec<(String, Vec<WindowSummary>)>,
+    /// Live sliding-window counts/rates per counter name.
+    pub rates: Vec<(String, Vec<WindowSummary>)>,
 }
 
 impl MetricsSnapshot {
@@ -219,6 +228,22 @@ impl MetricsSnapshot {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v)
+    }
+
+    /// Looks up the live window summaries of a histogram by name.
+    pub fn window(&self, name: &str) -> Option<&[WindowSummary]> {
+        self.windows
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Looks up the live window rates of a counter by name.
+    pub fn rate(&self, name: &str) -> Option<&[WindowSummary]> {
+        self.rates
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_slice())
     }
 }
 

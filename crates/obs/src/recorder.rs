@@ -1,11 +1,21 @@
 //! The recorder: the hub tying spans, metrics and exporters together.
 
+use crate::agg::PathAgg;
 use crate::export::{Exporter, JsonLinesExporter, TextExporter};
 use crate::metrics::{MetricsSnapshot, Registry};
 use crate::span::{Span, SpanEvent};
+use crate::window::WindowStore;
 use crate::Level;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// The live (windowed) side of the recorder: sliding-window rings and
+/// the per-path self-time aggregate, kept under one lock.
+#[derive(Debug, Default)]
+struct LiveState {
+    windows: WindowStore,
+    paths: PathAgg,
+}
 
 /// Collects spans and metrics and fans them out to exporters.
 ///
@@ -15,6 +25,7 @@ use std::time::Instant;
 pub struct Recorder {
     start: Instant,
     registry: Mutex<Registry>,
+    live: Mutex<LiveState>,
     exporters: Mutex<Vec<Box<dyn Exporter>>>,
 }
 
@@ -32,6 +43,7 @@ impl Recorder {
         Recorder {
             start: Instant::now(),
             registry: Mutex::new(Registry::new()),
+            live: Mutex::new(LiveState::default()),
             exporters: Mutex::new(exporters),
         }
     }
@@ -79,6 +91,12 @@ impl Recorder {
             .min(u128::from(u64::MAX)) as u64
     }
 
+    /// Nanoseconds since recorder creation — the time base the sliding
+    /// windows bucket on.
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
     /// Opens a span. The guard reports back here when dropped.
     pub fn span(self: &Arc<Self>, name: &'static str) -> Span {
         Span::enter(Arc::clone(self), name)
@@ -89,6 +107,11 @@ impl Recorder {
             .lock()
             .expect("registry lock")
             .span_complete(event.name, event.duration_ns);
+        self.live
+            .lock()
+            .expect("live lock")
+            .paths
+            .record(&event.path, event.duration_ns);
         let mut exporters = self.exporters.lock().expect("exporter lock");
         for exporter in exporters.iter_mut() {
             exporter.span(&event);
@@ -101,6 +124,11 @@ impl Recorder {
             .lock()
             .expect("registry lock")
             .counter_add(name, delta);
+        self.live
+            .lock()
+            .expect("live lock")
+            .windows
+            .add(self.now_ns(), name, delta);
     }
 
     /// Sets a last-value gauge.
@@ -117,11 +145,28 @@ impl Recorder {
             .lock()
             .expect("registry lock")
             .observe(name, value);
+        self.live
+            .lock()
+            .expect("live lock")
+            .windows
+            .observe(self.now_ns(), name, value);
     }
 
-    /// A point-in-time copy of everything recorded.
+    /// A point-in-time copy of everything recorded, including the live
+    /// sliding-window summaries.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.registry.lock().expect("registry lock").snapshot()
+        let mut snapshot = self.registry.lock().expect("registry lock").snapshot();
+        let now = self.now_ns();
+        let mut live = self.live.lock().expect("live lock");
+        snapshot.windows = live.windows.histogram_windows(now);
+        snapshot.rates = live.windows.rate_windows(now);
+        snapshot
+    }
+
+    /// The per-span-path self-time rollup in collapsed-stack text
+    /// format (one `a;b;c <self_ns>` line per path).
+    pub fn collapsed_spans(&self) -> String {
+        self.live.lock().expect("live lock").paths.collapsed()
     }
 
     /// Pushes the current snapshot to every exporter and flushes them.

@@ -1,0 +1,513 @@
+//! Sliding-window aggregation: fixed-bucket ring histograms and rate
+//! counters that can be snapshotted live.
+//!
+//! The flush-time [`crate::metrics::Registry`] keeps exact cumulative
+//! aggregates for the whole process lifetime; this module answers the
+//! operational questions — "what is the p95 *right now*", "how many
+//! requests per second over the last minute" — without waiting for a
+//! flush. Every [`crate::observe`] sample and [`crate::counter_add`]
+//! delta is also folded into a ring of fixed time buckets per window
+//! (1 s, 10 s and 60 s by default); snapshotting merges the live
+//! buckets, so old samples age out as the ring advances.
+//!
+//! Value resolution is logarithmic (eight buckets per decade, covering
+//! `1e-9 ..= 1e5`), so windowed percentiles are approximate to roughly
+//! ±15% — plenty for dashboards, while the cumulative registry keeps
+//! the exact numbers. Time is passed in explicitly as nanoseconds since
+//! an arbitrary epoch (the recorder uses its own start instant), which
+//! keeps the data structures deterministic and directly testable.
+
+use std::collections::BTreeMap;
+
+/// The default window set: (window seconds, time buckets per ring).
+///
+/// Bucket widths are `window / buckets`: 125 ms for the 1 s window,
+/// 1 s for the 10 s window, 5 s for the 60 s window.
+pub const DEFAULT_WINDOWS: [(u64, usize); 3] = [(1, 8), (10, 10), (60, 12)];
+
+/// Logarithmic value buckets: 8 per decade over 1e-9 ..= 1e5.
+const VALUE_BUCKETS: usize = 112;
+const DECADE_OFFSET: f64 = 9.0;
+const BUCKETS_PER_DECADE: f64 = 8.0;
+
+fn value_bucket(value: f64) -> usize {
+    if value <= 1e-9 {
+        return 0;
+    }
+    let idx = ((value.log10() + DECADE_OFFSET) * BUCKETS_PER_DECADE).floor();
+    (idx as usize).min(VALUE_BUCKETS - 1)
+}
+
+fn bucket_midpoint(idx: usize) -> f64 {
+    10f64.powf((idx as f64 + 0.5) / BUCKETS_PER_DECADE - DECADE_OFFSET)
+}
+
+/// One windowed view of a metric: sample count, rate, and approximate
+/// percentiles over the trailing window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowSummary {
+    /// Window length in seconds (1, 10 or 60 by default).
+    pub window_secs: u64,
+    /// Samples (or counter increments) that fell inside the window.
+    pub count: u64,
+    /// `count / window_secs` — events per second.
+    pub rate_per_sec: f64,
+    /// Arithmetic mean of the windowed samples (0 for rate counters).
+    pub mean: f64,
+    /// Smallest windowed sample.
+    pub min: f64,
+    /// Largest windowed sample.
+    pub max: f64,
+    /// Approximate windowed median.
+    pub p50: f64,
+    /// Approximate windowed 95th percentile.
+    pub p95: f64,
+    /// Approximate windowed 99th percentile.
+    pub p99: f64,
+}
+
+impl WindowSummary {
+    /// Renders the window length as the conventional label (`"10s"`).
+    pub fn label(&self) -> String {
+        format!("{}s", self.window_secs)
+    }
+}
+
+/// One time bucket of a histogram ring.
+#[derive(Debug, Clone)]
+struct TimeBucket {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    counts: Vec<u32>,
+}
+
+impl TimeBucket {
+    fn empty() -> Self {
+        TimeBucket {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            counts: vec![0; VALUE_BUCKETS],
+        }
+    }
+
+    fn clear(&mut self) {
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+        self.counts.fill(0);
+    }
+
+    fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.counts[value_bucket(value)] += 1;
+    }
+}
+
+/// A ring of fixed time buckets covering one trailing window.
+#[derive(Debug, Clone)]
+struct Ring {
+    window_secs: u64,
+    bucket_ns: u64,
+    /// Absolute bucket index (now_ns / bucket_ns) the ring was last
+    /// advanced to; buckets older than `len` slots are stale.
+    last_abs: u64,
+    buckets: Vec<TimeBucket>,
+}
+
+impl Ring {
+    fn new(window_secs: u64, bucket_count: usize) -> Self {
+        let bucket_ns = (window_secs * 1_000_000_000 / bucket_count as u64).max(1);
+        Ring {
+            window_secs,
+            bucket_ns,
+            last_abs: 0,
+            buckets: vec![TimeBucket::empty(); bucket_count],
+        }
+    }
+
+    /// Clears buckets the clock has moved past since the last call.
+    fn advance(&mut self, now_ns: u64) {
+        let abs = now_ns / self.bucket_ns;
+        if abs <= self.last_abs {
+            return;
+        }
+        let steps = (abs - self.last_abs).min(self.buckets.len() as u64);
+        for i in 1..=steps {
+            let slot = ((self.last_abs + i) % self.buckets.len() as u64) as usize;
+            self.buckets[slot].clear();
+        }
+        self.last_abs = abs;
+    }
+
+    fn record(&mut self, now_ns: u64, value: f64) {
+        self.advance(now_ns);
+        let slot = (self.last_abs % self.buckets.len() as u64) as usize;
+        self.buckets[slot].record(value);
+    }
+
+    fn summary(&mut self, now_ns: u64) -> WindowSummary {
+        self.advance(now_ns);
+        let mut merged = [0u64; VALUE_BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for bucket in &self.buckets {
+            if bucket.count == 0 {
+                continue;
+            }
+            count += bucket.count;
+            sum += bucket.sum;
+            min = min.min(bucket.min);
+            max = max.max(bucket.max);
+            for (m, c) in merged.iter_mut().zip(&bucket.counts) {
+                *m += u64::from(*c);
+            }
+        }
+        if count == 0 {
+            return WindowSummary {
+                window_secs: self.window_secs,
+                ..WindowSummary::default()
+            };
+        }
+        let at = |p: f64| {
+            let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (idx, c) in merged.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_midpoint(idx).clamp(min, max);
+                }
+            }
+            max
+        };
+        WindowSummary {
+            window_secs: self.window_secs,
+            count,
+            rate_per_sec: count as f64 / self.window_secs as f64,
+            mean: sum / count as f64,
+            min,
+            max,
+            p50: at(50.0),
+            p95: at(95.0),
+            p99: at(99.0),
+        }
+    }
+}
+
+/// Ring histograms for one metric, one ring per configured window.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    rings: Vec<Ring>,
+}
+
+impl WindowedHistogram {
+    /// A histogram over [`DEFAULT_WINDOWS`].
+    pub fn new() -> Self {
+        Self::with_windows(&DEFAULT_WINDOWS)
+    }
+
+    /// A histogram over an explicit window set.
+    pub fn with_windows(windows: &[(u64, usize)]) -> Self {
+        WindowedHistogram {
+            rings: windows.iter().map(|&(w, b)| Ring::new(w, b)).collect(),
+        }
+    }
+
+    /// Records a sample at `now_ns` into every ring. Non-finite values
+    /// are dropped, matching [`crate::metrics::Histogram::record`].
+    pub fn record(&mut self, now_ns: u64, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        for ring in &mut self.rings {
+            ring.record(now_ns, value);
+        }
+    }
+
+    /// The live per-window summaries as of `now_ns`.
+    pub fn snapshot(&mut self, now_ns: u64) -> Vec<WindowSummary> {
+        self.rings.iter_mut().map(|r| r.summary(now_ns)).collect()
+    }
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One time bucket of a rate-counter ring (increment total only).
+#[derive(Debug, Clone, Copy, Default)]
+struct CountBucket {
+    count: u64,
+}
+
+/// A ring of increment counts covering one trailing window.
+#[derive(Debug, Clone)]
+struct CountRing {
+    window_secs: u64,
+    bucket_ns: u64,
+    last_abs: u64,
+    buckets: Vec<CountBucket>,
+}
+
+impl CountRing {
+    fn new(window_secs: u64, bucket_count: usize) -> Self {
+        let bucket_ns = (window_secs * 1_000_000_000 / bucket_count as u64).max(1);
+        CountRing {
+            window_secs,
+            bucket_ns,
+            last_abs: 0,
+            buckets: vec![CountBucket::default(); bucket_count],
+        }
+    }
+
+    fn advance(&mut self, now_ns: u64) {
+        let abs = now_ns / self.bucket_ns;
+        if abs <= self.last_abs {
+            return;
+        }
+        let steps = (abs - self.last_abs).min(self.buckets.len() as u64);
+        for i in 1..=steps {
+            let slot = ((self.last_abs + i) % self.buckets.len() as u64) as usize;
+            self.buckets[slot].count = 0;
+        }
+        self.last_abs = abs;
+    }
+
+    fn add(&mut self, now_ns: u64, delta: u64) {
+        self.advance(now_ns);
+        let slot = (self.last_abs % self.buckets.len() as u64) as usize;
+        self.buckets[slot].count += delta;
+    }
+
+    fn summary(&mut self, now_ns: u64) -> WindowSummary {
+        self.advance(now_ns);
+        let count: u64 = self.buckets.iter().map(|b| b.count).sum();
+        WindowSummary {
+            window_secs: self.window_secs,
+            count,
+            rate_per_sec: count as f64 / self.window_secs as f64,
+            ..WindowSummary::default()
+        }
+    }
+}
+
+/// Windowed increment rates for one counter, one ring per window.
+#[derive(Debug, Clone)]
+pub struct RateCounter {
+    rings: Vec<CountRing>,
+}
+
+impl RateCounter {
+    /// A rate counter over [`DEFAULT_WINDOWS`].
+    pub fn new() -> Self {
+        Self::with_windows(&DEFAULT_WINDOWS)
+    }
+
+    /// A rate counter over an explicit window set.
+    pub fn with_windows(windows: &[(u64, usize)]) -> Self {
+        RateCounter {
+            rings: windows.iter().map(|&(w, b)| CountRing::new(w, b)).collect(),
+        }
+    }
+
+    /// Adds `delta` increments at `now_ns` into every ring.
+    pub fn add(&mut self, now_ns: u64, delta: u64) {
+        for ring in &mut self.rings {
+            ring.add(now_ns, delta);
+        }
+    }
+
+    /// The live per-window counts and rates as of `now_ns`. Percentile
+    /// fields are zero — rate counters carry no value distribution.
+    pub fn snapshot(&mut self, now_ns: u64) -> Vec<WindowSummary> {
+        self.rings.iter_mut().map(|r| r.summary(now_ns)).collect()
+    }
+}
+
+impl Default for RateCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Every windowed metric the recorder tracks, keyed by name.
+///
+/// Names are registered implicitly: the first `observe` creates a
+/// [`WindowedHistogram`], the first `add` creates a [`RateCounter`].
+#[derive(Debug, Clone, Default)]
+pub struct WindowStore {
+    histograms: BTreeMap<String, WindowedHistogram>,
+    rates: BTreeMap<String, RateCounter>,
+}
+
+impl WindowStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one histogram sample in at `now_ns`.
+    pub fn observe(&mut self, now_ns: u64, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(now_ns, value);
+    }
+
+    /// Folds `delta` counter increments in at `now_ns`.
+    pub fn add(&mut self, now_ns: u64, name: &str, delta: u64) {
+        self.rates
+            .entry(name.to_owned())
+            .or_default()
+            .add(now_ns, delta);
+    }
+
+    /// Live per-window summaries of every windowed histogram.
+    pub fn histogram_windows(&mut self, now_ns: u64) -> Vec<(String, Vec<WindowSummary>)> {
+        self.histograms
+            .iter_mut()
+            .map(|(name, h)| (name.clone(), h.snapshot(now_ns)))
+            .collect()
+    }
+
+    /// Live per-window counts/rates of every windowed counter.
+    pub fn rate_windows(&mut self, now_ns: u64) -> Vec<(String, Vec<WindowSummary>)> {
+        self.rates
+            .iter_mut()
+            .map(|(name, r)| (name.clone(), r.snapshot(now_ns)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn value_buckets_are_monotonic_and_cover_the_range() {
+        let mut last = 0;
+        for exp in -10..=6 {
+            let v = 10f64.powi(exp);
+            let idx = value_bucket(v);
+            assert!(idx >= last, "bucket index must not decrease");
+            last = idx;
+        }
+        assert_eq!(value_bucket(0.0), 0);
+        assert_eq!(value_bucket(-5.0), 0);
+        assert_eq!(value_bucket(f64::MAX), VALUE_BUCKETS - 1);
+        // The representative value of a sample's bucket is within the
+        // bucket's ~33% multiplicative width of the sample itself.
+        for &v in &[1e-6, 3.7e-3, 0.25, 42.0] {
+            let mid = bucket_midpoint(value_bucket(v));
+            assert!(
+                (mid / v).log10().abs() < 1.0 / BUCKETS_PER_DECADE,
+                "midpoint {mid} too far from {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_percentiles_track_the_distribution() {
+        let mut h = WindowedHistogram::new();
+        // 100 samples spread across 0.5 s: 1 ms .. 100 ms.
+        for i in 1..=100u64 {
+            h.record(i * 5_000_000, i as f64 * 1e-3);
+        }
+        let windows = h.snapshot(500_000_000);
+        assert_eq!(windows.len(), DEFAULT_WINDOWS.len());
+        let w1 = &windows[0];
+        assert_eq!(w1.window_secs, 1);
+        assert_eq!(w1.count, 100);
+        assert!((w1.rate_per_sec - 100.0).abs() < 1e-9);
+        // Log-bucket resolution is ~±15%.
+        assert!((w1.p50 / 0.050 - 1.0).abs() < 0.2, "p50 {}", w1.p50);
+        assert!((w1.p95 / 0.095 - 1.0).abs() < 0.2, "p95 {}", w1.p95);
+        assert!(w1.p50 <= w1.p95 && w1.p95 <= w1.p99);
+        assert!(w1.min <= w1.p50 && w1.p99 <= w1.max);
+        assert_eq!(w1.min, 1e-3);
+        assert_eq!(w1.max, 0.1);
+    }
+
+    #[test]
+    fn samples_age_out_of_the_window() {
+        let mut h = WindowedHistogram::new();
+        h.record(0, 1.0);
+        // Still visible within the 1 s window...
+        assert_eq!(h.snapshot(900_000_000)[0].count, 1);
+        // ...gone 2 s later from the 1 s window, still in 10 s and 60 s.
+        let windows = h.snapshot(2 * SEC);
+        assert_eq!(windows[0].count, 0);
+        assert_eq!(windows[0].rate_per_sec, 0.0);
+        assert_eq!(windows[1].count, 1);
+        assert_eq!(windows[2].count, 1);
+        // After 70 s everything has aged out everywhere.
+        let windows = h.snapshot(70 * SEC);
+        assert!(windows.iter().all(|w| w.count == 0));
+    }
+
+    #[test]
+    fn ring_survives_long_idle_gaps() {
+        let mut h = WindowedHistogram::new();
+        h.record(0, 1.0);
+        // A gap far longer than any ring (exercises the step clamp).
+        h.record(3600 * SEC, 2.0);
+        let windows = h.snapshot(3600 * SEC + 1);
+        assert_eq!(windows[0].count, 1);
+        assert_eq!(windows[0].max, 2.0);
+    }
+
+    #[test]
+    fn rate_counter_windows_count_and_age() {
+        let mut r = RateCounter::new();
+        for i in 0..10u64 {
+            r.add(i * SEC / 10, 2);
+        }
+        let windows = r.snapshot(SEC - 1);
+        assert_eq!(windows[0].count, 20);
+        assert!((windows[0].rate_per_sec - 20.0).abs() < 1e-9);
+        assert_eq!(windows[1].count, 20);
+        assert!((windows[1].rate_per_sec - 2.0).abs() < 1e-9);
+        // 15 s later the 1 s and 10 s windows are empty, 60 s remembers.
+        let windows = r.snapshot(15 * SEC);
+        assert_eq!(windows[0].count, 0);
+        assert_eq!(windows[1].count, 0);
+        assert_eq!(windows[2].count, 20);
+    }
+
+    #[test]
+    fn store_registers_names_implicitly_and_sorts_them() {
+        let mut store = WindowStore::new();
+        store.observe(0, "b.latency", 0.5);
+        store.observe(0, "a.latency", 0.25);
+        store.add(0, "requests", 3);
+        let hists = store.histogram_windows(1);
+        assert_eq!(hists.len(), 2);
+        assert_eq!(hists[0].0, "a.latency");
+        assert_eq!(hists[1].0, "b.latency");
+        let rates = store.rate_windows(1);
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].0, "requests");
+        assert_eq!(rates[0].1[0].count, 3);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let mut h = WindowedHistogram::new();
+        h.record(0, f64::NAN);
+        h.record(0, f64::INFINITY);
+        assert_eq!(h.snapshot(1)[0].count, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Loom-free concurrency stress: hammer `counter_add` / `observe` /
+//! `span` from N threads while snapshots are taken mid-flight, then
+//! prove nothing was lost and the JSONL artifact stayed parseable.
+
+use clockmark_obs::export::JsonLinesExporter;
+use clockmark_obs::json::{parse, Json};
+use clockmark_obs::{Recorder, SharedBuffer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const THREADS: u64 = 8;
+const ITERS: u64 = 500;
+
+#[test]
+fn concurrent_sites_lose_nothing_and_emit_valid_jsonl() {
+    let buffer = SharedBuffer::new();
+    let recorder = Arc::new(Recorder::new(vec![Box::new(JsonLinesExporter::new(
+        buffer.clone(),
+    ))]));
+    let finished = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let recorder = Arc::clone(&recorder);
+            let finished = &finished;
+            scope.spawn(move || {
+                for i in 0..ITERS {
+                    let _span = recorder
+                        .span("stress.iteration")
+                        .field("thread", t)
+                        .field("i", i);
+                    recorder.counter_add("stress.count", 1);
+                    recorder.observe("stress.value", (i % 100) as f64 * 1e-3);
+                }
+                finished.fetch_add(1, Ordering::Release);
+            });
+        }
+        // Snapshot continuously while the writers run: a torn read here
+        // would deadlock, panic, or show impossible partial state.
+        let recorder = Arc::clone(&recorder);
+        let finished = &finished;
+        scope.spawn(move || {
+            let mut mid_flight = 0u64;
+            while finished.load(Ordering::Acquire) < THREADS {
+                let snap = recorder.snapshot();
+                let count = snap.counter("stress.count").unwrap_or(0);
+                assert!(count <= THREADS * ITERS, "counter overshot: {count}");
+                if let Some(h) = snap.histogram("stress.value") {
+                    assert!(h.count <= THREADS * ITERS);
+                    assert!(h.p50 <= h.p99);
+                }
+                let _ = recorder.collapsed_spans();
+                mid_flight += 1;
+                std::thread::yield_now();
+            }
+            assert!(mid_flight > 0, "snapshotter never ran");
+        });
+    });
+
+    // No lost increments anywhere.
+    let snap = recorder.snapshot();
+    assert_eq!(snap.counter("stress.count"), Some(THREADS * ITERS));
+    let hist = snap.histogram("stress.value").expect("histogram recorded");
+    assert_eq!(hist.count, THREADS * ITERS);
+    let (name, span_stat) = snap
+        .spans
+        .iter()
+        .find(|(n, _)| n == "stress.iteration")
+        .expect("span aggregated");
+    assert_eq!(name, "stress.iteration");
+    assert_eq!(span_stat.count, THREADS * ITERS);
+
+    // The live windows saw the same volume (everything within 60 s).
+    let windows = snap.window("stress.value").expect("windowed");
+    let w60 = windows
+        .iter()
+        .find(|w| w.window_secs == 60)
+        .expect("60s window");
+    assert_eq!(w60.count, THREADS * ITERS);
+
+    // The collapsed-stack rollup accounts for every span.
+    let collapsed = recorder.collapsed_spans();
+    assert!(collapsed.contains("stress.iteration "));
+
+    // Every interleaved JSONL line parses and is a span event.
+    recorder.flush();
+    let contents = buffer.contents();
+    let mut span_lines = 0u64;
+    for line in contents.lines() {
+        let v = parse(line).unwrap_or_else(|e| panic!("line {line:?} must parse: {e}"));
+        if v.get("t").and_then(Json::as_str) == Some("span") {
+            span_lines += 1;
+        }
+    }
+    assert_eq!(span_lines, THREADS * ITERS, "every span event exported");
+}

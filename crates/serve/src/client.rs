@@ -12,19 +12,30 @@ use clockmark_cpa::{DetectOptions, DetectionCriterion, TraceDetection};
 
 use crate::error::{io_err, ServeError};
 use crate::protocol::{
-    read_frame, read_greeting, write_frame, write_greeting, ErrorCode, Request, Response,
-    ServerStatus,
+    mint_span_id, mint_trace_id, read_frame, read_greeting, trace_id_hex, write_frame,
+    write_greeting, ErrorCode, Request, Response, ServerStatus, TRACE_ID_LEN,
 };
 
 /// Samples per `DetectChunk` frame: 64 KiB of payload, comfortably
 /// under any sane `max_frame_bytes`.
 pub const CLIENT_CHUNK: usize = 8192;
 
+/// Client-side trace state while wire tracing is enabled.
+#[derive(Debug)]
+struct TraceState {
+    trace_id: [u8; TRACE_ID_LEN],
+    /// Server span id from the most recent `TraceEcho` frame.
+    last_server_span: u64,
+}
+
 /// A connected detection-service client.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
     max_frame_bytes: usize,
+    trace: Option<TraceState>,
+    bytes_sent: u64,
+    bytes_received: u64,
 }
 
 impl Client {
@@ -56,11 +67,67 @@ impl Client {
         Ok(Client {
             stream,
             max_frame_bytes: 1 << 20,
+            trace: None,
+            bytes_sent: 0,
+            bytes_received: 0,
         })
+    }
+
+    /// Turns on wire trace propagation for this connection: every
+    /// subsequent request is preceded by a `TraceContext` frame and the
+    /// server answers each response with a `TraceEcho` carrying its
+    /// span id. Returns the minted 16-byte trace id.
+    ///
+    /// Tracing never changes verdicts — only extra framing and span
+    /// events are added.
+    pub fn enable_tracing(&mut self) -> [u8; TRACE_ID_LEN] {
+        let trace_id = mint_trace_id();
+        self.trace = Some(TraceState {
+            trace_id,
+            last_server_span: 0,
+        });
+        trace_id
+    }
+
+    /// The active trace id as 32 lowercase hex chars, if tracing is on.
+    pub fn trace_id_hex(&self) -> Option<String> {
+        self.trace.as_ref().map(|t| trace_id_hex(&t.trace_id))
+    }
+
+    /// The server span id echoed for the most recent traced response
+    /// (zero before any traced response arrives).
+    pub fn last_server_span(&self) -> u64 {
+        self.trace.as_ref().map_or(0, |t| t.last_server_span)
+    }
+
+    /// Total frame bytes written to the wire by this client.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total frame bytes read from the wire by this client.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    /// When tracing is enabled: mint a client-side span id for the next
+    /// request and push it to the server as the parent of its spans.
+    fn begin_traced_request(&mut self) -> Result<Option<u64>, ServeError> {
+        let Some(trace) = self.trace.as_ref() else {
+            return Ok(None);
+        };
+        let span_id = mint_span_id();
+        let frame = Request::TraceContext {
+            trace_id: trace.trace_id,
+            parent_span: span_id,
+        };
+        self.send(&frame)?;
+        Ok(Some(span_id))
     }
 
     /// Round-trips a liveness probe.
     pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.begin_traced_request()?;
         self.send(&Request::Ping)?;
         match self.receive()? {
             Response::Pong => Ok(()),
@@ -70,9 +137,22 @@ impl Client {
 
     /// Fetches the server's load counters.
     pub fn status(&mut self) -> Result<ServerStatus, ServeError> {
+        self.begin_traced_request()?;
         self.send(&Request::Status)?;
         match self.receive()? {
             Response::Status(status) => Ok(status),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches a Prometheus text-format snapshot of the server's live
+    /// metrics (always available; serve-level series are injected even
+    /// when the server has no recorder installed).
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        self.begin_traced_request()?;
+        self.send(&Request::Metrics)?;
+        match self.receive()? {
+            Response::Metrics { text } => Ok(text),
             other => Err(unexpected(&other)),
         }
     }
@@ -89,6 +169,19 @@ impl Client {
         options: DetectOptions,
         samples: &[f64],
     ) -> Result<TraceDetection, ServeError> {
+        let sent_before = self.bytes_sent;
+        let client_span = self.begin_traced_request()?;
+        let mut span = clockmark_obs::span("client.detect")
+            .field("cycles", samples.len() as u64)
+            .field("period", pattern.len() as u64);
+        if let (Some(span_id), Some(trace)) = (client_span, self.trace.as_ref()) {
+            span = span
+                .field("trace_id", trace_id_hex(&trace.trace_id))
+                .field("span_id", span_id);
+        }
+        if let Some(algo) = options.algo {
+            span = span.field("algo", algo.as_str());
+        }
         self.send(&Request::DetectStart {
             pattern: pattern.to_vec(),
             algo: options.algo,
@@ -100,10 +193,21 @@ impl Client {
             })?;
         }
         self.send(&Request::DetectFinish)?;
-        match self.receive()? {
+        let outcome = match self.receive()? {
             Response::Detection(detection) => Ok(detection),
             other => Err(unexpected(&other)),
+        };
+        span = span.field("wire_bytes", self.bytes_sent - sent_before);
+        if let Some(trace) = self.trace.as_ref() {
+            span = span.field("server_span", trace.last_server_span);
         }
+        if let Ok(detection) = &outcome {
+            span = span
+                .field("peak_rho", detection.result.peak_rho)
+                .field("detected", detection.result.detected);
+        }
+        drop(span);
+        outcome
     }
 
     /// Asks the server to detect `pattern` in a trace stored in a
@@ -115,6 +219,15 @@ impl Client {
         pattern: &[bool],
         options: DetectOptions,
     ) -> Result<TraceDetection, ServeError> {
+        let client_span = self.begin_traced_request()?;
+        let mut span = clockmark_obs::span("client.detect")
+            .field("corpus_trace", trace)
+            .field("period", pattern.len() as u64);
+        if let (Some(span_id), Some(state)) = (client_span, self.trace.as_ref()) {
+            span = span
+                .field("trace_id", trace_id_hex(&state.trace_id))
+                .field("span_id", span_id);
+        }
         self.send(&Request::DetectCorpus {
             corpus: corpus.to_string(),
             trace: trace.to_string(),
@@ -122,10 +235,20 @@ impl Client {
             algo: options.algo,
             criterion: options.criterion,
         })?;
-        match self.receive()? {
+        let outcome = match self.receive()? {
             Response::Detection(detection) => Ok(detection),
             other => Err(unexpected(&other)),
+        };
+        if let Some(state) = self.trace.as_ref() {
+            span = span.field("server_span", state.last_server_span);
         }
+        if let Ok(detection) = &outcome {
+            span = span
+                .field("peak_rho", detection.result.peak_rho)
+                .field("detected", detection.result.detected);
+        }
+        drop(span);
+        outcome
     }
 
     /// Convenience wrapper: [`Client::detect`] with default options and
@@ -145,6 +268,7 @@ impl Client {
 
     /// Asks the server to drain and exit; returns once acknowledged.
     pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.begin_traced_request()?;
         self.send(&Request::Shutdown)?;
         match self.receive()? {
             Response::ShutdownAck => Ok(()),
@@ -154,29 +278,45 @@ impl Client {
 
     fn send(&mut self, request: &Request) -> Result<(), ServeError> {
         let (ty, payload) = request.encode();
+        self.bytes_sent += 5 + payload.len() as u64; // type + u32 length + payload
         write_frame(&mut self.stream, ty, &payload).map_err(|e| io_err("writing request", e))
     }
 
     /// Reads the next response, translating error frames into
-    /// [`ServeError::Busy`] / [`ServeError::Remote`].
+    /// [`ServeError::Busy`] / [`ServeError::Remote`] and absorbing
+    /// `TraceEcho` frames into the trace state.
     fn receive(&mut self) -> Result<Response, ServeError> {
-        let (ty, payload) = read_frame(&mut self.stream, self.max_frame_bytes)?;
-        match Response::decode(ty, &payload)? {
-            Response::Error {
-                code: ErrorCode::Busy,
-                retry_after_ms,
-                ..
-            } => Err(ServeError::Busy { retry_after_ms }),
-            Response::Error {
-                code,
-                retry_after_ms,
-                message,
-            } => Err(ServeError::Remote {
-                code,
-                retry_after_ms,
-                message,
-            }),
-            other => Ok(other),
+        loop {
+            let (ty, payload) = read_frame(&mut self.stream, self.max_frame_bytes)?;
+            self.bytes_received += 5 + payload.len() as u64;
+            match Response::decode(ty, &payload)? {
+                Response::TraceEcho { trace_id, span_id } => {
+                    // Record the server span for the request in flight;
+                    // the substantive response follows on the wire.
+                    if let Some(trace) = self.trace.as_mut() {
+                        if trace.trace_id == trace_id {
+                            trace.last_server_span = span_id;
+                        }
+                    }
+                }
+                Response::Error {
+                    code: ErrorCode::Busy,
+                    retry_after_ms,
+                    ..
+                } => return Err(ServeError::Busy { retry_after_ms }),
+                Response::Error {
+                    code,
+                    retry_after_ms,
+                    message,
+                } => {
+                    return Err(ServeError::Remote {
+                        code,
+                        retry_after_ms,
+                        message,
+                    })
+                }
+                other => return Ok(other),
+            }
         }
     }
 }

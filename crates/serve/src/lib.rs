@@ -68,5 +68,8 @@ mod server;
 
 pub use client::{Client, CLIENT_CHUNK};
 pub use error::ServeError;
-pub use protocol::{ErrorCode, Request, Response, ServerStatus, MAGIC, PROTOCOL_VERSION};
+pub use protocol::{
+    mint_span_id, mint_trace_id, trace_id_hex, ErrorCode, Request, Response, ServerStatus, MAGIC,
+    PROTOCOL_VERSION, TRACE_ID_LEN,
+};
 pub use server::{ServeLimits, Server, ServerHandle};

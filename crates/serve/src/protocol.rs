@@ -34,6 +34,19 @@
 //! `DetectStart` and `DetectChunk` are deliberately unacknowledged so
 //! a client can saturate the socket; the server replies exactly once
 //! per detect exchange, at `DetectFinish` or on the first failure.
+//!
+//! ## Trace context
+//!
+//! A client that wants distributed tracing sends a `TraceContext`
+//! frame (16-byte trace id + `u64` parent span id, both
+//! client-generated) before a request. The context is sticky for the
+//! session: while one is set, the server precedes **every** response
+//! frame with a `TraceEcho` frame echoing the trace id plus the
+//! server-side span id it minted for the request, so client and server
+//! span events share one causally-linked trace. `TraceContext` is
+//! unacknowledged, like `DetectStart`; clients that never send it never
+//! see an echo, which keeps the frame optional and the protocol
+//! backward-compatible at the frame level.
 
 use clockmark_cpa::{CpaAlgo, DetectionCriterion, DetectionResult, TraceDetection};
 
@@ -42,8 +55,10 @@ use crate::error::ServeError;
 /// Magic bytes every connection must open with.
 pub const MAGIC: [u8; 6] = *b"CMRPC1";
 
-/// Wire protocol version carried in the greeting.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Wire protocol version carried in the greeting. Version 2 added the
+/// `TraceContext`/`TraceEcho` and `Metrics` frames and extended the
+/// `Status` report with uptime, session totals and the algo mix.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Frame-type byte of the error frame (valid in either direction).
 pub const FRAME_ERROR: u8 = 0x7F;
@@ -55,11 +70,18 @@ const FRAME_DETECT_FINISH: u8 = 0x04;
 const FRAME_DETECT_CORPUS: u8 = 0x05;
 const FRAME_STATUS: u8 = 0x06;
 const FRAME_SHUTDOWN: u8 = 0x07;
+const FRAME_TRACE_CONTEXT: u8 = 0x08;
+const FRAME_METRICS: u8 = 0x09;
 
 const FRAME_PONG: u8 = 0x81;
 const FRAME_DETECT_RESULT: u8 = 0x82;
 const FRAME_STATUS_REPORT: u8 = 0x83;
 const FRAME_SHUTDOWN_ACK: u8 = 0x84;
+const FRAME_METRICS_REPORT: u8 = 0x85;
+const FRAME_TRACE_ECHO: u8 = 0x86;
+
+/// Length in bytes of a wire trace id.
+pub const TRACE_ID_LEN: usize = 16;
 
 /// Machine-readable failure class carried by an error frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +177,17 @@ pub enum Request {
     Status,
     /// Ask the server to drain and exit.
     Shutdown,
+    /// Set (or replace) the session's trace context. Unacknowledged;
+    /// while set, every response is preceded by [`Response::TraceEcho`].
+    TraceContext {
+        /// Client-generated 16-byte trace id shared by all spans of the
+        /// logical operation.
+        trace_id: [u8; TRACE_ID_LEN],
+        /// Client-side span id the server's spans are parented under.
+        parent_span: u64,
+    },
+    /// Request a Prometheus-text metrics snapshot.
+    Metrics,
 }
 
 /// A decoded server-to-client frame.
@@ -169,6 +202,20 @@ pub enum Response {
     Status(ServerStatus),
     /// The server acknowledged [`Request::Shutdown`] and is draining.
     ShutdownAck,
+    /// Answer to [`Request::Metrics`]: a Prometheus text-format
+    /// snapshot of the server's live metrics.
+    Metrics {
+        /// Prometheus exposition text (version 0.0.4).
+        text: String,
+    },
+    /// Echo of the session's trace context, sent immediately before a
+    /// response while a [`Request::TraceContext`] is in effect.
+    TraceEcho {
+        /// The trace id the client supplied.
+        trace_id: [u8; TRACE_ID_LEN],
+        /// Server-side span id minted for this request.
+        span_id: u64,
+    },
     /// The request failed; the connection may or may not survive.
     Error {
         /// Failure class.
@@ -193,6 +240,64 @@ pub struct ServerStatus {
     pub rejected: u64,
     /// Whether the server has stopped accepting connections.
     pub draining: bool,
+    /// Seconds since the server started.
+    pub uptime_secs: u64,
+    /// Sessions admitted since startup (active + completed).
+    pub total_sessions: u64,
+    /// Verdicts served by the naive kernel.
+    pub algo_naive: u64,
+    /// Verdicts served by the folded kernel.
+    pub algo_folded: u64,
+    /// Verdicts served by the FFT kernel.
+    pub algo_fft: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Trace-id minting
+// ---------------------------------------------------------------------------
+
+/// Per-process random base for minted ids, so ids from different
+/// processes (client vs server, successive runs) do not collide. Std
+/// only: `RandomState` is the standard library's entropy source.
+fn id_base() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::OnceLock;
+    static BASE: OnceLock<u64> = OnceLock::new();
+    *BASE.get_or_init(|| {
+        std::collections::hash_map::RandomState::new()
+            .build_hasher()
+            .finish()
+    })
+}
+
+/// Mints a process-unique span id (never zero).
+pub fn mint_span_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    id_base()
+        .wrapping_add(NEXT.fetch_add(1, Ordering::Relaxed))
+        .max(1)
+}
+
+/// Mints a fresh 16-byte trace id for a new logical operation.
+pub fn mint_trace_id() -> [u8; TRACE_ID_LEN] {
+    use std::hash::{BuildHasher, Hasher};
+    let mut id = [0u8; TRACE_ID_LEN];
+    let fresh = std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish();
+    id[..8].copy_from_slice(&fresh.to_le_bytes());
+    id[8..].copy_from_slice(&mint_span_id().rotate_left(17).to_le_bytes());
+    id
+}
+
+/// Renders a trace id as the conventional 32-char lowercase hex string.
+pub fn trace_id_hex(id: &[u8; TRACE_ID_LEN]) -> String {
+    let mut out = String::with_capacity(TRACE_ID_LEN * 2);
+    for b in id {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -316,6 +421,10 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    fn trace_id(&mut self) -> Result<[u8; TRACE_ID_LEN], ServeError> {
+        Ok(self.take(TRACE_ID_LEN)?.try_into().unwrap())
+    }
+
     fn criterion(&mut self) -> Result<DetectionCriterion, ServeError> {
         Ok(DetectionCriterion {
             min_peak_ratio: self.f64()?,
@@ -399,6 +508,15 @@ impl Request {
             }
             Request::Status => FRAME_STATUS,
             Request::Shutdown => FRAME_SHUTDOWN,
+            Request::TraceContext {
+                trace_id,
+                parent_span,
+            } => {
+                out.extend_from_slice(trace_id);
+                put_u64(&mut out, *parent_span);
+                FRAME_TRACE_CONTEXT
+            }
+            Request::Metrics => FRAME_METRICS,
         };
         (ty, out)
     }
@@ -426,6 +544,11 @@ impl Request {
             },
             FRAME_STATUS => Request::Status,
             FRAME_SHUTDOWN => Request::Shutdown,
+            FRAME_TRACE_CONTEXT => Request::TraceContext {
+                trace_id: c.trace_id()?,
+                parent_span: c.u64()?,
+            },
+            FRAME_METRICS => Request::Metrics,
             other => return Err(malformed(format!("unknown request frame 0x{other:02x}"))),
         };
         c.expect_end()?;
@@ -455,9 +578,23 @@ impl Response {
                 put_u64(&mut out, s.served);
                 put_u64(&mut out, s.rejected);
                 out.push(s.draining as u8);
+                put_u64(&mut out, s.uptime_secs);
+                put_u64(&mut out, s.total_sessions);
+                put_u64(&mut out, s.algo_naive);
+                put_u64(&mut out, s.algo_folded);
+                put_u64(&mut out, s.algo_fft);
                 FRAME_STATUS_REPORT
             }
             Response::ShutdownAck => FRAME_SHUTDOWN_ACK,
+            Response::Metrics { text } => {
+                put_bytes(&mut out, text.as_bytes());
+                FRAME_METRICS_REPORT
+            }
+            Response::TraceEcho { trace_id, span_id } => {
+                out.extend_from_slice(trace_id);
+                put_u64(&mut out, *span_id);
+                FRAME_TRACE_ECHO
+            }
             Response::Error {
                 code,
                 retry_after_ms,
@@ -509,8 +646,18 @@ impl Response {
                 served: c.u64()?,
                 rejected: c.u64()?,
                 draining: c.u8()? != 0,
+                uptime_secs: c.u64()?,
+                total_sessions: c.u64()?,
+                algo_naive: c.u64()?,
+                algo_folded: c.u64()?,
+                algo_fft: c.u64()?,
             }),
             FRAME_SHUTDOWN_ACK => Response::ShutdownAck,
+            FRAME_METRICS_REPORT => Response::Metrics { text: c.string()? },
+            FRAME_TRACE_ECHO => Response::TraceEcho {
+                trace_id: c.trace_id()?,
+                span_id: c.u64()?,
+            },
             FRAME_ERROR => {
                 let raw = c.u16()?;
                 let code = ErrorCode::from_wire(raw)
@@ -652,6 +799,11 @@ mod tests {
         });
         round_trip_request(Request::Status);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::TraceContext {
+            trace_id: *b"0123456789abcdef",
+            parent_span: u64::MAX,
+        });
+        round_trip_request(Request::Metrics);
     }
 
     #[test]
@@ -674,8 +826,22 @@ mod tests {
             served: 12,
             rejected: 2,
             draining: true,
+            uptime_secs: 3601,
+            total_sessions: 44,
+            algo_naive: 1,
+            algo_folded: 7,
+            algo_fft: 4,
         }));
         round_trip_response(Response::ShutdownAck);
+        round_trip_response(Response::Metrics {
+            text: "# TYPE clockmark_serve_accept_total counter\n\
+                   clockmark_serve_accept_total 42\n"
+                .into(),
+        });
+        round_trip_response(Response::TraceEcho {
+            trace_id: [0xAB; TRACE_ID_LEN],
+            span_id: 7,
+        });
         round_trip_response(Response::Error {
             code: ErrorCode::Busy,
             retry_after_ms: 100,
@@ -741,6 +907,23 @@ mod tests {
         assert!(Request::decode(ty, &padded).is_err());
         // Odd-length sample payload.
         assert!(Request::decode(FRAME_DETECT_CHUNK, &[0u8; 9]).is_err());
+        // Truncated trace context (15 of 24 bytes).
+        assert!(Request::decode(FRAME_TRACE_CONTEXT, &[0u8; 15]).is_err());
+        // Trace echo with trailing bytes.
+        assert!(Response::decode(FRAME_TRACE_ECHO, &[0u8; 25]).is_err());
+    }
+
+    #[test]
+    fn minted_ids_are_unique_and_hex_renders() {
+        let a = mint_span_id();
+        let b = mint_span_id();
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+        assert_ne!(mint_trace_id(), mint_trace_id());
+        let hex = trace_id_hex(&[0x01, 0xAB, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF]);
+        assert_eq!(hex.len(), 32);
+        assert!(hex.starts_with("01ab"));
+        assert!(hex.ends_with("ff"));
     }
 
     #[test]

@@ -19,11 +19,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use clockmark_cpa::{DetectOptions, Detector, StreamingDetection};
+use clockmark_cpa::{CpaAlgo, DetectOptions, Detector, StreamingDetection};
 
 use crate::error::{io_err, ServeError};
 use crate::protocol::{
-    read_greeting, write_frame, write_greeting, ErrorCode, Request, Response, ServerStatus,
+    mint_span_id, read_greeting, trace_id_hex, write_frame, write_greeting, ErrorCode, Request,
+    Response, ServerStatus, TRACE_ID_LEN,
 };
 
 /// Poll interval of the accept loop and of idle session reads. Short
@@ -46,6 +47,9 @@ pub struct ServeLimits {
     pub idle_timeout: Duration,
     /// Backoff hint attached to `Busy` rejections.
     pub retry_after_ms: u32,
+    /// Requests taking longer than this are logged at `warn` level with
+    /// their trace id (the slow-request log). `Duration::MAX` disables.
+    pub slow_request: Duration,
 }
 
 impl Default for ServeLimits {
@@ -57,6 +61,7 @@ impl Default for ServeLimits {
             read_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(30),
             retry_after_ms: 100,
+            slow_request: Duration::from_secs(1),
         }
     }
 }
@@ -65,10 +70,15 @@ impl Default for ServeLimits {
 /// owning handle.
 struct Shared {
     limits: ServeLimits,
+    start: Instant,
     draining: AtomicBool,
     active: AtomicUsize,
+    total: AtomicU64,
     served: AtomicU64,
     rejected: AtomicU64,
+    algo_naive: AtomicU64,
+    algo_folded: AtomicU64,
+    algo_fft: AtomicU64,
 }
 
 impl Shared {
@@ -79,8 +89,63 @@ impl Shared {
             served: self.served.load(Ordering::SeqCst),
             rejected: self.rejected.load(Ordering::SeqCst),
             draining: self.draining.load(Ordering::SeqCst),
+            uptime_secs: self.start.elapsed().as_secs(),
+            total_sessions: self.total.load(Ordering::SeqCst),
+            algo_naive: self.algo_naive.load(Ordering::SeqCst),
+            algo_folded: self.algo_folded.load(Ordering::SeqCst),
+            algo_fft: self.algo_fft.load(Ordering::SeqCst),
         }
     }
+
+    /// Counts one served verdict against the kernel that produced it.
+    fn note_served(&self, algo: CpaAlgo) {
+        self.served.fetch_add(1, Ordering::SeqCst);
+        let slot = match algo {
+            CpaAlgo::Naive => &self.algo_naive,
+            CpaAlgo::Folded => &self.algo_folded,
+            CpaAlgo::Fft => &self.algo_fft,
+            // `CpaAlgo` is non-exhaustive; count unknown kernels as the
+            // dispatch default so the mix still sums to `served`.
+            _ => &self.algo_folded,
+        };
+        slot.fetch_add(1, Ordering::SeqCst);
+        clockmark_obs::counter_add("serve.served", 1);
+    }
+}
+
+/// Builds the Prometheus exposition the `Metrics` RPC returns: the
+/// global recorder's snapshot (empty when observability is disabled)
+/// with the server's own load series injected, so the RPC is useful
+/// even in a process with no recorder installed.
+fn metrics_text(shared: &Shared) -> String {
+    let mut snapshot = clockmark_obs::recorder()
+        .map(|r| r.snapshot())
+        .unwrap_or_default();
+    let status = shared.status();
+    snapshot.gauges.extend([
+        ("serve.uptime_seconds".to_owned(), status.uptime_secs as f64),
+        (
+            "serve.active_sessions".to_owned(),
+            f64::from(status.active_sessions),
+        ),
+        (
+            "serve.max_sessions".to_owned(),
+            f64::from(status.max_sessions),
+        ),
+        (
+            "serve.draining".to_owned(),
+            f64::from(u8::from(status.draining)),
+        ),
+    ]);
+    snapshot.counters.extend([
+        ("serve.served_verdicts".to_owned(), status.served),
+        ("serve.rejected_connections".to_owned(), status.rejected),
+        ("serve.sessions".to_owned(), status.total_sessions),
+        ("serve.verdicts_naive".to_owned(), status.algo_naive),
+        ("serve.verdicts_folded".to_owned(), status.algo_folded),
+        ("serve.verdicts_fft".to_owned(), status.algo_fft),
+    ]);
+    clockmark_obs::prometheus_text(&snapshot)
 }
 
 /// A running detection server.
@@ -186,10 +251,15 @@ impl Server {
 
         let shared = Arc::new(Shared {
             limits: self.limits,
+            start: Instant::now(),
             draining: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            total: AtomicU64::new(0),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            algo_naive: AtomicU64::new(0),
+            algo_folded: AtomicU64::new(0),
+            algo_fft: AtomicU64::new(0),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -234,6 +304,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     .spawn(move || {
                         if admitted {
                             let _slot = SessionSlot(&session_shared);
+                            session_shared.total.fetch_add(1, Ordering::SeqCst);
                             clockmark_obs::counter_add("serve.accept", 1);
                             run_session(stream, &session_shared);
                         } else {
@@ -297,12 +368,44 @@ fn reject_session(mut stream: TcpStream, shared: &Shared) {
 struct DetectExchange {
     detector: Detector,
     session: StreamingDetection,
+    /// Payload bytes received for this exchange (start + chunks).
+    wire_bytes: u64,
+}
+
+/// The session's sticky trace context, set by [`Request::TraceContext`].
+struct TraceCtx {
+    trace_id: [u8; TRACE_ID_LEN],
+    parent_span: u64,
+    /// Server-side span id minted for the request in flight; echoed in
+    /// the `TraceEcho` frame preceding each response.
+    current_span: u64,
+}
+
+/// Per-session state threaded through the request handler.
+struct SessionCtx {
+    exchange: Option<DetectExchange>,
+    trace: Option<TraceCtx>,
 }
 
 /// What the session loop should do after handling one frame.
 enum Flow {
     Continue,
     Close,
+}
+
+/// Short name of a request frame, used for span fields and logs.
+fn request_name(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "ping",
+        Request::DetectStart { .. } => "detect_start",
+        Request::DetectChunk { .. } => "detect_chunk",
+        Request::DetectFinish => "detect_finish",
+        Request::DetectCorpus { .. } => "detect_corpus",
+        Request::Status => "status",
+        Request::Shutdown => "shutdown",
+        Request::TraceContext { .. } => "trace_context",
+        Request::Metrics => "metrics",
+    }
 }
 
 fn run_session(mut stream: TcpStream, shared: &Shared) {
@@ -315,7 +418,10 @@ fn run_session(mut stream: TcpStream, shared: &Shared) {
     }
 
     let span = clockmark_obs::span("serve.session");
-    let mut exchange: Option<DetectExchange> = None;
+    let mut ctx = SessionCtx {
+        exchange: None,
+        trace: None,
+    };
     let mut last_activity = Instant::now();
 
     loop {
@@ -337,13 +443,13 @@ fn run_session(mut stream: TcpStream, shared: &Shared) {
                 // No frame yet. An idle session ends when the server
                 // drains or the idle budget runs out; one mid-exchange
                 // is given until the read timeout to resume streaming.
-                let budget = if exchange.is_some() {
+                let budget = if ctx.exchange.is_some() {
                     shared.limits.read_timeout
                 } else {
                     shared.limits.idle_timeout
                 };
                 let draining = shared.draining.load(Ordering::SeqCst);
-                if (draining && exchange.is_none()) || last_activity.elapsed() > budget {
+                if (draining && ctx.exchange.is_none()) || last_activity.elapsed() > budget {
                     break;
                 }
                 continue;
@@ -357,6 +463,7 @@ fn run_session(mut stream: TcpStream, shared: &Shared) {
                 Err(ServeError::FrameTooLarge { len, max }) => {
                     send_error(
                         &mut stream,
+                        None,
                         ErrorCode::FrameTooLarge,
                         0,
                         &format!("frame payload of {len} bytes exceeds the {max}-byte limit"),
@@ -367,15 +474,54 @@ fn run_session(mut stream: TcpStream, shared: &Shared) {
             };
         last_activity = Instant::now();
 
+        let wire_bytes = 5u64 + payload.len() as u64; // type byte + u32 length + payload
         let request = match Request::decode(frame_type[0], &payload) {
             Ok(request) => request,
             Err(e) => {
-                send_error(&mut stream, ErrorCode::Malformed, 0, &e.to_string());
+                send_error(&mut stream, None, ErrorCode::Malformed, 0, &e.to_string());
                 break;
             }
         };
 
-        match handle_request(&mut stream, shared, &mut exchange, request) {
+        // Mint the server-side span id for this request up front so the
+        // request span and the TraceEcho frame agree on it.
+        if let Some(trace) = ctx.trace.as_mut() {
+            trace.current_span = mint_span_id();
+        }
+        let frame = request_name(&request);
+        let started = Instant::now();
+        let request_span = {
+            let mut s = clockmark_obs::span("serve.request")
+                .field("frame", frame)
+                .field("wire_bytes", wire_bytes);
+            if let Some(trace) = ctx.trace.as_ref() {
+                s = s
+                    .field("trace_id", trace_id_hex(&trace.trace_id))
+                    .field("span_id", trace.current_span)
+                    .field("parent_span", trace.parent_span);
+            }
+            s
+        };
+        let flow = handle_request(&mut stream, shared, &mut ctx, request, wire_bytes);
+        drop(request_span);
+
+        let elapsed = started.elapsed();
+        clockmark_obs::counter_add("serve.requests", 1);
+        clockmark_obs::counter_add("serve.wire_bytes", wire_bytes);
+        clockmark_obs::observe("serve.request_seconds", elapsed.as_secs_f64());
+        if elapsed >= shared.limits.slow_request {
+            let trace = ctx
+                .trace
+                .as_ref()
+                .map(|t| trace_id_hex(&t.trace_id))
+                .unwrap_or_else(|| "-".to_string());
+            clockmark_obs::warn!(
+                "slow request: frame={frame} elapsed={:?} trace={trace}",
+                elapsed
+            );
+        }
+
+        match flow {
             Flow::Continue => {}
             Flow::Close => break,
         }
@@ -386,15 +532,53 @@ fn run_session(mut stream: TcpStream, shared: &Shared) {
 fn handle_request(
     stream: &mut TcpStream,
     shared: &Shared,
-    exchange: &mut Option<DetectExchange>,
+    ctx: &mut SessionCtx,
     request: Request,
+    wire_bytes: u64,
 ) -> Flow {
+    let trace = ctx.trace.take();
+    let flow = handle_request_inner(stream, shared, ctx, trace.as_ref(), request, wire_bytes);
+    if ctx.trace.is_none() {
+        ctx.trace = trace;
+    }
+    flow
+}
+
+fn handle_request_inner(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    ctx: &mut SessionCtx,
+    trace: Option<&TraceCtx>,
+    request: Request,
+    wire_bytes: u64,
+) -> Flow {
+    let exchange = &mut ctx.exchange;
     match request {
-        Request::Ping => send_response(stream, &Response::Pong),
-        Request::Status => send_response(stream, &Response::Status(shared.status())),
+        Request::Ping => send_response(stream, trace, &Response::Pong),
+        Request::Status => send_response(stream, trace, &Response::Status(shared.status())),
+        Request::Metrics => send_response(
+            stream,
+            trace,
+            &Response::Metrics {
+                text: metrics_text(shared),
+            },
+        ),
+        Request::TraceContext {
+            trace_id,
+            parent_span,
+        } => {
+            // Sticky and unacknowledged, like DetectStart: the context
+            // takes effect on the next request's response.
+            ctx.trace = Some(TraceCtx {
+                trace_id,
+                parent_span,
+                current_span: mint_span_id(),
+            });
+            Flow::Continue
+        }
         Request::Shutdown => {
             shared.draining.store(true, Ordering::SeqCst);
-            send_response(stream, &Response::ShutdownAck);
+            send_response(stream, trace, &Response::ShutdownAck);
             Flow::Close
         }
         Request::DetectStart {
@@ -405,12 +589,13 @@ fn handle_request(
             if exchange.is_some() {
                 return fail(
                     stream,
+                    trace,
                     ErrorCode::BadSequence,
                     "DetectStart while a detect exchange is already open",
                 );
             }
             if shared.draining.load(Ordering::SeqCst) {
-                return fail(stream, ErrorCode::Draining, "server is draining");
+                return fail(stream, trace, ErrorCode::Draining, "server is draining");
             }
             let mut options = DetectOptions::default().with_criterion(criterion);
             if let Some(algo) = algo {
@@ -419,16 +604,21 @@ fn handle_request(
             match Detector::with_options(&pattern, options) {
                 Ok(detector) => {
                     let session = detector.detect_streaming();
-                    *exchange = Some(DetectExchange { detector, session });
+                    *exchange = Some(DetectExchange {
+                        detector,
+                        session,
+                        wire_bytes,
+                    });
                     Flow::Continue
                 }
-                Err(e) => fail(stream, ErrorCode::Cpa, &e.to_string()),
+                Err(e) => fail(stream, trace, ErrorCode::Cpa, &e.to_string()),
             }
         }
         Request::DetectChunk { samples } => {
             let Some(open) = exchange.as_mut() else {
                 return fail(
                     stream,
+                    trace,
                     ErrorCode::BadSequence,
                     "DetectChunk without DetectStart",
                 );
@@ -438,6 +628,7 @@ fn handle_request(
                 *exchange = None;
                 return fail(
                     stream,
+                    trace,
                     ErrorCode::TooManyCycles,
                     &format!(
                         "trace exceeds the server's {}-cycle budget",
@@ -445,6 +636,7 @@ fn handle_request(
                     ),
                 );
             }
+            open.wire_bytes = open.wire_bytes.saturating_add(wire_bytes);
             open.session.push_chunk(&samples);
             Flow::Continue
         }
@@ -452,13 +644,22 @@ fn handle_request(
             let Some(open) = exchange.take() else {
                 return fail(
                     stream,
+                    trace,
                     ErrorCode::BadSequence,
                     "DetectFinish without DetectStart",
                 );
             };
-            let detect_span = clockmark_obs::span("serve.detect")
+            let algo = open.detector.resolved_algo();
+            let mut detect_span = clockmark_obs::span("serve.detect")
                 .field("cycles", open.session.cycles())
-                .field("period", open.session.period() as u64);
+                .field("period", open.session.period() as u64)
+                .field("algo", algo.as_str())
+                .field("wire_bytes", open.wire_bytes.saturating_add(wire_bytes));
+            if let Some(t) = trace {
+                detect_span = detect_span
+                    .field("trace_id", trace_id_hex(&t.trace_id))
+                    .field("parent_span", t.current_span);
+            }
             let outcome = open
                 .session
                 .spectrum()
@@ -466,18 +667,23 @@ fn handle_request(
                     result: open.detector.criterion().evaluate(&spectrum),
                     cycles: open.session.cycles(),
                 });
+            if let Ok(detection) = &outcome {
+                detect_span = detect_span
+                    .field("peak_rho", detection.result.peak_rho)
+                    .field("detected", detection.result.detected);
+            }
             drop(detect_span);
             match outcome {
                 Ok(detection) => {
-                    shared.served.fetch_add(1, Ordering::SeqCst);
-                    send_response(stream, &Response::Detection(detection))
+                    shared.note_served(algo);
+                    send_response(stream, trace, &Response::Detection(detection))
                 }
-                Err(e) => fail(stream, ErrorCode::Cpa, &e.to_string()),
+                Err(e) => fail(stream, trace, ErrorCode::Cpa, &e.to_string()),
             }
         }
         Request::DetectCorpus {
             corpus,
-            trace,
+            trace: trace_name,
             pattern,
             algo,
             criterion,
@@ -485,25 +691,37 @@ fn handle_request(
             if exchange.is_some() {
                 return fail(
                     stream,
+                    trace,
                     ErrorCode::BadSequence,
                     "DetectCorpus while a detect exchange is open",
                 );
             }
             if shared.draining.load(Ordering::SeqCst) {
-                return fail(stream, ErrorCode::Draining, "server is draining");
+                return fail(stream, trace, ErrorCode::Draining, "server is draining");
             }
-            match detect_corpus(shared, &corpus, &trace, &pattern, algo, criterion) {
-                Ok(detection) => {
-                    shared.served.fetch_add(1, Ordering::SeqCst);
-                    send_response(stream, &Response::Detection(detection))
+            match detect_corpus(
+                shared,
+                &corpus,
+                &trace_name,
+                &pattern,
+                algo,
+                criterion,
+                trace,
+            ) {
+                Ok((detection, algo)) => {
+                    shared.note_served(algo);
+                    send_response(stream, trace, &Response::Detection(detection))
                 }
-                Err((code, message)) => fail(stream, code, &message),
+                Err((code, message)) => fail(stream, trace, code, &message),
             }
-        }
+        } // `Request` is non_exhaustive for downstream crates only; within
+          // the defining crate the match above is already exhaustive.
     }
 }
 
 /// Runs a corpus-backed detect and classifies any failure for the wire.
+/// Returns the verdict together with the CPA kernel that produced it.
+#[allow(clippy::too_many_arguments)]
 fn detect_corpus(
     shared: &Shared,
     corpus: &str,
@@ -511,13 +729,15 @@ fn detect_corpus(
     pattern: &[bool],
     algo: Option<clockmark_cpa::CpaAlgo>,
     criterion: clockmark_cpa::DetectionCriterion,
-) -> Result<clockmark_cpa::TraceDetection, (ErrorCode, String)> {
+    trace_ctx: Option<&TraceCtx>,
+) -> Result<(clockmark_cpa::TraceDetection, CpaAlgo), (ErrorCode, String)> {
     let mut options = DetectOptions::default().with_criterion(criterion);
     if let Some(algo) = algo {
         options = options.with_algo(algo);
     }
     let detector =
         Detector::with_options(pattern, options).map_err(|e| (ErrorCode::Cpa, e.to_string()))?;
+    let resolved = detector.resolved_algo();
 
     let store =
         clockmark_corpus::Corpus::open(corpus).map_err(|e| (ErrorCode::Corpus, e.to_string()))?;
@@ -543,14 +763,25 @@ fn detect_corpus(
         .source(trace)
         .map_err(|e| (ErrorCode::Corpus, e.to_string()))?;
 
-    let detect_span = clockmark_obs::span("serve.detect")
+    let mut detect_span = clockmark_obs::span("serve.detect")
         .field("cycles", entry.cycles)
         .field("period", pattern.len() as u64)
+        .field("algo", resolved.as_str())
         .field("zero_copy", u64::from(reader.is_zero_copy()));
+    if let Some(t) = trace_ctx {
+        detect_span = detect_span
+            .field("trace_id", trace_id_hex(&t.trace_id))
+            .field("parent_span", t.current_span);
+    }
     let outcome = detector.detect_trace(reader);
+    if let Ok(detection) = &outcome {
+        detect_span = detect_span
+            .field("peak_rho", detection.result.peak_rho)
+            .field("detected", detection.result.detected);
+    }
     drop(detect_span);
 
-    outcome.map_err(|e| {
+    outcome.map(|detection| (detection, resolved)).map_err(|e| {
         let code = match &e {
             clockmark_cpa::TraceInputError::Cpa(_) => ErrorCode::Cpa,
             clockmark_cpa::TraceInputError::Input(_) => ErrorCode::Corpus,
@@ -559,7 +790,20 @@ fn detect_corpus(
     })
 }
 
-fn send_response(stream: &mut TcpStream, response: &Response) -> Flow {
+/// Writes a response frame, preceded by a [`Response::TraceEcho`] frame
+/// carrying the server span id for this request while a trace context
+/// is in effect.
+fn send_response(stream: &mut TcpStream, trace: Option<&TraceCtx>, response: &Response) -> Flow {
+    if let Some(t) = trace {
+        let (ty, payload) = Response::TraceEcho {
+            trace_id: t.trace_id,
+            span_id: t.current_span,
+        }
+        .encode();
+        if write_frame(stream, ty, &payload).is_err() {
+            return Flow::Close;
+        }
+    }
     let (ty, payload) = response.encode();
     match write_frame(stream, ty, &payload) {
         Ok(()) => Flow::Continue,
@@ -567,7 +811,23 @@ fn send_response(stream: &mut TcpStream, response: &Response) -> Flow {
     }
 }
 
-fn send_error(stream: &mut impl Write, code: ErrorCode, retry_after_ms: u32, message: &str) {
+fn send_error(
+    stream: &mut impl Write,
+    trace: Option<&TraceCtx>,
+    code: ErrorCode,
+    retry_after_ms: u32,
+    message: &str,
+) {
+    if let Some(t) = trace {
+        let (ty, payload) = Response::TraceEcho {
+            trace_id: t.trace_id,
+            span_id: t.current_span,
+        }
+        .encode();
+        if write_frame(stream, ty, &payload).is_err() {
+            return;
+        }
+    }
     let (ty, payload) = Response::Error {
         code,
         retry_after_ms,
@@ -579,7 +839,8 @@ fn send_error(stream: &mut impl Write, code: ErrorCode, retry_after_ms: u32, mes
 
 /// Reports a request failure and keeps the connection alive: the frame
 /// that failed was still well-formed, so the session stays usable.
-fn fail(stream: &mut TcpStream, code: ErrorCode, message: &str) -> Flow {
-    send_error(stream, code, 0, message);
+fn fail(stream: &mut TcpStream, trace: Option<&TraceCtx>, code: ErrorCode, message: &str) -> Flow {
+    clockmark_obs::counter_add("serve.errors", 1);
+    send_error(stream, trace, code, 0, message);
     Flow::Continue
 }

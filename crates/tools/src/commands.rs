@@ -443,9 +443,10 @@ pub fn cmd_experiment(
 /// artifact.
 ///
 /// Every non-empty line must parse as a JSON object with a known `t`
-/// tag (`span`, `counter`, `gauge`, `hist`, `span_stat`); span lines are
-/// re-aggregated by name so the summary is readable without any other
-/// tooling.
+/// tag (`span`, `counter`, `gauge`, `hist`, `span_stat`, `win_hist`,
+/// `win_rate`); span lines are re-aggregated by name and windowed
+/// records are rendered as per-window percentile tables, so the summary
+/// is readable without any other tooling.
 ///
 /// # Errors
 ///
@@ -457,6 +458,7 @@ pub fn cmd_metrics(contents: &str) -> Result<String, ToolError> {
     let mut type_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut span_agg: BTreeMap<String, (u64, f64, f64)> = BTreeMap::new();
     let mut summary_lines: Vec<String> = Vec::new();
+    let mut window_lines: BTreeMap<String, Vec<String>> = BTreeMap::new();
 
     let mut total = 0usize;
     for (lineno, line) in contents.lines().enumerate() {
@@ -508,6 +510,38 @@ pub fn cmd_metrics(contents: &str) -> Result<String, ToolError> {
             "span_stat" => {
                 *type_counts.entry("span_stat").or_default() += 1;
             }
+            "win_hist" | "win_rate" => {
+                let window = value.get("window").and_then(Json::as_str).ok_or_else(|| {
+                    ToolError::Usage(format!("metrics line {}: {tag} lacks window", lineno + 1))
+                })?;
+                let stat = |k: &str| value.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                let tag_key: &'static str = if tag == "win_hist" {
+                    "win_hist"
+                } else {
+                    "win_rate"
+                };
+                *type_counts.entry(tag_key).or_default() += 1;
+                let rendered = if tag == "win_hist" {
+                    format!(
+                        "    {window:<4} n {:>6}  {:>8.1}/s  p50 {:.3e}  p95 {:.3e}  p99 {:.3e}",
+                        stat("count") as u64,
+                        stat("rate_per_sec"),
+                        stat("p50"),
+                        stat("p95"),
+                        stat("p99"),
+                    )
+                } else {
+                    format!(
+                        "    {window:<4} n {:>6}  {:>8.1}/s",
+                        stat("count") as u64,
+                        stat("rate_per_sec"),
+                    )
+                };
+                window_lines
+                    .entry(name.to_owned())
+                    .or_default()
+                    .push(rendered);
+            }
             other => {
                 return Err(ToolError::Usage(format!(
                     "metrics line {}: unknown tag `{other}`",
@@ -542,7 +576,56 @@ pub fn cmd_metrics(contents: &str) -> Result<String, ToolError> {
         out.push_str(&line);
         out.push('\n');
     }
+    if !window_lines.is_empty() {
+        out.push_str("sliding windows:\n");
+        for (name, lines) in &window_lines {
+            let _ = writeln!(out, "  {name}");
+            for line in lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
     Ok(out)
+}
+
+/// `metrics --collapse`: rebuild the per-span-path self-time rollup
+/// from an artifact's `span` lines as collapsed-stack text (one
+/// `path;to;frame self_ns` line per path), ready for any flamegraph
+/// renderer.
+///
+/// # Errors
+///
+/// Returns [`ToolError::Usage`] on malformed lines or when the artifact
+/// holds no span events.
+pub fn cmd_metrics_collapse(contents: &str) -> Result<String, ToolError> {
+    use clockmark_obs::json::{parse as parse_json, Json};
+
+    let mut agg = clockmark_obs::PathAgg::default();
+    for (lineno, line) in contents.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|e| {
+            ToolError::Usage(format!("metrics line {}: invalid JSON: {e}", lineno + 1))
+        })?;
+        if value.get("t").and_then(Json::as_str) != Some("span") {
+            continue;
+        }
+        let path = value.get("path").and_then(Json::as_str).ok_or_else(|| {
+            ToolError::Usage(format!("metrics line {}: span lacks path", lineno + 1))
+        })?;
+        let dur_ns = value.get("dur_ns").and_then(Json::as_f64).ok_or_else(|| {
+            ToolError::Usage(format!("metrics line {}: span lacks dur_ns", lineno + 1))
+        })? as u128;
+        agg.record(path, dur_ns);
+    }
+    if agg.is_empty() {
+        return Err(ToolError::Usage(
+            "artifact holds no span events to collapse".to_owned(),
+        ));
+    }
+    Ok(agg.collapsed())
 }
 
 #[cfg(test)]
@@ -709,6 +792,36 @@ reg r1 clock=g0 data=shift(r0) group=cpu
         assert!(report.contains("cpa.rotate"), "{report}");
         assert!(report.contains("sim.cycles"), "{report}");
         assert!(report.contains("cpa.chunk_seconds"), "{report}");
+        // The exporter now emits live-window records; the validator must
+        // accept them and render the per-window table.
+        assert!(report.contains("win_hist"), "{report}");
+        assert!(report.contains("sliding windows:"), "{report}");
+        assert!(report.contains("60s"), "{report}");
+
+        let collapsed = cmd_metrics_collapse(&buffer.contents()).expect("collapsible");
+        assert!(collapsed.contains("sim.run "), "{collapsed}");
+        assert!(collapsed.lines().all(|l| l
+            .rsplit_once(' ')
+            .is_some_and(|(_, ns)| ns.parse::<u64>().is_ok())));
+    }
+
+    #[test]
+    fn metrics_accepts_windowed_records_and_rejects_unknown_windows() {
+        let report = cmd_metrics(
+            "{\"t\":\"win_hist\",\"name\":\"serve.request_seconds\",\"window\":\"10s\",\
+             \"count\":41,\"rate_per_sec\":4.1,\"mean\":0.002,\"min\":0.001,\"max\":0.004,\
+             \"p50\":0.002,\"p95\":0.0038,\"p99\":0.004}\n\
+             {\"t\":\"win_rate\",\"name\":\"serve.accept\",\"window\":\"1s\",\
+             \"count\":5,\"rate_per_sec\":5}\n",
+        )
+        .expect("windowed records are valid");
+        assert!(report.contains("1 win_hist, 1 win_rate"), "{report}");
+        assert!(report.contains("serve.request_seconds"), "{report}");
+        assert!(report.contains("p95 3.800e-3"), "{report}");
+        assert!(report.contains("5.0/s"), "{report}");
+
+        let err = cmd_metrics("{\"t\":\"win_hist\",\"name\":\"x\",\"count\":1}\n").unwrap_err();
+        assert!(err.to_string().contains("lacks window"), "{err}");
     }
 
     #[test]

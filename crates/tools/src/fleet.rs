@@ -448,6 +448,20 @@ pub fn cmd_campaign_status(dir: &Path) -> Result<String, ToolError> {
         campaign.spec().traces.len(),
         campaign.spec().algo
     );
+    if let Some(progress) = campaign.live_progress() {
+        if !status.is_complete() {
+            let _ = writeln!(
+                out,
+                "live: {}/{} jobs, {:.0} cycles/s, {:.1} jobs/s, ETA {:.0}s (published {:.1}s into run)",
+                progress.done,
+                progress.total,
+                progress.cycles_per_sec,
+                progress.jobs_per_sec,
+                progress.eta_seconds,
+                progress.elapsed_ms as f64 / 1e3,
+            );
+        }
+    }
     if status.is_complete() {
         let report = campaign.report()?;
         let _ = writeln!(

@@ -39,6 +39,8 @@ pub struct ClientDetectOptions {
     pub lenient: bool,
     /// Pin a spectrum kernel instead of the server-side heuristic.
     pub algo: Option<CpaAlgo>,
+    /// Propagate a wire trace context and report the trace/span ids.
+    pub traced: bool,
 }
 
 impl ClientDetectOptions {
@@ -101,17 +103,166 @@ pub fn cmd_client_status(addr: &str) -> Result<String, ToolError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "sessions: {}/{} active{}",
+        "sessions: {}/{} active{}, {} total",
         status.active_sessions,
         status.max_sessions,
-        if status.draining { " (draining)" } else { "" }
+        if status.draining { " (draining)" } else { "" },
+        status.total_sessions,
     );
     let _ = writeln!(
         out,
         "served: {} detects, rejected: {} connections",
         status.served, status.rejected
     );
+    let _ = writeln!(
+        out,
+        "algos: naive {}, folded {}, fft {}",
+        status.algo_naive, status.algo_folded, status.algo_fft
+    );
+    let _ = writeln!(out, "uptime: {}s", status.uptime_secs);
     Ok(out)
+}
+
+/// `client metrics`: dump the server's Prometheus text snapshot.
+///
+/// # Errors
+///
+/// Returns connection or protocol failures.
+pub fn cmd_client_metrics(addr: &str) -> Result<String, ToolError> {
+    let mut client = connect(addr)?;
+    Ok(client.metrics()?)
+}
+
+/// Looks up one sample value in Prometheus exposition text by its full
+/// series id (name plus label set, exactly as rendered).
+fn prom_value(text: &str, series: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let (id, value) = line.rsplit_once(' ')?;
+        if id == series {
+            value.parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+fn fmt_seconds(v: Option<f64>) -> String {
+    match v {
+        Some(s) if s >= 1.0 => format!("{s:.2}s"),
+        Some(s) if s >= 1e-3 => format!("{:.2}ms", s * 1e3),
+        Some(s) if s > 0.0 => format!("{:.1}us", s * 1e6),
+        Some(_) => "0".to_owned(),
+        None => "-".to_owned(),
+    }
+}
+
+fn fmt_rate(v: Option<f64>) -> String {
+    match v {
+        Some(r) => format!("{r:.1}"),
+        None => "-".to_owned(),
+    }
+}
+
+/// Renders one `client watch` dashboard frame from a status report and
+/// a Prometheus metrics snapshot.
+pub fn render_watch_frame(
+    addr: &str,
+    status: &clockmark_serve::ServerStatus,
+    metrics: &str,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "clockmark serve {addr} — up {}s{}",
+        status.uptime_secs,
+        if status.draining { " (draining)" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "sessions: {}/{} active, {} total, {} rejected",
+        status.active_sessions, status.max_sessions, status.total_sessions, status.rejected
+    );
+    let _ = writeln!(
+        out,
+        "served:   {} verdicts (naive {}, folded {}, fft {})",
+        status.served, status.algo_naive, status.algo_folded, status.algo_fft
+    );
+    let rate = |w: &str| {
+        prom_value(
+            metrics,
+            &format!("clockmark_serve_requests_window_rate{{window=\"{w}\"}}"),
+        )
+    };
+    let _ = writeln!(
+        out,
+        "req/s:    1s {}  10s {}  60s {}",
+        fmt_rate(rate("1s")),
+        fmt_rate(rate("10s")),
+        fmt_rate(rate("60s"))
+    );
+    let quant = |q: &str| {
+        prom_value(
+            metrics,
+            &format!("clockmark_serve_request_seconds_window{{window=\"10s\",quantile=\"{q}\"}}"),
+        )
+    };
+    let _ = writeln!(
+        out,
+        "latency:  p50 {}  p95 {}  p99 {}  (10s window)",
+        fmt_seconds(quant("0.5")),
+        fmt_seconds(quant("0.95")),
+        fmt_seconds(quant("0.99"))
+    );
+    let errors = prom_value(metrics, "clockmark_serve_errors_total").unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "errors:   {} request failures, {} busy rejections",
+        errors, status.rejected
+    );
+    out
+}
+
+/// `client watch`: a refreshing terminal dashboard over `Status` +
+/// `Metrics`. Draws `count` frames `interval_ms` apart (`count: None`
+/// runs until the connection drops).
+///
+/// # Errors
+///
+/// Returns connection or protocol failures from the first exchange;
+/// later failures (e.g. the server draining away) end the watch
+/// gracefully.
+pub fn cmd_client_watch(
+    addr: &str,
+    interval_ms: u64,
+    count: Option<u64>,
+) -> Result<String, ToolError> {
+    let mut client = connect(addr)?;
+    let mut frames = 0u64;
+    let mut last = String::new();
+    loop {
+        let frame = client
+            .status()
+            .and_then(|status| Ok((status, client.metrics()?)));
+        match frame {
+            Ok((status, metrics)) => {
+                last = render_watch_frame(addr, &status, &metrics);
+                frames += 1;
+            }
+            Err(e) if frames == 0 => return Err(e.into()),
+            // The server drained or dropped us after at least one good
+            // frame: end the watch gracefully.
+            Err(_) => return Ok(format!("{last}watch ended: server went away\n")),
+        }
+        if count.is_some_and(|n| frames >= n) {
+            return Ok(last);
+        }
+        // Clear and home between frames so the dashboard repaints in
+        // place on an ANSI terminal.
+        print!("\x1b[2J\x1b[H{last}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
+    }
 }
 
 /// `client shutdown`: ask the server to drain and exit.
@@ -140,8 +291,13 @@ pub fn cmd_client_detect(
     let trace = tracefile::read_trace(trace_text)?;
     let pattern = spec.pattern()?;
     let mut client = connect(addr)?;
+    if options.traced {
+        client.enable_tracing();
+    }
     let detection = client.detect(&pattern, options.detect_options(), trace.as_watts())?;
-    Ok(render_detection(&detection, pattern.len()))
+    let mut out = render_detection(&detection, pattern.len());
+    append_trace_line(&mut out, &client);
+    Ok(out)
 }
 
 /// `client detect-corpus`: detect against a trace stored in a corpus on
@@ -159,8 +315,26 @@ pub fn cmd_client_detect_corpus(
 ) -> Result<String, ToolError> {
     let pattern = spec.pattern()?;
     let mut client = connect(addr)?;
+    if options.traced {
+        client.enable_tracing();
+    }
     let detection = client.detect_corpus(corpus, trace, &pattern, options.detect_options())?;
-    Ok(render_detection(&detection, pattern.len()))
+    let mut out = render_detection(&detection, pattern.len());
+    append_trace_line(&mut out, &client);
+    Ok(out)
+}
+
+/// Appends the trace-propagation summary line after a traced verdict.
+fn append_trace_line(out: &mut String, client: &Client) {
+    if let Some(trace_id) = client.trace_id_hex() {
+        let _ = writeln!(
+            out,
+            "trace: id {trace_id}, server span {:#018x}, {} B sent, {} B received",
+            client.last_server_span(),
+            client.bytes_sent(),
+            client.bytes_received()
+        );
+    }
 }
 
 fn connect(addr: &str) -> Result<Client, ToolError> {
@@ -187,6 +361,7 @@ mod tests {
         let options = ClientDetectOptions {
             lenient: true,
             algo: Some(CpaAlgo::Fft),
+            traced: false,
         };
         let mapped = options.detect_options();
         assert_eq!(mapped.criterion, DetectionCriterion::lenient());
@@ -230,11 +405,82 @@ mod tests {
         )
         .expect("detect");
         assert!(rendered.contains("pattern period 31"), "{rendered}");
+        assert!(!rendered.contains("trace: id"), "untraced by default");
+
+        // The same detect with tracing on: identical verdict rendering
+        // plus the trace-propagation summary line.
+        let traced = cmd_client_detect(
+            &addr,
+            &csv,
+            &PatternSpec::Lfsr { width: 5, seed: 1 },
+            ClientDetectOptions {
+                traced: true,
+                ..ClientDetectOptions::default()
+            },
+        )
+        .expect("traced detect");
+        assert!(traced.contains("pattern period 31"), "{traced}");
+        assert!(traced.contains("trace: id "), "{traced}");
+        assert!(traced.starts_with(&rendered), "verdict rendering unchanged");
+
+        // Metrics exposition and a single watch frame over the wire.
+        let metrics = cmd_client_metrics(&addr).expect("metrics");
+        assert!(
+            metrics.contains("clockmark_serve_served_verdicts_total 2"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("clockmark_serve_uptime_seconds"),
+            "{metrics}"
+        );
+        let frame = cmd_client_watch(&addr, 10, Some(1)).expect("watch frame");
+        assert!(frame.contains("served:   2 verdicts"), "{frame}");
+        assert!(frame.contains("req/s:"), "{frame}");
+        assert!(frame.contains("latency:"), "{frame}");
 
         assert!(cmd_client_shutdown(&addr)
             .expect("shutdown")
             .contains("draining"));
         let status = handle.wait();
         assert!(status.draining);
+    }
+
+    #[test]
+    fn watch_frame_renders_from_prometheus_text() {
+        let status = clockmark_serve::ServerStatus {
+            active_sessions: 1,
+            max_sessions: 8,
+            served: 40,
+            rejected: 2,
+            draining: false,
+            uptime_secs: 123,
+            total_sessions: 42,
+            algo_naive: 5,
+            algo_folded: 20,
+            algo_fft: 15,
+        };
+        let metrics = "\
+clockmark_serve_requests_window_rate{window=\"1s\"} 12\n\
+clockmark_serve_requests_window_rate{window=\"10s\"} 9.75\n\
+clockmark_serve_request_seconds_window{window=\"10s\",quantile=\"0.5\"} 0.0012\n\
+clockmark_serve_request_seconds_window{window=\"10s\",quantile=\"0.95\"} 0.0034\n\
+clockmark_serve_request_seconds_window{window=\"10s\",quantile=\"0.99\"} 0.0079\n\
+clockmark_serve_errors_total 3\n";
+        let frame = render_watch_frame("127.0.0.1:4780", &status, metrics);
+        assert!(frame.contains("up 123s"), "{frame}");
+        assert!(
+            frame.contains("1/8 active, 42 total, 2 rejected"),
+            "{frame}"
+        );
+        assert!(frame.contains("naive 5, folded 20, fft 15"), "{frame}");
+        assert!(frame.contains("1s 12.0  10s 9.8  60s -"), "{frame}");
+        assert!(
+            frame.contains("p50 1.20ms  p95 3.40ms  p99 7.90ms"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("3 request failures, 2 busy rejections"),
+            "{frame}"
+        );
     }
 }
