@@ -1,0 +1,354 @@
+//! Benchmarks the fleet subsystem along its two headline axes and
+//! writes the results into `BENCH_8.json`:
+//!
+//! * **scaling** — one corpus campaign coordinated across 1, 2 and 4
+//!   local worker nodes versus the single-node baseline, with every
+//!   merged `report.json` checked byte-for-byte against the baseline's;
+//! * **idle capacity** — the poll-based readiness engine holding a pile
+//!   of idle sessions on one node while a probe still gets full detect
+//!   service.
+//!
+//! Workers are spawned as real `clockmark-cli fleet serve` processes
+//! when the binary sits next to this one (a normal
+//! `cargo build --release` workspace), falling back to in-process
+//! servers otherwise. The >= 1.7x (2 workers) and >= 3x (4 workers)
+//! speedup acceptance gates are enforced only on hosts with >= 4 cores;
+//! below that the numbers are recorded and warned about, since local
+//! workers cannot scale past the physical core count.
+//!
+//! ```sh
+//! cargo run --release -p clockmark-bench --bin fleet_throughput
+//! cargo run --release -p clockmark-bench --bin fleet_throughput -- --quick
+//! ```
+
+use clockmark::{Campaign, CampaignLimits, CampaignSpec};
+use clockmark_bench::{bench_json_named, has_flag, merge_bench_section};
+use clockmark_corpus::{Corpus, TraceHeader};
+use clockmark_fleet::{run_fleet, FleetConfig, ShardWorker};
+use clockmark_serve::{ServeLimits, Server, ServerHandle};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new() -> Self {
+        let path = std::env::temp_dir().join(format!("cm_fleet_bench_{}", std::process::id()));
+        std::fs::remove_dir_all(&path).ok();
+        std::fs::create_dir_all(&path).expect("mkdir");
+        TempDir(path)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// One worker node: a real `fleet serve` process when the CLI binary is
+/// available, an in-process server otherwise.
+enum Worker {
+    Process(Child),
+    InProcess(ServerHandle),
+}
+
+impl Worker {
+    fn shutdown(self) {
+        match self {
+            Worker::Process(mut child) => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            Worker::InProcess(handle) => {
+                handle.shutdown();
+            }
+        }
+    }
+}
+
+/// `clockmark-cli` next to this bench binary, if built.
+fn cli_path() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let cli = exe.parent()?.join("clockmark-cli");
+    cli.is_file().then_some(cli)
+}
+
+fn spawn_worker(cli: Option<&Path>) -> (Worker, String) {
+    match cli {
+        Some(cli) => {
+            let mut child = Command::new(cli)
+                .args(["fleet", "serve", "--addr", "127.0.0.1:0", "--threads", "1"])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawns fleet serve");
+            let stdout = child.stdout.take().expect("piped stdout");
+            let mut line = String::new();
+            BufReader::new(stdout)
+                .read_line(&mut line)
+                .expect("reads listen line");
+            let addr = line
+                .trim()
+                .strip_prefix("listening on ")
+                .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+                .to_owned();
+            (Worker::Process(child), addr)
+        }
+        None => {
+            let handle = Server::new()
+                .with_fleet(Arc::new(ShardWorker::new().with_threads(1)))
+                .with_limits(ServeLimits {
+                    max_sessions: 16,
+                    idle_timeout: Duration::from_secs(300),
+                    ..ServeLimits::default()
+                })
+                .bind("127.0.0.1:0")
+                .expect("bind worker");
+            let addr = handle.local_addr().to_string();
+            (Worker::InProcess(handle), addr)
+        }
+    }
+}
+
+/// Aperiodic xorshift watermark (periodic patterns tie with their own
+/// rotations and fail the peak-uniqueness criterion).
+fn pattern(period: usize) -> Vec<bool> {
+    let mut s = 0x9E37_79B9_7F4A_7C15u64;
+    (0..period)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s & 1 == 1
+        })
+        .collect()
+}
+
+fn build_fixture(dir: &Path, traces: usize, cycles: usize) -> CampaignSpec {
+    let corpus_dir = dir.join("corpus");
+    let pattern = pattern(64);
+    let mut corpus = Corpus::create(&corpus_dir).expect("creates corpus");
+    let mut names = Vec::new();
+    for t in 0..traces {
+        let watts: Vec<f64> = (0..cycles)
+            .map(|i| {
+                let wm = if pattern[(i + 11 + t) % pattern.len()] {
+                    0.8
+                } else {
+                    -0.8
+                };
+                wm + ((i + t * 131) as f64 * 0.37).sin() * 0.3
+            })
+            .collect();
+        let name = format!("trace_{t:02}");
+        corpus
+            .add(&name, TraceHeader::bare(0), &watts)
+            .expect("adds trace");
+        names.push(name);
+    }
+    let mut spec = CampaignSpec::new(corpus_dir, pattern, names);
+    spec.checkpoint_cycles = 4_000;
+    spec.chunk_cycles = 1_024;
+    spec
+}
+
+fn main() {
+    clockmark_bench::obs_scope("fleet_throughput", run);
+}
+
+fn run() {
+    let quick = has_flag("--quick");
+    let traces = if quick { 8 } else { 16 };
+    let cycles = if quick { 20_000 } else { 60_000 };
+    let worker_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let enforce = cores >= 4;
+
+    let dir = TempDir::new();
+    let spec = build_fixture(&dir.0, traces, cycles);
+    let cli = cli_path();
+    let mode = if cli.is_some() {
+        "process"
+    } else {
+        "in-process"
+    };
+    println!(
+        "fleet_throughput: {traces} trace(s) x {cycles} cycles, worker mode {mode}, \
+         {cores} core(s){}",
+        if enforce {
+            ""
+        } else {
+            " (speedup gates warn-only)"
+        }
+    );
+
+    // Single-node baseline, the byte-identity reference for every fleet
+    // run.
+    let baseline_dir = dir.0.join("baseline");
+    let start = Instant::now();
+    let campaign = Campaign::create(&baseline_dir, spec.clone())
+        .expect("creates baseline")
+        .with_threads(1);
+    let status = campaign
+        .run(&CampaignLimits::none())
+        .expect("baseline runs");
+    assert!(status.is_complete());
+    let baseline_seconds = start.elapsed().as_secs_f64();
+    let reference = std::fs::read(baseline_dir.join("report.json")).expect("reads baseline");
+    println!("baseline     : 1 node, {baseline_seconds:.2}s");
+
+    let mut runs = String::new();
+    let mut speedups = Vec::new();
+    for &n in worker_counts {
+        let spawned: Vec<(Worker, String)> = (0..n).map(|_| spawn_worker(cli.as_deref())).collect();
+        let addrs: Vec<String> = spawned.iter().map(|(_, a)| a.clone()).collect();
+
+        let fleet_dir = dir.0.join(format!("fleet_{n}"));
+        let mut config = FleetConfig::new(&fleet_dir, addrs);
+        config.shards = (n as u64) * 4;
+        config.worker_threads = 1;
+        config.heartbeat_interval = Duration::from_millis(250);
+        let start = Instant::now();
+        let summary = run_fleet(&config, spec.clone()).expect("fleet completes");
+        let seconds = start.elapsed().as_secs_f64();
+        for (worker, _) in spawned {
+            worker.shutdown();
+        }
+
+        assert_eq!(summary.merged_jobs, summary.total_jobs);
+        let merged = std::fs::read(&summary.report_path).expect("reads merged");
+        assert_eq!(
+            merged, reference,
+            "{n}-worker fleet report must be byte-identical to the baseline"
+        );
+        let speedup = baseline_seconds / seconds.max(1e-9);
+        speedups.push((n, speedup));
+        println!(
+            "fleet        : {n} worker(s), {seconds:.2}s = {speedup:.2}x baseline \
+             ({} shard(s), {} stolen, report bytes identical)",
+            summary.shards, summary.shards_stolen
+        );
+        let _ = write!(
+            runs,
+            "{}{{\"workers\": {n}, \"seconds\": {seconds:.4}, \"speedup\": {speedup:.3}}}",
+            if runs.is_empty() { "" } else { ", " }
+        );
+        clockmark_obs::gauge_set(&format!("bench.fleet_speedup_{n}w"), speedup);
+    }
+
+    for &(n, speedup) in &speedups {
+        let gate = match n {
+            2 => 1.7,
+            4 => 3.0,
+            _ => continue,
+        };
+        if enforce {
+            assert!(
+                speedup >= gate,
+                "{n}-worker speedup {speedup:.2}x misses the {gate}x acceptance gate"
+            );
+        } else if speedup < gate {
+            println!(
+                "warn         : {n}-worker speedup {speedup:.2}x below the {gate}x gate \
+                 (only {cores} core(s); gate enforced at >= 4)"
+            );
+        }
+    }
+
+    // Idle-session capacity on one node (unix readiness engine only).
+    let idle = idle_capacity(if quick { 256 } else { 1024 });
+    let path = bench_json_named("BENCH_8.json");
+    merge_bench_section(
+        &path,
+        "fleet_scaling",
+        &format!(
+            "{{\"traces\": {traces}, \"cycles\": {cycles}, \"mode\": \"{mode}\", \
+             \"cores\": {cores}, \"gates_enforced\": {enforce}, \
+             \"baseline_seconds\": {baseline_seconds:.4}, \"runs\": [{runs}]}}"
+        ),
+    )
+    .expect("writes fleet_scaling section");
+    merge_bench_section(&path, "idle_sessions", &idle).expect("writes idle_sessions section");
+    println!("report       : {}", path.display());
+}
+
+/// Holds `target` idle sessions on one server and proves a probe still
+/// gets a correct detect verdict; returns the JSON section.
+#[cfg(unix)]
+fn idle_capacity(target: usize) -> String {
+    use clockmark_cpa::DetectionCriterion;
+    use clockmark_serve::{raise_nofile_limit, Client};
+
+    let need = (target * 2 + 128) as u64;
+    let limit = raise_nofile_limit(need);
+    if limit < need {
+        println!("idle capacity: skipped (nofile limit {limit} < {need})");
+        return format!("{{\"target\": {target}, \"held\": 0, \"skipped\": true}}");
+    }
+    let handle = Server::new()
+        .with_limits(ServeLimits {
+            max_sessions: target + 8,
+            idle_timeout: Duration::from_secs(600),
+            ..ServeLimits::default()
+        })
+        .bind("127.0.0.1:0")
+        .expect("bind loopback");
+    let addr = handle.local_addr();
+
+    let start = Instant::now();
+    let threads = 8;
+    let sessions: Vec<Client> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    (0..target / threads)
+                        .map(|_| Client::connect(addr).expect("idle connect"))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("connector thread"))
+            .collect()
+    });
+    let connect_seconds = start.elapsed().as_secs_f64();
+
+    let mut probe = Client::connect(addr).expect("probe connect");
+    let pattern = pattern(48);
+    let samples: Vec<f64> = (0..pattern.len() * 24)
+        .map(|i| {
+            let bit = if pattern[i % pattern.len()] {
+                1.2
+            } else {
+                -1.2
+            };
+            bit + (i as f64 * 0.41).sin() * 0.25
+        })
+        .collect();
+    let verdict = probe
+        .detect_with_criterion(&pattern, DetectionCriterion::default(), &samples)
+        .expect("detect while sessions idle");
+    assert!(verdict.result.detected, "fixture must be detectable");
+    println!(
+        "idle capacity: {} session(s) held in {connect_seconds:.2}s, probe detect OK",
+        sessions.len()
+    );
+    let held = sessions.len();
+    drop(sessions);
+    drop(probe);
+    handle.shutdown();
+    format!(
+        "{{\"target\": {target}, \"held\": {held}, \
+         \"connect_seconds\": {connect_seconds:.4}, \"probe_detect\": true}}"
+    )
+}
+
+#[cfg(not(unix))]
+fn idle_capacity(target: usize) -> String {
+    println!("idle capacity: skipped (readiness engine is unix-only)");
+    format!("{{\"target\": {target}, \"held\": 0, \"skipped\": true}}")
+}

@@ -16,7 +16,7 @@
 use clockmark::prelude::*;
 use clockmark_bench::{arg_value, has_flag};
 use clockmark_serve::protocol::{self, Request, Response};
-use clockmark_serve::{Client, ServeError, ServeLimits, Server};
+use clockmark_serve::{Backoff, Client, ServeError, ServeLimits, Server};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -62,7 +62,8 @@ fn assert_bit_identical(wire: &DetectionResult, local: &DetectionResult) {
 }
 
 /// One persistent-connection worker: `requests` sequential detect
-/// exchanges, retrying on `Busy` with the server's hint.
+/// exchanges, retrying on `Busy` through a seeded [`Backoff`] so
+/// contending workers spread out instead of thundering back in lockstep.
 #[allow(clippy::too_many_arguments)]
 fn run_worker(
     addr: SocketAddr,
@@ -72,8 +73,13 @@ fn run_worker(
     reference: &DetectionResult,
     requests: usize,
     busy_retries: &AtomicU64,
+    seed: u64,
 ) {
     let deadline = Instant::now() + Duration::from_secs(60);
+    // Tight bounds keep the bench's overload phase fast; the server's
+    // `retry_after_ms` hint still floors every delay.
+    let mut backoff =
+        Backoff::with_bounds(seed, Duration::from_millis(2), Duration::from_millis(250));
     // Claim a session slot: a rejected connection answers the ping probe
     // with `Busy` (or tears the connection down right after), so only a
     // connection that ponged is known to hold a slot.
@@ -84,19 +90,19 @@ fn run_worker(
                 Ok(()) => break c,
                 Err(ServeError::Busy { retry_after_ms }) => {
                     busy_retries.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms).max(1)));
+                    std::thread::sleep(backoff.next_delay(retry_after_ms));
                 }
                 // The reject path may close before the probe is read;
                 // treat the torn-down connection as the same backoff.
                 Err(ServeError::Io { .. }) => {
                     busy_retries.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(Duration::from_millis(5));
+                    std::thread::sleep(backoff.next_delay(0));
                 }
                 Err(e) => panic!("ping probe failed: {e}"),
             },
             Err(ServeError::Busy { retry_after_ms }) => {
                 busy_retries.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms).max(1)));
+                std::thread::sleep(backoff.next_delay(retry_after_ms));
             }
             Err(e) => panic!("connect failed: {e}"),
         }
@@ -204,16 +210,19 @@ fn run() {
     let busy_retries = AtomicU64::new(0);
     let start = Instant::now();
     std::thread::scope(|scope| {
-        for _ in 0..clients {
-            scope.spawn(|| {
+        let (pattern, samples, reference, busy_retries) =
+            (&pattern, &samples, &reference, &busy_retries);
+        for i in 0..clients {
+            scope.spawn(move || {
                 run_worker(
                     addr,
-                    &pattern,
+                    pattern,
                     options,
-                    &samples,
-                    &reference,
+                    samples,
+                    reference,
                     requests,
-                    &busy_retries,
+                    busy_retries,
+                    i as u64,
                 );
             });
         }
@@ -233,17 +242,22 @@ fn run() {
     let busy_before = busy_retries.load(Ordering::Relaxed);
     let gate = Barrier::new(overload);
     std::thread::scope(|scope| {
-        for _ in 0..overload {
-            scope.spawn(|| {
+        let (pattern, samples, reference, busy_retries, gate) =
+            (&pattern, &samples, &reference, &busy_retries, &gate);
+        for i in 0..overload {
+            scope.spawn(move || {
                 gate.wait();
                 run_worker(
                     addr,
-                    &pattern,
+                    pattern,
                     options,
-                    &samples,
-                    &reference,
+                    samples,
+                    reference,
                     1,
-                    &busy_retries,
+                    busy_retries,
+                    // Disjoint from the phase-1 seed range so the two
+                    // phases draw unrelated jitter streams.
+                    0x1000 + i as u64,
                 );
             });
         }

@@ -85,6 +85,14 @@ pub fn has_flag(flag: &str) -> bool {
 /// invoking shell — the sections written by `spectrum_algos --quick`
 /// and `campaign_scale` must land in the same file.
 pub fn bench_json_path() -> std::path::PathBuf {
+    bench_json_named("BENCH_6.json")
+}
+
+/// Like [`bench_json_path`], but with an explicit default file name for
+/// benches that land in a different PR's report (for example
+/// `BENCH_8.json` for the fleet benches). `CLOCKMARK_BENCH_JSON` still
+/// overrides.
+pub fn bench_json_named(default_name: &str) -> std::path::PathBuf {
     if let Some(path) = std::env::var_os("CLOCKMARK_BENCH_JSON") {
         return std::path::PathBuf::from(path);
     }
@@ -93,7 +101,7 @@ pub fn bench_json_path() -> std::path::PathBuf {
         .nth(2)
         .expect("crates/bench sits two levels under the repo root")
         .to_path_buf();
-    root.join("BENCH_6.json")
+    root.join(default_name)
 }
 
 /// Splits the top level of a JSON object into `(key, raw value)` pairs,

@@ -669,6 +669,22 @@ impl Campaign {
         Ok((map, torn))
     }
 
+    /// The persisted outcomes so far, in job-index order — the public
+    /// read of the results log, with the same torn-tail tolerance and
+    /// last-wins dedup a resume applies.
+    ///
+    /// A fleet worker uses this to hand an interrupted shard's partial
+    /// results back to the coordinator: the log is valid (and the
+    /// outcome encoding byte-stable) at every interruption point the
+    /// checkpoint machinery can produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns the persistence errors of the results log.
+    pub fn completed_outcomes(&self) -> Result<Vec<JobOutcome>, CampaignError> {
+        Ok(self.load_results()?.into_values().collect())
+    }
+
     /// Computes the current status from disk.
     ///
     /// # Errors

@@ -18,8 +18,10 @@
 //!
 //! ## Safety contract
 //!
-//! The only `unsafe` in the whole workspace lives in the `sys` module
-//! below, behind a scoped `allow`. The argument for soundness:
+//! All `unsafe` in the workspace lives in two scoped `sys` modules:
+//! the one below and `clockmark-serve`'s `poll::sys` (the `poll(2)` /
+//! `RLIMIT_NOFILE` prototypes of the readiness engine), each behind a
+//! scoped `allow`. The argument for soundness here:
 //!
 //! - the mapping is `PROT_READ` and `MAP_PRIVATE`: nothing can write
 //!   through it, and writes by other processes to the underlying pages

@@ -414,6 +414,41 @@ impl Corpus {
         Ok(outcomes)
     }
 
+    /// Writes a shard-scoped manifest: the entries for exactly the
+    /// named traces (in the order given), atomically written to `path`
+    /// in the standard `manifest.jsonl` format.
+    ///
+    /// A fleet coordinator drops one of these into each shard directory
+    /// so the shard records which slice of the corpus it owns — the
+    /// file is greppable with the same tooling as a full manifest and
+    /// doubles as an audit trail for reassigned shards. The trace files
+    /// themselves are *not* copied; shard workers read them from the
+    /// shared corpus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::UnknownTrace`] if any name is unindexed
+    /// (nothing is written in that case) and [`CorpusError::Io`] for
+    /// write failures.
+    pub fn subset_manifest<S: AsRef<str>>(
+        &self,
+        names: &[S],
+        path: impl AsRef<Path>,
+    ) -> Result<Vec<ManifestEntry>, CorpusError> {
+        let subset: Vec<ManifestEntry> = names
+            .iter()
+            .map(|name| {
+                self.entry(name.as_ref())
+                    .cloned()
+                    .ok_or_else(|| CorpusError::UnknownTrace {
+                        name: name.as_ref().to_owned(),
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        write_manifest(path.as_ref(), &subset)?;
+        Ok(subset)
+    }
+
     /// `None` when the entry checks out; otherwise the failure reason.
     fn verify_entry(&self, entry: &ManifestEntry) -> Option<String> {
         let path = self.trace_path(&entry.file);

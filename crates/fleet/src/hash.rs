@@ -1,0 +1,248 @@
+//! Content-addressed shard placement: FNV-1a trace hashing plus a
+//! consistent-hash ring of workers.
+//!
+//! Two independent mappings keep a fleet stable under change:
+//!
+//! 1. **trace → shard** is a plain `fnv1a64(name) % shards`. The shard
+//!    count is fixed for the life of a fleet directory (persisted in
+//!    `fleet.json`), so this mapping never moves — a shard's checkpoint
+//!    and results files always describe the same trace subset.
+//! 2. **shard → worker** rides a consistent-hash [`Ring`]. Workers come
+//!    and go between (and during) runs; only the shards whose ring
+//!    successor changes move to a different preferred worker, which is
+//!    ~`S/N` of them per worker added or removed rather than all `S`.
+//!
+//! The preference is advisory — an idle worker steals shards preferred
+//! elsewhere, and a dead worker's shards are requeued for anyone — but
+//! honouring it when possible keeps page caches and half-finished shard
+//! campaigns close to the node that was already working on them.
+
+use std::collections::BTreeMap;
+
+/// 64-bit FNV-1a over a byte string — the workspace's standing choice
+/// for content-stable placement hashes (no keys, no allocation, stable
+/// across platforms and releases).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The shard a corpus trace belongs to, out of `shards` buckets.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero — a fleet plan always has at least one.
+pub fn shard_of_trace(trace: &str, shards: u64) -> u64 {
+    assert!(shards > 0, "a fleet needs at least one shard");
+    fnv1a64(trace.as_bytes()) % shards
+}
+
+/// A consistent-hash ring mapping shard ids to preferred workers.
+///
+/// Each worker contributes `vnodes` points (hashes of `"addr#i"`) on a
+/// `u64` circle; a shard is preferred by the worker owning the first
+/// point at or after the shard id's hash, wrapping around.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    points: BTreeMap<u64, usize>,
+    workers: Vec<String>,
+}
+
+impl Ring {
+    /// Default virtual nodes per worker: enough that per-worker load
+    /// imbalance stays in the few-percent range for small fleets.
+    pub const DEFAULT_VNODES: usize = 64;
+
+    /// Builds a ring over `workers` with `vnodes` points each.
+    ///
+    /// Duplicate worker names collapse onto the same points (the first
+    /// occurrence wins), so a duplicated `--workers` entry cannot skew
+    /// placement.
+    pub fn new<S: AsRef<str>>(workers: &[S], vnodes: usize) -> Self {
+        let vnodes = vnodes.max(1);
+        let mut names: Vec<String> = Vec::with_capacity(workers.len());
+        let mut points = BTreeMap::new();
+        for worker in workers {
+            let name = worker.as_ref();
+            if names.iter().any(|n| n == name) {
+                continue;
+            }
+            let index = names.len();
+            names.push(name.to_owned());
+            for v in 0..vnodes {
+                let point = fnv1a64(format!("{name}#{v}").as_bytes());
+                // First owner of a colliding point keeps it: insertion
+                // order must not depend on iteration order of a map.
+                points.entry(point).or_insert(index);
+            }
+        }
+        Ring {
+            points,
+            workers: names,
+        }
+    }
+
+    /// The distinct workers on the ring, in first-seen order.
+    pub fn workers(&self) -> &[String] {
+        &self.workers
+    }
+
+    /// The preferred worker for `shard_id`, or `None` on an empty ring.
+    pub fn preferred(&self, shard_id: u64) -> Option<&str> {
+        let key = fnv1a64(&shard_id.to_le_bytes());
+        let index = self
+            .points
+            .range(key..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, &i)| i)?;
+        Some(&self.workers[index])
+    }
+
+    /// The full shard → preferred-worker assignment for `shards` shards.
+    pub fn assignment(&self, shards: u64) -> Vec<Option<String>> {
+        (0..shards)
+            .map(|s| self.preferred(s).map(str::to_owned))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn shard_of_trace_is_stable() {
+        // These values are load-bearing: they pin the trace → shard map
+        // across releases, which is what lets a fleet directory created
+        // by one build be resumed by another.
+        assert_eq!(shard_of_trace("chip_i_s1", 8), fnv1a64(b"chip_i_s1") % 8);
+        assert_eq!(shard_of_trace("chip_i_s1", 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        shard_of_trace("x", 0);
+    }
+
+    #[test]
+    fn empty_ring_prefers_nobody() {
+        let ring = Ring::new::<&str>(&[], 64);
+        assert!(ring.preferred(0).is_none());
+    }
+
+    #[test]
+    fn duplicate_workers_collapse() {
+        let ring = Ring::new(&["a:1", "a:1", "b:2"], 16);
+        assert_eq!(ring.workers(), &["a:1".to_owned(), "b:2".to_owned()]);
+    }
+
+    fn worker_names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:4780")).collect()
+    }
+
+    proptest! {
+        /// Adding one worker only moves shards *to* the new worker, and
+        /// roughly its fair share of them: no shard changes hands
+        /// between two workers that were both already present.
+        #[test]
+        fn adding_a_worker_moves_only_its_own_share(
+            workers in 1usize..8,
+            shards in 1u64..200,
+        ) {
+            let old = Ring::new(&worker_names(workers), Ring::DEFAULT_VNODES);
+            let mut grown = worker_names(workers);
+            grown.push("10.0.1.99:4780".to_owned());
+            let new = Ring::new(&grown, Ring::DEFAULT_VNODES);
+
+            let before = old.assignment(shards);
+            let after = new.assignment(shards);
+            let mut moved = 0u64;
+            for (b, a) in before.iter().zip(&after) {
+                if b != a {
+                    prop_assert_eq!(
+                        a.as_deref(),
+                        Some("10.0.1.99:4780"),
+                        "a shard moved between two pre-existing workers"
+                    );
+                    moved += 1;
+                }
+            }
+            // Fair share is shards/(workers+1); vnode granularity makes
+            // this noisy for small counts, so allow a generous factor
+            // plus a constant floor.
+            let fair = shards / (workers as u64 + 1);
+            prop_assert!(
+                moved <= 3 * fair + 8,
+                "{moved} of {shards} shards moved; fair share {fair}"
+            );
+        }
+
+        /// Removing one worker only moves the shards that worker owned;
+        /// everything preferred elsewhere stays put.
+        #[test]
+        fn removing_a_worker_strands_only_its_shards(
+            workers in 2usize..9,
+            shards in 1u64..200,
+            victim in 0usize..8,
+        ) {
+            let names = worker_names(workers);
+            let victim = victim % workers;
+            let old = Ring::new(&names, Ring::DEFAULT_VNODES);
+            let survivors: Vec<String> = names
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != victim)
+                .map(|(_, n)| n.clone())
+                .collect();
+            let new = Ring::new(&survivors, Ring::DEFAULT_VNODES);
+
+            let before = old.assignment(shards);
+            let after = new.assignment(shards);
+            for (s, (b, a)) in before.iter().zip(&after).enumerate() {
+                if b != a {
+                    prop_assert_eq!(
+                        b.as_deref(),
+                        Some(names[victim].as_str()),
+                        "shard {} moved although its worker survived",
+                        s
+                    );
+                }
+            }
+        }
+
+        /// The preferred worker is a pure function of (workers, shard):
+        /// rebuilding the ring from a rotated worker list changes
+        /// nothing, so every coordinator restart computes the same
+        /// placement.
+        #[test]
+        fn placement_ignores_worker_list_order(
+            workers in 1usize..8,
+            shards in 1u64..200,
+            rot in 0usize..8,
+        ) {
+            let names = worker_names(workers);
+            let mut rotated = names.clone();
+            rotated.rotate_left(rot % workers);
+            let a = Ring::new(&names, Ring::DEFAULT_VNODES);
+            let b = Ring::new(&rotated, Ring::DEFAULT_VNODES);
+            prop_assert_eq!(a.assignment(shards), b.assignment(shards));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Turning one campaign spec into a set of shard campaigns.
+//!
+//! A [`FleetPlan`] is a pure function of the campaign spec and the
+//! shard count: every trace keeps its *campaign-global* job index (its
+//! position in `spec.traces`, exactly as a single-node run numbers it)
+//! and lands in the shard [`shard_of_trace`] names. Workers never see
+//! the global campaign — they run the shard directory as an ordinary
+//! mini-campaign — so the plan also carries the global index of each
+//! shard-local job, which is what rides the wire in
+//! [`ShardJob::index`](clockmark_serve::ShardJob) and lets the
+//! coordinator merge results under single-node numbering.
+
+use crate::hash::shard_of_trace;
+use clockmark::CampaignSpec;
+use clockmark_serve::{ShardJob, ShardSpec};
+use std::path::{Path, PathBuf};
+
+/// One shard of a fleet campaign: a stable id plus the jobs it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// The shard's stable id (hash bucket), in `0..plan.shards`.
+    pub shard_id: u64,
+    /// The shard's jobs as `(global_index, trace)` in global order.
+    pub jobs: Vec<(usize, String)>,
+}
+
+impl ShardPlan {
+    /// The shard's trace names, in shard-local job order.
+    pub fn traces(&self) -> Vec<String> {
+        self.jobs.iter().map(|(_, t)| t.clone()).collect()
+    }
+}
+
+/// The full shard decomposition of one campaign spec.
+#[derive(Debug, Clone)]
+pub struct FleetPlan {
+    /// Shard count the traces were bucketed into.
+    pub shards: u64,
+    /// Non-empty shards, ordered by shard id. Hash buckets that caught
+    /// no trace are omitted — they have nothing to run.
+    pub plans: Vec<ShardPlan>,
+}
+
+impl FleetPlan {
+    /// Buckets every trace of `spec` into `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero (like [`shard_of_trace`]).
+    pub fn new(spec: &CampaignSpec, shards: u64) -> Self {
+        let mut buckets: Vec<Vec<(usize, String)>> = vec![Vec::new(); shards as usize];
+        for (index, trace) in spec.traces.iter().enumerate() {
+            let shard = shard_of_trace(trace, shards) as usize;
+            buckets[shard].push((index, trace.clone()));
+        }
+        let plans = buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, jobs)| !jobs.is_empty())
+            .map(|(shard_id, jobs)| ShardPlan {
+                shard_id: shard_id as u64,
+                jobs,
+            })
+            .collect();
+        FleetPlan { shards, plans }
+    }
+
+    /// Total jobs across all shards.
+    pub fn total_jobs(&self) -> usize {
+        self.plans.iter().map(|p| p.jobs.len()).sum()
+    }
+
+    /// The shard plan with id `shard_id`, if it is non-empty.
+    pub fn shard(&self, shard_id: u64) -> Option<&ShardPlan> {
+        self.plans.iter().find(|p| p.shard_id == shard_id)
+    }
+}
+
+/// The on-disk directory of one shard's mini-campaign.
+pub fn shard_dir(fleet_dir: &Path, shard_id: u64) -> PathBuf {
+    fleet_dir.join("shards").join(format!("shard_{shard_id}"))
+}
+
+/// Builds the wire [`ShardSpec`] that asks a worker to run `shard` of
+/// the fleet campaign rooted at `fleet_dir`.
+///
+/// `threads`, `max_jobs` and `interrupt_after_cycles` are passed through
+/// (zero means "no override" for each, mirroring the frame layout).
+pub fn shard_spec(
+    fleet_dir: &Path,
+    spec: &CampaignSpec,
+    shard: &ShardPlan,
+    threads: u32,
+    max_jobs: u64,
+    interrupt_after_cycles: u64,
+) -> ShardSpec {
+    ShardSpec {
+        shard_id: shard.shard_id,
+        dir: shard_dir(fleet_dir, shard.shard_id)
+            .to_string_lossy()
+            .into_owned(),
+        corpus: spec.corpus.to_string_lossy().into_owned(),
+        pattern: spec.pattern.clone(),
+        criterion: spec.criterion,
+        algo: spec.algo,
+        checkpoint_cycles: spec.checkpoint_cycles,
+        chunk_cycles: spec.chunk_cycles as u64,
+        threads,
+        max_jobs,
+        interrupt_after_cycles,
+        jobs: shard
+            .jobs
+            .iter()
+            .map(|(index, trace)| ShardJob {
+                index: *index as u64,
+                trace: trace.clone(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(traces: &[&str]) -> CampaignSpec {
+        let mut spec = CampaignSpec::new(
+            "/tmp/corpus",
+            vec![true, false, true],
+            traces.iter().map(|s| (*s).to_owned()).collect(),
+        );
+        spec.algo = clockmark_cpa::CpaAlgo::Folded;
+        spec
+    }
+
+    #[test]
+    fn every_job_lands_in_exactly_one_shard_with_its_global_index() {
+        let traces = ["a", "b", "c", "d", "e", "f", "g"];
+        let plan = FleetPlan::new(&spec(&traces), 4);
+        assert_eq!(plan.total_jobs(), traces.len());
+        let mut seen = vec![false; traces.len()];
+        for shard in &plan.plans {
+            for (index, trace) in &shard.jobs {
+                assert_eq!(traces[*index], trace, "global index points at its trace");
+                assert_eq!(
+                    shard.shard_id,
+                    shard_of_trace(trace, 4),
+                    "job sits in its hash bucket"
+                );
+                assert!(!seen[*index], "job {index} appears twice");
+                seen[*index] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every job is planned");
+    }
+
+    #[test]
+    fn empty_buckets_are_omitted() {
+        let plan = FleetPlan::new(&spec(&["only"]), 64);
+        assert_eq!(plan.plans.len(), 1);
+        assert_eq!(plan.total_jobs(), 1);
+        assert_eq!(plan.shard(plan.plans[0].shard_id).unwrap().jobs.len(), 1);
+    }
+
+    #[test]
+    fn shard_spec_pins_the_campaign_tuning() {
+        let spec0 = spec(&["a", "b"]);
+        let plan = FleetPlan::new(&spec0, 1);
+        let wire = shard_spec(Path::new("/work/fleet"), &spec0, &plan.plans[0], 2, 0, 0);
+        assert_eq!(wire.shard_id, 0);
+        assert_eq!(wire.dir, "/work/fleet/shards/shard_0");
+        assert_eq!(wire.corpus, "/tmp/corpus");
+        assert_eq!(wire.pattern, spec0.pattern);
+        assert_eq!(wire.algo, spec0.algo);
+        assert_eq!(wire.checkpoint_cycles, spec0.checkpoint_cycles);
+        assert_eq!(wire.chunk_cycles, spec0.chunk_cycles as u64);
+        assert_eq!(wire.threads, 2);
+        assert_eq!(wire.jobs.len(), 2);
+        assert_eq!(wire.jobs[0].index, 0);
+        assert_eq!(wire.jobs[1].trace, "b");
+    }
+}

@@ -13,12 +13,100 @@ use clockmark_cpa::{DetectOptions, DetectionCriterion, TraceDetection};
 use crate::error::{io_err, ServeError};
 use crate::protocol::{
     mint_span_id, mint_trace_id, read_frame, read_greeting, trace_id_hex, write_frame,
-    write_greeting, ErrorCode, Request, Response, ServerStatus, TRACE_ID_LEN,
+    write_greeting, ErrorCode, Request, Response, ServerStatus, ShardSpec, WorkerHeartbeat,
+    TRACE_ID_LEN,
 };
 
 /// Samples per `DetectChunk` frame: 64 KiB of payload, comfortably
 /// under any sane `max_frame_bytes`.
 pub const CLIENT_CHUNK: usize = 8192;
+
+/// Capped exponential backoff with deterministic jitter for `Busy`
+/// rejections.
+///
+/// The delay for attempt *n* starts from
+/// `max(server_hint, base << n)`, is jittered *upward* by up to 50% of
+/// itself (so concurrent clients rejected together do not retry in
+/// lockstep), and is clamped to `cap`. The jitter stream is a seeded
+/// xorshift, so a given seed always produces the same delay sequence —
+/// tests and benches stay reproducible while distinct seeds still
+/// de-synchronise.
+///
+/// ```
+/// use clockmark_serve::Backoff;
+/// let mut backoff = Backoff::new(7);
+/// // The server's hint is a hard lower bound on every delay.
+/// assert!(backoff.next_delay(25) >= std::time::Duration::from_millis(25));
+/// assert!(backoff.next_delay(25) >= std::time::Duration::from_millis(25));
+/// assert_eq!(backoff.attempts(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// Default bounds: 10 ms base doubling toward a 2 s cap.
+    pub fn new(seed: u64) -> Self {
+        Backoff::with_bounds(seed, Duration::from_millis(10), Duration::from_secs(2))
+    }
+
+    /// Explicit base/cap bounds (`base` is also the smallest delay a
+    /// zero server hint can produce).
+    pub fn with_bounds(seed: u64, base: Duration, cap: Duration) -> Self {
+        // One splitmix64 round so adjacent seeds (worker 0, 1, 2...)
+        // land in unrelated jitter streams; `| 1` keeps the xorshift
+        // state from starting at zero.
+        let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        s ^= s >> 31;
+        Backoff {
+            base: base.max(Duration::from_millis(1)),
+            cap: cap.max(base),
+            rng: s | 1,
+            attempt: 0,
+        }
+    }
+
+    /// How many delays have been handed out since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Starts the exponential schedule over (after a success); the
+    /// jitter stream keeps advancing so retry storms stay spread out.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// The next delay, honouring the server's `retry_after_ms` hint as
+    /// a lower bound.
+    pub fn next_delay(&mut self, retry_after_ms: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(16))
+            .min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let floor = exp.max(Duration::from_millis(u64::from(retry_after_ms)));
+        // xorshift64* — tiny, seedable, and plenty for de-correlation.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let unit =
+            (self.rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = floor.mul_f64(1.0 + 0.5 * unit);
+        jittered.clamp(floor, self.cap.max(floor))
+    }
+
+    /// Sleeps for [`Backoff::next_delay`].
+    pub fn sleep(&mut self, retry_after_ms: u32) {
+        std::thread::sleep(self.next_delay(retry_after_ms));
+    }
+}
 
 /// Client-side trace state while wire tracing is enabled.
 #[derive(Debug)]
@@ -56,6 +144,54 @@ impl Client {
             .set_read_timeout(Some(timeout))
             .map_err(|e| io_err("setting read timeout", e))?;
         Client::handshake(stream)
+    }
+
+    /// Connects, retrying `Busy` rejections under `backoff` for up to
+    /// `max_attempts` connection attempts.
+    ///
+    /// A `Busy` rejection only surfaces on the first exchange (the
+    /// server answers the greeting, sends the error frame and closes),
+    /// so each attempt probes the fresh connection with a `Ping` and
+    /// returns it once the probe round-trips. Non-`Busy` errors abort
+    /// immediately. The handshake and probe run under a 5 s read
+    /// timeout so a mute peer cannot hang the caller; the timeout is
+    /// lifted from the returned client, whose exchanges may run
+    /// arbitrarily long (fleet shard assignments block for the whole
+    /// shard).
+    pub fn connect_with_backoff(
+        addr: impl ToSocketAddrs + Clone,
+        backoff: &mut Backoff,
+        max_attempts: u32,
+    ) -> Result<Self, ServeError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match Client::connect_with_timeout(addr.clone(), Duration::from_secs(5)).and_then(
+                |mut client| {
+                    client.ping()?;
+                    client.set_read_timeout(None)?;
+                    Ok(client)
+                },
+            ) {
+                Ok(client) => return Ok(client),
+                Err(ServeError::Busy { retry_after_ms }) if attempt < max_attempts => {
+                    backoff.sleep(retry_after_ms);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Adjusts the socket read timeout of an established connection
+    /// (`None` blocks indefinitely).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the socket option cannot be set.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| io_err("setting read timeout", e))
     }
 
     fn handshake(mut stream: TcpStream) -> Result<Self, ServeError> {
@@ -266,6 +402,34 @@ impl Client {
         )
     }
 
+    /// Hands a fleet worker one shard to run and blocks until the
+    /// worker answers with its outcome. Only meaningful against a
+    /// server started with a fleet service installed; anything else
+    /// answers with an `Internal` error.
+    pub fn shard_assign(&mut self, spec: ShardSpec) -> Result<(u64, bool, String), ServeError> {
+        self.begin_traced_request()?;
+        self.send(&Request::ShardAssign(spec))?;
+        match self.receive()? {
+            Response::ShardResult {
+                shard_id,
+                complete,
+                outcomes,
+            } => Ok((shard_id, complete, outcomes)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches a fleet worker's progress heartbeat (an idle default
+    /// when the server has no fleet service installed).
+    pub fn heartbeat(&mut self) -> Result<WorkerHeartbeat, ServeError> {
+        self.begin_traced_request()?;
+        self.send(&Request::Heartbeat)?;
+        match self.receive()? {
+            Response::Heartbeat(beat) => Ok(beat),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Asks the server to drain and exit; returns once acknowledged.
     pub fn shutdown(&mut self) -> Result<(), ServeError> {
         self.begin_traced_request()?;
@@ -324,5 +488,59 @@ impl Client {
 fn unexpected(response: &Response) -> ServeError {
     ServeError::Protocol {
         message: format!("unexpected response frame: {response:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_for_a_seed() {
+        let mut a = Backoff::new(42);
+        let mut b = Backoff::new(42);
+        for _ in 0..8 {
+            assert_eq!(a.next_delay(25), b.next_delay(25));
+        }
+        // A different seed must de-synchronise the jitter stream.
+        let mut a2 = Backoff::new(42);
+        let mut c = Backoff::new(43);
+        let delays_a: Vec<_> = (0..8).map(|_| a2.next_delay(0)).collect();
+        let delays_c: Vec<_> = (0..8).map(|_| c.next_delay(0)).collect();
+        assert_ne!(delays_a, delays_c);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let mut backoff =
+            Backoff::with_bounds(1, Duration::from_millis(10), Duration::from_millis(400));
+        let mut previous = Duration::ZERO;
+        for attempt in 0..12 {
+            let delay = backoff.next_delay(0);
+            // The un-jittered floor doubles (10, 20, 40, ...) until the
+            // cap; jitter only ever pushes a delay up, never below the
+            // floor, and never past the cap.
+            let floor = Duration::from_millis(10 << attempt.min(6)).min(Duration::from_millis(400));
+            assert!(delay >= floor, "attempt {attempt}: {delay:?} < {floor:?}");
+            assert!(delay <= Duration::from_millis(400));
+            assert!(delay >= previous.min(Duration::from_millis(400)) || attempt == 0);
+            previous = delay;
+        }
+        assert_eq!(backoff.attempts(), 12);
+        backoff.reset();
+        assert_eq!(backoff.attempts(), 0);
+        assert!(backoff.next_delay(0) < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn backoff_honours_the_server_hint() {
+        let mut backoff = Backoff::new(9);
+        // First exponential floor is 10ms; a 250ms hint must win.
+        let delay = backoff.next_delay(250);
+        assert!(delay >= Duration::from_millis(250));
+        // And a hint above the cap still holds as the lower bound.
+        let mut tight =
+            Backoff::with_bounds(9, Duration::from_millis(1), Duration::from_millis(50));
+        assert!(tight.next_delay(80) >= Duration::from_millis(80));
     }
 }

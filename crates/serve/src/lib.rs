@@ -57,19 +57,37 @@
 //!
 //! See `docs/serve.md` at the repository root for the exact byte
 //! layout.
+//!
+//! ## Engines
+//!
+//! On unix the server runs a `poll(2)`-based **readiness engine**: one
+//! event-loop thread watches every connected session and a small
+//! worker pool ([`ServeLimits::workers`]) services only the sessions
+//! with bytes waiting, so thousands of mostly-idle sessions cost one
+//! file descriptor each and zero threads. Elsewhere — or with
+//! `CLOCKMARK_SERVE_BLOCKING=1` — the original thread-per-connection
+//! engine serves instead. The wire behaviour of both engines is
+//! identical; only the `registered`/`readable` fields of
+//! [`ServerStatus`] tell them apart.
+//!
+//! The `poll(2)` and `RLIMIT_NOFILE` prototypes live in one scoped
+//! `allow(unsafe_code)` FFI module (`poll::sys`), mirroring the
+//! `corpus::mmap` pattern; the rest of the crate denies unsafe code.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod client;
 mod error;
+mod poll;
 pub mod protocol;
 mod server;
 
-pub use client::{Client, CLIENT_CHUNK};
+pub use client::{Backoff, Client, CLIENT_CHUNK};
 pub use error::ServeError;
+pub use poll::raise_nofile_limit;
 pub use protocol::{
-    mint_span_id, mint_trace_id, trace_id_hex, ErrorCode, Request, Response, ServerStatus, MAGIC,
-    PROTOCOL_VERSION, TRACE_ID_LEN,
+    mint_span_id, mint_trace_id, trace_id_hex, ErrorCode, Request, Response, ServerStatus,
+    ShardJob, ShardSpec, WorkerHeartbeat, MAGIC, PROTOCOL_VERSION, TRACE_ID_LEN,
 };
-pub use server::{ServeLimits, Server, ServerHandle};
+pub use server::{FleetService, ServeLimits, Server, ServerHandle, ShardOutcome};

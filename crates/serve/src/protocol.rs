@@ -58,7 +58,10 @@ pub const MAGIC: [u8; 6] = *b"CMRPC1";
 /// Wire protocol version carried in the greeting. Version 2 added the
 /// `TraceContext`/`TraceEcho` and `Metrics` frames and extended the
 /// `Status` report with uptime, session totals and the algo mix.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// Version 3 added the fleet frames (`ShardAssign`/`ShardResult`/
+/// `Heartbeat`) and extended the `Status` report with the readiness-loop
+/// session counts (registered/readable/in-flight).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Frame-type byte of the error frame (valid in either direction).
 pub const FRAME_ERROR: u8 = 0x7F;
@@ -72,6 +75,8 @@ const FRAME_STATUS: u8 = 0x06;
 const FRAME_SHUTDOWN: u8 = 0x07;
 const FRAME_TRACE_CONTEXT: u8 = 0x08;
 const FRAME_METRICS: u8 = 0x09;
+const FRAME_SHARD_ASSIGN: u8 = 0x0A;
+const FRAME_HEARTBEAT: u8 = 0x0B;
 
 const FRAME_PONG: u8 = 0x81;
 const FRAME_DETECT_RESULT: u8 = 0x82;
@@ -79,6 +84,8 @@ const FRAME_STATUS_REPORT: u8 = 0x83;
 const FRAME_SHUTDOWN_ACK: u8 = 0x84;
 const FRAME_METRICS_REPORT: u8 = 0x85;
 const FRAME_TRACE_ECHO: u8 = 0x86;
+const FRAME_SHARD_RESULT: u8 = 0x87;
+const FRAME_HEARTBEAT_ACK: u8 = 0x88;
 
 /// Length in bytes of a wire trace id.
 pub const TRACE_ID_LEN: usize = 16;
@@ -188,6 +195,83 @@ pub enum Request {
     },
     /// Request a Prometheus-text metrics snapshot.
     Metrics,
+    /// Coordinator → worker: run one campaign shard to completion. The
+    /// worker answers with [`Response::ShardResult`] when the shard is
+    /// done (or hits an injected limit), so one shard occupies its
+    /// connection end to end — the heartbeat travels on a second
+    /// connection.
+    ShardAssign(ShardSpec),
+    /// Coordinator → worker: liveness + progress probe, answered with
+    /// [`Response::Heartbeat`].
+    Heartbeat,
+}
+
+/// One job inside a [`ShardSpec`]: a global campaign index plus the
+/// corpus trace it detects over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardJob {
+    /// Index of the job in the *fleet-wide* campaign (what the merged
+    /// report is keyed by — not the shard-local position).
+    pub index: u64,
+    /// Corpus trace name.
+    pub trace: String,
+}
+
+/// Everything a worker needs to run one campaign shard: where the shard
+/// campaign lives on (shared) disk, which corpus and jobs it covers,
+/// and the detection tuning pinned by the fleet spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSpec {
+    /// Stable shard identifier (the consistent-hash bucket).
+    pub shard_id: u64,
+    /// Filesystem path of the shard's campaign directory. Checkpoints
+    /// and `results.jsonl` persist here, so a shard reassigned after a
+    /// worker death resumes from whatever the dead worker had saved.
+    pub dir: String,
+    /// Filesystem path of the corpus root.
+    pub corpus: String,
+    /// Watermark pattern, one bool per cycle.
+    pub pattern: Vec<bool>,
+    /// Peak-significance thresholds.
+    pub criterion: DetectionCriterion,
+    /// Spectrum kernel, pinned fleet-wide (required: the byte-identical
+    /// merged report only holds within one kernel's arithmetic).
+    pub algo: CpaAlgo,
+    /// Checkpoint interval in cycles (0 disables).
+    pub checkpoint_cycles: u64,
+    /// Read-chunk size in cycles.
+    pub chunk_cycles: u64,
+    /// Worker threads for this shard (0 = worker default).
+    pub threads: u32,
+    /// Stop after at most this many jobs (0 = no limit) — test hook
+    /// mirroring `CampaignLimits::max_jobs`.
+    pub max_jobs: u64,
+    /// Interrupt each job after this many ingested cycles (0 = none) —
+    /// test hook mirroring `CampaignLimits::interrupt_job_after_cycles`.
+    pub interrupt_after_cycles: u64,
+    /// The shard's jobs, in shard-local order.
+    pub jobs: Vec<ShardJob>,
+}
+
+/// A worker's heartbeat: liveness plus live progress of the shard it is
+/// currently running, aggregated by the coordinator into the fleet's
+/// `progress.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkerHeartbeat {
+    /// Whether a shard is currently running.
+    pub busy: bool,
+    /// Shard id in flight (`u64::MAX` when idle).
+    pub shard_id: u64,
+    /// Jobs of the in-flight shard already landed.
+    pub jobs_done: u64,
+    /// Jobs in the in-flight shard.
+    pub jobs_total: u64,
+    /// Trace cycles the in-flight shard run has ingested.
+    pub cycles: u64,
+    /// Ingest throughput of the in-flight shard run, cycles/second.
+    pub cycles_per_sec: f64,
+    /// Shards this worker has completed since startup.
+    pub shards_done: u64,
 }
 
 /// A decoded server-to-client frame.
@@ -208,6 +292,20 @@ pub enum Response {
         /// Prometheus exposition text (version 0.0.4).
         text: String,
     },
+    /// Answer to [`Request::ShardAssign`]: the shard ran (to completion
+    /// or to an injected limit) and these are its landed outcomes.
+    ShardResult {
+        /// The shard this result answers for.
+        shard_id: u64,
+        /// Whether every job of the shard has landed.
+        complete: bool,
+        /// Landed outcomes as `results.jsonl` lines (one encoded
+        /// `JobOutcome` per line), already remapped to *global* campaign
+        /// indices.
+        outcomes: String,
+    },
+    /// Answer to [`Request::Heartbeat`].
+    Heartbeat(WorkerHeartbeat),
     /// Echo of the session's trace context, sent immediately before a
     /// response while a [`Request::TraceContext`] is in effect.
     TraceEcho {
@@ -250,6 +348,14 @@ pub struct ServerStatus {
     pub algo_folded: u64,
     /// Verdicts served by the FFT kernel.
     pub algo_fft: u64,
+    /// Sessions registered with the readiness loop (sockets in the poll
+    /// set). Equals `active_sessions` under the readiness engine; under
+    /// the blocking fallback it mirrors `active_sessions` too.
+    pub registered: u32,
+    /// Registered sessions flagged readable and queued for a worker.
+    pub readable: u32,
+    /// Requests currently being handled by pool workers.
+    pub in_flight: u32,
 }
 
 // ---------------------------------------------------------------------------
@@ -343,6 +449,35 @@ fn put_criterion(out: &mut Vec<u8>, c: &DetectionCriterion) {
     put_f64(out, c.min_zscore);
 }
 
+fn put_shard_spec(out: &mut Vec<u8>, s: &ShardSpec) {
+    put_u64(out, s.shard_id);
+    put_bytes(out, s.dir.as_bytes());
+    put_bytes(out, s.corpus.as_bytes());
+    put_pattern(out, &s.pattern);
+    put_criterion(out, &s.criterion);
+    put_algo(out, Some(s.algo));
+    put_u64(out, s.checkpoint_cycles);
+    put_u64(out, s.chunk_cycles);
+    put_u32(out, s.threads);
+    put_u64(out, s.max_jobs);
+    put_u64(out, s.interrupt_after_cycles);
+    put_u32(out, s.jobs.len() as u32);
+    for job in &s.jobs {
+        put_u64(out, job.index);
+        put_bytes(out, job.trace.as_bytes());
+    }
+}
+
+fn put_heartbeat(out: &mut Vec<u8>, h: &WorkerHeartbeat) {
+    out.push(h.busy as u8);
+    put_u64(out, h.shard_id);
+    put_u64(out, h.jobs_done);
+    put_u64(out, h.jobs_total);
+    put_u64(out, h.cycles);
+    put_f64(out, h.cycles_per_sec);
+    put_u64(out, h.shards_done);
+}
+
 /// Sequential payload reader that turns truncation into a protocol error.
 struct Cursor<'a> {
     buf: &'a [u8],
@@ -432,6 +567,56 @@ impl<'a> Cursor<'a> {
         })
     }
 
+    fn shard_spec(&mut self) -> Result<ShardSpec, ServeError> {
+        let shard_id = self.u64()?;
+        let dir = self.string()?;
+        let corpus = self.string()?;
+        let pattern = self.pattern()?;
+        let criterion = self.criterion()?;
+        let algo = self
+            .algo()?
+            .ok_or_else(|| malformed("shard spec must pin a spectrum kernel"))?;
+        let checkpoint_cycles = self.u64()?;
+        let chunk_cycles = self.u64()?;
+        let threads = self.u32()?;
+        let max_jobs = self.u64()?;
+        let interrupt_after_cycles = self.u64()?;
+        let count = self.u32()? as usize;
+        let mut jobs = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            jobs.push(ShardJob {
+                index: self.u64()?,
+                trace: self.string()?,
+            });
+        }
+        Ok(ShardSpec {
+            shard_id,
+            dir,
+            corpus,
+            pattern,
+            criterion,
+            algo,
+            checkpoint_cycles,
+            chunk_cycles,
+            threads,
+            max_jobs,
+            interrupt_after_cycles,
+            jobs,
+        })
+    }
+
+    fn heartbeat(&mut self) -> Result<WorkerHeartbeat, ServeError> {
+        Ok(WorkerHeartbeat {
+            busy: self.u8()? != 0,
+            shard_id: self.u64()?,
+            jobs_done: self.u64()?,
+            jobs_total: self.u64()?,
+            cycles: self.u64()?,
+            cycles_per_sec: self.f64()?,
+            shards_done: self.u64()?,
+        })
+    }
+
     fn samples(&mut self) -> Result<Vec<f64>, ServeError> {
         let rest = self.buf.len() - self.pos;
         if !rest.is_multiple_of(8) {
@@ -517,6 +702,11 @@ impl Request {
                 FRAME_TRACE_CONTEXT
             }
             Request::Metrics => FRAME_METRICS,
+            Request::ShardAssign(spec) => {
+                put_shard_spec(&mut out, spec);
+                FRAME_SHARD_ASSIGN
+            }
+            Request::Heartbeat => FRAME_HEARTBEAT,
         };
         (ty, out)
     }
@@ -549,6 +739,8 @@ impl Request {
                 parent_span: c.u64()?,
             },
             FRAME_METRICS => Request::Metrics,
+            FRAME_SHARD_ASSIGN => Request::ShardAssign(c.shard_spec()?),
+            FRAME_HEARTBEAT => Request::Heartbeat,
             other => return Err(malformed(format!("unknown request frame 0x{other:02x}"))),
         };
         c.expect_end()?;
@@ -583,7 +775,24 @@ impl Response {
                 put_u64(&mut out, s.algo_naive);
                 put_u64(&mut out, s.algo_folded);
                 put_u64(&mut out, s.algo_fft);
+                put_u32(&mut out, s.registered);
+                put_u32(&mut out, s.readable);
+                put_u32(&mut out, s.in_flight);
                 FRAME_STATUS_REPORT
+            }
+            Response::ShardResult {
+                shard_id,
+                complete,
+                outcomes,
+            } => {
+                put_u64(&mut out, *shard_id);
+                out.push(*complete as u8);
+                put_bytes(&mut out, outcomes.as_bytes());
+                FRAME_SHARD_RESULT
+            }
+            Response::Heartbeat(h) => {
+                put_heartbeat(&mut out, h);
+                FRAME_HEARTBEAT_ACK
             }
             Response::ShutdownAck => FRAME_SHUTDOWN_ACK,
             Response::Metrics { text } => {
@@ -651,7 +860,16 @@ impl Response {
                 algo_naive: c.u64()?,
                 algo_folded: c.u64()?,
                 algo_fft: c.u64()?,
+                registered: c.u32()?,
+                readable: c.u32()?,
+                in_flight: c.u32()?,
             }),
+            FRAME_SHARD_RESULT => Response::ShardResult {
+                shard_id: c.u64()?,
+                complete: c.u8()? != 0,
+                outcomes: c.string()?,
+            },
+            FRAME_HEARTBEAT_ACK => Response::Heartbeat(c.heartbeat()?),
             FRAME_SHUTDOWN_ACK => Response::ShutdownAck,
             FRAME_METRICS_REPORT => Response::Metrics { text: c.string()? },
             FRAME_TRACE_ECHO => Response::TraceEcho {
@@ -804,6 +1022,30 @@ mod tests {
             parent_span: u64::MAX,
         });
         round_trip_request(Request::Metrics);
+        round_trip_request(Request::Heartbeat);
+        round_trip_request(Request::ShardAssign(ShardSpec {
+            shard_id: 5,
+            dir: "/fleet/shards/shard_5".into(),
+            corpus: "/fleet/corpus".into(),
+            pattern: vec![true, false, true],
+            criterion: DetectionCriterion::lenient(),
+            algo: CpaAlgo::Folded,
+            checkpoint_cycles: 4096,
+            chunk_cycles: 512,
+            threads: 1,
+            max_jobs: 0,
+            interrupt_after_cycles: 10_000,
+            jobs: vec![
+                ShardJob {
+                    index: 2,
+                    trace: "chip_i_s0002".into(),
+                },
+                ShardJob {
+                    index: 7,
+                    trace: "chip_i_s0007_off".into(),
+                },
+            ],
+        }));
     }
 
     #[test]
@@ -831,8 +1073,26 @@ mod tests {
             algo_naive: 1,
             algo_folded: 7,
             algo_fft: 4,
+            registered: 5,
+            readable: 1,
+            in_flight: 2,
         }));
         round_trip_response(Response::ShutdownAck);
+        round_trip_response(Response::ShardResult {
+            shard_id: 3,
+            complete: true,
+            outcomes: "{\"index\":2,\"trace\":\"chip_i_s0002\"}\n".into(),
+        });
+        round_trip_response(Response::Heartbeat(WorkerHeartbeat {
+            busy: true,
+            shard_id: 9,
+            jobs_done: 3,
+            jobs_total: 12,
+            cycles: 900_000,
+            cycles_per_sec: 123_456.75,
+            shards_done: 2,
+        }));
+        round_trip_response(Response::Heartbeat(WorkerHeartbeat::default()));
         round_trip_response(Response::Metrics {
             text: "# TYPE clockmark_serve_accept_total counter\n\
                    clockmark_serve_accept_total 42\n"
@@ -911,6 +1171,33 @@ mod tests {
         assert!(Request::decode(FRAME_TRACE_CONTEXT, &[0u8; 15]).is_err());
         // Trace echo with trailing bytes.
         assert!(Response::decode(FRAME_TRACE_ECHO, &[0u8; 25]).is_err());
+        // A shard spec may not leave the kernel to the server heuristic:
+        // algo tag 0 (`None`) must be rejected, or byte-identity across
+        // workers would depend on each node's ambient environment.
+        let (ty, mut payload) = Request::ShardAssign(ShardSpec {
+            shard_id: 0,
+            dir: "d".into(),
+            corpus: "c".into(),
+            pattern: vec![true],
+            criterion: DetectionCriterion::default(),
+            algo: CpaAlgo::Fft,
+            checkpoint_cycles: 1,
+            chunk_cycles: 1,
+            threads: 1,
+            max_jobs: 0,
+            interrupt_after_cycles: 0,
+            jobs: Vec::new(),
+        })
+        .encode();
+        assert!(Request::decode(ty, &payload).is_ok());
+        // The algo byte sits right after shard_id + dir + corpus + pattern
+        // + criterion; locate it by re-encoding with the tag zeroed.
+        let algo_at = 8 + (4 + 1) + (4 + 1) + (4 + 1) + 16;
+        payload[algo_at] = 0;
+        let err = Request::decode(ty, &payload).unwrap_err();
+        assert!(err.to_string().contains("spectrum kernel"), "{err}");
+        // Truncated heartbeat ack.
+        assert!(Response::decode(FRAME_HEARTBEAT_ACK, &[0u8; 10]).is_err());
     }
 
     #[test]

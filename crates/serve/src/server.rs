@@ -1,18 +1,30 @@
 //! The concurrent detection server.
 //!
-//! One accept thread polls a nonblocking [`TcpListener`]; each admitted
-//! connection gets a session thread from a bounded pool. When the pool
-//! is full new connections are *rejected immediately* with a `Busy`
-//! error frame carrying a retry hint — the server never queues work it
-//! cannot start, so client latency is either "being served" or "told to
-//! back off", never "silently parked".
+//! Two interchangeable engines sit behind [`Server::bind`]:
 //!
-//! Shutdown is a drain: the accept loop stops admitting, in-flight
-//! sessions run to completion (idle ones close at their next poll
-//! tick), and observability metrics are flushed before
-//! [`ServerHandle::shutdown`] returns.
+//! - **Readiness engine** (unix, the default): one event-loop thread
+//!   `poll(2)`s every connected session plus the listener, and a small
+//!   fixed worker pool services only the sessions that actually have
+//!   bytes waiting. Thousands of mostly-idle sessions cost one
+//!   descriptor each and zero threads, so `max_sessions` can be raised
+//!   into the thousands without spawning a thread per connection.
+//! - **Blocking engine** (non-unix targets, or
+//!   `CLOCKMARK_SERVE_BLOCKING=1`): the original thread-per-connection
+//!   pool — an accept thread plus one session thread per admitted
+//!   connection.
+//!
+//! Both engines enforce the same admission rule: at most
+//! `max_sessions` connections are served concurrently and the rest are
+//! *rejected immediately* with a `Busy` error frame carrying a retry
+//! hint — the server never queues work it cannot start, so client
+//! latency is either "being served" or "told to back off", never
+//! "silently parked".
+//!
+//! Shutdown is a drain: the listener closes, idle sessions are dropped,
+//! sessions mid-exchange run to completion, and observability metrics
+//! are flushed before [`ServerHandle::shutdown`] returns.
 
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -24,13 +36,34 @@ use clockmark_cpa::{CpaAlgo, DetectOptions, Detector, StreamingDetection};
 use crate::error::{io_err, ServeError};
 use crate::protocol::{
     mint_span_id, read_greeting, trace_id_hex, write_frame, write_greeting, ErrorCode, Request,
-    Response, ServerStatus, TRACE_ID_LEN,
+    Response, ServerStatus, ShardSpec, WorkerHeartbeat, TRACE_ID_LEN,
 };
 
-/// Poll interval of the accept loop and of idle session reads. Short
-/// enough that drain latency is imperceptible, long enough to keep an
-/// idle server off the scheduler.
+/// Poll interval of the event loop (and of idle session reads in the
+/// blocking engine). Short enough that drain latency is imperceptible,
+/// long enough to keep an idle server off the scheduler.
 const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// How long a pool worker waits for the *next* frame's type byte before
+/// handing a session back to the poll set. Readiness already proved
+/// bytes were waiting when the session was dispatched, so this timeout
+/// only fires once a burst of pipelined frames has been drained.
+#[cfg(unix)]
+const BURST_POLL: Duration = Duration::from_millis(2);
+
+/// Greeting budget on the rejection path: a client that never sends its
+/// greeting must not pin a worker for the full read timeout.
+const REJECT_BUDGET: Duration = Duration::from_millis(250);
+
+/// How long the readiness engine parks an over-capacity connection
+/// before rejecting it with `Busy`. Slot release is asynchronous here —
+/// a disconnect frees its slot only after a pool worker reads the EOF —
+/// so a connect racing a disconnect (ubiquitous in retry loops) would
+/// otherwise be rejected against a stale "pool full" count that the
+/// blocking engine, which releases slots synchronously on its session
+/// threads, never shows.
+#[cfg(unix)]
+const ADMIT_GRACE: Duration = Duration::from_millis(50);
 
 /// Resource limits a server enforces per connection and overall.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +83,11 @@ pub struct ServeLimits {
     /// Requests taking longer than this are logged at `warn` level with
     /// their trace id (the slow-request log). `Duration::MAX` disables.
     pub slow_request: Duration,
+    /// Size of the readiness engine's worker pool — how many sessions
+    /// can be *actively serviced* at once. Idle sessions cost no
+    /// worker, so this stays small even with thousands registered. The
+    /// blocking engine ignores it (every session has its own thread).
+    pub workers: usize,
 }
 
 impl Default for ServeLimits {
@@ -62,11 +100,46 @@ impl Default for ServeLimits {
             idle_timeout: Duration::from_secs(30),
             retry_after_ms: 100,
             slow_request: Duration::from_secs(1),
+            workers: 4,
         }
     }
 }
 
-/// Counters and flags shared between the accept loop, sessions, and the
+/// The worker-side fleet hook: what a `clockmark-serve` node does when
+/// a fleet coordinator hands it work over the wire.
+///
+/// `crates/fleet` implements this against the campaign machinery;
+/// `crates/serve` stays ignorant of campaigns and merely routes the
+/// `ShardAssign`/`Heartbeat` frames here. A server without a handler
+/// installed (see [`Server::with_fleet`]) answers `ShardAssign` with an
+/// `Internal` error and `Heartbeat` with an idle report.
+pub trait FleetService: Send + Sync {
+    /// Runs one shard to completion (or checkpointed interruption) and
+    /// returns its outcome. This call may run for minutes; it occupies
+    /// one pool worker (readiness engine) or the session's own thread
+    /// (blocking engine) for the duration.
+    fn assign(&self, spec: &ShardSpec) -> Result<ShardOutcome, (ErrorCode, String)>;
+
+    /// A cheap, current progress report for the heartbeat connection.
+    fn heartbeat(&self) -> WorkerHeartbeat;
+}
+
+/// What a fleet worker hands back for a completed (or interrupted)
+/// shard; travels as the `ShardResult` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardOutcome {
+    /// The shard this outcome answers.
+    pub shard_id: u64,
+    /// Whether every job in the shard has a result. `false` means the
+    /// shard was interrupted after a checkpoint and should be
+    /// reassigned (possibly to this same worker) to resume.
+    pub complete: bool,
+    /// The shard's `results.jsonl` contents, one encoded `JobOutcome`
+    /// per line, already remapped to campaign-global job indices.
+    pub outcomes: String,
+}
+
+/// Counters and flags shared between the engine, sessions, and the
 /// owning handle.
 struct Shared {
     limits: ServeLimits,
@@ -79,6 +152,14 @@ struct Shared {
     algo_naive: AtomicU64,
     algo_folded: AtomicU64,
     algo_fft: AtomicU64,
+    /// Sessions registered with the readiness poll set (0 under the
+    /// blocking engine, which has no poll set).
+    registered: AtomicUsize,
+    /// Sessions queued for a pool worker (readiness engine only).
+    readable: AtomicUsize,
+    /// Requests currently inside the handler, either engine.
+    in_flight: AtomicUsize,
+    fleet: Option<Arc<dyn FleetService>>,
 }
 
 impl Shared {
@@ -94,6 +175,9 @@ impl Shared {
             algo_naive: self.algo_naive.load(Ordering::SeqCst),
             algo_folded: self.algo_folded.load(Ordering::SeqCst),
             algo_fft: self.algo_fft.load(Ordering::SeqCst),
+            registered: self.registered.load(Ordering::SeqCst) as u32,
+            readable: self.readable.load(Ordering::SeqCst) as u32,
+            in_flight: self.in_flight.load(Ordering::SeqCst) as u32,
         }
     }
 
@@ -136,6 +220,18 @@ fn metrics_text(shared: &Shared) -> String {
             "serve.draining".to_owned(),
             f64::from(u8::from(status.draining)),
         ),
+        (
+            "serve.sessions_registered".to_owned(),
+            f64::from(status.registered),
+        ),
+        (
+            "serve.sessions_readable".to_owned(),
+            f64::from(status.readable),
+        ),
+        (
+            "serve.requests_in_flight".to_owned(),
+            f64::from(status.in_flight),
+        ),
     ]);
     snapshot.counters.extend([
         ("serve.served_verdicts".to_owned(), status.served),
@@ -154,7 +250,7 @@ fn metrics_text(shared: &Shared) -> String {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+    engine_thread: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -188,16 +284,16 @@ impl ServerHandle {
     /// final counters.
     pub fn shutdown(mut self) -> ServerStatus {
         self.begin_drain();
-        if let Some(handle) = self.accept_thread.take() {
+        if let Some(handle) = self.engine_thread.take() {
             let _ = handle.join();
         }
         self.shared.status()
     }
 
-    /// Blocks until the accept loop exits on its own — used when a wire
+    /// Blocks until the engine exits on its own — used when a wire
     /// `Shutdown` request, not the owning process, ends the server.
     pub fn wait(mut self) -> ServerStatus {
-        if let Some(handle) = self.accept_thread.take() {
+        if let Some(handle) = self.engine_thread.take() {
             let _ = handle.join();
         }
         self.shared.status()
@@ -211,16 +307,26 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.begin_drain();
-        if let Some(handle) = self.accept_thread.take() {
+        if let Some(handle) = self.engine_thread.take() {
             let _ = handle.join();
         }
     }
 }
 
 /// Factory for [`ServerHandle`]s.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Server {
     limits: ServeLimits,
+    fleet: Option<Arc<dyn FleetService>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("limits", &self.limits)
+            .field("fleet", &self.fleet.is_some())
+            .finish()
+    }
 }
 
 impl Server {
@@ -236,10 +342,22 @@ impl Server {
         self
     }
 
-    /// Binds the listener and spawns the accept loop.
+    /// Installs the fleet-worker hook: with this set, the server
+    /// answers `ShardAssign` by running the shard through `fleet` and
+    /// `Heartbeat` with its live progress report.
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: Arc<dyn FleetService>) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Binds the listener and spawns the serving engine.
     ///
     /// Bind to port 0 to let the OS pick a free port; the chosen
-    /// address is available via [`ServerHandle::local_addr`].
+    /// address is available via [`ServerHandle::local_addr`]. On unix
+    /// the poll-based readiness engine serves the socket unless
+    /// `CLOCKMARK_SERVE_BLOCKING=1` opts into the legacy
+    /// thread-per-connection engine (the only engine elsewhere).
     pub fn bind(self, addr: impl ToSocketAddrs) -> Result<ServerHandle, ServeError> {
         let listener = TcpListener::bind(addr).map_err(|e| io_err("binding listener", e))?;
         listener
@@ -260,21 +378,43 @@ impl Server {
             algo_naive: AtomicU64::new(0),
             algo_folded: AtomicU64::new(0),
             algo_fft: AtomicU64::new(0),
+            registered: AtomicUsize::new(0),
+            readable: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            fleet: self.fleet,
         });
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name("clockmark-serve-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))
-            .map_err(|e| io_err("spawning accept thread", e))?;
+        let engine_shared = Arc::clone(&shared);
+        let engine_thread = std::thread::Builder::new()
+            .name("clockmark-serve-engine".into())
+            .spawn(move || engine_main(listener, engine_shared))
+            .map_err(|e| io_err("spawning engine thread", e))?;
 
         Ok(ServerHandle {
             addr,
             shared,
-            accept_thread: Some(accept_thread),
+            engine_thread: Some(engine_thread),
         })
     }
 }
+
+/// Picks the serving engine for this platform and process.
+fn engine_main(listener: TcpListener, shared: Arc<Shared>) {
+    #[cfg(unix)]
+    if !blocking_engine_forced() {
+        return readiness::readiness_loop(listener, shared);
+    }
+    accept_loop(listener, shared);
+}
+
+#[cfg(unix)]
+fn blocking_engine_forced() -> bool {
+    std::env::var_os("CLOCKMARK_SERVE_BLOCKING").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+// ---------------------------------------------------------------------
+// Blocking engine: accept thread + one thread per admitted session.
+// ---------------------------------------------------------------------
 
 /// Decrements the active-session counter even if a session errors out
 /// early.
@@ -348,7 +488,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 fn reject_session(mut stream: TcpStream, shared: &Shared) {
     // Keep the rejection path snappy: a client that never sends its
     // greeting must not pin this thread for the full read timeout.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_read_timeout(Some(REJECT_BUDGET));
     if read_greeting(&mut stream).is_err() {
         return;
     }
@@ -361,7 +501,20 @@ fn reject_session(mut stream: TcpStream, shared: &Shared) {
         message: format!("session pool full ({} active)", shared.limits.max_sessions),
     }
     .encode();
-    let _ = write_frame(&mut stream, ty, &payload);
+    if write_frame(&mut stream, ty, &payload).is_err() {
+        return;
+    }
+    // Drain until the client hangs up (bounded by the reject budget):
+    // closing while its first request sits unread in our receive buffer
+    // would turn the close into an RST, which may discard the Busy
+    // frame before the client reads it.
+    let mut scratch = [0u8; 256];
+    loop {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+    }
 }
 
 /// An in-progress streamed detect exchange.
@@ -387,6 +540,15 @@ struct SessionCtx {
     trace: Option<TraceCtx>,
 }
 
+impl SessionCtx {
+    fn new() -> Self {
+        SessionCtx {
+            exchange: None,
+            trace: None,
+        }
+    }
+}
+
 /// What the session loop should do after handling one frame.
 enum Flow {
     Continue,
@@ -405,6 +567,8 @@ fn request_name(request: &Request) -> &'static str {
         Request::Shutdown => "shutdown",
         Request::TraceContext { .. } => "trace_context",
         Request::Metrics => "metrics",
+        Request::ShardAssign(_) => "shard_assign",
+        Request::Heartbeat => "heartbeat",
     }
 }
 
@@ -418,10 +582,7 @@ fn run_session(mut stream: TcpStream, shared: &Shared) {
     }
 
     let span = clockmark_obs::span("serve.session");
-    let mut ctx = SessionCtx {
-        exchange: None,
-        trace: None,
-    };
+    let mut ctx = SessionCtx::new();
     let mut last_activity = Instant::now();
 
     loop {
@@ -456,77 +617,442 @@ fn run_session(mut stream: TcpStream, shared: &Shared) {
             }
             Err(_) => break, // disconnect
         }
-        let _ = stream.set_read_timeout(Some(shared.limits.read_timeout));
-        let payload =
-            match crate::protocol::read_frame_rest(&mut stream, shared.limits.max_frame_bytes) {
-                Ok(payload) => payload,
-                Err(ServeError::FrameTooLarge { len, max }) => {
-                    send_error(
-                        &mut stream,
-                        None,
-                        ErrorCode::FrameTooLarge,
-                        0,
-                        &format!("frame payload of {len} bytes exceeds the {max}-byte limit"),
-                    );
-                    break;
-                }
-                Err(_) => break, // disconnect, stall, or garbled length
-            };
-        last_activity = Instant::now();
-
-        let wire_bytes = 5u64 + payload.len() as u64; // type byte + u32 length + payload
-        let request = match Request::decode(frame_type[0], &payload) {
-            Ok(request) => request,
-            Err(e) => {
-                send_error(&mut stream, None, ErrorCode::Malformed, 0, &e.to_string());
-                break;
-            }
-        };
-
-        // Mint the server-side span id for this request up front so the
-        // request span and the TraceEcho frame agree on it.
-        if let Some(trace) = ctx.trace.as_mut() {
-            trace.current_span = mint_span_id();
-        }
-        let frame = request_name(&request);
-        let started = Instant::now();
-        let request_span = {
-            let mut s = clockmark_obs::span("serve.request")
-                .field("frame", frame)
-                .field("wire_bytes", wire_bytes);
-            if let Some(trace) = ctx.trace.as_ref() {
-                s = s
-                    .field("trace_id", trace_id_hex(&trace.trace_id))
-                    .field("span_id", trace.current_span)
-                    .field("parent_span", trace.parent_span);
-            }
-            s
-        };
-        let flow = handle_request(&mut stream, shared, &mut ctx, request, wire_bytes);
-        drop(request_span);
-
-        let elapsed = started.elapsed();
-        clockmark_obs::counter_add("serve.requests", 1);
-        clockmark_obs::counter_add("serve.wire_bytes", wire_bytes);
-        clockmark_obs::observe("serve.request_seconds", elapsed.as_secs_f64());
-        if elapsed >= shared.limits.slow_request {
-            let trace = ctx
-                .trace
-                .as_ref()
-                .map(|t| trace_id_hex(&t.trace_id))
-                .unwrap_or_else(|| "-".to_string());
-            clockmark_obs::warn!(
-                "slow request: frame={frame} elapsed={:?} trace={trace}",
-                elapsed
-            );
-        }
-
-        match flow {
-            Flow::Continue => {}
+        match service_frame(&mut stream, shared, &mut ctx, frame_type[0]) {
+            Flow::Continue => last_activity = Instant::now(),
             Flow::Close => break,
         }
     }
     drop(span);
+}
+
+/// Reads the remainder of a frame whose type byte has already arrived,
+/// decodes it and dispatches the request — the request path shared by
+/// both engines. Returns what the session loop should do next; any
+/// transport failure maps to [`Flow::Close`].
+fn service_frame(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    ctx: &mut SessionCtx,
+    frame_type: u8,
+) -> Flow {
+    let _ = stream.set_read_timeout(Some(shared.limits.read_timeout));
+    let payload = match crate::protocol::read_frame_rest(stream, shared.limits.max_frame_bytes) {
+        Ok(payload) => payload,
+        Err(ServeError::FrameTooLarge { len, max }) => {
+            send_error(
+                stream,
+                None,
+                ErrorCode::FrameTooLarge,
+                0,
+                &format!("frame payload of {len} bytes exceeds the {max}-byte limit"),
+            );
+            return Flow::Close;
+        }
+        Err(_) => return Flow::Close, // disconnect, stall, or garbled length
+    };
+
+    let wire_bytes = 5u64 + payload.len() as u64; // type byte + u32 length + payload
+    let request = match Request::decode(frame_type, &payload) {
+        Ok(request) => request,
+        Err(e) => {
+            send_error(stream, None, ErrorCode::Malformed, 0, &e.to_string());
+            return Flow::Close;
+        }
+    };
+
+    // Mint the server-side span id for this request up front so the
+    // request span and the TraceEcho frame agree on it.
+    if let Some(trace) = ctx.trace.as_mut() {
+        trace.current_span = mint_span_id();
+    }
+    let frame = request_name(&request);
+    let started = Instant::now();
+    let request_span = {
+        let mut s = clockmark_obs::span("serve.request")
+            .field("frame", frame)
+            .field("wire_bytes", wire_bytes);
+        if let Some(trace) = ctx.trace.as_ref() {
+            s = s
+                .field("trace_id", trace_id_hex(&trace.trace_id))
+                .field("span_id", trace.current_span)
+                .field("parent_span", trace.parent_span);
+        }
+        s
+    };
+    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+    let flow = handle_request(stream, shared, ctx, request, wire_bytes);
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    drop(request_span);
+
+    let elapsed = started.elapsed();
+    clockmark_obs::counter_add("serve.requests", 1);
+    clockmark_obs::counter_add("serve.wire_bytes", wire_bytes);
+    clockmark_obs::observe("serve.request_seconds", elapsed.as_secs_f64());
+    if elapsed >= shared.limits.slow_request {
+        let trace = ctx
+            .trace
+            .as_ref()
+            .map(|t| trace_id_hex(&t.trace_id))
+            .unwrap_or_else(|| "-".to_string());
+        clockmark_obs::warn!(
+            "slow request: frame={frame} elapsed={:?} trace={trace}",
+            elapsed
+        );
+    }
+    flow
+}
+
+// ---------------------------------------------------------------------
+// Readiness engine: poll(2) event loop + fixed worker pool (unix).
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+mod readiness {
+    use super::*;
+    use crate::poll::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL};
+    use std::collections::VecDeque;
+    use std::os::unix::io::AsRawFd;
+    use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+    /// A connected session parked in (or checked out of) the poll set.
+    struct Session {
+        stream: TcpStream,
+        ctx: SessionCtx,
+        greeted: bool,
+        last_activity: Instant,
+    }
+
+    /// One entry of the slot registry.
+    ///
+    /// Only the event loop moves `Idle → Busy` (dispatching to the
+    /// queue) and only a worker moves `Busy → Idle`/`Empty`, so a
+    /// session is never polled and serviced at the same time.
+    enum Slot {
+        Empty,
+        Idle(Box<Session>),
+        Busy,
+    }
+
+    enum Work {
+        /// An admitted session with bytes (or a hangup) waiting.
+        Session { idx: usize, session: Box<Session> },
+        /// An over-capacity connection owed a `Busy` frame.
+        Reject(TcpStream),
+    }
+
+    struct Engine {
+        shared: Arc<Shared>,
+        slots: Mutex<Vec<Slot>>,
+        queue: Mutex<VecDeque<Work>>,
+        queue_cv: Condvar,
+        done: AtomicBool,
+    }
+
+    fn relock<'a, T>(
+        r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+    ) -> MutexGuard<'a, T> {
+        // A panicking worker must not wedge the whole server; the
+        // registry and queue hold only owned state that stays valid.
+        r.unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(super) fn readiness_loop(listener: TcpListener, shared: Arc<Shared>) {
+        let engine = Arc::new(Engine {
+            shared: Arc::clone(&shared),
+            slots: Mutex::new(Vec::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            done: AtomicBool::new(false),
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..shared.limits.workers.max(1))
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                std::thread::Builder::new()
+                    .name(format!("clockmark-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&engine))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+
+        let mut listener = Some(listener);
+        let mut deferred: VecDeque<(TcpStream, Instant)> = VecDeque::new();
+        loop {
+            let draining = shared.draining.load(Ordering::SeqCst);
+            if draining {
+                // Drain step 1: close the listener, admit nothing new.
+                listener = None;
+            }
+            if let Some(l) = &listener {
+                accept_ready(l, &engine, &mut deferred);
+            }
+            retry_deferred(&engine, &mut deferred, draining);
+
+            // Sweep budgets, then snapshot the descriptors to poll.
+            let mut fds: Vec<PollFd> = Vec::new();
+            let mut slot_of: Vec<usize> = Vec::new();
+            let mut all_empty = true;
+            {
+                let mut slots = relock(engine.slots.lock());
+                for (idx, slot) in slots.iter_mut().enumerate() {
+                    let close = match slot {
+                        Slot::Empty => continue,
+                        Slot::Busy => {
+                            all_empty = false;
+                            continue;
+                        }
+                        Slot::Idle(session) => {
+                            all_empty = false;
+                            let budget = if session.ctx.exchange.is_some() {
+                                shared.limits.read_timeout
+                            } else {
+                                shared.limits.idle_timeout
+                            };
+                            // Drain step 2: sessions between exchanges
+                            // close now; one mid-exchange keeps its
+                            // read-timeout budget and runs to completion.
+                            (draining && session.ctx.exchange.is_none())
+                                || session.last_activity.elapsed() > budget
+                        }
+                    };
+                    if close {
+                        *slot = Slot::Empty;
+                        shared.registered.fetch_sub(1, Ordering::SeqCst);
+                        shared.active.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    let Slot::Idle(session) = slot else {
+                        unreachable!()
+                    };
+                    fds.push(PollFd {
+                        fd: session.stream.as_raw_fd(),
+                        events: POLLIN,
+                        revents: 0,
+                    });
+                    slot_of.push(idx);
+                }
+            }
+
+            if draining && all_empty && relock(engine.queue.lock()).is_empty() {
+                break;
+            }
+
+            // Wait for readiness (or the tick) and dispatch.
+            let timeout = POLL_INTERVAL.as_millis() as i32;
+            if fds.is_empty() {
+                std::thread::sleep(POLL_INTERVAL);
+                continue;
+            }
+            let n_ready = match poll_fds(&mut fds, timeout) {
+                Ok(n) => n,
+                Err(_) => {
+                    std::thread::sleep(POLL_INTERVAL);
+                    continue;
+                }
+            };
+            if n_ready == 0 {
+                continue;
+            }
+            let mut dispatched = Vec::new();
+            {
+                let mut slots = relock(engine.slots.lock());
+                for (pos, fd) in fds.iter().enumerate() {
+                    if fd.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) == 0 {
+                        continue;
+                    }
+                    let idx = slot_of[pos];
+                    // The slot is still Idle: workers never touch Idle
+                    // slots and only this thread checks sessions out.
+                    if let Slot::Idle(session) = std::mem::replace(&mut slots[idx], Slot::Busy) {
+                        dispatched.push(Work::Session { idx, session });
+                    }
+                }
+            }
+            if !dispatched.is_empty() {
+                shared
+                    .readable
+                    .fetch_add(dispatched.len(), Ordering::SeqCst);
+                let mut queue = relock(engine.queue.lock());
+                queue.extend(dispatched);
+                drop(queue);
+                engine.queue_cv.notify_all();
+            }
+        }
+
+        // Drain step 3: stop the pool, join it, flush metrics.
+        engine.done.store(true, Ordering::SeqCst);
+        engine.queue_cv.notify_all();
+        for handle in workers {
+            let _ = handle.join();
+        }
+        clockmark_obs::flush();
+    }
+
+    /// Accepts every connection currently pending on the listener.
+    /// Over-capacity connections are parked in `deferred` rather than
+    /// rejected outright — see [`ADMIT_GRACE`].
+    fn accept_ready(
+        listener: &TcpListener,
+        engine: &Engine,
+        deferred: &mut VecDeque<(TcpStream, Instant)>,
+    ) {
+        loop {
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return, // transient (e.g. aborted connection)
+            };
+            if let Err(stream) = try_admit(engine, stream) {
+                deferred.push_back((stream, Instant::now()));
+            }
+        }
+    }
+
+    /// Re-tries admission for parked connections; entries that outlive
+    /// [`ADMIT_GRACE`] (or arrive at a draining server) get the `Busy`
+    /// rejection they were owed.
+    fn retry_deferred(
+        engine: &Engine,
+        deferred: &mut VecDeque<(TcpStream, Instant)>,
+        draining: bool,
+    ) {
+        for _ in 0..deferred.len() {
+            let (stream, since) = deferred.pop_front().expect("len-bounded");
+            if draining {
+                reject(engine, stream);
+                continue;
+            }
+            if let Err(stream) = try_admit(engine, stream) {
+                if since.elapsed() >= ADMIT_GRACE {
+                    reject(engine, stream);
+                } else {
+                    deferred.push_back((stream, since));
+                }
+            }
+        }
+    }
+
+    /// Admission control plus slot installation. Returns the stream
+    /// back when the pool is at capacity so the caller can defer or
+    /// reject it; a connection dead at `set_nodelay` is silently
+    /// dropped (admitting it would only waste a dispatch).
+    fn try_admit(engine: &Engine, stream: TcpStream) -> Result<(), TcpStream> {
+        let shared = &engine.shared;
+        let admitted = shared
+            .active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < shared.limits.max_sessions).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            return Err(stream);
+        }
+        if stream.set_nodelay(true).is_err() {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            return Ok(());
+        }
+        shared.total.fetch_add(1, Ordering::SeqCst);
+        clockmark_obs::counter_add("serve.accept", 1);
+        let session = Box::new(Session {
+            stream,
+            ctx: SessionCtx::new(),
+            greeted: false,
+            last_activity: Instant::now(),
+        });
+        let mut slots = relock(engine.slots.lock());
+        match slots.iter().position(|s| matches!(s, Slot::Empty)) {
+            Some(idx) => slots[idx] = Slot::Idle(session),
+            None => slots.push(Slot::Idle(session)),
+        }
+        shared.registered.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Queues the `Busy` rejection of one connection.
+    fn reject(engine: &Engine, stream: TcpStream) {
+        let shared = &engine.shared;
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        clockmark_obs::counter_add("serve.reject", 1);
+        let mut queue = relock(engine.queue.lock());
+        queue.push_back(Work::Reject(stream));
+        drop(queue);
+        engine.queue_cv.notify_one();
+    }
+
+    fn worker_loop(engine: &Engine) {
+        loop {
+            let work = {
+                let mut queue = relock(engine.queue.lock());
+                loop {
+                    if let Some(work) = queue.pop_front() {
+                        break Some(work);
+                    }
+                    if engine.done.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    queue = relock(engine.queue_cv.wait(queue));
+                }
+            };
+            let Some(work) = work else { return };
+            match work {
+                Work::Reject(stream) => reject_session(stream, &engine.shared),
+                Work::Session { idx, mut session } => {
+                    engine.shared.readable.fetch_sub(1, Ordering::SeqCst);
+                    let keep = service_session(&mut session, &engine.shared);
+                    let mut slots = relock(engine.slots.lock());
+                    if keep {
+                        session.last_activity = Instant::now();
+                        slots[idx] = Slot::Idle(session);
+                    } else {
+                        slots[idx] = Slot::Empty;
+                        drop(slots);
+                        engine.shared.registered.fetch_sub(1, Ordering::SeqCst);
+                        engine.shared.active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Services one checked-out session: greet it if this is its first
+    /// wakeup, then drain every frame already buffered on the socket.
+    /// Returns whether the session should go back into the poll set.
+    fn service_session(session: &mut Session, shared: &Shared) -> bool {
+        let stream = &mut session.stream;
+        if !session.greeted {
+            // Readiness fired, so at least the greeting's first bytes
+            // are here; a stalled remainder gets the read budget.
+            let _ = stream.set_read_timeout(Some(shared.limits.read_timeout));
+            if read_greeting(stream).is_err() || write_greeting(stream).is_err() {
+                return false;
+            }
+            session.greeted = true;
+        }
+        loop {
+            // The first iteration after a wakeup normally finds a type
+            // byte at once; once the burst is drained, hand the session
+            // back to the poll set instead of camping on the socket —
+            // level-triggered polling re-signals anything left over.
+            let _ = stream.set_read_timeout(Some(BURST_POLL));
+            let mut frame_type = [0u8; 1];
+            match std::io::Read::read_exact(stream, &mut frame_type) {
+                Ok(()) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return true;
+                }
+                Err(_) => return false, // disconnect
+            }
+            match service_frame(stream, shared, &mut session.ctx, frame_type[0]) {
+                Flow::Continue => session.last_activity = Instant::now(),
+                Flow::Close => return false,
+            }
+        }
+    }
 }
 
 fn handle_request(
@@ -714,6 +1240,47 @@ fn handle_request_inner(
                 }
                 Err((code, message)) => fail(stream, trace, code, &message),
             }
+        }
+        Request::ShardAssign(spec) => {
+            if shared.draining.load(Ordering::SeqCst) {
+                return fail(stream, trace, ErrorCode::Draining, "server is draining");
+            }
+            let Some(fleet) = shared.fleet.as_ref() else {
+                return fail(
+                    stream,
+                    trace,
+                    ErrorCode::Internal,
+                    "this server is not a fleet worker (no fleet service installed)",
+                );
+            };
+            // Runs the whole shard before answering; the coordinator
+            // holds this connection open as the shard's completion
+            // signal and heartbeats on a separate one.
+            let span = clockmark_obs::span("serve.shard")
+                .field("shard_id", spec.shard_id)
+                .field("jobs", spec.jobs.len() as u64);
+            let outcome = fleet.assign(&spec);
+            drop(span);
+            match outcome {
+                Ok(outcome) => send_response(
+                    stream,
+                    trace,
+                    &Response::ShardResult {
+                        shard_id: outcome.shard_id,
+                        complete: outcome.complete,
+                        outcomes: outcome.outcomes,
+                    },
+                ),
+                Err((code, message)) => fail(stream, trace, code, &message),
+            }
+        }
+        Request::Heartbeat => {
+            let beat = shared
+                .fleet
+                .as_ref()
+                .map(|fleet| fleet.heartbeat())
+                .unwrap_or_default();
+            send_response(stream, trace, &Response::Heartbeat(beat))
         } // `Request` is non_exhaustive for downstream crates only; within
           // the defining crate the match above is already exhaustive.
     }

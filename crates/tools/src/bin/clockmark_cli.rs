@@ -12,6 +12,9 @@ use clockmark_tools::fleet::{
     cmd_corpus_convert, cmd_corpus_ls, cmd_corpus_verify, parse_chip_list, parse_seed_list,
     CampaignCreateOptions, CampaignRunOptions, CorpusBuildOptions,
 };
+use clockmark_tools::fleet_cmd::{
+    cmd_fleet_run, cmd_fleet_serve, cmd_fleet_status, parse_worker_list, FleetRunOptions,
+};
 use clockmark_tools::serve_cmd::{
     cmd_client_detect, cmd_client_detect_corpus, cmd_client_metrics, cmd_client_ping,
     cmd_client_shutdown, cmd_client_status, cmd_client_watch, cmd_serve, ClientDetectOptions,
@@ -58,6 +61,14 @@ USAGE:
   clockmark-cli client detect-corpus --corpus <dir> --name <trace>
                  (--lfsr W [--seed S] | --bits 1011…)
                  [--addr HOST:PORT] [--lenient] [--algo naive|folded|fft] [--traced]
+  clockmark-cli fleet serve [--addr HOST:PORT] [--threads N] [--max-sessions N]
+                 [--max-cycles N] [--max-frame-bytes N] [--slow-ms N]
+  clockmark-cli fleet run <dir> --corpus <dir> --workers H:P,H:P,…
+                 (--lfsr W [--seed S] | --bits 1011…)
+                 [--traces a,b,…] [--lenient] [--shards N] [--threads N]
+                 [--checkpoint-cycles N] [--chunk-cycles N] [--algo naive|folded|fft]
+                 [--heartbeat-ms N] [--heartbeat-misses N] [--max-jobs N]
+  clockmark-cli fleet status <dir>
 
 Observability (all commands): CLOCKMARK_LOG=error|warn|info|debug|trace
 sets the stderr log level; CLOCKMARK_METRICS=<file.jsonl> records spans
@@ -119,6 +130,61 @@ fn client_detect_options(args: &mut Args) -> Result<ClientDetectOptions, ToolErr
             None => None,
         },
         traced: args.flag("--traced"),
+    })
+}
+
+/// Parses the bind/limit flags shared by `serve` and `fleet serve`.
+fn serve_options(args: &mut Args) -> Result<ServeOptions, ToolError> {
+    let defaults = ServeOptions::default();
+    let mut options = ServeOptions {
+        addr: args
+            .value_of("--addr")?
+            .unwrap_or_else(|| defaults.addr.clone()),
+        limits: defaults.limits,
+    };
+    options.limits.max_sessions = args.numeric("--max-sessions", options.limits.max_sessions)?;
+    options.limits.max_cycles = args.numeric("--max-cycles", options.limits.max_cycles)?;
+    options.limits.max_frame_bytes =
+        args.numeric("--max-frame-bytes", options.limits.max_frame_bytes)?;
+    let slow_ms: u64 = args.numeric("--slow-ms", options.limits.slow_request.as_millis() as u64)?;
+    options.limits.slow_request = std::time::Duration::from_millis(slow_ms);
+    Ok(options)
+}
+
+/// Parses the spec-shaping flags shared by `campaign run` and
+/// `fleet run` (everything persisted into `campaign.json`).
+fn campaign_create_options(args: &mut Args) -> Result<CampaignCreateOptions, ToolError> {
+    let lenient = args.flag("--lenient");
+    let traces = args
+        .value_of("--traces")?
+        .map(|list| list.split(',').map(str::to_owned).collect());
+    let checkpoint_cycles =
+        match args.value_of("--checkpoint-cycles")? {
+            Some(v) => Some(v.parse().map_err(|_| {
+                ToolError::Usage(format!("--checkpoint-cycles: cannot parse `{v}`"))
+            })?),
+            None => None,
+        };
+    let chunk_cycles = match args.value_of("--chunk-cycles")? {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| ToolError::Usage(format!("--chunk-cycles: cannot parse `{v}`")))?,
+        ),
+        None => None,
+    };
+    let algo = match args.value_of("--algo")? {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|e| ToolError::Usage(format!("--algo: {e}")))?,
+        ),
+        None => None,
+    };
+    Ok(CampaignCreateOptions {
+        traces,
+        lenient,
+        checkpoint_cycles,
+        chunk_cycles,
+        algo,
     })
 }
 
@@ -304,31 +370,8 @@ fn run() -> Result<(), ToolError> {
                 "run" => {
                     let dir = args.positional("dir")?;
                     let corpus_dir = args.require("--corpus")?;
-                    let lenient = args.flag("--lenient");
                     let spec = pattern_spec(&mut args, "campaign run")?;
-                    let traces = args
-                        .value_of("--traces")?
-                        .map(|list| list.split(',').map(str::to_owned).collect());
-                    let checkpoint_cycles = args.value_of("--checkpoint-cycles")?;
-                    let checkpoint_cycles = match checkpoint_cycles {
-                        Some(v) => Some(v.parse().map_err(|_| {
-                            ToolError::Usage(format!("--checkpoint-cycles: cannot parse `{v}`"))
-                        })?),
-                        None => None,
-                    };
-                    let chunk_cycles = match args.value_of("--chunk-cycles")? {
-                        Some(v) => Some(v.parse().map_err(|_| {
-                            ToolError::Usage(format!("--chunk-cycles: cannot parse `{v}`"))
-                        })?),
-                        None => None,
-                    };
-                    let algo = match args.value_of("--algo")? {
-                        Some(v) => Some(
-                            v.parse()
-                                .map_err(|e| ToolError::Usage(format!("--algo: {e}")))?,
-                        ),
-                        None => None,
-                    };
+                    let create = campaign_create_options(&mut args)?;
                     let options = CampaignRunOptions {
                         threads: args.numeric("--threads", 0usize)?,
                         max_jobs: args
@@ -339,13 +382,6 @@ fn run() -> Result<(), ToolError> {
                         no_mmap: args.flag("--no-mmap"),
                     };
                     args.finish()?;
-                    let create = CampaignCreateOptions {
-                        traces,
-                        lenient,
-                        checkpoint_cycles,
-                        chunk_cycles,
-                        algo,
-                    };
                     print!(
                         "{}",
                         cmd_campaign_run(
@@ -384,23 +420,56 @@ fn run() -> Result<(), ToolError> {
             }
         }
         "serve" => {
-            let defaults = ServeOptions::default();
-            let mut options = ServeOptions {
-                addr: args
-                    .value_of("--addr")?
-                    .unwrap_or_else(|| defaults.addr.clone()),
-                limits: defaults.limits,
-            };
-            options.limits.max_sessions =
-                args.numeric("--max-sessions", options.limits.max_sessions)?;
-            options.limits.max_cycles = args.numeric("--max-cycles", options.limits.max_cycles)?;
-            options.limits.max_frame_bytes =
-                args.numeric("--max-frame-bytes", options.limits.max_frame_bytes)?;
-            let slow_ms: u64 =
-                args.numeric("--slow-ms", options.limits.slow_request.as_millis() as u64)?;
-            options.limits.slow_request = std::time::Duration::from_millis(slow_ms);
+            let options = serve_options(&mut args)?;
             args.finish()?;
             print!("{}", cmd_serve(&options)?);
+        }
+        "fleet" => {
+            let sub = args.positional("subcommand")?;
+            match sub.as_str() {
+                "serve" => {
+                    let threads = args.numeric("--threads", 0usize)?;
+                    let options = serve_options(&mut args)?;
+                    args.finish()?;
+                    print!("{}", cmd_fleet_serve(&options, threads)?);
+                }
+                "run" => {
+                    let dir = args.positional("dir")?;
+                    let corpus_dir = args.require("--corpus")?;
+                    let workers = parse_worker_list(&args.require("--workers")?)?;
+                    let spec = pattern_spec(&mut args, "fleet run")?;
+                    let create = campaign_create_options(&mut args)?;
+                    let options = FleetRunOptions {
+                        workers,
+                        shards: args.numeric("--shards", 0u64)?,
+                        threads: args.numeric("--threads", 0u32)?,
+                        heartbeat_ms: args.numeric("--heartbeat-ms", 0u64)?,
+                        heartbeat_misses: args.numeric("--heartbeat-misses", 0u32)?,
+                        max_jobs_per_assign: args.numeric("--max-jobs", 0u64)?,
+                    };
+                    args.finish()?;
+                    print!(
+                        "{}",
+                        cmd_fleet_run(
+                            Path::new(&dir),
+                            Path::new(&corpus_dir),
+                            &spec,
+                            create,
+                            &options,
+                        )?
+                    );
+                }
+                "status" => {
+                    let dir = args.positional("dir")?;
+                    args.finish()?;
+                    print!("{}", cmd_fleet_status(Path::new(&dir))?);
+                }
+                other => {
+                    return Err(ToolError::Usage(format!(
+                        "unknown fleet subcommand `{other}`"
+                    )))
+                }
+            }
         }
         "client" => {
             let sub = args.positional("subcommand")?;
@@ -478,7 +547,11 @@ fn main() -> ExitCode {
     // CLOCKMARK_* variable asked for an export. Exporter-less
     // recording writes nothing on flush; environment-configured
     // exporters are honoured exactly as for every other command.
-    if std::env::args().nth(1).as_deref() == Some("serve") {
+    let mut argv = std::env::args().skip(1);
+    let (first, second) = (argv.next(), argv.next());
+    let serving = first.as_deref() == Some("serve")
+        || (first.as_deref() == Some("fleet") && second.as_deref() == Some("serve"));
+    if serving {
         let recorder = clockmark_obs::Recorder::from_env()
             .unwrap_or_else(|| clockmark_obs::Recorder::new(Vec::new()));
         clockmark_obs::install(recorder);

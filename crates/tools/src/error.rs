@@ -29,6 +29,8 @@ pub enum ToolError {
     Corpus(clockmark::corpus::CorpusError),
     /// A detection campaign failed.
     Campaign(clockmark::CampaignError),
+    /// A fleet run failed.
+    Fleet(clockmark_fleet::FleetError),
 }
 
 impl fmt::Display for ToolError {
@@ -43,6 +45,7 @@ impl fmt::Display for ToolError {
             ToolError::Clockmark(e) => write!(f, "{e}"),
             ToolError::Corpus(e) => write!(f, "corpus: {e}"),
             ToolError::Campaign(e) => write!(f, "campaign: {e}"),
+            ToolError::Fleet(e) => write!(f, "fleet: {e}"),
         }
     }
 }
@@ -55,6 +58,7 @@ impl Error for ToolError {
             ToolError::Clockmark(e) => Some(e),
             ToolError::Corpus(e) => Some(e),
             ToolError::Campaign(e) => Some(e),
+            ToolError::Fleet(e) => Some(e),
             _ => None,
         }
     }
@@ -99,6 +103,12 @@ impl From<clockmark::corpus::CorpusError> for ToolError {
 impl From<clockmark::CampaignError> for ToolError {
     fn from(e: clockmark::CampaignError) -> Self {
         ToolError::Campaign(e)
+    }
+}
+
+impl From<clockmark_fleet::FleetError> for ToolError {
+    fn from(e: clockmark_fleet::FleetError) -> Self {
+        ToolError::Fleet(e)
     }
 }
 

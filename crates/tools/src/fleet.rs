@@ -286,7 +286,7 @@ pub fn cmd_corpus_convert(
     }
 }
 
-fn outcome_line(outcome: &JobOutcome) -> String {
+pub(crate) fn outcome_line(outcome: &JobOutcome) -> String {
     let r = &outcome.result;
     format!(
         "job {:>4}  {:<24} {}  rot {:>5}  rho {:+.6}  ratio {:>6.2}  z {:>6.2}",
@@ -375,6 +375,47 @@ pub struct CampaignCreateOptions {
     pub algo: Option<CpaAlgo>,
 }
 
+impl CampaignCreateOptions {
+    /// Shapes a [`CampaignSpec`] over `corpus_dir` from these options:
+    /// the shared front half of `campaign run` and `fleet run`.
+    ///
+    /// # Errors
+    ///
+    /// Returns pattern-spec and corpus-manifest failures.
+    pub fn build_spec(
+        self,
+        corpus_dir: &Path,
+        spec: &PatternSpec,
+    ) -> Result<CampaignSpec, ToolError> {
+        let pattern = spec.pattern()?;
+        let traces = match self.traces {
+            Some(list) => list,
+            None => {
+                let corpus = Corpus::open(corpus_dir)?;
+                corpus
+                    .entries()
+                    .iter()
+                    .map(|entry| entry.name.clone())
+                    .collect()
+            }
+        };
+        let mut campaign_spec = CampaignSpec::new(corpus_dir, pattern, traces);
+        if self.lenient {
+            campaign_spec.criterion = DetectionCriterion::lenient();
+        }
+        if let Some(cycles) = self.checkpoint_cycles {
+            campaign_spec.checkpoint_cycles = cycles;
+        }
+        if let Some(cycles) = self.chunk_cycles {
+            campaign_spec.chunk_cycles = cycles;
+        }
+        if let Some(algo) = self.algo {
+            campaign_spec.algo = algo;
+        }
+        Ok(campaign_spec)
+    }
+}
+
 /// `campaign run`: creates a campaign directory over a corpus and runs it.
 ///
 /// # Errors
@@ -388,31 +429,7 @@ pub fn cmd_campaign_run(
     create: CampaignCreateOptions,
     options: CampaignRunOptions,
 ) -> Result<String, ToolError> {
-    let pattern = spec.pattern()?;
-    let traces = match create.traces {
-        Some(list) => list,
-        None => {
-            let corpus = Corpus::open(corpus_dir)?;
-            corpus
-                .entries()
-                .iter()
-                .map(|entry| entry.name.clone())
-                .collect()
-        }
-    };
-    let mut campaign_spec = CampaignSpec::new(corpus_dir, pattern, traces);
-    if create.lenient {
-        campaign_spec.criterion = DetectionCriterion::lenient();
-    }
-    if let Some(cycles) = create.checkpoint_cycles {
-        campaign_spec.checkpoint_cycles = cycles;
-    }
-    if let Some(cycles) = create.chunk_cycles {
-        campaign_spec.chunk_cycles = cycles;
-    }
-    if let Some(algo) = create.algo {
-        campaign_spec.algo = algo;
-    }
+    let campaign_spec = create.build_spec(corpus_dir, spec)?;
     let campaign = options.apply(Campaign::create(dir, campaign_spec)?);
     let status = campaign.run(&options.limits())?;
     render_run(&campaign, &status)

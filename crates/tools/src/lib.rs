@@ -17,6 +17,7 @@
 //! | `campaign run\|resume\|status` | resumable sharded detection campaigns over a corpus |
 //! | `serve [--addr A]` | run the concurrent detection server in the foreground |
 //! | `client ping\|status\|detect\|detect-corpus\|shutdown` | drive a running server over the wire |
+//! | `fleet serve\|run\|status` | shard one campaign across many worker nodes |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +26,7 @@ pub mod args;
 pub mod commands;
 mod error;
 pub mod fleet;
+pub mod fleet_cmd;
 pub mod serve_cmd;
 pub mod tracefile;
 

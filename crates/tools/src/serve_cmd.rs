@@ -119,6 +119,11 @@ pub fn cmd_client_status(addr: &str) -> Result<String, ToolError> {
         "algos: naive {}, folded {}, fft {}",
         status.algo_naive, status.algo_folded, status.algo_fft
     );
+    let _ = writeln!(
+        out,
+        "engine: {} registered, {} readable, {} in-flight",
+        status.registered, status.readable, status.in_flight
+    );
     let _ = writeln!(out, "uptime: {}s", status.uptime_secs);
     Ok(out)
 }
@@ -186,6 +191,11 @@ pub fn render_watch_frame(
         out,
         "served:   {} verdicts (naive {}, folded {}, fft {})",
         status.served, status.algo_naive, status.algo_folded, status.algo_fft
+    );
+    let _ = writeln!(
+        out,
+        "engine:   {} registered, {} readable, {} in-flight",
+        status.registered, status.readable, status.in_flight
     );
     let rate = |w: &str| {
         prom_value(
@@ -458,6 +468,9 @@ mod tests {
             algo_naive: 5,
             algo_folded: 20,
             algo_fft: 15,
+            registered: 7,
+            readable: 1,
+            in_flight: 2,
         };
         let metrics = "\
 clockmark_serve_requests_window_rate{window=\"1s\"} 12\n\
@@ -473,6 +486,10 @@ clockmark_serve_errors_total 3\n";
             "{frame}"
         );
         assert!(frame.contains("naive 5, folded 20, fft 15"), "{frame}");
+        assert!(
+            frame.contains("7 registered, 1 readable, 2 in-flight"),
+            "{frame}"
+        );
         assert!(frame.contains("1s 12.0  10s 9.8  60s -"), "{frame}");
         assert!(
             frame.contains("p50 1.20ms  p95 3.40ms  p99 7.90ms"),

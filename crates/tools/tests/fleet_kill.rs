@@ -1,0 +1,174 @@
+//! The fleet's headline failure drill, with real processes: spawn
+//! worker nodes as `clockmark-cli fleet serve` children, SIGKILL one of
+//! them mid-campaign, and require the coordinator to reassign its
+//! shards and still merge a `report.json` byte-identical to an
+//! uninterrupted single-node run.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use clockmark::corpus::{Corpus, TraceHeader};
+use clockmark::{Campaign, CampaignLimits, CampaignSpec};
+use clockmark_fleet::{run_fleet, FleetConfig};
+use clockmark_seq::{Lfsr, SequenceGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new() -> Self {
+        let path = std::env::temp_dir().join(format!("cm_fleet_kill_{}", std::process::id()));
+        std::fs::remove_dir_all(&path).ok();
+        std::fs::create_dir_all(&path).expect("mkdir");
+        TempDir(path)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// A `fleet serve` child process; killed on drop so a failing test does
+/// not leak servers.
+struct WorkerProc {
+    child: Child,
+    addr: String,
+}
+
+impl WorkerProc {
+    fn spawn() -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_clockmark-cli"))
+            .args([
+                "fleet",
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "1",
+                "--max-sessions",
+                "16",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawns fleet serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("reads listen line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+            .to_owned();
+        WorkerProc { child, addr }
+    }
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn pattern() -> Vec<bool> {
+    let mut lfsr = Lfsr::maximal(6).expect("valid");
+    (0..63).map(|_| lfsr.next_bit()).collect()
+}
+
+fn build_fixture(dir: &Path) -> CampaignSpec {
+    let corpus_dir = dir.join("corpus");
+    let pattern = pattern();
+    let mut corpus = Corpus::create(&corpus_dir).expect("creates");
+    let mut names = Vec::new();
+    for i in 0..5usize {
+        let mut rng = StdRng::seed_from_u64(100 + i as u64);
+        let watts: Vec<f64> = (0..30_000)
+            .map(|c| {
+                let wm = if pattern[(c + 7 + i) % pattern.len()] {
+                    1.0
+                } else {
+                    0.0
+                };
+                wm + rng.random_range(-2.0..2.0)
+            })
+            .collect();
+        let name = format!("marked_{i}");
+        corpus
+            .add(&name, TraceHeader::bare(0), &watts)
+            .expect("adds");
+        names.push(name);
+    }
+    let mut spec = CampaignSpec::new(corpus_dir, pattern, names);
+    spec.checkpoint_cycles = 1_000;
+    spec.chunk_cycles = 256;
+    spec
+}
+
+#[test]
+fn sigkilled_worker_shards_resume_byte_identically_elsewhere() {
+    let dir = TempDir::new();
+    let spec = build_fixture(&dir.0);
+
+    // Uninterrupted single-node reference.
+    let reference_dir = dir.0.join("reference");
+    let campaign = Campaign::create(&reference_dir, spec.clone())
+        .expect("creates")
+        .with_threads(1);
+    assert!(campaign
+        .run(&CampaignLimits::none())
+        .expect("runs")
+        .is_complete());
+    let reference = std::fs::read(reference_dir.join("report.json")).expect("reads");
+
+    let victim = WorkerProc::spawn();
+    let survivor = WorkerProc::spawn();
+
+    let mut config = FleetConfig::new(
+        dir.0.join("fleet"),
+        vec![victim.addr.clone(), survivor.addr.clone()],
+    );
+    config.shards = 4;
+    config.worker_threads = 1;
+    config.heartbeat_interval = Duration::from_millis(100);
+    config.heartbeat_misses = 2;
+
+    let start = Instant::now();
+    let summary = std::thread::scope(|scope| {
+        let coordinator = scope.spawn(|| run_fleet(&config, spec));
+        // SIGKILL one worker the moment the coordinator first publishes
+        // progress — shards are provably in flight, nothing is near
+        // done. `Child::kill` sends SIGKILL on unix: no drain, no
+        // checkpoint flush beyond what already hit disk.
+        let progress = config.dir.join("progress.json");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !progress.exists() {
+            assert!(Instant::now() < deadline, "no progress published in 10s");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut victim = victim;
+        victim.child.kill().expect("SIGKILL lands");
+        coordinator.join().expect("coordinator thread")
+    })
+    .expect("fleet completes on the survivor");
+
+    assert_eq!(summary.merged_jobs, summary.total_jobs);
+    assert_eq!(summary.total_jobs, 5);
+    assert_eq!(
+        summary.workers_lost,
+        1,
+        "the SIGKILLed worker must be declared dead (run took {:?})",
+        start.elapsed()
+    );
+    let merged = std::fs::read(&summary.report_path).expect("reads merged");
+    assert_eq!(
+        merged, reference,
+        "merged fleet report must be byte-identical to the uninterrupted single-node run"
+    );
+    drop(survivor);
+}
