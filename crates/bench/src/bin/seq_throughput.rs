@@ -1,0 +1,410 @@
+//! Benchmarks the sequential early-termination detector and the batched
+//! multi-pattern identify path, and writes the results into
+//! `BENCH_9.json`:
+//!
+//! - `sequential_cycles`: consumed cycles vs watermark SNR, fixed-budget
+//!   verdicts unchanged. Acceptance (asserted): the high-SNR point must
+//!   resolve in <= 25% of the fixed budget, saving >= 50% of the cycles.
+//! - `serve_throughput`: loopback req/s for fixed-budget vs sequential
+//!   detect exchanges on the same high-SNR trace.
+//! - `identify_speedup`: one `identify` over N candidates vs N
+//!   independent detects. Bit-identity of every score is asserted
+//!   unconditionally; the >= 3x speed gate (like the serve ratio) is
+//!   warn-only below 4 cores.
+//! - `campaign_resume`: an interrupted-and-resumed sequential campaign
+//!   must reproduce the uninterrupted report byte-for-byte (asserted).
+//!
+//! ```sh
+//! cargo run --release -p clockmark-bench --bin seq_throughput            # full run
+//! cargo run --release -p clockmark-bench --bin seq_throughput -- --quick # CI smoke
+//! ```
+
+use clockmark::campaign::{Campaign, CampaignLimits, CampaignSpec};
+use clockmark::corpus::{Corpus, TraceHeader};
+use clockmark_bench::{arg_value, bench_json_named, has_flag, merge_bench_section};
+use clockmark_cpa::{
+    CandidatePattern, CpaAlgo, DetectOptions, Detector, SequentialOptions, SequentialResult,
+};
+use clockmark_serve::{Client, ServeLimits, Server};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new() -> Self {
+        let path = std::env::temp_dir().join(format!("cm_seq_throughput_{}", std::process::id()));
+        std::fs::remove_dir_all(&path).ok();
+        std::fs::create_dir_all(&path).expect("mkdir");
+        TempDir(path)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Aperiodic xorshift watermark (periodic patterns tie with their own
+/// rotations and fail the peak-uniqueness criterion).
+fn pattern(period: usize, salt: u64) -> Vec<bool> {
+    let mut s = 0x9E37_79B9_7F4A_7C15u64 ^ salt.wrapping_mul(0xD131_0BA6_985D_F3B5);
+    (0..period)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s & 1 == 1
+        })
+        .collect()
+}
+
+/// Deterministic trace: the watermark at amplitude `amp` over a unit
+/// background (sinusoid plus xorshift noise), so `amp` is the SNR knob.
+fn trace(pattern: &[bool], cycles: usize, amp: f64, seed: u64) -> Vec<f64> {
+    let period = pattern.len();
+    let mut s = seed | 1;
+    (0..cycles)
+        .map(|i| {
+            let wm = if pattern[(i + 17) % period] {
+                amp
+            } else {
+                -amp
+            };
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let noise = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            wm + (i as f64 * 0.37).sin() * 0.5 + noise
+        })
+        .collect()
+}
+
+fn main() {
+    clockmark_bench::obs_scope("seq_throughput", run);
+}
+
+fn run() {
+    let quick = has_flag("--quick");
+    let period = 64usize;
+    let budget = period * if quick { 256 } else { 1024 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let enforce = cores >= 4;
+    // Pin the kernel so every comparison below runs the same arithmetic.
+    let options = DetectOptions::default().with_algo(CpaAlgo::Fft);
+    // Geometric schedule: checkpoints at 1024, 2048, 4096, … cycles, so
+    // the consumed-cycle count tracks how deep into the noise the
+    // watermark sits.
+    let seq = SequentialOptions::default().with_base_cycles(period as u64 * 16);
+
+    println!(
+        "seq_throughput: P = {period}, fixed budget {budget} cycles, {cores} core(s){}",
+        if enforce {
+            ""
+        } else {
+            " (speed gates warn-only)"
+        }
+    );
+
+    let path = bench_json_named("BENCH_9.json");
+    let high_snr = sequential_cycles(&path, period, budget, options, seq);
+    serve_throughput(&path, quick, budget, options, seq, &high_snr);
+    identify_speedup(&path, quick, period, budget, options, enforce, cores);
+    campaign_resume(&path, quick, period, seq);
+    println!("report       : {}", path.display());
+}
+
+/// Phase 1 — consumed cycles vs SNR, verdicts pinned to fixed-budget.
+/// Returns the high-SNR trace for the serve phase.
+fn sequential_cycles(
+    path: &std::path::Path,
+    period: usize,
+    budget: usize,
+    options: DetectOptions,
+    seq: SequentialOptions,
+) -> Vec<f64> {
+    let pattern = pattern(period, 0);
+    let detector = Detector::with_options(&pattern, options).expect("valid pattern");
+    // Amplitudes are SNR rungs over the ~0.46-sigma background, chosen
+    // to straddle the detection threshold: the strong rung resolves at
+    // the first checkpoint, the weak ones need geometrically more
+    // cycles, and 0.0 (unmarked) exhausts the budget.
+    let amps = [1.0, 0.06, 0.03, 0.015, 0.0];
+    let mut rows = String::new();
+    let mut high_snr_trace = Vec::new();
+    let mut high_snr_consumed = 0u64;
+    for (rung, &amp) in amps.iter().enumerate() {
+        let samples = trace(&pattern, budget, amp, 0xBEE5 + rung as u64);
+        let fixed = detector.detect(&samples).expect("fixed detect");
+        let outcome: SequentialResult = detector
+            .detect_sequential(&samples, seq)
+            .expect("sequential detect");
+        assert_eq!(
+            outcome.result.detected, fixed.detected,
+            "amp {amp}: sequential verdict must match the fixed-budget verdict"
+        );
+        let fraction = outcome.cycles_consumed as f64 / budget as f64;
+        println!(
+            "snr curve    : amp {amp:.2} -> {} of {budget} cycles ({:.0}%), detected {}, \
+             {} checkpoint(s){}",
+            outcome.cycles_consumed,
+            fraction * 100.0,
+            outcome.result.detected,
+            outcome.checkpoints.len(),
+            if outcome.early_stopped {
+                ""
+            } else {
+                " (ran to budget)"
+            }
+        );
+        let _ = write!(
+            rows,
+            "{}{{\"amplitude\": {amp}, \"cycles_consumed\": {}, \"budget_fraction\": {fraction:.4}, \
+             \"detected\": {}, \"early_stopped\": {}, \"checkpoints\": {}}}",
+            if rows.is_empty() { "" } else { ", " },
+            outcome.cycles_consumed,
+            outcome.result.detected,
+            outcome.early_stopped,
+            outcome.checkpoints.len()
+        );
+        if rung == 0 {
+            high_snr_trace = samples;
+            high_snr_consumed = outcome.cycles_consumed;
+            assert!(fixed.detected, "high-SNR fixture must be detectable");
+        }
+    }
+    // Deterministic cycle accounting: asserted regardless of core count.
+    let high_fraction = high_snr_consumed as f64 / budget as f64;
+    assert!(
+        high_fraction <= 0.25,
+        "high-SNR sequential run consumed {:.0}% of the fixed budget (acceptance: <= 25%)",
+        high_fraction * 100.0
+    );
+    println!(
+        "acceptance   : high-SNR verdict in {:.1}% of the fixed budget \
+         ({:.0}% of cycles saved) — met",
+        high_fraction * 100.0,
+        (1.0 - high_fraction) * 100.0
+    );
+    clockmark_obs::gauge_set("bench.seq_high_snr_budget_fraction", high_fraction);
+    merge_bench_section(
+        path,
+        "sequential_cycles",
+        &format!(
+            "{{\"period\": {period}, \"budget_cycles\": {budget}, \
+             \"base_cycles\": {}, \"growth\": {}, \"rungs\": [{rows}]}}",
+            seq.base_cycles, seq.growth
+        ),
+    )
+    .expect("writes sequential_cycles section");
+    high_snr_trace
+}
+
+/// Phase 2 — loopback serve req/s, fixed vs sequential exchanges.
+fn serve_throughput(
+    path: &std::path::Path,
+    quick: bool,
+    budget: usize,
+    options: DetectOptions,
+    seq: SequentialOptions,
+    samples: &[f64],
+) {
+    let requests = arg_value("--requests", if quick { 8 } else { 40 }).max(2);
+    let pattern = pattern(64, 0);
+    let handle = Server::new()
+        .with_limits(ServeLimits::default())
+        .bind("127.0.0.1:0")
+        .expect("bind loopback");
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let start = Instant::now();
+    for _ in 0..requests {
+        let verdict = client
+            .detect(&pattern, options, samples)
+            .expect("fixed detect over the wire");
+        assert!(verdict.result.detected);
+    }
+    let fixed_rps = requests as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    let start = Instant::now();
+    let mut consumed = 0u64;
+    for _ in 0..requests {
+        let outcome = client
+            .detect_sequential(&pattern, options, seq, samples)
+            .expect("sequential detect over the wire");
+        assert!(outcome.result.detected);
+        consumed = outcome.cycles_consumed;
+    }
+    let seq_rps = requests as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    handle.shutdown();
+
+    let ratio = seq_rps / fixed_rps.max(1e-9);
+    println!(
+        "serve        : fixed {fixed_rps:.0} req/s, sequential {seq_rps:.0} req/s \
+         ({ratio:.2}x, {consumed} of {budget} cycles evaluated per request)"
+    );
+    clockmark_obs::gauge_set("bench.seq_serve_speedup", ratio);
+    merge_bench_section(
+        path,
+        "serve_throughput",
+        &format!(
+            "{{\"requests\": {requests}, \"fixed_rps\": {fixed_rps:.1}, \
+             \"sequential_rps\": {seq_rps:.1}, \"speedup\": {ratio:.3}, \
+             \"cycles_consumed\": {consumed}}}"
+        ),
+    )
+    .expect("writes serve_throughput section");
+}
+
+/// Phase 3 — one identify over N candidates vs N independent detects.
+fn identify_speedup(
+    path: &std::path::Path,
+    quick: bool,
+    period: usize,
+    budget: usize,
+    options: DetectOptions,
+    enforce: bool,
+    cores: usize,
+) {
+    let candidates_n = arg_value("--candidates", 16).max(2);
+    let reps = if quick { 2 } else { 5 };
+    let truth = 5 % candidates_n;
+    // Independent xorshift patterns: other seeds of one LFSR would be
+    // cyclic shifts of the same m-sequence, which the phase-blind
+    // rotational correlator cannot rank.
+    let candidates: Vec<CandidatePattern> = (0..candidates_n)
+        .map(|i| CandidatePattern::new(format!("seed-{i}"), pattern(period, 1 + i as u64)))
+        .collect();
+    let samples = trace(&candidates[truth].pattern, budget, 0.9, 0x1DE7);
+    let detector = Detector::with_options(&candidates[0].pattern, options).expect("valid pattern");
+
+    // N independent detects, each through its own Detector facade — the
+    // baseline a caller without `identify` would run.
+    let start = Instant::now();
+    let mut independent = Vec::new();
+    for _ in 0..reps {
+        independent = candidates
+            .iter()
+            .map(|c| {
+                Detector::with_options(&c.pattern, options)
+                    .expect("valid candidate")
+                    .detect(&samples)
+                    .expect("independent detect")
+            })
+            .collect();
+    }
+    let independent_seconds = start.elapsed().as_secs_f64() / reps as f64;
+
+    let start = Instant::now();
+    let mut identification = detector.identify(&samples, &candidates).expect("identify");
+    for _ in 1..reps {
+        identification = detector.identify(&samples, &candidates).expect("identify");
+    }
+    let identify_seconds = start.elapsed().as_secs_f64() / reps as f64;
+
+    // Bit-identity and ranking are asserted unconditionally: they are
+    // what makes the speedup safe to take.
+    assert_eq!(identification.best().index, truth, "embedded pattern wins");
+    for score in &identification.scores {
+        let local = &independent[score.index];
+        assert_eq!(score.result.detected, local.detected);
+        assert_eq!(score.result.peak_rotation, local.peak_rotation);
+        assert_eq!(score.result.peak_rho.to_bits(), local.peak_rho.to_bits());
+        assert_eq!(score.result.ratio.to_bits(), local.ratio.to_bits());
+        assert_eq!(score.result.zscore.to_bits(), local.zscore.to_bits());
+    }
+
+    let speedup = independent_seconds / identify_seconds.max(1e-9);
+    println!(
+        "identify     : {candidates_n} candidates in {:.1}ms vs {:.1}ms independent \
+         = {speedup:.2}x, every score bit-identical, best = {}",
+        identify_seconds * 1e3,
+        independent_seconds * 1e3,
+        identification.best().label
+    );
+    let gate = 3.0;
+    if enforce {
+        assert!(
+            speedup >= gate,
+            "identify speedup {speedup:.2}x misses the {gate}x acceptance gate"
+        );
+    } else if speedup < gate {
+        println!(
+            "warn         : identify speedup {speedup:.2}x below the {gate}x gate \
+             (only {cores} core(s); gate enforced at >= 4)"
+        );
+    }
+    clockmark_obs::gauge_set("bench.identify_speedup", speedup);
+    merge_bench_section(
+        path,
+        "identify_speedup",
+        &format!(
+            "{{\"candidates\": {candidates_n}, \"independent_seconds\": \
+             {independent_seconds:.5}, \"identify_seconds\": {identify_seconds:.5}, \
+             \"speedup\": {speedup:.3}, \"gate_enforced\": {enforce}, \
+             \"bit_identical\": true}}"
+        ),
+    )
+    .expect("writes identify_speedup section");
+}
+
+/// Phase 4 — a sequential campaign interrupted mid-job must resume to a
+/// byte-identical report.
+fn campaign_resume(path: &std::path::Path, quick: bool, period: usize, seq: SequentialOptions) {
+    let dir = TempDir::new();
+    let cycles = period * if quick { 128 } else { 512 };
+    let pattern = pattern(period, 0);
+    let corpus_dir = dir.0.join("corpus");
+    let mut corpus = Corpus::create(&corpus_dir).expect("creates corpus");
+    let mut names = Vec::new();
+    for t in 0..4usize {
+        let amp = if t == 3 { 0.0 } else { 0.9 };
+        let watts = trace(&pattern, cycles, amp, 0xCA11 + t as u64);
+        let name = format!("trace_{t}");
+        corpus
+            .add(&name, TraceHeader::bare(0), &watts)
+            .expect("adds trace");
+        names.push(name);
+    }
+    let mut spec = CampaignSpec::new(corpus_dir, pattern, names).with_sequential(seq);
+    spec.checkpoint_cycles = (period * 8) as u64;
+    spec.chunk_cycles = period * 4;
+
+    let reference = Campaign::create(dir.0.join("reference"), spec.clone())
+        .expect("creates")
+        .with_threads(2);
+    assert!(reference
+        .run(&CampaignLimits::none())
+        .expect("runs")
+        .is_complete());
+    let want = std::fs::read(dir.0.join("reference/report.json")).expect("reads");
+
+    let interrupted = Campaign::create(dir.0.join("interrupted"), spec)
+        .expect("creates")
+        .with_threads(2);
+    let limits = CampaignLimits {
+        max_jobs: Some(2),
+        interrupt_job_after_cycles: Some((period * 6) as u64),
+    };
+    let mut passes = 0u32;
+    while !interrupted.run(&limits).expect("runs").is_complete() {
+        passes += 1;
+        assert!(passes < 200, "sequential campaign failed to converge");
+    }
+    let got = std::fs::read(dir.0.join("interrupted/report.json")).expect("reads");
+    assert_eq!(
+        got, want,
+        "interrupted+resumed sequential campaign must reproduce the report byte-for-byte"
+    );
+    println!("campaign     : sequential resume byte-identical after {passes} interrupted pass(es)");
+    merge_bench_section(
+        path,
+        "campaign_resume",
+        &format!(
+            "{{\"traces\": 4, \"cycles\": {cycles}, \"interrupted_passes\": {passes}, \
+             \"byte_identical\": true}}"
+        ),
+    )
+    .expect("writes campaign_resume section");
+}

@@ -33,7 +33,7 @@ use clockmark_corpus::codec;
 use clockmark_corpus::{Corpus, CorpusError, Crc32};
 use clockmark_cpa::{
     CpaAlgo, CpaError, DetectOptions, DetectionCriterion, DetectionResult, Detector,
-    StreamingCpaState, StreamingDetection,
+    SequentialOptions, StreamingCpaState, StreamingDetection,
 };
 use clockmark_obs::json::{self, Json};
 use std::collections::BTreeMap;
@@ -176,6 +176,13 @@ pub struct CampaignSpec {
     /// resuming process's `CLOCKMARK_CPA_ALGO`, because the byte-identical
     /// report guarantee only holds within one kernel's arithmetic.
     pub algo: CpaAlgo,
+    /// Sequential early-termination schedule, or `None` for classic
+    /// fixed-budget jobs. Persisted in `campaign.json` like the kernel:
+    /// the checkpoint schedule is a pure function of these options and
+    /// the absolute cycle count, so a resumed campaign re-derives
+    /// exactly the checkpoints an uninterrupted run would have hit and
+    /// lands bit-identical outcomes (see `docs/sequential.md`).
+    pub sequential: Option<SequentialOptions>,
 }
 
 impl CampaignSpec {
@@ -194,7 +201,15 @@ impl CampaignSpec {
             checkpoint_cycles: 65_536,
             chunk_cycles: 8_192,
             algo,
+            sequential: None,
         }
+    }
+
+    /// Turns on sequential early-termination for every job.
+    #[must_use]
+    pub fn with_sequential(mut self, options: SequentialOptions) -> Self {
+        self.sequential = Some(options);
+        self
     }
 
     /// Serialises the spec as one JSON object.
@@ -219,11 +234,29 @@ impl CampaignSpec {
         json::write_f64(&mut out, self.criterion.min_zscore);
         let _ = write!(
             out,
-            ",\"checkpoint_cycles\":{},\"chunk_cycles\":{},\"algo\":\"{}\"}}",
+            ",\"checkpoint_cycles\":{},\"chunk_cycles\":{},\"algo\":\"{}\"",
             self.checkpoint_cycles,
             self.chunk_cycles,
             self.algo.as_str()
         );
+        if let Some(seq) = &self.sequential {
+            let _ = write!(
+                out,
+                ",\"sequential\":{{\"base_cycles\":{},\"growth\":",
+                seq.base_cycles
+            );
+            json::write_f64(&mut out, seq.growth);
+            let _ = write!(out, ",\"min_cycles\":{}", seq.min_cycles);
+            if let Some(confidence) = seq.confidence {
+                out.push_str(",\"confidence\":");
+                json::write_f64(&mut out, confidence);
+            }
+            if let Some(max) = seq.max_cycles {
+                let _ = write!(out, ",\"max_cycles\":{max}");
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 
@@ -277,6 +310,28 @@ impl CampaignSpec {
             .and_then(Json::as_str)
             .and_then(CpaAlgo::parse)
             .unwrap_or_else(|| CpaAlgo::resolved_for_pattern(&pattern));
+        // Specs written before sequential campaigns existed lack the
+        // object; those campaigns keep running fixed-budget jobs.
+        let sequential = match value.get("sequential") {
+            None => None,
+            Some(seq) => {
+                let seq_num = |key: &str| {
+                    seq.get(key).and_then(Json::as_f64).ok_or_else(|| {
+                        CampaignError::spec(format!("missing numeric field `sequential.{key}`"))
+                    })
+                };
+                Some(SequentialOptions {
+                    base_cycles: seq_num("base_cycles")? as u64,
+                    growth: seq_num("growth")?,
+                    confidence: seq.get("confidence").and_then(Json::as_f64),
+                    min_cycles: seq_num("min_cycles")? as u64,
+                    max_cycles: seq
+                        .get("max_cycles")
+                        .and_then(Json::as_f64)
+                        .map(|v| v as u64),
+                })
+            }
+        };
         Ok(CampaignSpec {
             corpus: PathBuf::from(str_field("corpus")?),
             pattern,
@@ -288,6 +343,7 @@ impl CampaignSpec {
             checkpoint_cycles: num_field("checkpoint_cycles")? as u64,
             chunk_cycles: num_field("chunk_cycles")? as usize,
             algo,
+            sequential,
         })
     }
 
@@ -829,6 +885,9 @@ impl Campaign {
         limits: &CampaignLimits,
         board: &ProgressBoard,
     ) -> Result<Option<JobOutcome>, CampaignError> {
+        if let Some(seq) = self.spec.sequential {
+            return self.run_job_sequential(corpus, job, results, limits, board, seq);
+        }
         let _span = clockmark_obs::span("campaign.job")
             .field("index", job.index)
             .field("trace", job.trace.clone());
@@ -866,13 +925,13 @@ impl Campaign {
             ingested += got as u64;
             board.note_cycles(got as u64);
             if self.spec.checkpoint_cycles > 0 && since_checkpoint >= self.spec.checkpoint_cycles {
-                self.write_checkpoint(job, &session)?;
+                self.write_checkpoint(job, &session.state())?;
                 board.publish();
                 since_checkpoint = 0;
             }
             if let Some(limit) = limits.interrupt_job_after_cycles {
                 if ingested >= limit && reader.remaining() > 0 {
-                    self.write_checkpoint(job, &session)?;
+                    self.write_checkpoint(job, &session.state())?;
                     board.publish();
                     return Ok(None);
                 }
@@ -887,9 +946,113 @@ impl Campaign {
             cycles: header.cycles,
             result,
         };
-        // Ordering matters: append the durable result first, then drop
-        // the checkpoint. A crash in between reruns the job (harmless,
-        // last line wins); the opposite order could lose the job's work.
+        self.land_outcome(job, outcome, results, board)
+    }
+
+    /// Runs one job under the campaign's sequential early-termination
+    /// schedule. Identical ingest loop to [`run_job`](Self::run_job),
+    /// with three deliberate differences:
+    ///
+    /// - the loop breaks as soon as the session decides — the remaining
+    ///   samples are never read, which is the entire point;
+    /// - a decided session is never checkpointed and never "interrupted":
+    ///   its fold is frozen, so the only correct continuation is landing
+    ///   the outcome now (a resumed replay would re-derive checkpoints
+    ///   *after* the accepting one and run longer, breaking bit-identity);
+    /// - `reader.finish()` (the full-trace CRC) runs only when the trace
+    ///   was fully consumed — an early stop cannot have checksummed the
+    ///   unread tail, and [`JobOutcome::cycles`] records the cycles the
+    ///   verdict actually consumed instead of the trace length.
+    fn run_job_sequential(
+        &self,
+        corpus: &Corpus,
+        job: &JobSpec,
+        results: &Mutex<File>,
+        limits: &CampaignLimits,
+        board: &ProgressBoard,
+        seq: SequentialOptions,
+    ) -> Result<Option<JobOutcome>, CampaignError> {
+        let _span = clockmark_obs::span("campaign.job")
+            .field("index", job.index)
+            .field("trace", job.trace.clone())
+            .field("mode", "sequential");
+        let mut reader = corpus.source(&job.trace)?;
+        let trace_cycles = reader.header().cycles;
+        let facade = self.detector()?;
+        let mut session = match self.restore_sequential_checkpoint(&facade, job, trace_cycles, seq)
+        {
+            Some(session) => session,
+            None => facade.detect_sequential_streaming(seq),
+        };
+        if session.cycles() > 0 {
+            reader.skip_samples(session.cycles())?;
+        }
+
+        let chunk = self.spec.chunk_cycles.max(1);
+        let mut buf = vec![0.0f64; chunk];
+        let mut since_checkpoint = 0u64;
+        let mut ingested = 0u64;
+        let mut fully_read = false;
+        loop {
+            if session.decided() {
+                break;
+            }
+            let got = reader.read_chunk(&mut buf)?;
+            if got == 0 {
+                fully_read = true;
+                break;
+            }
+            session.push_chunk(&buf[..got]);
+            since_checkpoint += got as u64;
+            ingested += got as u64;
+            board.note_cycles(got as u64);
+            if session.decided() {
+                break;
+            }
+            if self.spec.checkpoint_cycles > 0 && since_checkpoint >= self.spec.checkpoint_cycles {
+                self.write_checkpoint(job, &session.state())?;
+                board.publish();
+                since_checkpoint = 0;
+            }
+            if let Some(limit) = limits.interrupt_job_after_cycles {
+                if ingested >= limit && reader.remaining() > 0 {
+                    self.write_checkpoint(job, &session.state())?;
+                    board.publish();
+                    return Ok(None);
+                }
+            }
+        }
+        if fully_read {
+            reader.finish()?; // full CRC validation
+        }
+
+        let sequential = session.finalize();
+        if sequential.early_stopped {
+            clockmark_obs::counter_add(
+                "campaign.cycles_saved",
+                trace_cycles.saturating_sub(sequential.cycles_consumed),
+            );
+        }
+        let outcome = JobOutcome {
+            index: job.index,
+            trace: job.trace.clone(),
+            cycles: sequential.cycles_consumed,
+            result: sequential.result,
+        };
+        self.land_outcome(job, outcome, results, board)
+    }
+
+    /// Appends a finished job's durable result line and retires its
+    /// checkpoint. Ordering matters: the result lands first, then the
+    /// checkpoint drops. A crash in between reruns the job (harmless,
+    /// last line wins); the opposite order could lose the job's work.
+    fn land_outcome(
+        &self,
+        job: &JobSpec,
+        outcome: JobOutcome,
+        results: &Mutex<File>,
+        board: &ProgressBoard,
+    ) -> Result<Option<JobOutcome>, CampaignError> {
         {
             let mut file = results
                 .lock()
@@ -930,12 +1093,50 @@ impl Campaign {
         job: &JobSpec,
         trace_cycles: u64,
     ) -> Option<StreamingDetection> {
+        let state = self.restore_checkpoint_state(job, trace_cycles)?;
+        match facade.resume_streaming(state) {
+            Ok(session) => Some(session),
+            Err(_) => {
+                self.discard_checkpoint(job);
+                None
+            }
+        }
+    }
+
+    /// [`restore_checkpoint`](Self::restore_checkpoint), rehydrated into a
+    /// sequential session. The checkpoint bytes carry only the fold
+    /// snapshot — the schedule is re-derived from `seq` and the absolute
+    /// cycle count, so fixed-budget and sequential resumes share one
+    /// on-disk format (and a checkpoint written by either mode restores
+    /// into whichever mode the spec now records).
+    fn restore_sequential_checkpoint(
+        &self,
+        facade: &Detector,
+        job: &JobSpec,
+        trace_cycles: u64,
+        seq: SequentialOptions,
+    ) -> Option<clockmark_cpa::SequentialDetection> {
+        let state = self.restore_checkpoint_state(job, trace_cycles)?;
+        match facade.resume_sequential(state, seq) {
+            Ok(session) => Some(session),
+            Err(_) => {
+                self.discard_checkpoint(job);
+                None
+            }
+        }
+    }
+
+    /// Reads and validates a job's checkpointed fold snapshot. Any
+    /// defect — wrong trace, wrong pattern, wrong spectrum kernel,
+    /// impossible cycle count, corrupt bytes — discards the file.
+    fn restore_checkpoint_state(
+        &self,
+        job: &JobSpec,
+        trace_cycles: u64,
+    ) -> Option<StreamingCpaState> {
         let path = self.checkpoint_path(job.index);
-        let bytes = match fs::read(&path) {
-            Ok(bytes) => bytes,
-            Err(_) => return None,
-        };
-        let restored = decode_checkpoint(&bytes)
+        let bytes = fs::read(&path).ok()?;
+        let state = decode_checkpoint(&bytes)
             .ok()
             .and_then(|(index, trace, algo, state)| {
                 if index != job.index
@@ -946,13 +1147,18 @@ impl Campaign {
                 {
                     return None;
                 }
-                facade.resume_streaming(state).ok()
+                Some(state)
             });
-        if restored.is_none() {
-            let _ = fs::remove_file(&path);
-            clockmark_obs::counter_add("campaign.checkpoints_discarded", 1);
+        if state.is_none() {
+            self.discard_checkpoint(job);
         }
-        restored
+        state
+    }
+
+    /// Drops a checkpoint that failed validation or rehydration.
+    fn discard_checkpoint(&self, job: &JobSpec) {
+        let _ = fs::remove_file(self.checkpoint_path(job.index));
+        clockmark_obs::counter_add("campaign.checkpoints_discarded", 1);
     }
 
     /// Snapshots a job's fold to disk (tmp + rename, so a kill mid-write
@@ -960,9 +1166,9 @@ impl Campaign {
     fn write_checkpoint(
         &self,
         job: &JobSpec,
-        session: &StreamingDetection,
+        state: &StreamingCpaState,
     ) -> Result<(), CampaignError> {
-        let bytes = encode_checkpoint(job.index, &job.trace, self.spec.algo, &session.state());
+        let bytes = encode_checkpoint(job.index, &job.trace, self.spec.algo, state);
         let path = self.checkpoint_path(job.index);
         write_atomic(&path, &bytes)?;
         clockmark_obs::counter_add("campaign.checkpoints_written", 1);
@@ -1298,6 +1504,39 @@ mod tests {
     }
 
     #[test]
+    fn sequential_spec_round_trips_through_json() {
+        // All optional fields set.
+        let full = CampaignSpec::new("some/corpus", pattern(), vec!["a".into()]).with_sequential(
+            SequentialOptions::every(2_048)
+                .with_confidence(1e-6)
+                .with_min_cycles(512)
+                .with_max_cycles(100_000),
+        );
+        let back = CampaignSpec::decode(&full.encode()).expect("valid");
+        assert_eq!(back, full);
+        assert_eq!(
+            back.sequential.expect("kept").confidence.expect("kept"),
+            1e-6
+        );
+
+        // Optionals absent stay absent.
+        let lean = CampaignSpec::new("some/corpus", pattern(), vec!["a".into()])
+            .with_sequential(SequentialOptions::default().with_growth(1.5));
+        let back = CampaignSpec::decode(&lean.encode()).expect("valid");
+        assert_eq!(back, lean);
+        let seq = back.sequential.expect("kept");
+        assert_eq!(seq.confidence, None);
+        assert_eq!(seq.max_cycles, None);
+
+        // Specs written before sequential campaigns existed decode to
+        // fixed-budget mode.
+        let legacy = CampaignSpec::new("some/corpus", pattern(), vec!["a".into()]);
+        assert!(!legacy.encode().contains("sequential"));
+        let back = CampaignSpec::decode(&legacy.encode()).expect("valid");
+        assert_eq!(back.sequential, None);
+    }
+
+    #[test]
     fn outcome_round_trips_bit_exactly() {
         let outcome = JobOutcome {
             index: 3,
@@ -1384,6 +1623,62 @@ mod tests {
         );
         let got = fs::read(dir.0.join("interrupted/report.json")).expect("reads");
         assert_eq!(got, want, "resumed report must be byte-identical");
+    }
+
+    #[test]
+    fn sequential_campaign_early_stops_and_resumes_byte_identically() {
+        let dir = TempDir::new("seq_resume");
+        let pattern = pattern();
+        let mut spec = build_fixture(&dir.0, &pattern, 3, 12_000);
+        spec = spec.with_sequential(SequentialOptions::every(1_024));
+
+        let reference = Campaign::create(dir.0.join("reference"), spec.clone())
+            .expect("creates")
+            .with_threads(2);
+        assert!(reference
+            .run(&CampaignLimits::none())
+            .expect("runs")
+            .is_complete());
+        let report = reference.report().expect("complete");
+        for outcome in &report.outcomes[..3] {
+            assert!(outcome.result.detected, "marked trace: {outcome:?}");
+            assert!(
+                outcome.cycles < 12_000,
+                "watermarked jobs must stop early, consumed {}",
+                outcome.cycles
+            );
+        }
+        assert!(!report.outcomes[3].result.detected, "unmarked trace");
+        assert_eq!(
+            report.outcomes[3].cycles, 12_000,
+            "no early stop without a watermark: the full trace is the budget"
+        );
+        let want = fs::read(dir.0.join("reference/report.json")).expect("reads");
+
+        // Repeated simulated kills: interrupts land both before the first
+        // schedule checkpoint (700 < 1024) and between later ones, so
+        // resumes must re-derive the same absolute checkpoint sequence.
+        let interrupted = Campaign::create(dir.0.join("interrupted"), spec)
+            .expect("creates")
+            .with_threads(2);
+        let limits = CampaignLimits {
+            max_jobs: Some(2),
+            interrupt_job_after_cycles: Some(700),
+        };
+        let mut passes = 0;
+        while !interrupted.run(&limits).expect("runs").is_complete() {
+            passes += 1;
+            assert!(passes < 100, "campaign failed to converge");
+        }
+        assert!(
+            passes >= 3,
+            "limits too weak to exercise resume ({passes} passes)"
+        );
+        let got = fs::read(dir.0.join("interrupted/report.json")).expect("reads");
+        assert_eq!(
+            got, want,
+            "resumed sequential report must be byte-identical"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub use crate::{
 };
 pub use clockmark_corpus::{Corpus, CorpusError, TraceReader};
 pub use clockmark_cpa::{
-    CpaAlgo, DetectOptions, DetectionCriterion, DetectionResult, Detector, SpreadSpectrum,
+    CandidatePattern, CandidateScore, CpaAlgo, DetectOptions, DetectionCriterion, DetectionResult,
+    Detector, Identification, SequentialOptions, SequentialResult, SpreadSpectrum,
     StreamingDetection, TraceDetection,
 };

@@ -263,6 +263,130 @@ impl Detector {
         })
     }
 
+    /// Opens a sequential early-termination session: a streaming fold
+    /// driven by `options`' checkpoint schedule that stops consuming as
+    /// soon as the acceptance rule fires (see
+    /// [`SequentialOptions`](crate::SequentialOptions) for the rule and
+    /// `docs/sequential.md` for the determinism contract). The session
+    /// pins this detector's kernel choice and criterion.
+    pub fn detect_sequential_streaming(
+        &self,
+        options: crate::SequentialOptions,
+    ) -> crate::SequentialDetection {
+        let mut inner =
+            StreamingCpa::new(&self.pattern).expect("pattern validated at Detector construction");
+        if let Some(algo) = self.options.algo {
+            inner = inner.with_algo(algo);
+        }
+        crate::SequentialDetection::from_parts(inner, self.options.criterion, options)
+    }
+
+    /// Re-opens a sequential session from a persisted fold snapshot.
+    /// The checkpoint schedule needs no extra state: it is a pure
+    /// function of `options` and the absolute cycle count, so the
+    /// restored session evaluates exactly the checkpoints an
+    /// uninterrupted run would have from here on — the campaign
+    /// engine's byte-identical-resume contract.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`resume_streaming`](Self::resume_streaming).
+    pub fn resume_sequential(
+        &self,
+        state: StreamingCpaState,
+        options: crate::SequentialOptions,
+    ) -> Result<crate::SequentialDetection, CpaError> {
+        let session = self.resume_streaming(state)?;
+        Ok(crate::SequentialDetection::from_parts(
+            session.inner,
+            self.options.criterion,
+            options,
+        ))
+    }
+
+    /// Runs a sequential detection over an in-memory trace, consuming
+    /// samples in 8192-cycle chunks until the session decides or the
+    /// trace ends. When no early stop fires this is bit-identical
+    /// to [`detect`](Self::detect) on the full trace (pinned by
+    /// proptest); when one does, the verdict is bit-identical to
+    /// `detect` on exactly the consumed prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpaError::TraceShorterThanPeriod`] when `y` holds fewer
+    /// cycles than one watermark period.
+    pub fn detect_sequential(
+        &self,
+        y: &[f64],
+        options: crate::SequentialOptions,
+    ) -> Result<crate::SequentialResult, CpaError> {
+        validate_inputs(&self.pattern, y)?;
+        let mut session = self.detect_sequential_streaming(options);
+        for chunk in y.chunks(TRACE_CHUNK) {
+            session.push_chunk(chunk);
+            if session.decided() {
+                break;
+            }
+        }
+        Ok(session.finalize())
+    }
+
+    /// Scores many candidate patterns against one trace at once and
+    /// ranks them by peak |ρ| — the "whose watermark is this?"
+    /// identification workload. The trace is folded once (the fold
+    /// depends only on the period) and the fold's transform is shared
+    /// across candidates; every per-candidate
+    /// [`DetectionResult`](crate::DetectionResult) is bit-identical to
+    /// an independent [`detect`](Self::detect) with the same kernel.
+    /// Candidates must match this detector's period.
+    ///
+    /// Threads follow [`DetectOptions::with_threads`] (candidates are
+    /// partitioned; the bytes do not depend on the thread count).
+    ///
+    /// # Errors
+    ///
+    /// Trace validation as in [`spectrum`](Self::spectrum), plus
+    /// [`CpaError::PeriodMismatch`] / [`CpaError::ConstantPattern`] /
+    /// [`CpaError::InvalidState`] (empty list) for invalid candidates.
+    pub fn identify(
+        &self,
+        y: &[f64],
+        candidates: &[crate::CandidatePattern],
+    ) -> Result<crate::Identification, CpaError> {
+        validate_inputs(&self.pattern, y)?;
+        let folded = FoldedTrace::new(&self.pattern, y);
+        let inputs = folded.as_inputs();
+        let threads = match self.options.threads {
+            Some(threads) => threads,
+            None => {
+                let threads = crate::thread_count();
+                if threads > 1 && inputs.work() >= crate::parallel::PARALLEL_WORK_THRESHOLD {
+                    threads
+                } else {
+                    1
+                }
+            }
+        };
+        let algo = match self.resolved_algo() {
+            // A fold retains no raw trace; Naive follows the streaming
+            // precedent and evaluates with the folded arithmetic.
+            CpaAlgo::Naive => CpaAlgo::Folded,
+            algo => algo,
+        };
+        crate::identify::identify_over_fold(
+            inputs.nf,
+            inputs.sy,
+            inputs.syy,
+            inputs.c,
+            inputs.m,
+            y.len() as u64,
+            candidates,
+            &self.options.criterion,
+            algo,
+            threads,
+        )
+    }
+
     /// Detects the watermark in a chunked trace source — a corpus `.cmt`
     /// reader, a network stream, anything implementing [`TraceInput`] —
     /// without ever materialising the full trace in memory.
@@ -345,6 +469,24 @@ impl StreamingDetection {
     /// "not detected".
     pub fn result(&self) -> DetectionResult {
         self.inner.detect(&self.criterion)
+    }
+
+    /// Scores many candidate patterns against this session's fold and
+    /// ranks them — see [`Detector::identify`]. Candidates must match
+    /// the session period; the session's pinned kernel and criterion
+    /// apply, and candidates are partitioned across the configured
+    /// thread count (the bytes do not depend on it).
+    ///
+    /// # Errors
+    ///
+    /// [`CpaError::InsufficientCycles`] before one full period, plus the
+    /// candidate-validation errors of [`Detector::identify`].
+    pub fn identify(
+        &self,
+        candidates: &[crate::CandidatePattern],
+    ) -> Result<crate::Identification, CpaError> {
+        let threads = crate::thread_count().max(1);
+        self.inner.identify(candidates, &self.criterion, threads)
     }
 
     /// Snapshots the fold accumulators bit-exactly, for persistence;

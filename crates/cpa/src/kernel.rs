@@ -128,15 +128,32 @@ pub(crate) struct SoaInputs {
 }
 
 impl SoaInputs {
-    /// Builds the doubled arrays; O(P) time and memory.
+    /// Builds the doubled arrays; O(P) time and memory. Production code
+    /// goes through the per-thread scratch ([`fill`](Self::fill)); tests
+    /// use this to pin the scalar reference.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn new(inputs: &SpectrumInputs<'_>) -> Self {
-        let mut c2 = Vec::with_capacity(2 * inputs.c.len());
-        c2.extend_from_slice(inputs.c);
-        c2.extend_from_slice(inputs.c);
-        let mut m2 = Vec::with_capacity(2 * inputs.m.len());
-        m2.extend(inputs.m.iter().map(|&v| v as f64));
-        m2.extend(inputs.m.iter().map(|&v| v as f64));
-        SoaInputs { c2, m2 }
+        let mut soa = SoaInputs {
+            c2: Vec::new(),
+            m2: Vec::new(),
+        };
+        soa.fill(inputs);
+        soa
+    }
+
+    /// Refills the doubled arrays in place, reusing their capacity — the
+    /// sequential engine re-evaluates the spectrum at every checkpoint,
+    /// and this is what lets those evaluations run allocation-free after
+    /// the first.
+    pub(crate) fn fill(&mut self, inputs: &SpectrumInputs<'_>) {
+        self.c2.clear();
+        self.c2.reserve(2 * inputs.c.len());
+        self.c2.extend_from_slice(inputs.c);
+        self.c2.extend_from_slice(inputs.c);
+        self.m2.clear();
+        self.m2.reserve(2 * inputs.m.len());
+        self.m2.extend(inputs.m.iter().map(|&v| v as f64));
+        self.m2.extend(inputs.m.iter().map(|&v| v as f64));
     }
 
     /// ρ for one rotation — bit-identical to
@@ -213,29 +230,34 @@ pub(crate) fn spectrum_folded(inputs: &SpectrumInputs<'_>, threads: usize) -> Sp
         .field("threads", threads);
     let timed = span.is_recording().then(std::time::Instant::now);
 
-    // One O(P) struct-of-arrays build, shared read-only by every worker.
-    let soa = SoaInputs::new(inputs);
-    let spectrum = if threads == 1 {
-        SpreadSpectrum::from_rho(rotate_chunk(inputs, &soa, 0, 0, period))
-    } else {
-        let chunk = period.div_ceil(threads);
-        let mut rho = Vec::with_capacity(period);
-        std::thread::scope(|scope| {
-            let soa = &soa;
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let start = (t * chunk).min(period);
-                    let end = ((t + 1) * chunk).min(period);
-                    scope.spawn(move || rotate_chunk(inputs, soa, t, start, end))
-                })
-                .collect();
-            // Joining in spawn order keeps the concatenation deterministic.
-            for handle in handles {
-                rho.extend(handle.join().expect("rotation worker panicked"));
-            }
-        });
-        SpreadSpectrum::from_rho(rho)
-    };
+    // One O(P) struct-of-arrays refill into the per-thread scratch,
+    // shared read-only by every worker — repeated spectra (the
+    // sequential checkpoint path) allocate nothing after the first.
+    let spectrum = SOA_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        scratch.fill(inputs);
+        let soa = &*scratch;
+        if threads == 1 {
+            SpreadSpectrum::from_rho(rotate_chunk(inputs, soa, 0, 0, period))
+        } else {
+            let chunk = period.div_ceil(threads);
+            let mut rho = Vec::with_capacity(period);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let start = (t * chunk).min(period);
+                        let end = ((t + 1) * chunk).min(period);
+                        scope.spawn(move || rotate_chunk(inputs, soa, t, start, end))
+                    })
+                    .collect();
+                // Joining in spawn order keeps the concatenation deterministic.
+                for handle in handles {
+                    rho.extend(handle.join().expect("rotation worker panicked"));
+                }
+            });
+            SpreadSpectrum::from_rho(rho)
+        }
+    });
     finish_spectrum_span(spectrum, timed)
 }
 
@@ -273,30 +295,47 @@ pub(crate) fn spectrum_fft(inputs: &SpectrumInputs<'_>, threads: usize) -> Sprea
         .field("threads", threads);
     let timed = span.is_recording().then(std::time::Instant::now);
 
-    let m_f64: Vec<f64> = inputs.m.iter().map(|&v| v as f64).collect();
-    let mut sxy = vec![0.0f64; period];
-    let mut sx = vec![0.0f64; period];
-    with_cached_correlator(period, inputs.ones, |correlator| {
-        let exec = clockmark_obs::span("cpa.fft.exec").field("period", period);
-        let exec_timed = exec.is_recording().then(std::time::Instant::now);
-        correlator
-            .correlate_dual(inputs.c, &m_f64, &mut sxy, &mut sx)
-            .expect("fold buffers share the correlator length by construction");
-        if let Some(t0) = exec_timed {
-            clockmark_obs::observe("cpa.fft.exec_seconds", t0.elapsed().as_secs_f64());
-        }
+    let mut rho = FFT_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let FftScratch { m_f64, sxy, sx } = &mut *scratch;
+        m_f64.clear();
+        m_f64.extend(inputs.m.iter().map(|&v| v as f64));
+        sxy.clear();
+        sxy.resize(period, 0.0);
+        sx.clear();
+        sx.resize(period, 0.0);
+        with_cached_correlator(period, inputs.ones, |correlator| {
+            let exec = clockmark_obs::span("cpa.fft.exec").field("period", period);
+            let exec_timed = exec.is_recording().then(std::time::Instant::now);
+            correlator
+                .correlate_dual(inputs.c, m_f64, sxy, sx)
+                .expect("fold buffers share the correlator length by construction");
+            if let Some(t0) = exec_timed {
+                clockmark_obs::observe("cpa.fft.exec_seconds", t0.elapsed().as_secs_f64());
+            }
+        });
+        rho_from_correlations(inputs, sxy, sx)
     });
+    refine_exactly(inputs, &mut rho, threads);
+    finish_spectrum_span(SpreadSpectrum::from_rho(rho), timed)
+}
 
-    // sx[r] is a sum of integer counts, so rounding strips the FFT noise
-    // from it entirely; only sxy carries residual error into ρ.
-    let mut rho: Vec<f64> = (0..period)
+/// Approximate ρ for every rotation from the circular-correlation sums.
+/// `sx[r]` is a sum of integer counts, so rounding strips the FFT noise
+/// from it entirely; only `sxy` carries residual error into ρ. Shared by
+/// [`spectrum_fft`] and the batched identification path, which must
+/// round and combine with exactly the same arithmetic.
+pub(crate) fn rho_from_correlations(
+    inputs: &SpectrumInputs<'_>,
+    sxy: &[f64],
+    sx: &[f64],
+) -> Vec<f64> {
+    (0..inputs.period())
         .map(|r| {
             let sxr = sx[r].round();
             correlation_from_sums(inputs.nf, sxr, inputs.sy, sxr, inputs.syy, sxy[r])
         })
-        .collect();
-    refine_exactly(inputs, &mut rho, threads);
-    finish_spectrum_span(SpreadSpectrum::from_rho(rho), timed)
+        .collect()
 }
 
 /// Recomputes every peak-candidate rotation with the folded arithmetic,
@@ -305,7 +344,7 @@ pub(crate) fn spectrum_fft(inputs: &SpectrumInputs<'_>, threads: usize) -> Sprea
 /// [`REFINE_TOP_K`] largest magnitudes; each candidate's refined value is
 /// a pure function of the rotation index, so any partition across
 /// `threads` yields the same spectrum.
-fn refine_exactly(inputs: &SpectrumInputs<'_>, rho: &mut [f64], threads: usize) {
+pub(crate) fn refine_exactly(inputs: &SpectrumInputs<'_>, rho: &mut [f64], threads: usize) {
     let candidates = refinement_candidates(rho);
     let span = clockmark_obs::span("cpa.refine")
         .field("candidates", candidates.len())
@@ -385,6 +424,31 @@ struct CachedCorrelator {
 
 thread_local! {
     static CORRELATOR_CACHE: RefCell<Option<CachedCorrelator>> = const { RefCell::new(None) };
+
+    /// Per-thread FFT-path scratch (`m` as f64, the two correlation
+    /// outputs), so repeated spectra — the sequential checkpoint loop —
+    /// run the transform allocation-free after the first call.
+    static FFT_SCRATCH: RefCell<FftScratch> = const {
+        RefCell::new(FftScratch {
+            m_f64: Vec::new(),
+            sxy: Vec::new(),
+            sx: Vec::new(),
+        })
+    };
+
+    /// Per-thread doubled-array scratch for the folded kernel.
+    static SOA_SCRATCH: RefCell<SoaInputs> = const {
+        RefCell::new(SoaInputs {
+            c2: Vec::new(),
+            m2: Vec::new(),
+        })
+    };
+}
+
+struct FftScratch {
+    m_f64: Vec<f64>,
+    sxy: Vec<f64>,
+    sx: Vec<f64>,
 }
 
 fn with_cached_correlator<R>(
@@ -394,29 +458,39 @@ fn with_cached_correlator<R>(
 ) -> R {
     CORRELATOR_CACHE.with(|cell| {
         let mut slot = cell.borrow_mut();
-        let hit = slot
-            .as_ref()
-            .is_some_and(|cached| cached.period == period && cached.ones == ones);
-        if !hit {
+        let plan_hit = slot.as_ref().is_some_and(|cached| cached.period == period);
+        let full_hit = plan_hit && slot.as_ref().is_some_and(|cached| cached.ones == ones);
+        if !full_hit {
             let span = clockmark_obs::span("cpa.fft.plan")
                 .field("period", period)
-                .field("ones", ones.len());
+                .field("ones", ones.len())
+                .field("plan_reused", plan_hit);
             let plan_timed = span.is_recording().then(std::time::Instant::now);
-            let mut correlator = CircularCorrelator::new(period)
-                .expect("validated patterns have period >= 2, so the plan is non-empty");
+            // A same-period cache with a different pattern keeps its FFT
+            // plan (twiddles + scratch) and only re-transforms the new
+            // reference — one forward FFT instead of a full plan build.
+            // This is what makes per-candidate spectra in the batched
+            // identification path cheap.
+            let mut cached = match slot.take() {
+                Some(cached) if plan_hit => cached,
+                _ => CachedCorrelator {
+                    period,
+                    ones: Vec::new(),
+                    correlator: CircularCorrelator::new(period)
+                        .expect("validated patterns have period >= 2, so the plan is non-empty"),
+                },
+            };
             let mut indicator = vec![0.0f64; period];
             for &j in ones {
                 indicator[j] = 1.0;
             }
-            correlator.set_reference(&indicator);
+            cached.correlator.set_reference(&indicator);
+            cached.ones.clear();
+            cached.ones.extend_from_slice(ones);
             if let Some(t0) = plan_timed {
                 clockmark_obs::observe("cpa.fft.plan_seconds", t0.elapsed().as_secs_f64());
             }
-            *slot = Some(CachedCorrelator {
-                period,
-                ones: ones.to_vec(),
-                correlator,
-            });
+            *slot = Some(cached);
         }
         f(&mut slot.as_mut().expect("cache populated above").correlator)
     })

@@ -61,10 +61,12 @@ mod detect;
 mod detector;
 mod error;
 mod fold;
+mod identify;
 mod kernel;
 mod parallel;
 mod pearson;
 mod rotational;
+mod sequential;
 mod significance;
 mod stats;
 mod streaming;
@@ -76,6 +78,7 @@ pub use detector::{
     TraceInputError,
 };
 pub use error::CpaError;
+pub use identify::{CandidatePattern, CandidateScore, Identification};
 #[allow(deprecated)]
 pub use parallel::spread_spectrum_parallel;
 pub use parallel::thread_count;
@@ -83,6 +86,9 @@ pub use pearson::pearson;
 pub use rotational::SpreadSpectrum;
 #[allow(deprecated)]
 pub use rotational::{spread_spectrum, spread_spectrum_naive, spread_spectrum_with_algo};
+pub use sequential::{
+    SequentialCheckpoint, SequentialDetection, SequentialOptions, SequentialResult,
+};
 pub use significance::{normal_cdf, peak_false_positive_probability};
 pub use stats::{BoxPlotStats, RotationEnsemble};
 pub use streaming::{StreamingCpa, StreamingCpaState};

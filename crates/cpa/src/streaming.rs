@@ -1,4 +1,7 @@
-use crate::{CpaAlgo, CpaError, DetectionCriterion, DetectionResult, SpreadSpectrum};
+use crate::sequential::SequentialEngine;
+use crate::{
+    CpaAlgo, CpaError, DetectionCriterion, DetectionResult, SequentialOptions, SpreadSpectrum,
+};
 
 /// An incremental rotational-CPA detector.
 ///
@@ -263,24 +266,87 @@ impl StreamingCpa {
     /// (checking every `check_interval` cycles) or the iterator ends.
     /// Returns the cycle count at detection, or `None` if the stream ended
     /// undetected.
+    ///
+    /// This is the arithmetic-schedule special case of the sequential
+    /// engine (see [`SequentialOptions::every`]): cycles are buffered and
+    /// folded in checkpoint-aligned chunks (the vectorized
+    /// [`push_chunk`](Self::push_chunk) path, reusing the per-thread FFT
+    /// plan and SoA scratch) instead of the historical per-cycle push
+    /// with a from-scratch spectrum at every interval. The engine's
+    /// four-period early-accept floor applies: a checkpoint earlier than
+    /// `4 × period` cycles never stops the stream, guarding against
+    /// degenerate accepts on tiny prefixes. The end-of-stream evaluation
+    /// is the plain criterion, exactly as before.
     pub fn run_until_detected<I: IntoIterator<Item = f64>>(
         &mut self,
         ys: I,
         criterion: &DetectionCriterion,
         check_interval: u64,
     ) -> Option<u64> {
-        let check_interval = check_interval.max(1);
+        let options = SequentialOptions::every(check_interval);
+        let mut engine = SequentialEngine::new(options, *criterion, self);
+        let mut buf: Vec<f64> = Vec::with_capacity(1024);
         for y in ys {
-            self.push(y);
-            if self.cycles.is_multiple_of(check_interval) && self.detect(criterion).detected {
-                return Some(self.cycles);
+            buf.push(y);
+            // Flush exactly at checkpoints (so a decision stops the
+            // iterator without over-consuming) and at a chunk bound.
+            let at_checkpoint = engine.next_checkpoint == Some(self.cycles + buf.len() as u64);
+            if at_checkpoint || buf.len() >= 8192 {
+                engine.push_chunk(self, &buf);
+                buf.clear();
+                if engine.decided() {
+                    return Some(self.cycles);
+                }
             }
         }
-        if self.detect(criterion).detected {
+        engine.push_chunk(self, &buf);
+        if engine.decided() || self.detect(criterion).detected {
             Some(self.cycles)
         } else {
             None
         }
+    }
+
+    /// Scores many candidate patterns against this fold at once and
+    /// ranks them — the identification workload. The fold depends only
+    /// on the period, so any session of the right period can answer for
+    /// any candidate set; see [`crate::Identification`] for the
+    /// bit-identity contract with independent detects.
+    ///
+    /// The kernel follows this session's pinned choice (else the usual
+    /// override/heuristic precedence); `CpaAlgo::Naive` is evaluated
+    /// with the (decision-identical) folded arithmetic, as a fold
+    /// retains no raw trace. `threads` partitions candidates and does
+    /// not affect the result bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CpaError::InsufficientCycles`] before one full period;
+    /// [`CpaError::PeriodMismatch`], [`CpaError::ConstantPattern`] or
+    /// [`CpaError::InvalidState`] (empty candidate list) for invalid
+    /// candidates.
+    pub fn identify(
+        &self,
+        candidates: &[crate::CandidatePattern],
+        criterion: &DetectionCriterion,
+        threads: usize,
+    ) -> Result<crate::Identification, CpaError> {
+        let algo = self
+            .algo
+            .or_else(crate::algo::algo_override)
+            .unwrap_or_else(|| CpaAlgo::resolved_for_pattern(&self.pattern));
+        crate::identify::identify_over_fold(
+            self.cycles as f64,
+            self.sum_y,
+            self.sum_yy,
+            &self.residue_sums,
+            &self.residue_counts,
+            self.cycles,
+            candidates,
+            criterion,
+            algo,
+            threads,
+        )
     }
 }
 

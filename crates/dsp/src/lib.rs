@@ -41,6 +41,7 @@ mod bluestein;
 mod complex;
 mod correlate;
 mod error;
+mod multi;
 mod plan;
 mod radix2;
 
@@ -48,6 +49,7 @@ pub use bluestein::BluesteinPlan;
 pub use complex::Complex64;
 pub use correlate::{circular_cross_correlation_naive, CircularCorrelator};
 pub use error::DspError;
+pub use multi::MultiCorrelator;
 pub use plan::FftPlan;
 pub use radix2::Radix2Plan;
 

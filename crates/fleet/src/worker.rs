@@ -70,6 +70,10 @@ impl ShardWorker {
             checkpoint_cycles: spec.checkpoint_cycles,
             chunk_cycles: spec.chunk_cycles as usize,
             algo: spec.algo,
+            // Distributed shards run fixed-budget jobs: the shard wire
+            // format predates sequential campaigns, and a shard's report
+            // must stay byte-identical across mixed-version workers.
+            sequential: None,
         };
         // Create the shard campaign on first contact, open (resume) it on
         // every later one — including the reassignment of a shard some

@@ -8,7 +8,10 @@
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use clockmark_cpa::{DetectOptions, DetectionCriterion, TraceDetection};
+use clockmark_cpa::{
+    CandidatePattern, DetectOptions, DetectionCriterion, Identification, SequentialOptions,
+    SequentialResult, TraceDetection,
+};
 
 use crate::error::{io_err, ServeError};
 use crate::protocol::{
@@ -341,6 +344,122 @@ impl Client {
             span = span
                 .field("peak_rho", detection.result.peak_rho)
                 .field("detected", detection.result.detected);
+        }
+        drop(span);
+        outcome
+    }
+
+    /// Streams `samples` through a *sequential* detect exchange: the
+    /// server evaluates the growing prefix on `seq` checkpoints and
+    /// freezes its fold the moment the acceptance rule fires, returning
+    /// the verdict with `cycles_consumed` and the checkpoint trail.
+    ///
+    /// The client still streams the whole trace (the protocol keeps
+    /// `DetectChunk` unacknowledged so the socket stays saturated); the
+    /// saving is the server's fold/spectrum CPU, not wire bandwidth.
+    /// The verdict is bit-identical to an in-process
+    /// [`Detector::detect_sequential`](clockmark_cpa::Detector::detect_sequential)
+    /// with the same options on the same samples.
+    pub fn detect_sequential(
+        &mut self,
+        pattern: &[bool],
+        options: DetectOptions,
+        seq: SequentialOptions,
+        samples: &[f64],
+    ) -> Result<SequentialResult, ServeError> {
+        let sent_before = self.bytes_sent;
+        let client_span = self.begin_traced_request()?;
+        let mut span = clockmark_obs::span("client.detect")
+            .field("mode", "sequential")
+            .field("cycles", samples.len() as u64)
+            .field("period", pattern.len() as u64);
+        if let (Some(span_id), Some(trace)) = (client_span, self.trace.as_ref()) {
+            span = span
+                .field("trace_id", trace_id_hex(&trace.trace_id))
+                .field("span_id", span_id);
+        }
+        if let Some(algo) = options.algo {
+            span = span.field("algo", algo.as_str());
+        }
+        self.send(&Request::DetectSequentialStart {
+            pattern: pattern.to_vec(),
+            algo: options.algo,
+            criterion: options.criterion,
+            options: seq,
+        })?;
+        for chunk in samples.chunks(CLIENT_CHUNK) {
+            self.send(&Request::DetectChunk {
+                samples: chunk.to_vec(),
+            })?;
+        }
+        self.send(&Request::DetectFinish)?;
+        let outcome = match self.receive()? {
+            Response::SequentialDetection(result) => Ok(result),
+            other => Err(unexpected(&other)),
+        };
+        span = span.field("wire_bytes", self.bytes_sent - sent_before);
+        if let Some(trace) = self.trace.as_ref() {
+            span = span.field("server_span", trace.last_server_span);
+        }
+        if let Ok(result) = &outcome {
+            span = span
+                .field("cycles_consumed", result.cycles_consumed)
+                .field("early_stopped", result.early_stopped)
+                .field("detected", result.result.detected);
+        }
+        drop(span);
+        outcome
+    }
+
+    /// Streams `samples` once and ranks every candidate pattern against
+    /// the shared fold, returning the server's identification ledger —
+    /// bit-identical to an in-process
+    /// [`Detector::identify`](clockmark_cpa::Detector::identify) on the
+    /// same samples.
+    pub fn identify(
+        &mut self,
+        pattern: &[bool],
+        options: DetectOptions,
+        candidates: &[CandidatePattern],
+        samples: &[f64],
+    ) -> Result<Identification, ServeError> {
+        let sent_before = self.bytes_sent;
+        let client_span = self.begin_traced_request()?;
+        let mut span = clockmark_obs::span("client.identify")
+            .field("cycles", samples.len() as u64)
+            .field("period", pattern.len() as u64)
+            .field("candidates", candidates.len() as u64);
+        if let (Some(span_id), Some(trace)) = (client_span, self.trace.as_ref()) {
+            span = span
+                .field("trace_id", trace_id_hex(&trace.trace_id))
+                .field("span_id", span_id);
+        }
+        self.send(&Request::IdentifyStart {
+            pattern: pattern.to_vec(),
+            algo: options.algo,
+            criterion: options.criterion,
+            candidates: candidates.to_vec(),
+        })?;
+        for chunk in samples.chunks(CLIENT_CHUNK) {
+            self.send(&Request::DetectChunk {
+                samples: chunk.to_vec(),
+            })?;
+        }
+        self.send(&Request::DetectFinish)?;
+        let outcome = match self.receive()? {
+            Response::Identification(identification) => Ok(identification),
+            other => Err(unexpected(&other)),
+        };
+        span = span.field("wire_bytes", self.bytes_sent - sent_before);
+        if let Some(trace) = self.trace.as_ref() {
+            span = span.field("server_span", trace.last_server_span);
+        }
+        if let Ok(identification) = &outcome {
+            if let Some(best) = identification.scores.first() {
+                span = span
+                    .field("best", best.label.clone())
+                    .field("best_rho", best.result.peak_rho);
+            }
         }
         drop(span);
         outcome

@@ -48,7 +48,10 @@
 //! see an echo, which keeps the frame optional and the protocol
 //! backward-compatible at the frame level.
 
-use clockmark_cpa::{CpaAlgo, DetectionCriterion, DetectionResult, TraceDetection};
+use clockmark_cpa::{
+    CandidatePattern, CandidateScore, CpaAlgo, DetectionCriterion, DetectionResult, Identification,
+    SequentialCheckpoint, SequentialOptions, SequentialResult, TraceDetection,
+};
 
 use crate::error::ServeError;
 
@@ -60,8 +63,12 @@ pub const MAGIC: [u8; 6] = *b"CMRPC1";
 /// `Status` report with uptime, session totals and the algo mix.
 /// Version 3 added the fleet frames (`ShardAssign`/`ShardResult`/
 /// `Heartbeat`) and extended the `Status` report with the readiness-loop
-/// session counts (registered/readable/in-flight).
-pub const PROTOCOL_VERSION: u16 = 3;
+/// session counts (registered/readable/in-flight). Version 4 added the
+/// sequential early-termination exchange
+/// (`DetectSequentialStart`/`SequentialDetection`) and the batched
+/// multi-candidate exchange (`IdentifyStart`/`Identification`), both
+/// reusing `DetectChunk`/`DetectFinish` for the trace stream.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Frame-type byte of the error frame (valid in either direction).
 pub const FRAME_ERROR: u8 = 0x7F;
@@ -77,6 +84,8 @@ const FRAME_TRACE_CONTEXT: u8 = 0x08;
 const FRAME_METRICS: u8 = 0x09;
 const FRAME_SHARD_ASSIGN: u8 = 0x0A;
 const FRAME_HEARTBEAT: u8 = 0x0B;
+const FRAME_DETECT_SEQ_START: u8 = 0x0C;
+const FRAME_IDENTIFY_START: u8 = 0x0D;
 
 const FRAME_PONG: u8 = 0x81;
 const FRAME_DETECT_RESULT: u8 = 0x82;
@@ -86,6 +95,8 @@ const FRAME_METRICS_REPORT: u8 = 0x85;
 const FRAME_TRACE_ECHO: u8 = 0x86;
 const FRAME_SHARD_RESULT: u8 = 0x87;
 const FRAME_HEARTBEAT_ACK: u8 = 0x88;
+const FRAME_DETECT_SEQ_RESULT: u8 = 0x89;
+const FRAME_IDENTIFY_RESULT: u8 = 0x8A;
 
 /// Length in bytes of a wire trace id.
 pub const TRACE_ID_LEN: usize = 16;
@@ -204,6 +215,37 @@ pub enum Request {
     /// Coordinator → worker: liveness + progress probe, answered with
     /// [`Response::Heartbeat`].
     Heartbeat,
+    /// Open a *sequential* detect exchange: the server evaluates the
+    /// growing prefix on the schedule in `options` and freezes the fold
+    /// once the acceptance rule fires (the client keeps streaming; the
+    /// saving is server CPU, not bandwidth). Streams and finishes with
+    /// the same `DetectChunk`/`DetectFinish` frames as a plain detect;
+    /// answered with [`Response::SequentialDetection`].
+    DetectSequentialStart {
+        /// Watermark pattern, one bool per cycle.
+        pattern: Vec<bool>,
+        /// Kernel to pin, or `None` for the server-side heuristic.
+        algo: Option<CpaAlgo>,
+        /// Peak-significance thresholds to apply.
+        criterion: DetectionCriterion,
+        /// Checkpoint schedule, confidence gate and budget.
+        options: SequentialOptions,
+    },
+    /// Open an *identification* exchange: one fold over the streamed
+    /// trace, scored against every candidate pattern. Streams and
+    /// finishes with `DetectChunk`/`DetectFinish`; answered with
+    /// [`Response::Identification`]. The anchor `pattern` fixes the fold
+    /// period; every candidate must share it.
+    IdentifyStart {
+        /// Fold-anchor pattern, one bool per cycle.
+        pattern: Vec<bool>,
+        /// Kernel to pin, or `None` for the server-side heuristic.
+        algo: Option<CpaAlgo>,
+        /// Peak-significance thresholds to apply.
+        criterion: DetectionCriterion,
+        /// Labelled candidate patterns to rank.
+        candidates: Vec<CandidatePattern>,
+    },
 }
 
 /// One job inside a [`ShardSpec`]: a global campaign index plus the
@@ -306,6 +348,15 @@ pub enum Response {
     },
     /// Answer to [`Request::Heartbeat`].
     Heartbeat(WorkerHeartbeat),
+    /// Verdict of a sequential detect exchange: the classic result plus
+    /// cycles actually consumed, the early-stop flag and the checkpoint
+    /// trail — all IEEE-754 bit patterns, so the verdict is bit-identical
+    /// to an in-process `clockmark_cpa::Detector::detect_sequential` on
+    /// the same samples.
+    SequentialDetection(SequentialResult),
+    /// Ranked ledger of an identification exchange, bit-identical to an
+    /// in-process `Detector::identify` on the same samples.
+    Identification(Identification),
     /// Echo of the session's trace context, sent immediately before a
     /// response while a [`Request::TraceContext`] is in effect.
     TraceEcho {
@@ -449,6 +500,58 @@ fn put_criterion(out: &mut Vec<u8>, c: &DetectionCriterion) {
     put_f64(out, c.min_zscore);
 }
 
+fn put_sequential_options(out: &mut Vec<u8>, o: &SequentialOptions) {
+    put_u64(out, o.base_cycles);
+    put_f64(out, o.growth);
+    match o.confidence {
+        None => out.push(0),
+        Some(c) => {
+            out.push(1);
+            put_f64(out, c);
+        }
+    }
+    put_u64(out, o.min_cycles);
+    match o.max_cycles {
+        None => out.push(0),
+        Some(m) => {
+            out.push(1);
+            put_u64(out, m);
+        }
+    }
+}
+
+fn put_detection_result(out: &mut Vec<u8>, r: &DetectionResult) {
+    out.push(r.detected as u8);
+    put_u64(out, r.peak_rotation as u64);
+    put_f64(out, r.peak_rho);
+    put_f64(out, r.floor_max_abs);
+    put_f64(out, r.ratio);
+    put_f64(out, r.zscore);
+}
+
+fn put_sequential_result(out: &mut Vec<u8>, s: &SequentialResult) {
+    put_detection_result(out, &s.result);
+    put_u64(out, s.cycles_consumed);
+    out.push(s.early_stopped as u8);
+    put_u32(out, s.checkpoints.len() as u32);
+    for cp in &s.checkpoints {
+        put_u64(out, cp.cycles);
+        out.push(cp.accepted as u8);
+        put_f64(out, cp.peak_rho);
+        put_f64(out, cp.p_value);
+    }
+}
+
+fn put_identification(out: &mut Vec<u8>, id: &Identification) {
+    put_u64(out, id.cycles);
+    put_u32(out, id.scores.len() as u32);
+    for score in &id.scores {
+        put_u64(out, score.index as u64);
+        put_bytes(out, score.label.as_bytes());
+        put_detection_result(out, &score.result);
+    }
+}
+
 fn put_shard_spec(out: &mut Vec<u8>, s: &ShardSpec) {
     put_u64(out, s.shard_id);
     put_bytes(out, s.dir.as_bytes());
@@ -565,6 +668,96 @@ impl<'a> Cursor<'a> {
             min_peak_ratio: self.f64()?,
             min_zscore: self.f64()?,
         })
+    }
+
+    fn bool(&mut self) -> Result<bool, ServeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(malformed(format!("flag byte must be 0/1, got {other}"))),
+        }
+    }
+
+    fn sequential_options(&mut self) -> Result<SequentialOptions, ServeError> {
+        let base_cycles = self.u64()?;
+        let growth = self.f64()?;
+        let confidence = if self.bool()? {
+            Some(self.f64()?)
+        } else {
+            None
+        };
+        let min_cycles = self.u64()?;
+        let max_cycles = if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        };
+        Ok(SequentialOptions {
+            base_cycles,
+            growth,
+            confidence,
+            min_cycles,
+            max_cycles,
+        })
+    }
+
+    fn detection_result(&mut self) -> Result<DetectionResult, ServeError> {
+        Ok(DetectionResult {
+            detected: self.bool()?,
+            peak_rotation: self.u64()? as usize,
+            peak_rho: self.f64()?,
+            floor_max_abs: self.f64()?,
+            ratio: self.f64()?,
+            zscore: self.f64()?,
+        })
+    }
+
+    fn sequential_result(&mut self) -> Result<SequentialResult, ServeError> {
+        let result = self.detection_result()?;
+        let cycles_consumed = self.u64()?;
+        let early_stopped = self.bool()?;
+        let count = self.u32()? as usize;
+        let mut checkpoints = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            checkpoints.push(SequentialCheckpoint {
+                cycles: self.u64()?,
+                accepted: self.bool()?,
+                peak_rho: self.f64()?,
+                p_value: self.f64()?,
+            });
+        }
+        Ok(SequentialResult {
+            result,
+            cycles_consumed,
+            early_stopped,
+            checkpoints,
+        })
+    }
+
+    fn identification(&mut self) -> Result<Identification, ServeError> {
+        let cycles = self.u64()?;
+        let count = self.u32()? as usize;
+        let mut scores = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            scores.push(CandidateScore {
+                index: self.u64()? as usize,
+                label: self.string()?,
+                result: self.detection_result()?,
+            });
+        }
+        Ok(Identification { cycles, scores })
+    }
+
+    fn candidates(&mut self) -> Result<Vec<CandidatePattern>, ServeError> {
+        let count = self.u32()? as usize;
+        let mut out = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            out.push(CandidatePattern {
+                label: self.string()?,
+                pattern: self.pattern()?,
+            });
+        }
+        Ok(out)
     }
 
     fn shard_spec(&mut self) -> Result<ShardSpec, ServeError> {
@@ -707,6 +900,34 @@ impl Request {
                 FRAME_SHARD_ASSIGN
             }
             Request::Heartbeat => FRAME_HEARTBEAT,
+            Request::DetectSequentialStart {
+                pattern,
+                algo,
+                criterion,
+                options,
+            } => {
+                put_pattern(&mut out, pattern);
+                put_algo(&mut out, *algo);
+                put_criterion(&mut out, criterion);
+                put_sequential_options(&mut out, options);
+                FRAME_DETECT_SEQ_START
+            }
+            Request::IdentifyStart {
+                pattern,
+                algo,
+                criterion,
+                candidates,
+            } => {
+                put_pattern(&mut out, pattern);
+                put_algo(&mut out, *algo);
+                put_criterion(&mut out, criterion);
+                put_u32(&mut out, candidates.len() as u32);
+                for candidate in candidates {
+                    put_bytes(&mut out, candidate.label.as_bytes());
+                    put_pattern(&mut out, &candidate.pattern);
+                }
+                FRAME_IDENTIFY_START
+            }
         };
         (ty, out)
     }
@@ -741,6 +962,18 @@ impl Request {
             FRAME_METRICS => Request::Metrics,
             FRAME_SHARD_ASSIGN => Request::ShardAssign(c.shard_spec()?),
             FRAME_HEARTBEAT => Request::Heartbeat,
+            FRAME_DETECT_SEQ_START => Request::DetectSequentialStart {
+                pattern: c.pattern()?,
+                algo: c.algo()?,
+                criterion: c.criterion()?,
+                options: c.sequential_options()?,
+            },
+            FRAME_IDENTIFY_START => Request::IdentifyStart {
+                pattern: c.pattern()?,
+                algo: c.algo()?,
+                criterion: c.criterion()?,
+                candidates: c.candidates()?,
+            },
             other => return Err(malformed(format!("unknown request frame 0x{other:02x}"))),
         };
         c.expect_end()?;
@@ -793,6 +1026,14 @@ impl Response {
             Response::Heartbeat(h) => {
                 put_heartbeat(&mut out, h);
                 FRAME_HEARTBEAT_ACK
+            }
+            Response::SequentialDetection(s) => {
+                put_sequential_result(&mut out, s);
+                FRAME_DETECT_SEQ_RESULT
+            }
+            Response::Identification(id) => {
+                put_identification(&mut out, id);
+                FRAME_IDENTIFY_RESULT
             }
             Response::ShutdownAck => FRAME_SHUTDOWN_ACK,
             Response::Metrics { text } => {
@@ -870,6 +1111,8 @@ impl Response {
                 outcomes: c.string()?,
             },
             FRAME_HEARTBEAT_ACK => Response::Heartbeat(c.heartbeat()?),
+            FRAME_DETECT_SEQ_RESULT => Response::SequentialDetection(c.sequential_result()?),
+            FRAME_IDENTIFY_RESULT => Response::Identification(c.identification()?),
             FRAME_SHUTDOWN_ACK => Response::ShutdownAck,
             FRAME_METRICS_REPORT => Response::Metrics { text: c.string()? },
             FRAME_TRACE_ECHO => Response::TraceEcho {
@@ -1046,6 +1289,87 @@ mod tests {
                 },
             ],
         }));
+    }
+
+    #[test]
+    fn sequential_and_identify_frames_round_trip() {
+        round_trip_request(Request::DetectSequentialStart {
+            pattern: vec![true, false, true],
+            algo: Some(CpaAlgo::Fft),
+            criterion: DetectionCriterion::default(),
+            options: SequentialOptions::default()
+                .with_confidence(1e-9)
+                .with_max_cycles(300_000),
+        });
+        round_trip_request(Request::DetectSequentialStart {
+            pattern: vec![true, false],
+            algo: None,
+            criterion: DetectionCriterion::lenient(),
+            options: SequentialOptions::every(512),
+        });
+        round_trip_request(Request::IdentifyStart {
+            pattern: vec![true, false, true, false],
+            algo: Some(CpaAlgo::Folded),
+            criterion: DetectionCriterion::default(),
+            candidates: vec![
+                CandidatePattern::new("a", vec![true, false, true, false]),
+                CandidatePattern::new("b", vec![false, true, true, false]),
+            ],
+        });
+        round_trip_response(Response::SequentialDetection(SequentialResult {
+            result: DetectionResult {
+                detected: true,
+                peak_rotation: 41,
+                peak_rho: f64::from_bits(0x3FE5_5555_5555_5555),
+                floor_max_abs: 0.03,
+                ratio: 12.5,
+                zscore: 8.0,
+            },
+            cycles_consumed: 16_384,
+            early_stopped: true,
+            checkpoints: vec![
+                SequentialCheckpoint {
+                    cycles: 4096,
+                    accepted: false,
+                    peak_rho: 0.01,
+                    p_value: 0.7,
+                },
+                SequentialCheckpoint {
+                    cycles: 16_384,
+                    accepted: true,
+                    peak_rho: 0.66,
+                    p_value: 1e-12,
+                },
+            ],
+        }));
+        round_trip_response(Response::Identification(Identification {
+            cycles: 40_000,
+            scores: vec![CandidateScore {
+                index: 3,
+                label: "lfsr7:shift=35".into(),
+                result: DetectionResult {
+                    detected: true,
+                    peak_rotation: 13,
+                    peak_rho: -0.4,
+                    floor_max_abs: 0.02,
+                    ratio: 20.0,
+                    zscore: 11.0,
+                },
+            }],
+        }));
+        // Truncated sequential options (missing the max_cycles flag).
+        let (ty, full) = Request::DetectSequentialStart {
+            pattern: vec![true, false],
+            algo: None,
+            criterion: DetectionCriterion::default(),
+            options: SequentialOptions::default(),
+        }
+        .encode();
+        assert!(Request::decode(ty, &full[..full.len() - 1]).is_err());
+        // A flag byte outside {0, 1} is rejected, not treated as truthy.
+        let mut bad = full.clone();
+        *bad.last_mut().unwrap() = 2;
+        assert!(Request::decode(ty, &bad).is_err());
     }
 
     #[test]

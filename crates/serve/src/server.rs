@@ -517,10 +517,32 @@ fn reject_session(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// What a streamed detect exchange resolves to at `DetectFinish`.
+enum ExchangeKind {
+    /// Classic fixed-budget detect: fold everything, evaluate once.
+    Plain(StreamingDetection),
+    /// Sequential early-termination detect: the session freezes its
+    /// fold once the acceptance rule fires, so later chunks cost only
+    /// the `decided()` check. The client keeps streaming — the saving
+    /// is server CPU, not wire bandwidth.
+    Sequential(clockmark_cpa::SequentialDetection),
+    /// Batched identification: one fold, scored against every candidate
+    /// at finish.
+    Identify {
+        session: StreamingDetection,
+        candidates: Vec<clockmark_cpa::CandidatePattern>,
+    },
+}
+
 /// An in-progress streamed detect exchange.
 struct DetectExchange {
     detector: Detector,
-    session: StreamingDetection,
+    kind: ExchangeKind,
+    /// Cycles streamed by the client, counted independently of the
+    /// session: a decided sequential session stops ingesting (its
+    /// `cycles()` freezes), but the server's per-exchange cycle budget
+    /// applies to what arrives on the wire.
+    streamed: u64,
     /// Payload bytes received for this exchange (start + chunks).
     wire_bytes: u64,
 }
@@ -569,6 +591,8 @@ fn request_name(request: &Request) -> &'static str {
         Request::Metrics => "metrics",
         Request::ShardAssign(_) => "shard_assign",
         Request::Heartbeat => "heartbeat",
+        Request::DetectSequentialStart { .. } => "detect_sequential_start",
+        Request::IdentifyStart { .. } => "identify_start",
     }
 }
 
@@ -1132,7 +1156,89 @@ fn handle_request_inner(
                     let session = detector.detect_streaming();
                     *exchange = Some(DetectExchange {
                         detector,
-                        session,
+                        kind: ExchangeKind::Plain(session),
+                        streamed: 0,
+                        wire_bytes,
+                    });
+                    Flow::Continue
+                }
+                Err(e) => fail(stream, trace, ErrorCode::Cpa, &e.to_string()),
+            }
+        }
+        Request::DetectSequentialStart {
+            pattern,
+            algo,
+            criterion,
+            options: seq_options,
+        } => {
+            if exchange.is_some() {
+                return fail(
+                    stream,
+                    trace,
+                    ErrorCode::BadSequence,
+                    "DetectSequentialStart while a detect exchange is already open",
+                );
+            }
+            if shared.draining.load(Ordering::SeqCst) {
+                return fail(stream, trace, ErrorCode::Draining, "server is draining");
+            }
+            let mut options = DetectOptions::default().with_criterion(criterion);
+            if let Some(algo) = algo {
+                options = options.with_algo(algo);
+            }
+            match Detector::with_options(&pattern, options) {
+                Ok(detector) => {
+                    let session = detector.detect_sequential_streaming(seq_options);
+                    *exchange = Some(DetectExchange {
+                        detector,
+                        kind: ExchangeKind::Sequential(session),
+                        streamed: 0,
+                        wire_bytes,
+                    });
+                    Flow::Continue
+                }
+                Err(e) => fail(stream, trace, ErrorCode::Cpa, &e.to_string()),
+            }
+        }
+        Request::IdentifyStart {
+            pattern,
+            algo,
+            criterion,
+            candidates,
+        } => {
+            if exchange.is_some() {
+                return fail(
+                    stream,
+                    trace,
+                    ErrorCode::BadSequence,
+                    "IdentifyStart while a detect exchange is already open",
+                );
+            }
+            if shared.draining.load(Ordering::SeqCst) {
+                return fail(stream, trace, ErrorCode::Draining, "server is draining");
+            }
+            if candidates.is_empty() {
+                return fail(
+                    stream,
+                    trace,
+                    ErrorCode::Cpa,
+                    "identify needs at least one candidate pattern",
+                );
+            }
+            let mut options = DetectOptions::default().with_criterion(criterion);
+            if let Some(algo) = algo {
+                options = options.with_algo(algo);
+            }
+            match Detector::with_options(&pattern, options) {
+                Ok(detector) => {
+                    let session = detector.detect_streaming();
+                    *exchange = Some(DetectExchange {
+                        detector,
+                        kind: ExchangeKind::Identify {
+                            session,
+                            candidates,
+                        },
+                        streamed: 0,
                         wire_bytes,
                     });
                     Flow::Continue
@@ -1149,7 +1255,7 @@ fn handle_request_inner(
                     "DetectChunk without DetectStart",
                 );
             };
-            let next = open.session.cycles().saturating_add(samples.len() as u64);
+            let next = open.streamed.saturating_add(samples.len() as u64);
             if next > shared.limits.max_cycles {
                 *exchange = None;
                 return fail(
@@ -1162,8 +1268,13 @@ fn handle_request_inner(
                     ),
                 );
             }
+            open.streamed = next;
             open.wire_bytes = open.wire_bytes.saturating_add(wire_bytes);
-            open.session.push_chunk(&samples);
+            match &mut open.kind {
+                ExchangeKind::Plain(session) => session.push_chunk(&samples),
+                ExchangeKind::Sequential(session) => session.push_chunk(&samples),
+                ExchangeKind::Identify { session, .. } => session.push_chunk(&samples),
+            }
             Flow::Continue
         }
         Request::DetectFinish => {
@@ -1175,37 +1286,7 @@ fn handle_request_inner(
                     "DetectFinish without DetectStart",
                 );
             };
-            let algo = open.detector.resolved_algo();
-            let mut detect_span = clockmark_obs::span("serve.detect")
-                .field("cycles", open.session.cycles())
-                .field("period", open.session.period() as u64)
-                .field("algo", algo.as_str())
-                .field("wire_bytes", open.wire_bytes.saturating_add(wire_bytes));
-            if let Some(t) = trace {
-                detect_span = detect_span
-                    .field("trace_id", trace_id_hex(&t.trace_id))
-                    .field("parent_span", t.current_span);
-            }
-            let outcome = open
-                .session
-                .spectrum()
-                .map(|spectrum| clockmark_cpa::TraceDetection {
-                    result: open.detector.criterion().evaluate(&spectrum),
-                    cycles: open.session.cycles(),
-                });
-            if let Ok(detection) = &outcome {
-                detect_span = detect_span
-                    .field("peak_rho", detection.result.peak_rho)
-                    .field("detected", detection.result.detected);
-            }
-            drop(detect_span);
-            match outcome {
-                Ok(detection) => {
-                    shared.note_served(algo);
-                    send_response(stream, trace, &Response::Detection(detection))
-                }
-                Err(e) => fail(stream, trace, ErrorCode::Cpa, &e.to_string()),
-            }
+            finish_exchange(stream, shared, trace, open, wire_bytes)
         }
         Request::DetectCorpus {
             corpus,
@@ -1283,6 +1364,104 @@ fn handle_request_inner(
             send_response(stream, trace, &Response::Heartbeat(beat))
         } // `Request` is non_exhaustive for downstream crates only; within
           // the defining crate the match above is already exhaustive.
+    }
+}
+
+/// Resolves a finished detect exchange into its response frame: the
+/// plain verdict, the sequential verdict plus checkpoint trail, or the
+/// ranked identification ledger.
+fn finish_exchange(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    trace: Option<&TraceCtx>,
+    open: DetectExchange,
+    wire_bytes: u64,
+) -> Flow {
+    let algo = open.detector.resolved_algo();
+    let wire_total = open.wire_bytes.saturating_add(wire_bytes);
+    let with_trace = |mut span: clockmark_obs::Span| {
+        if let Some(t) = trace {
+            span = span
+                .field("trace_id", trace_id_hex(&t.trace_id))
+                .field("parent_span", t.current_span);
+        }
+        span
+    };
+    match open.kind {
+        ExchangeKind::Plain(session) => {
+            let mut detect_span = with_trace(
+                clockmark_obs::span("serve.detect")
+                    .field("cycles", session.cycles())
+                    .field("period", session.period() as u64)
+                    .field("algo", algo.as_str())
+                    .field("wire_bytes", wire_total),
+            );
+            let outcome = session
+                .spectrum()
+                .map(|spectrum| clockmark_cpa::TraceDetection {
+                    result: open.detector.criterion().evaluate(&spectrum),
+                    cycles: session.cycles(),
+                });
+            if let Ok(detection) = &outcome {
+                detect_span = detect_span
+                    .field("peak_rho", detection.result.peak_rho)
+                    .field("detected", detection.result.detected);
+            }
+            drop(detect_span);
+            match outcome {
+                Ok(detection) => {
+                    clockmark_obs::observe("serve.detect.cycles_consumed", detection.cycles as f64);
+                    shared.note_served(algo);
+                    send_response(stream, trace, &Response::Detection(detection))
+                }
+                Err(e) => fail(stream, trace, ErrorCode::Cpa, &e.to_string()),
+            }
+        }
+        ExchangeKind::Sequential(session) => {
+            let detect_span = with_trace(
+                clockmark_obs::span("serve.detect")
+                    .field("mode", "sequential")
+                    .field("streamed", open.streamed)
+                    .field("period", session.period() as u64)
+                    .field("algo", algo.as_str())
+                    .field("wire_bytes", wire_total),
+            );
+            let outcome = session.finalize();
+            let detect_span = detect_span
+                .field("cycles", outcome.cycles_consumed)
+                .field("early_stopped", outcome.early_stopped)
+                .field("peak_rho", outcome.result.peak_rho)
+                .field("detected", outcome.result.detected);
+            drop(detect_span);
+            clockmark_obs::observe(
+                "serve.detect.cycles_consumed",
+                outcome.cycles_consumed as f64,
+            );
+            shared.note_served(algo);
+            send_response(stream, trace, &Response::SequentialDetection(outcome))
+        }
+        ExchangeKind::Identify {
+            session,
+            candidates,
+        } => {
+            let identify_span = with_trace(
+                clockmark_obs::span("serve.identify")
+                    .field("cycles", session.cycles())
+                    .field("period", session.period() as u64)
+                    .field("candidates", candidates.len() as u64)
+                    .field("algo", algo.as_str())
+                    .field("wire_bytes", wire_total),
+            );
+            let outcome = session.identify(&candidates);
+            drop(identify_span);
+            match outcome {
+                Ok(identification) => {
+                    shared.note_served(algo);
+                    send_response(stream, trace, &Response::Identification(identification))
+                }
+                Err(e) => fail(stream, trace, ErrorCode::Cpa, &e.to_string()),
+            }
+        }
     }
 }
 

@@ -179,3 +179,91 @@ fn concurrent_clients_all_get_bit_identical_verdicts() {
     let status = handle.shutdown();
     assert_eq!(status.served, 4);
 }
+
+#[test]
+fn sequential_detect_over_the_wire_matches_in_process() {
+    let handle = Server::new().bind("127.0.0.1:0").expect("bind");
+    let pattern = pattern();
+    let y = watermarked_trace(pattern.len() * 400);
+    let seq = clockmark_cpa::SequentialOptions::default().with_base_cycles(1024);
+
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    for algo in [Some(CpaAlgo::Folded), Some(CpaAlgo::Fft), None] {
+        let mut options = DetectOptions::default().with_criterion(DetectionCriterion::lenient());
+        if let Some(algo) = algo {
+            options = options.with_algo(algo);
+        }
+        let wire = client
+            .detect_sequential(&pattern, options, seq, &y)
+            .expect("wire sequential detect");
+
+        let detector = Detector::with_options(&pattern, options).expect("detector");
+        let local = detector.detect_sequential(&y, seq).expect("local");
+        assert_bit_identical(&wire.result, &local.result);
+        assert_eq!(wire.cycles_consumed, local.cycles_consumed);
+        assert_eq!(wire.early_stopped, local.early_stopped);
+        assert_eq!(wire.checkpoints.len(), local.checkpoints.len());
+        for (w, l) in wire.checkpoints.iter().zip(&local.checkpoints) {
+            assert_eq!(w.cycles, l.cycles);
+            assert_eq!(w.accepted, l.accepted);
+            assert_eq!(w.peak_rho.to_bits(), l.peak_rho.to_bits());
+            assert_eq!(w.p_value.to_bits(), l.p_value.to_bits());
+        }
+        // The strong watermark must stop well before the full stream.
+        assert!(wire.early_stopped, "{algo:?}");
+        assert!(wire.cycles_consumed < y.len() as u64 / 4);
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn identify_over_the_wire_matches_in_process() {
+    let handle = Server::new().bind("127.0.0.1:0").expect("bind");
+    let anchor = pattern();
+    let y = watermarked_trace(anchor.len() * 60);
+
+    // Distinct xorshift candidate banks; index 0 is the embedded pattern.
+    let candidates: Vec<clockmark_cpa::CandidatePattern> = (0..6u64)
+        .map(|seed| {
+            let bits: Vec<bool> = if seed == 0 {
+                pattern()
+            } else {
+                let mut s = 0xDEAD_BEEF ^ (seed << 17) | 1;
+                (0..96)
+                    .map(|_| {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        s & 1 == 1
+                    })
+                    .collect()
+            };
+            clockmark_cpa::CandidatePattern::new(format!("cand-{seed}"), bits)
+        })
+        .collect();
+
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    for algo in [Some(CpaAlgo::Folded), Some(CpaAlgo::Fft)] {
+        let mut options = DetectOptions::default().with_criterion(DetectionCriterion::lenient());
+        if let Some(algo) = algo {
+            options = options.with_algo(algo);
+        }
+        let wire = client
+            .identify(&anchor, options, &candidates, &y)
+            .expect("wire identify");
+
+        let detector = Detector::with_options(&anchor, options).expect("detector");
+        let local = detector.identify(&y, &candidates).expect("local identify");
+        assert_eq!(wire.cycles, local.cycles);
+        assert_eq!(wire.scores.len(), local.scores.len());
+        for (w, l) in wire.scores.iter().zip(&local.scores) {
+            assert_eq!(w.index, l.index);
+            assert_eq!(w.label, l.label);
+            assert_bit_identical(&w.result, &l.result);
+        }
+        assert_eq!(wire.best().index, 0, "embedded candidate must rank first");
+    }
+
+    handle.shutdown();
+}

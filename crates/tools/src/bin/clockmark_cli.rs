@@ -2,6 +2,7 @@
 //! [`clockmark_tools::commands`].
 
 use clockmark::ChipModel;
+use clockmark_cpa::SequentialOptions;
 use clockmark_tools::args::Args;
 use clockmark_tools::commands::{
     cmd_attack, cmd_detect, cmd_embed, cmd_experiment, cmd_metrics, cmd_metrics_collapse,
@@ -16,9 +17,9 @@ use clockmark_tools::fleet_cmd::{
     cmd_fleet_run, cmd_fleet_serve, cmd_fleet_status, parse_worker_list, FleetRunOptions,
 };
 use clockmark_tools::serve_cmd::{
-    cmd_client_detect, cmd_client_detect_corpus, cmd_client_metrics, cmd_client_ping,
-    cmd_client_shutdown, cmd_client_status, cmd_client_watch, cmd_serve, ClientDetectOptions,
-    ServeOptions,
+    cmd_client_detect, cmd_client_detect_corpus, cmd_client_identify, cmd_client_metrics,
+    cmd_client_ping, cmd_client_shutdown, cmd_client_status, cmd_client_watch, cmd_serve,
+    parse_candidate_list, ClientDetectOptions, ServeOptions,
 };
 use clockmark_tools::ToolError;
 use std::fs;
@@ -49,6 +50,8 @@ USAGE:
   clockmark-cli campaign run <dir> --corpus <dir> (--lfsr W [--seed S] | --bits 1011…)
                  [--traces a,b,…] [--lenient] [--checkpoint-cycles N]
                  [--chunk-cycles N] [--algo naive|folded|fft]
+                 [--sequential [--seq-base N] [--seq-growth F] [--seq-confidence P]
+                  [--seq-min-cycles N] [--seq-max-cycles N]]
                  [--threads N] [--max-jobs N] [--no-mmap]
   clockmark-cli campaign resume <dir> [--threads N] [--max-jobs N] [--no-mmap]
   clockmark-cli campaign status <dir>
@@ -57,6 +60,11 @@ USAGE:
   clockmark-cli client ping|status|metrics|shutdown [--addr HOST:PORT]
   clockmark-cli client watch [--addr HOST:PORT] [--interval-ms N] [--count N]
   clockmark-cli client detect --trace <file.csv> (--lfsr W [--seed S] | --bits 1011…)
+                 [--addr HOST:PORT] [--lenient] [--algo naive|folded|fft] [--traced]
+                 [--sequential [--seq-base N] [--seq-growth F] [--seq-confidence P]
+                  [--seq-min-cycles N] [--seq-max-cycles N]]
+  clockmark-cli client identify --trace <file.csv> --candidates lbl=1011…,lbl=0111…
+                 (--lfsr W [--seed S] | --bits 1011…)
                  [--addr HOST:PORT] [--lenient] [--algo naive|folded|fft] [--traced]
   clockmark-cli client detect-corpus --corpus <dir> --name <trace>
                  (--lfsr W [--seed S] | --bits 1011…)
@@ -151,6 +159,36 @@ fn serve_options(args: &mut Args) -> Result<ServeOptions, ToolError> {
     Ok(options)
 }
 
+/// Parses the `--sequential [--seq-base N] [--seq-growth F]
+/// [--seq-confidence P] [--seq-min-cycles N] [--seq-max-cycles N]` flags
+/// shared by `client detect` and `campaign run`. Without `--sequential`
+/// the tuning flags are left unconsumed, so `finish()` rejects them.
+fn sequential_options(args: &mut Args) -> Result<Option<SequentialOptions>, ToolError> {
+    if !args.flag("--sequential") {
+        return Ok(None);
+    }
+    let defaults = SequentialOptions::default();
+    Ok(Some(SequentialOptions {
+        base_cycles: args.numeric("--seq-base", defaults.base_cycles)?,
+        growth: args.numeric("--seq-growth", defaults.growth)?,
+        min_cycles: args.numeric("--seq-min-cycles", defaults.min_cycles)?,
+        confidence: args
+            .value_of("--seq-confidence")?
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| ToolError::Usage(format!("--seq-confidence: cannot parse `{v}`")))
+            })
+            .transpose()?,
+        max_cycles: args
+            .value_of("--seq-max-cycles")?
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| ToolError::Usage(format!("--seq-max-cycles: cannot parse `{v}`")))
+            })
+            .transpose()?,
+    }))
+}
+
 /// Parses the spec-shaping flags shared by `campaign run` and
 /// `fleet run` (everything persisted into `campaign.json`).
 fn campaign_create_options(args: &mut Args) -> Result<CampaignCreateOptions, ToolError> {
@@ -184,6 +222,7 @@ fn campaign_create_options(args: &mut Args) -> Result<CampaignCreateOptions, Too
         lenient,
         checkpoint_cycles,
         chunk_cycles,
+        sequential: sequential_options(args)?,
         algo,
     })
 }
@@ -439,6 +478,13 @@ fn run() -> Result<(), ToolError> {
                     let workers = parse_worker_list(&args.require("--workers")?)?;
                     let spec = pattern_spec(&mut args, "fleet run")?;
                     let create = campaign_create_options(&mut args)?;
+                    if create.sequential.is_some() {
+                        return Err(ToolError::Usage(
+                            "fleet run does not support --sequential: distributed \
+                             shards run fixed-budget jobs"
+                                .to_owned(),
+                        ));
+                    }
                     let options = FleetRunOptions {
                         workers,
                         shards: args.numeric("--shards", 0u64)?,
@@ -506,11 +552,23 @@ fn run() -> Result<(), ToolError> {
                 "detect" => {
                     let trace = args.require("--trace")?;
                     let options = client_detect_options(&mut args)?;
+                    let sequential = sequential_options(&mut args)?;
                     let spec = pattern_spec(&mut args, "client detect")?;
                     args.finish()?;
                     print!(
                         "{}",
-                        cmd_client_detect(&addr, &read(&trace)?, &spec, options)?
+                        cmd_client_detect(&addr, &read(&trace)?, &spec, options, sequential)?
+                    );
+                }
+                "identify" => {
+                    let trace = args.require("--trace")?;
+                    let candidates = parse_candidate_list(&args.require("--candidates")?)?;
+                    let options = client_detect_options(&mut args)?;
+                    let spec = pattern_spec(&mut args, "client identify")?;
+                    args.finish()?;
+                    print!(
+                        "{}",
+                        cmd_client_identify(&addr, &read(&trace)?, &spec, options, &candidates)?
                     );
                 }
                 "detect-corpus" => {

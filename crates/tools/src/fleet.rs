@@ -370,6 +370,10 @@ pub struct CampaignCreateOptions {
     pub checkpoint_cycles: Option<u64>,
     /// Read-chunk size override in cycles.
     pub chunk_cycles: Option<usize>,
+    /// Sequential early-termination schedule; `None` keeps classic
+    /// fixed-budget jobs. Persisted into `campaign.json`, so a resume
+    /// replays the same schedule without re-passing the flags.
+    pub sequential: Option<clockmark_cpa::SequentialOptions>,
     /// Spectrum kernel override; `None` resolves from `CLOCKMARK_CPA_ALGO`
     /// or the work heuristic and is then pinned in the spec.
     pub algo: Option<CpaAlgo>,
@@ -412,6 +416,7 @@ impl CampaignCreateOptions {
         if let Some(algo) = self.algo {
             campaign_spec.algo = algo;
         }
+        campaign_spec.sequential = self.sequential;
         Ok(campaign_spec)
     }
 }

@@ -8,7 +8,10 @@
 
 use std::fmt::Write as _;
 
-use clockmark_cpa::{CpaAlgo, DetectOptions, DetectionCriterion, TraceDetection};
+use clockmark_cpa::{
+    CandidatePattern, CpaAlgo, DetectOptions, DetectionCriterion, SequentialOptions,
+    SequentialResult, TraceDetection,
+};
 use clockmark_serve::{Client, ServeLimits, Server};
 
 use crate::commands::PatternSpec;
@@ -168,6 +171,15 @@ fn fmt_rate(v: Option<f64>) -> String {
     }
 }
 
+/// Renders a consumed-cycle quantile: whole cycles, `k` past 10⁴.
+fn fmt_cycles(v: Option<f64>) -> String {
+    match v {
+        Some(c) if c >= 10_000.0 => format!("{:.1}k", c / 1_000.0),
+        Some(c) => format!("{}", c.round() as u64),
+        None => "-".to_owned(),
+    }
+}
+
 /// Renders one `client watch` dashboard frame from a status report and
 /// a Prometheus metrics snapshot.
 pub fn render_watch_frame(
@@ -222,6 +234,21 @@ pub fn render_watch_frame(
         fmt_seconds(quant("0.5")),
         fmt_seconds(quant("0.95")),
         fmt_seconds(quant("0.99"))
+    );
+    let cycles_quant = |q: &str| {
+        prom_value(
+            metrics,
+            &format!(
+                "clockmark_serve_detect_cycles_consumed_window{{window=\"60s\",quantile=\"{q}\"}}"
+            ),
+        )
+    };
+    let _ = writeln!(
+        out,
+        "cycles:   p50 {}  p95 {}  p99 {} consumed/verdict (60s window)",
+        fmt_cycles(cycles_quant("0.5")),
+        fmt_cycles(cycles_quant("0.95")),
+        fmt_cycles(cycles_quant("0.99"))
     );
     let errors = prom_value(metrics, "clockmark_serve_errors_total").unwrap_or(0.0);
     let _ = writeln!(
@@ -289,6 +316,10 @@ pub fn cmd_client_shutdown(addr: &str) -> Result<String, ToolError> {
 /// `client detect`: stream a CSV trace to the server and render its
 /// verdict exactly like the in-process `detect` command renders one.
 ///
+/// With `sequential` set the server evaluates the trace incrementally
+/// and the rendering gains the consumed-cycles / checkpoint-trail
+/// summary; the verdict block itself stays byte-compatible.
+///
 /// # Errors
 ///
 /// Returns trace-file, connection, or detection failures.
@@ -297,6 +328,7 @@ pub fn cmd_client_detect(
     trace_text: &str,
     spec: &PatternSpec,
     options: ClientDetectOptions,
+    sequential: Option<SequentialOptions>,
 ) -> Result<String, ToolError> {
     let trace = tracefile::read_trace(trace_text)?;
     let pattern = spec.pattern()?;
@@ -304,8 +336,87 @@ pub fn cmd_client_detect(
     if options.traced {
         client.enable_tracing();
     }
-    let detection = client.detect(&pattern, options.detect_options(), trace.as_watts())?;
-    let mut out = render_detection(&detection, pattern.len());
+    let mut out = match sequential {
+        Some(seq) => {
+            let outcome = client.detect_sequential(
+                &pattern,
+                options.detect_options(),
+                seq,
+                trace.as_watts(),
+            )?;
+            render_sequential(&outcome, pattern.len())
+        }
+        None => {
+            let detection = client.detect(&pattern, options.detect_options(), trace.as_watts())?;
+            render_detection(&detection, pattern.len())
+        }
+    };
+    append_trace_line(&mut out, &client);
+    Ok(out)
+}
+
+/// `client identify`: stream a CSV trace once and rank candidate
+/// watermark patterns by correlation strength — the batched replacement
+/// for one `client detect` per candidate seed.
+///
+/// # Errors
+///
+/// Returns trace-file, connection, or identification failures.
+pub fn cmd_client_identify(
+    addr: &str,
+    trace_text: &str,
+    spec: &PatternSpec,
+    options: ClientDetectOptions,
+    candidates: &[CandidatePattern],
+) -> Result<String, ToolError> {
+    let trace = tracefile::read_trace(trace_text)?;
+    let pattern = spec.pattern()?;
+    let mut client = connect(addr)?;
+    if options.traced {
+        client.enable_tracing();
+    }
+    let identification = client.identify(
+        &pattern,
+        options.detect_options(),
+        candidates,
+        trace.as_watts(),
+    )?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} cycles, pattern period {}, {} candidates",
+        identification.cycles,
+        pattern.len(),
+        identification.scores.len()
+    );
+    for (rank, score) in identification.scores.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>3}. {:<24} |rho| {:.6}  ratio {:.2}  zscore {:.2}{}",
+            rank + 1,
+            score.label,
+            score.result.peak_rho.abs(),
+            score.result.ratio,
+            score.result.zscore,
+            if score.result.detected {
+                "  DETECTED"
+            } else {
+                ""
+            }
+        );
+    }
+    let best = identification.best();
+    let _ = writeln!(
+        out,
+        "best: {} (candidate {}{})",
+        best.label,
+        best.index,
+        if best.result.detected {
+            ", passes the detection criterion"
+        } else {
+            ", below the detection criterion"
+        }
+    );
     append_trace_line(&mut out, &client);
     Ok(out)
 }
@@ -347,6 +458,44 @@ fn append_trace_line(out: &mut String, client: &Client) {
     }
 }
 
+/// Parses the `client identify` candidate list: comma-separated
+/// `label=bits` entries (`bits` alone auto-labels as `cand<index>`).
+///
+/// Candidates should be genuinely different sequences — other seeds of
+/// the same LFSR are cyclic shifts of one m-sequence, which the
+/// phase-blind rotational correlator cannot tell apart.
+///
+/// # Errors
+///
+/// Returns [`ToolError::Usage`] for empty entries or non-binary digits.
+pub fn parse_candidate_list(raw: &str) -> Result<Vec<CandidatePattern>, ToolError> {
+    raw.split(',')
+        .enumerate()
+        .map(|(index, entry)| {
+            let (label, bits) = match entry.split_once('=') {
+                Some((label, bits)) => (label.to_owned(), bits),
+                None => (format!("cand{index}"), entry),
+            };
+            if bits.is_empty() {
+                return Err(ToolError::Usage(format!(
+                    "--candidates entry {index} has no bits"
+                )));
+            }
+            let pattern = bits
+                .chars()
+                .map(|c| match c {
+                    '0' => Ok(false),
+                    '1' => Ok(true),
+                    other => Err(ToolError::Usage(format!(
+                        "--candidates bits must be 0s and 1s, found {other:?}"
+                    ))),
+                })
+                .collect::<Result<Vec<bool>, _>>()?;
+            Ok(CandidatePattern::new(label, pattern))
+        })
+        .collect()
+}
+
 fn connect(addr: &str) -> Result<Client, ToolError> {
     Ok(Client::connect(addr)?)
 }
@@ -359,6 +508,32 @@ fn render_detection(detection: &TraceDetection, period: usize) -> String {
         detection.cycles, period
     );
     let _ = writeln!(out, "{}", detection.result);
+    out
+}
+
+fn render_sequential(outcome: &SequentialResult, period: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} cycles consumed, pattern period {}",
+        outcome.cycles_consumed, period
+    );
+    let _ = writeln!(out, "{}", outcome.result);
+    let _ = writeln!(
+        out,
+        "sequential: {} after {} checkpoint{}",
+        if outcome.early_stopped {
+            "stopped early"
+        } else {
+            "ran to the end of the trace"
+        },
+        outcome.checkpoints.len(),
+        if outcome.checkpoints.len() == 1 {
+            ""
+        } else {
+            "s"
+        }
+    );
     out
 }
 
@@ -412,6 +587,7 @@ mod tests {
             &csv,
             &PatternSpec::Lfsr { width: 5, seed: 1 },
             ClientDetectOptions::default(),
+            None,
         )
         .expect("detect");
         assert!(rendered.contains("pattern period 31"), "{rendered}");
@@ -427,16 +603,60 @@ mod tests {
                 traced: true,
                 ..ClientDetectOptions::default()
             },
+            None,
         )
         .expect("traced detect");
         assert!(traced.contains("pattern period 31"), "{traced}");
         assert!(traced.contains("trace: id "), "{traced}");
         assert!(traced.starts_with(&rendered), "verdict rendering unchanged");
 
+        // Sequential mode reports consumed cycles and the trail length.
+        let sequential = cmd_client_detect(
+            &addr,
+            &csv,
+            &PatternSpec::Lfsr { width: 5, seed: 1 },
+            ClientDetectOptions::default(),
+            Some(SequentialOptions::every(93)),
+        )
+        .expect("sequential detect");
+        assert!(sequential.contains("cycles consumed"), "{sequential}");
+        assert!(sequential.contains("sequential: "), "{sequential}");
+
+        // Identify ranks the embedded pattern first. The decoys must be
+        // genuinely different sequences, not other seeds of the same
+        // LFSR: those are cyclic shifts of one m-sequence, and
+        // rotational CPA is phase-blind by construction.
+        let decoy = |salt: u64| -> Vec<bool> {
+            let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ salt;
+            (0..pattern.len())
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x & 1 == 1
+                })
+                .collect()
+        };
+        let candidates = vec![
+            CandidatePattern::new("decoy-a", decoy(1)),
+            CandidatePattern::new("embedded", pattern.clone()),
+            CandidatePattern::new("decoy-b", decoy(2)),
+        ];
+        let identified = cmd_client_identify(
+            &addr,
+            &csv,
+            &PatternSpec::Lfsr { width: 5, seed: 1 },
+            ClientDetectOptions::default(),
+            &candidates,
+        )
+        .expect("identify");
+        assert!(identified.contains("3 candidates"), "{identified}");
+        assert!(identified.contains("best: embedded"), "{identified}");
+
         // Metrics exposition and a single watch frame over the wire.
         let metrics = cmd_client_metrics(&addr).expect("metrics");
         assert!(
-            metrics.contains("clockmark_serve_served_verdicts_total 2"),
+            metrics.contains("clockmark_serve_served_verdicts_total 4"),
             "{metrics}"
         );
         assert!(
@@ -444,7 +664,8 @@ mod tests {
             "{metrics}"
         );
         let frame = cmd_client_watch(&addr, 10, Some(1)).expect("watch frame");
-        assert!(frame.contains("served:   2 verdicts"), "{frame}");
+        assert!(frame.contains("served:   4 verdicts"), "{frame}");
+        assert!(frame.contains("cycles:   p50 "), "{frame}");
         assert!(frame.contains("req/s:"), "{frame}");
         assert!(frame.contains("latency:"), "{frame}");
 
@@ -478,6 +699,9 @@ clockmark_serve_requests_window_rate{window=\"10s\"} 9.75\n\
 clockmark_serve_request_seconds_window{window=\"10s\",quantile=\"0.5\"} 0.0012\n\
 clockmark_serve_request_seconds_window{window=\"10s\",quantile=\"0.95\"} 0.0034\n\
 clockmark_serve_request_seconds_window{window=\"10s\",quantile=\"0.99\"} 0.0079\n\
+clockmark_serve_detect_cycles_consumed_window{window=\"60s\",quantile=\"0.5\"} 8192\n\
+clockmark_serve_detect_cycles_consumed_window{window=\"60s\",quantile=\"0.95\"} 24576\n\
+clockmark_serve_detect_cycles_consumed_window{window=\"60s\",quantile=\"0.99\"} 65536\n\
 clockmark_serve_errors_total 3\n";
         let frame = render_watch_frame("127.0.0.1:4780", &status, metrics);
         assert!(frame.contains("up 123s"), "{frame}");
@@ -499,5 +723,22 @@ clockmark_serve_errors_total 3\n";
             frame.contains("3 request failures, 2 busy rejections"),
             "{frame}"
         );
+        assert!(
+            frame.contains("cycles:   p50 8192  p95 24.6k  p99 65.5k"),
+            "{frame}"
+        );
+    }
+
+    #[test]
+    fn candidate_lists_parse_labels_and_bits() {
+        let candidates = parse_candidate_list("a=10110,0111011,b=110").expect("valid");
+        assert_eq!(candidates.len(), 3);
+        assert_eq!(candidates[0].label, "a");
+        assert_eq!(candidates[0].pattern, vec![true, false, true, true, false]);
+        assert_eq!(candidates[1].label, "cand1");
+        assert_eq!(candidates[2].label, "b");
+
+        assert!(parse_candidate_list("a=10,b=").is_err(), "empty bits");
+        assert!(parse_candidate_list("a=102").is_err(), "non-binary digit");
     }
 }
