@@ -44,9 +44,20 @@ pub struct AttackReport {
 
 impl AttackReport {
     /// The fraction of the system's registers the removal damages.
+    ///
+    /// Guards the empty-design case (`0/0` would be NaN, which poisons
+    /// every downstream comparison and JSON encoding): a design with no
+    /// functional registers reports zero impact when nothing is affected
+    /// and full impact when something is (the only way `affected > 0`
+    /// with `system == 0` is a report assembled from inconsistent counts,
+    /// and saturating at 1.0 keeps the value meaningful).
     pub fn impact_fraction(&self) -> f64 {
         if self.system_registers == 0 {
-            return 0.0;
+            return if self.affected_registers == 0 {
+                0.0
+            } else {
+                1.0
+            };
         }
         self.affected_registers as f64 / self.system_registers as f64
     }
@@ -208,5 +219,19 @@ mod tests {
             system_registers: 0,
         };
         assert_eq!(report.impact_fraction(), 0.0);
+        assert!(report.impact_fraction().is_finite());
+    }
+
+    #[test]
+    fn impact_fraction_saturates_on_inconsistent_counts() {
+        // affected > 0 with an empty system can only come from a report
+        // assembled by hand; it must still be finite and meaningful.
+        let report = AttackReport {
+            verdict: AttackVerdict::FunctionalDamage,
+            standalone: false,
+            affected_registers: 3,
+            system_registers: 0,
+        };
+        assert_eq!(report.impact_fraction(), 1.0);
     }
 }

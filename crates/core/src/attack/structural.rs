@@ -1,0 +1,188 @@
+//! The structural half of the gate-disable attack.
+//!
+//! The trace-level [`AttackSpec::GateDisable`](super::AttackSpec) models
+//! what disabling a fraction of the modulated clock gates does to the
+//! captured power. This module answers the *netlist* question an informed
+//! adversary faces first: which ICGs should be disabled to strip the most
+//! modulated power with the fewest edits? [`gate_disable_plan`] ranks the
+//! embedding's ICGs by how many registers they clock (via
+//! `clockmark-netlist`'s clock-tree queries) and greedily picks the
+//! biggest until the requested fraction of modulated registers is dark;
+//! [`apply_gate_disable`] commits the plan by rewiring each chosen ICG's
+//! enable to constant-false.
+
+use super::transforms::mix_seed;
+use crate::{ClockmarkError, EmbeddedWatermark};
+use clockmark_netlist::{CellId, Netlist, SignalExpr};
+
+/// The adversary's editing plan: which ICGs to force off and how much of
+/// the watermark's modulation survives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateDisablePlan {
+    /// ICG cells the plan forces off, in application order.
+    pub disabled: Vec<CellId>,
+    /// Modulated registers that go dark under the plan.
+    pub disabled_registers: usize,
+    /// Modulated registers in the whole embedding.
+    pub total_registers: usize,
+    /// Fraction of the modulated registers still toggling after the plan
+    /// (1.0 = attack removed nothing, 0.0 = fully stripped).
+    pub surviving_fraction: f64,
+}
+
+impl GateDisablePlan {
+    /// Fraction of the modulated registers the plan disables.
+    pub fn disabled_fraction(&self) -> f64 {
+        1.0 - self.surviving_fraction
+    }
+}
+
+/// Plans a selective gate-disable attack against an embedding.
+///
+/// Ranks the watermark's ICGs by the number of registers each clocks
+/// (descending — the informed adversary darkens the biggest gates first,
+/// with a seeded shuffle breaking ties so equally-sized plans differ
+/// between scenario seeds) and picks gates until at least `fraction` of
+/// the modulated registers are disabled. `fraction` is clamped to `0..=1`;
+/// a zero fraction yields an empty plan.
+///
+/// # Errors
+///
+/// Propagates netlist query errors (dangling cells in the embedding).
+pub fn gate_disable_plan(
+    netlist: &Netlist,
+    watermark: &EmbeddedWatermark,
+    fraction: f64,
+    seed: u64,
+) -> Result<GateDisablePlan, ClockmarkError> {
+    let fraction = fraction.clamp(0.0, 1.0);
+
+    // Rank each modulated ICG by the registers it clocks.
+    let mut gates: Vec<(CellId, usize)> = Vec::with_capacity(watermark.icg_cells.len());
+    let mut total_registers = 0usize;
+    for &icg in &watermark.icg_cells {
+        let sinks = netlist.clock_sinks_of(icg)?;
+        total_registers += sinks.len();
+        gates.push((icg, sinks.len()));
+    }
+    // Biggest gate first; seeded hash breaks ties deterministically.
+    gates.sort_by_key(|&(icg, count)| {
+        (std::cmp::Reverse(count), mix_seed(seed, icg.index() as u64))
+    });
+
+    let target = (fraction * total_registers as f64).ceil() as usize;
+    let mut disabled = Vec::new();
+    let mut disabled_registers = 0usize;
+    for (icg, count) in gates {
+        if disabled_registers >= target {
+            break;
+        }
+        disabled.push(icg);
+        disabled_registers += count;
+    }
+
+    let surviving_fraction = if total_registers == 0 {
+        1.0
+    } else {
+        (total_registers - disabled_registers.min(total_registers)) as f64 / total_registers as f64
+    };
+    Ok(GateDisablePlan {
+        disabled,
+        disabled_registers,
+        total_registers,
+        surviving_fraction,
+    })
+}
+
+/// Commits a plan: rewires each chosen ICG's enable to constant-false, so
+/// the registers behind it stop toggling (and stop contributing modulated
+/// power). Mutates the netlist in place, as an adversary editing the RTL
+/// would.
+///
+/// # Errors
+///
+/// Propagates netlist errors (an ICG in the plan that is not in the
+/// netlist, or a cell that is not a clock gate).
+pub fn apply_gate_disable(
+    netlist: &mut Netlist,
+    plan: &GateDisablePlan,
+) -> Result<(), ClockmarkError> {
+    for (i, &icg) in plan.disabled.iter().enumerate() {
+        let off = netlist.add_signal(&format!("attack_gate_off_{i}"), SignalExpr::Const(false))?;
+        netlist.set_icg_enable(icg, off)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClockModulationWatermark, WatermarkArchitecture, WgcConfig};
+
+    fn embedded() -> (Netlist, EmbeddedWatermark) {
+        let mut netlist = Netlist::new();
+        let clk = netlist.add_clock_root("clk");
+        let arch = ClockModulationWatermark {
+            words: 8,
+            regs_per_word: 8,
+            switching_registers: 0,
+            wgc: WgcConfig::MaxLengthLfsr { width: 6, seed: 1 },
+        };
+        let wm = arch.embed(&mut netlist, clk.into()).expect("embeds");
+        (netlist, wm)
+    }
+
+    #[test]
+    fn plan_hits_the_requested_fraction() {
+        let (netlist, wm) = embedded();
+        let plan = gate_disable_plan(&netlist, &wm, 0.5, 1).expect("plans");
+        assert!(plan.total_registers > 0);
+        assert!(plan.disabled_fraction() >= 0.5, "{plan:?}");
+        assert!(!plan.disabled.is_empty());
+        // Greedy on equal-sized gates should not overshoot by more than
+        // one gate's worth of registers.
+        let per_gate = plan.total_registers / wm.icg_cells.len().max(1);
+        assert!(
+            plan.disabled_registers <= (plan.total_registers / 2) + per_gate,
+            "{plan:?}"
+        );
+    }
+
+    #[test]
+    fn zero_and_full_fractions_are_exact() {
+        let (netlist, wm) = embedded();
+        let none = gate_disable_plan(&netlist, &wm, 0.0, 1).expect("plans");
+        assert!(none.disabled.is_empty());
+        assert_eq!(none.surviving_fraction, 1.0);
+        let all = gate_disable_plan(&netlist, &wm, 1.0, 1).expect("plans");
+        assert_eq!(all.disabled_registers, all.total_registers);
+        assert_eq!(all.surviving_fraction, 0.0);
+        assert_eq!(all.disabled.len(), wm.icg_cells.len());
+    }
+
+    #[test]
+    fn plan_is_deterministic_per_seed() {
+        let (netlist, wm) = embedded();
+        let a = gate_disable_plan(&netlist, &wm, 0.5, 7).expect("plans");
+        let b = gate_disable_plan(&netlist, &wm, 0.5, 7).expect("plans");
+        assert_eq!(a, b);
+        // All gates are equal-sized here, so different seeds pick a
+        // different subset (tie-break is the only freedom).
+        let c = gate_disable_plan(&netlist, &wm, 0.5, 8).expect("plans");
+        assert_eq!(a.disabled.len(), c.disabled.len());
+        assert_ne!(a.disabled, c.disabled, "seeded tie-break varies the pick");
+    }
+
+    #[test]
+    fn apply_rewires_enables_to_constant_false() {
+        let (mut netlist, wm) = embedded();
+        let plan = gate_disable_plan(&netlist, &wm, 1.0, 1).expect("plans");
+        apply_gate_disable(&mut netlist, &plan).expect("applies");
+        // Every disabled gate's sinks still exist (the attack does not
+        // delete logic, it only de-clocks it).
+        for &icg in &plan.disabled {
+            let sinks = netlist.clock_sinks_of(icg).expect("queries");
+            assert!(!sinks.is_empty());
+        }
+    }
+}

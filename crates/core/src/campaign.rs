@@ -28,7 +28,9 @@
 //! accumulations as an uninterrupted fold, the final report is
 //! **byte-identical** to one produced without the interruption.
 
+use crate::attack::ScenarioSpec;
 use crate::batch::parallel_map;
+use crate::scenario::run_scenario_detection;
 use clockmark_corpus::codec;
 use clockmark_corpus::{Corpus, CorpusError, Crc32};
 use clockmark_cpa::{
@@ -108,7 +110,7 @@ impl CampaignError {
         }
     }
 
-    fn spec(message: impl Into<String>) -> Self {
+    pub(crate) fn spec(message: impl Into<String>) -> Self {
         CampaignError::Spec {
             message: message.into(),
         }
@@ -183,6 +185,16 @@ pub struct CampaignSpec {
     /// exactly the checkpoints an uninterrupted run would have hit and
     /// lands bit-identical outcomes (see `docs/sequential.md`).
     pub sequential: Option<SequentialOptions>,
+    /// Adversarial scenario applied to every job, or `None` for a plain
+    /// detection campaign. Persisted in `campaign.json` like the kernel
+    /// and the sequential schedule, with the same tolerant decode (a
+    /// pre-scenario spec simply has no field). An *identity* scenario
+    /// (no attack, no defense, nominal SNR) runs the plain streaming job
+    /// path — its report is byte-for-byte a plain campaign's — while any
+    /// other scenario buffers each trace whole, replays the deterministic
+    /// attack/defense pipeline over it, and lands the defense's verdict
+    /// (see `docs/attacks.md`).
+    pub scenario: Option<ScenarioSpec>,
 }
 
 impl CampaignSpec {
@@ -202,6 +214,7 @@ impl CampaignSpec {
             chunk_cycles: 8_192,
             algo,
             sequential: None,
+            scenario: None,
         }
     }
 
@@ -209,6 +222,13 @@ impl CampaignSpec {
     #[must_use]
     pub fn with_sequential(mut self, options: SequentialOptions) -> Self {
         self.sequential = Some(options);
+        self
+    }
+
+    /// Applies an adversarial scenario to every job.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: ScenarioSpec) -> Self {
+        self.scenario = Some(scenario);
         self
     }
 
@@ -255,6 +275,10 @@ impl CampaignSpec {
                 let _ = write!(out, ",\"max_cycles\":{max}");
             }
             out.push('}');
+        }
+        if let Some(scenario) = &self.scenario {
+            out.push_str(",\"scenario\":");
+            scenario.encode_into(&mut out);
         }
         out.push('}');
         out
@@ -332,6 +356,14 @@ impl CampaignSpec {
                 })
             }
         };
+        // Specs written before scenarios existed lack the object; those
+        // campaigns keep running plain detection jobs.
+        let scenario = match value.get("scenario") {
+            None => None,
+            Some(s) => {
+                Some(ScenarioSpec::decode_value(s).map_err(|e| CampaignError::spec(e.message))?)
+            }
+        };
         Ok(CampaignSpec {
             corpus: PathBuf::from(str_field("corpus")?),
             pattern,
@@ -344,6 +376,7 @@ impl CampaignSpec {
             chunk_cycles: num_field("chunk_cycles")? as usize,
             algo,
             sequential,
+            scenario,
         })
     }
 
@@ -363,6 +396,18 @@ impl CampaignSpec {
         for trace in &self.traces {
             if !seen.insert(trace.as_str()) {
                 return Err(CampaignError::spec(format!("duplicate trace `{trace}`")));
+            }
+        }
+        if let Some(scenario) = &self.scenario {
+            scenario
+                .validate()
+                .map_err(|e| CampaignError::spec(e.to_string()))?;
+            // A non-identity scenario job buffers its trace and decides
+            // in one shot — there is no streaming fold to terminate early.
+            if self.sequential.is_some() && !scenario.is_identity() {
+                return Err(CampaignError::spec(
+                    "scenario campaigns do not support sequential schedules",
+                ));
             }
         }
         Ok(())
@@ -885,6 +930,14 @@ impl Campaign {
         limits: &CampaignLimits,
         board: &ProgressBoard,
     ) -> Result<Option<JobOutcome>, CampaignError> {
+        if let Some(scenario) = &self.spec.scenario {
+            // The identity scenario falls through to the plain streaming
+            // path below — that is what makes its report byte-for-byte a
+            // plain campaign's.
+            if !scenario.is_identity() {
+                return self.run_job_scenario(corpus, job, results, board, scenario);
+            }
+        }
         if let Some(seq) = self.spec.sequential {
             return self.run_job_sequential(corpus, job, results, limits, board, seq);
         }
@@ -940,6 +993,69 @@ impl Campaign {
         let header = reader.finish()?; // full CRC validation
 
         let result = session.result();
+        let outcome = JobOutcome {
+            index: job.index,
+            trace: job.trace.clone(),
+            cycles: header.cycles,
+            result,
+        };
+        self.land_outcome(job, outcome, results, board)
+    }
+
+    /// Runs one adversarial-scenario job: the whole trace is buffered,
+    /// the deterministic defense-embed → attack → SNR-noise pipeline
+    /// replays over it, and the defense's verification procedure decides
+    /// (see [`crate::scenario`]).
+    ///
+    /// Deliberately different persistence contract from the streaming
+    /// path: a scenario job **never writes a mid-trace checkpoint** and
+    /// **ignores `interrupt_job_after_cycles`**. The job is a pure
+    /// function of `(spec, job index, trace bytes)`, so the cheapest
+    /// correct resume is a whole-job replay — which is what a kill gets:
+    /// completed jobs live in `results.jsonl`, in-flight ones restart and
+    /// land bit-identical outcomes.
+    fn run_job_scenario(
+        &self,
+        corpus: &Corpus,
+        job: &JobSpec,
+        results: &Mutex<File>,
+        board: &ProgressBoard,
+        scenario: &ScenarioSpec,
+    ) -> Result<Option<JobOutcome>, CampaignError> {
+        let _span = clockmark_obs::span("campaign.job")
+            .field("index", job.index)
+            .field("trace", job.trace.clone())
+            .field("mode", "scenario")
+            .field("attack", scenario.attack.kind())
+            .field("defense", scenario.defense.kind());
+        // A stale checkpoint can only be left by a crashed run of the
+        // same spec, and scenario jobs never write one; sweep anyway so
+        // a hand-edited spec cannot resurrect a foreign snapshot.
+        let _ = fs::remove_file(self.checkpoint_path(job.index));
+
+        let mut reader = corpus.source(&job.trace)?;
+        let trace_cycles = reader.header().cycles;
+        let chunk = self.spec.chunk_cycles.max(1);
+        let mut buf = vec![0.0f64; chunk];
+        let mut samples = Vec::with_capacity(trace_cycles as usize);
+        loop {
+            let got = reader.read_chunk(&mut buf)?;
+            if got == 0 {
+                break;
+            }
+            samples.extend_from_slice(&buf[..got]);
+            board.note_cycles(got as u64);
+        }
+        let header = reader.finish()?; // full CRC validation
+
+        let result = run_scenario_detection(
+            scenario,
+            &self.spec.pattern,
+            &self.spec.criterion,
+            self.spec.algo,
+            job.index,
+            &mut samples,
+        )?;
         let outcome = JobOutcome {
             index: job.index,
             trace: job.trace.clone(),
@@ -1309,7 +1425,7 @@ impl ProgressBoard {
 }
 
 /// Writes `bytes` to `path` through a temp file + rename.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CampaignError> {
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CampaignError> {
     let tmp = path.with_extension("tmp");
     fs::write(&tmp, bytes)
         .map_err(|e| CampaignError::io(format!("writing {}", tmp.display()), e))?;

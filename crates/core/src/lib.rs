@@ -66,6 +66,7 @@ mod error;
 pub mod overhead;
 mod pipeline;
 pub mod prelude;
+pub mod scenario;
 pub mod theory;
 mod wgc;
 
@@ -73,7 +74,10 @@ pub use arch::{
     ClockModulationWatermark, EmbeddedWatermark, FunctionalBlock, LoadCircuitWatermark,
     WatermarkArchitecture,
 };
-pub use attack::{removal_attack, AttackReport, AttackVerdict};
+pub use attack::{
+    apply_gate_disable, gate_disable_plan, removal_attack, Attack, AttackContext, AttackReport,
+    AttackSpec, AttackVerdict, DefenseSpec, GateDisablePlan, ScenarioSpec, SpecError,
+};
 pub use batch::{parallel_map, BatchProgress, BatchReport, ExperimentBatch, WorkerStats};
 pub use campaign::{
     Campaign, CampaignError, CampaignLimits, CampaignProgress, CampaignReport, CampaignSpec,
@@ -83,6 +87,10 @@ pub use campaign::{
 pub use clockmark_cpa::CpaAlgo;
 pub use error::ClockmarkError;
 pub use pipeline::{ChipModel, Experiment, ExperimentOutcome, MeasuredRun};
+pub use scenario::{
+    ScenarioCampaign, ScenarioCell, ScenarioCellReport, ScenarioMatrix, ScenarioReport,
+    ScenarioStatus,
+};
 pub use wgc::{StructuralWgc, WgcConfig};
 
 // Re-export the substrate crates so downstream users need one dependency.

@@ -26,9 +26,10 @@
 //! speaks the same types).
 
 pub use crate::{
-    Campaign, CampaignLimits, CampaignReport, CampaignSpec, ChipModel, ClockModulationWatermark,
-    ClockmarkError, Experiment, ExperimentBatch, ExperimentOutcome, LoadCircuitWatermark,
-    WatermarkArchitecture, WgcConfig,
+    AttackSpec, Campaign, CampaignLimits, CampaignReport, CampaignSpec, ChipModel,
+    ClockModulationWatermark, ClockmarkError, DefenseSpec, Experiment, ExperimentBatch,
+    ExperimentOutcome, LoadCircuitWatermark, ScenarioCampaign, ScenarioMatrix, ScenarioReport,
+    ScenarioSpec, WatermarkArchitecture, WgcConfig,
 };
 pub use clockmark_corpus::{Corpus, CorpusError, TraceReader};
 pub use clockmark_cpa::{

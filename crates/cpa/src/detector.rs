@@ -1,19 +1,18 @@
 //! The unified detection facade.
 //!
-//! Historically the crate grew four near-duplicate batch entry points —
-//! `spread_spectrum`, `spread_spectrum_naive`, `spread_spectrum_with_algo`
-//! and `spread_spectrum_parallel` — differing only in how they resolve the
-//! kernel and the thread count. [`Detector`] collapses them into one
-//! object: a validated watermark pattern plus a [`DetectOptions`]
-//! describing kernel, threading and decision criterion. Every consumer —
-//! the experiment pipeline, the campaign engine, the detection server and
-//! the CLI — routes through it, so there is exactly one place where those
-//! choices are made.
+//! Historically the crate grew four near-duplicate batch entry points
+//! differing only in how they resolve the kernel and the thread count.
+//! [`Detector`] collapses them into one object: a validated watermark
+//! pattern plus a [`DetectOptions`] describing kernel, threading and
+//! decision criterion. Every consumer — the experiment pipeline, the
+//! campaign engine, the detection server and the CLI — routes through
+//! it, so there is exactly one place where those choices are made; the
+//! legacy free functions are gone.
 //!
-//! The facade is a pure re-plumbing of the existing kernels: for every
-//! option combination its spectrum is **bit-identical** to the legacy
-//! entry point it replaces (a proptest at the bottom of this module pins
-//! that for every [`CpaAlgo`]).
+//! The options are pure resolution knobs, not alternative algorithms:
+//! for every option combination the spectrum is **bit-identical** to the
+//! default path's (a proptest at the bottom of this module pins that for
+//! every [`CpaAlgo`] and for pinned thread counts).
 //!
 //! ```
 //! # fn main() -> Result<(), clockmark_cpa::CpaError> {
@@ -762,12 +761,13 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
-        /// Satellite pin: the facade's spectrum is bit-identical to all
-        /// four legacy entry points, for every kernel and for pinned
-        /// thread counts.
+        /// Satellite pin: the options are resolution knobs, not
+        /// alternative algorithms. The default (auto-resolved) path is
+        /// bit-identical to explicitly pinning the resolved kernel, and
+        /// for every kernel a pinned thread count is bit-identical to
+        /// the serial run.
         #[test]
-        #[allow(deprecated)]
-        fn facade_is_bit_identical_to_every_legacy_path(
+        fn facade_options_are_bit_identical_to_the_default_path(
             seed in 0u64..10_000,
             period in 3usize..48,
             n_mult in 1usize..5,
@@ -785,46 +785,37 @@ mod tests {
                 Ok(())
             };
 
-            // spread_spectrum ≡ default options.
-            let facade = Detector::new(&pattern).expect("valid").spectrum(&y).expect("valid");
-            let legacy = crate::spread_spectrum(&pattern, &y).expect("valid");
-            assert_bits(&facade, &legacy)?;
-
-            // spread_spectrum_naive ≡ pinned Naive kernel.
-            let facade = Detector::with_options(
+            // Default options ≡ explicitly pinning the resolved kernel.
+            let default = Detector::new(&pattern).expect("valid");
+            let resolved = default.resolved_algo();
+            let reference = default.spectrum(&y).expect("valid");
+            let pinned = Detector::with_options(
                 &pattern,
-                DetectOptions::default().with_algo(CpaAlgo::Naive),
+                DetectOptions::default().with_algo(resolved),
             )
             .expect("valid")
             .spectrum(&y)
             .expect("valid");
-            let legacy = crate::spread_spectrum_naive(&pattern, &y).expect("valid");
-            assert_bits(&facade, &legacy)?;
+            assert_bits(&pinned, &reference)?;
 
-            // spread_spectrum_with_algo ≡ pinned kernel, every kernel.
+            // For every kernel, threading never changes the spectrum.
             for algo in CpaAlgo::ALL {
-                let facade = Detector::with_options(
+                let serial = Detector::with_options(
                     &pattern,
                     DetectOptions::default().with_algo(algo),
                 )
                 .expect("valid")
                 .spectrum(&y)
                 .expect("valid");
-                let legacy =
-                    crate::spread_spectrum_with_algo(&pattern, &y, algo).expect("valid");
-                assert_bits(&facade, &legacy)?;
+                let threaded = Detector::with_options(
+                    &pattern,
+                    DetectOptions::default().with_algo(algo).with_threads(threads),
+                )
+                .expect("valid")
+                .spectrum(&y)
+                .expect("valid");
+                assert_bits(&threaded, &serial)?;
             }
-
-            // spread_spectrum_parallel ≡ pinned thread count.
-            let facade = Detector::with_options(
-                &pattern,
-                DetectOptions::default().with_threads(threads),
-            )
-            .expect("valid")
-            .spectrum(&y)
-            .expect("valid");
-            let legacy = crate::spread_spectrum_parallel(&pattern, &y, threads).expect("valid");
-            assert_bits(&facade, &legacy)?;
         }
     }
 }

@@ -12,8 +12,8 @@
 //! Three kernels are provided and tested against each other (see
 //! [`CpaAlgo`]):
 //!
-//! - [`spread_spectrum_naive`]: the textbook O(N·P) loop, kept as the
-//!   reference;
+//! - the naive textbook O(N·P) loop, kept as the reference
+//!   (`DetectOptions::with_algo(CpaAlgo::Naive)`);
 //! - the folded O(N + P·W) kernel (`W` = ones per period) exploiting the
 //!   periodicity of `X`, which makes the paper-scale problem
 //!   (N = 300,000, P = 4,095) interactive;
@@ -30,8 +30,7 @@
 //! ([`Detector::detect_trace`]) query paths that share one fold and are
 //! bit-identical for the same samples. The kernel resolves automatically
 //! (override with the `CLOCKMARK_CPA_ALGO` environment variable or pin it
-//! via [`DetectOptions::with_algo`]). The historical free functions
-//! (`spread_spectrum` and friends) remain as deprecated wrappers.
+//! via [`DetectOptions::with_algo`]).
 //!
 //! ```
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -79,13 +78,9 @@ pub use detector::{
 };
 pub use error::CpaError;
 pub use identify::{CandidatePattern, CandidateScore, Identification};
-#[allow(deprecated)]
-pub use parallel::spread_spectrum_parallel;
 pub use parallel::thread_count;
 pub use pearson::pearson;
 pub use rotational::SpreadSpectrum;
-#[allow(deprecated)]
-pub use rotational::{spread_spectrum, spread_spectrum_naive, spread_spectrum_with_algo};
 pub use sequential::{
     SequentialCheckpoint, SequentialDetection, SequentialOptions, SequentialResult,
 };

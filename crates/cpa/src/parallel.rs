@@ -1,7 +1,7 @@
 //! std-thread parallel execution of the spectrum kernels.
 //!
-//! The folded algorithm of [`spread_spectrum`](crate::spread_spectrum)
-//! computes each rotation's ρ from rotation-invariant sums, so the rotation
+//! The folded algorithm behind [`Detector`](crate::Detector) computes
+//! each rotation's ρ from rotation-invariant sums, so the rotation
 //! range can be partitioned across threads with **no** change to the
 //! per-rotation arithmetic: the parallel spectrum is bit-identical to the
 //! serial one for every thread count. The FFT kernel's transform is a
@@ -14,10 +14,7 @@
 //! be pinned with the `CLOCKMARK_THREADS` environment variable (useful for
 //! reproducible benchmarking and for confining CI runners).
 
-use crate::rotational::validate_inputs;
-use crate::{CpaError, SpreadSpectrum};
-
-/// Minimum multiply-adds (`P·W`) before [`spread_spectrum`](crate::spread_spectrum)
+/// Minimum multiply-adds (`P·W`) before the facade's spectrum path
 /// prefers the threaded rotation loop; below this the thread-spawn overhead
 /// dominates. The paper-scale problem (P = 4,095, W ≈ 2,048 → ~8.4 M) sits
 /// well above it; unit-test-sized inputs sit well below.
@@ -49,43 +46,20 @@ fn thread_count_from(var: Option<&str>) -> usize {
         .unwrap_or(1)
 }
 
-/// Rotational CPA with the per-rotation work chunked across `threads`
-/// worker threads.
-///
-/// Produces a spectrum **bit-identical** to [`spread_spectrum`](crate::spread_spectrum)
-/// for every `threads` value. With the folded kernel the rotation range is
-/// partitioned: the folded sums are computed once and each rotation's ρ
-/// involves exactly the same operations in the same order regardless of
-/// which thread evaluates it. With the FFT kernel the transform stays
-/// serial and the exact-refinement candidates are partitioned instead.
-/// `threads` is clamped; passing `0` or `1` runs serially on the calling
-/// thread.
-///
-/// The kernel is resolved exactly as in [`spread_spectrum`](crate::spread_spectrum):
-/// `CLOCKMARK_CPA_ALGO` when set, the work heuristic otherwise. A `naive`
-/// override runs the reference loop serially, ignoring `threads`.
-///
-/// # Errors
-///
-/// Same conditions as [`spread_spectrum`](crate::spread_spectrum).
-#[deprecated(note = "use Detector with DetectOptions::with_threads")]
-pub fn spread_spectrum_parallel(
-    pattern: &[bool],
-    y: &[f64],
-    threads: usize,
-) -> Result<SpreadSpectrum, CpaError> {
-    validate_inputs(pattern, y)?;
-    crate::Detector::with_options(
-        pattern,
-        crate::DetectOptions::default().with_threads(threads),
-    )?
-    .spectrum(y)
-}
+// Threaded spectra (`DetectOptions::with_threads`) are bit-identical to
+// serial ones for every thread count. With the folded kernel the
+// rotation range is partitioned: the folded sums are computed once and
+// each rotation's ρ involves exactly the same operations in the same
+// order regardless of which thread evaluates it. With the FFT kernel the
+// transform stays serial and the exact-refinement candidates are
+// partitioned instead. `threads` is clamped; `0` or `1` runs serially on
+// the calling thread, and a `naive` kernel override runs the reference
+// loop serially, ignoring `threads`.
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CpaAlgo, DetectOptions, Detector};
+    use crate::{CpaAlgo, CpaError, DetectOptions, Detector, SpreadSpectrum};
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

@@ -1,5 +1,5 @@
 use crate::pearson::correlation_from_sums;
-use crate::{CpaAlgo, CpaError, DetectionCriterion, DetectionResult};
+use crate::{CpaError, DetectionCriterion, DetectionResult};
 
 /// The correlation spread spectrum: one Pearson coefficient per rotation of
 /// the watermark model vector (Fig. 5 of the paper).
@@ -189,26 +189,13 @@ pub(crate) fn validate_inputs(pattern: &[bool], y: &[f64]) -> Result<(), CpaErro
     Ok(())
 }
 
-/// Reference O(N·P) rotational CPA.
-///
-/// Computes the Pearson correlation between `y` and every rotation of
-/// `pattern` tiled to `y`'s length, exactly as the detection procedure in
-/// Section III describes. Kept as the trusted reference implementation.
-///
-/// # Errors
-///
-/// Returns [`CpaError::TooShort`] for a pattern shorter than 2,
-/// [`CpaError::TraceShorterThanPeriod`] when `y` is shorter than one
-/// period, and [`CpaError::ConstantPattern`] when the pattern has no
-/// variance.
-#[deprecated(note = "use Detector with DetectOptions::with_algo(CpaAlgo::Naive)")]
-pub fn spread_spectrum_naive(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
-    validate_inputs(pattern, y)?;
-    Ok(naive_spectrum(pattern, y))
-}
-
-/// The naive kernel's body, shared by the [`Detector`](crate::Detector)
-/// facade and the deprecated free function. Callers validate first.
+/// The naive kernel's body: reference O(N·P) rotational CPA, the
+/// Pearson correlation between `y` and every rotation of `pattern` tiled
+/// to `y`'s length, exactly as the detection procedure in Section III
+/// describes. Kept as the trusted reference the fast kernels are tested
+/// against; reached through the [`Detector`](crate::Detector) facade
+/// with `DetectOptions::with_algo(CpaAlgo::Naive)`. Callers validate
+/// first.
 pub(crate) fn naive_spectrum(pattern: &[bool], y: &[f64]) -> SpreadSpectrum {
     let period = pattern.len();
     let n = y.len();
@@ -300,73 +287,27 @@ impl FoldedTrace {
     }
 }
 
-/// Folded O(N + P·W) rotational CPA (`W` = ones per period).
-///
-/// Because the model vector is periodic, all rotation-dependent sums reduce
-/// to sums over the *folded* measurement: with
-/// `c_k = Σ_{i ≡ k (mod P)} y_i` and `m_k = |{i ≡ k}|`,
-///
-/// ```text
-/// Σ xᵢ^(r) yᵢ = Σ_{j : pattern[j]=1} c_{(j−r) mod P}
-/// Σ xᵢ^(r)    = Σ_{j : pattern[j]=1} m_{(j−r) mod P}
-/// ```
-///
-/// while `Σy`, `Σy²` are rotation-invariant. This turns the paper-scale
-/// problem (N = 300,000, P = 4,095) from ~1.2 G multiply-adds into ~8 M.
-/// Produces bit-identical decisions to [`spread_spectrum_naive`] (values
-/// agree to floating-point accumulation order).
-///
-/// When the rotation loop is large (≥ ~1 M multiply-adds) and more than
-/// one thread is available (see
-/// [`thread_count`](crate::thread_count)), the work is chunked across
-/// threads via [`spread_spectrum_parallel`](crate::spread_spectrum_parallel);
-/// the result is bit-identical either way.
-///
-/// # Kernel selection
-///
-/// The kernel is resolved per call: the `CLOCKMARK_CPA_ALGO` environment
-/// variable (`naive`, `folded` or `fft`) wins when set to a recognised
-/// name, otherwise [`CpaAlgo::resolved_for_pattern`] picks the FFT
-/// kernel for paper-scale patterns and the folded kernel below that.
-/// All kernels report the same peak rotation and (bit-identical) peak ρ
-/// — the FFT path ends with an exact refinement step guaranteeing it —
-/// so the choice is purely a performance knob. Use
-/// [`spread_spectrum_with_algo`] to pin a kernel programmatically.
-///
-/// # Errors
-///
-/// Same input validation as every spectrum entry point: `TooShort`,
-/// `TraceShorterThanPeriod` or `ConstantPattern`.
-#[deprecated(note = "use Detector")]
-pub fn spread_spectrum(pattern: &[bool], y: &[f64]) -> Result<SpreadSpectrum, CpaError> {
-    validate_inputs(pattern, y)?;
-    crate::Detector::new(pattern)?.spectrum(y)
-}
-
-/// [`spread_spectrum`] with the kernel pinned by the caller, bypassing
-/// both the environment override and the work heuristic. This is what
-/// the campaign engine called before it moved to the
-/// [`Detector`](crate::Detector) facade with a pinned
-/// [`DetectOptions::algo`](crate::DetectOptions).
-///
-/// # Errors
-///
-/// Same conditions as [`spread_spectrum`].
-#[deprecated(note = "use Detector with DetectOptions::with_algo")]
-pub fn spread_spectrum_with_algo(
-    pattern: &[bool],
-    y: &[f64],
-    algo: CpaAlgo,
-) -> Result<SpreadSpectrum, CpaError> {
-    validate_inputs(pattern, y)?;
-    crate::Detector::with_options(pattern, crate::DetectOptions::default().with_algo(algo))?
-        .spectrum(y)
-}
+// Folded O(N + P·W) rotational CPA (`W` = ones per period).
+//
+// Because the model vector is periodic, all rotation-dependent sums reduce
+// to sums over the *folded* measurement: with
+// `c_k = Σ_{i ≡ k (mod P)} y_i` and `m_k = |{i ≡ k}|`,
+//
+//   Σ xᵢ^(r) yᵢ = Σ_{j : pattern[j]=1} c_{(j−r) mod P}
+//   Σ xᵢ^(r)    = Σ_{j : pattern[j]=1} m_{(j−r) mod P}
+//
+// while `Σy`, `Σy²` are rotation-invariant. This turns the paper-scale
+// problem (N = 300,000, P = 4,095) from ~1.2 G multiply-adds into ~8 M,
+// with decisions bit-identical to the naive reference loop (values agree
+// to floating-point accumulation order). The folded sums live in
+// [`FoldedTrace`]; the kernels that consume them are in
+// [`crate::kernel`], and every entry point — kernel choice, threading,
+// environment override — is the [`Detector`](crate::Detector) facade.
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DetectOptions, Detector};
+    use crate::{CpaAlgo, DetectOptions, Detector};
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

@@ -5,7 +5,7 @@ use crate::{
 
 /// An incremental rotational-CPA detector.
 ///
-/// The folded algorithm of [`spread_spectrum`](crate::spread_spectrum)
+/// The folded algorithm of [`Detector::detect`](crate::Detector::detect)
 /// maintains only per-residue sums of the measurement, so it can be updated
 /// one cycle at a time. `StreamingCpa` exposes that: feed cycles as the
 /// oscilloscope produces them, query the spectrum whenever you like, and
@@ -144,7 +144,7 @@ impl StreamingCpa {
     ///
     /// The kernel is the one pinned by [`with_algo`](Self::with_algo),
     /// else the `CLOCKMARK_CPA_ALGO` override, else the work heuristic —
-    /// the same precedence as [`spread_spectrum`](crate::spread_spectrum).
+    /// the same precedence as [`Detector::detect`](crate::Detector::detect).
     /// The kernel always runs on the calling thread: streaming detectors
     /// live inside campaign worker threads, which must not nest their own
     /// thread pools.

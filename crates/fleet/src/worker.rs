@@ -71,9 +71,11 @@ impl ShardWorker {
             chunk_cycles: spec.chunk_cycles as usize,
             algo: spec.algo,
             // Distributed shards run fixed-budget jobs: the shard wire
-            // format predates sequential campaigns, and a shard's report
-            // must stay byte-identical across mixed-version workers.
+            // format predates sequential and scenario campaigns, and a
+            // shard's report must stay byte-identical across
+            // mixed-version workers.
             sequential: None,
+            scenario: None,
         };
         // Create the shard campaign on first contact, open (resume) it on
         // every later one — including the reassignment of a shard some

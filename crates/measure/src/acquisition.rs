@@ -34,6 +34,89 @@ impl MeasuredTrace {
     }
 }
 
+/// Capture-time desynchronization: what an adversary (or a hostile
+/// operating point) does to the *device clock* while the verifier's scope
+/// samples on its own, nominal timebase.
+///
+/// Two effects compose, both deterministic in [`CaptureAttack::seed`]:
+///
+/// - **Clock jitter** — every device cycle's duration is perturbed by
+///   `N(0, jitter_sigma_cycles)` nominal cycles, so the alignment between
+///   device cycles and the scope's averaging windows random-walks.
+/// - **DVFS scaling** — every `dvfs_dwell_cycles` the device hops to a new
+///   frequency drawn uniformly from `±dvfs_scale_span / 2` around nominal,
+///   stretching or compressing whole dwell segments of the capture.
+///
+/// The verifier still bins `samples_per_cycle()` scope samples per
+/// *nominal* cycle (it cannot know the device's true timebase — that is
+/// the attack), so the measured vector keeps its length while its contents
+/// smear across device cycles. [`CaptureAttack::none`] is the exact
+/// identity: [`Acquisition::acquire_attacked`] then delegates to
+/// [`Acquisition::acquire`] and produces byte-identical output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaptureAttack {
+    /// σ of the per-cycle duration perturbation, in nominal cycles.
+    pub jitter_sigma_cycles: f64,
+    /// Device cycles between DVFS frequency hops.
+    pub dvfs_dwell_cycles: u64,
+    /// Full width of the uniform frequency-scale window (0.1 = ±5 %).
+    pub dvfs_scale_span: f64,
+    /// Seed of the attack's own deterministic draws (independent of the
+    /// acquisition rng, so the same physical noise can be captured with
+    /// and without the attack).
+    pub seed: u64,
+}
+
+impl CaptureAttack {
+    /// No attack: the identity capture.
+    pub fn none() -> Self {
+        CaptureAttack {
+            jitter_sigma_cycles: 0.0,
+            dvfs_dwell_cycles: 1,
+            dvfs_scale_span: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Whether this attack is the exact identity.
+    pub fn is_none(&self) -> bool {
+        self.jitter_sigma_cycles == 0.0 && self.dvfs_scale_span == 0.0
+    }
+
+    /// splitmix64 of `(seed, counter)` — counter-based so the timewarp is
+    /// a pure function of the attack spec, never of evaluation order.
+    fn hash(&self, counter: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(counter.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&self, counter: u64) -> f64 {
+        (self.hash(counter) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn gaussian(&self, counter: u64) -> f64 {
+        let u1 = self.uniform(counter.wrapping_mul(2)).max(1e-12);
+        let u2 = self.uniform(counter.wrapping_mul(2).wrapping_add(1));
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Duration of device cycle `c` in units of the nominal cycle period.
+    /// Clamped below so a large jitter draw cannot run time backwards.
+    fn cycle_duration(&self, c: u64) -> f64 {
+        let segment = c / self.dvfs_dwell_cycles.max(1);
+        // Hash streams: even counters feed DVFS, odd feed jitter — the
+        // two effects stay independent under a shared seed.
+        let scale = 1.0 + self.dvfs_scale_span * (self.uniform(segment.wrapping_mul(2)) - 0.5);
+        let jitter = self.jitter_sigma_cycles * self.gaussian(c.wrapping_mul(2).wrapping_add(1));
+        (scale + jitter).max(0.05)
+    }
+}
+
 /// The full acquisition chain: power → shunt voltage → oversampled, noisy,
 /// quantised scope samples → per-cycle averages.
 ///
@@ -113,6 +196,80 @@ impl Acquisition {
             let mut acc = 0.0f64;
             for s in 0..k {
                 let t = t0 + s as f64 * dt;
+                let v_board = if self.pdn.is_active() {
+                    pdn_state += pdn_alpha * (v_true - pdn_state);
+                    pdn_state
+                } else {
+                    v_true
+                };
+                let v = v_board
+                    + drift
+                    + self.noise.ripple_at(t)
+                    + gaussian(rng) * self.scope.vertical_noise_volts;
+                acc += self.scope.quantize(v);
+            }
+            let v_avg = acc / k as f64 + dc_offset;
+            watts.push(self.shunt.volts_to_power(v_avg).watts());
+        }
+        clockmark_obs::counter_add("measure.cycles", power.len() as u64);
+        clockmark_obs::counter_add("measure.samples", (power.len() * k) as u64);
+        MeasuredTrace { watts }
+    }
+
+    /// Digitises a per-cycle power trace while the device clock is under a
+    /// capture-time desynchronization attack.
+    ///
+    /// The scope keeps its nominal timebase — `samples_per_cycle()`
+    /// samples are still averaged into each *nominal* cycle bin — but the
+    /// device's cycles last `CaptureAttack::cycle_duration` nominal
+    /// periods each, so a scope sample at time `t` reads whichever device
+    /// cycle is actually live at `t`. Drift still advances once per
+    /// nominal cycle and white noise once per sample, so the rng draw
+    /// count matches [`Acquisition::acquire`] exactly; with
+    /// [`CaptureAttack::none`] this method delegates to `acquire` and is
+    /// byte-identical to it.
+    pub fn acquire_attacked<R: Rng + ?Sized>(
+        &self,
+        power: &PowerTrace,
+        attack: &CaptureAttack,
+        rng: &mut R,
+    ) -> MeasuredTrace {
+        if attack.is_none() {
+            return self.acquire(power, rng);
+        }
+        let k = self.samples_per_cycle().max(1);
+        let _span = clockmark_obs::span("measure.acquire_attacked")
+            .field("cycles", power.len())
+            .field("samples_per_cycle", k);
+        let dt = 1.0 / self.scope.sample_rate.hertz();
+        let t_cycle = self.f_clk.period_seconds();
+        let dc_offset = self.shunt.power_to_volts(power.mean());
+
+        // Two-pointer walk over the device's warped timebase: `dev_end`
+        // is when (in nominal seconds) device cycle `dev` finishes.
+        let mut dev: usize = 0;
+        let mut dev_end = t_cycle * attack.cycle_duration(0);
+        let last = power.len().saturating_sub(1);
+
+        let mut watts = Vec::with_capacity(power.len());
+        let mut drift = 0.0f64;
+        let pdn_alpha = self.pdn.alpha(dt);
+        let mut pdn_state = power
+            .get(0)
+            .map(|p| self.shunt.power_to_volts(p) - dc_offset)
+            .unwrap_or(0.0);
+        for cycle in 0..power.len() {
+            drift += gaussian(rng) * self.noise.drift_volts_per_cycle;
+            let t0 = cycle as f64 * t_cycle;
+            let mut acc = 0.0f64;
+            for s in 0..k {
+                let t = t0 + s as f64 * dt;
+                while t >= dev_end && dev < last {
+                    dev += 1;
+                    dev_end += t_cycle * attack.cycle_duration(dev as u64);
+                }
+                let p = power.get(dev).unwrap_or_default();
+                let v_true = self.shunt.power_to_volts(p) - dc_offset;
                 let v_board = if self.pdn.is_active() {
                     pdn_state += pdn_alpha * (v_true - pdn_state);
                     pdn_state
@@ -272,5 +429,114 @@ mod tests {
         let y = chain().acquire(&PowerTrace::new(), &mut StdRng::seed_from_u64(1));
         assert!(y.is_empty());
         assert_eq!(y.into_power_trace().len(), 0);
+    }
+
+    /// A period-2 square wave for desynchronization tests: any whole-cycle
+    /// slip flips its polarity, so the recovered swing is a direct
+    /// alignment meter.
+    fn square_wave(cycles: usize) -> PowerTrace {
+        let hi = Power::from_milliwatts(6.5);
+        let lo = Power::from_milliwatts(5.0);
+        (0..cycles)
+            .map(|i| if i % 2 == 0 { hi } else { lo })
+            .collect()
+    }
+
+    fn recovered_swing(y: &MeasuredTrace) -> f64 {
+        let (mut s_hi, mut s_lo) = (0.0, 0.0);
+        for (i, v) in y.as_watts().iter().enumerate() {
+            if i % 2 == 0 {
+                s_hi += v;
+            } else {
+                s_lo += v;
+            }
+        }
+        (s_hi - s_lo) / (y.len() / 2) as f64
+    }
+
+    #[test]
+    fn no_attack_capture_is_byte_identical_to_acquire() {
+        let power = square_wave(2_000);
+        let plain = chain().acquire(&power, &mut StdRng::seed_from_u64(31));
+        let attacked = chain().acquire_attacked(
+            &power,
+            &CaptureAttack::none(),
+            &mut StdRng::seed_from_u64(31),
+        );
+        let bits =
+            |y: &MeasuredTrace| -> Vec<u64> { y.as_watts().iter().map(|w| w.to_bits()).collect() };
+        assert_eq!(bits(&plain), bits(&attacked));
+    }
+
+    #[test]
+    fn attacked_capture_is_deterministic_per_seed_pair() {
+        let power = square_wave(1_000);
+        let attack = CaptureAttack {
+            jitter_sigma_cycles: 0.2,
+            dvfs_dwell_cycles: 64,
+            dvfs_scale_span: 0.1,
+            seed: 5,
+        };
+        let a = chain().acquire_attacked(&power, &attack, &mut StdRng::seed_from_u64(7));
+        let b = chain().acquire_attacked(&power, &attack, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let other_rng = chain().acquire_attacked(&power, &attack, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a, other_rng);
+        let other_attack = chain().acquire_attacked(
+            &power,
+            &CaptureAttack { seed: 6, ..attack },
+            &mut StdRng::seed_from_u64(7),
+        );
+        assert_ne!(a, other_attack);
+        assert_eq!(a.len(), power.len(), "attack preserves nominal length");
+    }
+
+    #[test]
+    fn dvfs_scaling_destroys_alignment_with_the_nominal_timebase() {
+        // Quiet front end so the swing measures alignment, not noise.
+        let mut acq = chain();
+        acq.noise = NoiseModel::none();
+        acq.scope = acq.scope.with_vertical_noise(1e-3);
+        let power = square_wave(40_000);
+
+        let clean = acq.acquire(&power, &mut StdRng::seed_from_u64(41));
+        let attack = CaptureAttack {
+            jitter_sigma_cycles: 0.0,
+            dvfs_dwell_cycles: 512,
+            dvfs_scale_span: 0.2,
+            seed: 9,
+        };
+        let warped = acq.acquire_attacked(&power, &attack, &mut StdRng::seed_from_u64(41));
+
+        let clean_swing = recovered_swing(&clean);
+        let warped_swing = recovered_swing(&warped);
+        assert!(clean_swing > 1.0e-3, "clean swing {clean_swing:.3e}");
+        assert!(
+            warped_swing.abs() < 0.5 * clean_swing,
+            "DVFS smears the recovered swing ({clean_swing:.3e} -> {warped_swing:.3e})"
+        );
+    }
+
+    #[test]
+    fn jitter_random_walk_degrades_alignment() {
+        let mut acq = chain();
+        acq.noise = NoiseModel::none();
+        acq.scope = acq.scope.with_vertical_noise(1e-3);
+        let power = square_wave(40_000);
+
+        let clean = acq.acquire(&power, &mut StdRng::seed_from_u64(43));
+        let attack = CaptureAttack {
+            jitter_sigma_cycles: 0.05,
+            dvfs_dwell_cycles: 1,
+            dvfs_scale_span: 0.0,
+            seed: 3,
+        };
+        let jittered = acq.acquire_attacked(&power, &attack, &mut StdRng::seed_from_u64(43));
+        let clean_swing = recovered_swing(&clean);
+        let jittered_swing = recovered_swing(&jittered);
+        assert!(
+            jittered_swing.abs() < 0.5 * clean_swing,
+            "jitter walks off the timebase ({clean_swing:.3e} -> {jittered_swing:.3e})"
+        );
     }
 }

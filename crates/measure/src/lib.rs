@@ -47,7 +47,7 @@ mod pdn;
 mod scope;
 mod shunt;
 
-pub use acquisition::{Acquisition, MeasuredTrace};
+pub use acquisition::{Acquisition, CaptureAttack, MeasuredTrace};
 pub use noise::{gaussian, NoiseModel};
 pub use pdn::PdnModel;
 pub use scope::Oscilloscope;

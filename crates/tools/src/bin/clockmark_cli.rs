@@ -2,11 +2,10 @@
 //! [`clockmark_tools::commands`].
 
 use clockmark::ChipModel;
-use clockmark_cpa::SequentialOptions;
 use clockmark_tools::args::Args;
 use clockmark_tools::commands::{
     cmd_attack, cmd_detect, cmd_embed, cmd_experiment, cmd_metrics, cmd_metrics_collapse,
-    cmd_parse, cmd_simulate, cmd_verilog, ArchChoice, EmbedOptions, PatternSpec,
+    cmd_parse, cmd_simulate, cmd_verilog, ArchChoice, EmbedOptions,
 };
 use clockmark_tools::fleet::{
     cmd_campaign_resume, cmd_campaign_run, cmd_campaign_status, cmd_corpus_build,
@@ -15,6 +14,10 @@ use clockmark_tools::fleet::{
 };
 use clockmark_tools::fleet_cmd::{
     cmd_fleet_run, cmd_fleet_serve, cmd_fleet_status, parse_worker_list, FleetRunOptions,
+};
+use clockmark_tools::opts::{pattern_spec, sequential_options};
+use clockmark_tools::scenario_cmd::{
+    cmd_scenario_report, cmd_scenario_run, cmd_scenario_template, ScenarioTemplateOptions,
 };
 use clockmark_tools::serve_cmd::{
     cmd_client_detect, cmd_client_detect_corpus, cmd_client_identify, cmd_client_metrics,
@@ -53,8 +56,14 @@ USAGE:
                  [--sequential [--seq-base N] [--seq-growth F] [--seq-confidence P]
                   [--seq-min-cycles N] [--seq-max-cycles N]]
                  [--threads N] [--max-jobs N] [--no-mmap]
+  clockmark-cli campaign run <dir> --scenarios <scenarios.json>
+                 [--threads N] [--max-jobs N] [--no-mmap]
   clockmark-cli campaign resume <dir> [--threads N] [--max-jobs N] [--no-mmap]
   clockmark-cli campaign status <dir>
+  clockmark-cli scenario report <dir>
+  clockmark-cli scenario template --out <scenarios.json> --corpus <dir>
+                 (--lfsr W [--seed S] | --bits 1011…) [--traces a,b,…]
+                 [--snrs 1.0,0.5,…] [--matrix-seed N] [--lenient]
   clockmark-cli serve [--addr HOST:PORT] [--max-sessions N] [--max-cycles N]
                  [--max-frame-bytes N] [--slow-ms N]
   clockmark-cli client ping|status|metrics|shutdown [--addr HOST:PORT]
@@ -97,34 +106,6 @@ fn write(path: &str, contents: &str) -> Result<(), ToolError> {
     })
 }
 
-/// Parses the shared `--lfsr W [--seed S] | --bits 1011…` expected-sequence
-/// flags of `detect` and `campaign run`.
-fn pattern_spec(args: &mut Args, command: &str) -> Result<PatternSpec, ToolError> {
-    if let Some(width) = args.value_of("--lfsr")? {
-        let width: u32 = width
-            .parse()
-            .map_err(|_| ToolError::Usage("--lfsr needs a width".to_owned()))?;
-        let seed = args.numeric("--seed", 1u32)?;
-        Ok(PatternSpec::Lfsr { width, seed })
-    } else if let Some(bits) = args.value_of("--bits")? {
-        let parsed: Result<Vec<bool>, _> = bits
-            .chars()
-            .map(|c| match c {
-                '0' => Ok(false),
-                '1' => Ok(true),
-                other => Err(ToolError::Usage(format!(
-                    "--bits must be 0s and 1s, found {other:?}"
-                ))),
-            })
-            .collect();
-        Ok(PatternSpec::Bits(parsed?))
-    } else {
-        Err(ToolError::Usage(format!(
-            "{command} needs --lfsr or --bits"
-        )))
-    }
-}
-
 /// Parses the `--lenient` / `--algo` flags shared by the `client detect`
 /// subcommands.
 fn client_detect_options(args: &mut Args) -> Result<ClientDetectOptions, ToolError> {
@@ -157,36 +138,6 @@ fn serve_options(args: &mut Args) -> Result<ServeOptions, ToolError> {
     let slow_ms: u64 = args.numeric("--slow-ms", options.limits.slow_request.as_millis() as u64)?;
     options.limits.slow_request = std::time::Duration::from_millis(slow_ms);
     Ok(options)
-}
-
-/// Parses the `--sequential [--seq-base N] [--seq-growth F]
-/// [--seq-confidence P] [--seq-min-cycles N] [--seq-max-cycles N]` flags
-/// shared by `client detect` and `campaign run`. Without `--sequential`
-/// the tuning flags are left unconsumed, so `finish()` rejects them.
-fn sequential_options(args: &mut Args) -> Result<Option<SequentialOptions>, ToolError> {
-    if !args.flag("--sequential") {
-        return Ok(None);
-    }
-    let defaults = SequentialOptions::default();
-    Ok(Some(SequentialOptions {
-        base_cycles: args.numeric("--seq-base", defaults.base_cycles)?,
-        growth: args.numeric("--seq-growth", defaults.growth)?,
-        min_cycles: args.numeric("--seq-min-cycles", defaults.min_cycles)?,
-        confidence: args
-            .value_of("--seq-confidence")?
-            .map(|v| {
-                v.parse()
-                    .map_err(|_| ToolError::Usage(format!("--seq-confidence: cannot parse `{v}`")))
-            })
-            .transpose()?,
-        max_cycles: args
-            .value_of("--seq-max-cycles")?
-            .map(|v| {
-                v.parse()
-                    .map_err(|_| ToolError::Usage(format!("--seq-max-cycles: cannot parse `{v}`")))
-            })
-            .transpose()?,
-    }))
 }
 
 /// Parses the spec-shaping flags shared by `campaign run` and
@@ -224,6 +175,20 @@ fn campaign_create_options(args: &mut Args) -> Result<CampaignCreateOptions, Too
         chunk_cycles,
         sequential: sequential_options(args)?,
         algo,
+    })
+}
+
+/// Parses the per-invocation flags shared by `campaign run`, `campaign
+/// resume` and `campaign run --scenarios`.
+fn campaign_run_options(args: &mut Args) -> Result<CampaignRunOptions, ToolError> {
+    Ok(CampaignRunOptions {
+        threads: args.numeric("--threads", 0usize)?,
+        max_jobs: args
+            .value_of("--max-jobs")?
+            .map(|v| v.parse())
+            .transpose()
+            .map_err(|_| ToolError::Usage("--max-jobs: not a number".to_owned()))?,
+        no_mmap: args.flag("--no-mmap"),
     })
 }
 
@@ -408,18 +373,19 @@ fn run() -> Result<(), ToolError> {
             match sub.as_str() {
                 "run" => {
                     let dir = args.positional("dir")?;
+                    if let Some(scenarios) = args.value_of("--scenarios")? {
+                        let options = campaign_run_options(&mut args)?;
+                        args.finish()?;
+                        print!(
+                            "{}",
+                            cmd_scenario_run(Path::new(&dir), Path::new(&scenarios), options)?
+                        );
+                        return Ok(());
+                    }
                     let corpus_dir = args.require("--corpus")?;
                     let spec = pattern_spec(&mut args, "campaign run")?;
                     let create = campaign_create_options(&mut args)?;
-                    let options = CampaignRunOptions {
-                        threads: args.numeric("--threads", 0usize)?,
-                        max_jobs: args
-                            .value_of("--max-jobs")?
-                            .map(|v| v.parse())
-                            .transpose()
-                            .map_err(|_| ToolError::Usage("--max-jobs: not a number".to_owned()))?,
-                        no_mmap: args.flag("--no-mmap"),
-                    };
+                    let options = campaign_run_options(&mut args)?;
                     args.finish()?;
                     print!(
                         "{}",
@@ -434,15 +400,7 @@ fn run() -> Result<(), ToolError> {
                 }
                 "resume" => {
                     let dir = args.positional("dir")?;
-                    let options = CampaignRunOptions {
-                        threads: args.numeric("--threads", 0usize)?,
-                        max_jobs: args
-                            .value_of("--max-jobs")?
-                            .map(|v| v.parse())
-                            .transpose()
-                            .map_err(|_| ToolError::Usage("--max-jobs: not a number".to_owned()))?,
-                        no_mmap: args.flag("--no-mmap"),
-                    };
+                    let options = campaign_run_options(&mut args)?;
                     args.finish()?;
                     print!("{}", cmd_campaign_resume(Path::new(&dir), options)?);
                 }
@@ -454,6 +412,49 @@ fn run() -> Result<(), ToolError> {
                 other => {
                     return Err(ToolError::Usage(format!(
                         "unknown campaign subcommand `{other}`"
+                    )))
+                }
+            }
+        }
+        "scenario" => {
+            let sub = args.positional("subcommand")?;
+            match sub.as_str() {
+                "report" => {
+                    let dir = args.positional("dir")?;
+                    args.finish()?;
+                    print!("{}", cmd_scenario_report(Path::new(&dir))?);
+                }
+                "template" => {
+                    let out = args.require("--out")?;
+                    let corpus_dir = args.require("--corpus")?;
+                    let spec = pattern_spec(&mut args, "scenario template")?;
+                    let options = ScenarioTemplateOptions {
+                        traces: args
+                            .value_of("--traces")?
+                            .map(|list| list.split(',').map(str::to_owned).collect()),
+                        snrs: args
+                            .value_of("--snrs")?
+                            .map(|list| {
+                                list.split(',')
+                                    .map(|v| {
+                                        v.trim().parse().map_err(|_| {
+                                            ToolError::Usage(format!("--snrs: cannot parse `{v}`"))
+                                        })
+                                    })
+                                    .collect::<Result<Vec<f64>, _>>()
+                            })
+                            .transpose()?,
+                        seed: args.numeric("--matrix-seed", 0u64)?,
+                        lenient: args.flag("--lenient"),
+                    };
+                    args.finish()?;
+                    let text = cmd_scenario_template(Path::new(&corpus_dir), &spec, options)?;
+                    write(&out, &text)?;
+                    println!("wrote {out}");
+                }
+                other => {
+                    return Err(ToolError::Usage(format!(
+                        "unknown scenario subcommand `{other}`"
                     )))
                 }
             }

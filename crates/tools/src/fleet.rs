@@ -441,23 +441,31 @@ pub fn cmd_campaign_run(
 }
 
 /// `campaign resume`: continues a previously created campaign, reusing
-/// its checkpoints.
+/// its checkpoints. A scenario campaign directory (it holds a
+/// `scenarios.json`) resumes its pending cells instead.
 ///
 /// # Errors
 ///
 /// Returns store and job failures.
 pub fn cmd_campaign_resume(dir: &Path, options: CampaignRunOptions) -> Result<String, ToolError> {
+    if crate::scenario_cmd::is_scenario_dir(dir) {
+        return crate::scenario_cmd::cmd_scenario_resume(dir, options);
+    }
     let campaign = options.apply(Campaign::open(dir)?);
     let status = campaign.run(&options.limits())?;
     render_run(&campaign, &status)
 }
 
-/// `campaign status`: reports progress without running any jobs.
+/// `campaign status`: reports progress without running any jobs. A
+/// scenario campaign directory reports per-matrix progress instead.
 ///
 /// # Errors
 ///
 /// Returns store failures (missing or malformed campaign directory).
 pub fn cmd_campaign_status(dir: &Path) -> Result<String, ToolError> {
+    if crate::scenario_cmd::is_scenario_dir(dir) {
+        return crate::scenario_cmd::cmd_scenario_status(dir);
+    }
     let campaign = Campaign::open(dir)?;
     let status = campaign.status()?;
     let mut out = String::new();

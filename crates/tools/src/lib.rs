@@ -14,7 +14,8 @@
 //! | `detect --trace <csv> --lfsr W [--seed S]` | rotational CPA on a recorded trace |
 //! | `experiment --chip i\|ii --cycles N [--trace-out f]` | full pipeline run on a chip model |
 //! | `corpus build\|ls\|verify\|convert` | manage an on-disk corpus of binary `.cmt` power traces |
-//! | `campaign run\|resume\|status` | resumable sharded detection campaigns over a corpus |
+//! | `campaign run\|resume\|status` | resumable sharded detection campaigns over a corpus (`run --scenarios` for an attack × defense matrix) |
+//! | `scenario report\|template` | render a scenario campaign's detection-rate-under-attack report; write a starter `scenarios.json` |
 //! | `serve [--addr A]` | run the concurrent detection server in the foreground |
 //! | `client ping\|status\|detect\|detect-corpus\|shutdown` | drive a running server over the wire |
 //! | `fleet serve\|run\|status` | shard one campaign across many worker nodes |
@@ -27,6 +28,8 @@ pub mod commands;
 mod error;
 pub mod fleet;
 pub mod fleet_cmd;
+pub mod opts;
+pub mod scenario_cmd;
 pub mod serve_cmd;
 pub mod tracefile;
 

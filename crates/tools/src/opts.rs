@@ -1,0 +1,134 @@
+//! Shared flag parsing for options that appear on more than one
+//! subcommand.
+//!
+//! `detect`, `campaign run`, `fleet run` and the `client detect` family
+//! all accept the expected-sequence flags (`--lfsr W [--seed S] |
+//! --bits 1011…`), and `client detect --sequential` shares the whole
+//! `--seq-*` tuning group with `campaign run --sequential`. Parsing them
+//! in each dispatcher arm drifted once already (the `--seq-*` group was
+//! copied between the client and campaign arms); this module is the one
+//! place those flag groups are interpreted.
+
+use crate::args::Args;
+use crate::commands::PatternSpec;
+use crate::ToolError;
+use clockmark_cpa::SequentialOptions;
+
+/// Parses the shared `--lfsr W [--seed S] | --bits 1011…`
+/// expected-sequence flags of `detect`, `campaign run`, `fleet run` and
+/// the `client detect` family.
+///
+/// # Errors
+///
+/// Returns [`ToolError::Usage`] when neither form is present or a value
+/// fails to parse; `command` names the subcommand in the message.
+pub fn pattern_spec(args: &mut Args, command: &str) -> Result<PatternSpec, ToolError> {
+    if let Some(width) = args.value_of("--lfsr")? {
+        let width: u32 = width
+            .parse()
+            .map_err(|_| ToolError::Usage("--lfsr needs a width".to_owned()))?;
+        let seed = args.numeric("--seed", 1u32)?;
+        Ok(PatternSpec::Lfsr { width, seed })
+    } else if let Some(bits) = args.value_of("--bits")? {
+        let parsed: Result<Vec<bool>, _> = bits
+            .chars()
+            .map(|c| match c {
+                '0' => Ok(false),
+                '1' => Ok(true),
+                other => Err(ToolError::Usage(format!(
+                    "--bits must be 0s and 1s, found {other:?}"
+                ))),
+            })
+            .collect();
+        Ok(PatternSpec::Bits(parsed?))
+    } else {
+        Err(ToolError::Usage(format!(
+            "{command} needs --lfsr or --bits"
+        )))
+    }
+}
+
+/// Parses the `--sequential [--seq-base N] [--seq-growth F]
+/// [--seq-confidence P] [--seq-min-cycles N] [--seq-max-cycles N]` flags
+/// shared by `client detect` and `campaign run`. Without `--sequential`
+/// the tuning flags are left unconsumed, so `finish()` rejects them.
+///
+/// # Errors
+///
+/// Returns [`ToolError::Usage`] for unparsable tuning values.
+pub fn sequential_options(args: &mut Args) -> Result<Option<SequentialOptions>, ToolError> {
+    if !args.flag("--sequential") {
+        return Ok(None);
+    }
+    let defaults = SequentialOptions::default();
+    Ok(Some(SequentialOptions {
+        base_cycles: args.numeric("--seq-base", defaults.base_cycles)?,
+        growth: args.numeric("--seq-growth", defaults.growth)?,
+        min_cycles: args.numeric("--seq-min-cycles", defaults.min_cycles)?,
+        confidence: args
+            .value_of("--seq-confidence")?
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| ToolError::Usage(format!("--seq-confidence: cannot parse `{v}`")))
+            })
+            .transpose()?,
+        max_cycles: args
+            .value_of("--seq-max-cycles")?
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| ToolError::Usage(format!("--seq-max-cycles: cannot parse `{v}`")))
+            })
+            .transpose()?,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::new(list.iter().map(|s| (*s).to_owned()).collect())
+    }
+
+    #[test]
+    fn pattern_spec_parses_both_forms() {
+        let mut a = args(&["--lfsr", "8", "--seed", "3"]);
+        assert_eq!(
+            pattern_spec(&mut a, "detect").expect("ok"),
+            PatternSpec::Lfsr { width: 8, seed: 3 }
+        );
+        a.finish().expect("consumed");
+
+        let mut a = args(&["--bits", "101"]);
+        assert_eq!(
+            pattern_spec(&mut a, "detect").expect("ok"),
+            PatternSpec::Bits(vec![true, false, true])
+        );
+
+        let mut a = args(&[]);
+        let err = pattern_spec(&mut a, "campaign run").unwrap_err();
+        assert!(err.to_string().contains("campaign run"), "{err}");
+
+        let mut a = args(&["--bits", "10x"]);
+        assert!(pattern_spec(&mut a, "detect").is_err());
+    }
+
+    #[test]
+    fn sequential_options_gate_on_the_flag() {
+        let mut a = args(&[]);
+        assert_eq!(sequential_options(&mut a).expect("ok"), None);
+
+        // Tuning flags without --sequential stay unconsumed for finish()
+        // to reject.
+        let mut a = args(&["--seq-base", "4096"]);
+        assert_eq!(sequential_options(&mut a).expect("ok"), None);
+        assert!(a.finish().is_err());
+
+        let mut a = args(&["--sequential", "--seq-base", "4096", "--seq-growth", "3.0"]);
+        let opts = sequential_options(&mut a).expect("ok").expect("enabled");
+        assert_eq!(opts.base_cycles, 4096);
+        assert_eq!(opts.growth, 3.0);
+        assert_eq!(opts.min_cycles, SequentialOptions::default().min_cycles);
+        a.finish().expect("consumed");
+    }
+}
